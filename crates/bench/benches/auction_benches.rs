@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the running-time figure (Fig. 4b) and
+//! the online mechanism's per-round overhead.
+//!
+//! Run with `cargo bench -p edge-bench`. The paper reports SSAM staying
+//! under 100 ms up to 75 microservices with linear growth; these benches
+//! reproduce that measurement rigorously (warm-up, outlier rejection)
+//! where the `fig4b` binary gives the quick table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edge_auction::msoa::MsoaConfig;
+use edge_auction::ssam::{run_ssam, SsamConfig};
+use edge_auction::variants::{run_variant, MsoaVariant};
+use edge_bench::scenario::{multi_round_instance, single_round_instance};
+use edge_common::rng::derive_rng;
+use edge_workload::params::PaperParams;
+
+fn bench_ssam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssam");
+    for s in [25usize, 50, 75] {
+        for req in [100u64, 200] {
+            let params = PaperParams::default().with_microservices(s).with_requests(req);
+            let mut rng = derive_rng(42, "bench-ssam");
+            let inst = single_round_instance(&params, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("req{req}"), s),
+                &inst,
+                |b, inst| b.iter(|| run_ssam(inst, &SsamConfig::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_msoa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msoa");
+    group.sample_size(20);
+    for s in [25usize, 50, 75] {
+        let params = PaperParams::default().with_microservices(s);
+        let mut rng = derive_rng(42, "bench-msoa");
+        let inst = multi_round_instance(&params, 0.25, &mut rng);
+        group.bench_with_input(BenchmarkId::new("T10", s), &inst, |b, inst| {
+            b.iter(|| run_variant(inst, &MsoaConfig::default(), MsoaVariant::Plain).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_dp");
+    for s in [25usize, 75] {
+        let params = PaperParams::default().with_microservices(s);
+        let mut rng = derive_rng(42, "bench-dp");
+        let inst = single_round_instance(&params, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(s), &inst, |b, inst| {
+            b.iter(|| inst.to_group_cover().solve_exact().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssam, bench_msoa, bench_offline_dp);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: SSAM's price-per-marginal-unit ranking vs the §I baselines
+//! (fixed pricing, random selection, total-price greedy). Not a paper
+//! figure — this backs DESIGN.md's claim that the ranking rule is the
+//! load-bearing design choice.
+
+use edge_bench::runner::{ablation_mechanisms, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = ablation_mechanisms(seeds);
+
+    println!("Ablation — mechanisms compared (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["mechanism", "|S|", "social cost", "payment", "coverage"]);
+    for r in &rows {
+        table.push([
+            r.mechanism.clone(),
+            r.microservices.to_string(),
+            f3(r.mean_social_cost),
+            f3(r.mean_payment),
+            f3(r.coverage_rate),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

@@ -1,0 +1,26 @@
+//! Figure 3(a): SSAM performance ratio vs number of microservices, for
+//! J ∈ {1, 2} bids per seller.
+
+use edge_bench::runner::{fig3a, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig3a(seeds);
+
+    println!("Figure 3(a) — SSAM performance ratio (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["J", "|S|", "ratio", "certified π"]);
+    for r in &rows {
+        table.push([
+            r.bids_per_seller.to_string(),
+            r.microservices.to_string(),
+            f3(r.mean_ratio),
+            f3(r.mean_certified_pi),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

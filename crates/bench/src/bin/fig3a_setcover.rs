@@ -1,0 +1,27 @@
+//! Figure 3(a), set-cover form: SSAM's ratio over the paper's *general*
+//! per-buyer formulation (ILP 7), where the greedy gap grows with the
+//! population as the paper plots.
+
+use edge_bench::runner::{fig3a_setcover, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig3a_setcover(seeds);
+
+    println!("Figure 3(a), set-cover form — greedy/optimal ratio (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["J", "|S|", "ratio", "samples"]);
+    for r in &rows {
+        table.push([
+            r.bids_per_seller.to_string(),
+            r.microservices.to_string(),
+            f3(r.mean_ratio),
+            r.samples.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

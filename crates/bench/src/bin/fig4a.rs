@@ -1,0 +1,23 @@
+//! Figure 4(a): per-winning-bid payment vs actual price (individual
+//! rationality, Theorem 5, made visible).
+
+use edge_bench::runner::fig4a;
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let rows = fig4a(seed);
+
+    println!("Figure 4(a) — payment vs price per winning bid (seed {seed})\n");
+    let mut table = Table::new(["winner", "price", "payment", "payment ≥ price"]);
+    for r in &rows {
+        table.push([
+            r.winner.to_string(),
+            f3(r.price),
+            f3(r.payment),
+            (r.payment >= r.price - 1e-9).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

@@ -1,0 +1,26 @@
+//! Figure 4(b): SSAM running time vs number of microservices and request
+//! volume. The paper reports sub-100 ms with roughly linear growth; see
+//! also the Criterion benchmarks (`cargo bench -p edge-bench`).
+
+use edge_bench::runner::{fig4b, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig4b(seeds);
+
+    println!("Figure 4(b) — SSAM running time (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["requests", "|S|", "runtime (µs)"]);
+    for r in &rows {
+        table.push([
+            r.requests.to_string(),
+            r.microservices.to_string(),
+            f3(r.mean_runtime_us),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

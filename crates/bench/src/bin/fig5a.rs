@@ -1,0 +1,27 @@
+//! Figure 5(a): MSOA performance ratio vs number of microservices and
+//! request volume, comparing MSOA with MSOA-DA, MSOA-RC, and MSOA-OA.
+
+use edge_bench::runner::{fig5a, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig5a(seeds);
+
+    println!("Figure 5(a) — MSOA variants, online/offline ratio (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["variant", "requests", "|S|", "ratio", "infeasible rounds"]);
+    for r in &rows {
+        table.push([
+            r.variant.clone(),
+            r.requests.to_string(),
+            r.microservices.to_string(),
+            f3(r.mean_ratio),
+            f3(r.mean_infeasible_rounds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

@@ -1,0 +1,21 @@
+//! Figure 6(a): MSOA performance ratio vs number of rounds T, for
+//! J ∈ {1, 2, 4} bids per seller.
+
+use edge_bench::runner::{fig6a, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig6a(seeds);
+
+    println!("Figure 6(a) — MSOA ratio vs rounds T and bids J (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["J", "T", "ratio"]);
+    for r in &rows {
+        table.push([r.bids_per_seller.to_string(), r.rounds.to_string(), f3(r.mean_ratio)]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

@@ -1,0 +1,27 @@
+//! Figure 6(b): MSOA social cost, total payment, and offline optimal vs
+//! number of microservices, for 100 vs 200 requests per round.
+
+use edge_bench::runner::{fig6b, DEFAULT_SEEDS};
+use edge_bench::table::{f3, to_json, Table};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    let rows = fig6b(seeds);
+
+    println!("Figure 6(b) — MSOA cost series (mean over {seeds} seeds)\n");
+    let mut table = Table::new(["requests", "|S|", "social cost", "payment", "optimal"]);
+    for r in &rows {
+        table.push([
+            r.requests.to_string(),
+            r.microservices.to_string(),
+            f3(r.social_cost),
+            f3(r.total_payment),
+            f3(r.optimal),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("json:\n{}", to_json(&rows));
+}

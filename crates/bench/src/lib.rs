@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every evaluation figure of
+//! *Incentivizing Microservices for Online Resource Sharing in Edge
+//! Clouds* (ICDCS 2019).
+//!
+//! * [`scenario`] — instance generators from the §V-A parameters,
+//!   including the fully integrated workload → simulator → demand
+//!   estimator → auction pipeline;
+//! * [`runner`] — one sweep per figure (3a, 3b, 4a, 4b, 5a, 6a, 6b),
+//!   seed-parallel, returning typed serializable rows;
+//! * [`table`] — fixed-width table rendering and JSON export.
+//!
+//! Each figure has a matching binary: `cargo run -p edge-bench --release
+//! --bin fig3a` etc. Criterion micro-benchmarks for the running-time
+//! figure live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod runner;
+pub mod scenario;
+pub mod table;
+
+pub use runner::DEFAULT_SEEDS;

@@ -1,0 +1,693 @@
+//! Experiment runners — one per figure of the paper's §V.
+//!
+//! Each runner sweeps the figure's x-axis with everything else at the
+//! §V-A defaults, averages over independent seeds (in parallel via
+//! `crossbeam`), and returns typed rows that the `fig*` binaries render
+//! as tables and JSON. Absolute numbers differ from the paper (different
+//! hardware, synthetic traces); the *shape* is what EXPERIMENTS.md
+//! tracks.
+
+use crate::scenario::{multi_round_instance, single_round_instance};
+use edge_auction::msoa::MultiRoundInstance;
+use edge_auction::offline::{offline_optimum_multi, offline_optimum_round, per_round_dp_bound};
+use edge_auction::ssam::{run_ssam, SsamConfig};
+use edge_auction::variants::{run_variant, MsoaVariant};
+use edge_auction::msoa::MsoaConfig;
+use edge_common::rng::derive_rng;
+use edge_lp::IlpOptions;
+use edge_workload::params::PaperParams;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Default seeds per configuration (each figure point is a mean).
+pub const DEFAULT_SEEDS: u64 = 10;
+
+/// Instance sizes (total bids across rounds) up to which the exact
+/// multi-round branch-and-bound is attempted for the offline optimum;
+/// larger instances fall back to the per-round DP lower bound, whose
+/// ratios conservatively over-state the online mechanism's gap.
+const EXACT_OFFLINE_BUDGET: usize = 60;
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs `f(seed)` for every seed in parallel and collects the results in
+/// seed order.
+fn par_seeds<T: Send>(seeds: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(i as u64));
+            });
+        }
+    })
+    .expect("seed workers do not panic");
+    out.into_iter().map(|o| o.expect("every worker ran")).collect()
+}
+
+/// The offline optimum (or a provable lower bound) of a multi-round
+/// instance, choosing the solver by size.
+fn offline_value(instance: &MultiRoundInstance, use_estimated: bool) -> Option<f64> {
+    let size: usize = instance.rounds().iter().map(|r| r.bids.len()).sum();
+    if size <= EXACT_OFFLINE_BUDGET {
+        let opts = IlpOptions { max_nodes: 2_000, ..IlpOptions::default() };
+        offline_optimum_multi(instance, use_estimated, &opts)
+            .ok()
+            .map(|b| b.value())
+    } else {
+        per_round_dp_bound(instance, use_estimated)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(a): SSAM performance ratio vs number of microservices and J.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 3(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3aRow {
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Bids per seller `J`.
+    pub bids_per_seller: usize,
+    /// Mean SSAM / optimal ratio over the seeds.
+    pub mean_ratio: f64,
+    /// Mean certified upper bound `π = H_X · Ξ`.
+    pub mean_certified_pi: f64,
+}
+
+/// Runs the Figure 3(a) sweep.
+pub fn fig3a(seeds: u64) -> Vec<Fig3aRow> {
+    let mut rows = Vec::new();
+    for &j in &[1usize, 2] {
+        for &s in &[5usize, 10, 15, 20, 25] {
+            let params = PaperParams::default().with_microservices(s).with_bids_per_seller(j);
+            let results = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig3a");
+                let inst = single_round_instance(&params, &mut rng);
+                let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+                let opt = offline_optimum_round(&inst).expect("feasible");
+                (outcome.social_cost.value() / opt, outcome.certificate.pi)
+            });
+            let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let pis: Vec<f64> = results.iter().map(|r| r.1).collect();
+            rows.push(Fig3aRow {
+                microservices: s,
+                bids_per_seller: j,
+                mean_ratio: mean(&ratios),
+                mean_certified_pi: mean(&pis),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the set-cover variant of Figure 3(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3aSetcoverRow {
+    /// Number of seller microservices.
+    pub microservices: usize,
+    /// Bids per seller `J`.
+    pub bids_per_seller: usize,
+    /// Mean greedy/optimal ratio over the seeds that were coverable and
+    /// provably solvable.
+    pub mean_ratio: f64,
+    /// Seeds contributing to the mean.
+    pub samples: usize,
+}
+
+/// Figure 3(a) in the paper's *general set-cover form* (ILP (7) with
+/// per-buyer coverage): sellers bid subsets of needy microservices, and
+/// the greedy's gap grows with the population — the growth the paper
+/// plots, which the aggregate-demand form (see [`fig3a`]) smooths away.
+pub fn fig3a_setcover(seeds: u64) -> Vec<Fig3aSetcoverRow> {
+    use edge_auction::multi_buyer::{run_ssam_multi, CoverBid, MultiBuyerWsp};
+    use edge_common::id::{BidId, MicroserviceId};
+    use rand::Rng;
+
+    let mut rows = Vec::new();
+    for &j in &[1usize, 2] {
+        for &s in &[5usize, 10, 15, 20, 25] {
+            let ratios = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig3a-setcover");
+                let n_buyers = (s / 2).max(2);
+                let demands: Vec<(MicroserviceId, u64)> = (0..n_buyers)
+                    .map(|b| (MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)))
+                    .collect();
+                let mut bids = Vec::new();
+                for seller in 0..s {
+                    for bid_id in 0..j {
+                        let k = rng.gen_range(1..=3usize.min(n_buyers));
+                        let mut coverage = Vec::new();
+                        let mut chosen: Vec<usize> = Vec::new();
+                        while chosen.len() < k {
+                            let b = rng.gen_range(0..n_buyers);
+                            if !chosen.contains(&b) {
+                                chosen.push(b);
+                                coverage
+                                    .push((MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)));
+                            }
+                        }
+                        let total: u64 = coverage.iter().map(|&(_, a)| a).sum();
+                        let price = rng.gen_range(10.0..35.0) * total as f64 / 5.0;
+                        bids.push(
+                            CoverBid::new(
+                                MicroserviceId::new(seller),
+                                BidId::new(bid_id),
+                                coverage,
+                                price,
+                            )
+                            .expect("valid bid"),
+                        );
+                    }
+                }
+                let inst = MultiBuyerWsp::new(demands, bids).expect("valid instance");
+                let outcome = run_ssam_multi(&inst, &SsamConfig::default());
+                if !outcome.fully_covered {
+                    return None;
+                }
+                let (ilp, _) = inst.to_ilp();
+                let opts = IlpOptions { max_nodes: 20_000, ..IlpOptions::default() };
+                match edge_lp::solve_ilp(&ilp, &opts) {
+                    Ok(sol) if sol.proven_optimal && sol.objective > 1e-9 => {
+                        Some(outcome.social_cost.value() / sol.objective)
+                    }
+                    _ => None,
+                }
+            });
+            let ratios: Vec<f64> = ratios.into_iter().flatten().collect();
+            rows.push(Fig3aSetcoverRow {
+                microservices: s,
+                bids_per_seller: j,
+                mean_ratio: mean(&ratios),
+                samples: ratios.len(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(b): SSAM social cost / payment / optimal vs |S| and requests.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 3(b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3bRow {
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Request volume per round.
+    pub requests: u64,
+    /// Mean SSAM social cost.
+    pub social_cost: f64,
+    /// Mean total payment.
+    pub total_payment: f64,
+    /// Mean optimal social cost.
+    pub optimal: f64,
+}
+
+/// Runs the Figure 3(b) sweep.
+pub fn fig3b(seeds: u64) -> Vec<Fig3bRow> {
+    let mut rows = Vec::new();
+    for &req in &[100u64, 200] {
+        for &s in &[25usize, 35, 45, 55, 65, 75] {
+            let params =
+                PaperParams::default().with_microservices(s).with_requests(req);
+            let results = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig3b");
+                let inst = single_round_instance(&params, &mut rng);
+                let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+                let opt = offline_optimum_round(&inst).expect("feasible");
+                (outcome.social_cost.value(), outcome.total_payment.value(), opt)
+            });
+            rows.push(Fig3bRow {
+                microservices: s,
+                requests: req,
+                social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+                total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+                optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 4(a): per-winner payment vs actual price.
+// ---------------------------------------------------------------------
+
+/// One winning bid of Figure 4(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4aRow {
+    /// Winner index in selection order.
+    pub winner: usize,
+    /// The winner's asking price.
+    pub price: f64,
+    /// The critical-value payment it received.
+    pub payment: f64,
+}
+
+/// Runs Figure 4(a): a single default-parameter auction, reporting each
+/// winner's price next to its payment (individual rationality made
+/// visible).
+pub fn fig4a(seed: u64) -> Vec<Fig4aRow> {
+    let params = PaperParams::default();
+    let mut rng = derive_rng(seed, "fig4a");
+    let inst = single_round_instance(&params, &mut rng);
+    let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+    outcome
+        .winners
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Fig4aRow {
+            winner: i,
+            price: w.price.value(),
+            payment: w.payment.value(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4(b): SSAM running time.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 4(b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4bRow {
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Request volume per round.
+    pub requests: u64,
+    /// Mean wall-clock time of one SSAM run, in microseconds.
+    pub mean_runtime_us: f64,
+}
+
+/// Runs the Figure 4(b) timing sweep (the paper reports < 100 ms and
+/// roughly linear growth).
+pub fn fig4b(seeds: u64) -> Vec<Fig4bRow> {
+    let mut rows = Vec::new();
+    for &req in &[100u64, 200] {
+        for &s in &[25usize, 35, 45, 55, 65, 75] {
+            let params =
+                PaperParams::default().with_microservices(s).with_requests(req);
+            let times = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig4b");
+                let inst = single_round_instance(&params, &mut rng);
+                let start = Instant::now();
+                let _ = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+                start.elapsed().as_secs_f64() * 1e6
+            });
+            rows.push(Fig4bRow {
+                microservices: s,
+                requests: req,
+                mean_runtime_us: mean(&times),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 5(a): MSOA (+ variants) performance ratio.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 5(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5aRow {
+    /// Variant name (`MSOA`, `MSOA-DA`, `MSOA-RC`, `MSOA-OA`).
+    pub variant: String,
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Request volume per round.
+    pub requests: u64,
+    /// Mean online/offline ratio (offline solved on the *true* demand
+    /// stream with the original capacities).
+    pub mean_ratio: f64,
+    /// Mean count of rounds a variant failed to cover.
+    pub mean_infeasible_rounds: f64,
+}
+
+/// Runs the Figure 5(a) sweep over the four MSOA variants.
+pub fn fig5a(seeds: u64) -> Vec<Fig5aRow> {
+    let variants = [
+        MsoaVariant::Plain,
+        MsoaVariant::DemandAware,
+        MsoaVariant::RelaxedCapacity { factor: 2.0 },
+        MsoaVariant::Optimized { factor: 2.0 },
+    ];
+    let mut rows = Vec::new();
+    for &req in &[100u64, 200] {
+        for &s in &[25usize, 45, 65] {
+            let params = PaperParams::default().with_microservices(s).with_requests(req);
+            // One instance batch per seed, shared across variants so the
+            // comparison is paired.
+            let per_seed = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig5a");
+                let inst = multi_round_instance(&params, 0.25, &mut rng);
+                let offline = offline_value(&inst, false);
+                let mut per_variant = Vec::new();
+                for v in variants {
+                    let out = run_variant(&inst, &MsoaConfig::default(), v)
+                        .expect("valid instance");
+                    per_variant.push((
+                        v.to_string(),
+                        out.social_cost.value(),
+                        out.infeasible_rounds().len() as f64,
+                    ));
+                }
+                (offline, per_variant)
+            });
+            for (vi, v) in variants.iter().enumerate() {
+                let mut ratios = Vec::new();
+                let mut infeasible = Vec::new();
+                for (offline, per_variant) in &per_seed {
+                    if let Some(off) = offline {
+                        if *off > 1e-9 {
+                            ratios.push(per_variant[vi].1 / off);
+                        }
+                    }
+                    infeasible.push(per_variant[vi].2);
+                }
+                rows.push(Fig5aRow {
+                    variant: v.to_string(),
+                    microservices: s,
+                    requests: req,
+                    mean_ratio: mean(&ratios),
+                    mean_infeasible_rounds: mean(&infeasible),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(a): MSOA ratio vs rounds T and bids-per-seller J.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 6(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6aRow {
+    /// Number of auction rounds `T`.
+    pub rounds: u64,
+    /// Bids per seller `J`.
+    pub bids_per_seller: usize,
+    /// Mean online/offline ratio.
+    pub mean_ratio: f64,
+}
+
+/// Runs the Figure 6(a) sweep.
+pub fn fig6a(seeds: u64) -> Vec<Fig6aRow> {
+    let mut rows = Vec::new();
+    for &j in &[1usize, 2, 4] {
+        for &t in &[1u64, 3, 5, 7, 9, 11, 13, 15] {
+            let params =
+                PaperParams::default().with_rounds(t).with_bids_per_seller(j);
+            let ratios = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig6a");
+                let inst = multi_round_instance(&params, 0.25, &mut rng);
+                let out = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain)
+                    .expect("valid instance");
+                // Ratio against the estimated-demand stream MSOA served.
+                offline_value(&inst, true)
+                    .filter(|off| *off > 1e-9)
+                    .map(|off| out.social_cost.value() / off)
+            });
+            let ratios: Vec<f64> = ratios.into_iter().flatten().collect();
+            rows.push(Fig6aRow { rounds: t, bids_per_seller: j, mean_ratio: mean(&ratios) });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(b): MSOA social cost / payment / optimal vs |S| and requests.
+// ---------------------------------------------------------------------
+
+/// One point of Figure 6(b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6bRow {
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Request volume per round.
+    pub requests: u64,
+    /// Mean MSOA social cost over the horizon.
+    pub social_cost: f64,
+    /// Mean total payment over the horizon.
+    pub total_payment: f64,
+    /// Mean offline optimal (or lower bound).
+    pub optimal: f64,
+}
+
+/// Runs the Figure 6(b) sweep.
+pub fn fig6b(seeds: u64) -> Vec<Fig6bRow> {
+    let mut rows = Vec::new();
+    for &req in &[100u64, 200] {
+        for &s in &[25usize, 35, 45, 55, 65, 75] {
+            let params = PaperParams::default().with_microservices(s).with_requests(req);
+            let results = par_seeds(seeds, |seed| {
+                let mut rng = derive_rng(seed, "fig6b");
+                let inst = multi_round_instance(&params, 0.25, &mut rng);
+                let out = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain)
+                    .expect("valid instance");
+                let off = offline_value(&inst, true).unwrap_or(f64::NAN);
+                (out.social_cost.value(), out.total_payment.value(), off)
+            });
+            rows.push(Fig6bRow {
+                microservices: s,
+                requests: req,
+                social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+                total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+                optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Ablation: SSAM's greedy rule vs the baselines of §I.
+// ---------------------------------------------------------------------
+
+/// One point of the mechanism ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Number of microservices `|S|`.
+    pub microservices: usize,
+    /// Mean social cost (NaN when the mechanism failed to cover).
+    pub mean_social_cost: f64,
+    /// Mean payment made by the platform.
+    pub mean_payment: f64,
+    /// Fraction of runs in which the demand was fully covered.
+    pub coverage_rate: f64,
+}
+
+/// Compares SSAM against VCG (exact allocation, externality payments)
+/// and the fixed-price, random-selection, and total-price-greedy
+/// baselines (the DESIGN.md ablation of the marginal-contribution
+/// ranking rule). The posted price is set to 120% of the instance's
+/// mean unit ask — the "reasonable guess" a platform without an auction
+/// would make.
+pub fn ablation_mechanisms(seeds: u64) -> Vec<AblationRow> {
+    use edge_auction::baselines::{run_fixed_price, run_price_greedy, run_random_selection};
+    use edge_auction::vcg::run_vcg;
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        costs: Vec<f64>,
+        payments: Vec<f64>,
+        covered: usize,
+        runs: usize,
+    }
+
+    let mut rows = Vec::new();
+    for &s in &[15usize, 25, 50, 75] {
+        let params = PaperParams::default().with_microservices(s);
+        let per_seed = par_seeds(seeds, |seed| {
+            let mut rng = derive_rng(seed, "ablation");
+            let inst = single_round_instance(&params, &mut rng);
+            let mean_unit: f64 = inst.bids().map(edge_auction::bid::Bid::unit_price).sum::<f64>()
+                / inst.bids().count() as f64;
+
+            let ssam = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+            let vcg = run_vcg(&inst).expect("feasible");
+            let fixed = run_fixed_price(&inst, mean_unit * 1.2);
+            let random = run_random_selection(&inst, &mut rng);
+            let greedy = run_price_greedy(&inst);
+            [
+                Some((ssam.social_cost.value(), ssam.total_payment.value(), true)),
+                Some((vcg.social_cost.value(), vcg.total_payment.value(), true)),
+                Some((fixed.social_cost.value(), fixed.total_payment.value(), fixed.satisfied)),
+                random
+                    .ok()
+                    .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
+                greedy
+                    .ok()
+                    .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
+            ]
+        });
+
+        let names = ["SSAM", "VCG", "fixed-price", "random", "price-greedy"];
+        for (mi, name) in names.iter().enumerate() {
+            let mut acc = Acc::default();
+            for run in &per_seed {
+                acc.runs += 1;
+                if let Some((cost, pay, covered)) = run[mi] {
+                    if covered {
+                        acc.costs.push(cost);
+                        acc.payments.push(pay);
+                        acc.covered += 1;
+                    }
+                }
+            }
+            rows.push(AblationRow {
+                mechanism: (*name).to_owned(),
+                microservices: s,
+                mean_social_cost: mean(&acc.costs),
+                mean_payment: mean(&acc.payments),
+                coverage_rate: acc.covered as f64 / acc.runs as f64,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_shape_ratio_grows_with_s_and_j() {
+        let rows = fig3a(4);
+        assert_eq!(rows.len(), 10);
+        // Ratios are valid (>= 1) and certified.
+        for r in &rows {
+            assert!(r.mean_ratio >= 1.0 - 1e-9, "{r:?}");
+            assert!(r.mean_ratio <= r.mean_certified_pi + 1e-6, "{r:?}");
+        }
+        // J = 2 at S = 25 should be at least as hard as J = 1 at S = 5.
+        let small = rows
+            .iter()
+            .find(|r| r.microservices == 5 && r.bids_per_seller == 1)
+            .unwrap();
+        let large = rows
+            .iter()
+            .find(|r| r.microservices == 25 && r.bids_per_seller == 2)
+            .unwrap();
+        assert!(small.mean_ratio <= large.mean_ratio + 0.25,
+            "small {} vs large {}", small.mean_ratio, large.mean_ratio);
+    }
+
+    #[test]
+    fn fig3b_shape_orderings_hold() {
+        let rows = fig3b(4);
+        for r in &rows {
+            assert!(r.total_payment >= r.social_cost - 1e-9, "{r:?}");
+            assert!(r.social_cost >= r.optimal - 1e-9, "{r:?}");
+        }
+        // Higher request volume ⇒ higher social cost at equal S.
+        for s in [25usize, 45, 65] {
+            let lo = rows.iter().find(|r| r.microservices == s && r.requests == 100).unwrap();
+            let hi = rows.iter().find(|r| r.microservices == s && r.requests == 200).unwrap();
+            assert!(hi.social_cost > lo.social_cost, "S={s}");
+        }
+    }
+
+    #[test]
+    fn fig4a_individual_rationality_visible() {
+        let rows = fig4a(1);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.payment >= r.price - 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig4b_is_fast() {
+        let rows = fig4b(3);
+        // The paper's envelope is < 100 ms; release builds sit two
+        // orders of magnitude under it (see bench_output.txt). Debug
+        // test runs share the machine with the rest of the suite, so
+        // only the loose envelope is asserted there.
+        let envelope_us = if cfg!(debug_assertions) { 2_000_000.0 } else { 100_000.0 };
+        for r in &rows {
+            assert!(r.mean_runtime_us.is_finite() && r.mean_runtime_us > 0.0, "{r:?}");
+            assert!(r.mean_runtime_us < envelope_us, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig5a_demand_aware_never_worse() {
+        let rows = fig5a(3);
+        for s in [25usize] {
+            for req in [100u64] {
+                let plain = rows
+                    .iter()
+                    .find(|r| r.variant == "MSOA" && r.microservices == s && r.requests == req)
+                    .unwrap();
+                let da = rows
+                    .iter()
+                    .find(|r| r.variant == "MSOA-DA" && r.microservices == s && r.requests == req)
+                    .unwrap();
+                // DA estimates demand perfectly; with noisy estimates the
+                // plain variant pays for the error on average.
+                assert!(da.mean_ratio <= plain.mean_ratio * 1.25 + 0.3,
+                    "da {} vs plain {}", da.mean_ratio, plain.mean_ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn fig6a_covers_grid() {
+        let rows = fig6a(2);
+        assert_eq!(rows.len(), 3 * 8);
+        assert!(rows.iter().all(|r| r.mean_ratio.is_finite() && r.mean_ratio > 0.0));
+    }
+
+    #[test]
+    fn ablation_ssam_wins_on_cost_among_coverers() {
+        let rows = ablation_mechanisms(4);
+        for s in [15usize, 50] {
+            let get = |name: &str| {
+                rows.iter()
+                    .find(|r| r.mechanism == name && r.microservices == s)
+                    .unwrap()
+            };
+            let ssam = get("SSAM");
+            assert_eq!(ssam.coverage_rate, 1.0);
+            for other in ["random", "price-greedy"] {
+                let o = get(other);
+                if o.coverage_rate > 0.0 {
+                    assert!(
+                        ssam.mean_social_cost <= o.mean_social_cost + 1e-6,
+                        "S={s}: SSAM {} vs {other} {}",
+                        ssam.mean_social_cost,
+                        o.mean_social_cost
+                    );
+                }
+            }
+            // VCG allocates optimally: its cost lower-bounds SSAM's.
+            let vcg = get("VCG");
+            assert_eq!(vcg.coverage_rate, 1.0);
+            assert!(vcg.mean_social_cost <= ssam.mean_social_cost + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fig6b_orderings_hold() {
+        let rows = fig6b(2);
+        for r in &rows {
+            assert!(r.total_payment >= r.social_cost - 1e-9, "{r:?}");
+            assert!(r.social_cost >= r.optimal - 1e-6, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal fixed-width table rendering and JSON export for the figure
+//! runners.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A printable results table: header plus rows of formatted cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header width.
+    pub fn push<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Serializes rows as pretty JSON — every figure runner can dump its raw
+/// series next to the rendered table.
+pub fn to_json<T: Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).expect("rows are plain data")
+}
+
+/// Formats an f64 with three decimals (the precision the paper's plots
+/// can be read to).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["S", "ratio"]);
+        t.push(["5", "1.000"]);
+        t.push(["25", "1.234"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("ratio"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("1.234"));
+        // Right-aligned: the "5" row pads to the same width as "25".
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only one"]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            s: usize,
+            ratio: f64,
+        }
+        let json = to_json(&vec![Row { s: 5, ratio: 1.25 }]);
+        assert!(json.contains("1.25"));
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f3(2.0), "2.000");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.push(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Command implementations.
+//!
+//! Every command is a pure function from parsed arguments to a rendered
+//! `String` (plus optional file side effects), so the whole CLI is
+//! testable without spawning processes.
+
+use crate::args::{ArgsError, ParsedArgs};
+use edge_auction::msoa::{MsoaConfig, MultiRoundInstance};
+use edge_auction::properties::{
+    audit_truthfulness, check_critical_payments, check_individual_rationality,
+    check_monotonicity,
+};
+use edge_auction::ssam::{run_ssam, SsamConfig};
+use edge_auction::variants::{run_variant, MsoaVariant};
+use edge_auction::wsp::WspInstance;
+use edge_bench::scenario::{multi_round_instance, single_round_instance};
+use edge_common::rng::derive_rng;
+use edge_workload::params::PaperParams;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgsError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// File I/O problem.
+    Io(std::io::Error),
+    /// JSON (de)serialization problem.
+    Json(serde_json::Error),
+    /// The mechanism rejected the instance.
+    Auction(edge_auction::AuctionError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command '{c}'; try `edge-market help`")
+            }
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Auction(e) => write!(f, "auction error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+impl From<edge_auction::AuctionError> for CliError {
+    fn from(e: edge_auction::AuctionError) -> Self {
+        CliError::Auction(e)
+    }
+}
+
+/// Dispatches a parsed command line and returns the rendered output.
+///
+/// # Errors
+///
+/// Any [`CliError`]; the binary prints it to stderr and exits nonzero.
+pub fn run(args: ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" => Ok(help()),
+        "generate" => generate(&args),
+        "generate-round" => generate_round(&args),
+        "ssam" => ssam(&args),
+        "msoa" => msoa(&args),
+        "audit" => audit(&args),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+/// The help text.
+pub fn help() -> String {
+    "\
+edge-market — auction mechanisms for edge-cloud resource sharing
+
+USAGE:
+    edge-market <command> [--flag value]...
+
+COMMANDS:
+    generate        write a multi-round auction scenario as JSON
+                    [--seed N] [--microservices S] [--rounds T]
+                    [--bids J] [--requests R] [--noise F] --out FILE
+    generate-round  write a single-round (SSAM) instance as JSON
+                    [--seed N] [--microservices S] [--bids J] --out FILE
+    ssam            run the single-stage auction on an instance
+                    --input FILE [--reserve PRICE]
+    msoa            run the online auction on a multi-round scenario
+                    --input FILE [--variant plain|da|rc|oa]
+    audit           audit mechanism properties on an instance
+                    --input FILE [--reserve PRICE]
+    help            show this text
+"
+    .to_owned()
+}
+
+fn params_from(args: &ParsedArgs) -> Result<(PaperParams, u64), CliError> {
+    let seed = args.get_or("seed", 42u64)?;
+    let params = PaperParams::default()
+        .with_microservices(args.get_or("microservices", 25usize)?)
+        .with_rounds(args.get_or("rounds", 10u64)?)
+        .with_bids_per_seller(args.get_or("bids", 2usize)?)
+        .with_requests(args.get_or("requests", 100u64)?);
+    Ok((params, seed))
+}
+
+fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["seed", "microservices", "rounds", "bids", "requests", "noise", "out"])?;
+    let (params, seed) = params_from(args)?;
+    let noise = args.get_or("noise", 0.25f64)?;
+    let out = args.require("out")?;
+    let mut rng = derive_rng(seed, "cli-generate");
+    let instance = multi_round_instance(&params, noise, &mut rng);
+    fs::write(out, serde_json::to_string_pretty(&instance)?)?;
+    Ok(format!(
+        "wrote {} rounds × {} sellers to {out}\n",
+        instance.num_rounds(),
+        instance.sellers().len()
+    ))
+}
+
+fn generate_round(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["seed", "microservices", "bids", "requests", "out"])?;
+    let (params, seed) = params_from(args)?;
+    let out = args.require("out")?;
+    let mut rng = derive_rng(seed, "cli-generate-round");
+    let instance = single_round_instance(&params, &mut rng);
+    fs::write(out, serde_json::to_string_pretty(&instance)?)?;
+    Ok(format!(
+        "wrote single-round instance ({} sellers, demand {}) to {out}\n",
+        instance.num_sellers(),
+        instance.demand()
+    ))
+}
+
+fn ssam_config(args: &ParsedArgs) -> Result<SsamConfig, CliError> {
+    let reserve = match args.get("reserve") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            ArgsError::InvalidValue { flag: "reserve".into(), value: raw.to_owned() }
+        })?),
+    };
+    Ok(SsamConfig { reserve_unit_price: reserve })
+}
+
+fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["input", "reserve"])?;
+    let instance: WspInstance = serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
+    let outcome = run_ssam(&instance, &ssam_config(args)?)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "demand: {} units, winners: {}", outcome.demand, outcome.winners.len());
+    for w in &outcome.winners {
+        let _ = writeln!(
+            out,
+            "  {} bid#{}: {}u (counted {}) at {} → paid {}",
+            w.seller,
+            w.bid.index(),
+            w.amount_offered,
+            w.contribution,
+            w.price,
+            w.payment
+        );
+    }
+    let _ = writeln!(out, "social cost : {}", outcome.social_cost);
+    let _ = writeln!(out, "payments    : {}", outcome.total_payment);
+    let _ = writeln!(
+        out,
+        "certified π : {:.3} (dual objective {:.3})",
+        outcome.certificate.pi, outcome.certificate.dual_objective
+    );
+    Ok(out)
+}
+
+fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["input", "variant", "reserve"])?;
+    let instance: MultiRoundInstance =
+        serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
+    let variant = match args.get("variant").unwrap_or("plain") {
+        "plain" => MsoaVariant::Plain,
+        "da" => MsoaVariant::DemandAware,
+        "rc" => MsoaVariant::RelaxedCapacity { factor: 2.0 },
+        "oa" => MsoaVariant::Optimized { factor: 2.0 },
+        other => {
+            return Err(ArgsError::InvalidValue {
+                flag: "variant".into(),
+                value: other.to_owned(),
+            }
+            .into())
+        }
+    };
+    let config = MsoaConfig { ssam: ssam_config(args)?, alpha: None };
+    let outcome = run_variant(&instance, &config, variant)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "variant {variant}: {} rounds", outcome.rounds.len());
+    for r in &outcome.rounds {
+        let _ = writeln!(
+            out,
+            "  round {:>3}: demand {:>4}, winners {:>3}, cost {}, paid {}{}",
+            r.round,
+            r.demand,
+            r.winners.len(),
+            r.social_cost,
+            r.total_payment,
+            if r.infeasible { "  [uncovered]" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "social cost      : {}", outcome.social_cost);
+    let _ = writeln!(out, "payments         : {}", outcome.total_payment);
+    let _ = writeln!(
+        out,
+        "competitive bound: {:.3} (α {:.2}, β {:.2})",
+        outcome.competitive_bound, outcome.alpha, outcome.beta
+    );
+    Ok(out)
+}
+
+fn audit(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["input", "reserve"])?;
+    let instance: WspInstance = serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
+    let config = ssam_config(args)?;
+    let outcome = run_ssam(&instance, &config)?;
+    let deviations = [0.5, 0.8, 0.95, 1.05, 1.25, 2.0];
+    let violations = audit_truthfulness(&instance, &config, &deviations)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "individual rationality : {}", check_individual_rationality(&outcome));
+    let _ = writeln!(out, "selection monotonicity : {}", check_monotonicity(&instance, &config)?);
+    let _ = writeln!(
+        out,
+        "critical payments      : {}",
+        check_critical_payments(&instance, &config, 1e-6)?
+    );
+    let _ = writeln!(
+        out,
+        "truthfulness sweep     : {} violations in {} trials",
+        violations.len(),
+        instance.bids().count() * deviations.len()
+    );
+    for v in &violations {
+        let _ = writeln!(out, "  VIOLATION {v:?}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("edge-market-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help();
+        for cmd in ["generate", "generate-round", "ssam", "msoa", "audit"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = run(parsed(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_then_msoa_round_trips() {
+        let path = temp_path("multi.json");
+        let path_s = path.to_str().unwrap();
+        let out = run(parsed(&[
+            "generate",
+            "--seed",
+            "7",
+            "--microservices",
+            "8",
+            "--rounds",
+            "4",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("4 rounds"));
+        let out = run(parsed(&["msoa", "--input", path_s])).unwrap();
+        assert!(out.contains("social cost"), "{out}");
+        let out = run(parsed(&["msoa", "--input", path_s, "--variant", "da"])).unwrap();
+        assert!(out.contains("MSOA-DA"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn generate_round_then_ssam_and_audit() {
+        let path = temp_path("wsp.json");
+        let path_s = path.to_str().unwrap();
+        run(parsed(&[
+            "generate-round",
+            "--seed",
+            "3",
+            "--microservices",
+            "10",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        let out = run(parsed(&["ssam", "--input", path_s])).unwrap();
+        assert!(out.contains("social cost"), "{out}");
+        assert!(out.contains("certified π"));
+        let out = run(parsed(&["audit", "--input", path_s])).unwrap();
+        assert!(out.contains("individual rationality : true"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_variant_is_rejected() {
+        let path = temp_path("multi2.json");
+        let path_s = path.to_str().unwrap();
+        run(parsed(&["generate", "--seed", "1", "--rounds", "2", "--out", path_s])).unwrap();
+        let err = run(parsed(&["msoa", "--input", path_s, "--variant", "bogus"])).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = run(parsed(&["generate", "--frobnicate", "1", "--out", "x"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_input_file_is_io_error() {
+        let err = run(parsed(&["ssam", "--input", "/nonexistent/x.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

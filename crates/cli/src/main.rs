@@ -1,0 +1,19 @@
+//! `edge-market` binary entry point.
+
+use edge_market_cli::args::ParsedArgs;
+use edge_market_cli::commands::{help, run};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", help());
+        std::process::exit(2);
+    }
+    match ParsedArgs::parse(args).map_err(Into::into).and_then(run) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

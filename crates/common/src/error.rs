@@ -1,0 +1,59 @@
+//! Shared error types for validated constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a quantity newtype from an invalid
+/// floating-point value.
+///
+/// Both [`Price`](crate::units::Price) and
+/// [`Resource`](crate::units::Resource) require finite, non-negative
+/// values; anything else produces one of these variants.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::units::Price;
+/// use edge_common::error::QuantityError;
+///
+/// assert_eq!(Price::new(-1.0), Err(QuantityError::Negative(-1.0)));
+/// assert_eq!(Price::new(f64::NAN), Err(QuantityError::NotFinite));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantityError {
+    /// The value was NaN or infinite.
+    NotFinite,
+    /// The value was strictly negative.
+    Negative(f64),
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantityError::NotFinite => write!(f, "quantity must be a finite number"),
+            QuantityError::Negative(v) => write!(f, "quantity must be non-negative, got {v}"),
+        }
+    }
+}
+
+impl Error for QuantityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let not_finite = QuantityError::NotFinite.to_string();
+        let negative = QuantityError::Negative(-2.5).to_string();
+        assert!(not_finite.starts_with("quantity"));
+        assert!(!not_finite.ends_with('.'));
+        assert!(negative.contains("-2.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<QuantityError>();
+    }
+}

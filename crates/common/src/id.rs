@@ -1,0 +1,214 @@
+//! Strongly-typed identifiers.
+//!
+//! Each entity in the edge-market system gets its own id newtype so the
+//! compiler rejects, for example, indexing a microservice table with a
+//! [`UserId`]. All ids are thin wrappers around `usize` (entities are
+//! dense, array-indexed populations in the simulator) except [`Round`],
+//! which wraps a `u64` round counter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use edge_common::id::", stringify!($name), ";")]
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.index(), 7);
+            /// ```
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this id.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "#{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a microservice (seller or buyer in the auction).
+    MicroserviceId,
+    "ms"
+);
+define_id!(
+    /// Identifier of an edge cloud (a capacity-bounded server cluster).
+    EdgeCloudId,
+    "edge"
+);
+define_id!(
+    /// Identifier of an end user generating requests.
+    UserId,
+    "user"
+);
+define_id!(
+    /// Identifier of a bid within one seller's bid list for one round.
+    BidId,
+    "bid"
+);
+
+/// A round index in the time-slotted system of the paper (§II).
+///
+/// A time slot `T` is divided into rounds `1..=t`; [`Round`] is the global
+/// round counter. Rounds are ordered and support `next()` for advancing
+/// the simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::id::Round;
+/// let r = Round::new(4);
+/// assert_eq!(r.next(), Round::new(5));
+/// assert!(r < r.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from its index.
+    pub const fn new(index: u64) -> Self {
+        Round(index)
+    }
+
+    /// Returns the round index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the round after this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Round(self.0 + 1)
+    }
+
+    /// Returns `true` if this round lies in the inclusive window
+    /// `[start, end]` — the paper's availability window `[t_i^-, t_i^+]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edge_common::id::Round;
+    /// let r = Round::new(3);
+    /// assert!(r.within(Round::new(1), Round::new(5)));
+    /// assert!(!r.within(Round::new(4), Round::new(5)));
+    /// ```
+    pub fn within(self, start: Round, end: Round) -> bool {
+        start <= self && self <= end
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(index: u64) -> Self {
+        Round(index)
+    }
+}
+
+impl From<Round> for u64 {
+    fn from(round: Round) -> u64 {
+        round.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let id = MicroserviceId::new(42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(MicroserviceId::from(42usize), id);
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; here we only spot-check Display,
+        // which is how the distinction surfaces in logs.
+        assert_eq!(MicroserviceId::new(1).to_string(), "ms#1");
+        assert_eq!(EdgeCloudId::new(1).to_string(), "edge#1");
+        assert_eq!(UserId::new(1).to_string(), "user#1");
+        assert_eq!(BidId::new(1).to_string(), "bid#1");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(MicroserviceId::new(1) < MicroserviceId::new(2));
+        let mut v = vec![BidId::new(3), BidId::new(1), BidId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![BidId::new(1), BidId::new(2), BidId::new(3)]);
+    }
+
+    #[test]
+    fn round_advances_and_windows() {
+        let r = Round::ZERO;
+        assert_eq!(r.next().index(), 1);
+        assert!(Round::new(5).within(Round::new(5), Round::new(5)));
+        assert!(!Round::new(6).within(Round::new(1), Round::new(5)));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let id = MicroserviceId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: MicroserviceId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn round_serializes_transparently() {
+        let r = Round::new(11);
+        assert_eq!(serde_json::to_string(&r).unwrap(), "11");
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(MicroserviceId::new(0), "a");
+        m.insert(MicroserviceId::new(1), "b");
+        assert_eq!(m[&MicroserviceId::new(1)], "b");
+    }
+}

@@ -1,0 +1,319 @@
+//! Quantity newtypes: [`Price`] (money) and [`Resource`] (capacity units).
+//!
+//! Both wrap `f64` but are deliberately *not* interconvertible: a bid price
+//! and a resource amount live in different dimensions. Division of a
+//! [`Price`] by a [`Resource`] yields a bare `f64` unit price, which is the
+//! quantity SSAM's greedy rule ranks bids by.
+//!
+//! Values are validated at the boundary ([`Price::new`] /
+//! [`Resource::new`] reject NaN, infinities, and negatives) so the rest of
+//! the workspace can rely on totals being well-ordered.
+
+use crate::error::QuantityError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+fn validate(value: f64) -> Result<f64, QuantityError> {
+    if !value.is_finite() {
+        Err(QuantityError::NotFinite)
+    } else if value < 0.0 {
+        Err(QuantityError::Negative(value))
+    } else {
+        Ok(value)
+    }
+}
+
+macro_rules! quantity_impls {
+    ($name:ident, $unit_fmt:expr) => {
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a validated quantity.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`QuantityError::NotFinite`] for NaN/infinite input
+            /// and [`QuantityError::Negative`] for negative input.
+            pub fn new(value: f64) -> Result<Self, QuantityError> {
+                validate(value).map(Self)
+            }
+
+            /// Creates a quantity without validation.
+            ///
+            /// Prefer [`new`](Self::new); this exists for arithmetic-heavy
+            /// inner loops where inputs are already validated. Negative or
+            /// non-finite values will still be *stored* and can poison
+            /// comparisons downstream.
+            pub const fn new_unchecked(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if this quantity is exactly zero.
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the larger of two quantities (total order, NaN-free
+            /// by construction).
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 {
+                    self
+                } else {
+                    other
+                }
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 {
+                    self
+                } else {
+                    other
+                }
+            }
+
+            /// Saturating subtraction: returns zero instead of going
+            /// negative.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use edge_common::units::", stringify!($name), ";")]
+            #[doc = concat!("let a = ", stringify!($name), "::new(1.0).unwrap();")]
+            #[doc = concat!("let b = ", stringify!($name), "::new(3.0).unwrap();")]
+            #[doc = concat!("assert_eq!(a.saturating_sub(b), ", stringify!($name), "::ZERO);")]
+            /// ```
+            #[must_use]
+            pub fn saturating_sub(self, other: Self) -> Self {
+                Self((self.0 - other.0).max(0.0))
+            }
+
+            /// Total-order comparison suitable for `sort_by` /
+            /// `min_by`.
+            pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::ZERO
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, $unit_fmt, self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, Add::add)
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> $name {
+                iter.copied().sum()
+            }
+        }
+    };
+}
+
+/// A monetary amount (bid price, payment, cost) in abstract credits.
+///
+/// The paper draws bid prices from U\[10, 35\]; we keep the same abstract
+/// unit. Display renders as dollars for readability.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::units::Price;
+/// # fn main() -> Result<(), edge_common::QuantityError> {
+/// let a = Price::new(10.0)?;
+/// let b = Price::new(2.5)?;
+/// assert_eq!((a + b).value(), 12.5);
+/// assert_eq!((a - b).value(), 7.5);
+/// assert_eq!(format!("{a}"), "$10.00");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Price(f64);
+
+quantity_impls!(Price, "${:.2}");
+
+/// An amount of edge-cloud resources (abstract capacity units).
+///
+/// One unit corresponds to the paper's unit of `a_ij^t` — the amount of
+/// resource a seller offers in one bid — and of `X^t`, the demand target.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::units::Resource;
+/// # fn main() -> Result<(), edge_common::QuantityError> {
+/// let offered = Resource::new(7.0)?;
+/// let demand = Resource::new(10.0)?;
+/// assert_eq!(demand.saturating_sub(offered).value(), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Resource(f64);
+
+quantity_impls!(Resource, "{}u");
+
+impl Div<Resource> for Price {
+    type Output = f64;
+
+    /// Unit price: credits per resource unit. This is the key ranking
+    /// quantity in SSAM's greedy rule (`∇_ij / U_ij(E)`).
+    fn div(self, rhs: Resource) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Price::new(0.0).is_ok());
+        assert!(Price::new(10.5).is_ok());
+        assert_eq!(Price::new(-0.1), Err(QuantityError::Negative(-0.1)));
+        assert_eq!(Price::new(f64::INFINITY), Err(QuantityError::NotFinite));
+        assert_eq!(Resource::new(f64::NAN), Err(QuantityError::NotFinite));
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Price::new(3.0).unwrap();
+        let b = Price::new(1.5).unwrap();
+        assert_eq!((a + b).value(), 4.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((a * 2.0).value(), 6.0);
+        assert_eq!((a / 2.0).value(), 1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.value(), 4.5);
+        c -= b;
+        assert_eq!(c.value(), 3.0);
+    }
+
+    #[test]
+    fn unit_price_division() {
+        let p = Price::new(12.0).unwrap();
+        let r = Resource::new(4.0).unwrap();
+        assert_eq!(p / r, 3.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Price = (1..=4).map(|i| Price::new(i as f64).unwrap()).sum();
+        assert_eq!(total.value(), 10.0);
+        let refs = [Resource::new(1.0).unwrap(), Resource::new(2.0).unwrap()];
+        let total: Resource = refs.iter().sum();
+        assert_eq!(total.value(), 3.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Price::new(21.0).unwrap().to_string(), "$21.00");
+        assert_eq!(Resource::new(2.5).unwrap().to_string(), "2.5u");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Price::default(), Price::ZERO);
+        assert_eq!(Resource::default(), Resource::ZERO);
+        assert!(Resource::default().is_zero());
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let p = Price::new(10.25).unwrap();
+        assert_eq!(serde_json::to_string(&p).unwrap(), "10.25");
+        let back: Price = serde_json::from_str("10.25").unwrap();
+        assert_eq!(back, p);
+    }
+
+    proptest! {
+        #[test]
+        fn saturating_sub_never_negative(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+            let a = Resource::new(a).unwrap();
+            let b = Resource::new(b).unwrap();
+            prop_assert!(a.saturating_sub(b).value() >= 0.0);
+        }
+
+        #[test]
+        fn max_min_are_consistent(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+            let pa = Price::new(a).unwrap();
+            let pb = Price::new(b).unwrap();
+            prop_assert_eq!(pa.max(pb).value(), a.max(b));
+            prop_assert_eq!(pa.min(pb).value(), a.min(b));
+        }
+
+        #[test]
+        fn total_cmp_orders_like_f64(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+            let pa = Price::new(a).unwrap();
+            let pb = Price::new(b).unwrap();
+            prop_assert_eq!(pa.total_cmp(&pb), a.total_cmp(&b));
+        }
+    }
+}

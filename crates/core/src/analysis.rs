@@ -1,0 +1,167 @@
+//! Welfare accounting (Definition 4) and payment-overhead analysis.
+//!
+//! Definition 4: the social welfare is the aggregate utility of the
+//! platform and the microservices; since payments cancel between them,
+//! maximizing welfare is minimizing the social cost `Σ G·x`. This module
+//! turns an outcome into an explicit ledger — per-seller utilities, the
+//! platform's outlay, the welfare — and quantifies against [`crate::vcg`]
+//! what SSAM's polynomial running time costs in efficiency and
+//! overpayment.
+
+use crate::error::AuctionError;
+use crate::ssam::{run_ssam, SsamConfig, SsamOutcome};
+use crate::vcg::run_vcg;
+use crate::wsp::WspInstance;
+use edge_common::id::MicroserviceId;
+use serde::{Deserialize, Serialize};
+
+/// The Definition 4 ledger of one single-stage outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WelfareReport {
+    /// `Σ G·x` — the social cost the ILP minimizes.
+    pub social_cost: f64,
+    /// The platform's total outlay to sellers.
+    pub total_payment: f64,
+    /// Per-seller utilities `p_i − G_i` (always ≥ 0 by Theorem 5).
+    pub seller_utilities: Vec<(MicroserviceId, f64)>,
+    /// Aggregate seller surplus.
+    pub seller_surplus: f64,
+    /// Social welfare `−Σ G·x` (payments cancel, Definition 4).
+    pub social_welfare: f64,
+}
+
+/// Builds the welfare ledger of an SSAM outcome.
+pub fn welfare_report(outcome: &SsamOutcome) -> WelfareReport {
+    let seller_utilities: Vec<(MicroserviceId, f64)> = outcome
+        .winners
+        .iter()
+        .map(|w| (w.seller, w.payment.value() - w.price.value()))
+        .collect();
+    let seller_surplus = seller_utilities.iter().map(|(_, u)| u).sum();
+    let social_cost = outcome.social_cost.value();
+    WelfareReport {
+        social_cost,
+        total_payment: outcome.total_payment.value(),
+        seller_utilities,
+        seller_surplus,
+        social_welfare: -social_cost,
+    }
+}
+
+/// SSAM vs VCG on one instance: the price of polynomial time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverpaymentReport {
+    /// SSAM's (greedy) social cost.
+    pub ssam_cost: f64,
+    /// VCG's (optimal) social cost.
+    pub vcg_cost: f64,
+    /// `ssam_cost / vcg_cost` — the realized approximation ratio.
+    pub efficiency_ratio: f64,
+    /// SSAM's total payments.
+    pub ssam_payment: f64,
+    /// VCG's total externality payments.
+    pub vcg_payment: f64,
+    /// `ssam_payment / vcg_payment` (∞ if VCG pays nothing).
+    pub payment_ratio: f64,
+}
+
+/// Runs both mechanisms on the instance and compares.
+///
+/// # Errors
+///
+/// Propagates mechanism errors.
+pub fn compare_with_vcg(
+    instance: &WspInstance,
+    config: &SsamConfig,
+) -> Result<OverpaymentReport, AuctionError> {
+    let ssam = run_ssam(instance, config)?;
+    let vcg = run_vcg(instance)?;
+    let vcg_cost = vcg.social_cost.value();
+    let vcg_payment = vcg.total_payment.value();
+    Ok(OverpaymentReport {
+        ssam_cost: ssam.social_cost.value(),
+        vcg_cost,
+        efficiency_ratio: if vcg_cost > 0.0 {
+            ssam.social_cost.value() / vcg_cost
+        } else {
+            1.0
+        },
+        ssam_payment: ssam.total_payment.value(),
+        vcg_payment,
+        payment_ratio: if vcg_payment > 0.0 {
+            ssam.total_payment.value() / vcg_payment
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::Bid;
+    use edge_common::id::BidId;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn instance() -> WspInstance {
+        WspInstance::new(
+            5,
+            vec![
+                bid(0, 0, 3, 6.0),
+                bid(1, 0, 2, 3.0),
+                bid(2, 0, 4, 10.0),
+                bid(3, 0, 2, 8.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ledger_is_internally_consistent() {
+        let outcome = run_ssam(&instance(), &SsamConfig::default()).unwrap();
+        let report = welfare_report(&outcome);
+        assert_eq!(report.social_welfare, -report.social_cost);
+        let surplus: f64 = report.seller_utilities.iter().map(|(_, u)| u).sum();
+        assert!((surplus - report.seller_surplus).abs() < 1e-9);
+        assert!(
+            (report.total_payment - report.social_cost - report.seller_surplus).abs() < 1e-9,
+            "payments must equal cost plus surplus"
+        );
+        // Theorem 5 ⇒ non-negative utilities.
+        assert!(report.seller_utilities.iter().all(|(_, u)| *u >= -1e-9));
+    }
+
+    #[test]
+    fn vcg_comparison_bounds() {
+        let report = compare_with_vcg(&instance(), &SsamConfig::default()).unwrap();
+        assert!(report.efficiency_ratio >= 1.0 - 1e-9, "{report:?}");
+        assert!(report.ssam_cost >= report.vcg_cost - 1e-9);
+        assert!(report.vcg_payment >= report.vcg_cost - 1e-9, "VCG is IR");
+        assert!(report.payment_ratio.is_finite());
+    }
+
+    #[test]
+    fn randomized_comparison_keeps_efficiency_within_certificate() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..15u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(3..9);
+            let bids: Vec<Bid> = (0..n)
+                .map(|s| bid(s, 0, rng.gen_range(1..5), rng.gen_range(2..30) as f64))
+                .collect();
+            let supply: u64 = bids.iter().map(|b| b.amount).sum();
+            let inst = WspInstance::new(rng.gen_range(1..=supply), bids).unwrap();
+            let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+            let report = compare_with_vcg(&inst, &SsamConfig::default()).unwrap();
+            assert!(
+                report.efficiency_ratio <= outcome.certificate.pi + 1e-9,
+                "seed {seed}: ratio {} beyond certificate {}",
+                report.efficiency_ratio,
+                outcome.certificate.pi
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Baseline mechanisms the paper's introduction argues against, plus an
+//! ablation of SSAM's greedy rule.
+//!
+//! * [`run_fixed_price`] — the "pricing" alternative of §I: the platform
+//!   posts a flat unit price; sellers accept iff their unit cost is at or
+//!   below it; the platform buys in seller-id order (no optimization).
+//!   Under-pricing fails to cover; over-pricing overpays — exactly the
+//!   trial-and-error pathology the auction avoids.
+//! * [`run_random_selection`] — accepts random bids until covered; the
+//!   floor any reasonable mechanism must beat.
+//! * [`run_price_greedy`] — greedy on *total* price instead of price per
+//!   marginal unit: the ablation showing SSAM's ranking rule matters.
+
+use crate::bid::Bid;
+use crate::error::AuctionError;
+use crate::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a baseline mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// Accepted `(seller, bid, contribution)` triples in acceptance
+    /// order.
+    pub accepted: Vec<(MicroserviceId, BidId, u64)>,
+    /// Units covered (may fall short of the demand for fixed pricing).
+    pub covered: u64,
+    /// The demand that was targeted.
+    pub demand: u64,
+    /// Σ true prices of accepted bids.
+    pub social_cost: Price,
+    /// Σ payments made by the platform.
+    pub total_payment: Price,
+    /// `true` iff the demand was fully covered.
+    pub satisfied: bool,
+}
+
+fn finish(
+    accepted: Vec<(MicroserviceId, BidId, u64)>,
+    covered: u64,
+    demand: u64,
+    social_cost: Price,
+    total_payment: Price,
+) -> BaselineOutcome {
+    BaselineOutcome {
+        accepted,
+        covered,
+        demand,
+        social_cost,
+        total_payment,
+        satisfied: covered >= demand,
+    }
+}
+
+/// The posted-price baseline. Sellers whose cheapest-per-unit bid asks at
+/// most `unit_price` accept; the platform walks them in seller-id order
+/// and pays the *posted* price per contributed unit.
+///
+/// # Panics
+///
+/// Panics if `unit_price` is negative or not finite.
+pub fn run_fixed_price(instance: &WspInstance, unit_price: f64) -> BaselineOutcome {
+    assert!(unit_price.is_finite() && unit_price >= 0.0, "posted price must be a valid price");
+    let demand = instance.demand();
+    let mut covered = 0u64;
+    let mut accepted = Vec::new();
+    let mut social_cost = Price::ZERO;
+    let mut total_payment = Price::ZERO;
+
+    for group in instance.groups() {
+        if covered >= demand {
+            break;
+        }
+        // The seller accepts with its best (cheapest-per-unit) bid that
+        // clears the posted price.
+        let best: Option<&Bid> = group
+            .iter()
+            .filter(|b| b.unit_price() <= unit_price)
+            .min_by(|a, b| a.unit_price().total_cmp(&b.unit_price()));
+        if let Some(bid) = best {
+            let contribution = bid.amount.min(demand - covered);
+            covered += contribution;
+            social_cost += bid.price * (contribution as f64 / bid.amount as f64);
+            total_payment += Price::new_unchecked(unit_price * contribution as f64);
+            accepted.push((bid.seller, bid.id, contribution));
+        }
+    }
+    finish(accepted, covered, demand, social_cost, total_payment)
+}
+
+/// Random acceptance: shuffles all bids, accepts each bid whose seller
+/// has not sold yet, until the demand is covered. Pays each accepted bid
+/// its asking price.
+pub fn run_random_selection<R: Rng + ?Sized>(
+    instance: &WspInstance,
+    rng: &mut R,
+) -> Result<BaselineOutcome, AuctionError> {
+    let demand = instance.demand();
+    let mut bids: Vec<&Bid> = instance.bids().collect();
+    bids.shuffle(rng);
+    let mut used: Vec<MicroserviceId> = Vec::new();
+    let mut covered = 0u64;
+    let mut accepted = Vec::new();
+    let mut social_cost = Price::ZERO;
+    for bid in bids {
+        if covered >= demand {
+            break;
+        }
+        if used.contains(&bid.seller) {
+            continue;
+        }
+        used.push(bid.seller);
+        let contribution = bid.amount.min(demand - covered);
+        covered += contribution;
+        social_cost += bid.price;
+        accepted.push((bid.seller, bid.id, contribution));
+    }
+    if covered < demand {
+        return Err(AuctionError::InfeasibleDemand { demand, supply: covered });
+    }
+    Ok(finish(accepted, covered, demand, social_cost, social_cost))
+}
+
+/// Ablation: greedy on total price, ignoring how much each bid actually
+/// contributes. Pays asking prices.
+pub fn run_price_greedy(instance: &WspInstance) -> Result<BaselineOutcome, AuctionError> {
+    let demand = instance.demand();
+    let mut bids: Vec<&Bid> = instance.bids().collect();
+    bids.sort_by(|a, b| {
+        a.price
+            .total_cmp(&b.price)
+            .then(a.seller.cmp(&b.seller))
+            .then(a.id.cmp(&b.id))
+    });
+    let mut used: Vec<MicroserviceId> = Vec::new();
+    let mut covered = 0u64;
+    let mut accepted = Vec::new();
+    let mut social_cost = Price::ZERO;
+    for bid in bids {
+        if covered >= demand {
+            break;
+        }
+        if used.contains(&bid.seller) {
+            continue;
+        }
+        used.push(bid.seller);
+        let contribution = bid.amount.min(demand - covered);
+        covered += contribution;
+        social_cost += bid.price;
+        accepted.push((bid.seller, bid.id, contribution));
+    }
+    if covered < demand {
+        return Err(AuctionError::InfeasibleDemand { demand, supply: covered });
+    }
+    Ok(finish(accepted, covered, demand, social_cost, social_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssam::{run_ssam, SsamConfig};
+    use edge_common::rng::seeded_rng;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn instance() -> WspInstance {
+        WspInstance::new(
+            5,
+            vec![
+                bid(0, 0, 2, 8.0),  // $4/u
+                bid(0, 1, 3, 6.0),  // $2/u
+                bid(1, 0, 2, 3.0),  // $1.5/u
+                bid(2, 0, 4, 10.0), // $2.5/u
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_price_underpricing_fails_to_cover() {
+        let out = run_fixed_price(&instance(), 1.0);
+        assert!(!out.satisfied);
+        assert_eq!(out.covered, 0);
+    }
+
+    #[test]
+    fn fixed_price_overpricing_overpays() {
+        let out = run_fixed_price(&instance(), 10.0);
+        assert!(out.satisfied);
+        // Pays $10/unit for 5 units = $50 — far above the auction.
+        assert!((out.total_payment.value() - 50.0).abs() < 1e-9);
+        let ssam = run_ssam(&instance(), &SsamConfig::default()).unwrap();
+        assert!(ssam.total_payment < out.total_payment);
+    }
+
+    #[test]
+    fn fixed_price_moderate_covers_at_posted_price() {
+        let out = run_fixed_price(&instance(), 2.0);
+        // Accepting sellers: 0 (bid1 @$2/u) and 1 (@$1.5/u): 3 + 2 = 5.
+        assert!(out.satisfied);
+        assert_eq!(out.covered, 5);
+        assert!((out.total_payment.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_selection_covers_or_errors() {
+        let mut rng = seeded_rng(55);
+        for _ in 0..20 {
+            let out = run_random_selection(&instance(), &mut rng).unwrap();
+            assert!(out.satisfied);
+            assert_eq!(out.covered, 5);
+            // At most one bid per seller.
+            let mut sellers: Vec<_> = out.accepted.iter().map(|(s, _, _)| *s).collect();
+            sellers.sort();
+            sellers.dedup();
+            assert_eq!(sellers.len(), out.accepted.len());
+        }
+    }
+
+    #[test]
+    fn random_is_no_cheaper_than_ssam_on_average() {
+        let mut rng = seeded_rng(56);
+        let ssam = run_ssam(&instance(), &SsamConfig::default()).unwrap();
+        let n = 200;
+        let avg: f64 = (0..n)
+            .map(|_| run_random_selection(&instance(), &mut rng).unwrap().social_cost.value())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            ssam.social_cost.value() <= avg + 1e-9,
+            "ssam {} vs random avg {avg}",
+            ssam.social_cost.value()
+        );
+    }
+
+    #[test]
+    fn price_greedy_is_fooled_by_small_cheap_bids() {
+        // A tiny $1 bid looks attractive to total-price greedy but
+        // contributes little; SSAM ranks by unit price instead.
+        let inst = WspInstance::new(
+            4,
+            vec![
+                bid(0, 0, 1, 1.0), // cheapest total, worst leverage
+                bid(1, 0, 4, 6.0), // $1.5/u, covers everything
+                bid(2, 0, 2, 5.0),
+            ],
+        )
+        .unwrap();
+        let greedy = run_price_greedy(&inst).unwrap();
+        let ssam = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        assert!(ssam.social_cost <= greedy.social_cost);
+        // SSAM: $1 bid (1u at $1/u) then the $6 bid covering the rest.
+        assert_eq!(ssam.social_cost.value(), 7.0);
+        assert_eq!(greedy.social_cost.value(), 12.0);
+    }
+
+    #[test]
+    fn price_greedy_respects_one_bid_per_seller() {
+        let out = run_price_greedy(&instance()).unwrap();
+        let mut sellers: Vec<_> = out.accepted.iter().map(|(s, _, _)| *s).collect();
+        sellers.sort();
+        sellers.dedup();
+        assert_eq!(sellers.len(), out.accepted.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "posted price")]
+    fn fixed_price_rejects_nan() {
+        run_fixed_price(&instance(), f64::NAN);
+    }
+}

@@ -1,0 +1,132 @@
+//! Bids and sellers — the market's vocabulary.
+//!
+//! In the paper's reverse auction a *seller* is a microservice willing to
+//! yield occupied resources; at each round it may submit up to `J`
+//! alternative [`Bid`]s, each an (amount, price) pair: "I will give up
+//! `amount` resource units for `price` credits this round". At most one
+//! bid per seller can win per round (constraint (9)); a seller's total
+//! yielded units across rounds are capped by its capacity `Θ_i`
+//! (constraint (11)); and it only participates inside its availability
+//! window `[t⁻, t⁺]`.
+
+use crate::error::AuctionError;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+
+/// One alternative bid of one seller for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// The selling microservice.
+    pub seller: MicroserviceId,
+    /// Index of this bid within the seller's alternatives (`j`).
+    pub id: BidId,
+    /// Resource units offered (`a_ij^t`), on the integer grid.
+    pub amount: u64,
+    /// Asking price for the full amount (`J_ij^t`).
+    pub price: Price,
+}
+
+impl Bid {
+    /// Creates a validated bid.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuctionError::ZeroAmountBid`] if `amount == 0`.
+    /// * [`AuctionError::InvalidPrice`] if `price` is negative or not
+    ///   finite.
+    pub fn new(
+        seller: MicroserviceId,
+        id: BidId,
+        amount: u64,
+        price: f64,
+    ) -> Result<Self, AuctionError> {
+        if amount == 0 {
+            return Err(AuctionError::ZeroAmountBid);
+        }
+        let price = Price::new(price).map_err(|_| AuctionError::InvalidPrice(price))?;
+        Ok(Bid { seller, id, amount, price })
+    }
+
+    /// Price per resource unit — the quantity SSAM ranks by when the
+    /// whole amount contributes.
+    pub fn unit_price(&self) -> f64 {
+        self.price.value() / self.amount as f64
+    }
+}
+
+/// A seller's standing parameters across the whole horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Seller {
+    /// The microservice acting as seller.
+    pub id: MicroserviceId,
+    /// Long-run capacity `Θ_i`: total units this seller may yield across
+    /// all rounds (constraint (11)).
+    pub capacity: u64,
+    /// Availability window `[t⁻, t⁺]` (inclusive round indices).
+    pub window: (u64, u64),
+}
+
+impl Seller {
+    /// Creates a validated seller profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidWindow`] if the window is inverted.
+    pub fn new(
+        id: MicroserviceId,
+        capacity: u64,
+        window: (u64, u64),
+    ) -> Result<Self, AuctionError> {
+        if window.0 > window.1 {
+            return Err(AuctionError::InvalidWindow { start: window.0, end: window.1 });
+        }
+        Ok(Seller { id, capacity, window })
+    }
+
+    /// Whether the seller participates in round `t`.
+    pub fn available_at(&self, t: u64) -> bool {
+        self.window.0 <= t && t <= self.window.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bid_validation() {
+        assert_eq!(
+            Bid::new(MicroserviceId::new(0), BidId::new(0), 0, 5.0),
+            Err(AuctionError::ZeroAmountBid)
+        );
+        assert_eq!(
+            Bid::new(MicroserviceId::new(0), BidId::new(0), 2, -1.0),
+            Err(AuctionError::InvalidPrice(-1.0))
+        );
+        assert!(Bid::new(MicroserviceId::new(0), BidId::new(0), 2, f64::NAN).is_err());
+        let b = Bid::new(MicroserviceId::new(0), BidId::new(1), 4, 10.0).unwrap();
+        assert_eq!(b.unit_price(), 2.5);
+    }
+
+    #[test]
+    fn seller_window() {
+        let s = Seller::new(MicroserviceId::new(1), 20, (2, 5)).unwrap();
+        assert!(!s.available_at(1));
+        assert!(s.available_at(2));
+        assert!(s.available_at(5));
+        assert!(!s.available_at(6));
+        assert_eq!(
+            Seller::new(MicroserviceId::new(1), 20, (5, 2)),
+            Err(AuctionError::InvalidWindow { start: 5, end: 2 })
+        );
+    }
+
+    #[test]
+    fn bid_serde_round_trip() {
+        let b = Bid::new(MicroserviceId::new(3), BidId::new(1), 7, 21.5).unwrap();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Bid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,218 @@
+//! Budget-limited auctions.
+//!
+//! §IV of the paper: "This process continues until either the total
+//! budget 𝒲 is depleted or the last microservice has been processed."
+//! This module wraps SSAM with that depletion rule: winners are accepted
+//! in greedy order while the *cumulative payment* fits the platform's
+//! budget; the first winner that would overshoot is dropped along with
+//! everything after it.
+//!
+//! Budget-feasibility interacts with incentives: with a hard budget the
+//! exact-threshold payments of [`crate::ssam`] are no longer fully
+//! truthful (a classic result — budget-feasible reverse auctions need
+//! proportional-share payment rules, cf. Singer 2010). We implement the
+//! paper's simple depletion semantics and expose how much demand was
+//! left uncovered so callers can reason about the trade-off; the
+//! property suite documents (rather than hides) the truthfulness caveat.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_auction::bid::Bid;
+//! use edge_auction::budget::{run_budgeted_ssam, BudgetedOutcome};
+//! use edge_auction::ssam::SsamConfig;
+//! use edge_auction::wsp::WspInstance;
+//! use edge_common::id::{BidId, MicroserviceId};
+//! use edge_common::units::Price;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bids = vec![
+//!     Bid::new(MicroserviceId::new(0), BidId::new(0), 2, 4.0)?,
+//!     Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 6.0)?,
+//! ];
+//! let inst = WspInstance::new(4, bids)?;
+//! // A budget of $7 affords the first winner's payment but not both.
+//! let out = run_budgeted_ssam(&inst, &SsamConfig::default(), Price::new(7.0)?)?;
+//! assert!(out.budget_exhausted);
+//! assert!(out.covered < 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::AuctionError;
+use crate::ssam::{run_ssam, SsamConfig, WinningBid};
+use crate::wsp::WspInstance;
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a budget-limited single-stage auction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedOutcome {
+    /// Winners accepted within the budget, in greedy order.
+    pub winners: Vec<WinningBid>,
+    /// Units covered by the accepted winners.
+    pub covered: u64,
+    /// The demand that was targeted.
+    pub demand: u64,
+    /// Σ accepted prices.
+    pub social_cost: Price,
+    /// Σ accepted payments (≤ budget).
+    pub total_payment: Price,
+    /// The budget that was available.
+    pub budget: Price,
+    /// `true` iff at least one would-be winner was dropped for budget
+    /// reasons.
+    pub budget_exhausted: bool,
+}
+
+impl BudgetedOutcome {
+    /// `true` iff the full demand was covered within the budget.
+    pub fn satisfied(&self) -> bool {
+        self.covered >= self.demand
+    }
+
+    /// Budget remaining after payments.
+    pub fn remaining_budget(&self) -> Price {
+        self.budget.saturating_sub(self.total_payment)
+    }
+}
+
+/// Runs SSAM, then applies §IV's budget-depletion rule: accept winners
+/// in selection order while the cumulative payment fits `budget`.
+///
+/// # Errors
+///
+/// Propagates [`run_ssam`] errors (infeasible demand under the reserve
+/// filter).
+pub fn run_budgeted_ssam(
+    instance: &WspInstance,
+    config: &SsamConfig,
+    budget: Price,
+) -> Result<BudgetedOutcome, AuctionError> {
+    let unlimited = run_ssam(instance, config)?;
+    let mut winners = Vec::new();
+    let mut total_payment = Price::ZERO;
+    let mut covered = 0u64;
+    let mut budget_exhausted = false;
+    for w in unlimited.winners {
+        if (total_payment + w.payment).value() > budget.value() + 1e-9 {
+            budget_exhausted = true;
+            break;
+        }
+        total_payment += w.payment;
+        covered += w.contribution;
+        winners.push(w);
+    }
+    let social_cost: Price = winners.iter().map(|w| w.price).sum();
+    Ok(BudgetedOutcome {
+        winners,
+        covered,
+        demand: instance.demand(),
+        social_cost,
+        total_payment,
+        budget,
+        budget_exhausted,
+    })
+}
+
+/// The smallest budget that covers the full demand under the current
+/// payment rule — useful for provisioning the platform's §IV budget 𝒲.
+///
+/// # Errors
+///
+/// Propagates [`run_ssam`] errors.
+pub fn required_budget(
+    instance: &WspInstance,
+    config: &SsamConfig,
+) -> Result<Price, AuctionError> {
+    Ok(run_ssam(instance, config)?.total_payment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::Bid;
+    use edge_common::id::{BidId, MicroserviceId};
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn instance() -> WspInstance {
+        WspInstance::new(
+            6,
+            vec![
+                bid(0, 0, 2, 4.0),
+                bid(1, 0, 2, 6.0),
+                bid(2, 0, 2, 8.0),
+                bid(3, 0, 2, 10.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ample_budget_changes_nothing() {
+        let need = required_budget(&instance(), &SsamConfig::default()).unwrap();
+        let out = run_budgeted_ssam(&instance(), &SsamConfig::default(), need).unwrap();
+        assert!(out.satisfied());
+        assert!(!out.budget_exhausted);
+        assert_eq!(out.total_payment, need);
+        assert_eq!(out.remaining_budget(), edge_common::units::Price::ZERO);
+    }
+
+    #[test]
+    fn tight_budget_truncates_in_greedy_order() {
+        let need = required_budget(&instance(), &SsamConfig::default()).unwrap();
+        let out = run_budgeted_ssam(
+            &instance(),
+            &SsamConfig::default(),
+            Price::new(need.value() * 0.5).unwrap(),
+        )
+        .unwrap();
+        assert!(out.budget_exhausted);
+        assert!(!out.satisfied());
+        assert!(out.total_payment.value() <= need.value() * 0.5 + 1e-9);
+        // The cheapest (first-selected) winners survive.
+        if let Some(first) = out.winners.first() {
+            assert_eq!(first.seller, MicroserviceId::new(0));
+        }
+    }
+
+    #[test]
+    fn zero_budget_buys_nothing() {
+        let out =
+            run_budgeted_ssam(&instance(), &SsamConfig::default(), Price::ZERO).unwrap();
+        assert!(out.winners.is_empty());
+        assert_eq!(out.covered, 0);
+        assert!(out.budget_exhausted);
+    }
+
+    #[test]
+    fn payments_never_exceed_budget() {
+        for cents in [0u64, 5, 10, 20, 40, 80] {
+            let budget = Price::new(cents as f64).unwrap();
+            let out = run_budgeted_ssam(&instance(), &SsamConfig::default(), budget).unwrap();
+            assert!(
+                out.total_payment.value() <= budget.value() + 1e-9,
+                "budget {budget} exceeded: {}",
+                out.total_payment
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_budget() {
+        let mut last = 0;
+        for b in [0.0, 5.0, 10.0, 20.0, 40.0, 100.0] {
+            let out = run_budgeted_ssam(
+                &instance(),
+                &SsamConfig::default(),
+                Price::new(b).unwrap(),
+            )
+            .unwrap();
+            assert!(out.covered >= last, "coverage dropped as budget rose");
+            last = out.covered;
+        }
+    }
+}

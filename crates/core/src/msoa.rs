@@ -1,0 +1,515 @@
+//! MSOA — the Multi-Stage Online Auction (Algorithm 2).
+//!
+//! MSOA ties a series of single-stage auctions into an online mechanism
+//! that never looks at future rounds. The key idea is a per-seller dual
+//! variable `ψ_i` that *augments* the seller's bid price as its remaining
+//! long-run capacity `Θ_i` depletes:
+//!
+//! * a bid is **excluded** once `χ_i + a_ij > Θ_i` (the seller has sold
+//!   too much already — constraint (11), Alg. 2 line 5);
+//! * otherwise its **scaled price** is `∇_ij = J_ij + a_ij · ψ_i^{t−1}`
+//!   (line 8), so sellers close to depletion look expensive and are
+//!   saved for rounds where they are truly needed;
+//! * after each win, `ψ_i ← ψ_i(1 + a/(α·Θ_i)) + J·a/(α·Θ_i²)`
+//!   (line 11), a multiplicative-update familiar from online primal-dual
+//!   covering.
+//!
+//! Theorem 7 gives the competitive ratio `α·β/(β−1)` against the offline
+//! optimum, with `α` the single-stage approximation factor and
+//! `β = min_i Θ_i / a_ij > 1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_auction::bid::{Bid, Seller};
+//! use edge_auction::msoa::{run_msoa, MsoaConfig, MultiRoundInstance, RoundInput};
+//! use edge_common::id::{BidId, MicroserviceId};
+//!
+//! # fn main() -> Result<(), edge_auction::AuctionError> {
+//! let sellers = vec![
+//!     Seller::new(MicroserviceId::new(0), 10, (0, 1))?,
+//!     Seller::new(MicroserviceId::new(1), 10, (0, 1))?,
+//! ];
+//! let round = |price0: f64, price1: f64| -> Result<RoundInput, edge_auction::AuctionError> {
+//!     Ok(RoundInput::new(3, 3, vec![
+//!         Bid::new(MicroserviceId::new(0), BidId::new(0), 2, price0)?,
+//!         Bid::new(MicroserviceId::new(1), BidId::new(0), 2, price1)?,
+//!     ]))
+//! };
+//! let instance = MultiRoundInstance::new(sellers, vec![round(4.0, 6.0)?, round(4.0, 6.0)?])?;
+//! let outcome = run_msoa(&instance, &MsoaConfig::default())?;
+//! assert_eq!(outcome.rounds.len(), 2);
+//! assert!(outcome.competitive_bound.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bid::{Bid, Seller};
+use crate::error::AuctionError;
+use crate::ssam::{run_ssam, SsamConfig};
+use crate::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One round's market input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundInput {
+    /// The demand the platform *estimates* and auctions for (`X^t` from
+    /// the §III estimator).
+    pub estimated_demand: u64,
+    /// The ground-truth demand (used by the MSOA-DA variant and for
+    /// accounting).
+    pub true_demand: u64,
+    /// Bids submitted this round, with **true** prices `J_ij^t`.
+    pub bids: Vec<Bid>,
+}
+
+impl RoundInput {
+    /// Creates a round input.
+    pub fn new(estimated_demand: u64, true_demand: u64, bids: Vec<Bid>) -> Self {
+        RoundInput { estimated_demand, true_demand, bids }
+    }
+}
+
+/// A validated multi-round instance: the seller table plus per-round
+/// inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRoundInstance {
+    sellers: Vec<Seller>,
+    rounds: Vec<RoundInput>,
+}
+
+impl MultiRoundInstance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuctionError::EmptyInstance`] — no rounds.
+    /// * [`AuctionError::UnknownSeller`] — a bid references a seller not
+    ///   in the table.
+    pub fn new(sellers: Vec<Seller>, rounds: Vec<RoundInput>) -> Result<Self, AuctionError> {
+        if rounds.is_empty() {
+            return Err(AuctionError::EmptyInstance);
+        }
+        for round in &rounds {
+            for bid in &round.bids {
+                if !sellers.iter().any(|s| s.id == bid.seller) {
+                    return Err(AuctionError::UnknownSeller(bid.seller.index()));
+                }
+            }
+        }
+        Ok(MultiRoundInstance { sellers, rounds })
+    }
+
+    /// The seller table.
+    pub fn sellers(&self) -> &[Seller] {
+        &self.sellers
+    }
+
+    /// The per-round inputs.
+    pub fn rounds(&self) -> &[RoundInput] {
+        &self.rounds
+    }
+
+    /// Number of rounds `T`.
+    pub fn num_rounds(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// `β = min_i Θ_i / a_ij` over every bid in the instance
+    /// (`f64::INFINITY` when no bids exist).
+    pub fn beta(&self) -> f64 {
+        let caps: BTreeMap<MicroserviceId, u64> =
+            self.sellers.iter().map(|s| (s.id, s.capacity)).collect();
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.bids)
+            .map(|b| caps[&b.seller] as f64 / b.amount as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A conservative single-stage approximation factor `α` derived from
+    /// the instance: the harmonic number of the largest round demand
+    /// times the global unit-price spread of submitted bids.
+    pub fn derive_alpha(&self) -> f64 {
+        let max_demand = self.rounds.iter().map(|r| r.estimated_demand).max().unwrap_or(0);
+        let harmonic: f64 = (1..=max_demand).map(|k| 1.0 / k as f64).sum();
+        let unit_prices: Vec<f64> =
+            self.rounds.iter().flat_map(|r| &r.bids).map(Bid::unit_price).collect();
+        let spread = match (
+            unit_prices.iter().copied().fold(f64::INFINITY, f64::min),
+            unit_prices.iter().copied().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min > 0.0 && max.is_finite() => max / min,
+            _ => 1.0,
+        };
+        (harmonic * spread).max(1.0)
+    }
+}
+
+/// Configuration of the online mechanism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MsoaConfig {
+    /// Single-stage auction settings.
+    pub ssam: SsamConfig,
+    /// The `α` used in the ψ update. `None` derives it from the instance
+    /// via [`MultiRoundInstance::derive_alpha`].
+    pub alpha: Option<f64>,
+}
+
+/// A winner in one MSOA round, carrying both the true and the scaled
+/// price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MsoaWinner {
+    /// The selling microservice.
+    pub seller: MicroserviceId,
+    /// Which alternative bid won.
+    pub bid: BidId,
+    /// Units offered by the bid (counted against capacity).
+    pub amount: u64,
+    /// Units credited toward this round's demand.
+    pub contribution: u64,
+    /// The true price `J_ij^t` (enters the social cost).
+    pub true_price: Price,
+    /// The ψ-scaled price `∇_ij^t` SSAM selected on.
+    pub scaled_price: Price,
+    /// The critical-value payment (computed on scaled prices, which are
+    /// what the platform sees — §IV-E).
+    pub payment: Price,
+}
+
+/// One round's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundResult {
+    /// Round index `t`.
+    pub round: u64,
+    /// The demand that was auctioned.
+    pub demand: u64,
+    /// Winners of this round.
+    pub winners: Vec<MsoaWinner>,
+    /// Σ true prices of this round's winners.
+    pub social_cost: Price,
+    /// Σ payments of this round.
+    pub total_payment: Price,
+    /// `true` when this round's demand could not be covered with the
+    /// available (window- and capacity-feasible) bids, in which case no
+    /// winners were selected.
+    pub infeasible: bool,
+}
+
+/// The full outcome of an MSOA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsoaOutcome {
+    /// Per-round results, in order.
+    pub rounds: Vec<RoundResult>,
+    /// Σ true prices over all rounds — the online social cost `μ`.
+    pub social_cost: Price,
+    /// Σ payments over all rounds.
+    pub total_payment: Price,
+    /// Final ψ_i per seller (instance seller-table order).
+    pub psi: Vec<f64>,
+    /// Units yielded per seller (χ_i, seller-table order).
+    pub chi: Vec<u64>,
+    /// The α used in ψ updates.
+    pub alpha: f64,
+    /// The instance's β.
+    pub beta: f64,
+    /// Theorem 7's competitive bound `α·β/(β−1)` (infinite when β ≤ 1).
+    pub competitive_bound: f64,
+}
+
+impl MsoaOutcome {
+    /// Round indices that could not be covered.
+    pub fn infeasible_rounds(&self) -> Vec<u64> {
+        self.rounds.iter().filter(|r| r.infeasible).map(|r| r.round).collect()
+    }
+}
+
+/// Runs Algorithm 2.
+///
+/// Rounds whose demand cannot be covered by the feasible bids are
+/// recorded as infeasible and skipped (the platform simply fails to
+/// reclaim resources that round); all other rounds run a full SSAM on
+/// ψ-scaled prices.
+///
+/// # Errors
+///
+/// Currently infallible for a validated instance, but kept fallible for
+/// forward compatibility with stricter configs.
+pub fn run_msoa(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+) -> Result<MsoaOutcome, AuctionError> {
+    let sellers = instance.sellers();
+    let alpha = config.alpha.unwrap_or_else(|| instance.derive_alpha());
+    let beta = instance.beta();
+
+    let index_of: BTreeMap<MicroserviceId, usize> =
+        sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut psi = vec![0.0f64; sellers.len()];
+    let mut chi = vec![0u64; sellers.len()];
+
+    let mut rounds = Vec::with_capacity(instance.rounds().len());
+    for (t, input) in instance.rounds().iter().enumerate() {
+        let t = t as u64;
+        // Candidate filter: availability window and remaining capacity
+        // (Alg. 2 lines 5–6); price scaling (line 8).
+        let mut scaled_bids = Vec::new();
+        let mut originals: BTreeMap<(MicroserviceId, BidId), &Bid> = BTreeMap::new();
+        for bid in &input.bids {
+            let si = index_of[&bid.seller];
+            if !sellers[si].available_at(t) {
+                continue;
+            }
+            if chi[si] + bid.amount > sellers[si].capacity {
+                continue;
+            }
+            let scaled = Price::new_unchecked(
+                bid.price.value() + bid.amount as f64 * psi[si],
+            );
+            scaled_bids.push(Bid { seller: bid.seller, id: bid.id, amount: bid.amount, price: scaled });
+            originals.insert((bid.seller, bid.id), bid);
+        }
+
+        let demand = input.estimated_demand;
+        let ssam_input = WspInstance::new(demand, scaled_bids);
+        let outcome = match ssam_input {
+            Ok(inst) => match run_ssam(&inst, &config.ssam) {
+                Ok(o) => Some(o),
+                Err(AuctionError::InfeasibleDemand { .. }) => None,
+                Err(e) => return Err(e),
+            },
+            Err(AuctionError::InfeasibleDemand { .. }) => None,
+            Err(e) => return Err(e),
+        };
+
+        let result = match outcome {
+            None => RoundResult {
+                round: t,
+                demand,
+                winners: Vec::new(),
+                social_cost: Price::ZERO,
+                total_payment: Price::ZERO,
+                infeasible: demand > 0,
+            },
+            Some(o) => {
+                let mut winners = Vec::with_capacity(o.winners.len());
+                for w in &o.winners {
+                    let original = originals[&(w.seller, w.bid)];
+                    let si = index_of[&w.seller];
+                    // Line 11: multiplicative ψ update for winners.
+                    let theta = sellers[si].capacity as f64;
+                    let a = original.amount as f64;
+                    psi[si] = psi[si] * (1.0 + a / (alpha * theta))
+                        + original.price.value() * a / (alpha * theta * theta);
+                    // Line 12: capacity consumption.
+                    chi[si] += original.amount;
+                    winners.push(MsoaWinner {
+                        seller: w.seller,
+                        bid: w.bid,
+                        amount: original.amount,
+                        contribution: w.contribution,
+                        true_price: original.price,
+                        scaled_price: w.price,
+                        payment: w.payment,
+                    });
+                }
+                let social_cost: Price = winners.iter().map(|w| w.true_price).sum();
+                let total_payment: Price = winners.iter().map(|w| w.payment).sum();
+                RoundResult { round: t, demand, winners, social_cost, total_payment, infeasible: false }
+            }
+        };
+        rounds.push(result);
+    }
+
+    let social_cost: Price = rounds.iter().map(|r| r.social_cost).sum();
+    let total_payment: Price = rounds.iter().map(|r| r.total_payment).sum();
+    let competitive_bound =
+        if beta > 1.0 { alpha * beta / (beta - 1.0) } else { f64::INFINITY };
+
+    Ok(MsoaOutcome {
+        rounds,
+        social_cost,
+        total_payment,
+        psi,
+        chi,
+        alpha,
+        beta,
+        competitive_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn seller(id: usize, capacity: u64, window: (u64, u64)) -> Seller {
+        Seller::new(MicroserviceId::new(id), capacity, window).unwrap()
+    }
+
+    fn two_seller_instance(rounds: usize, capacity: u64) -> MultiRoundInstance {
+        let last = rounds as u64 - 1;
+        let sellers = vec![seller(0, capacity, (0, last)), seller(1, capacity, (0, last))];
+        let round_inputs = (0..rounds)
+            .map(|_| RoundInput::new(3, 3, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]))
+            .collect();
+        MultiRoundInstance::new(sellers, round_inputs).unwrap()
+    }
+
+    #[test]
+    fn validates_unknown_sellers() {
+        let err = MultiRoundInstance::new(
+            vec![seller(0, 10, (0, 0))],
+            vec![RoundInput::new(1, 1, vec![bid(7, 0, 1, 1.0)])],
+        )
+        .unwrap_err();
+        assert_eq!(err, AuctionError::UnknownSeller(7));
+    }
+
+    #[test]
+    fn validates_empty_instance() {
+        let err = MultiRoundInstance::new(vec![], vec![]).unwrap_err();
+        assert_eq!(err, AuctionError::EmptyInstance);
+    }
+
+    #[test]
+    fn covers_every_feasible_round() {
+        let instance = two_seller_instance(3, 100);
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        assert_eq!(out.rounds.len(), 3);
+        for r in &out.rounds {
+            assert!(!r.infeasible);
+            let covered: u64 = r.winners.iter().map(|w| w.contribution).sum();
+            assert_eq!(covered, 3);
+        }
+        assert!(out.infeasible_rounds().is_empty());
+    }
+
+    #[test]
+    fn psi_grows_for_winners_only() {
+        let sellers = vec![seller(0, 100, (0, 1)), seller(1, 100, (0, 1)), seller(2, 100, (0, 1))];
+        // Seller 2's bid is far too expensive to ever win.
+        let rounds = (0..2)
+            .map(|_| {
+                RoundInput::new(
+                    3,
+                    3,
+                    vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0), bid(2, 0, 2, 500.0)],
+                )
+            })
+            .collect();
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        assert!(out.psi[0] > 0.0, "winner's ψ should grow");
+        assert!(out.psi[1] > 0.0);
+        assert_eq!(out.psi[2], 0.0, "loser's ψ stays zero");
+        assert_eq!(out.chi[2], 0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_excludes_bids() {
+        // Capacity 4: seller 0 can win twice (2 units each), then its
+        // bids are excluded and seller 1 must carry the demand alone —
+        // but seller 1 alone cannot cover 3 with a 2-unit bid, so later
+        // rounds go infeasible.
+        let instance = two_seller_instance(4, 4);
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        let infeasible = out.infeasible_rounds();
+        assert!(!infeasible.is_empty(), "capacity should bite eventually");
+        for si in 0..2 {
+            assert!(out.chi[si] <= 4, "capacity violated for seller {si}");
+        }
+    }
+
+    #[test]
+    fn windows_exclude_absent_sellers() {
+        let sellers = vec![seller(0, 100, (0, 0)), seller(1, 100, (0, 1))];
+        let rounds = vec![
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+        ];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        // Round 0: seller 0 (cheaper) wins. Round 1: seller 0 is outside
+        // its window; seller 1 must win.
+        assert_eq!(out.rounds[0].winners[0].seller, MicroserviceId::new(0));
+        assert_eq!(out.rounds[1].winners.len(), 1);
+        assert_eq!(out.rounds[1].winners[0].seller, MicroserviceId::new(1));
+    }
+
+    #[test]
+    fn scaled_prices_exceed_true_prices_after_wins() {
+        let instance = two_seller_instance(3, 100);
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        // Seller 0 wins round 0 at its true price (ψ=0), later rounds at
+        // a scaled price strictly above.
+        let w0 = &out.rounds[0].winners[0];
+        assert_eq!(w0.scaled_price, w0.true_price);
+        let later: Vec<&MsoaWinner> = out.rounds[1..]
+            .iter()
+            .flat_map(|r| &r.winners)
+            .filter(|w| w.seller == MicroserviceId::new(0))
+            .collect();
+        assert!(!later.is_empty());
+        for w in later {
+            assert!(w.scaled_price > w.true_price);
+        }
+    }
+
+    #[test]
+    fn social_cost_accumulates_true_prices() {
+        let instance = two_seller_instance(2, 100);
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        let manual: f64 = out
+            .rounds
+            .iter()
+            .flat_map(|r| &r.winners)
+            .map(|w| w.true_price.value())
+            .sum();
+        assert!((out.social_cost.value() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn competitive_bound_matches_formula() {
+        let instance = two_seller_instance(2, 10);
+        let out = run_msoa(&instance, &MsoaConfig { alpha: Some(2.0), ..Default::default() })
+            .unwrap();
+        // β = min(10/2) = 5; bound = 2·5/4 = 2.5.
+        assert_eq!(out.beta, 5.0);
+        assert!((out.competitive_bound - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_at_most_one_gives_infinite_bound() {
+        let sellers = vec![seller(0, 2, (0, 0)), seller(1, 2, (0, 0))];
+        let rounds =
+            vec![RoundInput::new(2, 2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)])];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        assert_eq!(out.beta, 1.0);
+        assert!(out.competitive_bound.is_infinite());
+    }
+
+    #[test]
+    fn deterministic() {
+        let instance = two_seller_instance(5, 20);
+        let a = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        let b = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_alpha_reflects_demand_and_spread() {
+        let instance = two_seller_instance(2, 100);
+        // Demand 3 → H_3 ≈ 1.833; spread = 3.0/2.0 = 1.5.
+        let alpha = instance.derive_alpha();
+        let h3 = 1.0 + 0.5 + 1.0 / 3.0;
+        assert!((alpha - h3 * 1.5).abs() < 1e-9, "alpha {alpha}");
+    }
+}

@@ -1,0 +1,332 @@
+//! MSOA over the general multi-buyer form.
+//!
+//! Algorithm 2 with per-buyer coverage: each round carries a map of
+//! buyer demands instead of one aggregate, the single-stage step is
+//! [`crate::multi_buyer::run_ssam_multi`], and the per-seller dual
+//! `ψ_i` scales prices by the bid's *total* offered units `|S_ij^t|` —
+//! exactly the quantity the paper's line 8 uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_auction::bid::Seller;
+//! use edge_auction::msoa_multi::{run_msoa_multi, MultiBuyerRound, MsoaMultiConfig};
+//! use edge_auction::multi_buyer::CoverBid;
+//! use edge_common::id::{BidId, MicroserviceId};
+//!
+//! # fn main() -> Result<(), edge_auction::AuctionError> {
+//! let b0 = MicroserviceId::new(100);
+//! let sellers = vec![
+//!     Seller::new(MicroserviceId::new(0), 10, (0, 1))?,
+//!     Seller::new(MicroserviceId::new(1), 10, (0, 1))?,
+//! ];
+//! let round = |p0: f64, p1: f64| -> Result<_, edge_auction::AuctionError> {
+//!     Ok(MultiBuyerRound::new(
+//!         vec![(b0, 2)],
+//!         vec![
+//!             CoverBid::new(MicroserviceId::new(0), BidId::new(0), vec![(b0, 2)], p0)?,
+//!             CoverBid::new(MicroserviceId::new(1), BidId::new(0), vec![(b0, 2)], p1)?,
+//!         ],
+//!     ))
+//! };
+//! let rounds = vec![round(4.0, 6.0)?, round(4.0, 6.0)?];
+//! let outcome = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default())?;
+//! assert_eq!(outcome.rounds.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bid::Seller;
+use crate::error::AuctionError;
+use crate::multi_buyer::{run_ssam_multi, CoverBid, MultiBuyerOutcome, MultiBuyerWsp};
+use crate::ssam::SsamConfig;
+use edge_common::id::MicroserviceId;
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One round of the multi-buyer online market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiBuyerRound {
+    /// Per-buyer demands `X_b^t`.
+    pub demands: Vec<(MicroserviceId, u64)>,
+    /// Bids with true prices.
+    pub bids: Vec<CoverBid>,
+}
+
+impl MultiBuyerRound {
+    /// Creates a round input.
+    pub fn new(demands: Vec<(MicroserviceId, u64)>, bids: Vec<CoverBid>) -> Self {
+        MultiBuyerRound { demands, bids }
+    }
+}
+
+/// Configuration of the multi-buyer online mechanism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MsoaMultiConfig {
+    /// Single-stage settings.
+    pub ssam: SsamConfig,
+    /// The `α` of the ψ update (`None`: derived from the rounds' total
+    /// demand and price spread like [`crate::msoa`]).
+    pub alpha: Option<f64>,
+}
+
+/// One round's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiBuyerRoundResult {
+    /// Round index.
+    pub round: u64,
+    /// The single-stage outcome (winners carry scaled prices).
+    pub outcome: MultiBuyerOutcome,
+    /// Σ true prices of the winners.
+    pub social_cost: Price,
+}
+
+/// The online outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsoaMultiOutcome {
+    /// Per-round results.
+    pub rounds: Vec<MultiBuyerRoundResult>,
+    /// Σ true prices over all rounds.
+    pub social_cost: Price,
+    /// Σ payments over all rounds.
+    pub total_payment: Price,
+    /// Final ψ per seller (seller-table order).
+    pub psi: Vec<f64>,
+    /// Units yielded per seller.
+    pub chi: Vec<u64>,
+    /// The α used.
+    pub alpha: f64,
+}
+
+/// Runs Algorithm 2 over per-buyer rounds.
+///
+/// # Errors
+///
+/// Returns [`AuctionError::UnknownSeller`] when a bid references a
+/// seller missing from the table; rounds that cannot be fully covered
+/// are *not* errors (the single-stage mechanism reports partial
+/// coverage).
+pub fn run_msoa_multi(
+    sellers: &[Seller],
+    rounds: &[MultiBuyerRound],
+    config: &MsoaMultiConfig,
+) -> Result<MsoaMultiOutcome, AuctionError> {
+    let index_of: BTreeMap<MicroserviceId, usize> =
+        sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    for round in rounds {
+        for bid in &round.bids {
+            if !index_of.contains_key(&bid.seller) {
+                return Err(AuctionError::UnknownSeller(bid.seller.index()));
+            }
+        }
+    }
+
+    // α: harmonic of the max round total demand times the unit-price
+    // spread (per-total-amount).
+    let alpha = config.alpha.unwrap_or_else(|| {
+        let max_demand = rounds
+            .iter()
+            .map(|r| r.demands.iter().map(|&(_, x)| x).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let harmonic: f64 = (1..=max_demand).map(|k| 1.0 / k as f64).sum();
+        let units: Vec<f64> = rounds
+            .iter()
+            .flat_map(|r| &r.bids)
+            .map(|b| b.price.value() / b.total_amount() as f64)
+            .collect();
+        let spread = match (
+            units.iter().copied().fold(f64::INFINITY, f64::min),
+            units.iter().copied().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min > 0.0 && max.is_finite() => max / min,
+            _ => 1.0,
+        };
+        (harmonic * spread).max(1.0)
+    });
+
+    let mut psi = vec![0.0f64; sellers.len()];
+    let mut chi = vec![0u64; sellers.len()];
+    let mut results = Vec::with_capacity(rounds.len());
+
+    for (t, round) in rounds.iter().enumerate() {
+        let t = t as u64;
+        // Filter by window and remaining capacity; scale prices by ψ.
+        let mut scaled = Vec::new();
+        let mut true_prices: BTreeMap<(MicroserviceId, usize), Price> = BTreeMap::new();
+        for bid in &round.bids {
+            let si = index_of[&bid.seller];
+            if !sellers[si].available_at(t) {
+                continue;
+            }
+            if chi[si] + bid.total_amount() > sellers[si].capacity {
+                continue;
+            }
+            let mut b = bid.clone();
+            true_prices.insert((b.seller, b.id.index()), b.price);
+            b.price = Price::new_unchecked(
+                b.price.value() + b.total_amount() as f64 * psi[si],
+            );
+            scaled.push(b);
+        }
+        let inst = MultiBuyerWsp::new(round.demands.clone(), scaled)?;
+        let outcome = run_ssam_multi(&inst, &config.ssam);
+
+        let mut social_cost = Price::ZERO;
+        for w in &outcome.winners {
+            let si = index_of[&w.seller];
+            let true_price = true_prices[&(w.seller, w.bid.index())];
+            // The bid's declared total units, for capacity and ψ.
+            let amount = inst
+                .groups()
+                .iter()
+                .flatten()
+                .find(|b| b.seller == w.seller && b.id == w.bid)
+                .map(CoverBid::total_amount)
+                .unwrap_or(0);
+            let theta = sellers[si].capacity as f64;
+            let a = amount as f64;
+            psi[si] = psi[si] * (1.0 + a / (alpha * theta))
+                + true_price.value() * a / (alpha * theta * theta);
+            chi[si] += amount;
+            social_cost += true_price;
+        }
+        results.push(MultiBuyerRoundResult { round: t, outcome, social_cost });
+    }
+
+    let social_cost: Price = results.iter().map(|r| r.social_cost).sum();
+    let total_payment: Price =
+        results.iter().map(|r| r.outcome.total_payment).sum();
+    Ok(MsoaMultiOutcome { rounds: results, social_cost, total_payment, psi, chi, alpha })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::BidId;
+
+    fn buyer(i: usize) -> MicroserviceId {
+        MicroserviceId::new(100 + i)
+    }
+
+    fn seller(i: usize, capacity: u64, window: (u64, u64)) -> Seller {
+        Seller::new(MicroserviceId::new(i), capacity, window).unwrap()
+    }
+
+    fn cb(s: usize, id: usize, cov: Vec<(usize, u64)>, price: f64) -> CoverBid {
+        CoverBid::new(
+            MicroserviceId::new(s),
+            BidId::new(id),
+            cov.into_iter().map(|(b, a)| (buyer(b), a)).collect(),
+            price,
+        )
+        .unwrap()
+    }
+
+    fn two_round_setup(capacity: u64) -> (Vec<Seller>, Vec<MultiBuyerRound>) {
+        let sellers = vec![seller(0, capacity, (0, 1)), seller(1, capacity, (0, 1))];
+        let rounds = (0..2)
+            .map(|_| {
+                MultiBuyerRound::new(
+                    vec![(buyer(0), 2), (buyer(1), 1)],
+                    vec![
+                        cb(0, 0, vec![(0, 2), (1, 1)], 5.0),
+                        cb(1, 0, vec![(0, 2), (1, 1)], 8.0),
+                    ],
+                )
+            })
+            .collect();
+        (sellers, rounds)
+    }
+
+    #[test]
+    fn covers_feasible_rounds() {
+        let (sellers, rounds) = two_round_setup(100);
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        assert_eq!(out.rounds.len(), 2);
+        assert!(out.rounds.iter().all(|r| r.outcome.fully_covered));
+    }
+
+    #[test]
+    fn psi_raises_repeat_winner_prices() {
+        let (sellers, rounds) = two_round_setup(100);
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        // Seller 0 (cheaper) wins round 0 at its true price; in round 1
+        // its scaled price exceeds the true one.
+        let w0 = &out.rounds[0].outcome.winners[0];
+        assert_eq!(w0.seller, MicroserviceId::new(0));
+        assert_eq!(w0.price.value(), 5.0);
+        let w1 = &out.rounds[1].outcome.winners[0];
+        if w1.seller == MicroserviceId::new(0) {
+            assert!(w1.price.value() > 5.0, "scaled price should grow: {}", w1.price);
+        }
+        assert!(out.psi[0] > 0.0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_hands_over_to_rival() {
+        // Capacity 3: seller 0's 3-unit bid fits once; round 1 must go
+        // to seller 1.
+        let (sellers, rounds) = two_round_setup(3);
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        assert_eq!(out.rounds[0].outcome.winners[0].seller, MicroserviceId::new(0));
+        assert_eq!(out.rounds[1].outcome.winners[0].seller, MicroserviceId::new(1));
+        assert!(out.chi[0] <= 3 && out.chi[1] <= 3);
+    }
+
+    #[test]
+    fn social_cost_uses_true_prices() {
+        let (sellers, rounds) = two_round_setup(100);
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        // Seller 0 wins both rounds (ψ stays below the 3-unit gap to
+        // seller 1's price in this setup) or hands over; either way the
+        // social cost must be a sum of true prices (5.0 or 8.0 each
+        // round).
+        let total = out.social_cost.value();
+        assert!(
+            (total - 10.0).abs() < 1e-9 || (total - 13.0).abs() < 1e-9,
+            "unexpected social cost {total}"
+        );
+    }
+
+    #[test]
+    fn unknown_seller_rejected() {
+        let sellers = vec![seller(0, 10, (0, 0))];
+        let rounds = vec![MultiBuyerRound::new(
+            vec![(buyer(0), 1)],
+            vec![cb(7, 0, vec![(0, 1)], 1.0)],
+        )];
+        let err = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap_err();
+        assert_eq!(err, AuctionError::UnknownSeller(7));
+    }
+
+    #[test]
+    fn window_exclusion_applies() {
+        let sellers = vec![seller(0, 100, (1, 1)), seller(1, 100, (0, 1))];
+        let rounds = (0..2)
+            .map(|_| {
+                MultiBuyerRound::new(
+                    vec![(buyer(0), 1)],
+                    vec![cb(0, 0, vec![(0, 1)], 1.0), cb(1, 0, vec![(0, 1)], 9.0)],
+                )
+            })
+            .collect::<Vec<_>>();
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        // Round 0: seller 0 unavailable → seller 1 wins despite price.
+        assert_eq!(out.rounds[0].outcome.winners[0].seller, MicroserviceId::new(1));
+        // Round 1: seller 0 in window and cheaper.
+        assert_eq!(out.rounds[1].outcome.winners[0].seller, MicroserviceId::new(0));
+    }
+
+    #[test]
+    fn uncovered_rounds_are_reported_not_fatal() {
+        let sellers = vec![seller(0, 100, (0, 0))];
+        let rounds = vec![MultiBuyerRound::new(
+            vec![(buyer(0), 5)],
+            vec![cb(0, 0, vec![(0, 2)], 1.0)],
+        )];
+        let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
+        assert!(!out.rounds[0].outcome.fully_covered);
+    }
+}

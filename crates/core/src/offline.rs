@@ -1,0 +1,315 @@
+//! Offline optima — the denominators of every performance-ratio figure.
+//!
+//! * [`offline_optimum_round`] solves one round's WSP *exactly* with the
+//!   covering DP of [`edge_lp::covering`] (instant at paper scales).
+//! * [`offline_optimum_multi`] solves the full multi-round ILP (7) —
+//!   per-round coverage, one bid per seller per round, and the long-run
+//!   capacity constraint (11) — by branch-and-bound. When the node budget
+//!   runs out it falls back to the best available *lower bound* (max of
+//!   the LP relaxation and the capacity-relaxed per-round DP sum), so a
+//!   reported ratio `online/offline` is then an upper bound on the true
+//!   ratio — conservative in the direction that cannot flatter the
+//!   mechanism.
+
+use crate::error::AuctionError;
+use crate::msoa::MultiRoundInstance;
+use crate::wsp::WspInstance;
+use edge_lp::{solve_lp, ConstraintOp, IlpOptions, LpError, Model, VarId};
+use serde::{Deserialize, Serialize};
+
+/// An offline optimum, either proven exactly or bounded from below.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OfflineBound {
+    /// Proven optimal objective.
+    Exact(f64),
+    /// A lower bound (node budget exhausted before proving optimality).
+    Lower(f64),
+}
+
+impl OfflineBound {
+    /// The bound's value, regardless of exactness.
+    pub fn value(self) -> f64 {
+        match self {
+            OfflineBound::Exact(v) | OfflineBound::Lower(v) => v,
+        }
+    }
+
+    /// `true` when the value is a proven optimum.
+    pub fn is_exact(self) -> bool {
+        matches!(self, OfflineBound::Exact(_))
+    }
+}
+
+/// Exact single-round optimum via the covering DP.
+///
+/// Returns `None` only for an infeasible instance, which
+/// [`WspInstance::new`] already rules out.
+pub fn offline_optimum_round(instance: &WspInstance) -> Option<f64> {
+    instance.to_group_cover().solve_exact().map(|s| s.cost)
+}
+
+/// Builds the full ILP (7) of a multi-round instance, returning the
+/// model plus each variable's `(round, seller-id, bid-id)` identity for
+/// warm-starting.
+///
+/// `use_estimated` selects which demand stream the offline adversary must
+/// cover (estimated for apples-to-apples ratio vs plain MSOA, true for
+/// the DA variants).
+fn build_multi_ilp(
+    instance: &MultiRoundInstance,
+    use_estimated: bool,
+) -> (Model, Vec<(u64, edge_common::id::MicroserviceId, edge_common::id::BidId)>) {
+    let mut var_ids = Vec::new();
+    let mut m = Model::new();
+    // capacity_terms[s] accumulates Σ_t,j a·x for seller s.
+    let mut capacity_terms: Vec<Vec<(VarId, f64)>> =
+        vec![Vec::new(); instance.sellers().len()];
+    let seller_index = |id: edge_common::id::MicroserviceId| {
+        instance
+            .sellers()
+            .iter()
+            .position(|s| s.id == id)
+            .expect("validated instance")
+    };
+
+    for (t, round) in instance.rounds().iter().enumerate() {
+        let mut cover_terms: Vec<(VarId, f64)> = Vec::new();
+        // One-bid-per-seller terms for this round.
+        let mut per_seller: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); instance.sellers().len()];
+        for (j, bid) in round.bids.iter().enumerate() {
+            let si = seller_index(bid.seller);
+            if !instance.sellers()[si].available_at(t as u64) {
+                continue;
+            }
+            let v = m
+                .add_binary(&format!("x_t{t}_s{si}_b{j}"), bid.price.value())
+                .expect("validated price");
+            var_ids.push((t as u64, bid.seller, bid.id));
+            cover_terms.push((v, bid.amount as f64));
+            per_seller[si].push((v, 1.0));
+            capacity_terms[si].push((v, bid.amount as f64));
+        }
+        let demand = if use_estimated { round.estimated_demand } else { round.true_demand };
+        m.add_constraint(cover_terms, ConstraintOp::Ge, demand as f64)
+            .expect("finite demand");
+        for terms in per_seller.into_iter().filter(|t| !t.is_empty()) {
+            m.add_constraint(terms, ConstraintOp::Le, 1.0).expect("valid");
+        }
+    }
+    for (si, terms) in capacity_terms.into_iter().enumerate() {
+        if !terms.is_empty() {
+            m.add_constraint(terms, ConstraintOp::Le, instance.sellers()[si].capacity as f64)
+                .expect("valid");
+        }
+    }
+    (m, var_ids)
+}
+
+/// Builds a warm-start point from a plain MSOA run: the online
+/// mechanism's winner set is a feasible integral solution of ILP (7)
+/// whenever every round was covered, and a very good incumbent in
+/// practice.
+fn msoa_warm_start(
+    instance: &MultiRoundInstance,
+    var_ids: &[(u64, edge_common::id::MicroserviceId, edge_common::id::BidId)],
+) -> Option<Vec<f64>> {
+    let outcome =
+        crate::msoa::run_msoa(instance, &crate::msoa::MsoaConfig::default()).ok()?;
+    if !outcome.infeasible_rounds().is_empty() {
+        return None;
+    }
+    let mut won: std::collections::BTreeSet<(u64, usize, usize)> =
+        std::collections::BTreeSet::new();
+    for r in &outcome.rounds {
+        for w in &r.winners {
+            won.insert((r.round, w.seller.index(), w.bid.index()));
+        }
+    }
+    Some(
+        var_ids
+            .iter()
+            .map(|&(t, seller, bid)| {
+                f64::from(u8::from(won.contains(&(t, seller.index(), bid.index()))))
+            })
+            .collect(),
+    )
+}
+
+/// Capacity-relaxed lower bound: the sum of exact per-round optima
+/// (dropping constraint (11) can only lower the optimum). Cheap —
+/// `O(Σ bids · demand)` — and safe to use as a ratio denominator at
+/// scales where branch-and-bound is too slow: the reported ratio then
+/// *upper-bounds* the true one.
+pub fn per_round_dp_bound(instance: &MultiRoundInstance, use_estimated: bool) -> Option<f64> {
+    let mut total = 0.0;
+    for (t, round) in instance.rounds().iter().enumerate() {
+        let demand = if use_estimated { round.estimated_demand } else { round.true_demand };
+        let bids: Vec<_> = round
+            .bids
+            .iter()
+            .filter(|b| {
+                instance
+                    .sellers()
+                    .iter()
+                    .find(|s| s.id == b.seller)
+                    .is_some_and(|s| s.available_at(t as u64))
+            })
+            .cloned()
+            .collect();
+        let wsp = WspInstance::new(demand, bids).ok()?;
+        total += offline_optimum_round(&wsp)?;
+    }
+    Some(total)
+}
+
+/// Computes the offline optimum of the multi-round problem.
+///
+/// # Errors
+///
+/// Returns [`AuctionError::InfeasibleDemand`] when even the offline
+/// adversary cannot cover some round's demand under the capacity and
+/// window constraints.
+pub fn offline_optimum_multi(
+    instance: &MultiRoundInstance,
+    use_estimated: bool,
+    opts: &IlpOptions,
+) -> Result<OfflineBound, AuctionError> {
+    let (ilp, var_ids) = build_multi_ilp(instance, use_estimated);
+    // Warm start from the online mechanism's own solution when the
+    // demand streams match (the MSOA winner set is ILP-feasible then).
+    let warm = if use_estimated { msoa_warm_start(instance, &var_ids) } else { None };
+    let warm = warm.filter(|x| ilp.is_feasible(x, 1e-6));
+    match edge_lp::solve_ilp_with_incumbent(&ilp, opts, warm.as_deref()) {
+        Ok(sol) if sol.proven_optimal => Ok(OfflineBound::Exact(sol.objective)),
+        Ok(_) | Err(LpError::NodeLimit) => {
+            // Budget ran out: assemble the best lower bound we can prove.
+            let lp_bound = solve_lp(&ilp).map(|s| s.objective).unwrap_or(0.0);
+            let dp_bound = per_round_dp_bound(instance, use_estimated).unwrap_or(0.0);
+            Ok(OfflineBound::Lower(lp_bound.max(dp_bound)))
+        }
+        Err(LpError::Infeasible) => {
+            let demand: u64 = instance
+                .rounds()
+                .iter()
+                .map(|r| if use_estimated { r.estimated_demand } else { r.true_demand })
+                .max()
+                .unwrap_or(0);
+            Err(AuctionError::InfeasibleDemand { demand, supply: 0 })
+        }
+        Err(_) => Err(AuctionError::EmptyInstance),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::{Bid, Seller};
+    use crate::msoa::{run_msoa, MsoaConfig, RoundInput};
+    use edge_common::id::{BidId, MicroserviceId};
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn seller(id: usize, capacity: u64, window: (u64, u64)) -> Seller {
+        Seller::new(MicroserviceId::new(id), capacity, window).unwrap()
+    }
+
+    #[test]
+    fn round_optimum_matches_hand_computation() {
+        let inst = WspInstance::new(
+            4,
+            vec![bid(0, 0, 2, 6.0), bid(0, 1, 1, 2.0), bid(1, 0, 2, 5.0), bid(2, 0, 2, 4.0)],
+        )
+        .unwrap();
+        assert_eq!(offline_optimum_round(&inst), Some(9.0));
+    }
+
+    #[test]
+    fn multi_round_exact_beats_online() {
+        // Two rounds; the online mechanism cannot see that saving the
+        // cheap seller for round 1 (where it is the only option) avoids
+        // the expensive one.
+        let sellers = vec![seller(0, 2, (0, 1)), seller(1, 10, (0, 1))];
+        let rounds = vec![
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 2.0), bid(1, 0, 2, 3.0)]),
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 2.0), bid(1, 0, 2, 50.0)]),
+        ];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+
+        let offline =
+            offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        assert!(offline.is_exact());
+        // Offline: round 0 → seller 1 ($3), round 1 → seller 0 ($2): $5.
+        assert!((offline.value() - 5.0).abs() < 1e-6, "offline {}", offline.value());
+
+        let online = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        // Whatever MSOA does, the offline optimum is a lower bound.
+        assert!(online.social_cost.value() >= offline.value() - 1e-9);
+    }
+
+    #[test]
+    fn capacity_constraint_binds_offline_too() {
+        // One seller, capacity 2, two rounds of demand 2: offline must
+        // fail (cannot cover round 2).
+        let sellers = vec![seller(0, 2, (0, 1))];
+        let rounds = vec![
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 2.0)]),
+            RoundInput::new(2, 2, vec![bid(0, 0, 2, 2.0)]),
+        ];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let r = offline_optimum_multi(&instance, true, &IlpOptions::default());
+        assert!(matches!(r, Err(AuctionError::InfeasibleDemand { .. })));
+    }
+
+    #[test]
+    fn node_limit_falls_back_to_lower_bound() {
+        let sellers: Vec<Seller> = (0..6).map(|i| seller(i, 20, (0, 2))).collect();
+        let rounds: Vec<RoundInput> = (0..3)
+            .map(|t| {
+                RoundInput::new(
+                    8,
+                    8,
+                    (0..6)
+                        .map(|s| bid(s, 0, 3, 5.0 + (s + t) as f64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let opts = IlpOptions { max_nodes: 1, ..IlpOptions::default() };
+        let bound = offline_optimum_multi(&instance, true, &opts).unwrap();
+        // With one node we cannot prove optimality — but the lower bound
+        // must still be positive and at most the exact optimum.
+        let exact =
+            offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        assert!(exact.is_exact());
+        assert!(bound.value() > 0.0);
+        assert!(bound.value() <= exact.value() + 1e-6);
+    }
+
+    #[test]
+    fn estimated_vs_true_demand_streams() {
+        let sellers = vec![seller(0, 20, (0, 0)), seller(1, 20, (0, 0))];
+        let rounds =
+            vec![RoundInput::new(4, 2, vec![bid(0, 0, 2, 2.0), bid(1, 0, 2, 3.0)])];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let est = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        let truth = offline_optimum_multi(&instance, false, &IlpOptions::default()).unwrap();
+        // Covering 4 units costs more than covering 2.
+        assert!(est.value() > truth.value());
+    }
+
+    #[test]
+    fn dp_bound_is_a_lower_bound_on_exact() {
+        let sellers = vec![seller(0, 4, (0, 1)), seller(1, 10, (0, 1))];
+        let rounds = vec![
+            RoundInput::new(3, 3, vec![bid(0, 0, 2, 2.0), bid(1, 0, 3, 9.0)]),
+            RoundInput::new(3, 3, vec![bid(0, 0, 2, 2.0), bid(1, 0, 3, 9.0)]),
+        ];
+        let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
+        let dp = per_round_dp_bound(&instance, true).unwrap();
+        let exact = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        assert!(dp <= exact.value() + 1e-6, "dp {dp} exact {}", exact.value());
+    }
+}

@@ -1,0 +1,305 @@
+//! Mechanism-property verifiers.
+//!
+//! The paper proves four economic properties of SSAM (Theorems 4–5,
+//! Lemmas 2–3) and "no economic loss" (Definition 5). This module turns
+//! each proof into an executable check so the test suite — and any
+//! downstream user wiring the mechanism into a real platform — can audit
+//! outcomes instead of trusting them:
+//!
+//! * [`check_individual_rationality`] — every payment covers its bid.
+//! * [`check_monotonicity`] — a winner that lowers its price keeps
+//!   winning (Lemma 2).
+//! * [`check_critical_payments`] — the payment is a threshold: bid below
+//!   it and win, bid above it and lose (Lemma 3).
+//! * [`audit_truthfulness`] — exhaustively tries price deviations and
+//!   reports any that beat truthful bidding (Theorem 4).
+//! * [`economic_loss`] — the platform's deficit when it charges buyers a
+//!   break-even unit price (Definition 5).
+
+use crate::bid::Bid;
+use crate::error::AuctionError;
+use crate::ssam::{run_ssam, SsamConfig, SsamOutcome};
+use crate::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use serde::{Deserialize, Serialize};
+
+/// Checks Theorem 5: every winner's payment is at least its (selection)
+/// price.
+pub fn check_individual_rationality(outcome: &SsamOutcome) -> bool {
+    outcome.winners.iter().all(|w| w.payment.value() >= w.price.value() - 1e-9)
+}
+
+/// Rebuilds an instance with one bid's price replaced.
+///
+/// # Panics
+///
+/// Panics if the `(seller, bid)` pair does not exist in the instance or
+/// the new price is invalid — the caller is auditing existing bids.
+pub fn with_price(
+    instance: &WspInstance,
+    seller: MicroserviceId,
+    bid: BidId,
+    new_price: f64,
+) -> WspInstance {
+    let mut found = false;
+    let bids: Vec<Bid> = instance
+        .bids()
+        .map(|b| {
+            if b.seller == seller && b.id == bid {
+                found = true;
+                Bid::new(b.seller, b.id, b.amount, new_price).expect("valid deviation price")
+            } else {
+                *b
+            }
+        })
+        .collect();
+    assert!(found, "bid {bid} of {seller} not present in the instance");
+    WspInstance::new(instance.demand(), bids).expect("price changes preserve feasibility")
+}
+
+/// Checks Lemma 2 on every winner: report a strictly lower price and the
+/// bid must still win.
+///
+/// # Errors
+///
+/// Propagates auction errors from re-running the mechanism.
+pub fn check_monotonicity(
+    instance: &WspInstance,
+    config: &SsamConfig,
+) -> Result<bool, AuctionError> {
+    let outcome = run_ssam(instance, config)?;
+    for w in &outcome.winners {
+        for factor in [0.9, 0.5, 0.1] {
+            let deviated = with_price(instance, w.seller, w.bid, w.price.value() * factor);
+            let re = run_ssam(&deviated, config)?;
+            if !re.is_winner(w.seller) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Checks Lemma 3 on every winner that had a competitor: bidding just
+/// below the payment wins; bidding just above it loses.
+///
+/// Winners paid exactly their own price (lone-seller fallback) are
+/// skipped — they have no meaningful threshold.
+///
+/// # Errors
+///
+/// Propagates auction errors from re-running the mechanism.
+pub fn check_critical_payments(
+    instance: &WspInstance,
+    config: &SsamConfig,
+    eps: f64,
+) -> Result<bool, AuctionError> {
+    let outcome = run_ssam(instance, config)?;
+    for w in &outcome.winners {
+        if (w.payment.value() - w.price.value()).abs() < 1e-12 {
+            continue; // lone-seller fallback: threshold is the bid itself
+        }
+        let below = with_price(instance, w.seller, w.bid, (w.payment.value() - eps).max(0.0));
+        if !run_ssam(&below, config)?.is_winner(w.seller) {
+            return Ok(false);
+        }
+        let above = with_price(instance, w.seller, w.bid, w.payment.value() + eps);
+        match run_ssam(&above, config) {
+            Ok(re) => {
+                // The *bid* must lose; the seller may still win with a
+                // different alternative bid.
+                if re
+                    .winner_for(w.seller)
+                    .is_some_and(|nw| nw.bid == w.bid && nw.contribution == w.contribution)
+                    && re.winner_for(w.seller).unwrap().price.value() > w.payment.value()
+                {
+                    return Ok(false);
+                }
+            }
+            Err(AuctionError::InfeasibleDemand { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// A profitable deviation found by [`audit_truthfulness`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruthfulnessViolation {
+    /// The deviating seller.
+    pub seller: MicroserviceId,
+    /// The bid whose price was misreported.
+    pub bid: BidId,
+    /// The misreported price.
+    pub deviated_price: f64,
+    /// Utility under truthful bidding.
+    pub truthful_utility: f64,
+    /// Utility under the deviation (strictly larger).
+    pub deviated_utility: f64,
+}
+
+/// Utility of a seller whose true per-bid costs are the instance's
+/// truthful prices: `payment − true cost` of whichever bid won, else 0.
+fn utility(outcome: &SsamOutcome, truthful: &WspInstance, seller: MicroserviceId) -> f64 {
+    match outcome.winner_for(seller) {
+        None => 0.0,
+        Some(w) => {
+            let true_cost = truthful
+                .bids()
+                .find(|b| b.seller == seller && b.id == w.bid)
+                .map(|b| b.price.value())
+                .expect("winner bid exists in the truthful instance");
+            w.payment.value() - true_cost
+        }
+    }
+}
+
+/// Theorem 4 audit: for every bid, tries the given multiplicative price
+/// deviations and collects any that yield strictly higher utility than
+/// truthful bidding.
+///
+/// An empty return means no profitable deviation was found. The
+/// guarantee is exact for sellers with a single bid (the single-parameter
+/// Myerson setting the paper analyses); for multi-bid sellers the audit
+/// is an empirical sweep.
+///
+/// # Errors
+///
+/// Propagates auction errors from re-running the mechanism.
+pub fn audit_truthfulness(
+    instance: &WspInstance,
+    config: &SsamConfig,
+    deviation_factors: &[f64],
+) -> Result<Vec<TruthfulnessViolation>, AuctionError> {
+    let truthful_outcome = run_ssam(instance, config)?;
+    let mut violations = Vec::new();
+    for group in instance.groups() {
+        for bid in group {
+            let truthful_utility = utility(&truthful_outcome, instance, bid.seller);
+            for &factor in deviation_factors {
+                let deviated_price = bid.price.value() * factor;
+                let deviated = with_price(instance, bid.seller, bid.id, deviated_price);
+                let outcome = match run_ssam(&deviated, config) {
+                    Ok(o) => o,
+                    Err(AuctionError::InfeasibleDemand { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
+                let deviated_utility = utility(&outcome, instance, bid.seller);
+                if deviated_utility > truthful_utility + 1e-7 {
+                    violations.push(TruthfulnessViolation {
+                        seller: bid.seller,
+                        bid: bid.id,
+                        deviated_price,
+                        truthful_utility,
+                        deviated_utility,
+                    });
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// Definition 5 accounting: if the platform charges the demand's buyers a
+/// flat per-unit price, [`break_even_unit_charge`] is the smallest charge
+/// at which the platform suffers no economic loss.
+pub fn break_even_unit_charge(outcome: &SsamOutcome) -> f64 {
+    if outcome.demand == 0 {
+        0.0
+    } else {
+        outcome.total_payment.value() / outcome.demand as f64
+    }
+}
+
+/// The platform's deficit when charging buyers `unit_charge` per demanded
+/// unit: positive means economic loss (Definition 5 violated at that
+/// charge).
+pub fn economic_loss(outcome: &SsamOutcome, unit_charge: f64) -> f64 {
+    outcome.total_payment.value() - unit_charge * outcome.demand as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn single_bid_instance() -> WspInstance {
+        WspInstance::new(
+            5,
+            vec![
+                bid(0, 0, 3, 6.0),
+                bid(1, 0, 2, 3.0),
+                bid(2, 0, 4, 10.0),
+                bid(3, 0, 2, 8.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn individual_rationality_on_samples() {
+        let outcome = run_ssam(&single_bid_instance(), &SsamConfig::default()).unwrap();
+        assert!(check_individual_rationality(&outcome));
+    }
+
+    #[test]
+    fn monotonicity_on_samples() {
+        assert!(check_monotonicity(&single_bid_instance(), &SsamConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn critical_payments_on_samples() {
+        assert!(
+            check_critical_payments(&single_bid_instance(), &SsamConfig::default(), 1e-6)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn truthful_bidding_is_dominant_for_single_bid_sellers() {
+        let violations = audit_truthfulness(
+            &single_bid_instance(),
+            &SsamConfig::default(),
+            &[0.5, 0.8, 0.9, 0.99, 1.01, 1.1, 1.25, 2.0, 5.0],
+        )
+        .unwrap();
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn with_price_replaces_exactly_one_bid() {
+        let inst = single_bid_instance();
+        let new = with_price(&inst, MicroserviceId::new(1), BidId::new(0), 99.0);
+        let changed: Vec<_> = new
+            .bids()
+            .filter(|b| b.price.value() == 99.0)
+            .collect();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(new.bids().count(), inst.bids().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn with_price_panics_on_missing_bid() {
+        with_price(&single_bid_instance(), MicroserviceId::new(9), BidId::new(0), 1.0);
+    }
+
+    #[test]
+    fn economic_loss_accounting() {
+        let outcome = run_ssam(&single_bid_instance(), &SsamConfig::default()).unwrap();
+        let breakeven = break_even_unit_charge(&outcome);
+        assert!(economic_loss(&outcome, breakeven).abs() < 1e-9);
+        assert!(economic_loss(&outcome, breakeven + 1.0) < 0.0);
+        assert!(economic_loss(&outcome, breakeven - 1.0) > 0.0);
+    }
+
+    #[test]
+    fn zero_demand_break_even_is_zero() {
+        let inst = WspInstance::new(0, vec![bid(0, 0, 1, 1.0)]).unwrap();
+        let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        assert_eq!(break_even_unit_charge(&outcome), 0.0);
+    }
+}

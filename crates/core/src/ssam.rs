@@ -1,0 +1,569 @@
+//! SSAM — the Single-Stage Auction Mechanism (Algorithm 1).
+//!
+//! A primal–dual greedy approximation to the NP-hard WSP with
+//! Myerson-style critical-value payments:
+//!
+//! 1. **Winner selection** — while demand is uncovered, pick the bid with
+//!    the minimum *price per unit of marginal contribution*
+//!    (`∇_ij / U_ij(𝔼^t)`, line 4); the winner's remaining bids leave the
+//!    candidate set (constraint (9)).
+//! 2. **Payment** — each winner is paid its *critical value* (Lemma 3):
+//!    the supremum of prices at which its bid would still win. The
+//!    paper's lines 6–7 approximate this with the runner-up's unit price
+//!    at the winning iteration; in the multi-iteration covering setting
+//!    that local value is *not* the true threshold (a bid priced just
+//!    above it can still win a later iteration), which would break
+//!    truthfulness. We therefore compute the exact threshold by replaying
+//!    the greedy run without the winner: before the winner's first win
+//!    that replay visits exactly the real run's states, so the threshold
+//!    is `max_k r_k · U_ij(state_k)` over the replay's iterations — the
+//!    paper's formula is the `k = winning iteration` term of this max.
+//!    Together with the monotonicity of greedy selection (Lemma 2) the
+//!    exact threshold makes truthful bidding dominant (Theorem 4, via
+//!    Myerson) and every payment covers the bid price (individual
+//!    rationality, Theorem 5).
+//! 3. **Dual certificate** — distributing each winning price over the
+//!    units it covers yields a feasible dual solution whose value is
+//!    `primal / π` with `π = H_X · Ξ` (Theorem 3): `H_X` the harmonic
+//!    number of the demand and `Ξ` the max/min spread of assigned unit
+//!    prices. The certificate bounds the optimality gap without knowing
+//!    the optimum.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_auction::bid::Bid;
+//! use edge_auction::wsp::WspInstance;
+//! use edge_auction::ssam::{run_ssam, SsamConfig};
+//! use edge_common::id::{BidId, MicroserviceId};
+//!
+//! # fn main() -> Result<(), edge_auction::AuctionError> {
+//! let bids = vec![
+//!     Bid::new(MicroserviceId::new(0), BidId::new(0), 2, 4.0)?, // $2/u
+//!     Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 6.0)?, // $3/u
+//! ];
+//! let outcome = run_ssam(&WspInstance::new(3, bids)?, &SsamConfig::default())?;
+//! assert_eq!(outcome.winners.len(), 2);
+//! // Every winner's payment covers its price (individual rationality).
+//! assert!(outcome.winners.iter().all(|w| w.payment >= w.price));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::AuctionError;
+use crate::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single-stage auction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SsamConfig {
+    /// Optional reserve unit price. When set, bids asking more than this
+    /// per unit are excluded up front, and a winner with no runner-up is
+    /// paid the reserve instead of its own price — preserving the
+    /// critical-value semantics even for lone bidders. When `None`, a
+    /// lone winner is paid exactly its bid price (individually rational,
+    /// but its threshold is its own report; the paper leaves this case
+    /// unspecified).
+    pub reserve_unit_price: Option<f64>,
+}
+
+/// One accepted bid with its payment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WinningBid {
+    /// The winning seller.
+    pub seller: MicroserviceId,
+    /// Which of the seller's alternative bids won.
+    pub bid: BidId,
+    /// Units the bid offered (`a_ij^t`).
+    pub amount_offered: u64,
+    /// Units credited toward the demand (`U_ij(𝔼^t)` at selection time —
+    /// may be less than the offer when it over-covers the tail).
+    pub contribution: u64,
+    /// The price used during selection (the true bid price in SSAM; the
+    /// ψ-scaled price when called from MSOA).
+    pub price: Price,
+    /// The exact critical-value payment to the seller (the supremum of
+    /// prices at which this bid still wins).
+    pub payment: Price,
+}
+
+impl WinningBid {
+    /// Unit price assigned to the units this bid covered
+    /// (`f(i, Ŝ) = ∇/U`).
+    pub fn assigned_unit_price(&self) -> f64 {
+        self.price.value() / self.contribution as f64
+    }
+}
+
+/// The dual-feasibility certificate of Theorem 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioCertificate {
+    /// Harmonic number `H_X` of the covered demand.
+    pub harmonic: f64,
+    /// Max/min spread `Ξ` of assigned unit prices.
+    pub xi: f64,
+    /// Certified approximation ratio `π = H_X · Ξ`.
+    pub pi: f64,
+    /// Feasible dual objective `ω / π` — a lower bound on the offline
+    /// optimum (weak duality).
+    pub dual_objective: f64,
+}
+
+/// The full outcome of one single-stage auction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsamOutcome {
+    /// Accepted bids in selection order.
+    pub winners: Vec<WinningBid>,
+    /// The demand that was covered.
+    pub demand: u64,
+    /// Σ winning (selection) prices — the primal objective `ω` of
+    /// ILP (12).
+    pub social_cost: Price,
+    /// Σ payments to winners.
+    pub total_payment: Price,
+    /// The Theorem 3 certificate.
+    pub certificate: RatioCertificate,
+}
+
+impl SsamOutcome {
+    /// Returns the winner entry for a seller, if it won.
+    pub fn winner_for(&self, seller: MicroserviceId) -> Option<&WinningBid> {
+        self.winners.iter().find(|w| w.seller == seller)
+    }
+
+    /// `true` if a seller won any bid.
+    pub fn is_winner(&self, seller: MicroserviceId) -> bool {
+        self.winner_for(seller).is_some()
+    }
+}
+
+/// Marginal contribution of a bid given the uncovered remainder
+/// (Eq. 19 specialised to the aggregate demand).
+fn contribution(amount: u64, remaining: u64) -> u64 {
+    amount.min(remaining)
+}
+
+/// Greedy key: price per unit of marginal contribution.
+fn ratio(price: Price, amount: u64, remaining: u64) -> f64 {
+    price.value() / contribution(amount, remaining) as f64
+}
+
+/// Runs Algorithm 1 on a validated instance.
+///
+/// # Errors
+///
+/// Returns [`AuctionError::InfeasibleDemand`] when the reserve filter (if
+/// any) leaves too little supply. An instance that was feasible at
+/// construction cannot fail otherwise.
+pub fn run_ssam(
+    instance: &WspInstance,
+    config: &SsamConfig,
+) -> Result<SsamOutcome, AuctionError> {
+    // Candidate set 𝔽^t: all bids, filtered by the reserve if present.
+    let candidates: Vec<&crate::bid::Bid> = instance
+        .bids()
+        .filter(|b| match config.reserve_unit_price {
+            Some(r) => b.unit_price() <= r,
+            None => true,
+        })
+        .collect();
+
+    // Feasibility under the filter.
+    let mut per_seller_best: std::collections::BTreeMap<MicroserviceId, u64> =
+        std::collections::BTreeMap::new();
+    for b in &candidates {
+        let e = per_seller_best.entry(b.seller).or_insert(0);
+        *e = (*e).max(b.amount);
+    }
+    let supply: u64 = per_seller_best.values().sum();
+    if supply < instance.demand() {
+        return Err(AuctionError::InfeasibleDemand { demand: instance.demand(), supply });
+    }
+
+    let demand = instance.demand();
+    let selection = greedy_select(candidates.clone(), demand);
+
+    // Payments: the exact critical value per winner (lines 6–7
+    // strengthened — see the module docs). For winner `i`, replay the
+    // greedy run *without seller i*; before `i`'s first win that run
+    // visits exactly the states of the real run, so `i` wins iff its
+    // price undercuts `r_k · U_i(state_k)` at some iteration `k` of the
+    // replay. The supremum of winning prices — the Myerson threshold — is
+    // therefore `max_k r_k · U_i(state_k)`.
+    let mut winners: Vec<WinningBid> = Vec::with_capacity(selection.len());
+    for (winner, c) in &selection {
+        let without: Vec<&crate::bid::Bid> = candidates
+            .iter()
+            .copied()
+            .filter(|b| b.seller != winner.seller)
+            .collect();
+        let phantom = candidates
+            .iter()
+            .filter(|b| b.seller == winner.seller)
+            .map(|b| b.amount)
+            .max()
+            .unwrap_or(0);
+        let threshold = critical_threshold(without, demand, winner.amount, phantom);
+        let payment_value = match threshold {
+            Some(v) => v,
+            // Monopolist residual: no alternate run covers the demand, so
+            // any price wins. Cap at the reserve when configured, else at
+            // the bid's own price (IR-safe, threshold degenerate).
+            None => config
+                .reserve_unit_price
+                .map(|r| r * winner.amount as f64)
+                .unwrap_or(winner.price.value())
+                .max(winner.price.value()),
+        };
+        winners.push(WinningBid {
+            seller: winner.seller,
+            bid: winner.id,
+            amount_offered: winner.amount,
+            contribution: *c,
+            price: winner.price,
+            payment: Price::new_unchecked(payment_value),
+        });
+    }
+
+    let social_cost: Price = winners.iter().map(|w| w.price).sum();
+    let total_payment: Price = winners.iter().map(|w| w.payment).sum();
+    let certificate = build_certificate(&winners, demand, social_cost);
+
+    Ok(SsamOutcome { winners, demand, social_cost, total_payment, certificate })
+}
+
+/// Shared state of a greedy run: remaining demand plus the max offer of
+/// every still-unsold seller, used for the feasibility ("safety") filter.
+///
+/// A bid is *safe* iff selecting it leaves the residual demand coverable
+/// by the other unsold sellers' best offers. Every seller's max-amount
+/// bid is always safe while the invariant `Σ unsold max ≥ remaining`
+/// holds, so a safe candidate always exists and the greedy never strands
+/// demand — a necessary strengthening of the paper's line 4 (picking a
+/// seller's small cheap bid when feasibility depended on its large bid
+/// would otherwise dead-end).
+#[derive(Debug)]
+struct GreedyState<'a> {
+    candidates: Vec<&'a crate::bid::Bid>,
+    remaining: u64,
+    seller_max: std::collections::BTreeMap<MicroserviceId, u64>,
+    total_max: u64,
+    /// A "phantom" seller counted in the supply but excluded from
+    /// selection — used when replaying a run without one seller to keep
+    /// the replay's safety decisions identical to the real run's.
+    phantom: u64,
+}
+
+impl<'a> GreedyState<'a> {
+    fn new(candidates: Vec<&'a crate::bid::Bid>, demand: u64, phantom: u64) -> Self {
+        let mut seller_max = std::collections::BTreeMap::new();
+        for b in &candidates {
+            let e = seller_max.entry(b.seller).or_insert(0u64);
+            *e = (*e).max(b.amount);
+        }
+        let total_max = seller_max.values().sum::<u64>() + phantom;
+        GreedyState { candidates, remaining: demand, seller_max, total_max, phantom }
+    }
+
+    /// Supply of unsold sellers other than `seller` (phantom included).
+    fn rest_supply(&self, seller: MicroserviceId) -> u64 {
+        self.total_max - self.seller_max.get(&seller).copied().unwrap_or(0)
+    }
+
+    fn is_safe(&self, b: &crate::bid::Bid) -> bool {
+        contribution(b.amount, self.remaining) + self.rest_supply(b.seller) >= self.remaining
+    }
+
+    /// Whether the phantom seller could safely win `amount` units here.
+    fn phantom_safe(&self, amount: u64) -> bool {
+        contribution(amount, self.remaining) + (self.total_max - self.phantom)
+            >= self.remaining
+    }
+
+    /// The safe bid minimizing `∇/U` (deterministic tie-break on seller
+    /// then bid id keeps runs reproducible).
+    fn best_safe(&self) -> Option<&'a crate::bid::Bid> {
+        let remaining = self.remaining;
+        self.candidates
+            .iter()
+            .filter(|b| self.is_safe(b))
+            .min_by(|a, b| {
+                ratio(a.price, a.amount, remaining)
+                    .total_cmp(&ratio(b.price, b.amount, remaining))
+                    .then(a.seller.cmp(&b.seller))
+                    .then(a.id.cmp(&b.id))
+            })
+            .copied()
+    }
+
+    /// Accepts a bid: consume demand, drop the seller's bids, release its
+    /// supply entry.
+    fn sell(&mut self, winner: &crate::bid::Bid) -> u64 {
+        let c = contribution(winner.amount, self.remaining);
+        self.remaining -= c;
+        self.total_max -= self.seller_max.remove(&winner.seller).unwrap_or(0);
+        self.candidates.retain(|b| b.seller != winner.seller);
+        c
+    }
+}
+
+/// The greedy winner selection of Algorithm 1 (lines 3–12): repeatedly
+/// accept the safe bid minimizing `∇/U`, then drop the winner's other
+/// bids. Returns `(bid, contribution)` pairs in selection order.
+fn greedy_select(
+    candidates: Vec<&crate::bid::Bid>,
+    demand: u64,
+) -> Vec<(crate::bid::Bid, u64)> {
+    let mut state = GreedyState::new(candidates, demand, 0);
+    let mut selection = Vec::new();
+    while state.remaining > 0 {
+        let winner = *state
+            .best_safe()
+            .expect("a safe bid exists while the feasibility invariant holds");
+        let c = state.sell(&winner);
+        selection.push((winner, c));
+    }
+    selection
+}
+
+/// Replays the greedy run with one seller excluded from selection (but
+/// its best offer kept as phantom supply, so safety decisions match the
+/// real run's) and returns that seller's critical value for a bid of
+/// `amount` units: `max_k r_k · min(amount, remaining_k)` over the
+/// iterations where the bid would have been safe.
+///
+/// Returns `None` when the replay gets stuck — the excluded seller is
+/// then pivotal and wins at any price.
+fn critical_threshold(
+    others: Vec<&crate::bid::Bid>,
+    demand: u64,
+    amount: u64,
+    phantom: u64,
+) -> Option<f64> {
+    let mut state = GreedyState::new(others, demand, phantom);
+    let mut threshold = 0.0f64;
+    while state.remaining > 0 {
+        let best = *state.best_safe()?;
+        let r_k = ratio(best.price, best.amount, state.remaining);
+        if state.phantom_safe(amount) {
+            threshold = threshold.max(r_k * contribution(amount, state.remaining) as f64);
+        }
+        state.sell(&best);
+    }
+    Some(threshold)
+}
+
+/// Builds the Theorem 3 certificate from the assigned unit prices.
+fn build_certificate(winners: &[WinningBid], demand: u64, social_cost: Price) -> RatioCertificate {
+    if demand == 0 || winners.is_empty() {
+        return RatioCertificate { harmonic: 0.0, xi: 1.0, pi: 1.0, dual_objective: 0.0 };
+    }
+    let harmonic: f64 = (1..=demand).map(|k| 1.0 / k as f64).sum();
+    let unit_prices: Vec<f64> = winners.iter().map(WinningBid::assigned_unit_price).collect();
+    let max_u = unit_prices.iter().copied().fold(f64::MIN, f64::max);
+    let min_u = unit_prices.iter().copied().fold(f64::MAX, f64::min);
+    let xi = if min_u > 0.0 { max_u / min_u } else { 1.0 };
+    let pi = (harmonic * xi).max(1.0);
+    RatioCertificate { harmonic, xi, pi, dual_objective: social_cost.value() / pi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::Bid;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn inst(demand: u64, bids: Vec<Bid>) -> WspInstance {
+        WspInstance::new(demand, bids).unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_lowest_unit_price_first() {
+        // Seller 0: $2/u; seller 1: $3/u; demand 3 needs both.
+        let outcome = run_ssam(
+            &inst(3, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.winners.len(), 2);
+        assert_eq!(outcome.winners[0].seller, MicroserviceId::new(0));
+        assert_eq!(outcome.winners[0].contribution, 2);
+        assert_eq!(outcome.winners[1].seller, MicroserviceId::new(1));
+        assert_eq!(outcome.winners[1].contribution, 1);
+        assert_eq!(outcome.social_cost.value(), 10.0);
+    }
+
+    #[test]
+    fn payment_is_runner_up_unit_price_times_contribution() {
+        let outcome = run_ssam(
+            &inst(2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        // Winner: seller 0 at $2/u covering 2; runner-up: seller 1 at
+        // $3/u. Payment = 2 × 3 = $6.
+        assert_eq!(outcome.winners.len(), 1);
+        let w = &outcome.winners[0];
+        assert_eq!(w.seller, MicroserviceId::new(0));
+        assert_eq!(w.payment.value(), 6.0);
+        assert!(w.payment >= w.price);
+    }
+
+    #[test]
+    fn individual_rationality_holds() {
+        let outcome = run_ssam(
+            &inst(
+                6,
+                vec![
+                    bid(0, 0, 3, 9.0),
+                    bid(0, 1, 1, 2.0),
+                    bid(1, 0, 2, 5.0),
+                    bid(2, 0, 4, 14.0),
+                    bid(3, 0, 2, 8.0),
+                ],
+            ),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        for w in &outcome.winners {
+            assert!(w.payment >= w.price, "IR violated for {:?}", w);
+        }
+        assert!(outcome.total_payment >= outcome.social_cost);
+    }
+
+    #[test]
+    fn at_most_one_bid_per_seller_wins() {
+        let outcome = run_ssam(
+            &inst(
+                5,
+                vec![
+                    bid(0, 0, 2, 2.0),
+                    bid(0, 1, 3, 3.5),
+                    bid(1, 0, 3, 6.0),
+                    bid(2, 0, 3, 9.0),
+                ],
+            ),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        let mut sellers: Vec<_> = outcome.winners.iter().map(|w| w.seller).collect();
+        sellers.sort();
+        sellers.dedup();
+        assert_eq!(sellers.len(), outcome.winners.len(), "a seller won twice");
+    }
+
+    #[test]
+    fn demand_is_exactly_covered() {
+        let outcome = run_ssam(
+            &inst(7, vec![bid(0, 0, 5, 10.0), bid(1, 0, 5, 11.0), bid(2, 0, 5, 12.0)]),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        let covered: u64 = outcome.winners.iter().map(|w| w.contribution).sum();
+        assert_eq!(covered, 7);
+        // The second winner's contribution is clipped to the remainder.
+        assert_eq!(outcome.winners[1].contribution, 2);
+    }
+
+    #[test]
+    fn zero_demand_trivial_outcome() {
+        let outcome =
+            run_ssam(&inst(0, vec![bid(0, 0, 1, 1.0)]), &SsamConfig::default()).unwrap();
+        assert!(outcome.winners.is_empty());
+        assert_eq!(outcome.social_cost, Price::ZERO);
+        assert_eq!(outcome.certificate.dual_objective, 0.0);
+    }
+
+    #[test]
+    fn lone_seller_without_reserve_is_paid_its_price() {
+        let outcome =
+            run_ssam(&inst(2, vec![bid(0, 0, 3, 6.0)]), &SsamConfig::default()).unwrap();
+        let w = &outcome.winners[0];
+        // A monopolist has no finite threshold; without a reserve it is
+        // paid exactly its asking price.
+        assert_eq!(w.contribution, 2);
+        assert!((w.payment.value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserve_excludes_expensive_bids() {
+        let config = SsamConfig { reserve_unit_price: Some(2.5) };
+        // Seller 1 asks $3/u — above reserve, excluded; supply drops.
+        let err =
+            run_ssam(&inst(4, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]), &config).unwrap_err();
+        assert_eq!(err, AuctionError::InfeasibleDemand { demand: 4, supply: 2 });
+    }
+
+    #[test]
+    fn reserve_pays_lone_winner_the_reserve() {
+        let config = SsamConfig { reserve_unit_price: Some(5.0) };
+        let outcome = run_ssam(&inst(2, vec![bid(0, 0, 2, 4.0)]), &config).unwrap();
+        let w = &outcome.winners[0];
+        assert_eq!(w.payment.value(), 10.0); // 2 units × $5 reserve
+    }
+
+    #[test]
+    fn certificate_bounds_the_optimum() {
+        let instance = inst(
+            5,
+            vec![
+                bid(0, 0, 2, 7.0),
+                bid(0, 1, 3, 8.0),
+                bid(1, 0, 2, 4.0),
+                bid(2, 0, 3, 12.0),
+                bid(3, 0, 1, 2.0),
+            ],
+        );
+        let outcome = run_ssam(&instance, &SsamConfig::default()).unwrap();
+        let opt = instance.to_group_cover().solve_exact().unwrap().cost;
+        let cert = &outcome.certificate;
+        // Weak duality sandwich: dual ≤ OPT ≤ primal ≤ π · dual.
+        assert!(cert.dual_objective <= opt + 1e-9, "dual {} > opt {opt}", cert.dual_objective);
+        assert!(opt <= outcome.social_cost.value() + 1e-9);
+        assert!(outcome.social_cost.value() <= cert.pi * cert.dual_objective + 1e-9);
+    }
+
+    #[test]
+    fn single_bid_per_seller_certificate_uses_harmonic_only_when_uniform() {
+        // All bids same unit price → Ξ = 1, π = H_X.
+        let outcome = run_ssam(
+            &inst(3, vec![bid(0, 0, 1, 2.0), bid(1, 0, 1, 2.0), bid(2, 0, 1, 2.0)]),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        assert!((outcome.certificate.xi - 1.0).abs() < 1e-9);
+        let h3 = 1.0 + 0.5 + 1.0 / 3.0;
+        assert!((outcome.certificate.pi - h3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let bids = vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 4.0), bid(2, 0, 2, 4.0)];
+        let a = run_ssam(&inst(4, bids.clone()), &SsamConfig::default()).unwrap();
+        let b = run_ssam(&inst(4, bids), &SsamConfig::default()).unwrap();
+        assert_eq!(a, b);
+        // Ties break toward the lower seller id.
+        assert_eq!(a.winners[0].seller, MicroserviceId::new(0));
+        assert_eq!(a.winners[1].seller, MicroserviceId::new(1));
+    }
+
+    #[test]
+    fn winner_lookup_helpers() {
+        let outcome = run_ssam(
+            &inst(2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+            &SsamConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.is_winner(MicroserviceId::new(0)));
+        assert!(!outcome.is_winner(MicroserviceId::new(1)));
+        assert_eq!(
+            outcome.winner_for(MicroserviceId::new(0)).unwrap().bid,
+            BidId::new(0)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The MSOA variants compared in Figure 5(a).
+//!
+//! * **MSOA** — the plain mechanism, auctioning the *estimated* demand.
+//! * **MSOA-DA** — "with optimal demand estimation": the auction sees the
+//!   ground-truth demand instead of the estimate.
+//! * **MSOA-RC** — "with higher resource capacity values": every seller's
+//!   long-run capacity `Θ_i` is multiplied by a relaxation factor.
+//! * **MSOA-OA** — both adjustments at once.
+//!
+//! Each variant is a pure transformation of the instance followed by the
+//! unmodified [`run_msoa`], so the comparison isolates exactly the knob
+//! the paper describes.
+
+use crate::bid::Seller;
+use crate::error::AuctionError;
+use crate::msoa::{run_msoa, MsoaConfig, MsoaOutcome, MultiRoundInstance, RoundInput};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which MSOA variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MsoaVariant {
+    /// Plain MSOA on estimated demands.
+    Plain,
+    /// MSOA-DA: perfect demand estimation.
+    DemandAware,
+    /// MSOA-RC: capacities multiplied by the factor (must be ≥ 1).
+    RelaxedCapacity {
+        /// Capacity multiplier.
+        factor: f64,
+    },
+    /// MSOA-OA: both perfect demand and relaxed capacity.
+    Optimized {
+        /// Capacity multiplier.
+        factor: f64,
+    },
+}
+
+impl fmt::Display for MsoaVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsoaVariant::Plain => write!(f, "MSOA"),
+            MsoaVariant::DemandAware => write!(f, "MSOA-DA"),
+            MsoaVariant::RelaxedCapacity { .. } => write!(f, "MSOA-RC"),
+            MsoaVariant::Optimized { .. } => write!(f, "MSOA-OA"),
+        }
+    }
+}
+
+/// Transforms the instance per the variant's definition.
+///
+/// # Panics
+///
+/// Panics if a capacity factor is below 1 — the paper's RC/OA variants
+/// only *raise* capacities.
+pub fn transform_instance(
+    instance: &MultiRoundInstance,
+    variant: MsoaVariant,
+) -> MultiRoundInstance {
+    let (use_true_demand, factor) = match variant {
+        MsoaVariant::Plain => (false, 1.0),
+        MsoaVariant::DemandAware => (true, 1.0),
+        MsoaVariant::RelaxedCapacity { factor } => (false, factor),
+        MsoaVariant::Optimized { factor } => (true, factor),
+    };
+    assert!(factor >= 1.0, "capacity relaxation factor must be >= 1");
+
+    let sellers: Vec<Seller> = instance
+        .sellers()
+        .iter()
+        .map(|s| Seller {
+            capacity: (s.capacity as f64 * factor).round() as u64,
+            ..*s
+        })
+        .collect();
+    let rounds: Vec<RoundInput> = instance
+        .rounds()
+        .iter()
+        .map(|r| {
+            let demand = if use_true_demand { r.true_demand } else { r.estimated_demand };
+            RoundInput::new(demand, r.true_demand, r.bids.clone())
+        })
+        .collect();
+    MultiRoundInstance::new(sellers, rounds)
+        .expect("transforming a valid instance keeps it valid")
+}
+
+/// Runs the chosen variant.
+///
+/// # Errors
+///
+/// Propagates [`run_msoa`] errors.
+pub fn run_variant(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    variant: MsoaVariant,
+) -> Result<MsoaOutcome, AuctionError> {
+    run_msoa(&transform_instance(instance, variant), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::Bid;
+    use edge_common::id::{BidId, MicroserviceId};
+
+    fn instance() -> MultiRoundInstance {
+        let sellers = vec![
+            Seller::new(MicroserviceId::new(0), 4, (0, 2)).unwrap(),
+            Seller::new(MicroserviceId::new(1), 4, (0, 2)).unwrap(),
+        ];
+        let rounds = (0..3)
+            .map(|_| {
+                RoundInput::new(
+                    4, // over-estimated demand
+                    3, // true demand
+                    vec![
+                        Bid::new(MicroserviceId::new(0), BidId::new(0), 2, 4.0).unwrap(),
+                        Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 6.0).unwrap(),
+                    ],
+                )
+            })
+            .collect();
+        MultiRoundInstance::new(sellers, rounds).unwrap()
+    }
+
+    #[test]
+    fn demand_aware_uses_true_demand() {
+        let t = transform_instance(&instance(), MsoaVariant::DemandAware);
+        assert!(t.rounds().iter().all(|r| r.estimated_demand == 3));
+        let plain = transform_instance(&instance(), MsoaVariant::Plain);
+        assert!(plain.rounds().iter().all(|r| r.estimated_demand == 4));
+    }
+
+    #[test]
+    fn relaxed_capacity_scales_thetas() {
+        let t = transform_instance(&instance(), MsoaVariant::RelaxedCapacity { factor: 2.5 });
+        assert!(t.sellers().iter().all(|s| s.capacity == 10));
+        // Demands untouched.
+        assert!(t.rounds().iter().all(|r| r.estimated_demand == 4));
+    }
+
+    #[test]
+    fn optimized_applies_both() {
+        let t = transform_instance(&instance(), MsoaVariant::Optimized { factor: 2.0 });
+        assert!(t.sellers().iter().all(|s| s.capacity == 8));
+        assert!(t.rounds().iter().all(|r| r.estimated_demand == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn shrinking_capacity_is_rejected() {
+        transform_instance(&instance(), MsoaVariant::RelaxedCapacity { factor: 0.5 });
+    }
+
+    #[test]
+    fn relaxed_capacity_unlocks_infeasible_rounds() {
+        // Capacity 4 exhausts after two wins of 2 units; plain MSOA goes
+        // infeasible by round 2 while RC keeps covering.
+        let plain = run_variant(&instance(), &MsoaConfig::default(), MsoaVariant::Plain).unwrap();
+        let rc = run_variant(
+            &instance(),
+            &MsoaConfig::default(),
+            MsoaVariant::RelaxedCapacity { factor: 3.0 },
+        )
+        .unwrap();
+        assert!(plain.infeasible_rounds().len() > rc.infeasible_rounds().len());
+    }
+
+    #[test]
+    fn demand_aware_costs_no_more_than_overestimating_plain() {
+        // With demand over-estimated (4 > 3), plain MSOA buys more than
+        // needed each round; DA buys exactly the true demand.
+        let plain = run_variant(&instance(), &MsoaConfig::default(), MsoaVariant::Plain).unwrap();
+        let da =
+            run_variant(&instance(), &MsoaConfig::default(), MsoaVariant::DemandAware).unwrap();
+        assert!(da.social_cost <= plain.social_cost);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(MsoaVariant::Plain.to_string(), "MSOA");
+        assert_eq!(MsoaVariant::DemandAware.to_string(), "MSOA-DA");
+        assert_eq!(MsoaVariant::RelaxedCapacity { factor: 2.0 }.to_string(), "MSOA-RC");
+        assert_eq!(MsoaVariant::Optimized { factor: 2.0 }.to_string(), "MSOA-OA");
+    }
+}

@@ -1,0 +1,224 @@
+//! VCG payments on the exact winner selection — the classical yardstick.
+//!
+//! The Vickrey–Clarke–Groves mechanism solves the WSP *exactly* and pays
+//! each winner its externality: `p_i = OPT(without i) − (OPT − price_i)`.
+//! VCG is truthful and individually rational but needs the NP-hard
+//! optimum twice per winner — exactly the computational cost the paper's
+//! polynomial SSAM avoids. This module implements VCG over the covering
+//! DP so experiments can quantify what SSAM trades away:
+//!
+//! * **allocation efficiency** — `OPT ≤ SSAM social cost ≤ π·OPT`;
+//! * **overpayment** — how SSAM's critical-value payments compare with
+//!   VCG's externality payments.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_auction::bid::Bid;
+//! use edge_auction::vcg::run_vcg;
+//! use edge_auction::wsp::WspInstance;
+//! use edge_common::id::{BidId, MicroserviceId};
+//!
+//! # fn main() -> Result<(), edge_auction::AuctionError> {
+//! let bids = vec![
+//!     Bid::new(MicroserviceId::new(0), BidId::new(0), 2, 4.0)?,
+//!     Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 6.0)?,
+//!     Bid::new(MicroserviceId::new(2), BidId::new(0), 2, 7.0)?,
+//! ];
+//! let outcome = run_vcg(&WspInstance::new(4, bids)?)?;
+//! assert_eq!(outcome.social_cost.value(), 10.0); // optimal: sellers 0 + 1
+//! assert!(outcome.winners.iter().all(|w| w.payment >= w.price));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::AuctionError;
+use crate::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use serde::{Deserialize, Serialize};
+
+/// One VCG winner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcgWinner {
+    /// The selling microservice.
+    pub seller: MicroserviceId,
+    /// Which alternative bid was selected by the exact optimum.
+    pub bid: BidId,
+    /// Units offered by the selected bid.
+    pub amount: u64,
+    /// Asking price.
+    pub price: Price,
+    /// Externality payment `OPT₋ᵢ − (OPT − price_i)`.
+    pub payment: Price,
+}
+
+/// Outcome of the VCG mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcgOutcome {
+    /// Winners of the exact optimum.
+    pub winners: Vec<VcgWinner>,
+    /// The exact optimal social cost `OPT`.
+    pub social_cost: Price,
+    /// Σ externality payments.
+    pub total_payment: Price,
+}
+
+/// Runs VCG: exact winner selection by the covering DP, externality
+/// payments from the re-solved instance without each winner.
+///
+/// # Errors
+///
+/// Returns [`AuctionError::InfeasibleDemand`] if the instance (already
+/// validated at construction) somehow cannot be covered — kept for
+/// interface symmetry with the approximate mechanisms.
+pub fn run_vcg(instance: &WspInstance) -> Result<VcgOutcome, AuctionError> {
+    let cover = instance.to_group_cover();
+    let Some(opt) = cover.solve_exact() else {
+        return Err(AuctionError::InfeasibleDemand {
+            demand: instance.demand(),
+            supply: instance.max_supply(),
+        });
+    };
+
+    let mut winners = Vec::new();
+    for (g, choice) in opt.chosen.iter().enumerate() {
+        let Some(j) = choice else { continue };
+        let bid = &instance.groups()[g][*j];
+        // Re-solve without this seller.
+        let others: Vec<crate::bid::Bid> = instance
+            .bids()
+            .filter(|b| b.seller != bid.seller)
+            .copied()
+            .collect();
+        let payment_value = match WspInstance::new(instance.demand(), others) {
+            Ok(without) => {
+                let opt_without = without
+                    .to_group_cover()
+                    .solve_exact()
+                    .expect("feasibility checked at construction")
+                    .cost;
+                opt_without - (opt.cost - bid.price.value())
+            }
+            // Pivotal seller: the rest cannot cover. VCG's externality is
+            // unbounded; pay the asking price (the same IR-safe fallback
+            // as SSAM without a reserve).
+            Err(AuctionError::InfeasibleDemand { .. }) => bid.price.value(),
+            Err(e) => return Err(e),
+        };
+        winners.push(VcgWinner {
+            seller: bid.seller,
+            bid: bid.id,
+            amount: bid.amount,
+            price: bid.price,
+            payment: Price::new_unchecked(payment_value.max(bid.price.value())),
+        });
+    }
+
+    let social_cost = Price::new_unchecked(opt.cost);
+    let total_payment: Price = winners.iter().map(|w| w.payment).sum();
+    Ok(VcgOutcome { winners, social_cost, total_payment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::Bid;
+    use crate::ssam::{run_ssam, SsamConfig};
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn instance() -> WspInstance {
+        WspInstance::new(
+            4,
+            vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0), bid(2, 0, 2, 7.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selects_the_exact_optimum() {
+        let out = run_vcg(&instance()).unwrap();
+        assert_eq!(out.social_cost.value(), 10.0);
+        assert_eq!(out.winners.len(), 2);
+        let sellers: Vec<_> = out.winners.iter().map(|w| w.seller.index()).collect();
+        assert_eq!(sellers, vec![0, 1]);
+    }
+
+    #[test]
+    fn externality_payments_by_hand() {
+        // OPT = 10 (sellers 0+1). Without seller 0: OPT₋₀ = 6+7 = 13 →
+        // p₀ = 13 − (10 − 4) = 7. Without seller 1: OPT₋₁ = 4+7 = 11 →
+        // p₁ = 11 − (10 − 6) = 7.
+        let out = run_vcg(&instance()).unwrap();
+        assert_eq!(out.winners[0].payment.value(), 7.0);
+        assert_eq!(out.winners[1].payment.value(), 7.0);
+        assert_eq!(out.total_payment.value(), 14.0);
+    }
+
+    #[test]
+    fn individual_rationality() {
+        let out = run_vcg(&instance()).unwrap();
+        for w in &out.winners {
+            assert!(w.payment >= w.price);
+        }
+    }
+
+    #[test]
+    fn vcg_is_truthful_by_deviation_sweep() {
+        // Raising a winner's price above its VCG payment ejects it; any
+        // price below keeps the same payment.
+        let inst = instance();
+        let out = run_vcg(&inst).unwrap();
+        let w0 = out.winners[0];
+        let cheaper = crate::properties::with_price(&inst, w0.seller, w0.bid, 1.0);
+        let out_cheaper = run_vcg(&cheaper).unwrap();
+        let again = out_cheaper.winners.iter().find(|w| w.seller == w0.seller).unwrap();
+        assert_eq!(again.payment, w0.payment, "payment must not depend on own bid");
+
+        let expensive = crate::properties::with_price(
+            &inst,
+            w0.seller,
+            w0.bid,
+            w0.payment.value() + 0.5,
+        );
+        let out_exp = run_vcg(&expensive).unwrap();
+        assert!(
+            !out_exp.winners.iter().any(|w| w.seller == w0.seller),
+            "bidding above the VCG payment must lose"
+        );
+    }
+
+    #[test]
+    fn ssam_cost_at_least_vcg_cost() {
+        // VCG allocates optimally, so its social cost lower-bounds
+        // SSAM's on every instance.
+        for seed in 0..10u64 {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(3..8);
+            let bids: Vec<Bid> = (0..n)
+                .map(|s| {
+                    bid(s, 0, rng.gen_range(1..5), rng.gen_range(2..30) as f64)
+                })
+                .collect();
+            let supply: u64 = bids.iter().map(|b| b.amount).sum();
+            let inst = WspInstance::new(rng.gen_range(1..=supply), bids).unwrap();
+            let vcg = run_vcg(&inst).unwrap();
+            let ssam = run_ssam(&inst, &SsamConfig::default()).unwrap();
+            assert!(
+                ssam.social_cost.value() >= vcg.social_cost.value() - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_pivotal_seller_paid_its_price() {
+        let inst = WspInstance::new(2, vec![bid(0, 0, 3, 9.0)]).unwrap();
+        let out = run_vcg(&inst).unwrap();
+        assert_eq!(out.winners[0].payment.value(), 9.0);
+    }
+}

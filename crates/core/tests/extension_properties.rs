@@ -1,0 +1,195 @@
+//! Property tests for the extension mechanisms: multi-buyer SSAM/MSOA,
+//! budgets, and VCG.
+
+use edge_auction::bid::{Bid, Seller};
+use edge_auction::budget::run_budgeted_ssam;
+use edge_auction::msoa_multi::{run_msoa_multi, MsoaMultiConfig, MultiBuyerRound};
+use edge_auction::multi_buyer::{run_ssam_multi, CoverBid, MultiBuyerWsp};
+use edge_auction::ssam::{run_ssam, SsamConfig};
+use edge_auction::vcg::run_vcg;
+use edge_auction::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use edge_lp::{solve_ilp, IlpOptions};
+use proptest::prelude::*;
+
+fn buyer(i: usize) -> MicroserviceId {
+    MicroserviceId::new(1000 + i)
+}
+
+fn arb_multi_buyer() -> impl Strategy<Value = MultiBuyerWsp> {
+    (
+        proptest::collection::vec(1u64..4, 1..4), // buyer demands
+        proptest::collection::vec(
+            // per seller: one bid = (buyer mask seed, amount, price)
+            (0usize..64, 1u64..4, 1u32..30),
+            2..7,
+        ),
+    )
+        .prop_map(|(demands, raw_bids)| {
+            let n_buyers = demands.len();
+            let demands: Vec<(MicroserviceId, u64)> =
+                demands.into_iter().enumerate().map(|(b, x)| (buyer(b), x)).collect();
+            let bids: Vec<CoverBid> = raw_bids
+                .into_iter()
+                .enumerate()
+                .map(|(s, (mask, amount, price))| {
+                    // At least one buyer covered; mask picks a subset.
+                    let mut coverage: Vec<(MicroserviceId, u64)> = (0..n_buyers)
+                        .filter(|b| mask & (1 << b) != 0)
+                        .map(|b| (buyer(b), amount))
+                        .collect();
+                    if coverage.is_empty() {
+                        coverage.push((buyer(mask % n_buyers), amount));
+                    }
+                    let total: u64 = coverage.iter().map(|&(_, a)| a).sum();
+                    CoverBid::new(
+                        MicroserviceId::new(s),
+                        BidId::new(0),
+                        coverage,
+                        price as f64 * total as f64 / 2.0 + 1.0,
+                    )
+                    .expect("valid generated bid")
+                })
+                .collect();
+            MultiBuyerWsp::new(demands, bids).expect("valid instance")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Coverage never exceeds demand, winners are unique per seller, and
+    /// payments are individually rational.
+    #[test]
+    fn multi_buyer_invariants(inst in arb_multi_buyer()) {
+        let out = run_ssam_multi(&inst, &SsamConfig::default());
+        for (b, &x) in inst.demands() {
+            let c = out.covered.get(b).copied().unwrap_or(0);
+            prop_assert!(c <= x, "over-covered buyer {b}");
+        }
+        let mut sellers: Vec<_> = out.winners.iter().map(|w| w.seller).collect();
+        sellers.sort();
+        sellers.dedup();
+        prop_assert_eq!(sellers.len(), out.winners.len());
+        for w in &out.winners {
+            prop_assert!(w.payment >= w.price, "IR violated: {w:?}");
+        }
+    }
+
+    /// When the greedy fully covers, its cost is at least the exact ILP
+    /// optimum (sanity: greedy cannot beat the optimum).
+    #[test]
+    fn multi_buyer_never_beats_ilp(inst in arb_multi_buyer()) {
+        let out = run_ssam_multi(&inst, &SsamConfig::default());
+        if !out.fully_covered {
+            return Ok(());
+        }
+        let (ilp, _) = inst.to_ilp();
+        let opts = IlpOptions { max_nodes: 20_000, ..IlpOptions::default() };
+        if let Ok(sol) = solve_ilp(&ilp, &opts) {
+            if sol.proven_optimal {
+                prop_assert!(out.social_cost.value() >= sol.objective - 1e-6,
+                    "greedy {} beat optimum {}", out.social_cost.value(), sol.objective);
+            }
+        }
+    }
+
+    /// VCG's allocation is optimal and its payments are IR on every
+    /// random aggregate instance.
+    #[test]
+    fn vcg_invariants(
+        offers in proptest::collection::vec((1u64..6, 1u32..30), 2..8),
+        demand_frac in 0.1f64..1.0,
+    ) {
+        let bids: Vec<Bid> = offers
+            .iter()
+            .enumerate()
+            .map(|(s, &(a, p))| {
+                Bid::new(MicroserviceId::new(s), BidId::new(0), a, p as f64 + 1.0).unwrap()
+            })
+            .collect();
+        let supply: u64 = offers.iter().map(|&(a, _)| a).sum();
+        let demand = ((supply as f64 * demand_frac) as u64).max(1);
+        let inst = WspInstance::new(demand, bids).unwrap();
+        let vcg = run_vcg(&inst).unwrap();
+        let opt = inst.to_group_cover().solve_exact().unwrap().cost;
+        prop_assert!((vcg.social_cost.value() - opt).abs() < 1e-9);
+        for w in &vcg.winners {
+            prop_assert!(w.payment >= w.price);
+        }
+        // SSAM never undercuts VCG's (optimal) social cost.
+        let ssam = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        prop_assert!(ssam.social_cost.value() >= vcg.social_cost.value() - 1e-9);
+    }
+
+    /// Budgeted coverage is monotone in the budget and never exceeds it.
+    #[test]
+    fn budget_monotonicity(
+        offers in proptest::collection::vec((1u64..6, 1u32..30), 2..8),
+        fracs in proptest::collection::vec(0.0f64..1.5, 4),
+    ) {
+        let bids: Vec<Bid> = offers
+            .iter()
+            .enumerate()
+            .map(|(s, &(a, p))| {
+                Bid::new(MicroserviceId::new(s), BidId::new(0), a, p as f64 + 1.0).unwrap()
+            })
+            .collect();
+        let supply: u64 = offers.iter().map(|&(a, _)| a).sum();
+        let inst = WspInstance::new(supply / 2 + 1, bids).unwrap();
+        let need = run_ssam(&inst, &SsamConfig::default()).unwrap().total_payment;
+        let mut fracs = fracs;
+        fracs.sort_by(f64::total_cmp);
+        let mut last = 0u64;
+        for f in fracs {
+            let budget = Price::new(need.value() * f).unwrap();
+            let out = run_budgeted_ssam(&inst, &SsamConfig::default(), budget).unwrap();
+            prop_assert!(out.total_payment.value() <= budget.value() + 1e-9);
+            prop_assert!(out.covered >= last);
+            last = out.covered;
+        }
+    }
+
+    /// Multi-buyer MSOA: capacities hold and social cost accumulates
+    /// only true prices.
+    #[test]
+    fn msoa_multi_capacity_and_pricing(
+        raw in proptest::collection::vec((1u64..3, 1u32..20), 4..8),
+        rounds in 1usize..4,
+    ) {
+        let n_sellers = raw.len();
+        let sellers: Vec<Seller> = (0..n_sellers)
+            .map(|s| Seller::new(MicroserviceId::new(s), 6, (0, rounds as u64 - 1)).unwrap())
+            .collect();
+        let round_inputs: Vec<MultiBuyerRound> = (0..rounds)
+            .map(|_| {
+                let bids: Vec<CoverBid> = raw
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(a, p))| {
+                        CoverBid::new(
+                            MicroserviceId::new(s),
+                            BidId::new(0),
+                            vec![(buyer(0), a)],
+                            p as f64 + 1.0,
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                MultiBuyerRound::new(vec![(buyer(0), 2)], bids)
+            })
+            .collect();
+        let out = run_msoa_multi(&sellers, &round_inputs, &MsoaMultiConfig::default()).unwrap();
+        for (s, seller) in sellers.iter().enumerate() {
+            prop_assert!(out.chi[s] <= seller.capacity);
+        }
+        let manual: f64 = out.rounds.iter().map(|r| r.social_cost.value()).sum();
+        prop_assert!((manual - out.social_cost.value()).abs() < 1e-9);
+        // True prices are integers+1 by construction; scaled prices in
+        // outcome.winners may exceed them but social cost must not
+        // include the ψ surcharge.
+        let max_true: f64 = raw.iter().map(|&(_, p)| p as f64 + 1.0).sum::<f64>() * rounds as f64;
+        prop_assert!(out.social_cost.value() <= max_true + 1e-9);
+    }
+}

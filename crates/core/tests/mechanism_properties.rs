@@ -1,0 +1,250 @@
+//! Randomized property tests of the mechanism's economic guarantees.
+//!
+//! These are the executable versions of the paper's Theorems 3–5 and 7,
+//! run over thousands of random instances.
+
+use edge_auction::bid::{Bid, Seller};
+use edge_auction::msoa::{run_msoa, MsoaConfig, MultiRoundInstance, RoundInput};
+use edge_auction::offline::{offline_optimum_multi, offline_optimum_round};
+use edge_auction::properties::{
+    audit_truthfulness, check_individual_rationality, check_monotonicity,
+};
+use edge_auction::ssam::{run_ssam, SsamConfig};
+use edge_auction::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_lp::IlpOptions;
+use proptest::prelude::*;
+
+/// Instances with one bid per seller — the single-parameter Myerson
+/// setting where truthfulness is an exact guarantee.
+fn arb_single_bid_instance() -> impl Strategy<Value = WspInstance> {
+    proptest::collection::vec((1u64..8, 1u32..40), 2..10).prop_flat_map(|offers| {
+        let supply: u64 = offers.iter().map(|(a, _)| *a).sum();
+        (Just(offers), 1u64..=supply)
+    })
+    .prop_map(|(offers, demand)| {
+        let bids = offers
+            .into_iter()
+            .enumerate()
+            .map(|(s, (amount, price))| {
+                Bid::new(MicroserviceId::new(s), BidId::new(0), amount, price as f64 + 1.0)
+                    .unwrap()
+            })
+            .collect();
+        WspInstance::new(demand, bids).expect("demand bounded by supply")
+    })
+}
+
+/// Instances where sellers submit up to 3 alternative bids.
+fn arb_multi_bid_instance() -> impl Strategy<Value = WspInstance> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u64..8, 1u32..40), 1..4),
+        2..8,
+    )
+    .prop_flat_map(|groups| {
+        let supply: u64 = groups
+            .iter()
+            .map(|g| g.iter().map(|(a, _)| *a).max().unwrap_or(0))
+            .sum();
+        (Just(groups), 1u64..=supply.max(1))
+    })
+    .prop_filter_map("supply must cover demand", |(groups, demand)| {
+        let bids: Vec<Bid> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(s, g)| {
+                g.iter().enumerate().map(move |(j, (amount, price))| {
+                    Bid::new(
+                        MicroserviceId::new(s),
+                        BidId::new(j),
+                        *amount,
+                        *price as f64 + 1.0,
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        WspInstance::new(demand, bids).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 5: payments always cover prices.
+    #[test]
+    fn individual_rationality(inst in arb_multi_bid_instance()) {
+        let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        prop_assert!(check_individual_rationality(&outcome));
+    }
+
+    /// Theorem 3: SSAM's social cost is sandwiched between the exact
+    /// optimum and π times the dual certificate.
+    #[test]
+    fn approximation_sandwich(inst in arb_multi_bid_instance()) {
+        let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        let opt = offline_optimum_round(&inst).expect("feasible");
+        let primal = outcome.social_cost.value();
+        prop_assert!(primal >= opt - 1e-9, "greedy beat the optimum?!");
+        let cert = outcome.certificate;
+        prop_assert!(cert.dual_objective <= opt + 1e-9,
+            "dual {} exceeds optimum {opt}", cert.dual_objective);
+        prop_assert!(primal <= cert.pi * opt + 1e-6,
+            "ratio {} above certified π {}", primal / opt.max(1e-12), cert.pi);
+    }
+
+    /// Demand is exactly covered and each seller wins at most once.
+    #[test]
+    fn coverage_and_uniqueness(inst in arb_multi_bid_instance()) {
+        let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        let covered: u64 = outcome.winners.iter().map(|w| w.contribution).sum();
+        prop_assert_eq!(covered, inst.demand());
+        let mut sellers: Vec<_> = outcome.winners.iter().map(|w| w.seller).collect();
+        sellers.sort();
+        sellers.dedup();
+        prop_assert_eq!(sellers.len(), outcome.winners.len());
+    }
+
+    /// Theorem 4 (exact in the single-parameter setting): no price
+    /// deviation beats truthful bidding. A reserve price is required for
+    /// exact truthfulness — without one, a *pivotal* seller (one whose
+    /// supply is needed for feasibility) is paid its own report and could
+    /// extort; the reserve caps that payment at a bid-independent value.
+    #[test]
+    fn truthfulness_single_bid(inst in arb_single_bid_instance()) {
+        let config = SsamConfig { reserve_unit_price: Some(1_000.0) };
+        let violations = audit_truthfulness(
+            &inst,
+            &config,
+            &[0.25, 0.5, 0.75, 0.9, 0.99, 1.01, 1.1, 1.5, 2.0, 4.0],
+        )
+        .unwrap();
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Without a reserve, any profitable deviation must trace back to a
+    /// pivotal seller — competitive sellers still cannot gain.
+    #[test]
+    fn non_pivotal_sellers_cannot_gain_without_reserve(inst in arb_single_bid_instance()) {
+        let violations = audit_truthfulness(
+            &inst,
+            &SsamConfig::default(),
+            &[0.5, 0.9, 1.1, 2.0],
+        )
+        .unwrap();
+        for v in violations {
+            // The violator must be pivotal: removing its best offer must
+            // break feasibility.
+            let rest: u64 = inst
+                .groups()
+                .iter()
+                .filter(|g| g[0].seller != v.seller)
+                .map(|g| g.iter().map(|b| b.amount).max().unwrap_or(0))
+                .sum();
+            prop_assert!(rest < inst.demand(),
+                "non-pivotal seller {:?} profited: {v:?}", v.seller);
+        }
+    }
+
+    /// Lemma 2: winners keep winning at lower prices.
+    #[test]
+    fn monotonicity(inst in arb_single_bid_instance()) {
+        prop_assert!(check_monotonicity(&inst, &SsamConfig::default()).unwrap());
+    }
+}
+
+/// A compact multi-round generator for MSOA-level properties.
+fn arb_multi_round() -> impl Strategy<Value = MultiRoundInstance> {
+    (
+        2usize..6,             // sellers
+        1usize..5,             // rounds
+        proptest::collection::vec((1u64..6, 1u32..30), 24),
+    )
+        .prop_map(|(n_sellers, n_rounds, raw)| {
+            let sellers: Vec<Seller> = (0..n_sellers)
+                .map(|s| {
+                    Seller::new(MicroserviceId::new(s), 30, (0, n_rounds as u64 - 1)).unwrap()
+                })
+                .collect();
+            let mut it = raw.into_iter().cycle();
+            let rounds: Vec<RoundInput> = (0..n_rounds)
+                .map(|_| {
+                    let bids: Vec<Bid> = (0..n_sellers)
+                        .map(|s| {
+                            let (amount, price) = it.next().unwrap();
+                            Bid::new(
+                                MicroserviceId::new(s),
+                                BidId::new(0),
+                                amount,
+                                price as f64 + 1.0,
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    // Demand at most half the round's supply keeps most
+                    // rounds feasible without trivializing them.
+                    let supply: u64 = bids.iter().map(|b| b.amount).sum();
+                    RoundInput::new((supply / 2).max(1), (supply / 2).max(1), bids)
+                })
+                .collect();
+            MultiRoundInstance::new(sellers, rounds).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constraint (11): no seller ever exceeds its capacity, and every
+    /// feasible round is exactly covered.
+    #[test]
+    fn msoa_capacity_and_coverage(instance in arb_multi_round()) {
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        for (s, seller) in instance.sellers().iter().enumerate() {
+            prop_assert!(out.chi[s] <= seller.capacity,
+                "seller {s} sold {} over capacity {}", out.chi[s], seller.capacity);
+        }
+        for r in &out.rounds {
+            if !r.infeasible {
+                let covered: u64 = r.winners.iter().map(|w| w.contribution).sum();
+                prop_assert!(covered >= r.demand);
+            }
+        }
+    }
+
+    /// Theorem 7 (empirical): when every round is feasible and the
+    /// offline optimum is exact, the online/offline ratio respects the
+    /// competitive bound.
+    #[test]
+    fn msoa_respects_competitive_bound(instance in arb_multi_round()) {
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        if !out.infeasible_rounds().is_empty() {
+            return Ok(()); // the bound only speaks to fully-served runs
+        }
+        let offline = match offline_optimum_multi(&instance, true, &IlpOptions::default()) {
+            Ok(b) if b.is_exact() => b.value(),
+            _ => return Ok(()),
+        };
+        if offline <= 1e-9 {
+            return Ok(());
+        }
+        let ratio = out.social_cost.value() / offline;
+        prop_assert!(ratio >= 1.0 - 1e-9, "online beat offline: {ratio}");
+        if out.competitive_bound.is_finite() {
+            prop_assert!(ratio <= out.competitive_bound + 1e-6,
+                "ratio {ratio} above bound {}", out.competitive_bound);
+        }
+    }
+
+    /// Payments (on scaled prices) still cover the scaled selection
+    /// prices round by round.
+    #[test]
+    fn msoa_round_payments_cover_scaled_prices(instance in arb_multi_round()) {
+        let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+        for r in &out.rounds {
+            for w in &r.winners {
+                prop_assert!(w.payment.value() >= w.scaled_price.value() - 1e-9);
+                prop_assert!(w.scaled_price >= w.true_price);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Analytic Hierarchy Process (Saaty) weight derivation.
+//!
+//! §III of the paper: "the scaling factors can be decided by the analytic
+//! hierarchy process (AHP)". Given a reciprocal pairwise-comparison matrix
+//! over the three demand indicators, AHP derives relative weights as the
+//! principal eigenvector and scores judgment consistency via the
+//! consistency ratio (CR), accepting matrices with `CR < 0.1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_demand::ahp::PairwiseMatrix;
+//!
+//! // Waiting time is 2× as important as processing, 4× as request rate;
+//! // processing is 2× as important as request rate — perfectly
+//! // consistent.
+//! let mut m = PairwiseMatrix::identity(3);
+//! m.set(0, 1, 2.0).unwrap();
+//! m.set(0, 2, 4.0).unwrap();
+//! m.set(1, 2, 2.0).unwrap();
+//! let r = m.weights();
+//! assert!((r.weights[0] - 4.0 / 7.0).abs() < 1e-6);
+//! assert!(r.consistency_ratio < 1e-6);
+//! assert!(r.is_consistent());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Saaty's random consistency index by matrix order (index 0 unused).
+const RANDOM_INDEX: [f64; 11] =
+    [0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49];
+
+/// Error from building a pairwise matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AhpError {
+    /// Judgment must be strictly positive and finite.
+    InvalidJudgment,
+    /// Index out of range or on the diagonal.
+    InvalidPosition,
+    /// Matrix order outside the supported 1..=10.
+    UnsupportedOrder,
+}
+
+impl fmt::Display for AhpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AhpError::InvalidJudgment => write!(f, "judgment must be positive and finite"),
+            AhpError::InvalidPosition => write!(f, "position out of range or on the diagonal"),
+            AhpError::UnsupportedOrder => write!(f, "matrix order must be between 1 and 10"),
+        }
+    }
+}
+
+impl Error for AhpError {}
+
+/// A positive reciprocal pairwise-comparison matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Result of an AHP weight derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AhpResult {
+    /// Normalized weights (sum to 1) — the principal eigenvector.
+    pub weights: Vec<f64>,
+    /// Principal eigenvalue `λ_max` (≥ n, with equality iff perfectly
+    /// consistent).
+    pub lambda_max: f64,
+    /// Consistency index `(λ_max − n) / (n − 1)` (0 for n ≤ 2).
+    pub consistency_index: f64,
+    /// Consistency ratio `CI / RI(n)` (0 for n ≤ 2).
+    pub consistency_ratio: f64,
+}
+
+impl AhpResult {
+    /// Saaty's acceptance rule: `CR < 0.1`.
+    pub fn is_consistent(&self) -> bool {
+        self.consistency_ratio < 0.1
+    }
+}
+
+impl PairwiseMatrix {
+    /// Creates the identity judgment ("everything equally important").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 10 (Saaty's random index table
+    /// covers orders up to 10).
+    pub fn identity(n: usize) -> Self {
+        assert!((1..=10).contains(&n), "matrix order must be between 1 and 10");
+        let mut data = vec![1.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        PairwiseMatrix { n, data }
+    }
+
+    /// The matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the judgment `a_ij` ("how much more important is criterion
+    /// i than j").
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets `a_ij = v` and the reciprocal `a_ji = 1/v`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AhpError::InvalidPosition`] if `i == j` or either index is out
+    ///   of range.
+    /// * [`AhpError::InvalidJudgment`] if `v` is not strictly positive
+    ///   and finite.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) -> Result<(), AhpError> {
+        if i == j || i >= self.n || j >= self.n {
+            return Err(AhpError::InvalidPosition);
+        }
+        if !v.is_finite() || v <= 0.0 {
+            return Err(AhpError::InvalidJudgment);
+        }
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = 1.0 / v;
+        Ok(())
+    }
+
+    /// Derives weights by power iteration on the judgment matrix.
+    pub fn weights(&self) -> AhpResult {
+        let n = self.n;
+        let mut w = vec![1.0 / n as f64; n];
+        let mut lambda = n as f64;
+        for _ in 0..200 {
+            let mut next = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    next[i] += self.get(i, j) * w[j];
+                }
+            }
+            let sum: f64 = next.iter().sum();
+            for v in &mut next {
+                *v /= sum;
+            }
+            // λ_max estimate: mean of (Aw)_i / w_i.
+            let mut aw = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    aw[i] += self.get(i, j) * next[j];
+                }
+            }
+            lambda = aw
+                .iter()
+                .zip(&next)
+                .map(|(a, w)| a / w)
+                .sum::<f64>()
+                / n as f64;
+            let delta: f64 = next
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            w = next;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        let ci = if n <= 2 { 0.0 } else { (lambda - n as f64) / (n as f64 - 1.0) };
+        let ri = RANDOM_INDEX[n];
+        let cr = if ri > 0.0 { ci / ri } else { 0.0 };
+        AhpResult {
+            weights: w,
+            lambda_max: lambda,
+            consistency_index: ci,
+            consistency_ratio: cr.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_gives_equal_weights() {
+        let m = PairwiseMatrix::identity(3);
+        let r = m.weights();
+        for w in &r.weights {
+            assert!((w - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!(r.is_consistent());
+        assert!((r.lambda_max - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consistent_matrix_recovers_exact_ratios() {
+        // w = (4/7, 2/7, 1/7): judgments a_ij = w_i / w_j.
+        let mut m = PairwiseMatrix::identity(3);
+        m.set(0, 1, 2.0).unwrap();
+        m.set(0, 2, 4.0).unwrap();
+        m.set(1, 2, 2.0).unwrap();
+        let r = m.weights();
+        assert!((r.weights[0] - 4.0 / 7.0).abs() < 1e-9, "{:?}", r.weights);
+        assert!((r.weights[1] - 2.0 / 7.0).abs() < 1e-9);
+        assert!((r.weights[2] - 1.0 / 7.0).abs() < 1e-9);
+        assert!(r.consistency_ratio < 1e-9);
+    }
+
+    #[test]
+    fn inconsistent_matrix_is_flagged() {
+        // Cyclic preferences: a>b, b>c, c>a — maximally inconsistent.
+        let mut m = PairwiseMatrix::identity(3);
+        m.set(0, 1, 9.0).unwrap();
+        m.set(1, 2, 9.0).unwrap();
+        m.set(2, 0, 9.0).unwrap();
+        let r = m.weights();
+        assert!(!r.is_consistent(), "CR = {}", r.consistency_ratio);
+        assert!(r.lambda_max > 3.0);
+    }
+
+    #[test]
+    fn reciprocity_is_maintained() {
+        let mut m = PairwiseMatrix::identity(4);
+        m.set(1, 3, 5.0).unwrap();
+        assert_eq!(m.get(3, 1), 1.0 / 5.0);
+    }
+
+    #[test]
+    fn set_rejects_bad_input() {
+        let mut m = PairwiseMatrix::identity(3);
+        assert_eq!(m.set(0, 0, 2.0), Err(AhpError::InvalidPosition));
+        assert_eq!(m.set(0, 5, 2.0), Err(AhpError::InvalidPosition));
+        assert_eq!(m.set(0, 1, 0.0), Err(AhpError::InvalidJudgment));
+        assert_eq!(m.set(0, 1, f64::NAN), Err(AhpError::InvalidJudgment));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix order")]
+    fn rejects_order_zero() {
+        PairwiseMatrix::identity(0);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut m = PairwiseMatrix::identity(5);
+        m.set(0, 1, 3.0).unwrap();
+        m.set(0, 2, 5.0).unwrap();
+        m.set(1, 4, 2.0).unwrap();
+        m.set(3, 2, 0.5).unwrap();
+        let r = m.weights();
+        let sum: f64 = r.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(r.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn lambda_max_at_least_order() {
+        // Perron theory: λ_max >= n for positive reciprocal matrices.
+        let mut m = PairwiseMatrix::identity(4);
+        m.set(0, 1, 7.0).unwrap();
+        m.set(2, 3, 0.2).unwrap();
+        let r = m.weights();
+        assert!(r.lambda_max >= 4.0 - 1e-9, "λ_max = {}", r.lambda_max);
+    }
+}

@@ -1,0 +1,238 @@
+//! Calibration of the §III scale coefficients from observations.
+//!
+//! The paper fixes ζ (waiting-time scale) and Δ (request-rate scale) as
+//! "fixed constants" without saying where they come from. In a real
+//! deployment the platform observes `(metrics, realized demand)` pairs —
+//! e.g. how many units a microservice actually ended up needing — and
+//! can *fit* the coefficients. Because Eq. (1) is linear in ζ and Δ
+//! (given the AHP weights), ordinary least squares has a closed form:
+//! solve the 2×2 normal equations for the two unknowns with the
+//! processing-rate term as a fixed offset.
+
+use crate::estimator::{DemandConfig, DemandEstimator, IndicatorWeights};
+use edge_sim::metrics::MsMetrics;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Fewer than two samples — the system is underdetermined.
+    NotEnoughSamples,
+    /// The design matrix is singular (e.g. all samples have zero
+    /// waiting or zero rate factor), so ζ and Δ cannot be separated.
+    DegenerateSamples,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::NotEnoughSamples => {
+                write!(f, "calibration needs at least two samples")
+            }
+            CalibrationError::DegenerateSamples => {
+                write!(f, "samples do not separate the waiting and rate factors")
+            }
+        }
+    }
+}
+
+impl Error for CalibrationError {}
+
+/// One calibration observation: the metrics row, the round it came
+/// from, and the demand that was actually realized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The per-round metrics.
+    pub metrics: MsMetrics,
+    /// The paper's `t` (≥ 1).
+    pub round: u64,
+    /// The realized demand the estimate should have matched.
+    pub realized_demand: f64,
+}
+
+/// Result of a least-squares fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Fitted ζ.
+    pub zeta: f64,
+    /// Fitted Δ.
+    pub delta: f64,
+    /// Root-mean-square error of the fit on the samples.
+    pub rmse: f64,
+}
+
+impl Calibration {
+    /// Builds a [`DemandConfig`] from the fit and the weights it was
+    /// fitted under.
+    pub fn to_config(self, weights: IndicatorWeights) -> DemandConfig {
+        DemandConfig { weights, zeta: self.zeta, delta: self.delta }
+    }
+}
+
+/// The ζ- and Δ-free regressors of one observation:
+/// `X = ζ·a + Δ·b + c` with
+/// `a = w_γ·(θ/π)`, `b = w_T·(share·util·t)/(𝒱·(1−util))`,
+/// `c = w_ℝ·ℝ`.
+fn regressors(weights: &IndicatorWeights, m: &MsMetrics, round: u64) -> (f64, f64, f64) {
+    // Reuse the estimator with ζ = Δ = 1 to obtain the raw factors.
+    let probe = DemandEstimator::new(DemandConfig { weights: *weights, zeta: 1.0, delta: 1.0 });
+    let est = probe.estimate(m, round);
+    (
+        weights.waiting * est.waiting_factor,
+        weights.rate * est.rate_factor,
+        weights.processing * est.processing_factor,
+    )
+}
+
+/// Fits ζ and Δ by ordinary least squares.
+///
+/// # Errors
+///
+/// * [`CalibrationError::NotEnoughSamples`] with fewer than 2 samples.
+/// * [`CalibrationError::DegenerateSamples`] when the normal matrix is
+///   singular.
+pub fn fit(
+    weights: &IndicatorWeights,
+    samples: &[Observation],
+) -> Result<Calibration, CalibrationError> {
+    if samples.len() < 2 {
+        return Err(CalibrationError::NotEnoughSamples);
+    }
+    // Normal equations for y − c = ζ·a + Δ·b.
+    let (mut saa, mut sab, mut sbb, mut say, mut sby) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut rows = Vec::with_capacity(samples.len());
+    for obs in samples {
+        let (a, b, c) = regressors(weights, &obs.metrics, obs.round);
+        let y = obs.realized_demand - c;
+        saa += a * a;
+        sab += a * b;
+        sbb += b * b;
+        say += a * y;
+        sby += b * y;
+        rows.push((a, b, c));
+    }
+    let det = saa * sbb - sab * sab;
+    if det.abs() < 1e-12 {
+        return Err(CalibrationError::DegenerateSamples);
+    }
+    let zeta = (say * sbb - sby * sab) / det;
+    let delta = (sby * saa - say * sab) / det;
+
+    let mut sq_err = 0.0;
+    for (obs, (a, b, c)) in samples.iter().zip(&rows) {
+        let predicted = zeta * a + delta * b + c;
+        sq_err += (predicted - obs.realized_demand).powi(2);
+    }
+    let rmse = (sq_err / samples.len() as f64).sqrt();
+    Ok(Calibration { zeta, delta, rmse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::{MicroserviceId, Round};
+
+    fn metrics(served: u64, utilization: f64, neighbors: usize) -> MsMetrics {
+        MsMetrics {
+            ms: MicroserviceId::new(0),
+            round: Round::new(3),
+            allocation: 1.0,
+            max_allocation: 2.0,
+            received_total: 10,
+            served_total: served,
+            received_round: 2,
+            served_round: 1,
+            queue_len: 3,
+            queued_work: 1.0,
+            work_arrived_total: 6.0,
+            work_done_total: 4.0,
+            utilization,
+            neighbors_active: neighbors,
+            mean_waiting: 1.0,
+        }
+    }
+
+    fn synthesize(zeta: f64, delta: f64, weights: &IndicatorWeights) -> Vec<Observation> {
+        let config = DemandConfig { weights: *weights, zeta, delta };
+        let truth = DemandEstimator::new(config);
+        let variations = [
+            (metrics(2, 0.2, 1), 2),
+            (metrics(5, 0.5, 2), 3),
+            (metrics(8, 0.7, 3), 4),
+            (metrics(9, 0.9, 4), 5),
+            (metrics(3, 0.4, 2), 6),
+        ];
+        variations
+            .iter()
+            .map(|(m, round)| Observation {
+                metrics: m.clone(),
+                round: *round,
+                realized_demand: truth.estimate(m, *round).demand,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_coefficients_exactly() {
+        let weights = IndicatorWeights::equal();
+        for (zeta, delta) in [(1.0, 1.0), (2.5, 0.5), (0.3, 4.0)] {
+            let samples = synthesize(zeta, delta, &weights);
+            let fit = fit(&weights, &samples).unwrap();
+            assert!((fit.zeta - zeta).abs() < 1e-6, "ζ {} vs {zeta}", fit.zeta);
+            assert!((fit.delta - delta).abs() < 1e-6, "Δ {} vs {delta}", fit.delta);
+            assert!(fit.rmse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_samples_fit_approximately() {
+        let weights = IndicatorWeights::equal();
+        let mut samples = synthesize(2.0, 1.5, &weights);
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.realized_demand += if i % 2 == 0 { 0.01 } else { -0.01 };
+        }
+        let fit = fit(&weights, &samples).unwrap();
+        assert!((fit.zeta - 2.0).abs() < 0.2);
+        assert!((fit.delta - 1.5).abs() < 0.2);
+        assert!(fit.rmse > 0.0 && fit.rmse < 0.05);
+    }
+
+    #[test]
+    fn rejects_underdetermined_input() {
+        let weights = IndicatorWeights::equal();
+        let samples = synthesize(1.0, 1.0, &weights);
+        assert_eq!(fit(&weights, &samples[..1]), Err(CalibrationError::NotEnoughSamples));
+        assert_eq!(fit(&weights, &[]), Err(CalibrationError::NotEnoughSamples));
+    }
+
+    #[test]
+    fn rejects_degenerate_samples() {
+        // All-zero waiting AND rate factors: served=0, utilization=0.
+        let weights = IndicatorWeights::equal();
+        let m = MsMetrics {
+            served_total: 0,
+            received_total: 0,
+            utilization: 0.0,
+            ..metrics(0, 0.0, 1)
+        };
+        let samples = vec![
+            Observation { metrics: m.clone(), round: 1, realized_demand: 1.0 },
+            Observation { metrics: m, round: 2, realized_demand: 2.0 },
+        ];
+        assert_eq!(fit(&weights, &samples), Err(CalibrationError::DegenerateSamples));
+    }
+
+    #[test]
+    fn fitted_config_round_trips_into_estimator() {
+        let weights = IndicatorWeights::equal();
+        let samples = synthesize(1.7, 0.9, &weights);
+        let calibration = fit(&weights, &samples).unwrap();
+        let estimator = DemandEstimator::new(calibration.to_config(weights));
+        for obs in &samples {
+            let predicted = estimator.estimate(&obs.metrics, obs.round).demand;
+            assert!((predicted - obs.realized_demand).abs() < 1e-6);
+        }
+    }
+}

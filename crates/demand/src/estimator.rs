@@ -1,0 +1,307 @@
+//! The demand indicator function of §III (Eq. 1–2).
+//!
+//! `X_i^t = (1/w_γ)·γ_i^t + (1/w_ℝ)·ℝ_i^t + (1/w_𝕋)·𝕋_i^t`, where
+//!
+//! * `γ_i^t = ζ·θ_i/π_i` — the waiting-time factor (completion progress
+//!   scaled by ζ);
+//! * `ℝ_i^t = (ς_i − ϖ_i)/t` — the processing-rate factor: the long-run
+//!   average shortfall between the rate the microservice *needs* (`ς`,
+//!   work arriving per round) and the rate it *achieves* (`ϖ`, work
+//!   completed per round);
+//! * `𝕋_i^t = Δ·(a_i^t/a_max)·(𝕃_i^t·t/𝒱(n̄))·1/(1−𝕃_i^t)` — the
+//!   request-rate factor from the allocation share, execution rate, and
+//!   neighbour density.
+//!
+//! The paper leaves three singularities unguarded; we handle them
+//! explicitly (each is tested): `π_i = 0` (no requests yet → γ = 0),
+//! `𝕃 → 1` (utilization is clamped below 1 so the factor stays finite),
+//! and `𝒱(n̄) = 0` (treated as 1 — the microservice is its own
+//! neighbourhood).
+
+use crate::ahp::PairwiseMatrix;
+use edge_common::id::MicroserviceId;
+use edge_sim::metrics::MsMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Highest utilization the 𝕋 factor will see; keeps `1/(1−𝕃)` finite.
+const MAX_UTILIZATION: f64 = 0.99;
+
+/// The `1/w` scaling factors of Eq. (1), one per indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndicatorWeights {
+    /// `1/w_γ` — waiting-time weight.
+    pub waiting: f64,
+    /// `1/w_ℝ` — processing-rate weight.
+    pub processing: f64,
+    /// `1/w_𝕋` — request-rate weight.
+    pub rate: f64,
+}
+
+impl IndicatorWeights {
+    /// Equal weighting of all three indicators.
+    pub fn equal() -> Self {
+        IndicatorWeights { waiting: 1.0 / 3.0, processing: 1.0 / 3.0, rate: 1.0 / 3.0 }
+    }
+
+    /// Derives the weights from an AHP pairwise judgment over
+    /// (waiting, processing, rate) — the paper's §III recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix order is not 3.
+    pub fn from_ahp(judgments: &PairwiseMatrix) -> Self {
+        assert_eq!(judgments.order(), 3, "demand estimation uses exactly three indicators");
+        let r = judgments.weights();
+        IndicatorWeights { waiting: r.weights[0], processing: r.weights[1], rate: r.weights[2] }
+    }
+}
+
+impl Default for IndicatorWeights {
+    fn default() -> Self {
+        IndicatorWeights::equal()
+    }
+}
+
+/// Configuration of the estimator: the indicator weights plus the two
+/// scale coefficients of §III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandConfig {
+    /// Indicator weights (`1/w` factors).
+    pub weights: IndicatorWeights,
+    /// `ζ` — scales the waiting-time factor.
+    pub zeta: f64,
+    /// `Δ` — scales the request-rate factor.
+    pub delta: f64,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig { weights: IndicatorWeights::equal(), zeta: 1.0, delta: 1.0 }
+    }
+}
+
+/// One microservice's estimated demand, with the indicator breakdown
+/// exposed for inspection (C-INTERMEDIATE).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandEstimate {
+    /// Which microservice.
+    pub ms: MicroserviceId,
+    /// The waiting-time factor `γ_i^t` (already ζ-scaled).
+    pub waiting_factor: f64,
+    /// The processing-rate factor `ℝ_i^t`.
+    pub processing_factor: f64,
+    /// The request-rate factor `𝕋_i^t` (already Δ-scaled).
+    pub rate_factor: f64,
+    /// The combined demand `X_i^t` (weighted sum, `>= 0`).
+    pub demand: f64,
+}
+
+impl DemandEstimate {
+    /// Quantizes the demand onto an integer resource grid (ceiling, so a
+    /// fractional need still requests a unit).
+    pub fn units(&self) -> u64 {
+        self.demand.ceil().max(0.0) as u64
+    }
+}
+
+/// The §III demand estimator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DemandEstimator {
+    config: DemandConfig,
+}
+
+impl DemandEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: DemandConfig) -> Self {
+        DemandEstimator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DemandConfig {
+        &self.config
+    }
+
+    /// Estimates demand from one microservice's metrics row.
+    ///
+    /// `round` is the paper's `t` and must be ≥ 1 (the first estimation
+    /// round is 1; at `t = 0` no history exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0`.
+    pub fn estimate(&self, m: &MsMetrics, round: u64) -> DemandEstimate {
+        assert!(round >= 1, "demand estimation needs at least one elapsed round");
+        let t = round as f64;
+
+        // γ = ζ·θ/π. With no requests received there is nothing to wait
+        // for: γ = 0.
+        let waiting_factor = if m.received_total == 0 {
+            0.0
+        } else {
+            self.config.zeta * m.served_total as f64 / m.received_total as f64
+        };
+
+        // ℝ = (ς − ϖ)/t with ς = arrived work rate, ϖ = completed work
+        // rate; the backlog rate is clamped at zero (a microservice ahead
+        // of its arrivals has no processing-driven demand).
+        let desired_rate = m.work_arrived_total / t;
+        let achieved_rate = m.work_done_total / t;
+        let processing_factor = ((desired_rate - achieved_rate) / t).max(0.0);
+
+        // 𝕋 = Δ·(a/a_max)·(𝕃·t/𝒱)·1/(1−𝕃).
+        let share = if m.max_allocation > 1e-12 { m.allocation / m.max_allocation } else { 0.0 };
+        let util = m.utilization.clamp(0.0, MAX_UTILIZATION);
+        let density = (m.neighbors_active.max(1)) as f64;
+        let rate_factor = self.config.delta * share * (util * t / density) / (1.0 - util);
+
+        let w = self.config.weights;
+        let demand = (w.waiting * waiting_factor
+            + w.processing * processing_factor
+            + w.rate * rate_factor)
+            .max(0.0);
+
+        DemandEstimate {
+            ms: m.ms,
+            waiting_factor,
+            processing_factor,
+            rate_factor,
+            demand,
+        }
+    }
+
+    /// Estimates demand for a whole metrics batch (one round).
+    pub fn estimate_round(&self, batch: &[MsMetrics], round: u64) -> Vec<DemandEstimate> {
+        batch.iter().map(|m| self.estimate(m, round)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::Round;
+
+    fn metrics() -> MsMetrics {
+        MsMetrics {
+            ms: MicroserviceId::new(0),
+            round: Round::new(3),
+            allocation: 1.0,
+            max_allocation: 2.0,
+            received_total: 10,
+            served_total: 5,
+            received_round: 3,
+            served_round: 1,
+            queue_len: 5,
+            queued_work: 2.0,
+            work_arrived_total: 6.0,
+            work_done_total: 4.0,
+            utilization: 0.5,
+            neighbors_active: 4,
+            mean_waiting: 1.0,
+        }
+    }
+
+    #[test]
+    fn combines_three_factors() {
+        let est = DemandEstimator::default();
+        let d = est.estimate(&metrics(), 4);
+        // γ = 1·5/10 = 0.5.
+        assert!((d.waiting_factor - 0.5).abs() < 1e-9);
+        // ℝ = ((6/4) − (4/4))/4 = 0.125.
+        assert!((d.processing_factor - 0.125).abs() < 1e-9);
+        // 𝕋 = 1·(1/2)·(0.5·4/4)·1/(1−0.5) = 0.5.
+        assert!((d.rate_factor - 0.5).abs() < 1e-9);
+        // Equal weights: X = (0.5 + 0.125 + 0.5)/3 = 0.375.
+        assert!((d.demand - 1.125 / 3.0).abs() < 1e-9);
+        assert_eq!(d.units(), 1);
+    }
+
+    #[test]
+    fn zero_received_requests_zero_waiting_factor() {
+        let est = DemandEstimator::default();
+        let m = MsMetrics { received_total: 0, served_total: 0, ..metrics() };
+        let d = est.estimate(&m, 1);
+        assert_eq!(d.waiting_factor, 0.0);
+        assert!(d.demand.is_finite());
+    }
+
+    #[test]
+    fn full_utilization_stays_finite() {
+        let est = DemandEstimator::default();
+        let m = MsMetrics { utilization: 1.0, ..metrics() };
+        let d = est.estimate(&m, 5);
+        assert!(d.rate_factor.is_finite());
+        assert!(d.rate_factor > 0.0);
+    }
+
+    #[test]
+    fn zero_neighbors_treated_as_one() {
+        let est = DemandEstimator::default();
+        let m = MsMetrics { neighbors_active: 0, ..metrics() };
+        let d = est.estimate(&m, 5);
+        assert!(d.rate_factor.is_finite());
+    }
+
+    #[test]
+    fn backlog_increases_processing_factor() {
+        let est = DemandEstimator::default();
+        let light = MsMetrics { work_arrived_total: 4.0, work_done_total: 4.0, ..metrics() };
+        let heavy = MsMetrics { work_arrived_total: 12.0, work_done_total: 4.0, ..metrics() };
+        let dl = est.estimate(&light, 4);
+        let dh = est.estimate(&heavy, 4);
+        assert_eq!(dl.processing_factor, 0.0);
+        assert!(dh.processing_factor > dl.processing_factor);
+        assert!(dh.demand > dl.demand);
+    }
+
+    #[test]
+    fn ahead_of_schedule_has_zero_processing_factor() {
+        let est = DemandEstimator::default();
+        let m = MsMetrics { work_arrived_total: 1.0, work_done_total: 4.0, ..metrics() };
+        assert_eq!(est.estimate(&m, 4).processing_factor, 0.0);
+    }
+
+    #[test]
+    fn higher_utilization_means_higher_demand() {
+        let est = DemandEstimator::default();
+        let low = MsMetrics { utilization: 0.2, ..metrics() };
+        let high = MsMetrics { utilization: 0.9, ..metrics() };
+        assert!(est.estimate(&high, 4).demand > est.estimate(&low, 4).demand);
+    }
+
+    #[test]
+    fn ahp_weights_shift_the_estimate() {
+        // Weight waiting time much higher than the others.
+        let mut j = PairwiseMatrix::identity(3);
+        j.set(0, 1, 9.0).unwrap();
+        j.set(0, 2, 9.0).unwrap();
+        let weights = IndicatorWeights::from_ahp(&j);
+        assert!(weights.waiting > weights.processing);
+        assert!(weights.waiting > weights.rate);
+        let est = DemandEstimator::new(DemandConfig { weights, ..DemandConfig::default() });
+        let d = est.estimate(&metrics(), 4);
+        // Waiting factor dominates under these weights.
+        assert!(d.demand > 0.5 * d.waiting_factor);
+    }
+
+    #[test]
+    fn estimate_round_covers_batch() {
+        let est = DemandEstimator::default();
+        let batch = vec![metrics(), MsMetrics { ms: MicroserviceId::new(1), ..metrics() }];
+        let out = est.estimate_round(&batch, 4);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].ms, MicroserviceId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one elapsed round")]
+    fn round_zero_is_rejected() {
+        DemandEstimator::default().estimate(&metrics(), 0);
+    }
+
+    #[test]
+    fn units_rounds_up() {
+        let est = DemandEstimator::default();
+        let d = est.estimate(&metrics(), 4);
+        assert!(d.units() as f64 >= d.demand);
+    }
+}

@@ -1,0 +1,43 @@
+//! Microservice demand estimation (§III of Samanta et al., ICDCS 2019).
+//!
+//! "It is very tough to estimate the actual resource demand of
+//! microservices under different network dynamics" — the paper removes
+//! that uncertainty with a three-indicator estimator whose weights come
+//! from the Analytic Hierarchy Process:
+//!
+//! * [`ahp`] — Saaty pairwise-comparison matrices, principal-eigenvector
+//!   weights, and consistency checking;
+//! * [`estimator`] — the indicator function `X_i^t` of Eq. (1)–(2) over
+//!   the simulator's per-round metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_demand::{DemandConfig, DemandEstimator};
+//! use edge_demand::ahp::PairwiseMatrix;
+//! use edge_demand::estimator::IndicatorWeights;
+//!
+//! // Judge waiting time twice as important as the other indicators.
+//! let mut j = PairwiseMatrix::identity(3);
+//! j.set(0, 1, 2.0).unwrap();
+//! j.set(0, 2, 2.0).unwrap();
+//! let config = DemandConfig {
+//!     weights: IndicatorWeights::from_ahp(&j),
+//!     ..DemandConfig::default()
+//! };
+//! let estimator = DemandEstimator::new(config);
+//! assert!(estimator.config().weights.waiting > estimator.config().weights.rate);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ahp;
+pub mod calibration;
+pub mod estimator;
+pub mod smoothing;
+
+pub use ahp::{AhpError, AhpResult, PairwiseMatrix};
+pub use calibration::{fit, Calibration, CalibrationError, Observation};
+pub use estimator::{DemandConfig, DemandEstimate, DemandEstimator, IndicatorWeights};
+pub use smoothing::SmoothedEstimator;

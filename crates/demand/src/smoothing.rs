@@ -1,0 +1,190 @@
+//! History-weighted demand smoothing.
+//!
+//! §III: "the actual value of a demand at time t actually does not have
+//! too much interpretation, but instead, the demands of all
+//! microservices at time t−1, t−2, ⋯ are more important in order to
+//! design a fair demand estimation scheme." The paper does not specify
+//! the aggregation; we implement the standard exponentially weighted
+//! moving average (EWMA) over the per-round indicator estimates:
+//! `X̄_i^t = α·X_i^t + (1−α)·X̄_i^{t−1}`, so older rounds contribute with
+//! geometrically decaying weight — exactly "more important history"
+//! with a single tunable knob.
+
+use crate::estimator::{DemandEstimate, DemandEstimator};
+use edge_common::id::MicroserviceId;
+use edge_sim::metrics::MsMetrics;
+use std::collections::BTreeMap;
+
+/// A stateful estimator that smooths the §III indicator function over
+/// rounds.
+#[derive(Debug, Clone)]
+pub struct SmoothedEstimator {
+    inner: DemandEstimator,
+    alpha: f64,
+    state: BTreeMap<MicroserviceId, f64>,
+}
+
+impl SmoothedEstimator {
+    /// Creates a smoothing wrapper with weight `alpha ∈ (0, 1]` on the
+    /// newest observation (`alpha = 1` disables smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(inner: DemandEstimator, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0 && alpha.is_finite(),
+            "EWMA weight must lie in (0, 1]"
+        );
+        SmoothedEstimator { inner, alpha, state: BTreeMap::new() }
+    }
+
+    /// The smoothing weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The wrapped raw estimator.
+    pub fn inner(&self) -> &DemandEstimator {
+        &self.inner
+    }
+
+    /// Observes one round of metrics and returns smoothed estimates.
+    ///
+    /// The indicator breakdown in each returned [`DemandEstimate`] is the
+    /// *raw* per-round value (so the factors stay interpretable); only
+    /// the combined `demand` is smoothed.
+    pub fn observe(&mut self, batch: &[MsMetrics], round: u64) -> Vec<DemandEstimate> {
+        batch
+            .iter()
+            .map(|m| {
+                let mut est = self.inner.estimate(m, round);
+                let smoothed = match self.state.get(&m.ms) {
+                    None => est.demand,
+                    Some(&prev) => self.alpha * est.demand + (1.0 - self.alpha) * prev,
+                };
+                self.state.insert(m.ms, smoothed);
+                est.demand = smoothed;
+                est
+            })
+            .collect()
+    }
+
+    /// The current smoothed demand of a microservice, if it has been
+    /// observed.
+    pub fn current(&self, ms: MicroserviceId) -> Option<f64> {
+        self.state.get(&ms).copied()
+    }
+
+    /// Clears all history (e.g. at a time-slot boundary).
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::DemandConfig;
+    use edge_common::id::Round;
+
+    fn metrics(ms: usize, utilization: f64) -> MsMetrics {
+        MsMetrics {
+            ms: MicroserviceId::new(ms),
+            round: Round::new(1),
+            allocation: 1.0,
+            max_allocation: 1.0,
+            received_total: 10,
+            served_total: 5,
+            received_round: 2,
+            served_round: 1,
+            queue_len: 1,
+            queued_work: 1.0,
+            work_arrived_total: 4.0,
+            work_done_total: 3.0,
+            utilization,
+            neighbors_active: 2,
+            mean_waiting: 1.0,
+        }
+    }
+
+    fn smoothed(alpha: f64) -> SmoothedEstimator {
+        SmoothedEstimator::new(DemandEstimator::new(DemandConfig::default()), alpha)
+    }
+
+    #[test]
+    fn first_observation_passes_through() {
+        let mut s = smoothed(0.3);
+        let raw = s.inner().estimate(&metrics(0, 0.5), 1).demand;
+        let out = s.observe(&[metrics(0, 0.5)], 1);
+        assert!((out[0].demand - raw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let mut s = smoothed(1.0);
+        for round in 1..5 {
+            let raw = s.inner().estimate(&metrics(0, 0.2 * round as f64), round).demand;
+            let out = s.observe(&[metrics(0, 0.2 * round as f64)], round);
+            assert!((out[0].demand - raw).abs() < 1e-12, "round {round}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_converges_to_it() {
+        let mut s = smoothed(0.4);
+        let mut last = 0.0;
+        for round in 1..60 {
+            last = s.observe(&[metrics(0, 0.5)], round)[0].demand;
+        }
+        // With constant utilization the raw estimate at round t still
+        // varies with t; check against the latest raw value only loosely.
+        let raw = s.inner().estimate(&metrics(0, 0.5), 59).demand;
+        assert!((last - raw).abs() < raw * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn smaller_alpha_reacts_slower_to_jumps() {
+        let run = |alpha: f64| {
+            let mut s = smoothed(alpha);
+            s.observe(&[metrics(0, 0.1)], 1);
+            s.observe(&[metrics(0, 0.1)], 2);
+            // Sudden spike at round 3.
+            s.observe(&[metrics(0, 0.95)], 3)[0].demand
+        };
+        let fast = run(0.9);
+        let slow = run(0.1);
+        assert!(slow < fast, "slow EWMA {slow} should lag fast {fast}");
+    }
+
+    #[test]
+    fn per_microservice_state_is_independent() {
+        let mut s = smoothed(0.5);
+        s.observe(&[metrics(0, 0.9), metrics(1, 0.1)], 1);
+        let a = s.current(MicroserviceId::new(0)).unwrap();
+        let b = s.current(MicroserviceId::new(1)).unwrap();
+        assert!(a > b);
+        assert!(s.current(MicroserviceId::new(9)).is_none());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut s = smoothed(0.5);
+        s.observe(&[metrics(0, 0.5)], 1);
+        assert!(s.current(MicroserviceId::new(0)).is_some());
+        s.reset();
+        assert!(s.current(MicroserviceId::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn rejects_zero_alpha() {
+        smoothed(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn rejects_alpha_above_one() {
+        smoothed(1.5);
+    }
+}

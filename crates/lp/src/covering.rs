@@ -1,0 +1,336 @@
+//! Exact solver for the *group knapsack-cover* problem.
+//!
+//! This is the offline single-round Winner Selection Problem of the paper
+//! specialized to integer resource amounts: each seller (group) offers up
+//! to `J` alternative bids, at most one may be chosen per seller
+//! (constraint (9) of ILP (7)), and the chosen bids' amounts must reach an
+//! aggregate demand `X^t` (constraint (10)) at minimum total price.
+//!
+//! The dynamic program runs in `O(Σ_g |bids_g| · X)` — effectively instant
+//! at the paper's scales — and gives a *provably exact* optimum to divide
+//! by in the performance-ratio figures, independently cross-checking the
+//! branch-and-bound solver in [`crate::ilp`].
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_lp::covering::{CoverOption, GroupCover};
+//!
+//! let inst = GroupCover::new(
+//!     3,
+//!     vec![
+//!         vec![CoverOption::new(6.0, 2), CoverOption::new(2.0, 1)],
+//!         vec![CoverOption::new(5.0, 2), CoverOption::new(9.0, 3)],
+//!     ],
+//! );
+//! let sol = inst.solve_exact().expect("feasible");
+//! assert_eq!(sol.cost, 7.0); // seller 0 bid 1 ($2,1u) + seller 1 bid 0 ($5,2u)
+//! assert_eq!(sol.chosen, vec![Some(1), Some(0)]);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One alternative bid of a seller: a price for a resource amount.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverOption {
+    /// Total price asked for the full amount.
+    pub cost: f64,
+    /// Resource units offered (integer grid).
+    pub amount: u64,
+}
+
+impl CoverOption {
+    /// Creates a cover option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is negative or not finite — covering costs are
+    /// prices and must be well-formed.
+    pub fn new(cost: f64, amount: u64) -> Self {
+        assert!(cost.is_finite() && cost >= 0.0, "cover option cost must be finite and >= 0");
+        CoverOption { cost, amount }
+    }
+}
+
+/// A group knapsack-cover instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupCover {
+    demand: u64,
+    groups: Vec<Vec<CoverOption>>,
+}
+
+/// An exact solution: total cost plus the chosen option index per group
+/// (`None` = the group sells nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverSolution {
+    /// Minimum total cost meeting the demand.
+    pub cost: f64,
+    /// Chosen option per group.
+    pub chosen: Vec<Option<usize>>,
+}
+
+impl GroupCover {
+    /// Creates an instance with the given aggregate demand and per-group
+    /// option lists.
+    pub fn new(demand: u64, groups: Vec<Vec<CoverOption>>) -> Self {
+        GroupCover { demand, groups }
+    }
+
+    /// The aggregate demand to be covered.
+    pub fn demand(&self) -> u64 {
+        self.demand
+    }
+
+    /// The per-group option lists.
+    pub fn groups(&self) -> &[Vec<CoverOption>] {
+        &self.groups
+    }
+
+    /// Maximum coverable amount: the sum over groups of each group's
+    /// largest single offer (at most one option per group may be chosen).
+    pub fn total_supply(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.iter().map(|o| o.amount).max().unwrap_or(0))
+            .sum()
+    }
+
+    /// Solves the instance exactly by dynamic programming.
+    ///
+    /// Returns `None` when the demand exceeds [`total_supply`]
+    /// (infeasible).
+    ///
+    /// [`total_supply`]: Self::total_supply
+    pub fn solve_exact(&self) -> Option<CoverSolution> {
+        if self.total_supply() < self.demand {
+            return None;
+        }
+        let x = self.demand as usize;
+        let g = self.groups.len();
+
+        // dp[d] = min cost achieving coverage level d (capped at x),
+        // layered per group so choices can be reconstructed.
+        const INF: f64 = f64::INFINITY;
+        let mut dp = vec![INF; x + 1];
+        dp[0] = 0.0;
+        // choice[layer][d] = (prev_d, chosen option) reaching state d
+        // after processing group `layer`.
+        let mut choice: Vec<Vec<(usize, Option<usize>)>> = Vec::with_capacity(g);
+
+        for group in &self.groups {
+            let mut next = dp.clone(); // skipping the group
+            let mut ch: Vec<(usize, Option<usize>)> =
+                (0..=x).map(|d| (d, None)).collect();
+            for (oi, opt) in group.iter().enumerate() {
+                for d in 0..=x {
+                    if dp[d] == INF {
+                        continue;
+                    }
+                    let nd = (d + opt.amount as usize).min(x);
+                    let cost = dp[d] + opt.cost;
+                    if cost < next[nd] {
+                        next[nd] = cost;
+                        ch[nd] = (d, Some(oi));
+                    }
+                }
+            }
+            dp = next;
+            choice.push(ch);
+        }
+
+        if dp[x] == INF {
+            return None;
+        }
+
+        // Reconstruct choices backwards.
+        let mut chosen = vec![None; g];
+        let mut d = x;
+        for layer in (0..g).rev() {
+            let (prev_d, opt) = choice[layer][d];
+            chosen[layer] = opt;
+            d = prev_d;
+        }
+
+        Some(CoverSolution { cost: dp[x], chosen })
+    }
+
+    /// A fast *lower bound* on the optimal cost: fractional covering by
+    /// ascending unit price, ignoring the one-bid-per-group constraint.
+    ///
+    /// Useful as a pruning bound and as a sanity check (`lower_bound() <=
+    /// solve_exact().cost` always).
+    pub fn fractional_lower_bound(&self) -> f64 {
+        let mut offers: Vec<(f64, u64)> = self
+            .groups
+            .iter()
+            .flatten()
+            .filter(|o| o.amount > 0)
+            .map(|o| (o.cost / o.amount as f64, o.amount))
+            .collect();
+        offers.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut remaining = self.demand;
+        let mut cost = 0.0;
+        for (unit, amount) in offers {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(amount);
+            cost += unit * take as f64;
+            remaining -= take;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_doc_example() {
+        let inst = GroupCover::new(
+            3,
+            vec![
+                vec![CoverOption::new(6.0, 2), CoverOption::new(2.0, 1)],
+                vec![CoverOption::new(5.0, 2), CoverOption::new(9.0, 3)],
+            ],
+        );
+        let sol = inst.solve_exact().unwrap();
+        assert_eq!(sol.cost, 7.0);
+        assert_eq!(sol.chosen, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn zero_demand_costs_nothing() {
+        let inst = GroupCover::new(0, vec![vec![CoverOption::new(5.0, 2)]]);
+        let sol = inst.solve_exact().unwrap();
+        assert_eq!(sol.cost, 0.0);
+        assert_eq!(sol.chosen, vec![None]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inst = GroupCover::new(10, vec![vec![CoverOption::new(1.0, 3)]]);
+        assert!(inst.solve_exact().is_none());
+        assert_eq!(inst.total_supply(), 3);
+    }
+
+    #[test]
+    fn at_most_one_option_per_group() {
+        // A single group with two cheap bids cannot combine them.
+        let inst = GroupCover::new(
+            4,
+            vec![
+                vec![CoverOption::new(1.0, 2), CoverOption::new(1.0, 2)],
+                vec![CoverOption::new(10.0, 2)],
+            ],
+        );
+        let sol = inst.solve_exact().unwrap();
+        // Must take one bid from each group: 1 + 10.
+        assert_eq!(sol.cost, 11.0);
+    }
+
+    #[test]
+    fn empty_groups_are_skippable() {
+        let inst = GroupCover::new(2, vec![vec![], vec![CoverOption::new(3.0, 2)]]);
+        let sol = inst.solve_exact().unwrap();
+        assert_eq!(sol.cost, 3.0);
+        assert_eq!(sol.chosen, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound() {
+        let inst = GroupCover::new(
+            5,
+            vec![
+                vec![CoverOption::new(6.0, 3), CoverOption::new(3.0, 1)],
+                vec![CoverOption::new(4.0, 2)],
+                vec![CoverOption::new(9.0, 4)],
+            ],
+        );
+        let sol = inst.solve_exact().unwrap();
+        assert!(inst.fractional_lower_bound() <= sol.cost + 1e-9);
+    }
+
+    /// Exhaustive reference: try every combination of (at most one option
+    /// per group).
+    fn brute_force(inst: &GroupCover) -> Option<f64> {
+        fn rec(inst: &GroupCover, g: usize, covered: u64, cost: f64, best: &mut Option<f64>) {
+            if covered >= inst.demand() {
+                *best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+                // Choosing more bids only adds cost — still recurse to keep
+                // the reference dead simple? No: pruning here is safe since
+                // costs are non-negative.
+                return;
+            }
+            if g == inst.groups().len() {
+                return;
+            }
+            rec(inst, g + 1, covered, cost, best);
+            for opt in &inst.groups()[g] {
+                rec(inst, g + 1, covered + opt.amount, cost + opt.cost, best);
+            }
+        }
+        let mut best = None;
+        rec(inst, 0, 0, 0.0, &mut best);
+        best
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_brute_force(
+            demand in 0u64..12,
+            groups in proptest::collection::vec(
+                proptest::collection::vec((0u32..30, 0u64..6), 0..3),
+                0..6,
+            ),
+        ) {
+            let groups: Vec<Vec<CoverOption>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|(c, a)| CoverOption::new(c as f64, a)).collect())
+                .collect();
+            let inst = GroupCover::new(demand, groups);
+            let dp = inst.solve_exact();
+            let bf = brute_force(&inst);
+            match (dp, bf) {
+                (None, None) => {}
+                (Some(sol), Some(cost)) => {
+                    prop_assert!((sol.cost - cost).abs() < 1e-9,
+                        "dp {} vs brute force {}", sol.cost, cost);
+                    // The reconstructed choices must actually attain the
+                    // cost and the demand.
+                    let mut total_cost = 0.0;
+                    let mut covered = 0u64;
+                    for (g, ch) in inst.groups().iter().zip(&sol.chosen) {
+                        if let Some(oi) = ch {
+                            total_cost += g[*oi].cost;
+                            covered += g[*oi].amount;
+                        }
+                    }
+                    prop_assert!((total_cost - sol.cost).abs() < 1e-9);
+                    prop_assert!(covered >= inst.demand());
+                }
+                (dp, bf) => prop_assert!(false, "feasibility mismatch: dp={dp:?} bf={bf:?}"),
+            }
+        }
+
+        #[test]
+        fn lower_bound_never_exceeds_optimum(
+            demand in 0u64..10,
+            groups in proptest::collection::vec(
+                proptest::collection::vec((1u32..30, 1u64..6), 1..3),
+                1..6,
+            ),
+        ) {
+            let groups: Vec<Vec<CoverOption>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|(c, a)| CoverOption::new(c as f64, a)).collect())
+                .collect();
+            let inst = GroupCover::new(demand, groups);
+            if let Some(sol) = inst.solve_exact() {
+                prop_assert!(inst.fractional_lower_bound() <= sol.cost + 1e-9);
+            }
+        }
+    }
+}

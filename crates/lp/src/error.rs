@@ -1,0 +1,82 @@
+//! Error types for the LP/ILP solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A coefficient, bound, or right-hand side was NaN or infinite where
+    /// a finite value is required.
+    NonFiniteInput {
+        /// What was being set when the invalid value appeared.
+        context: &'static str,
+    },
+    /// A constraint or objective referenced a variable id that does not
+    /// exist in the model.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables in the model.
+        len: usize,
+    },
+    /// A variable was declared with `lower > upper`.
+    EmptyDomain {
+        /// Variable index with the empty domain.
+        index: usize,
+    },
+    /// The model has no feasible solution.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The branch-and-bound node budget was exhausted before optimality
+    /// was proven and no incumbent was found.
+    NodeLimit,
+    /// The simplex iteration safeguard tripped; the model is numerically
+    /// pathological.
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NonFiniteInput { context } => {
+                write!(f, "non-finite value supplied while {context}")
+            }
+            LpError::UnknownVariable { index, len } => {
+                write!(f, "variable index {index} out of range for model with {len} variables")
+            }
+            LpError::EmptyDomain { index } => {
+                write!(f, "variable {index} has lower bound above its upper bound")
+            }
+            LpError::Infeasible => write!(f, "model is infeasible"),
+            LpError::Unbounded => write!(f, "model is unbounded"),
+            LpError::NodeLimit => write!(f, "branch-and-bound node limit reached"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::UnknownVariable { index: 9, len: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(LpError::NonFiniteInput { context: "adding a constraint" }
+            .to_string()
+            .contains("adding a constraint"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: Error + Send + Sync + 'static>() {}
+        assert_bounds::<LpError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Linear-programming substrate for the `edge-market` workspace.
+//!
+//! The paper's evaluation divides every mechanism's social cost by the
+//! **offline optimal** objective of the winner-selection ILP (Eq. 7/12).
+//! The authors used an unnamed external solver; this crate provides that
+//! substrate from scratch:
+//!
+//! * [`model`] — an incremental builder for linear / mixed-integer
+//!   minimization models.
+//! * [`simplex`] — a dense two-phase primal simplex for the continuous
+//!   relaxations, with dual extraction.
+//! * [`ilp`] — best-first branch-and-bound over the simplex for exact
+//!   integer optima.
+//! * [`covering`] — an independent exact dynamic program for the group
+//!   knapsack-cover structure of the single-round WSP, used both as a
+//!   fast offline-optimum oracle and as a cross-check on branch-and-bound.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_lp::{Model, ConstraintOp, solve_ilp, IlpOptions};
+//!
+//! # fn main() -> Result<(), edge_lp::LpError> {
+//! let mut m = Model::new();
+//! let x = m.add_binary("x", 2.0)?;
+//! let y = m.add_binary("y", 3.0)?;
+//! m.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Ge, 2.0)?;
+//! let sol = solve_ilp(&m, &IlpOptions::default())?;
+//! assert_eq!(sol.objective, 3.0); // y alone covers the demand
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod covering;
+pub mod error;
+pub mod ilp;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use covering::{CoverOption, CoverSolution, GroupCover};
+pub use error::LpError;
+pub use ilp::{solve_ilp, solve_ilp_with_incumbent, IlpOptions, IlpSolution};
+pub use model::{ConstraintId, ConstraintOp, Model, VarId};
+pub use presolve::{presolve_cover, PresolveStats};
+pub use simplex::{solve_lp, LpSolution};

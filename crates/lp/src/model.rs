@@ -1,0 +1,378 @@
+//! Linear/integer programming model builder.
+//!
+//! A [`Model`] is built incrementally: declare variables with
+//! [`Model::add_var`] (or [`Model::add_binary`]), set their objective
+//! coefficients, and add linear constraints with
+//! [`Model::add_constraint`]. The objective sense is always
+//! **minimization**, matching the social-cost formulation of the paper's
+//! ILP (7)/(12); maximize by negating coefficients.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_lp::model::{Model, ConstraintOp};
+//! use edge_lp::simplex::solve_lp;
+//!
+//! # fn main() -> Result<(), edge_lp::LpError> {
+//! // min 2x + 3y  s.t.  x + y >= 4,  x <= 3,  x,y >= 0
+//! let mut m = Model::new();
+//! let x = m.add_var("x", 0.0, 3.0, 2.0)?;
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 3.0)?;
+//! m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0)?;
+//! let sol = solve_lp(&m)?;
+//! assert!((sol.objective - 9.0).abs() < 1e-7); // x=3, y=1
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::LpError;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Returns the dense index of this variable within its model.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a model constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    /// Returns the dense index of this constraint within its model.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) objective: f64,
+    pub(crate) integer: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) op: ConstraintOp,
+    pub(crate) rhs: f64,
+}
+
+/// A linear (or mixed-integer) minimization model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Model {
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables declared so far.
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns the handle of the `index`-th declared variable, if it
+    /// exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edge_lp::model::Model;
+    /// let mut m = Model::new();
+    /// let x = m.add_var("x", 0.0, 1.0, 0.0)?;
+    /// assert_eq!(m.var(0), Some(x));
+    /// assert_eq!(m.var(1), None);
+    /// # Ok::<(), edge_lp::LpError>(())
+    /// ```
+    pub fn var(&self, index: usize) -> Option<VarId> {
+        (index < self.variables.len()).then_some(VarId(index))
+    }
+
+    /// Declares a continuous variable with bounds `[lower, upper]` and the
+    /// given objective coefficient.
+    ///
+    /// `upper` may be `f64::INFINITY` for an unbounded-above variable;
+    /// `lower` must be finite (the paper's models are all non-negative).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::NonFiniteInput`] if `lower` or `objective` is not
+    ///   finite, or `upper` is NaN / `-inf`.
+    /// * [`LpError::EmptyDomain`] if `lower > upper`.
+    pub fn add_var(
+        &mut self,
+        name: &str,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Result<VarId, LpError> {
+        if !lower.is_finite() || !objective.is_finite() || upper.is_nan() || upper == f64::NEG_INFINITY
+        {
+            return Err(LpError::NonFiniteInput { context: "declaring a variable" });
+        }
+        if lower > upper {
+            return Err(LpError::EmptyDomain { index: self.variables.len() });
+        }
+        self.variables.push(Variable {
+            name: name.to_owned(),
+            lower,
+            upper,
+            objective,
+            integer: false,
+        });
+        Ok(VarId(self.variables.len() - 1))
+    }
+
+    /// Declares a binary (0/1 integer) variable with the given objective
+    /// coefficient — the `x_ij^t` decision variables of ILP (12).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::NonFiniteInput`] if `objective` is not finite.
+    pub fn add_binary(&mut self, name: &str, objective: f64) -> Result<VarId, LpError> {
+        let id = self.add_var(name, 0.0, 1.0, objective)?;
+        self.variables[id.0].integer = true;
+        Ok(id)
+    }
+
+    /// Marks an existing variable as integer-constrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for an out-of-range id.
+    pub fn set_integer(&mut self, var: VarId) -> Result<(), LpError> {
+        self.check_var(var)?;
+        self.variables[var.0].integer = true;
+        Ok(())
+    }
+
+    /// Returns `true` if the variable is integer-constrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for an out-of-range id.
+    pub fn is_integer(&self, var: VarId) -> Result<bool, LpError> {
+        self.check_var(var)?;
+        Ok(self.variables[var.0].integer)
+    }
+
+    /// Overwrites the bounds of an existing variable (used by
+    /// branch-and-bound to branch).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] for an out-of-range id.
+    /// * [`LpError::EmptyDomain`] if `lower > upper`.
+    /// * [`LpError::NonFiniteInput`] on NaN bounds.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        self.check_var(var)?;
+        if lower.is_nan() || upper.is_nan() || !lower.is_finite() && lower != f64::NEG_INFINITY {
+            return Err(LpError::NonFiniteInput { context: "setting variable bounds" });
+        }
+        if lower > upper {
+            return Err(LpError::EmptyDomain { index: var.0 });
+        }
+        self.variables[var.0].lower = lower;
+        self.variables[var.0].upper = upper;
+        Ok(())
+    }
+
+    /// Returns the `(lower, upper)` bounds of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for an out-of-range id.
+    pub fn bounds(&self, var: VarId) -> Result<(f64, f64), LpError> {
+        self.check_var(var)?;
+        let v = &self.variables[var.0];
+        Ok((v.lower, v.upper))
+    }
+
+    /// Adds the linear constraint `Σ coef·var (op) rhs`.
+    ///
+    /// Duplicate variable mentions are summed.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] if any term references a missing
+    ///   variable.
+    /// * [`LpError::NonFiniteInput`] for non-finite coefficients or rhs.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<ConstraintId, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteInput { context: "adding a constraint" });
+        }
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for (var, coef) in terms {
+            self.check_var(var)?;
+            if !coef.is_finite() {
+                return Err(LpError::NonFiniteInput { context: "adding a constraint" });
+            }
+            match dense.iter_mut().find(|(i, _)| *i == var.0) {
+                Some((_, c)) => *c += coef,
+                None => dense.push((var.0, coef)),
+            }
+        }
+        self.constraints.push(Constraint { terms: dense, op, rhs });
+        Ok(ConstraintId(self.constraints.len() - 1))
+    }
+
+    /// Evaluates the objective at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "point dimension mismatch");
+        self.variables
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Checks whether a point satisfies every constraint and bound within
+    /// tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        assert_eq!(x.len(), self.num_vars(), "point dimension mismatch");
+        for (v, &xi) in self.variables.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(i, coef)| coef * x[i]).sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Returns the name of a variable (useful in solver diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for an out-of-range id.
+    pub fn var_name(&self, var: VarId) -> Result<&str, LpError> {
+        self.check_var(var)?;
+        Ok(&self.variables[var.0].name)
+    }
+
+    fn check_var(&self, var: VarId) -> Result<(), LpError> {
+        if var.0 >= self.variables.len() {
+            Err(LpError::UnknownVariable { index: var.0, len: self.variables.len() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_model() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 2.0).unwrap();
+        let y = m.add_binary("y", 3.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(m.is_integer(y).unwrap());
+        assert!(!m.is_integer(x).unwrap());
+        assert_eq!(m.var_name(x).unwrap(), "x");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut m = Model::new();
+        assert!(matches!(
+            m.add_var("x", f64::NAN, 1.0, 0.0),
+            Err(LpError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(m.add_var("x", 2.0, 1.0, 0.0), Err(LpError::EmptyDomain { .. })));
+        let x = m.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            m.add_constraint(vec![(x, f64::INFINITY)], ConstraintOp::Le, 1.0),
+            Err(LpError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            m.add_constraint(vec![(VarId(9), 1.0)], ConstraintOp::Le, 1.0),
+            Err(LpError::UnknownVariable { index: 9, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (x, 2.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        // 3x <= 6 means x = 2.5 is infeasible, x = 2 is feasible.
+        assert!(m.is_feasible(&[2.0], 1e-9));
+        assert!(!m.is_feasible(&[2.5], 1e-9));
+    }
+
+    #[test]
+    fn feasibility_and_objective_evaluation() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 5.0, 2.0).unwrap();
+        let y = m.add_var("y", 1.0, 5.0, -1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 4.0)
+            .unwrap();
+        assert!(m.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[4.0, 1.0], 1e-9)); // eq violated
+        assert!(!m.is_feasible(&[4.0, 0.0], 1e-9)); // y below bound
+        assert_eq!(m.objective_value(&[3.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn set_bounds_branches() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0).unwrap();
+        m.set_bounds(x, 1.0, 1.0).unwrap();
+        assert_eq!(m.bounds(x).unwrap(), (1.0, 1.0));
+        assert!(matches!(m.set_bounds(x, 2.0, 1.0), Err(LpError::EmptyDomain { .. })));
+    }
+}

@@ -1,0 +1,172 @@
+//! Presolve reductions for covering instances.
+//!
+//! Before the exact solvers run, obviously useless structure can be
+//! stripped without changing the optimum:
+//!
+//! * **dominated options** — within one group, an option that costs at
+//!   least as much as another while offering no more units can never be
+//!   part of an optimal solution (the cheaper/bigger one substitutes);
+//! * **zero-amount options** — contribute nothing at positive cost;
+//! * **empty groups** — sellers with no usable options.
+//!
+//! On the paper's instances (J alternative bids per seller) domination
+//! removes roughly half the options, which halves the DP work and
+//! shrinks branch-and-bound trees.
+
+use crate::covering::{CoverOption, GroupCover};
+
+/// Statistics from one presolve pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Options dropped because another option dominated them.
+    pub dominated_removed: usize,
+    /// Options dropped for offering zero units.
+    pub zero_amount_removed: usize,
+    /// Groups that became empty and were dropped.
+    pub empty_groups_removed: usize,
+}
+
+/// Returns a reduced instance with the same optimal cost, plus what was
+/// removed.
+///
+/// Group order is preserved for non-empty groups; option order within a
+/// group is preserved for surviving options, so choice indices of the
+/// reduced instance map monotonically into the original.
+pub fn presolve_cover(instance: &GroupCover) -> (GroupCover, PresolveStats) {
+    let mut stats = PresolveStats::default();
+    let mut groups: Vec<Vec<CoverOption>> = Vec::with_capacity(instance.groups().len());
+    for group in instance.groups() {
+        let mut kept: Vec<CoverOption> = Vec::with_capacity(group.len());
+        for (i, opt) in group.iter().enumerate() {
+            if opt.amount == 0 {
+                stats.zero_amount_removed += 1;
+                continue;
+            }
+            // Dominated by any *other* option that is no worse on both
+            // axes (ties broken toward the earlier option so exactly one
+            // of two identical options survives).
+            let dominated = group.iter().enumerate().any(|(j, other)| {
+                if i == j || other.amount == 0 {
+                    return false;
+                }
+                let weakly = other.amount >= opt.amount && other.cost <= opt.cost;
+                let strictly = other.amount > opt.amount || other.cost < opt.cost;
+                weakly && (strictly || j < i)
+            });
+            if dominated {
+                stats.dominated_removed += 1;
+            } else {
+                kept.push(*opt);
+            }
+        }
+        if kept.is_empty() {
+            stats.empty_groups_removed += 1;
+        } else {
+            groups.push(kept);
+        }
+    }
+    (GroupCover::new(instance.demand(), groups), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn opt(cost: f64, amount: u64) -> CoverOption {
+        CoverOption::new(cost, amount)
+    }
+
+    #[test]
+    fn removes_dominated_options() {
+        let inst = GroupCover::new(
+            3,
+            vec![vec![
+                opt(5.0, 2), // dominated by (4.0, 3)
+                opt(4.0, 3),
+                opt(3.0, 1), // cheaper but smaller: kept
+            ]],
+        );
+        let (reduced, stats) = presolve_cover(&inst);
+        assert_eq!(stats.dominated_removed, 1);
+        assert_eq!(reduced.groups()[0].len(), 2);
+        assert!(reduced.groups()[0].contains(&opt(4.0, 3)));
+        assert!(reduced.groups()[0].contains(&opt(3.0, 1)));
+    }
+
+    #[test]
+    fn identical_options_keep_exactly_one() {
+        let inst = GroupCover::new(2, vec![vec![opt(4.0, 2), opt(4.0, 2), opt(4.0, 2)]]);
+        let (reduced, stats) = presolve_cover(&inst);
+        assert_eq!(reduced.groups()[0].len(), 1);
+        assert_eq!(stats.dominated_removed, 2);
+    }
+
+    #[test]
+    fn drops_zero_amounts_and_empty_groups() {
+        let inst = GroupCover::new(1, vec![vec![opt(1.0, 0)], vec![opt(2.0, 2)]]);
+        let (reduced, stats) = presolve_cover(&inst);
+        assert_eq!(stats.zero_amount_removed, 1);
+        assert_eq!(stats.empty_groups_removed, 1);
+        assert_eq!(reduced.groups().len(), 1);
+    }
+
+    #[test]
+    fn preserves_optimum_by_hand() {
+        let inst = GroupCover::new(
+            4,
+            vec![
+                vec![opt(6.0, 2), opt(2.0, 1), opt(7.0, 2)],
+                vec![opt(5.0, 2), opt(9.0, 3)],
+                vec![opt(4.0, 2)],
+            ],
+        );
+        let (reduced, _) = presolve_cover(&inst);
+        let a = inst.solve_exact().unwrap().cost;
+        let b = reduced.solve_exact().unwrap().cost;
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn presolve_never_changes_the_optimum(
+            demand in 0u64..12,
+            groups in proptest::collection::vec(
+                proptest::collection::vec((0u32..25, 0u64..6), 1..4),
+                1..6,
+            ),
+        ) {
+            let groups: Vec<Vec<CoverOption>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|(c, a)| opt(c as f64, a)).collect())
+                .collect();
+            let inst = GroupCover::new(demand, groups);
+            let (reduced, _) = presolve_cover(&inst);
+            match (inst.solve_exact(), reduced.solve_exact()) {
+                (Some(a), Some(b)) => prop_assert!((a.cost - b.cost).abs() < 1e-9,
+                    "presolve changed optimum: {} vs {}", a.cost, b.cost),
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "feasibility changed: {a:?} vs {b:?}"),
+            }
+        }
+
+        #[test]
+        fn presolve_is_idempotent(
+            demand in 0u64..10,
+            groups in proptest::collection::vec(
+                proptest::collection::vec((0u32..25, 1u64..6), 1..4),
+                1..5,
+            ),
+        ) {
+            let groups: Vec<Vec<CoverOption>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|(c, a)| opt(c as f64, a)).collect())
+                .collect();
+            let inst = GroupCover::new(demand, groups);
+            let (once, _) = presolve_cover(&inst);
+            let (twice, stats) = presolve_cover(&once);
+            prop_assert_eq!(once, twice);
+            prop_assert_eq!(stats, PresolveStats::default());
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves the continuous relaxation of a [`Model`]: minimize `c'x` subject
+//! to the model's linear constraints and variable bounds. Lower bounds are
+//! handled by shifting, finite upper bounds by auxiliary rows, and
+//! infeasibility/unboundedness are detected and reported as typed errors.
+//!
+//! The solver is deliberately dense and simple — the paper's winner
+//! selection LPs have at most a few hundred variables and rows, where a
+//! dense tableau is both fast and easy to verify. Anti-cycling is provided
+//! by switching from Dantzig's rule to Bland's rule after a pivot budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_lp::model::{Model, ConstraintOp};
+//! use edge_lp::simplex::solve_lp;
+//!
+//! # fn main() -> Result<(), edge_lp::LpError> {
+//! // Fractional set cover: min 3a + 2b  s.t.  a + b >= 1, a >= 0.25.
+//! let mut m = Model::new();
+//! let a = m.add_var("a", 0.0, f64::INFINITY, 3.0)?;
+//! let b = m.add_var("b", 0.0, f64::INFINITY, 2.0)?;
+//! m.add_constraint(vec![(a, 1.0), (b, 1.0)], ConstraintOp::Ge, 1.0)?;
+//! m.add_constraint(vec![(a, 1.0)], ConstraintOp::Ge, 0.25)?;
+//! let sol = solve_lp(&m)?;
+//! assert!((sol.objective - (3.0 * 0.25 + 2.0 * 0.75)).abs() < 1e-7);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::LpError;
+use crate::model::{ConstraintOp, Model};
+
+/// Numerical tolerance for pivot eligibility and optimality tests.
+const EPS: f64 = 1e-9;
+/// Tolerance for declaring phase-1 success (zero artificial mass).
+const FEAS_EPS: f64 = 1e-7;
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value (minimization).
+    pub objective: f64,
+    /// Optimal primal point, one entry per model variable.
+    pub x: Vec<f64>,
+    /// Dual value per model constraint (Lagrange multiplier; `>= 0` for
+    /// `Ge` rows, `<= 0` for `Le` rows, free for `Eq` rows in a
+    /// minimization).
+    pub duals: Vec<f64>,
+}
+
+/// Solves the continuous relaxation of `model` (integrality flags are
+/// ignored).
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] — no point satisfies all constraints.
+/// * [`LpError::Unbounded`] — the objective decreases without bound.
+/// * [`LpError::IterationLimit`] — the pivot safeguard tripped.
+/// * [`LpError::NonFiniteInput`] — a variable has a non-finite lower
+///   bound (unsupported).
+pub fn solve_lp(model: &Model) -> Result<LpSolution, LpError> {
+    Simplex::build(model)?.solve(model)
+}
+
+/// How each row recovers its dual value from final reduced costs.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Index of the user constraint this row came from (`None` for upper
+    /// bound rows).
+    orig: Option<usize>,
+    /// Column whose final reduced cost yields the dual, with the sign to
+    /// apply (`+1`/`-1`; already negated for rows that were flipped to
+    /// make the rhs non-negative).
+    dual_col: usize,
+    dual_sign: f64,
+}
+
+#[derive(Debug)]
+struct Simplex {
+    /// Constraint matrix rows (each `ncols` long).
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    /// Whether a column may enter the basis (artificials are barred in
+    /// phase 2).
+    allowed: Vec<bool>,
+    /// Structural objective coefficients padded with zeros.
+    costs: Vec<f64>,
+    artificials: Vec<usize>,
+    meta: Vec<RowMeta>,
+    nstruct: usize,
+    ncols: usize,
+}
+
+impl Simplex {
+    fn build(model: &Model) -> Result<Self, LpError> {
+        let n = model.num_vars();
+        for v in &model.variables {
+            if !v.lower.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    context: "solving: simplex requires finite lower bounds",
+                });
+            }
+        }
+        let lowers: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+
+        // Raw rows: user constraints then upper-bound rows, as
+        // (coefs, op, rhs, orig_index).
+        let mut raw: Vec<(Vec<(usize, f64)>, ConstraintOp, f64, Option<usize>)> = Vec::new();
+        for (k, c) in model.constraints.iter().enumerate() {
+            let shift: f64 = c.terms.iter().map(|&(i, a)| a * lowers[i]).sum();
+            raw.push((c.terms.clone(), c.op, c.rhs - shift, Some(k)));
+        }
+        for (i, v) in model.variables.iter().enumerate() {
+            if v.upper.is_finite() {
+                raw.push((vec![(i, 1.0)], ConstraintOp::Le, v.upper - v.lower, None));
+            }
+        }
+
+        let m = raw.len();
+        // Column layout: [0, n) structural, then one slack/surplus per
+        // Le/Ge row, then artificials.
+        let mut nslack = 0;
+        for (_, op, _, _) in &raw {
+            if !matches!(op, ConstraintOp::Eq) {
+                nslack += 1;
+            }
+        }
+        // Upper bound on artificial count: one per row.
+        let ncols_max = n + nslack + m;
+        let mut rows = vec![vec![0.0; ncols_max]; m];
+        let mut rhs = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut meta = Vec::with_capacity(m);
+        let mut artificials = Vec::new();
+        let mut next_slack = n;
+        let mut next_art = n + nslack;
+
+        for (r, (terms, op, b, orig)) in raw.into_iter().enumerate() {
+            let flipped = b < 0.0;
+            let sign = if flipped { -1.0 } else { 1.0 };
+            for (i, a) in terms {
+                rows[r][i] += sign * a;
+            }
+            rhs[r] = sign * b;
+            let eff_op = match (op, flipped) {
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (ConstraintOp::Ge, false) | (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+            };
+            let (dual_col, dual_sign);
+            match eff_op {
+                ConstraintOp::Le => {
+                    let s = next_slack;
+                    next_slack += 1;
+                    rows[r][s] = 1.0;
+                    basis[r] = s;
+                    // rc(slack) = -y  =>  y = -rc
+                    dual_col = s;
+                    dual_sign = -1.0;
+                }
+                ConstraintOp::Ge => {
+                    let s = next_slack;
+                    next_slack += 1;
+                    rows[r][s] = -1.0;
+                    let a = next_art;
+                    next_art += 1;
+                    rows[r][a] = 1.0;
+                    basis[r] = a;
+                    artificials.push(a);
+                    // rc(artificial) = -y  =>  y = -rc
+                    dual_col = a;
+                    dual_sign = -1.0;
+                }
+                ConstraintOp::Eq => {
+                    let a = next_art;
+                    next_art += 1;
+                    rows[r][a] = 1.0;
+                    basis[r] = a;
+                    artificials.push(a);
+                    dual_col = a;
+                    dual_sign = -1.0;
+                }
+            }
+            meta.push(RowMeta {
+                orig,
+                dual_col,
+                dual_sign: if flipped { -dual_sign } else { dual_sign },
+            });
+        }
+
+        let ncols = next_art;
+        for row in &mut rows {
+            row.truncate(ncols);
+        }
+        let mut costs = vec![0.0; ncols];
+        for (i, v) in model.variables.iter().enumerate() {
+            costs[i] = v.objective;
+        }
+        let allowed = vec![true; ncols];
+
+        Ok(Simplex {
+            rows,
+            rhs,
+            basis,
+            allowed,
+            costs,
+            artificials,
+            meta,
+            nstruct: n,
+            ncols,
+        })
+    }
+
+    fn solve(mut self, model: &Model) -> Result<LpSolution, LpError> {
+        // ---- Phase 1: minimize artificial mass ----
+        if !self.artificials.is_empty() {
+            let art_set: Vec<bool> = {
+                let mut s = vec![false; self.ncols];
+                for &a in &self.artificials {
+                    s[a] = true;
+                }
+                s
+            };
+            let phase1_costs: Vec<f64> =
+                (0..self.ncols).map(|j| if art_set[j] { 1.0 } else { 0.0 }).collect();
+            let (mut r, mut neg_obj) = self.reduced_costs(&phase1_costs);
+            self.run(&mut r, &mut neg_obj)?;
+            let phase1_obj = -neg_obj;
+            if phase1_obj > FEAS_EPS {
+                return Err(LpError::Infeasible);
+            }
+            self.evict_basic_artificials(&art_set, &mut r, &mut neg_obj);
+            for &a in &self.artificials {
+                self.allowed[a] = false;
+            }
+        }
+
+        // ---- Phase 2: original objective ----
+        let costs = self.costs.clone();
+        let (mut r, mut neg_obj) = self.reduced_costs(&costs);
+        self.run(&mut r, &mut neg_obj)?;
+
+        // Extract primal point (shift lower bounds back in).
+        let mut x = vec![0.0; self.nstruct];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.nstruct {
+                x[b] = self.rhs[i];
+            }
+        }
+        let mut objective = 0.0;
+        for (i, v) in model.variables.iter().enumerate() {
+            x[i] += v.lower;
+            objective += v.objective * x[i];
+        }
+
+        // Extract constraint duals from final reduced costs.
+        let mut duals = vec![0.0; model.num_constraints()];
+        for m_row in &self.meta {
+            if let Some(k) = m_row.orig {
+                duals[k] = m_row.dual_sign * r[m_row.dual_col];
+            }
+        }
+
+        Ok(LpSolution { objective, x, duals })
+    }
+
+    /// Computes the reduced-cost row and `-objective` for given costs.
+    fn reduced_costs(&self, costs: &[f64]) -> (Vec<f64>, f64) {
+        let mut r = costs.to_vec();
+        let mut neg_obj = 0.0;
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = costs[b];
+            if cb != 0.0 {
+                for j in 0..self.ncols {
+                    r[j] -= cb * self.rows[i][j];
+                }
+                neg_obj -= cb * self.rhs[i];
+            }
+        }
+        (r, neg_obj)
+    }
+
+    /// Pivots until optimality, using Dantzig then Bland.
+    fn run(&mut self, r: &mut [f64], neg_obj: &mut f64) -> Result<(), LpError> {
+        let m = self.rows.len();
+        let budget_dantzig = 20 * (m + self.ncols) + 200;
+        let budget_total = 200 * (m + self.ncols) + 2000;
+        for iter in 0..budget_total {
+            let bland = iter >= budget_dantzig;
+            let Some(pc) = self.entering(r, bland) else {
+                return Ok(());
+            };
+            let Some(pr) = self.leaving(pc) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(pr, pc, r, neg_obj);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn entering(&self, r: &[f64], bland: bool) -> Option<usize> {
+        if bland {
+            (0..self.ncols).find(|&j| self.allowed[j] && r[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_rc = -EPS;
+            for j in 0..self.ncols {
+                if self.allowed[j] && r[j] < best_rc {
+                    best_rc = r[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    fn leaving(&self, pc: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.rows.len() {
+            let a = self.rows[i][pc];
+            if a > EPS {
+                let ratio = self.rhs[i] / a;
+                best = match best {
+                    None => Some((i, ratio)),
+                    Some((_, br)) if ratio < br - EPS => Some((i, ratio)),
+                    // Near-tie: prefer the smaller basis index (a simple
+                    // anti-cycling heuristic that pairs with Bland's rule).
+                    Some((bi, br)) if ratio < br + EPS && self.basis[i] < self.basis[bi] => {
+                        Some((i, br.min(ratio)))
+                    }
+                    other => other,
+                };
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize, r: &mut [f64], neg_obj: &mut f64) {
+        let piv = self.rows[pr][pc];
+        debug_assert!(piv.abs() > EPS, "pivot on a near-zero element");
+        let inv = 1.0 / piv;
+        for v in self.rows[pr].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[pr] *= inv;
+        // Re-normalize the pivot column entry to exactly 1.
+        self.rows[pr][pc] = 1.0;
+
+        let pivot_row = self.rows[pr].clone();
+        let pivot_rhs = self.rhs[pr];
+        for i in 0..self.rows.len() {
+            if i == pr {
+                continue;
+            }
+            let f = self.rows[i][pc];
+            if f.abs() > EPS {
+                for j in 0..self.ncols {
+                    self.rows[i][j] -= f * pivot_row[j];
+                }
+                self.rows[i][pc] = 0.0;
+                self.rhs[i] -= f * pivot_rhs;
+                if self.rhs[i].abs() < EPS {
+                    self.rhs[i] = 0.0;
+                }
+            } else {
+                self.rows[i][pc] = 0.0;
+            }
+        }
+        let f = r[pc];
+        if f.abs() > EPS {
+            for j in 0..self.ncols {
+                r[j] -= f * pivot_row[j];
+            }
+            *neg_obj -= f * pivot_rhs;
+        }
+        r[pc] = 0.0;
+        self.basis[pr] = pc;
+    }
+
+    /// After phase 1, pivots artificial variables out of the basis where
+    /// possible and drops redundant rows where not.
+    fn evict_basic_artificials(&mut self, art_set: &[bool], r: &mut Vec<f64>, neg_obj: &mut f64) {
+        let mut i = 0;
+        while i < self.rows.len() {
+            if art_set[self.basis[i]] {
+                // Basic artificial at (numerically) zero level.
+                let pc = (0..self.ncols)
+                    .find(|&j| !art_set[j] && self.allowed[j] && self.rows[i][j].abs() > 1e-7);
+                match pc {
+                    Some(pc) => {
+                        self.pivot(i, pc, r, neg_obj);
+                        i += 1;
+                    }
+                    None => {
+                        // Row is redundant in the original columns: drop it.
+                        self.rows.swap_remove(i);
+                        self.rhs.swap_remove(i);
+                        self.basis.swap_remove(i);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn solves_textbook_le_lp() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier).
+        // As minimization: min -3x - 5y, optimum -36 at (2, 6).
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0).unwrap();
+        m.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0).unwrap();
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, -36.0), "objective {}", s.objective);
+        assert!(close(s.x[0], 2.0) && close(s.x[1], 6.0), "{:?}", s.x);
+    }
+
+    #[test]
+    fn solves_ge_lp_with_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 (via bounds).
+        let mut m = Model::new();
+        let x = m.add_var("x", 2.0, f64::INFINITY, 2.0).unwrap();
+        let y = m.add_var("y", 3.0, f64::INFINITY, 3.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        // Cheapest way to reach 10 is all-x above the y floor: x=7, y=3.
+        assert!(close(s.objective, 2.0 * 7.0 + 3.0 * 3.0), "objective {}", s.objective);
+        assert!(close(s.x[0], 7.0) && close(s.x[1], 3.0));
+    }
+
+    #[test]
+    fn solves_equality_lp() {
+        // min x + 2y s.t. x + y == 5, x <= 3.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 3.0, 1.0).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 3.0 + 2.0 * 2.0));
+        assert!(close(s.x[0], 3.0) && close(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0).unwrap();
+        assert_eq!(solve_lp(&m), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0).unwrap();
+        assert_eq!(solve_lp(&m), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn handles_negative_rhs_by_flipping() {
+        // x - y <= -2 with x,y in [0,10]: i.e. y >= x + 2.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, -1.0).unwrap(); // maximize x
+        let y = m.add_var("y", 0.0, 10.0, 0.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.x[0], 8.0), "x should reach 8 (y=10), got {}", s.x[0]);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 2.5, 2.5, 4.0).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.x[0], 2.5));
+        assert!(close(s.x[1], 1.5));
+        assert!(close(s.objective, 10.0 + 1.5));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example — multiple bases at the same vertex.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -0.75).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 150.0).unwrap();
+        let z = m.add_var("z", 0.0, f64::INFINITY, -0.02).unwrap();
+        let w = m.add_var("w", 0.0, f64::INFINITY, 6.0).unwrap();
+        m.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        )
+        .unwrap();
+        m.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        )
+        .unwrap();
+        m.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 1.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        // Known optimum of the Beale cycling example: -0.05 at z = 1.
+        assert!(close(s.objective, -0.05), "objective {}", s.objective);
+    }
+
+    #[test]
+    fn duals_match_known_values() {
+        // min 2x + 3y s.t. x + y >= 4 (dual 2), x - y <= 2.
+        // Optimum at x=4,y=0? Check: x+y>=4, x-y<=2 -> x=3,y=1 satisfies
+        // x-y=2 (binding). obj=9. Perturb rhs of >=: 4+e needs split
+        // between x and y keeping x-y<=2: x=3+e/2,y=1+e/2, obj increase
+        // 2.5e -> dual 2.5. Perturb <= rhs: 2+e -> x=3+e/2, y=1-e/2,
+        // obj change e*(2-3)/2 = -0.5e -> dual -0.5.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0).unwrap();
+        let c1 = m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0).unwrap();
+        let c2 = m.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, 2.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 9.0), "objective {}", s.objective);
+        assert!(close(s.duals[c1.index()], 2.5), "dual1 {}", s.duals[c1.index()]);
+        assert!(close(s.duals[c2.index()], -0.5), "dual2 {}", s.duals[c2.index()]);
+        // Strong duality for this model (no finite var upper bounds):
+        // y'b == c'x.
+        let dual_obj = s.duals[0] * 4.0 + s.duals[1] * 2.0;
+        assert!(close(dual_obj, s.objective));
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // Two identical equality rows: one becomes redundant in phase 1.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 3.0));
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new();
+        let a = m.add_var("a", 0.0, 1.0, 5.0).unwrap();
+        let b = m.add_var("b", 0.0, 1.0, 4.0).unwrap();
+        let c = m.add_var("c", 0.0, 1.0, 3.0).unwrap();
+        m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], ConstraintOp::Ge, 3.0).unwrap();
+        m.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!(m.is_feasible(&s.x, 1e-6), "{:?}", s.x);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-checks between the three solvers in `edge-lp`.
+//!
+//! The covering DP, the branch-and-bound ILP solver, and the simplex LP
+//! relaxation are independent implementations of overlapping problems, so
+//! we can use each to validate the others on randomized instances.
+
+use edge_lp::{
+    solve_ilp, solve_lp, ConstraintOp, CoverOption, GroupCover, IlpOptions, Model,
+};
+use proptest::prelude::*;
+
+/// Builds the ILP formulation of a [`GroupCover`] instance:
+/// min Σ cost·x, Σ amount·x >= demand, Σ_j x_gj <= 1 per group.
+fn cover_to_ilp(inst: &GroupCover) -> Model {
+    let mut m = Model::new();
+    let mut cover_terms = Vec::new();
+    for (g, group) in inst.groups().iter().enumerate() {
+        let mut group_terms = Vec::new();
+        for (j, opt) in group.iter().enumerate() {
+            let v = m.add_binary(&format!("x_{g}_{j}"), opt.cost).unwrap();
+            cover_terms.push((v, opt.amount as f64));
+            group_terms.push((v, 1.0));
+        }
+        if !group_terms.is_empty() {
+            m.add_constraint(group_terms, ConstraintOp::Le, 1.0).unwrap();
+        }
+    }
+    m.add_constraint(cover_terms, ConstraintOp::Ge, inst.demand() as f64)
+        .unwrap();
+    m
+}
+
+fn arb_cover() -> impl Strategy<Value = GroupCover> {
+    (
+        0u64..15,
+        proptest::collection::vec(
+            proptest::collection::vec((1u32..25, 1u64..6), 1..4),
+            1..6,
+        ),
+    )
+        .prop_map(|(demand, groups)| {
+            let groups = groups
+                .into_iter()
+                .map(|g| {
+                    g.into_iter()
+                        .map(|(c, a)| CoverOption::new(c as f64, a))
+                        .collect()
+                })
+                .collect();
+            GroupCover::new(demand, groups)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP and branch-and-bound must agree exactly on optimal cost.
+    #[test]
+    fn dp_and_branch_and_bound_agree(inst in arb_cover()) {
+        let ilp = cover_to_ilp(&inst);
+        let dp = inst.solve_exact();
+        let bb = solve_ilp(&ilp, &IlpOptions::default());
+        match (dp, bb) {
+            (Some(dp_sol), Ok(bb_sol)) => {
+                prop_assert!(bb_sol.proven_optimal);
+                prop_assert!((dp_sol.cost - bb_sol.objective).abs() < 1e-6,
+                    "dp {} vs b&b {}", dp_sol.cost, bb_sol.objective);
+            }
+            (None, Err(edge_lp::LpError::Infeasible)) => {}
+            (dp, bb) => prop_assert!(false, "disagreement: dp={dp:?} bb={bb:?}"),
+        }
+    }
+
+    /// Weak duality: the LP relaxation never exceeds the integer optimum,
+    /// and the fractional greedy bound never exceeds the LP value by more
+    /// than tolerance (both are relaxations of the same covering).
+    #[test]
+    fn lp_relaxation_bounds_integer_optimum(inst in arb_cover()) {
+        let ilp = cover_to_ilp(&inst);
+        if let Some(dp_sol) = inst.solve_exact() {
+            let lp = solve_lp(&ilp).expect("relaxation of a feasible ILP is feasible");
+            prop_assert!(lp.objective <= dp_sol.cost + 1e-6,
+                "LP {} must lower-bound ILP {}", lp.objective, dp_sol.cost);
+            prop_assert!(ilp.is_feasible(&lp.x, 1e-6));
+        }
+    }
+
+    /// Simplex solutions are feasible and no random feasible 0/1 point
+    /// beats them.
+    #[test]
+    fn simplex_beats_random_feasible_points(inst in arb_cover(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let ilp = cover_to_ilp(&inst);
+        let Ok(lp) = solve_lp(&ilp) else { return Ok(()); };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..ilp.num_vars()).map(|_| f64::from(rng.gen_range(0..=1))).collect();
+            if ilp.is_feasible(&x, 1e-9) {
+                prop_assert!(lp.objective <= ilp.objective_value(&x) + 1e-6);
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_cover_instance_solves_quickly() {
+    // 40 sellers × 2 bids, demand 120 — the Fig 3(b) upper scale.
+    let groups: Vec<Vec<CoverOption>> = (0..40)
+        .map(|g| {
+            vec![
+                CoverOption::new(10.0 + (g % 26) as f64, 1 + (g % 5) as u64),
+                CoverOption::new(12.0 + ((g * 7) % 24) as f64, 2 + (g % 4) as u64),
+            ]
+        })
+        .collect();
+    let inst = GroupCover::new(80, groups);
+    let sol = inst.solve_exact().expect("feasible");
+    assert!(sol.cost > 0.0);
+    assert!(inst.fractional_lower_bound() <= sol.cost + 1e-9);
+}

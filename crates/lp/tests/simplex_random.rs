@@ -1,0 +1,89 @@
+//! Randomized stress tests of the simplex on general (non-covering) LPs.
+
+use edge_lp::{solve_lp, ConstraintOp, LpError, Model};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Random LPs over a bounded box are always either feasible-and-bounded
+/// or infeasible — never unbounded — so the solver must return one of
+/// those two answers and, when optimal, a feasible point no worse than
+/// any sampled feasible point.
+fn random_model(seed: u64, n: usize, m: usize) -> Model {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut model = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            model
+                .add_var(&format!("x{i}"), 0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0))
+                .unwrap()
+        })
+        .collect();
+    for _ in 0..m {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.7) {
+                terms.push((v, rng.gen_range(-3.0..3.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let op = match rng.gen_range(0..3) {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        model.add_constraint(terms, op, rng.gen_range(-5.0..10.0)).unwrap();
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn simplex_is_sound_on_random_boxed_lps(seed in 0u64..10_000, n in 1usize..6, m in 0usize..6) {
+        let model = random_model(seed, n, m);
+        match solve_lp(&model) {
+            Ok(sol) => {
+                // Feasible and no sampled feasible point beats it.
+                prop_assert!(model.is_feasible(&sol.x, 1e-5),
+                    "claimed optimum infeasible: {:?}", sol.x);
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+                for _ in 0..50 {
+                    let x: Vec<f64> = (0..model.num_vars())
+                        .map(|i| {
+                            let (lo, hi) = model.bounds(model.var(i).unwrap()).unwrap();
+                            rng.gen_range(lo..=hi)
+                        })
+                        .collect();
+                    if model.is_feasible(&x, 1e-9) {
+                        prop_assert!(sol.objective <= model.objective_value(&x) + 1e-5,
+                            "sampled point beats 'optimum': {} < {}",
+                            model.objective_value(&x), sol.objective);
+                    }
+                }
+            }
+            Err(LpError::Infeasible) => {
+                // No sampled point may be feasible... sampling cannot
+                // prove infeasibility, but a feasible sample would be a
+                // hard bug.
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+                for _ in 0..200 {
+                    let x: Vec<f64> = (0..model.num_vars())
+                        .map(|i| {
+                            let (lo, hi) = model.bounds(model.var(i).unwrap()).unwrap();
+                            rng.gen_range(lo..=hi)
+                        })
+                        .collect();
+                    prop_assert!(!model.is_feasible(&x, 1e-7),
+                        "solver said infeasible but {x:?} is feasible");
+                }
+            }
+            Err(LpError::Unbounded) => {
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}

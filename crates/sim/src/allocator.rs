@@ -1,0 +1,183 @@
+//! Max-min fair-share resource allocation.
+//!
+//! §II of the paper: "the edge platform circulates all the available
+//! resources to microservices present in the edge cloud following a fair
+//! sharing policy". We implement classic *water-filling* max-min fairness:
+//! capacity is divided equally, but no microservice receives more than it
+//! demands; freed headroom is redistributed among the still-unsatisfied
+//! ones.
+
+use edge_common::units::Resource;
+
+/// Computes the max-min fair allocation of `capacity` among consumers
+/// with the given `demands`.
+///
+/// Properties (all tested):
+/// * Σ allocation ≤ capacity;
+/// * allocation_i ≤ demand_i;
+/// * if Σ demands ≤ capacity every demand is met exactly;
+/// * otherwise every unsatisfied consumer receives the same share, and
+///   that share is at least as large as any satisfied consumer's demand.
+///
+/// # Examples
+///
+/// ```
+/// use edge_sim::allocator::fair_share;
+/// use edge_common::units::Resource;
+///
+/// let demands = [Resource::new(2.0).unwrap(),
+///                Resource::new(10.0).unwrap(),
+///                Resource::new(10.0).unwrap()];
+/// let alloc = fair_share(Resource::new(10.0).unwrap(), &demands);
+/// // The small demand is met; the rest split the remaining 8 equally.
+/// assert_eq!(alloc[0].value(), 2.0);
+/// assert_eq!(alloc[1].value(), 4.0);
+/// assert_eq!(alloc[2].value(), 4.0);
+/// ```
+pub fn fair_share(capacity: Resource, demands: &[Resource]) -> Vec<Resource> {
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut alloc = vec![Resource::ZERO; n];
+    let mut remaining_capacity = capacity.value();
+    let mut unsatisfied: Vec<usize> = (0..n).filter(|&i| demands[i].value() > 0.0).collect();
+
+    // Water-filling: repeatedly grant the equal share, capping at each
+    // consumer's demand; iterate until no consumer is capped.
+    while !unsatisfied.is_empty() && remaining_capacity > 1e-12 {
+        let share = remaining_capacity / unsatisfied.len() as f64;
+        let mut capped = Vec::new();
+        let mut still = Vec::new();
+        for &i in &unsatisfied {
+            let want = demands[i].value() - alloc[i].value();
+            if want <= share {
+                capped.push((i, want));
+            } else {
+                still.push(i);
+            }
+        }
+        if capped.is_empty() {
+            // Nobody capped: everyone takes the equal share and we are
+            // done.
+            for &i in &unsatisfied {
+                alloc[i] += Resource::new_unchecked(share);
+            }
+            break;
+        }
+        for (i, want) in capped {
+            alloc[i] += Resource::new_unchecked(want);
+            remaining_capacity -= want;
+        }
+        unsatisfied = still;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(v: f64) -> Resource {
+        Resource::new(v).unwrap()
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(fair_share(r(10.0), &[]).is_empty());
+    }
+
+    #[test]
+    fn plenty_of_capacity_meets_all_demands() {
+        let demands = [r(1.0), r(2.0), r(3.0)];
+        let alloc = fair_share(r(100.0), &demands);
+        for (a, d) in alloc.iter().zip(&demands) {
+            assert!((a.value() - d.value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scarce_capacity_splits_equally() {
+        let demands = [r(10.0), r(10.0)];
+        let alloc = fair_share(r(6.0), &demands);
+        assert!((alloc[0].value() - 3.0).abs() < 1e-9);
+        assert!((alloc[1].value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_demands_release_headroom() {
+        let demands = [r(1.0), r(20.0), r(20.0)];
+        let alloc = fair_share(r(11.0), &demands);
+        assert!((alloc[0].value() - 1.0).abs() < 1e-9);
+        assert!((alloc[1].value() - 5.0).abs() < 1e-9);
+        assert!((alloc[2].value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demands_get_nothing() {
+        let demands = [r(0.0), r(5.0)];
+        let alloc = fair_share(r(10.0), &demands);
+        assert_eq!(alloc[0], Resource::ZERO);
+        assert!((alloc[1].value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_allocates_nothing() {
+        let demands = [r(5.0), r(5.0)];
+        let alloc = fair_share(Resource::ZERO, &demands);
+        assert!(alloc.iter().all(|a| a.is_zero()));
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold(
+            capacity in 0.0f64..100.0,
+            demands in proptest::collection::vec(0.0f64..30.0, 0..12),
+        ) {
+            let capacity = r(capacity);
+            let demands: Vec<Resource> = demands.into_iter().map(r).collect();
+            let alloc = fair_share(capacity, &demands);
+            prop_assert_eq!(alloc.len(), demands.len());
+            let total: f64 = alloc.iter().map(|a| a.value()).sum();
+            prop_assert!(total <= capacity.value() + 1e-6, "over-allocated {total}");
+            for (a, d) in alloc.iter().zip(&demands) {
+                prop_assert!(a.value() <= d.value() + 1e-6, "alloc above demand");
+                prop_assert!(a.value() >= 0.0);
+            }
+            // If total demand fits, everyone is satisfied.
+            let want: f64 = demands.iter().map(|d| d.value()).sum();
+            if want <= capacity.value() {
+                for (a, d) in alloc.iter().zip(&demands) {
+                    prop_assert!((a.value() - d.value()).abs() < 1e-6);
+                }
+            } else if !demands.is_empty() {
+                // Scarce: capacity is fully used.
+                prop_assert!((total - capacity.value()).abs() < 1e-6,
+                    "capacity unused under scarcity: {total} < {}", capacity.value());
+            }
+        }
+
+        #[test]
+        fn max_min_property(
+            capacity in 1.0f64..50.0,
+            demands in proptest::collection::vec(0.1f64..30.0, 2..10),
+        ) {
+            // No unsatisfied consumer may end up with less than any other
+            // consumer's allocation (that is what max-min means).
+            let capacity = r(capacity);
+            let demands: Vec<Resource> = demands.into_iter().map(r).collect();
+            let alloc = fair_share(capacity, &demands);
+            for i in 0..alloc.len() {
+                let unsatisfied = alloc[i].value() < demands[i].value() - 1e-6;
+                if unsatisfied {
+                    for j in 0..alloc.len() {
+                        prop_assert!(alloc[j].value() <= alloc[i].value() + 1e-6,
+                            "consumer {j} ({}) exceeds unsatisfied {i} ({})",
+                            alloc[j].value(), alloc[i].value());
+                    }
+                }
+            }
+        }
+    }
+}

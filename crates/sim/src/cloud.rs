@@ -1,0 +1,111 @@
+//! Edge clouds: capacity-bounded pools hosting microservices.
+
+use edge_common::id::{EdgeCloudId, MicroserviceId};
+use edge_common::units::Resource;
+
+/// An edge cloud (a macro base station co-located with a server in the
+/// paper's setting): a fixed resource capacity shared by its hosted
+/// microservices.
+#[derive(Debug, Clone)]
+pub struct EdgeCloud {
+    id: EdgeCloudId,
+    capacity: Resource,
+    members: Vec<MicroserviceId>,
+}
+
+impl EdgeCloud {
+    /// Creates an empty edge cloud with the given capacity.
+    pub fn new(id: EdgeCloudId, capacity: Resource) -> Self {
+        EdgeCloud { id, capacity, members: Vec::new() }
+    }
+
+    /// This cloud's id.
+    pub fn id(&self) -> EdgeCloudId {
+        self.id
+    }
+
+    /// Total resource capacity of this cloud.
+    pub fn capacity(&self) -> Resource {
+        self.capacity
+    }
+
+    /// Replaces the cloud's capacity (failure injection: a co-located
+    /// server failing or returning).
+    pub fn set_capacity(&mut self, capacity: Resource) {
+        self.capacity = capacity;
+    }
+
+    /// Microservices hosted here.
+    pub fn members(&self) -> &[MicroserviceId] {
+        &self.members
+    }
+
+    /// Registers a microservice on this cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microservice is already a member — double placement
+    /// would double-count it during fair sharing.
+    pub fn host(&mut self, ms: MicroserviceId) {
+        assert!(!self.members.contains(&ms), "{ms} is already hosted on {}", self.id);
+        self.members.push(ms);
+    }
+
+    /// Returns `true` if the microservice runs on this cloud.
+    pub fn hosts(&self, ms: MicroserviceId) -> bool {
+        self.members.contains(&ms)
+    }
+}
+
+/// Places `n` microservices round-robin across `clouds` (the paper
+/// "randomly deploys 25–75 microservices on different edge clouds";
+/// round-robin keeps populations balanced and experiments deterministic).
+///
+/// Returns the cloud id assigned to each microservice, and registers each
+/// on its cloud.
+pub fn place_round_robin(clouds: &mut [EdgeCloud], n: usize) -> Vec<EdgeCloudId> {
+    assert!(!clouds.is_empty(), "need at least one cloud to place microservices");
+    (0..n)
+        .map(|m| {
+            let c = m % clouds.len();
+            clouds[c].host(MicroserviceId::new(m));
+            clouds[c].id()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosting_registers_members() {
+        let mut c = EdgeCloud::new(EdgeCloudId::new(0), Resource::new(100.0).unwrap());
+        c.host(MicroserviceId::new(1));
+        c.host(MicroserviceId::new(2));
+        assert!(c.hosts(MicroserviceId::new(1)));
+        assert!(!c.hosts(MicroserviceId::new(3)));
+        assert_eq!(c.members().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosted")]
+    fn double_hosting_panics() {
+        let mut c = EdgeCloud::new(EdgeCloudId::new(0), Resource::new(1.0).unwrap());
+        c.host(MicroserviceId::new(1));
+        c.host(MicroserviceId::new(1));
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let mut clouds: Vec<EdgeCloud> = (0..3)
+            .map(|i| EdgeCloud::new(EdgeCloudId::new(i), Resource::new(10.0).unwrap()))
+            .collect();
+        let placement = place_round_robin(&mut clouds, 7);
+        assert_eq!(placement.len(), 7);
+        let counts: Vec<usize> = clouds.iter().map(|c| c.members().len()).collect();
+        assert_eq!(counts, vec![3, 2, 2]);
+        assert_eq!(placement[0], EdgeCloudId::new(0));
+        assert_eq!(placement[4], EdgeCloudId::new(1));
+    }
+}

@@ -1,0 +1,638 @@
+//! The round-based simulation engine.
+//!
+//! Each call to [`Simulation::step`] advances one round of §II's
+//! time-slotted system:
+//!
+//! 1. inject the trace's arrivals into the target microservices' queues;
+//! 2. allocate each cloud's capacity among its microservices by max-min
+//!    fair sharing on queued work, distributing idle headroom equally
+//!    (idle microservices *hold* spare resources — that is precisely what
+//!    the auction later reclaims);
+//! 3. apply any resource transfers submitted since the previous round
+//!    (the auction's reallocation hook);
+//! 4. process every queue with the resulting allocations;
+//! 5. record a [`MsMetrics`] row per microservice into the shared
+//!    [`MetricsHub`].
+
+use crate::allocator::fair_share;
+use crate::cloud::EdgeCloud;
+use crate::error::SimError;
+use crate::events::{EventSchedule, SimEvent};
+use crate::metrics::{MetricsHub, MsMetrics};
+use crate::microservice::MicroserviceState;
+use edge_common::id::{EdgeCloudId, MicroserviceId, Round};
+use edge_common::units::Resource;
+use edge_workload::trace::RequestTrace;
+use std::sync::Arc;
+
+/// Static configuration of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of edge clouds (paper: 10).
+    pub num_clouds: usize,
+    /// Resource capacity per cloud, in resource units.
+    ///
+    /// The default (4.0) makes the §V-A default workload mildly scarce —
+    /// roughly the regime where the paper's auction is interesting: some
+    /// microservices hold spare resources while others queue.
+    pub cloud_capacity: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { num_clouds: 10, cloud_capacity: 4.0 }
+    }
+}
+
+/// A running edge-cloud simulation over a request trace.
+#[derive(Debug)]
+pub struct Simulation {
+    clouds: Vec<EdgeCloud>,
+    services: Vec<MicroserviceState>,
+    trace: RequestTrace,
+    next_round: u64,
+    metrics: Arc<MetricsHub>,
+    pending_transfers: Vec<(MicroserviceId, MicroserviceId, Resource)>,
+    events: EventSchedule,
+    paused: Vec<bool>,
+    last_completions: Vec<edge_workload::request::Request>,
+}
+
+impl Simulation {
+    /// Builds a simulation over the given trace, placing the trace's
+    /// microservices round-robin over `config.num_clouds` clouds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_clouds == 0` or `cloud_capacity` is not
+    /// finite and non-negative.
+    pub fn new(trace: RequestTrace, config: SimConfig) -> Self {
+        Self::with_placement(trace, config, crate::placement::Placement::RoundRobin)
+    }
+
+    /// Like [`new`](Self::new), with an explicit placement strategy.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new), plus the strategy's own validation.
+    pub fn with_placement(
+        trace: RequestTrace,
+        config: SimConfig,
+        strategy: crate::placement::Placement,
+    ) -> Self {
+        assert!(config.num_clouds > 0, "need at least one edge cloud");
+        let capacity = Resource::new(config.cloud_capacity)
+            .expect("cloud capacity must be finite and non-negative");
+        let mut clouds: Vec<EdgeCloud> = (0..config.num_clouds)
+            .map(|i| EdgeCloud::new(EdgeCloudId::new(i), capacity))
+            .collect();
+        let n = trace.config().num_microservices;
+        let placement = crate::placement::place(&mut clouds, n, strategy);
+        let services: Vec<MicroserviceState> = placement
+            .iter()
+            .enumerate()
+            .map(|(m, &cloud)| MicroserviceState::new(MicroserviceId::new(m), cloud))
+            .collect();
+        let n_services = services.len();
+        Simulation {
+            clouds,
+            services,
+            trace,
+            next_round: 0,
+            metrics: MetricsHub::new(),
+            pending_transfers: Vec::new(),
+            events: EventSchedule::new(),
+            paused: vec![false; n_services],
+            last_completions: Vec::new(),
+        }
+    }
+
+    /// The requests completed during the most recent
+    /// [`step`](Self::step) — feed these to an
+    /// [`SlaTracker`](crate::sla::SlaTracker) to account deadline
+    /// violations.
+    pub fn last_completions(&self) -> &[edge_workload::request::Request] {
+        &self.last_completions
+    }
+
+    /// Installs a disturbance schedule (failure injection). Replaces any
+    /// previously installed schedule.
+    pub fn set_events(&mut self, events: EventSchedule) {
+        self.events = events;
+    }
+
+    /// Whether a microservice is currently paused by a
+    /// [`SimEvent::PauseService`] event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownMicroservice`] for an out-of-range id.
+    pub fn is_paused(&self, ms: MicroserviceId) -> Result<bool, SimError> {
+        self.paused
+            .get(ms.index())
+            .copied()
+            .ok_or(SimError::UnknownMicroservice(ms))
+    }
+
+    /// The shared metrics hub (clone the `Arc` to read concurrently).
+    pub fn metrics(&self) -> Arc<MetricsHub> {
+        self.metrics.clone()
+    }
+
+    /// The round that will execute on the next [`step`](Self::step) call.
+    pub fn next_round(&self) -> Round {
+        Round::new(self.next_round)
+    }
+
+    /// Number of microservices in the simulation.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Read access to a microservice's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownMicroservice`] for an out-of-range id.
+    pub fn service(&self, ms: MicroserviceId) -> Result<&MicroserviceState, SimError> {
+        self.services
+            .get(ms.index())
+            .ok_or(SimError::UnknownMicroservice(ms))
+    }
+
+    /// Resources a microservice currently holds beyond its queued work —
+    /// what it could yield to the market without starving itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownMicroservice`] for an out-of-range id.
+    pub fn spare_of(&self, ms: MicroserviceId) -> Result<Resource, SimError> {
+        let s = self.service(ms)?;
+        Ok(s.allocation().saturating_sub(s.queued_work()))
+    }
+
+    /// Schedules a resource transfer to apply at the next round's
+    /// allocation phase — the reallocation hook the auction uses to move
+    /// reclaimed resources to needy microservices.
+    ///
+    /// The transfer is clamped at apply time to what the source actually
+    /// holds after fair sharing.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownMicroservice`] — either endpoint is unknown.
+    /// * [`SimError::MismatchedClouds`] — endpoints live on different
+    ///   clouds (resources are physical and cloud-local).
+    pub fn schedule_transfer(
+        &mut self,
+        from: MicroserviceId,
+        to: MicroserviceId,
+        amount: Resource,
+    ) -> Result<(), SimError> {
+        let from_cloud = self.service(from)?.cloud();
+        let to_cloud = self.service(to)?.cloud();
+        if from_cloud != to_cloud {
+            return Err(SimError::MismatchedClouds { from: from_cloud, to: to_cloud });
+        }
+        self.pending_transfers.push((from, to, amount));
+        Ok(())
+    }
+
+    /// Runs one round; returns the executed round, or `None` when the
+    /// trace is exhausted.
+    pub fn step(&mut self) -> Option<Round> {
+        if self.next_round >= self.trace.num_rounds() {
+            return None;
+        }
+        let now = Round::new(self.next_round);
+
+        // 0. Disturbances scheduled for this round.
+        for event in self.events.for_round(self.next_round).to_vec() {
+            match event {
+                SimEvent::CapacityChange { cloud, capacity } => {
+                    if let Some(c) = self.clouds.get_mut(cloud.index()) {
+                        c.set_capacity(capacity);
+                    }
+                }
+                SimEvent::PauseService { ms } => {
+                    if let Some(p) = self.paused.get_mut(ms.index()) {
+                        *p = true;
+                    }
+                }
+                SimEvent::ResumeService { ms } => {
+                    if let Some(p) = self.paused.get_mut(ms.index()) {
+                        *p = false;
+                    }
+                }
+            }
+        }
+
+        // 1. Arrivals.
+        let mut received_round = vec![0u64; self.services.len()];
+        for request in self.trace.requests_at(now).to_vec() {
+            received_round[request.target.index()] += 1;
+            self.services[request.target.index()].enqueue(request);
+        }
+
+        // 2. Fair share per cloud, idle headroom split equally.
+        for cloud in &self.clouds {
+            let members = cloud.members();
+            if members.is_empty() {
+                continue;
+            }
+            let demands: Vec<Resource> = members
+                .iter()
+                .map(|&m| {
+                    if self.paused[m.index()] {
+                        Resource::ZERO
+                    } else {
+                        self.services[m.index()].queued_work()
+                    }
+                })
+                .collect();
+            let alloc = fair_share(cloud.capacity(), &demands);
+            let used: f64 = alloc.iter().map(|a| a.value()).sum();
+            let active = members.iter().filter(|&&m| !self.paused[m.index()]).count();
+            let headroom = if active > 0 {
+                (cloud.capacity().value() - used).max(0.0) / active as f64
+            } else {
+                0.0
+            };
+            for (&m, a) in members.iter().zip(alloc) {
+                let allocation = if self.paused[m.index()] {
+                    Resource::ZERO
+                } else {
+                    a + Resource::new_unchecked(headroom)
+                };
+                self.services[m.index()].set_allocation(allocation);
+            }
+        }
+
+        // 3. Transfers (clamped to the source's holding).
+        for (from, to, amount) in std::mem::take(&mut self.pending_transfers) {
+            let available = self.services[from.index()].allocation();
+            let moved = amount.min(available);
+            let from_alloc = available - moved;
+            self.services[from.index()].set_allocation(from_alloc);
+            let to_alloc = self.services[to.index()].allocation() + moved;
+            self.services[to.index()].set_allocation(to_alloc);
+        }
+
+        // 4. Processing.
+        let mut served_round = vec![0u64; self.services.len()];
+        let mut work_round = vec![0.0f64; self.services.len()];
+        self.last_completions.clear();
+        for s in &mut self.services {
+            let out = s.process_round(now);
+            served_round[s.id().index()] = out.completed.len() as u64;
+            work_round[s.id().index()] = out.work_processed;
+            self.last_completions.extend(out.completed);
+        }
+
+        // 5. Metrics.
+        let mut batch = Vec::with_capacity(self.services.len());
+        for cloud in &self.clouds {
+            let members = cloud.members();
+            let max_allocation = members
+                .iter()
+                .map(|&m| self.services[m.index()].allocation().value())
+                .fold(0.0f64, f64::max);
+            let neighbors_active = members
+                .iter()
+                .filter(|&&m| served_round[m.index()] > 0 || self.services[m.index()].queue_len() > 0)
+                .count();
+            for &m in members {
+                let s = &self.services[m.index()];
+                let allocation = s.allocation().value();
+                let utilization = if allocation > 1e-12 {
+                    (work_round[m.index()] / allocation).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                batch.push(MsMetrics {
+                    ms: m,
+                    round: now,
+                    allocation,
+                    max_allocation,
+                    received_total: s.received_total(),
+                    served_total: s.served_total(),
+                    received_round: received_round[m.index()],
+                    served_round: served_round[m.index()],
+                    queue_len: s.queue_len(),
+                    queued_work: s.queued_work().value(),
+                    work_arrived_total: s.work_arrived_total(),
+                    work_done_total: s.work_done_total(),
+                    utilization,
+                    neighbors_active,
+                    mean_waiting: s.mean_waiting(),
+                });
+            }
+        }
+        batch.sort_by_key(|m| m.ms);
+        self.metrics.record_round(batch);
+
+        self.next_round += 1;
+        Some(now)
+    }
+
+    /// Aggregate per-class service statistics across all microservices —
+    /// evidence for the priority claim (§V-A: "higher priority is given
+    /// to delay-sensitive microservices").
+    pub fn class_report(&self) -> [(edge_workload::request::RequestClass, crate::microservice::ClassCounters); 2] {
+        use edge_workload::request::RequestClass;
+        RequestClass::all().map(|class| {
+            let mut total = crate::microservice::ClassCounters::default();
+            for s in &self.services {
+                let c = s.class_counters(class);
+                total.received += c.received;
+                total.served += c.served;
+                total.waiting_rounds += c.waiting_rounds;
+            }
+            (class, total)
+        })
+    }
+
+    /// Runs the simulation to the end of its trace; returns the number of
+    /// rounds executed.
+    pub fn run_to_end(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::rng::seeded_rng;
+    use edge_workload::trace::TraceConfig;
+
+    fn small_sim(seed: u64) -> Simulation {
+        let mut rng = seeded_rng(seed);
+        let trace = RequestTrace::generate(
+            TraceConfig { num_microservices: 6, rounds: 8, ..TraceConfig::default() },
+            &mut rng,
+        );
+        Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 5.0 })
+    }
+
+    #[test]
+    fn runs_to_trace_end() {
+        let mut sim = small_sim(41);
+        assert_eq!(sim.run_to_end(), 8);
+        assert!(sim.step().is_none());
+        assert_eq!(sim.metrics().num_rounds(), 8);
+    }
+
+    #[test]
+    fn allocations_conserve_cloud_capacity() {
+        let mut sim = small_sim(42);
+        while sim.step().is_some() {
+            for cloud in &sim.clouds {
+                let total: f64 = cloud
+                    .members()
+                    .iter()
+                    .map(|&m| sim.services[m.index()].allocation().value())
+                    .sum();
+                assert!(
+                    total <= cloud.capacity().value() + 1e-6,
+                    "cloud over-allocated: {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_move_allocation_within_cloud() {
+        let mut sim = small_sim(43);
+        // ms#0 and ms#2 share cloud 0 (round robin over 2 clouds).
+        let from = MicroserviceId::new(0);
+        let to = MicroserviceId::new(2);
+        sim.schedule_transfer(from, to, Resource::new(0.5).unwrap()).unwrap();
+        sim.step().unwrap();
+        // The transfer happened inside the step; verify indirectly via
+        // metrics: recipient's allocation should exceed the donor's when
+        // both had similar queue demand, or at minimum the step succeeded
+        // with conservation (checked elsewhere). Here we check the
+        // pending queue drained.
+        assert!(sim.pending_transfers.is_empty());
+    }
+
+    #[test]
+    fn cross_cloud_transfers_are_rejected() {
+        let mut sim = small_sim(44);
+        // Round-robin over 2 clouds: ms#0 on cloud 0, ms#1 on cloud 1.
+        let err = sim
+            .schedule_transfer(
+                MicroserviceId::new(0),
+                MicroserviceId::new(1),
+                Resource::new(0.1).unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::MismatchedClouds { .. }));
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut sim = small_sim(45);
+        let err = sim
+            .schedule_transfer(
+                MicroserviceId::new(99),
+                MicroserviceId::new(0),
+                Resource::new(0.1).unwrap(),
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::UnknownMicroservice(MicroserviceId::new(99)));
+        assert!(sim.service(MicroserviceId::new(99)).is_err());
+    }
+
+    #[test]
+    fn metrics_rows_cover_every_service_every_round() {
+        let mut sim = small_sim(46);
+        sim.run_to_end();
+        let hub = sim.metrics();
+        for t in 0..8 {
+            let batch = hub.at_round(Round::new(t));
+            assert_eq!(batch.len(), 6, "round {t}");
+            // Sorted by microservice id.
+            assert!(batch.windows(2).all(|w| w[0].ms < w[1].ms));
+        }
+    }
+
+    #[test]
+    fn work_conservation_across_the_run() {
+        let mut sim = small_sim(47);
+        sim.run_to_end();
+        for s in &sim.services {
+            let accounted = s.work_done_total() + s.queued_work().value();
+            assert!(
+                (accounted - s.work_arrived_total()).abs() < 1e-6,
+                "work leaked for {}: arrived {} done {} queued {}",
+                s.id(),
+                s.work_arrived_total(),
+                s.work_done_total(),
+                s.queued_work().value()
+            );
+        }
+    }
+
+    #[test]
+    fn spare_reflects_headroom() {
+        let mut sim = small_sim(48);
+        sim.step();
+        for m in 0..sim.num_services() {
+            let ms = MicroserviceId::new(m);
+            let spare = sim.spare_of(ms).unwrap();
+            assert!(spare.value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sla_tracker_integrates_with_the_engine() {
+        use crate::sla::{SlaPolicy, SlaTracker};
+        let mut sim = small_sim(98);
+        let mut tracker = SlaTracker::new(SlaPolicy::default());
+        let mut total_completed = 0usize;
+        while let Some(round) = sim.step() {
+            tracker.record_batch(sim.last_completions(), round);
+            total_completed += sim.last_completions().len();
+        }
+        let sensitive =
+            tracker.counters(edge_workload::request::RequestClass::DelaySensitive);
+        let tolerant =
+            tracker.counters(edge_workload::request::RequestClass::DelayTolerant);
+        assert_eq!(
+            (sensitive.on_time + sensitive.late + tolerant.on_time + tolerant.late) as usize,
+            total_completed
+        );
+        assert!((0.0..=1.0).contains(&tracker.overall_violation_rate()));
+    }
+
+    #[test]
+    fn delay_sensitive_requests_wait_no_longer_than_tolerant() {
+        use edge_workload::request::RequestClass;
+        // Scarce capacity so queues build and priority matters.
+        let mut rng = seeded_rng(99);
+        let trace = RequestTrace::generate(
+            TraceConfig {
+                num_microservices: 6,
+                rounds: 20,
+                target_requests_per_round: Some(200),
+                ..TraceConfig::default()
+            },
+            &mut rng,
+        );
+        let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 3.0 });
+        sim.run_to_end();
+        let report = sim.class_report();
+        let sensitive = report
+            .iter()
+            .find(|(c, _)| *c == RequestClass::DelaySensitive)
+            .unwrap()
+            .1;
+        let tolerant = report
+            .iter()
+            .find(|(c, _)| *c == RequestClass::DelayTolerant)
+            .unwrap()
+            .1;
+        // Classes live on different microservices here, so strict
+        // dominance is not guaranteed; but priority ordering within
+        // batches must keep sensitive waiting in the same ballpark or
+        // better.
+        if sensitive.served > 10 && tolerant.served > 10 {
+            assert!(
+                sensitive.mean_waiting() <= tolerant.mean_waiting() + 2.0,
+                "sensitive {} vs tolerant {}",
+                sensitive.mean_waiting(),
+                tolerant.mean_waiting()
+            );
+        }
+        let (recv, served): (u64, u64) = (
+            sensitive.received + tolerant.received,
+            sensitive.served + tolerant.served,
+        );
+        assert!(served <= recv);
+    }
+
+    #[test]
+    fn capacity_change_event_shrinks_allocations() {
+        let mut sim = small_sim(50);
+        let mut events = crate::events::EventSchedule::new();
+        events.at(
+            2,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(0.5).unwrap(),
+            },
+        );
+        sim.set_events(events);
+        sim.step(); // round 0
+        sim.step(); // round 1
+        sim.step(); // round 2: capacity now 0.5
+        let total: f64 = sim.clouds[0]
+            .members()
+            .iter()
+            .map(|&m| sim.services[m.index()].allocation().value())
+            .sum();
+        assert!(total <= 0.5 + 1e-9, "cloud 0 over-allocated after failure: {total}");
+    }
+
+    #[test]
+    fn paused_service_starves_and_resumes() {
+        let mut sim = small_sim(51);
+        let victim = MicroserviceId::new(0);
+        let mut events = crate::events::EventSchedule::new();
+        events
+            .at(1, SimEvent::PauseService { ms: victim })
+            .at(4, SimEvent::ResumeService { ms: victim });
+        sim.set_events(events);
+        sim.step(); // round 0: normal
+        assert!(!sim.is_paused(victim).unwrap());
+        sim.step(); // round 1: paused
+        assert!(sim.is_paused(victim).unwrap());
+        assert_eq!(sim.service(victim).unwrap().allocation(), Resource::ZERO);
+        let backlog_paused = sim.service(victim).unwrap().queued_work().value();
+        sim.step(); // round 2: still paused, queue cannot shrink
+        assert!(sim.service(victim).unwrap().queued_work().value() >= backlog_paused - 1e-9);
+        sim.step(); // round 3
+        sim.step(); // round 4: resumed
+        assert!(!sim.is_paused(victim).unwrap());
+        assert!(sim.service(victim).unwrap().allocation().value() > 0.0);
+    }
+
+    #[test]
+    fn pause_releases_capacity_to_neighbours() {
+        let mut sim = small_sim(52);
+        let mut events = crate::events::EventSchedule::new();
+        events.at(0, SimEvent::PauseService { ms: MicroserviceId::new(0) });
+        sim.set_events(events);
+        sim.step();
+        // Cloud 0 members are ms#0, ms#2, ms#4 (round robin over 2
+        // clouds); the paused ms#0's share goes to the others.
+        let others: f64 = [2usize, 4]
+            .iter()
+            .map(|&m| sim.services[m].allocation().value())
+            .sum();
+        assert!(others > 0.0);
+        let total: f64 = sim.clouds[0]
+            .members()
+            .iter()
+            .map(|&m| sim.services[m.index()].allocation().value())
+            .sum();
+        assert!(total <= sim.clouds[0].capacity().value() + 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let mut sim = small_sim(49);
+        sim.run_to_end();
+        let hub = sim.metrics();
+        for t in 0..8 {
+            for row in hub.at_round(Round::new(t)) {
+                assert!((0.0..=1.0).contains(&row.utilization));
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulator error type.
+
+use edge_common::id::{EdgeCloudId, MicroserviceId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by simulator operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A microservice id does not exist in this simulation.
+    UnknownMicroservice(MicroserviceId),
+    /// A resource transfer was attempted between microservices hosted on
+    /// different edge clouds (resources are local to a cloud).
+    MismatchedClouds {
+        /// Cloud hosting the source microservice.
+        from: EdgeCloudId,
+        /// Cloud hosting the destination microservice.
+        to: EdgeCloudId,
+    },
+    /// The source of a transfer holds less than the requested amount.
+    InsufficientAllocation(MicroserviceId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownMicroservice(ms) => write!(f, "unknown microservice {ms}"),
+            SimError::MismatchedClouds { from, to } => {
+                write!(f, "cannot transfer resources between {from} and {to}")
+            }
+            SimError::InsufficientAllocation(ms) => {
+                write!(f, "{ms} does not hold enough resources for the transfer")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_entities() {
+        let e = SimError::MismatchedClouds {
+            from: EdgeCloudId::new(0),
+            to: EdgeCloudId::new(1),
+        };
+        assert!(e.to_string().contains("edge#0"));
+        assert!(e.to_string().contains("edge#1"));
+        assert!(SimError::UnknownMicroservice(MicroserviceId::new(7))
+            .to_string()
+            .contains("ms#7"));
+    }
+}

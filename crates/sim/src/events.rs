@@ -1,0 +1,113 @@
+//! Scripted disturbance events — failure injection for experiments.
+//!
+//! Edge clouds are not static: servers degrade, microservices crash and
+//! restart. The mechanism must keep functioning when the supply side
+//! shifts under it, so the simulator supports scheduling disturbances at
+//! round boundaries:
+//!
+//! * [`SimEvent::CapacityChange`] — a cloud's capacity changes (e.g. a
+//!   co-located server fails or returns);
+//! * [`SimEvent::PauseService`] — a microservice stops processing (its
+//!   allocation is zeroed and redistributed; its queue keeps growing);
+//! * [`SimEvent::ResumeService`] — a paused microservice resumes.
+//!
+//! Events are applied by the engine at the *start* of their round,
+//! before allocation.
+
+use edge_common::id::{EdgeCloudId, MicroserviceId};
+use edge_common::units::Resource;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single scheduled disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// Replace a cloud's capacity with a new value.
+    CapacityChange {
+        /// Which cloud.
+        cloud: EdgeCloudId,
+        /// The new total capacity.
+        capacity: Resource,
+    },
+    /// Stop a microservice from processing (crash / eviction).
+    PauseService {
+        /// Which microservice.
+        ms: MicroserviceId,
+    },
+    /// Resume a paused microservice.
+    ResumeService {
+        /// Which microservice.
+        ms: MicroserviceId,
+    },
+}
+
+/// A round-indexed schedule of disturbances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventSchedule {
+    events: BTreeMap<u64, Vec<SimEvent>>,
+}
+
+impl EventSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event at the start of the given round.
+    pub fn at(&mut self, round: u64, event: SimEvent) -> &mut Self {
+        self.events.entry(round).or_default().push(event);
+        self
+    }
+
+    /// The events scheduled for a round (empty slice if none).
+    pub fn for_round(&self, round: u64) -> &[SimEvent] {
+        self.events.get(&round).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_collects_per_round() {
+        let mut s = EventSchedule::new();
+        s.at(2, SimEvent::PauseService { ms: MicroserviceId::new(1) })
+            .at(2, SimEvent::PauseService { ms: MicroserviceId::new(2) })
+            .at(5, SimEvent::ResumeService { ms: MicroserviceId::new(1) });
+        assert_eq!(s.for_round(2).len(), 2);
+        assert_eq!(s.for_round(5).len(), 1);
+        assert!(s.for_round(0).is_empty());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = EventSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = EventSchedule::new();
+        s.at(1, SimEvent::CapacityChange {
+            cloud: EdgeCloudId::new(0),
+            capacity: Resource::new(3.0).unwrap(),
+        });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EventSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

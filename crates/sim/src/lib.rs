@@ -1,0 +1,53 @@
+//! Round-based edge-cloud simulator.
+//!
+//! The paper's mechanism operates on observables produced by a running
+//! edge system: which microservices hold spare resources, which are
+//! starved, and the per-round waiting/processing/request-rate statistics
+//! that feed the demand estimator (§III). This crate is that substrate:
+//!
+//! * [`cloud`] — edge clouds as capacity-bounded pools with placement;
+//! * [`allocator`] — max-min fair sharing (§II's "fair sharing policy");
+//! * [`microservice`] — request queues with resource-proportional
+//!   processing;
+//! * [`engine`] — the per-round loop tying arrivals, allocation,
+//!   transfers (the auction's reallocation hook), and processing
+//!   together;
+//! * [`metrics`] — the shared per-round observables.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_sim::engine::{SimConfig, Simulation};
+//! use edge_workload::trace::{RequestTrace, TraceConfig};
+//! use edge_common::rng::seeded_rng;
+//!
+//! let mut rng = seeded_rng(1);
+//! let trace = RequestTrace::generate(TraceConfig::default(), &mut rng);
+//! let mut sim = Simulation::new(trace, SimConfig::default());
+//! let rounds = sim.run_to_end();
+//! assert_eq!(rounds, 10);
+//! assert_eq!(sim.metrics().num_rounds(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod allocator;
+pub mod cloud;
+pub mod engine;
+pub mod error;
+pub mod events;
+pub mod metrics;
+pub mod microservice;
+pub mod placement;
+pub mod sla;
+
+pub use allocator::fair_share;
+pub use cloud::EdgeCloud;
+pub use engine::{SimConfig, Simulation};
+pub use error::SimError;
+pub use events::{EventSchedule, SimEvent};
+pub use metrics::{MetricsHub, MsMetrics};
+pub use microservice::{ClassCounters, MicroserviceState};
+pub use placement::Placement;
+pub use sla::{SlaCounters, SlaPolicy, SlaTracker};

@@ -1,0 +1,322 @@
+//! Per-microservice runtime state: allocation, request queue, counters.
+
+use edge_common::id::{EdgeCloudId, MicroserviceId, Round};
+use edge_common::units::Resource;
+use edge_workload::request::{Request, RequestClass};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Lifetime counters for one latency class — makes the paper's
+/// "higher priority is given to delay-sensitive microservices" claim
+/// measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Requests of this class received.
+    pub received: u64,
+    /// Requests of this class completed.
+    pub served: u64,
+    /// Sum of waiting rounds of completed requests of this class.
+    pub waiting_rounds: u64,
+}
+
+impl ClassCounters {
+    /// Mean waiting time per served request of this class, in rounds.
+    pub fn mean_waiting(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.waiting_rounds as f64 / self.served as f64
+        }
+    }
+}
+
+/// A request being processed, with the work it still needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlight {
+    /// The original request.
+    pub request: Request,
+    /// Work remaining, in resource-rounds.
+    pub remaining: f64,
+}
+
+/// Outcome of processing one round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundOutcome {
+    /// Requests that completed this round.
+    pub completed: Vec<Request>,
+    /// Total work processed this round, in resource-rounds.
+    pub work_processed: f64,
+    /// Sum of waiting times (completion round − arrival round, in rounds)
+    /// of the requests completed this round.
+    pub waiting_rounds: u64,
+}
+
+/// Runtime state of one microservice in the simulator.
+#[derive(Debug, Clone)]
+pub struct MicroserviceState {
+    id: MicroserviceId,
+    cloud: EdgeCloudId,
+    allocation: Resource,
+    queue: VecDeque<InFlight>,
+    received_total: u64,
+    served_total: u64,
+    work_arrived_total: f64,
+    work_done_total: f64,
+    waiting_rounds_total: u64,
+    by_class: [ClassCounters; 2],
+}
+
+fn class_slot(class: RequestClass) -> usize {
+    class.priority() as usize
+}
+
+impl MicroserviceState {
+    /// Creates an idle microservice hosted on the given cloud.
+    pub fn new(id: MicroserviceId, cloud: EdgeCloudId) -> Self {
+        MicroserviceState {
+            id,
+            cloud,
+            allocation: Resource::ZERO,
+            queue: VecDeque::new(),
+            received_total: 0,
+            served_total: 0,
+            work_arrived_total: 0.0,
+            work_done_total: 0.0,
+            waiting_rounds_total: 0,
+            by_class: [ClassCounters::default(); 2],
+        }
+    }
+
+    /// This microservice's id.
+    pub fn id(&self) -> MicroserviceId {
+        self.id
+    }
+
+    /// The edge cloud hosting this microservice.
+    pub fn cloud(&self) -> EdgeCloudId {
+        self.cloud
+    }
+
+    /// Current resource allocation.
+    pub fn allocation(&self) -> Resource {
+        self.allocation
+    }
+
+    /// Overwrites the allocation (the engine calls this after fair
+    /// sharing and transfers).
+    pub fn set_allocation(&mut self, allocation: Resource) {
+        self.allocation = allocation;
+    }
+
+    /// Enqueues an arriving request.
+    pub fn enqueue(&mut self, request: Request) {
+        self.received_total += 1;
+        self.work_arrived_total += request.work;
+        self.by_class[class_slot(request.class)].received += 1;
+        self.queue.push_back(InFlight { remaining: request.work, request });
+    }
+
+    /// Processes the queue for one round with the current allocation.
+    ///
+    /// The allocation is a work budget (resource-rounds): requests are
+    /// served in queue order; a request completes when its remaining work
+    /// reaches zero and contributes its waiting time to the outcome.
+    pub fn process_round(&mut self, now: Round) -> RoundOutcome {
+        let mut budget = self.allocation.value();
+        let mut outcome = RoundOutcome::default();
+        while budget > 1e-12 {
+            let Some(front) = self.queue.front_mut() else { break };
+            let spent = front.remaining.min(budget);
+            front.remaining -= spent;
+            budget -= spent;
+            outcome.work_processed += spent;
+            if front.remaining <= 1e-12 {
+                let done = self.queue.pop_front().expect("front exists");
+                let waited = now.index().saturating_sub(done.request.arrival.index());
+                outcome.waiting_rounds += waited;
+                let slot = &mut self.by_class[class_slot(done.request.class)];
+                slot.served += 1;
+                slot.waiting_rounds += waited;
+                outcome.completed.push(done.request);
+            }
+        }
+        self.served_total += outcome.completed.len() as u64;
+        self.work_done_total += outcome.work_processed;
+        self.waiting_rounds_total += outcome.waiting_rounds;
+        outcome
+    }
+
+    /// Total queued work still pending, in resource-rounds — the demand
+    /// proxy the fair-share allocator sees.
+    pub fn queued_work(&self) -> Resource {
+        Resource::new_unchecked(self.queue.iter().map(|f| f.remaining).sum())
+    }
+
+    /// Number of requests waiting or in service.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests received over the lifetime (the paper's `π_i`).
+    pub fn received_total(&self) -> u64 {
+        self.received_total
+    }
+
+    /// Requests served over the lifetime (the paper's `θ_i`).
+    pub fn served_total(&self) -> u64 {
+        self.served_total
+    }
+
+    /// Total work that has arrived, in resource-rounds.
+    pub fn work_arrived_total(&self) -> f64 {
+        self.work_arrived_total
+    }
+
+    /// Total work completed, in resource-rounds.
+    pub fn work_done_total(&self) -> f64 {
+        self.work_done_total
+    }
+
+    /// Sum of waiting times of all completed requests, in rounds.
+    pub fn waiting_rounds_total(&self) -> u64 {
+        self.waiting_rounds_total
+    }
+
+    /// Mean waiting time per served request, in rounds (0 when nothing
+    /// has been served yet).
+    pub fn mean_waiting(&self) -> f64 {
+        if self.served_total == 0 {
+            0.0
+        } else {
+            self.waiting_rounds_total as f64 / self.served_total as f64
+        }
+    }
+
+    /// Lifetime counters for one latency class.
+    pub fn class_counters(&self, class: RequestClass) -> ClassCounters {
+        self.by_class[class_slot(class)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::UserId;
+    use edge_workload::request::RequestClass;
+
+    fn req(work: f64, arrival: u64) -> Request {
+        Request::new(
+            UserId::new(0),
+            MicroserviceId::new(0),
+            RequestClass::DelaySensitive,
+            Round::new(arrival),
+            work,
+        )
+    }
+
+    fn ms() -> MicroserviceState {
+        MicroserviceState::new(MicroserviceId::new(0), EdgeCloudId::new(0))
+    }
+
+    #[test]
+    fn processes_within_budget() {
+        let mut m = ms();
+        m.set_allocation(Resource::new(1.0).unwrap());
+        m.enqueue(req(0.6, 0));
+        m.enqueue(req(0.6, 0));
+        let out = m.process_round(Round::new(0));
+        // Budget 1.0: first request (0.6) completes, second gets 0.4 of
+        // its 0.6.
+        assert_eq!(out.completed.len(), 1);
+        assert!((out.work_processed - 1.0).abs() < 1e-9);
+        assert_eq!(m.queue_len(), 1);
+        assert!((m.queued_work().value() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completes_partial_work_next_round() {
+        let mut m = ms();
+        m.set_allocation(Resource::new(1.0).unwrap());
+        m.enqueue(req(1.5, 0));
+        let out0 = m.process_round(Round::new(0));
+        assert!(out0.completed.is_empty());
+        let out1 = m.process_round(Round::new(1));
+        assert_eq!(out1.completed.len(), 1);
+        assert_eq!(out1.waiting_rounds, 1);
+        assert_eq!(m.served_total(), 1);
+    }
+
+    #[test]
+    fn zero_allocation_starves_the_queue() {
+        let mut m = ms();
+        m.enqueue(req(0.1, 0));
+        let out = m.process_round(Round::new(0));
+        assert!(out.completed.is_empty());
+        assert_eq!(out.work_processed, 0.0);
+        assert_eq!(m.queue_len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = ms();
+        m.set_allocation(Resource::new(10.0).unwrap());
+        for i in 0..5 {
+            m.enqueue(req(0.5, i));
+        }
+        assert_eq!(m.received_total(), 5);
+        assert!((m.work_arrived_total() - 2.5).abs() < 1e-9);
+        let out = m.process_round(Round::new(4));
+        assert_eq!(out.completed.len(), 5);
+        assert_eq!(m.served_total(), 5);
+        assert!((m.work_done_total() - 2.5).abs() < 1e-9);
+        // Waiting: arrivals at rounds 0..4 completing at round 4.
+        assert_eq!(m.waiting_rounds_total(), 4 + 3 + 2 + 1);
+        assert!((m.mean_waiting() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let mut m = ms();
+        m.set_allocation(Resource::new(0.7).unwrap());
+        m.enqueue(req(1.0, 0));
+        m.enqueue(req(1.0, 0));
+        let mut done = 0.0;
+        for t in 0..5 {
+            done += m.process_round(Round::new(t)).work_processed;
+        }
+        assert!((done + m.queued_work().value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_waiting_zero_before_first_completion() {
+        let m = ms();
+        assert_eq!(m.mean_waiting(), 0.0);
+    }
+
+    #[test]
+    fn class_counters_split_by_class() {
+        let mut m = ms();
+        m.set_allocation(Resource::new(10.0).unwrap());
+        m.enqueue(req(0.5, 0)); // delay-sensitive helper
+        m.enqueue(Request::new(
+            UserId::new(1),
+            MicroserviceId::new(0),
+            RequestClass::DelayTolerant,
+            Round::new(0),
+            0.5,
+        ));
+        m.process_round(Round::new(2));
+        let s = m.class_counters(RequestClass::DelaySensitive);
+        let t = m.class_counters(RequestClass::DelayTolerant);
+        assert_eq!((s.received, s.served, s.waiting_rounds), (1, 1, 2));
+        assert_eq!((t.received, t.served, t.waiting_rounds), (1, 1, 2));
+        assert_eq!(s.mean_waiting(), 2.0);
+    }
+
+    #[test]
+    fn class_counters_default_is_zero() {
+        let c = ClassCounters::default();
+        assert_eq!(c.mean_waiting(), 0.0);
+        assert_eq!(c.received, 0);
+    }
+}

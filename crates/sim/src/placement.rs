@@ -1,0 +1,170 @@
+//! Microservice-to-cloud placement strategies.
+//!
+//! The paper "randomly deploys 25–75 microservices on different edge
+//! clouds" (§V-A). Placement changes which microservices can trade with
+//! each other (resources are cloud-local), so the simulator supports
+//! several strategies:
+//!
+//! * [`Placement::RoundRobin`] — balanced and deterministic (the
+//!   default);
+//! * [`Placement::Random`] — the paper's literal wording, seeded;
+//! * [`Placement::LeastLoaded`] — each microservice joins the cloud with
+//!   the fewest members so far (equivalent to round-robin on equal
+//!   capacities, but adapts when capacities differ);
+//! * [`Placement::Packed`] — fill one cloud before the next (the
+//!   adversarial case for trading: markets are as small as possible at
+//!   the tail).
+
+use crate::cloud::EdgeCloud;
+use edge_common::id::{EdgeCloudId, MicroserviceId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// `ms i → cloud (i mod L)`.
+    RoundRobin,
+    /// Uniformly random cloud per microservice (seeded).
+    Random {
+        /// RNG seed for the assignment.
+        seed: u64,
+    },
+    /// Join the cloud with the fewest members, ties to the lower id.
+    LeastLoaded,
+    /// Fill clouds to `per_cloud` members in id order.
+    Packed {
+        /// Members per cloud before moving on.
+        per_cloud: usize,
+    },
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::RoundRobin
+    }
+}
+
+/// Assigns `n` microservices to `clouds` per the strategy, registering
+/// each on its cloud, and returns each microservice's cloud.
+///
+/// # Panics
+///
+/// Panics if `clouds` is empty or a `Packed` strategy has
+/// `per_cloud == 0`.
+pub fn place(clouds: &mut [EdgeCloud], n: usize, strategy: Placement) -> Vec<EdgeCloudId> {
+    assert!(!clouds.is_empty(), "need at least one cloud to place microservices");
+    let l = clouds.len();
+    let choose: Vec<usize> = match strategy {
+        Placement::RoundRobin => (0..n).map(|m| m % l).collect(),
+        Placement::Random { seed } => {
+            let mut rng = edge_common::rng::derive_rng(seed, "placement");
+            (0..n).map(|_| rng.gen_range(0..l)).collect()
+        }
+        Placement::LeastLoaded => {
+            let mut counts = vec![0usize; l];
+            (0..n)
+                .map(|_| {
+                    let c = counts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &cnt)| (cnt, i))
+                        .map(|(i, _)| i)
+                        .expect("clouds nonempty");
+                    counts[c] += 1;
+                    c
+                })
+                .collect()
+        }
+        Placement::Packed { per_cloud } => {
+            assert!(per_cloud > 0, "packed placement needs per_cloud > 0");
+            (0..n).map(|m| (m / per_cloud).min(l - 1)).collect()
+        }
+    };
+    choose
+        .into_iter()
+        .enumerate()
+        .map(|(m, c)| {
+            clouds[c].host(MicroserviceId::new(m));
+            clouds[c].id()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::units::Resource;
+
+    fn clouds(l: usize) -> Vec<EdgeCloud> {
+        (0..l)
+            .map(|i| EdgeCloud::new(EdgeCloudId::new(i), Resource::new(10.0).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let mut cs = clouds(3);
+        let placement = place(&mut cs, 8, Placement::RoundRobin);
+        let counts: Vec<usize> = cs.iter().map(|c| c.members().len()).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+        assert_eq!(placement[3], EdgeCloudId::new(0));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_total() {
+        let mut a = clouds(4);
+        let mut b = clouds(4);
+        let pa = place(&mut a, 20, Placement::Random { seed: 9 });
+        let pb = place(&mut b, 20, Placement::Random { seed: 9 });
+        assert_eq!(pa, pb);
+        let total: usize = a.iter().map(|c| c.members().len()).sum();
+        assert_eq!(total, 20);
+        let mut c = clouds(4);
+        let pc = place(&mut c, 20, Placement::Random { seed: 10 });
+        assert_ne!(pa, pc, "different seeds should differ");
+    }
+
+    #[test]
+    fn least_loaded_matches_round_robin_counts() {
+        let mut cs = clouds(3);
+        place(&mut cs, 7, Placement::LeastLoaded);
+        let mut counts: Vec<usize> = cs.iter().map(|c| c.members().len()).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn packed_fills_in_order() {
+        let mut cs = clouds(3);
+        let placement = place(&mut cs, 7, Placement::Packed { per_cloud: 3 });
+        assert_eq!(placement[0], EdgeCloudId::new(0));
+        assert_eq!(placement[2], EdgeCloudId::new(0));
+        assert_eq!(placement[3], EdgeCloudId::new(1));
+        assert_eq!(placement[6], EdgeCloudId::new(2));
+    }
+
+    #[test]
+    fn packed_overflow_lands_on_last_cloud() {
+        let mut cs = clouds(2);
+        let placement = place(&mut cs, 6, Placement::Packed { per_cloud: 2 });
+        // Clouds 0 and 1 take 2 each; the overflow (4 and 5) stays on
+        // the last cloud.
+        assert_eq!(placement[4], EdgeCloudId::new(1));
+        assert_eq!(placement[5], EdgeCloudId::new(1));
+        assert_eq!(cs[1].members().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "per_cloud > 0")]
+    fn packed_rejects_zero() {
+        let mut cs = clouds(1);
+        place(&mut cs, 1, Placement::Packed { per_cloud: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cloud")]
+    fn empty_clouds_rejected() {
+        place(&mut [], 1, Placement::RoundRobin);
+    }
+}

@@ -1,0 +1,180 @@
+//! Service-level accounting.
+//!
+//! The paper's motivation is economic ("failing to meet the resource
+//! demands may result in tenant dissatisfaction and eventually revenue
+//! loss", §I). This module makes that measurable: a per-class deadline
+//! policy plus a tracker that classifies every completed request as
+//! on-time or late, so experiments can report *SLA violation rates*
+//! with and without the market.
+
+use edge_common::id::Round;
+use edge_workload::request::{Request, RequestClass};
+use serde::{Deserialize, Serialize};
+
+/// Maximum acceptable waiting time (in rounds) per latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlaPolicy {
+    /// Deadline for delay-sensitive requests.
+    pub sensitive_deadline: u64,
+    /// Deadline for delay-tolerant requests.
+    pub tolerant_deadline: u64,
+}
+
+impl Default for SlaPolicy {
+    /// Sensitive traffic must finish within 1 round; tolerant within 4.
+    fn default() -> Self {
+        SlaPolicy { sensitive_deadline: 1, tolerant_deadline: 4 }
+    }
+}
+
+impl SlaPolicy {
+    /// The deadline applying to a class.
+    pub fn deadline_for(&self, class: RequestClass) -> u64 {
+        match class {
+            RequestClass::DelaySensitive => self.sensitive_deadline,
+            RequestClass::DelayTolerant => self.tolerant_deadline,
+        }
+    }
+}
+
+/// Per-class tallies of on-time vs late completions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlaCounters {
+    /// Completions within the deadline.
+    pub on_time: u64,
+    /// Completions past the deadline.
+    pub late: u64,
+}
+
+impl SlaCounters {
+    /// Fraction of completions that violated the deadline (0 when
+    /// nothing completed).
+    pub fn violation_rate(&self) -> f64 {
+        let total = self.on_time + self.late;
+        if total == 0 {
+            0.0
+        } else {
+            self.late as f64 / total as f64
+        }
+    }
+}
+
+/// Classifies completions against a policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlaTracker {
+    policy: SlaPolicy,
+    sensitive: SlaCounters,
+    tolerant: SlaCounters,
+}
+
+impl SlaTracker {
+    /// Creates a tracker with the given policy.
+    pub fn new(policy: SlaPolicy) -> Self {
+        SlaTracker { policy, sensitive: SlaCounters::default(), tolerant: SlaCounters::default() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SlaPolicy {
+        self.policy
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, request: &Request, completed_at: Round) {
+        let waited = completed_at.index().saturating_sub(request.arrival.index());
+        let deadline = self.policy.deadline_for(request.class);
+        let slot = match request.class {
+            RequestClass::DelaySensitive => &mut self.sensitive,
+            RequestClass::DelayTolerant => &mut self.tolerant,
+        };
+        if waited <= deadline {
+            slot.on_time += 1;
+        } else {
+            slot.late += 1;
+        }
+    }
+
+    /// Records a whole batch of completions from one round.
+    pub fn record_batch(&mut self, completed: &[Request], completed_at: Round) {
+        for r in completed {
+            self.record(r, completed_at);
+        }
+    }
+
+    /// Counters for a class.
+    pub fn counters(&self, class: RequestClass) -> SlaCounters {
+        match class {
+            RequestClass::DelaySensitive => self.sensitive,
+            RequestClass::DelayTolerant => self.tolerant,
+        }
+    }
+
+    /// Overall violation rate across classes.
+    pub fn overall_violation_rate(&self) -> f64 {
+        let total = SlaCounters {
+            on_time: self.sensitive.on_time + self.tolerant.on_time,
+            late: self.sensitive.late + self.tolerant.late,
+        };
+        total.violation_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::{MicroserviceId, UserId};
+
+    fn req(class: RequestClass, arrival: u64) -> Request {
+        Request::new(UserId::new(0), MicroserviceId::new(0), class, Round::new(arrival), 0.5)
+    }
+
+    #[test]
+    fn default_policy_orders_classes() {
+        let p = SlaPolicy::default();
+        assert!(p.deadline_for(RequestClass::DelaySensitive)
+            < p.deadline_for(RequestClass::DelayTolerant));
+    }
+
+    #[test]
+    fn classifies_on_time_and_late() {
+        let mut t = SlaTracker::new(SlaPolicy::default());
+        // Sensitive: deadline 1 round.
+        t.record(&req(RequestClass::DelaySensitive, 0), Round::new(1)); // on time
+        t.record(&req(RequestClass::DelaySensitive, 0), Round::new(2)); // late
+        // Tolerant: deadline 4 rounds.
+        t.record(&req(RequestClass::DelayTolerant, 0), Round::new(4)); // on time
+        t.record(&req(RequestClass::DelayTolerant, 0), Round::new(9)); // late
+        let s = t.counters(RequestClass::DelaySensitive);
+        let d = t.counters(RequestClass::DelayTolerant);
+        assert_eq!((s.on_time, s.late), (1, 1));
+        assert_eq!((d.on_time, d.late), (1, 1));
+        assert!((t.overall_violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_recording() {
+        let mut t = SlaTracker::new(SlaPolicy::default());
+        let batch = vec![
+            req(RequestClass::DelaySensitive, 3),
+            req(RequestClass::DelayTolerant, 0),
+        ];
+        t.record_batch(&batch, Round::new(4));
+        assert_eq!(t.counters(RequestClass::DelaySensitive).on_time, 1);
+        assert_eq!(t.counters(RequestClass::DelayTolerant).on_time, 1);
+    }
+
+    #[test]
+    fn empty_tracker_has_zero_rate() {
+        let t = SlaTracker::new(SlaPolicy::default());
+        assert_eq!(t.overall_violation_rate(), 0.0);
+        assert_eq!(t.counters(RequestClass::DelaySensitive).violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = SlaTracker::new(SlaPolicy::default());
+        t.record(&req(RequestClass::DelaySensitive, 0), Round::new(5));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SlaTracker = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

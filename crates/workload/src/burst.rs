@@ -1,0 +1,196 @@
+//! Bursty arrivals: a two-state Markov-modulated Poisson process.
+//!
+//! The paper's evaluation uses plain Poisson arrivals, but its
+//! motivation (§I) is precisely the *burst*: a microservice suddenly
+//! needing to scale up. This module provides the standard two-state
+//! MMPP — a `Normal`/`Burst` Markov chain where the burst state
+//! multiplies the Poisson rate — so examples and stress tests can
+//! exercise the mechanism under the traffic pattern that motivates it.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_workload::burst::{BurstProcess, BurstConfig};
+//! use edge_common::rng::seeded_rng;
+//!
+//! let mut rng = seeded_rng(3);
+//! let mut p = BurstProcess::new(BurstConfig::default());
+//! let draws: Vec<u64> = (0..100).map(|_| p.sample(&mut rng, 5.0)).collect();
+//! assert!(draws.iter().sum::<u64>() > 0);
+//! ```
+
+use crate::sampler::poisson;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the two-state MMPP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Probability of entering a burst from the normal state, per round.
+    pub enter_burst: f64,
+    /// Probability of leaving a burst, per round.
+    pub exit_burst: f64,
+    /// Rate multiplier while bursting.
+    pub burst_multiplier: f64,
+}
+
+impl Default for BurstConfig {
+    /// Bursts are rare (5%/round), short (mean 2.5 rounds), and intense
+    /// (4× rate).
+    fn default() -> Self {
+        BurstConfig { enter_burst: 0.05, exit_burst: 0.4, burst_multiplier: 4.0 }
+    }
+}
+
+/// The current modulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstState {
+    /// Baseline traffic.
+    Normal,
+    /// Elevated traffic.
+    Burst,
+}
+
+/// A stateful MMPP sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstProcess {
+    config: BurstConfig,
+    state: BurstState,
+}
+
+impl BurstProcess {
+    /// Creates a process in the normal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition probabilities are outside `[0, 1]` or
+    /// the multiplier is not at least 1.
+    pub fn new(config: BurstConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.enter_burst)
+                && (0.0..=1.0).contains(&config.exit_burst),
+            "transition probabilities must lie in [0, 1]"
+        );
+        assert!(
+            config.burst_multiplier >= 1.0 && config.burst_multiplier.is_finite(),
+            "burst multiplier must be >= 1"
+        );
+        BurstProcess { config, state: BurstState::Normal }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BurstState {
+        self.state
+    }
+
+    /// Advances the Markov chain one round and draws the round's arrival
+    /// count at base rate `mean`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64) -> u64 {
+        self.state = match self.state {
+            BurstState::Normal if rng.gen::<f64>() < self.config.enter_burst => BurstState::Burst,
+            BurstState::Burst if rng.gen::<f64>() < self.config.exit_burst => BurstState::Normal,
+            s => s,
+        };
+        let rate = match self.state {
+            BurstState::Normal => mean,
+            BurstState::Burst => mean * self.config.burst_multiplier,
+        };
+        poisson(rng, rate)
+    }
+
+    /// The stationary probability of being in the burst state.
+    pub fn stationary_burst_probability(&self) -> f64 {
+        let e = self.config.enter_burst;
+        let x = self.config.exit_burst;
+        if e + x == 0.0 {
+            0.0
+        } else {
+            e / (e + x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::rng::seeded_rng;
+
+    #[test]
+    fn bursts_raise_the_long_run_mean() {
+        let mut rng = seeded_rng(61);
+        let mut p = BurstProcess::new(BurstConfig {
+            enter_burst: 0.2,
+            exit_burst: 0.2,
+            burst_multiplier: 5.0,
+        });
+        let n = 6000;
+        let total: u64 = (0..n).map(|_| p.sample(&mut rng, 5.0)).sum();
+        let mean = total as f64 / n as f64;
+        // Stationary mean = 5 · (0.5·1 + 0.5·5) = 15.
+        assert!((mean - 15.0).abs() < 1.5, "long-run mean {mean}");
+    }
+
+    #[test]
+    fn never_bursting_is_plain_poisson() {
+        let mut rng = seeded_rng(62);
+        let mut p = BurstProcess::new(BurstConfig {
+            enter_burst: 0.0,
+            exit_burst: 1.0,
+            burst_multiplier: 10.0,
+        });
+        let n = 3000;
+        let mean = (0..n).map(|_| p.sample(&mut rng, 5.0)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.5, "mean {mean}");
+        assert_eq!(p.state(), BurstState::Normal);
+    }
+
+    #[test]
+    fn stationary_probability_formula() {
+        let p = BurstProcess::new(BurstConfig {
+            enter_burst: 0.1,
+            exit_burst: 0.3,
+            burst_multiplier: 2.0,
+        });
+        assert!((p.stationary_burst_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_transitions_occur() {
+        let mut rng = seeded_rng(63);
+        let mut p = BurstProcess::new(BurstConfig {
+            enter_burst: 0.5,
+            exit_burst: 0.5,
+            burst_multiplier: 2.0,
+        });
+        let mut saw_burst = false;
+        let mut saw_normal = false;
+        for _ in 0..100 {
+            p.sample(&mut rng, 1.0);
+            match p.state() {
+                BurstState::Burst => saw_burst = true,
+                BurstState::Normal => saw_normal = true,
+            }
+        }
+        assert!(saw_burst && saw_normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst multiplier")]
+    fn rejects_shrinking_multiplier() {
+        BurstProcess::new(BurstConfig {
+            enter_burst: 0.1,
+            exit_burst: 0.1,
+            burst_multiplier: 0.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "transition probabilities")]
+    fn rejects_invalid_probability() {
+        BurstProcess::new(BurstConfig {
+            enter_burst: 1.5,
+            exit_burst: 0.1,
+            burst_multiplier: 2.0,
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic workload generation for the `edge-market` experiments.
+//!
+//! The paper's evaluation (§V-A) draws every stochastic input from simple
+//! parametric distributions: Poisson request arrivals (mean 5 for
+//! delay-sensitive and 10 for delay-tolerant microservices), uniform bid
+//! prices in \[10, 35\], and uniform demand targets in \[10, 40\]. This
+//! crate reproduces those inputs from scratch:
+//!
+//! * [`sampler`] — Poisson, exponential, normal, and uniform samplers
+//!   built directly on `rand::Rng`.
+//! * [`request`] — end-user requests and their latency classes.
+//! * [`trace`] — seeded, serializable multi-round request traces (the
+//!   stand-in for the paper's unreleased "real-world data traces").
+//! * [`params`] — the §V-A parameter pack, one value per figure knob.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_workload::trace::{RequestTrace, TraceConfig};
+//! use edge_common::rng::seeded_rng;
+//!
+//! let mut rng = seeded_rng(7);
+//! let trace = RequestTrace::generate(TraceConfig::default(), &mut rng);
+//! assert!(trace.total_requests() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod burst;
+pub mod params;
+pub mod request;
+pub mod sampler;
+pub mod trace;
+
+pub use burst::{BurstConfig, BurstProcess, BurstState};
+pub use params::PaperParams;
+pub use request::{Request, RequestClass};
+pub use trace::{RequestTrace, TraceConfig};

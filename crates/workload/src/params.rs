@@ -1,0 +1,182 @@
+//! The paper's §V-A parameter settings, as a reusable value.
+//!
+//! Every figure runner starts from [`PaperParams::default`] and overrides
+//! the swept dimension, so the defaults below are the single source of
+//! truth for "the paper's setting".
+
+use crate::sampler::{uniform_f64, uniform_int};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameter pack matching §V-A of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperParams {
+    /// Number of end users (paper: 300).
+    pub num_users: usize,
+    /// Number of edge clouds / macro base stations (paper: 10).
+    pub num_edge_clouds: usize,
+    /// Number of microservices deployed (paper default: 25, swept 25–75).
+    pub num_microservices: usize,
+    /// Alternative bids each seller may submit per round, `J` (paper
+    /// default: 2).
+    pub bids_per_seller: usize,
+    /// Number of auction rounds, `T` (paper default: 10, swept 1–15).
+    pub rounds: u64,
+    /// Bid prices are uniform in this inclusive range (paper: \[10, 35\]).
+    pub price_range: (f64, f64),
+    /// Per-round aggregate demand `X^t` is uniform in this inclusive
+    /// integer range (paper: 𝔾^t ∈ \[10, 40\]).
+    pub demand_range: (u64, u64),
+    /// Resource units offered per bid, `a_ij^t`. The paper does not state
+    /// the distribution; we default to U\[1, 10\] so that a handful of
+    /// sellers covers a round's demand, matching the figures' regime where
+    /// multiple winners exist per round.
+    pub amount_range: (u64, u64),
+    /// Long-run capacity `Θ_i` (constraint (11)): total units a seller may
+    /// yield across all rounds. Unstated in the paper; defaults keep
+    /// `β = min Θ_i / a_ij > 1` so MSOA's ratio `αβ/(β−1)` is finite.
+    pub capacity_range: (u64, u64),
+    /// Total user requests per round (paper sweeps 100 vs 200).
+    pub requests_per_round: u64,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            num_users: 300,
+            num_edge_clouds: 10,
+            num_microservices: 25,
+            bids_per_seller: 2,
+            rounds: 10,
+            price_range: (10.0, 35.0),
+            demand_range: (10, 40),
+            amount_range: (1, 10),
+            capacity_range: (20, 40),
+            requests_per_round: 100,
+        }
+    }
+}
+
+impl PaperParams {
+    /// Returns a copy with a different microservice count (the most common
+    /// sweep).
+    #[must_use]
+    pub fn with_microservices(mut self, n: usize) -> Self {
+        self.num_microservices = n;
+        self
+    }
+
+    /// Returns a copy with a different number of rounds `T`.
+    #[must_use]
+    pub fn with_rounds(mut self, t: u64) -> Self {
+        self.rounds = t;
+        self
+    }
+
+    /// Returns a copy with a different bids-per-seller `J`.
+    #[must_use]
+    pub fn with_bids_per_seller(mut self, j: usize) -> Self {
+        self.bids_per_seller = j;
+        self
+    }
+
+    /// Returns a copy with a different request volume.
+    #[must_use]
+    pub fn with_requests(mut self, r: u64) -> Self {
+        self.requests_per_round = r;
+        self
+    }
+
+    /// Draws a bid price `J_ij^t` ~ U(price_range).
+    pub fn draw_price<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        uniform_f64(rng, self.price_range.0, self.price_range.1)
+    }
+
+    /// Draws a per-round demand target `X^t` ~ U(demand_range).
+    pub fn draw_demand<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        uniform_int(rng, self.demand_range.0, self.demand_range.1)
+    }
+
+    /// Draws a bid resource amount `a_ij^t` ~ U(amount_range).
+    pub fn draw_amount<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        uniform_int(rng, self.amount_range.0, self.amount_range.1)
+    }
+
+    /// Draws a seller capacity `Θ_i` ~ U(capacity_range).
+    pub fn draw_capacity<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        uniform_int(rng, self.capacity_range.0, self.capacity_range.1)
+    }
+
+    /// Draws a seller availability window `[t⁻, t⁺]` uniformly within
+    /// `[0, rounds)`, with `t⁻ <= t⁺` (the paper sets both randomly in
+    /// `[1, T]`).
+    pub fn draw_window<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
+        let last = self.rounds.saturating_sub(1);
+        let a = uniform_int(rng, 0, last);
+        let b = uniform_int(rng, 0, last);
+        (a.min(b), a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::rng::seeded_rng;
+
+    #[test]
+    fn defaults_match_section_v_a() {
+        let p = PaperParams::default();
+        assert_eq!(p.num_users, 300);
+        assert_eq!(p.num_edge_clouds, 10);
+        assert_eq!(p.num_microservices, 25);
+        assert_eq!(p.bids_per_seller, 2);
+        assert_eq!(p.rounds, 10);
+        assert_eq!(p.price_range, (10.0, 35.0));
+        assert_eq!(p.demand_range, (10, 40));
+    }
+
+    #[test]
+    fn builders_override_one_dimension() {
+        let p = PaperParams::default()
+            .with_microservices(75)
+            .with_rounds(15)
+            .with_bids_per_seller(4)
+            .with_requests(200);
+        assert_eq!(p.num_microservices, 75);
+        assert_eq!(p.rounds, 15);
+        assert_eq!(p.bids_per_seller, 4);
+        assert_eq!(p.requests_per_round, 200);
+        // Untouched dimensions keep their defaults.
+        assert_eq!(p.num_users, 300);
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let p = PaperParams::default();
+        let mut rng = seeded_rng(31);
+        for _ in 0..500 {
+            let price = p.draw_price(&mut rng);
+            assert!((10.0..35.0).contains(&price));
+            assert!((10..=40).contains(&p.draw_demand(&mut rng)));
+            assert!((1..=10).contains(&p.draw_amount(&mut rng)));
+            assert!((20..=40).contains(&p.draw_capacity(&mut rng)));
+            let (lo, hi) = p.draw_window(&mut rng);
+            assert!(lo <= hi && hi < p.rounds);
+        }
+    }
+
+    #[test]
+    fn window_handles_single_round() {
+        let p = PaperParams::default().with_rounds(1);
+        let mut rng = seeded_rng(32);
+        assert_eq!(p.draw_window(&mut rng), (0, 0));
+    }
+
+    #[test]
+    fn capacity_exceeds_amounts_so_beta_above_one() {
+        // β = min Θ_i / a_ij must exceed 1 for MSOA's competitive ratio to
+        // be finite; the default ranges guarantee it structurally.
+        let p = PaperParams::default();
+        assert!(p.capacity_range.0 > p.amount_range.1);
+    }
+}

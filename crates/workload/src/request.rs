@@ -1,0 +1,152 @@
+//! End-user requests and their service classes.
+//!
+//! The paper evaluates with two microservice types (§V-A): delay-sensitive
+//! requests arrive as a Poisson process with mean 5 per round and get
+//! priority; delay-tolerant requests arrive with mean 10. Each request
+//! carries an amount of *work* (resource-seconds) that a microservice must
+//! process.
+
+use edge_common::id::{MicroserviceId, Round, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The latency class of a request, determining its arrival rate and
+/// scheduling priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Interactive traffic — Poisson mean 5 per user-round, served first.
+    DelaySensitive,
+    /// Batch-like traffic — Poisson mean 10 per user-round.
+    DelayTolerant,
+}
+
+impl RequestClass {
+    /// Mean arrivals per user per round, per §V-A of the paper.
+    pub fn poisson_mean(self) -> f64 {
+        match self {
+            RequestClass::DelaySensitive => 5.0,
+            RequestClass::DelayTolerant => 10.0,
+        }
+    }
+
+    /// Scheduling priority — lower value is served earlier.
+    pub fn priority(self) -> u8 {
+        match self {
+            RequestClass::DelaySensitive => 0,
+            RequestClass::DelayTolerant => 1,
+        }
+    }
+
+    /// All classes, in priority order.
+    pub fn all() -> [RequestClass; 2] {
+        [RequestClass::DelaySensitive, RequestClass::DelayTolerant]
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestClass::DelaySensitive => write!(f, "delay-sensitive"),
+            RequestClass::DelayTolerant => write!(f, "delay-tolerant"),
+        }
+    }
+}
+
+/// A single end-user request addressed to a microservice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Originating user.
+    pub user: UserId,
+    /// Target microservice.
+    pub target: MicroserviceId,
+    /// Latency class.
+    pub class: RequestClass,
+    /// Round at which the request arrives.
+    pub arrival: Round,
+    /// Work required to serve the request, in resource-rounds (one
+    /// resource unit working one full round completes 1.0 work).
+    pub work: f64,
+}
+
+impl Request {
+    /// Creates a request, validating the work amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is not finite or not strictly positive — a request
+    /// with no work would never leave the queue and would poison waiting
+    /// time statistics.
+    pub fn new(
+        user: UserId,
+        target: MicroserviceId,
+        class: RequestClass,
+        arrival: Round,
+        work: f64,
+    ) -> Self {
+        assert!(work.is_finite() && work > 0.0, "request work must be finite and positive");
+        Request { user, target, class, arrival, work }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parameters_match_paper() {
+        assert_eq!(RequestClass::DelaySensitive.poisson_mean(), 5.0);
+        assert_eq!(RequestClass::DelayTolerant.poisson_mean(), 10.0);
+        assert!(RequestClass::DelaySensitive.priority() < RequestClass::DelayTolerant.priority());
+    }
+
+    #[test]
+    fn all_is_in_priority_order() {
+        let classes = RequestClass::all();
+        assert!(classes.windows(2).all(|w| w[0].priority() <= w[1].priority()));
+    }
+
+    #[test]
+    fn request_construction() {
+        let r = Request::new(
+            UserId::new(1),
+            MicroserviceId::new(2),
+            RequestClass::DelaySensitive,
+            Round::new(3),
+            0.5,
+        );
+        assert_eq!(r.target, MicroserviceId::new(2));
+        assert_eq!(r.arrival.index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "request work")]
+    fn request_rejects_zero_work() {
+        Request::new(
+            UserId::new(0),
+            MicroserviceId::new(0),
+            RequestClass::DelayTolerant,
+            Round::ZERO,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RequestClass::DelaySensitive.to_string(), "delay-sensitive");
+        assert_eq!(RequestClass::DelayTolerant.to_string(), "delay-tolerant");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Request::new(
+            UserId::new(4),
+            MicroserviceId::new(5),
+            RequestClass::DelayTolerant,
+            Round::new(6),
+            1.25,
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,195 @@
+//! Probability samplers implemented from scratch.
+//!
+//! The evaluation needs only three families — uniform (bid prices and
+//! demand targets), Poisson (request arrivals per §V-A), and exponential
+//! (service-time jitter). They are implemented here directly on top of
+//! `rand::Rng` rather than pulling in `rand_distr`, keeping the dependency
+//! surface to the approved set.
+
+use rand::Rng;
+
+/// Draws from a Poisson distribution with the given mean.
+///
+/// Uses Knuth's multiplication method for `mean < 30` and a normal
+/// approximation (Box–Muller, clamped at zero) above it; the paper's
+/// means are 5 and 10, so the exact branch is the hot one.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use edge_workload::sampler::poisson;
+/// use edge_common::rng::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let draws: Vec<u64> = (0..1000).map(|_| poisson(&mut rng, 5.0)).collect();
+/// let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+/// assert!((mean - 5.0).abs() < 0.5);
+/// ```
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth: count multiplications until the product drops below
+        // e^-mean.
+        let limit = (-mean).exp();
+        let mut product = rng.gen::<f64>();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(mean, mean).
+        let z = standard_normal(rng);
+        (mean + z * mean.sqrt()).round().max(0.0) as u64
+    }
+}
+
+/// Draws from an exponential distribution with the given rate `λ`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use edge_workload::sampler::exponential;
+/// use edge_common::rng::seeded_rng;
+///
+/// let mut rng = seeded_rng(2);
+/// let draws: Vec<f64> = (0..2000).map(|_| exponential(&mut rng, 2.0)).collect();
+/// let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+/// assert!((mean - 0.5).abs() < 0.1); // E[X] = 1/λ
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be finite and > 0");
+    // Inverse CDF; 1-u avoids ln(0).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Draws a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a uniform integer from the inclusive range `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform_int<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "uniform_int requires lo <= hi");
+    rng.gen_range(lo..=hi)
+}
+
+/// Draws a uniform float from the half-open range `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is non-finite.
+pub fn uniform_f64<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "uniform_f64 requires finite lo < hi");
+    rng.gen_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::rng::seeded_rng;
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_track_lambda() {
+        let mut rng = seeded_rng(4);
+        for &lambda in &[1.0, 5.0, 10.0] {
+            let n = 4000;
+            let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.35 * lambda.max(1.0), "mean {mean} for λ={lambda}");
+            assert!((var - lambda).abs() < 0.5 * lambda.max(1.0), "var {var} for λ={lambda}");
+        }
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = seeded_rng(5);
+        let n = 4000;
+        let lambda = 50.0;
+        let mean =
+            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson mean")]
+    fn poisson_rejects_negative_mean() {
+        let mut rng = seeded_rng(6);
+        poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = seeded_rng(7);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 3.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = seeded_rng(8);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn uniform_int_respects_bounds() {
+        let mut rng = seeded_rng(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = uniform_int(&mut rng, 10, 35);
+            assert!((10..=35).contains(&v));
+            seen_lo |= v == 10;
+            seen_hi |= v == 35;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints should appear in 2000 draws");
+    }
+
+    #[test]
+    fn uniform_f64_respects_bounds() {
+        let mut rng = seeded_rng(10);
+        for _ in 0..1000 {
+            let v = uniform_f64(&mut rng, 10.0, 35.0);
+            assert!((10.0..35.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_standard() {
+        let mut rng = seeded_rng(11);
+        let n = 8000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

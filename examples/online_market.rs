@@ -1,0 +1,73 @@
+//! Scenario: a ten-round online resource market.
+//!
+//! Run with `cargo run --example online_market`.
+//!
+//! The paper's headline setting: demand arrives round by round with no
+//! knowledge of the future, sellers have limited long-run capacity
+//! `Θ_i` and availability windows, and the platform runs MSOA. We
+//! compare the plain mechanism against its variants (perfect demand
+//! estimation, relaxed capacities) and against the offline optimum that
+//! sees the whole horizon in advance.
+
+use edge_market::auction::msoa::MsoaConfig;
+use edge_market::auction::offline::offline_optimum_multi;
+use edge_market::auction::variants::{run_variant, MsoaVariant};
+use edge_market::bench::scenario::multi_round_instance;
+use edge_market::common::rng::derive_rng;
+use edge_market::lp::IlpOptions;
+use edge_market::workload::params::PaperParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = PaperParams::default().with_microservices(12).with_rounds(10);
+    let mut rng = derive_rng(2024, "online-market");
+    let instance = multi_round_instance(&params, 0.25, &mut rng);
+
+    println!(
+        "online market: {} sellers, {} rounds, J = {} bids per seller\n",
+        params.num_microservices, params.rounds, params.bids_per_seller
+    );
+
+    // Plain MSOA, round by round.
+    let plain = run_variant(&instance, &MsoaConfig::default(), MsoaVariant::Plain)?;
+    println!("{:>5} {:>8} {:>9} {:>13} {:>12}", "round", "demand", "winners", "social cost", "payments");
+    for r in &plain.rounds {
+        println!(
+            "{:>5} {:>8} {:>9} {:>13} {:>12}{}",
+            r.round,
+            r.demand,
+            r.winners.len(),
+            r.social_cost.to_string(),
+            r.total_payment.to_string(),
+            if r.infeasible { "  (uncovered)" } else { "" }
+        );
+    }
+    println!(
+        "\nβ = {:.2}, α = {:.2}, competitive bound αβ/(β−1) = {:.2}",
+        plain.beta, plain.alpha, plain.competitive_bound
+    );
+
+    // The offline adversary and the variants.
+    let offline = offline_optimum_multi(&instance, true, &IlpOptions::default())?;
+    println!(
+        "\noffline optimum ({}): ${:.2}",
+        if offline.is_exact() { "exact" } else { "lower bound" },
+        offline.value()
+    );
+    println!("\n{:<10} {:>13} {:>9} {:>18}", "variant", "social cost", "ratio", "uncovered rounds");
+    for v in [
+        MsoaVariant::Plain,
+        MsoaVariant::DemandAware,
+        MsoaVariant::RelaxedCapacity { factor: 2.0 },
+        MsoaVariant::Optimized { factor: 2.0 },
+    ] {
+        let out = run_variant(&instance, &MsoaConfig::default(), v)?;
+        println!(
+            "{:<10} {:>13} {:>9.3} {:>18}",
+            v.to_string(),
+            out.social_cost.to_string(),
+            out.social_cost.value() / offline.value(),
+            out.infeasible_rounds().len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: one single-stage auction, end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Five microservices hold spare edge-cloud resources; the platform must
+//! reclaim 8 units to serve a scaling-up tenant. We run SSAM, inspect the
+//! winners and their critical-value payments, and compare the social cost
+//! with the exact offline optimum.
+
+use edge_market::auction::bid::Bid;
+use edge_market::auction::offline::offline_optimum_round;
+use edge_market::auction::ssam::{run_ssam, SsamConfig};
+use edge_market::auction::wsp::WspInstance;
+use edge_market::common::id::{BidId, MicroserviceId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each seller states how many resource units it can yield and its
+    // asking price (its true cost of yielding — the mechanism makes
+    // truthful reporting the dominant strategy).
+    let offers: [(usize, u64, f64); 5] = [
+        (0, 3, 7.5),  // ms#0: 3u for $7.50  ($2.50/u)
+        (1, 2, 3.0),  // ms#1: 2u for $3.00  ($1.50/u)
+        (2, 4, 11.0), // ms#2: 4u for $11.00 ($2.75/u)
+        (3, 2, 9.0),  // ms#3: 2u for $9.00  ($4.50/u)
+        (4, 3, 6.9),  // ms#4: 3u for $6.90  ($2.30/u)
+    ];
+    let bids = offers
+        .iter()
+        .map(|&(s, amount, price)| Bid::new(MicroserviceId::new(s), BidId::new(0), amount, price))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let demand = 8;
+    let instance = WspInstance::new(demand, bids)?;
+    let outcome = run_ssam(&instance, &SsamConfig::default())?;
+
+    println!("demand: {demand} resource units\n");
+    println!("{:<8} {:>6} {:>12} {:>10} {:>10}", "winner", "units", "contributed", "price", "payment");
+    for w in &outcome.winners {
+        println!(
+            "{:<8} {:>6} {:>12} {:>10} {:>10}",
+            w.seller.to_string(),
+            w.amount_offered,
+            w.contribution,
+            w.price.to_string(),
+            w.payment.to_string()
+        );
+        assert!(w.payment >= w.price, "individual rationality");
+    }
+
+    let optimum = offline_optimum_round(&instance).expect("instance is feasible");
+    println!("\nsocial cost : {}", outcome.social_cost);
+    println!("payments    : {}", outcome.total_payment);
+    println!("optimum     : ${optimum:.2}");
+    println!(
+        "ratio       : {:.3} (certified upper bound π = {:.3})",
+        outcome.social_cost.value() / optimum,
+        outcome.certificate.pi
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `edge-market` — a complete reproduction of *Incentivizing
+//! Microservices for Online Resource Sharing in Edge Clouds* (Samanta,
+//! Jiao, Mühlhäuser, Wang — IEEE ICDCS 2019) as a Rust workspace.
+//!
+//! This umbrella crate re-exports the whole stack under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`common`] | `edge-common` | ids, `Price`/`Resource` newtypes, seeded RNG |
+//! | [`lp`] | `edge-lp` | simplex, branch-and-bound, covering DP (offline optima) |
+//! | [`workload`] | `edge-workload` | §V-A samplers, request traces, parameter pack |
+//! | [`sim`] | `edge-sim` | edge clouds, fair sharing, queues, metrics |
+//! | [`demand`] | `edge-demand` | §III demand estimation with AHP weights |
+//! | [`auction`] | `edge-auction` | SSAM, MSOA, variants, baselines, property audits |
+//! | [`bench`](mod@bench) | `edge-bench` | per-figure experiment runners and generators |
+//!
+//! # Quick start
+//!
+//! ```
+//! use edge_market::auction::bid::Bid;
+//! use edge_market::auction::ssam::{run_ssam, SsamConfig};
+//! use edge_market::auction::wsp::WspInstance;
+//! use edge_market::common::id::{BidId, MicroserviceId};
+//!
+//! # fn main() -> Result<(), edge_market::auction::AuctionError> {
+//! // Three microservices offer spare resources; the platform needs 5u.
+//! let bids = vec![
+//!     Bid::new(MicroserviceId::new(0), BidId::new(0), 3, 6.0)?,
+//!     Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 3.0)?,
+//!     Bid::new(MicroserviceId::new(2), BidId::new(0), 4, 10.0)?,
+//! ];
+//! let outcome = run_ssam(&WspInstance::new(5, bids)?, &SsamConfig::default())?;
+//! assert!(outcome.winners.iter().all(|w| w.payment >= w.price));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use edge_auction as auction;
+pub use edge_bench as bench;
+pub use edge_common as common;
+pub use edge_demand as demand;
+pub use edge_lp as lp;
+pub use edge_sim as sim;
+pub use edge_workload as workload;

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full pipeline of the paper, from
+//! workload generation through simulation, demand estimation, and the
+//! online auction.
+
+use edge_market::auction::msoa::{run_msoa, MsoaConfig};
+use edge_market::auction::offline::offline_optimum_multi;
+use edge_market::auction::properties::check_individual_rationality;
+use edge_market::auction::ssam::{run_ssam, SsamConfig};
+use edge_market::auction::variants::{run_variant, MsoaVariant};
+use edge_market::bench::scenario::{integrated_instance, multi_round_instance, single_round_instance};
+use edge_market::common::rng::derive_rng;
+use edge_market::common::units::Resource;
+use edge_market::demand::{DemandConfig, DemandEstimator};
+use edge_market::lp::IlpOptions;
+use edge_market::sim::engine::{SimConfig, Simulation};
+use edge_market::workload::params::PaperParams;
+use edge_market::workload::trace::{RequestTrace, TraceConfig};
+
+#[test]
+fn workload_to_simulation_to_estimation() {
+    let mut rng = derive_rng(1, "e2e-sim");
+    let trace = RequestTrace::generate(
+        TraceConfig { num_microservices: 10, rounds: 6, ..TraceConfig::default() },
+        &mut rng,
+    );
+    let total = trace.total_requests();
+    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 8.0 });
+    let hub = sim.metrics();
+    sim.run_to_end();
+
+    // Every request is accounted for across the metrics.
+    let last = hub.at_round(edge_market::common::id::Round::new(5));
+    let received: u64 = last.iter().map(|m| m.received_total).sum();
+    assert_eq!(received as usize, total);
+
+    // The estimator produces finite non-negative demands for all rows.
+    let estimator = DemandEstimator::new(DemandConfig::default());
+    for d in estimator.estimate_round(&last, 6) {
+        assert!(d.demand.is_finite() && d.demand >= 0.0, "{d:?}");
+    }
+}
+
+#[test]
+fn integrated_market_clears_and_stays_rational() {
+    let params = PaperParams::default().with_microservices(10).with_rounds(8);
+    let mut rng = derive_rng(2, "e2e-market");
+    let instance =
+        integrated_instance(&params, SimConfig { num_clouds: 2, cloud_capacity: 6.0 }, &mut rng);
+    let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
+    assert_eq!(out.rounds.len(), 8);
+    for (s, seller) in instance.sellers().iter().enumerate() {
+        assert!(out.chi[s] <= seller.capacity);
+    }
+    for r in &out.rounds {
+        for w in &r.winners {
+            assert!(w.payment >= w.scaled_price, "IR on scaled prices: {w:?}");
+        }
+    }
+}
+
+#[test]
+fn ssam_outcome_beats_baselines_and_matches_certificate() {
+    let params = PaperParams::default().with_microservices(20);
+    for seed in 0..5 {
+        let mut rng = derive_rng(seed, "e2e-ssam");
+        let inst = single_round_instance(&params, &mut rng);
+        let outcome = run_ssam(&inst, &SsamConfig::default()).unwrap();
+        assert!(check_individual_rationality(&outcome));
+
+        // Price-greedy ablation never beats SSAM on social cost.
+        let greedy = edge_market::auction::baselines::run_price_greedy(&inst).unwrap();
+        assert!(
+            outcome.social_cost.value() <= greedy.social_cost.value() + 1e-9,
+            "seed {seed}: ssam {} greedy {}",
+            outcome.social_cost.value(),
+            greedy.social_cost.value()
+        );
+
+        // Certificate sandwich against the exact optimum.
+        let opt = inst.to_group_cover().solve_exact().unwrap().cost;
+        assert!(outcome.certificate.dual_objective <= opt + 1e-9);
+        assert!(outcome.social_cost.value() / opt <= outcome.certificate.pi + 1e-9);
+    }
+}
+
+#[test]
+fn msoa_variants_order_sensibly_on_noisy_estimates() {
+    let params = PaperParams::default().with_microservices(12);
+    let mut worse = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let mut rng = derive_rng(seed, "e2e-variants");
+        let inst = multi_round_instance(&params, 0.3, &mut rng);
+        let plain = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain).unwrap();
+        let da = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::DemandAware).unwrap();
+        if da.social_cost.value() > plain.social_cost.value() + 1e-9 {
+            worse += 1;
+        }
+    }
+    // The noisy estimator over-provisions, so perfect demand estimation
+    // buys no more than the plain variant except for rare capacity
+    // interactions across rounds.
+    assert!(worse <= trials / 4, "DA worse in {worse}/{trials} trials");
+}
+
+#[test]
+fn online_never_beats_offline() {
+    let params = PaperParams::default().with_microservices(6).with_rounds(4);
+    for seed in 0..5 {
+        let mut rng = derive_rng(seed, "e2e-offline");
+        let inst = multi_round_instance(&params, 0.0, &mut rng);
+        let out = run_msoa(&inst, &MsoaConfig::default()).unwrap();
+        if !out.infeasible_rounds().is_empty() {
+            continue;
+        }
+        let Ok(off) = offline_optimum_multi(&inst, true, &IlpOptions::default()) else {
+            continue;
+        };
+        assert!(
+            out.social_cost.value() >= off.value() - 1e-6,
+            "seed {seed}: online {} below offline {}",
+            out.social_cost.value(),
+            off.value()
+        );
+    }
+}
+
+#[test]
+fn simulation_transfers_follow_auction_outcomes() {
+    // A compact version of the autoscale example, asserting the wiring:
+    // auction winners' transfers are accepted by the simulator.
+    let mut rng = derive_rng(3, "e2e-transfer");
+    let trace = RequestTrace::generate(
+        TraceConfig {
+            num_microservices: 6,
+            rounds: 4,
+            sensitive_fraction: 1.0,
+            target_requests_per_round: Some(120),
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    );
+    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 1, cloud_capacity: 12.0 });
+    let hot = edge_market::common::id::MicroserviceId::new(0);
+    while let Some(_round) = sim.step() {
+        let mut bids = Vec::new();
+        for m in 1..6 {
+            let ms = edge_market::common::id::MicroserviceId::new(m);
+            let spare = sim.spare_of(ms).unwrap().value().floor() as u64;
+            if spare >= 1 {
+                bids.push(
+                    edge_market::auction::bid::Bid::new(
+                        ms,
+                        edge_market::common::id::BidId::new(0),
+                        spare,
+                        3.0 * spare as f64,
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let Ok(inst) = edge_market::auction::wsp::WspInstance::new(2.min(bids.len() as u64), bids)
+        else {
+            continue;
+        };
+        if let Ok(outcome) = run_ssam(&inst, &SsamConfig::default()) {
+            for w in &outcome.winners {
+                sim.schedule_transfer(w.seller, hot, Resource::new(w.contribution as f64).unwrap())
+                    .unwrap();
+            }
+        }
+    }
+    // The run completed with transfers applied; hot service exists.
+    assert!(sim.service(hot).is_ok());
+}

@@ -1,0 +1,231 @@
+//! Integration tests for the extension modules: budgets, demand
+//! smoothing, bursty workloads, failure injection, and the multi-buyer
+//! general form.
+
+use edge_market::auction::budget::{required_budget, run_budgeted_ssam};
+use edge_market::auction::multi_buyer::{run_ssam_multi, CoverBid, MultiBuyerWsp};
+use edge_market::auction::ssam::SsamConfig;
+use edge_market::bench::scenario::single_round_instance;
+use edge_market::common::id::{BidId, EdgeCloudId, MicroserviceId, Round};
+use edge_market::common::rng::derive_rng;
+use edge_market::common::units::{Price, Resource};
+use edge_market::demand::{DemandConfig, DemandEstimator, SmoothedEstimator};
+use edge_market::sim::engine::{SimConfig, Simulation};
+use edge_market::sim::events::{EventSchedule, SimEvent};
+use edge_market::workload::burst::{BurstConfig, BurstProcess};
+use edge_market::workload::params::PaperParams;
+use edge_market::workload::trace::{RequestTrace, TraceConfig};
+
+#[test]
+fn budget_sweep_is_monotone_on_real_instances() {
+    let params = PaperParams::default().with_microservices(20);
+    for seed in 0..5 {
+        let mut rng = derive_rng(seed, "ext-budget");
+        let inst = single_round_instance(&params, &mut rng);
+        let need = required_budget(&inst, &SsamConfig::default()).unwrap();
+        let mut last_covered = 0;
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let budget = Price::new(need.value() * frac).unwrap();
+            let out = run_budgeted_ssam(&inst, &SsamConfig::default(), budget).unwrap();
+            assert!(out.total_payment.value() <= budget.value() + 1e-9);
+            assert!(out.covered >= last_covered, "coverage dipped at {frac}");
+            last_covered = out.covered;
+        }
+        assert_eq!(last_covered, inst.demand(), "full budget must cover fully");
+    }
+}
+
+#[test]
+fn smoothed_estimator_tracks_the_simulation() {
+    let mut rng = derive_rng(1, "ext-smooth");
+    let trace = RequestTrace::generate(
+        TraceConfig { num_microservices: 6, rounds: 10, ..TraceConfig::default() },
+        &mut rng,
+    );
+    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 6.0 });
+    let hub = sim.metrics();
+    let mut smooth = SmoothedEstimator::new(
+        DemandEstimator::new(DemandConfig::default()),
+        0.3,
+    );
+    let mut raw = DemandEstimator::new(DemandConfig::default());
+    let mut max_jump_smooth = 0.0f64;
+    let mut max_jump_raw = 0.0f64;
+    let mut prev_s: Option<f64> = None;
+    let mut prev_r: Option<f64> = None;
+    while let Some(round) = sim.step() {
+        let batch = hub.at_round(round);
+        let s = smooth.observe(&batch, round.index() + 1)[0].demand;
+        let r = raw.estimate_round(&batch, round.index() + 1)[0].demand;
+        if let (Some(ps), Some(pr)) = (prev_s, prev_r) {
+            max_jump_smooth = max_jump_smooth.max((s - ps).abs());
+            max_jump_raw = max_jump_raw.max((r - pr).abs());
+        }
+        prev_s = Some(s);
+        prev_r = Some(r);
+    }
+    assert!(
+        max_jump_smooth <= max_jump_raw + 1e-9,
+        "smoothing must not amplify round-to-round jumps: {max_jump_smooth} vs {max_jump_raw}"
+    );
+    let _ = raw; // estimator is Copy-light; silence potential lints
+}
+
+#[test]
+fn bursty_trace_stresses_but_does_not_break_the_market() {
+    let mut rng = derive_rng(2, "ext-burst");
+    let mut process = BurstProcess::new(BurstConfig::default());
+    // Drive an auction demand series from the burst process and check
+    // the market clears whenever supply suffices.
+    let params = PaperParams::default().with_microservices(15);
+    for round in 0..20 {
+        let demand_draw = process.sample(&mut rng, 8.0);
+        let inst = single_round_instance(&params, &mut rng);
+        let demand = demand_draw.min(inst.max_supply()).max(1);
+        let rebuilt = edge_market::auction::wsp::WspInstance::new(
+            demand,
+            inst.bids().copied().collect(),
+        )
+        .unwrap();
+        let out = edge_market::auction::ssam::run_ssam(&rebuilt, &SsamConfig::default())
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        let covered: u64 = out.winners.iter().map(|w| w.contribution).sum();
+        assert_eq!(covered, demand);
+    }
+}
+
+#[test]
+fn failure_injection_respects_capacity_at_all_times() {
+    let mut rng = derive_rng(3, "ext-events");
+    let trace = RequestTrace::generate(
+        TraceConfig { num_microservices: 8, rounds: 10, ..TraceConfig::default() },
+        &mut rng,
+    );
+    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 10.0 });
+    let mut events = EventSchedule::new();
+    events
+        .at(3, SimEvent::CapacityChange {
+            cloud: EdgeCloudId::new(0),
+            capacity: Resource::new(2.0).unwrap(),
+        })
+        .at(5, SimEvent::PauseService { ms: MicroserviceId::new(0) })
+        .at(7, SimEvent::ResumeService { ms: MicroserviceId::new(0) })
+        .at(8, SimEvent::CapacityChange {
+            cloud: EdgeCloudId::new(0),
+            capacity: Resource::new(10.0).unwrap(),
+        });
+    sim.set_events(events);
+    let hub = sim.metrics();
+    while let Some(round) = sim.step() {
+        let batch = hub.at_round(round);
+        // Allocation per cloud never exceeds the *current* capacity; we
+        // can observe it through the metrics' max_allocation field and
+        // per-service rows.
+        let cloud0_alloc: f64 = batch
+            .iter()
+            .filter(|m| m.ms.index() % 2 == 0) // round-robin: even ids on cloud 0
+            .map(|m| m.allocation)
+            .sum();
+        let cap = if (3..8).contains(&round.index()) { 2.0 } else { 10.0 };
+        assert!(
+            cloud0_alloc <= cap + 1e-6,
+            "round {}: cloud 0 allocated {cloud0_alloc} over capacity {cap}",
+            round.index()
+        );
+    }
+}
+
+#[test]
+fn multi_buyer_general_form_handles_paper_scale() {
+    let mut rng = derive_rng(4, "ext-multibuyer");
+    use rand::Rng;
+    // 25 sellers × 2 bids covering subsets of 12 buyers.
+    let buyers: Vec<(MicroserviceId, u64)> =
+        (0..12).map(|b| (MicroserviceId::new(500 + b), rng.gen_range(1..=3u64))).collect();
+    let mut bids = Vec::new();
+    for s in 0..25 {
+        for j in 0..2 {
+            let k = rng.gen_range(1..=3usize);
+            let mut cov = Vec::new();
+            for _ in 0..k {
+                let b = rng.gen_range(0..12usize);
+                if !cov.iter().any(|&(id, _)| id == MicroserviceId::new(500 + b)) {
+                    cov.push((MicroserviceId::new(500 + b), rng.gen_range(1..=3u64)));
+                }
+            }
+            let total: u64 = cov.iter().map(|&(_, a)| a).sum();
+            bids.push(
+                CoverBid::new(
+                    MicroserviceId::new(s),
+                    BidId::new(j),
+                    cov,
+                    rng.gen_range(10.0..35.0) * total as f64 / 5.0,
+                )
+                .unwrap(),
+            );
+        }
+    }
+    let inst = MultiBuyerWsp::new(buyers, bids).unwrap();
+    let out = run_ssam_multi(&inst, &SsamConfig::default());
+    assert!(out.fully_covered, "25 sellers over 12 buyers should cover");
+    for w in &out.winners {
+        assert!(w.payment >= w.price);
+    }
+}
+
+#[test]
+fn placement_strategies_change_market_structure() {
+    use edge_market::sim::placement::Placement;
+    let mk = |strategy| {
+        let mut rng = derive_rng(5, "ext-placement");
+        let trace = RequestTrace::generate(
+            TraceConfig { num_microservices: 9, rounds: 3, ..TraceConfig::default() },
+            &mut rng,
+        );
+        Simulation::with_placement(
+            trace,
+            SimConfig { num_clouds: 3, cloud_capacity: 8.0 },
+            strategy,
+        )
+    };
+    // Packed placement concentrates everyone on the first cloud.
+    let packed = mk(Placement::Packed { per_cloud: 9 });
+    // Every cross-service transfer is legal there…
+    let mut packed = packed;
+    packed.step();
+    assert!(packed
+        .schedule_transfer(
+            MicroserviceId::new(0),
+            MicroserviceId::new(8),
+            Resource::new(0.1).unwrap()
+        )
+        .is_ok());
+    // …while round-robin spreads services so some pairs cannot trade.
+    let mut rr = mk(Placement::RoundRobin);
+    rr.step();
+    assert!(rr
+        .schedule_transfer(
+            MicroserviceId::new(0),
+            MicroserviceId::new(1),
+            Resource::new(0.1).unwrap()
+        )
+        .is_err());
+    // Random placement is reproducible per seed.
+    let a = mk(Placement::Random { seed: 11 });
+    let b = mk(Placement::Random { seed: 11 });
+    assert_eq!(
+        a.service(MicroserviceId::new(4)).unwrap().cloud(),
+        b.service(MicroserviceId::new(4)).unwrap().cloud()
+    );
+}
+
+#[test]
+fn round_type_threads_through_all_crates() {
+    // A smoke test that the shared vocabulary types interoperate.
+    let r = Round::new(3);
+    assert!(r.within(Round::ZERO, Round::new(5)));
+    let p = Price::new(2.5).unwrap() + Price::new(1.5).unwrap();
+    assert_eq!(p, Price::new(4.0).unwrap());
+    let res = Resource::new(3.0).unwrap().saturating_sub(Resource::new(5.0).unwrap());
+    assert_eq!(res, Resource::ZERO);
+}

@@ -5,7 +5,10 @@ use edge_bench::runner::fig4a;
 use edge_bench::table::{f3, to_json, Table};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let rows = fig4a(seed);
 
     println!("Figure 4(a) — payment vs price per winning bid (seed {seed})\n");

@@ -14,7 +14,11 @@ fn main() {
     println!("Figure 6(a) — MSOA ratio vs rounds T and bids J (mean over {seeds} seeds)\n");
     let mut table = Table::new(["J", "T", "ratio"]);
     for r in &rows {
-        table.push([r.bids_per_seller.to_string(), r.rounds.to_string(), f3(r.mean_ratio)]);
+        table.push([
+            r.bids_per_seller.to_string(),
+            r.rounds.to_string(),
+            f3(r.mean_ratio),
+        ]);
     }
     println!("{}", table.render());
     println!("json:\n{}", to_json(&rows));

@@ -2,13 +2,17 @@
 //! printing each table and writing the raw JSON series to `results/`.
 //!
 //! ```bash
-//! cargo run -p edge-bench --release --bin reproduce_all [seeds]
+//! cargo run -p edge-bench --release --bin reproduce_all [seeds] [--threads N]
 //! ```
+//!
+//! `--threads N` sizes the worker pool the sweeps fan out on (`0` or
+//! absent = one worker per core). The tables are byte-identical at any
+//! thread count.
 
-use edge_bench::runner;
-use edge_bench::table::{f3, to_json, Table};
+use edge_bench::{parallel, report, runner};
 use std::fs;
 use std::path::Path;
+use std::process::exit;
 
 fn save(name: &str, json: &str) {
     let dir = Path::new("results");
@@ -18,130 +22,36 @@ fn save(name: &str, json: &str) {
 }
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(runner::DEFAULT_SEEDS);
-    println!("reproducing all figures with {seeds} seeds per point\n");
-
-    // Fig 3(a)
-    let rows = runner::fig3a(seeds);
-    let mut t = Table::new(["J", "|S|", "ratio", "certified π"]);
-    for r in &rows {
-        t.push([
-            r.bids_per_seller.to_string(),
-            r.microservices.to_string(),
-            f3(r.mean_ratio),
-            f3(r.mean_certified_pi),
-        ]);
+    let mut seeds = runner::DEFAULT_SEEDS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" | "--parallel" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: {arg} expects a non-negative integer");
+                    exit(2);
+                };
+                parallel::set_threads(n);
+            }
+            _ => match arg.parse::<u64>() {
+                Ok(n) => seeds = n,
+                Err(_) => {
+                    eprintln!("usage: reproduce_all [seeds] [--threads N]");
+                    exit(2);
+                }
+            },
+        }
     }
-    println!("Figure 3(a) — SSAM ratio\n{}", t.render());
-    save("fig3a", &to_json(&rows));
+    println!(
+        "reproducing all figures with {seeds} seeds per point ({} worker threads)\n",
+        parallel::current_threads()
+    );
 
-    // Fig 3(a) set-cover form
-    let rows = runner::fig3a_setcover(seeds);
-    let mut t = Table::new(["J", "|S|", "ratio", "samples"]);
-    for r in &rows {
-        t.push([
-            r.bids_per_seller.to_string(),
-            r.microservices.to_string(),
-            f3(r.mean_ratio),
-            r.samples.to_string(),
-        ]);
+    for name in report::FIGURES {
+        let fig = report::render_figure(name, seeds).expect("FIGURES entries render");
+        println!("{}\n{}", fig.title, fig.table);
+        save(fig.name, &fig.json);
     }
-    println!("Figure 3(a), set-cover form\n{}", t.render());
-    save("fig3a_setcover", &to_json(&rows));
-
-    // Fig 3(b)
-    let rows = runner::fig3b(seeds);
-    let mut t = Table::new(["req", "|S|", "social", "payment", "optimal"]);
-    for r in &rows {
-        t.push([
-            r.requests.to_string(),
-            r.microservices.to_string(),
-            f3(r.social_cost),
-            f3(r.total_payment),
-            f3(r.optimal),
-        ]);
-    }
-    println!("Figure 3(b) — SSAM costs\n{}", t.render());
-    save("fig3b", &to_json(&rows));
-
-    // Fig 4(a)
-    let rows = runner::fig4a(1);
-    let mut t = Table::new(["winner", "price", "payment"]);
-    for r in &rows {
-        t.push([r.winner.to_string(), f3(r.price), f3(r.payment)]);
-    }
-    println!("Figure 4(a) — payment vs price\n{}", t.render());
-    save("fig4a", &to_json(&rows));
-
-    // Fig 4(b)
-    let rows = runner::fig4b(seeds);
-    let mut t = Table::new(["req", "|S|", "runtime (µs)"]);
-    for r in &rows {
-        t.push([
-            r.requests.to_string(),
-            r.microservices.to_string(),
-            f3(r.mean_runtime_us),
-        ]);
-    }
-    println!("Figure 4(b) — running time\n{}", t.render());
-    save("fig4b", &to_json(&rows));
-
-    // Fig 5(a)
-    let rows = runner::fig5a(seeds);
-    let mut t = Table::new(["variant", "req", "|S|", "ratio", "uncovered"]);
-    for r in &rows {
-        t.push([
-            r.variant.clone(),
-            r.requests.to_string(),
-            r.microservices.to_string(),
-            f3(r.mean_ratio),
-            f3(r.mean_infeasible_rounds),
-        ]);
-    }
-    println!("Figure 5(a) — MSOA variants\n{}", t.render());
-    save("fig5a", &to_json(&rows));
-
-    // Fig 6(a)
-    let rows = runner::fig6a(seeds);
-    let mut t = Table::new(["J", "T", "ratio"]);
-    for r in &rows {
-        t.push([r.bids_per_seller.to_string(), r.rounds.to_string(), f3(r.mean_ratio)]);
-    }
-    println!("Figure 6(a) — MSOA ratio vs T, J\n{}", t.render());
-    save("fig6a", &to_json(&rows));
-
-    // Fig 6(b)
-    let rows = runner::fig6b(seeds);
-    let mut t = Table::new(["req", "|S|", "social", "payment", "optimal"]);
-    for r in &rows {
-        t.push([
-            r.requests.to_string(),
-            r.microservices.to_string(),
-            f3(r.social_cost),
-            f3(r.total_payment),
-            f3(r.optimal),
-        ]);
-    }
-    println!("Figure 6(b) — MSOA costs\n{}", t.render());
-    save("fig6b", &to_json(&rows));
-
-    // Ablation
-    let rows = runner::ablation_mechanisms(seeds);
-    let mut t = Table::new(["mechanism", "|S|", "social", "payment", "coverage"]);
-    for r in &rows {
-        t.push([
-            r.mechanism.clone(),
-            r.microservices.to_string(),
-            f3(r.mean_social_cost),
-            f3(r.mean_payment),
-            f3(r.coverage_rate),
-        ]);
-    }
-    println!("Ablation — mechanisms\n{}", t.render());
-    save("ablation", &to_json(&rows));
 
     println!("raw series written to results/*.json");
 }

@@ -6,7 +6,12 @@
 //!   including the fully integrated workload → simulator → demand
 //!   estimator → auction pipeline;
 //! * [`runner`] — one sweep per figure (3a, 3b, 4a, 4b, 5a, 6a, 6b),
-//!   seed-parallel, returning typed serializable rows;
+//!   parallel over scenario points × seeds, returning typed
+//!   serializable rows;
+//! * [`parallel`] — the bounded, order-preserving worker pool the
+//!   runners fan out on (thread count settable per process);
+//! * [`report`] — the single rendering path shared by `reproduce_all`
+//!   and the CLI's `reproduce` command;
 //! * [`table`] — fixed-width table rendering and JSON export.
 //!
 //! Each figure has a matching binary: `cargo run -p edge-bench --release
@@ -16,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod parallel;
+pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod table;

@@ -1,18 +1,21 @@
 //! Experiment runners — one per figure of the paper's §V.
 //!
 //! Each runner sweeps the figure's x-axis with everything else at the
-//! §V-A defaults, averages over independent seeds (in parallel via
-//! `crossbeam`), and returns typed rows that the `fig*` binaries render
-//! as tables and JSON. Absolute numbers differ from the paper (different
-//! hardware, synthetic traces); the *shape* is what EXPERIMENTS.md
-//! tracks.
+//! §V-A defaults and averages over independent seeds. The whole grid —
+//! every (scenario point, seed) pair — is flattened onto one bounded
+//! worker pool ([`crate::parallel`]), and results merge back in input
+//! order, so tables are byte-identical at any thread count. Runners
+//! return typed rows that the `fig*` binaries render as tables and
+//! JSON. Absolute numbers differ from the paper (different hardware,
+//! synthetic traces); the *shape* is what EXPERIMENTS.md tracks.
 
+use crate::parallel;
 use crate::scenario::{multi_round_instance, single_round_instance};
+use edge_auction::msoa::MsoaConfig;
 use edge_auction::msoa::MultiRoundInstance;
 use edge_auction::offline::{offline_optimum_multi, offline_optimum_round, per_round_dp_bound};
 use edge_auction::ssam::{run_ssam, SsamConfig};
 use edge_auction::variants::{run_variant, MsoaVariant};
-use edge_auction::msoa::MsoaConfig;
 use edge_common::rng::derive_rng;
 use edge_lp::IlpOptions;
 use edge_workload::params::PaperParams;
@@ -36,20 +39,28 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Runs `f(seed)` for every seed in parallel and collects the results in
-/// seed order.
-fn par_seeds<T: Send>(seeds: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                *slot = Some(f(i as u64));
-            });
-        }
-    })
-    .expect("seed workers do not panic");
-    out.into_iter().map(|o| o.expect("every worker ran")).collect()
+/// Runs `f(point, seed)` for every (scenario point, seed) pair on the
+/// ambient worker pool and returns, per point in input order, the
+/// seed-ordered results. Flattening both axes into one work list keeps
+/// the pool busy even when a figure has few points or few seeds; the
+/// order-preserving merge keeps output independent of the thread count.
+fn par_sweep<P: Sync, T: Send>(
+    points: &[P],
+    seeds: u64,
+    f: impl Fn(&P, u64) -> T + Sync,
+) -> Vec<Vec<T>> {
+    let work: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|p| (0..seeds).map(move |s| (p, s)))
+        .collect();
+    let flat = parallel::par_map_auto(work, |&(p, s)| f(&points[p], s));
+    let mut results = flat.into_iter();
+    (0..points.len())
+        .map(|_| {
+            (0..seeds)
+                .map(|_| results.next().expect("complete sweep"))
+                .collect()
+        })
+        .collect()
 }
 
 /// The offline optimum (or a provable lower bound) of a multi-round
@@ -57,7 +68,10 @@ fn par_seeds<T: Send>(seeds: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
 fn offline_value(instance: &MultiRoundInstance, use_estimated: bool) -> Option<f64> {
     let size: usize = instance.rounds().iter().map(|r| r.bids.len()).sum();
     if size <= EXACT_OFFLINE_BUDGET {
-        let opts = IlpOptions { max_nodes: 2_000, ..IlpOptions::default() };
+        let opts = IlpOptions {
+            max_nodes: 2_000,
+            ..IlpOptions::default()
+        };
         offline_optimum_multi(instance, use_estimated, &opts)
             .ok()
             .map(|b| b.value())
@@ -85,28 +99,34 @@ pub struct Fig3aRow {
 
 /// Runs the Figure 3(a) sweep.
 pub fn fig3a(seeds: u64) -> Vec<Fig3aRow> {
-    let mut rows = Vec::new();
-    for &j in &[1usize, 2] {
-        for &s in &[5usize, 10, 15, 20, 25] {
-            let params = PaperParams::default().with_microservices(s).with_bids_per_seller(j);
-            let results = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig3a");
-                let inst = single_round_instance(&params, &mut rng);
-                let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
-                let opt = offline_optimum_round(&inst).expect("feasible");
-                (outcome.social_cost.value() / opt, outcome.certificate.pi)
-            });
+    let points: Vec<(usize, usize)> = [1usize, 2]
+        .iter()
+        .flat_map(|&j| [5usize, 10, 15, 20, 25].iter().map(move |&s| (j, s)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(j, s), seed| {
+        let params = PaperParams::default()
+            .with_microservices(s)
+            .with_bids_per_seller(j);
+        let mut rng = derive_rng(seed, "fig3a");
+        let inst = single_round_instance(&params, &mut rng);
+        let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+        let opt = offline_optimum_round(&inst).expect("feasible");
+        (outcome.social_cost.value() / opt, outcome.certificate.pi)
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(j, s), results)| {
             let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
             let pis: Vec<f64> = results.iter().map(|r| r.1).collect();
-            rows.push(Fig3aRow {
+            Fig3aRow {
                 microservices: s,
                 bids_per_seller: j,
                 mean_ratio: mean(&ratios),
                 mean_certified_pi: mean(&pis),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// One point of the set-cover variant of Figure 3(a).
@@ -132,66 +152,72 @@ pub fn fig3a_setcover(seeds: u64) -> Vec<Fig3aSetcoverRow> {
     use edge_common::id::{BidId, MicroserviceId};
     use rand::Rng;
 
-    let mut rows = Vec::new();
-    for &j in &[1usize, 2] {
-        for &s in &[5usize, 10, 15, 20, 25] {
-            let ratios = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig3a-setcover");
-                let n_buyers = (s / 2).max(2);
-                let demands: Vec<(MicroserviceId, u64)> = (0..n_buyers)
-                    .map(|b| (MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)))
-                    .collect();
-                let mut bids = Vec::new();
-                for seller in 0..s {
-                    for bid_id in 0..j {
-                        let k = rng.gen_range(1..=3usize.min(n_buyers));
-                        let mut coverage = Vec::new();
-                        let mut chosen: Vec<usize> = Vec::new();
-                        while chosen.len() < k {
-                            let b = rng.gen_range(0..n_buyers);
-                            if !chosen.contains(&b) {
-                                chosen.push(b);
-                                coverage
-                                    .push((MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)));
-                            }
-                        }
-                        let total: u64 = coverage.iter().map(|&(_, a)| a).sum();
-                        let price = rng.gen_range(10.0..35.0) * total as f64 / 5.0;
-                        bids.push(
-                            CoverBid::new(
-                                MicroserviceId::new(seller),
-                                BidId::new(bid_id),
-                                coverage,
-                                price,
-                            )
-                            .expect("valid bid"),
-                        );
+    let points: Vec<(usize, usize)> = [1usize, 2]
+        .iter()
+        .flat_map(|&j| [5usize, 10, 15, 20, 25].iter().map(move |&s| (j, s)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(j, s), seed| {
+        let mut rng = derive_rng(seed, "fig3a-setcover");
+        let n_buyers = (s / 2).max(2);
+        let demands: Vec<(MicroserviceId, u64)> = (0..n_buyers)
+            .map(|b| (MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)))
+            .collect();
+        let mut bids = Vec::new();
+        for seller in 0..s {
+            for bid_id in 0..j {
+                let k = rng.gen_range(1..=3usize.min(n_buyers));
+                let mut coverage = Vec::new();
+                let mut chosen: Vec<usize> = Vec::new();
+                while chosen.len() < k {
+                    let b = rng.gen_range(0..n_buyers);
+                    if !chosen.contains(&b) {
+                        chosen.push(b);
+                        coverage.push((MicroserviceId::new(1000 + b), rng.gen_range(1..=3u64)));
                     }
                 }
-                let inst = MultiBuyerWsp::new(demands, bids).expect("valid instance");
-                let outcome = run_ssam_multi(&inst, &SsamConfig::default());
-                if !outcome.fully_covered {
-                    return None;
-                }
-                let (ilp, _) = inst.to_ilp();
-                let opts = IlpOptions { max_nodes: 20_000, ..IlpOptions::default() };
-                match edge_lp::solve_ilp(&ilp, &opts) {
-                    Ok(sol) if sol.proven_optimal && sol.objective > 1e-9 => {
-                        Some(outcome.social_cost.value() / sol.objective)
-                    }
-                    _ => None,
-                }
-            });
-            let ratios: Vec<f64> = ratios.into_iter().flatten().collect();
-            rows.push(Fig3aSetcoverRow {
+                let total: u64 = coverage.iter().map(|&(_, a)| a).sum();
+                let price = rng.gen_range(10.0..35.0) * total as f64 / 5.0;
+                bids.push(
+                    CoverBid::new(
+                        MicroserviceId::new(seller),
+                        BidId::new(bid_id),
+                        coverage,
+                        price,
+                    )
+                    .expect("valid bid"),
+                );
+            }
+        }
+        let inst = MultiBuyerWsp::new(demands, bids).expect("valid instance");
+        let outcome = run_ssam_multi(&inst, &SsamConfig::default());
+        if !outcome.fully_covered {
+            return None;
+        }
+        let (ilp, _) = inst.to_ilp();
+        let opts = IlpOptions {
+            max_nodes: 20_000,
+            ..IlpOptions::default()
+        };
+        match edge_lp::solve_ilp(&ilp, &opts) {
+            Ok(sol) if sol.proven_optimal && sol.objective > 1e-9 => {
+                Some(outcome.social_cost.value() / sol.objective)
+            }
+            _ => None,
+        }
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(j, s), results)| {
+            let ratios: Vec<f64> = results.into_iter().flatten().collect();
+            Fig3aSetcoverRow {
                 microservices: s,
                 bids_per_seller: j,
                 mean_ratio: mean(&ratios),
                 samples: ratios.len(),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -215,28 +241,35 @@ pub struct Fig3bRow {
 
 /// Runs the Figure 3(b) sweep.
 pub fn fig3b(seeds: u64) -> Vec<Fig3bRow> {
-    let mut rows = Vec::new();
-    for &req in &[100u64, 200] {
-        for &s in &[25usize, 35, 45, 55, 65, 75] {
-            let params =
-                PaperParams::default().with_microservices(s).with_requests(req);
-            let results = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig3b");
-                let inst = single_round_instance(&params, &mut rng);
-                let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
-                let opt = offline_optimum_round(&inst).expect("feasible");
-                (outcome.social_cost.value(), outcome.total_payment.value(), opt)
-            });
-            rows.push(Fig3bRow {
-                microservices: s,
-                requests: req,
-                social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
-                total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
-                optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
-            });
-        }
-    }
-    rows
+    let points: Vec<(u64, usize)> = [100u64, 200]
+        .iter()
+        .flat_map(|&req| [25usize, 35, 45, 55, 65, 75].iter().map(move |&s| (req, s)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(req, s), seed| {
+        let params = PaperParams::default()
+            .with_microservices(s)
+            .with_requests(req);
+        let mut rng = derive_rng(seed, "fig3b");
+        let inst = single_round_instance(&params, &mut rng);
+        let outcome = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+        let opt = offline_optimum_round(&inst).expect("feasible");
+        (
+            outcome.social_cost.value(),
+            outcome.total_payment.value(),
+            opt,
+        )
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(req, s), results)| Fig3bRow {
+            microservices: s,
+            requests: req,
+            social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+            total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+            optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -292,26 +325,29 @@ pub struct Fig4bRow {
 /// Runs the Figure 4(b) timing sweep (the paper reports < 100 ms and
 /// roughly linear growth).
 pub fn fig4b(seeds: u64) -> Vec<Fig4bRow> {
-    let mut rows = Vec::new();
-    for &req in &[100u64, 200] {
-        for &s in &[25usize, 35, 45, 55, 65, 75] {
-            let params =
-                PaperParams::default().with_microservices(s).with_requests(req);
-            let times = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig4b");
-                let inst = single_round_instance(&params, &mut rng);
-                let start = Instant::now();
-                let _ = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
-                start.elapsed().as_secs_f64() * 1e6
-            });
-            rows.push(Fig4bRow {
-                microservices: s,
-                requests: req,
-                mean_runtime_us: mean(&times),
-            });
-        }
-    }
-    rows
+    let points: Vec<(u64, usize)> = [100u64, 200]
+        .iter()
+        .flat_map(|&req| [25usize, 35, 45, 55, 65, 75].iter().map(move |&s| (req, s)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(req, s), seed| {
+        let params = PaperParams::default()
+            .with_microservices(s)
+            .with_requests(req);
+        let mut rng = derive_rng(seed, "fig4b");
+        let inst = single_round_instance(&params, &mut rng);
+        let start = Instant::now();
+        let _ = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+        start.elapsed().as_secs_f64() * 1e6
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(req, s), times)| Fig4bRow {
+            microservices: s,
+            requests: req,
+            mean_runtime_us: mean(&times),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -342,47 +378,50 @@ pub fn fig5a(seeds: u64) -> Vec<Fig5aRow> {
         MsoaVariant::RelaxedCapacity { factor: 2.0 },
         MsoaVariant::Optimized { factor: 2.0 },
     ];
+    let points: Vec<(u64, usize)> = [100u64, 200]
+        .iter()
+        .flat_map(|&req| [25usize, 45, 65].iter().map(move |&s| (req, s)))
+        .collect();
+    // One instance batch per (point, seed), shared across variants so
+    // the comparison is paired.
+    let per_point = par_sweep(&points, seeds, |&(req, s), seed| {
+        let params = PaperParams::default()
+            .with_microservices(s)
+            .with_requests(req);
+        let mut rng = derive_rng(seed, "fig5a");
+        let inst = multi_round_instance(&params, 0.25, &mut rng);
+        let offline = offline_value(&inst, false);
+        let mut per_variant = Vec::new();
+        for v in variants {
+            let out = run_variant(&inst, &MsoaConfig::default(), v).expect("valid instance");
+            per_variant.push((
+                v.to_string(),
+                out.social_cost.value(),
+                out.infeasible_rounds().len() as f64,
+            ));
+        }
+        (offline, per_variant)
+    });
     let mut rows = Vec::new();
-    for &req in &[100u64, 200] {
-        for &s in &[25usize, 45, 65] {
-            let params = PaperParams::default().with_microservices(s).with_requests(req);
-            // One instance batch per seed, shared across variants so the
-            // comparison is paired.
-            let per_seed = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig5a");
-                let inst = multi_round_instance(&params, 0.25, &mut rng);
-                let offline = offline_value(&inst, false);
-                let mut per_variant = Vec::new();
-                for v in variants {
-                    let out = run_variant(&inst, &MsoaConfig::default(), v)
-                        .expect("valid instance");
-                    per_variant.push((
-                        v.to_string(),
-                        out.social_cost.value(),
-                        out.infeasible_rounds().len() as f64,
-                    ));
-                }
-                (offline, per_variant)
-            });
-            for (vi, v) in variants.iter().enumerate() {
-                let mut ratios = Vec::new();
-                let mut infeasible = Vec::new();
-                for (offline, per_variant) in &per_seed {
-                    if let Some(off) = offline {
-                        if *off > 1e-9 {
-                            ratios.push(per_variant[vi].1 / off);
-                        }
+    for (&(req, s), per_seed) in points.iter().zip(&per_point) {
+        for (vi, v) in variants.iter().enumerate() {
+            let mut ratios = Vec::new();
+            let mut infeasible = Vec::new();
+            for (offline, per_variant) in per_seed {
+                if let Some(off) = offline {
+                    if *off > 1e-9 {
+                        ratios.push(per_variant[vi].1 / off);
                     }
-                    infeasible.push(per_variant[vi].2);
                 }
-                rows.push(Fig5aRow {
-                    variant: v.to_string(),
-                    microservices: s,
-                    requests: req,
-                    mean_ratio: mean(&ratios),
-                    mean_infeasible_rounds: mean(&infeasible),
-                });
+                infeasible.push(per_variant[vi].2);
             }
+            rows.push(Fig5aRow {
+                variant: v.to_string(),
+                microservices: s,
+                requests: req,
+                mean_ratio: mean(&ratios),
+                mean_infeasible_rounds: mean(&infeasible),
+            });
         }
     }
     rows
@@ -405,26 +444,35 @@ pub struct Fig6aRow {
 
 /// Runs the Figure 6(a) sweep.
 pub fn fig6a(seeds: u64) -> Vec<Fig6aRow> {
-    let mut rows = Vec::new();
-    for &j in &[1usize, 2, 4] {
-        for &t in &[1u64, 3, 5, 7, 9, 11, 13, 15] {
-            let params =
-                PaperParams::default().with_rounds(t).with_bids_per_seller(j);
-            let ratios = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig6a");
-                let inst = multi_round_instance(&params, 0.25, &mut rng);
-                let out = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain)
-                    .expect("valid instance");
-                // Ratio against the estimated-demand stream MSOA served.
-                offline_value(&inst, true)
-                    .filter(|off| *off > 1e-9)
-                    .map(|off| out.social_cost.value() / off)
-            });
-            let ratios: Vec<f64> = ratios.into_iter().flatten().collect();
-            rows.push(Fig6aRow { rounds: t, bids_per_seller: j, mean_ratio: mean(&ratios) });
-        }
-    }
-    rows
+    let points: Vec<(usize, u64)> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&j| [1u64, 3, 5, 7, 9, 11, 13, 15].iter().map(move |&t| (j, t)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(j, t), seed| {
+        let params = PaperParams::default()
+            .with_rounds(t)
+            .with_bids_per_seller(j);
+        let mut rng = derive_rng(seed, "fig6a");
+        let inst = multi_round_instance(&params, 0.25, &mut rng);
+        let out =
+            run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain).expect("valid instance");
+        // Ratio against the estimated-demand stream MSOA served.
+        offline_value(&inst, true)
+            .filter(|off| *off > 1e-9)
+            .map(|off| out.social_cost.value() / off)
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(j, t), results)| {
+            let ratios: Vec<f64> = results.into_iter().flatten().collect();
+            Fig6aRow {
+                rounds: t,
+                bids_per_seller: j,
+                mean_ratio: mean(&ratios),
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -448,28 +496,32 @@ pub struct Fig6bRow {
 
 /// Runs the Figure 6(b) sweep.
 pub fn fig6b(seeds: u64) -> Vec<Fig6bRow> {
-    let mut rows = Vec::new();
-    for &req in &[100u64, 200] {
-        for &s in &[25usize, 35, 45, 55, 65, 75] {
-            let params = PaperParams::default().with_microservices(s).with_requests(req);
-            let results = par_seeds(seeds, |seed| {
-                let mut rng = derive_rng(seed, "fig6b");
-                let inst = multi_round_instance(&params, 0.25, &mut rng);
-                let out = run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain)
-                    .expect("valid instance");
-                let off = offline_value(&inst, true).unwrap_or(f64::NAN);
-                (out.social_cost.value(), out.total_payment.value(), off)
-            });
-            rows.push(Fig6bRow {
-                microservices: s,
-                requests: req,
-                social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
-                total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
-                optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
-            });
-        }
-    }
-    rows
+    let points: Vec<(u64, usize)> = [100u64, 200]
+        .iter()
+        .flat_map(|&req| [25usize, 35, 45, 55, 65, 75].iter().map(move |&s| (req, s)))
+        .collect();
+    let per_point = par_sweep(&points, seeds, |&(req, s), seed| {
+        let params = PaperParams::default()
+            .with_microservices(s)
+            .with_requests(req);
+        let mut rng = derive_rng(seed, "fig6b");
+        let inst = multi_round_instance(&params, 0.25, &mut rng);
+        let out =
+            run_variant(&inst, &MsoaConfig::default(), MsoaVariant::Plain).expect("valid instance");
+        let off = offline_value(&inst, true).unwrap_or(f64::NAN);
+        (out.social_cost.value(), out.total_payment.value(), off)
+    });
+    points
+        .iter()
+        .zip(per_point)
+        .map(|(&(req, s), results)| Fig6bRow {
+            microservices: s,
+            requests: req,
+            social_cost: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+            total_payment: mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+            optimal: mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -509,37 +561,45 @@ pub fn ablation_mechanisms(seeds: u64) -> Vec<AblationRow> {
         runs: usize,
     }
 
-    let mut rows = Vec::new();
-    for &s in &[15usize, 25, 50, 75] {
+    let points = [15usize, 25, 50, 75];
+    let per_point = par_sweep(&points, seeds, |&s, seed| {
         let params = PaperParams::default().with_microservices(s);
-        let per_seed = par_seeds(seeds, |seed| {
-            let mut rng = derive_rng(seed, "ablation");
-            let inst = single_round_instance(&params, &mut rng);
-            let mean_unit: f64 = inst.bids().map(edge_auction::bid::Bid::unit_price).sum::<f64>()
-                / inst.bids().count() as f64;
+        let mut rng = derive_rng(seed, "ablation");
+        let inst = single_round_instance(&params, &mut rng);
+        let mean_unit: f64 = inst
+            .bids()
+            .map(edge_auction::bid::Bid::unit_price)
+            .sum::<f64>()
+            / inst.bids().count() as f64;
 
-            let ssam = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
-            let vcg = run_vcg(&inst).expect("feasible");
-            let fixed = run_fixed_price(&inst, mean_unit * 1.2);
-            let random = run_random_selection(&inst, &mut rng);
-            let greedy = run_price_greedy(&inst);
-            [
-                Some((ssam.social_cost.value(), ssam.total_payment.value(), true)),
-                Some((vcg.social_cost.value(), vcg.total_payment.value(), true)),
-                Some((fixed.social_cost.value(), fixed.total_payment.value(), fixed.satisfied)),
-                random
-                    .ok()
-                    .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
-                greedy
-                    .ok()
-                    .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
-            ]
-        });
+        let ssam = run_ssam(&inst, &SsamConfig::default()).expect("feasible");
+        let vcg = run_vcg(&inst).expect("feasible");
+        let fixed = run_fixed_price(&inst, mean_unit * 1.2);
+        let random = run_random_selection(&inst, &mut rng);
+        let greedy = run_price_greedy(&inst);
+        [
+            Some((ssam.social_cost.value(), ssam.total_payment.value(), true)),
+            Some((vcg.social_cost.value(), vcg.total_payment.value(), true)),
+            Some((
+                fixed.social_cost.value(),
+                fixed.total_payment.value(),
+                fixed.satisfied,
+            )),
+            random
+                .ok()
+                .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
+            greedy
+                .ok()
+                .map(|r| (r.social_cost.value(), r.total_payment.value(), r.satisfied)),
+        ]
+    });
 
-        let names = ["SSAM", "VCG", "fixed-price", "random", "price-greedy"];
+    let names = ["SSAM", "VCG", "fixed-price", "random", "price-greedy"];
+    let mut rows = Vec::new();
+    for (&s, per_seed) in points.iter().zip(&per_point) {
         for (mi, name) in names.iter().enumerate() {
             let mut acc = Acc::default();
-            for run in &per_seed {
+            for run in per_seed {
                 acc.runs += 1;
                 if let Some((cost, pay, covered)) = run[mi] {
                     if covered {
@@ -583,8 +643,12 @@ mod tests {
             .iter()
             .find(|r| r.microservices == 25 && r.bids_per_seller == 2)
             .unwrap();
-        assert!(small.mean_ratio <= large.mean_ratio + 0.25,
-            "small {} vs large {}", small.mean_ratio, large.mean_ratio);
+        assert!(
+            small.mean_ratio <= large.mean_ratio + 0.25,
+            "small {} vs large {}",
+            small.mean_ratio,
+            large.mean_ratio
+        );
     }
 
     #[test]
@@ -596,8 +660,14 @@ mod tests {
         }
         // Higher request volume ⇒ higher social cost at equal S.
         for s in [25usize, 45, 65] {
-            let lo = rows.iter().find(|r| r.microservices == s && r.requests == 100).unwrap();
-            let hi = rows.iter().find(|r| r.microservices == s && r.requests == 200).unwrap();
+            let lo = rows
+                .iter()
+                .find(|r| r.microservices == s && r.requests == 100)
+                .unwrap();
+            let hi = rows
+                .iter()
+                .find(|r| r.microservices == s && r.requests == 200)
+                .unwrap();
             assert!(hi.social_cost > lo.social_cost, "S={s}");
         }
     }
@@ -618,9 +688,16 @@ mod tests {
         // orders of magnitude under it (see bench_output.txt). Debug
         // test runs share the machine with the rest of the suite, so
         // only the loose envelope is asserted there.
-        let envelope_us = if cfg!(debug_assertions) { 2_000_000.0 } else { 100_000.0 };
+        let envelope_us = if cfg!(debug_assertions) {
+            2_000_000.0
+        } else {
+            100_000.0
+        };
         for r in &rows {
-            assert!(r.mean_runtime_us.is_finite() && r.mean_runtime_us > 0.0, "{r:?}");
+            assert!(
+                r.mean_runtime_us.is_finite() && r.mean_runtime_us > 0.0,
+                "{r:?}"
+            );
             assert!(r.mean_runtime_us < envelope_us, "{r:?}");
         }
     }
@@ -628,29 +705,32 @@ mod tests {
     #[test]
     fn fig5a_demand_aware_never_worse() {
         let rows = fig5a(3);
-        for s in [25usize] {
-            for req in [100u64] {
-                let plain = rows
-                    .iter()
-                    .find(|r| r.variant == "MSOA" && r.microservices == s && r.requests == req)
-                    .unwrap();
-                let da = rows
-                    .iter()
-                    .find(|r| r.variant == "MSOA-DA" && r.microservices == s && r.requests == req)
-                    .unwrap();
-                // DA estimates demand perfectly; with noisy estimates the
-                // plain variant pays for the error on average.
-                assert!(da.mean_ratio <= plain.mean_ratio * 1.25 + 0.3,
-                    "da {} vs plain {}", da.mean_ratio, plain.mean_ratio);
-            }
-        }
+        let (s, req) = (25usize, 100u64);
+        let plain = rows
+            .iter()
+            .find(|r| r.variant == "MSOA" && r.microservices == s && r.requests == req)
+            .unwrap();
+        let da = rows
+            .iter()
+            .find(|r| r.variant == "MSOA-DA" && r.microservices == s && r.requests == req)
+            .unwrap();
+        // DA estimates demand perfectly; with noisy estimates the
+        // plain variant pays for the error on average.
+        assert!(
+            da.mean_ratio <= plain.mean_ratio * 1.25 + 0.3,
+            "da {} vs plain {}",
+            da.mean_ratio,
+            plain.mean_ratio
+        );
     }
 
     #[test]
     fn fig6a_covers_grid() {
         let rows = fig6a(2);
         assert_eq!(rows.len(), 3 * 8);
-        assert!(rows.iter().all(|r| r.mean_ratio.is_finite() && r.mean_ratio > 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.mean_ratio.is_finite() && r.mean_ratio > 0.0));
     }
 
     #[test]

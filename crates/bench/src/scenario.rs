@@ -61,12 +61,10 @@ fn draw_bids<R: Rng + ?Sized>(
 /// The demand is clamped to the drawn bids' coverable supply so the
 /// instance is always feasible (the paper implicitly assumes
 /// feasibility).
-pub fn single_round_instance<R: Rng + ?Sized>(
-    params: &PaperParams,
-    rng: &mut R,
-) -> WspInstance {
-    let sellers: Vec<MicroserviceId> =
-        (0..params.num_microservices).map(MicroserviceId::new).collect();
+pub fn single_round_instance<R: Rng + ?Sized>(params: &PaperParams, rng: &mut R) -> WspInstance {
+    let sellers: Vec<MicroserviceId> = (0..params.num_microservices)
+        .map(MicroserviceId::new)
+        .collect();
     let bids = draw_bids(params, rng, &sellers);
     let supply: u64 = {
         let mut best = std::collections::BTreeMap::new();
@@ -76,7 +74,9 @@ pub fn single_round_instance<R: Rng + ?Sized>(
         }
         best.values().sum()
     };
-    let demand = scale_demand(params.draw_demand(rng), params).min(supply).max(1);
+    let demand = scale_demand(params.draw_demand(rng), params)
+        .min(supply)
+        .max(1);
     WspInstance::new(demand, bids).expect("demand clamped to supply")
 }
 
@@ -96,7 +96,10 @@ pub fn multi_round_instance<R: Rng + ?Sized>(
     estimation_noise: f64,
     rng: &mut R,
 ) -> MultiRoundInstance {
-    assert!((0.0..1.0).contains(&estimation_noise), "noise must lie in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&estimation_noise),
+        "noise must lie in [0, 1)"
+    );
     let sellers: Vec<Seller> = (0..params.num_microservices)
         .map(|s| {
             Seller::new(
@@ -128,7 +131,9 @@ pub fn multi_round_instance<R: Rng + ?Sized>(
             // supply, so capacity depletion — not raw supply — is the
             // binding constraint.
             let cap = (supply / 2).max(1);
-            let true_demand = scale_demand(params.draw_demand(rng), params).min(cap).max(1);
+            let true_demand = scale_demand(params.draw_demand(rng), params)
+                .min(cap)
+                .max(1);
             let noise = 1.0 + estimation_noise * rng.gen::<f64>();
             let estimated = ((true_demand as f64 * noise).round() as u64).clamp(1, cap);
             RoundInput::new(estimated, true_demand, bids)
@@ -183,11 +188,7 @@ pub fn integrated_instance<R: Rng + ?Sized>(
         // spare (rounded down to units) at a drawn price.
         let mut bids = Vec::new();
         for m in &batch {
-            let spare = sim
-                .spare_of(m.ms)
-                .unwrap_or(Resource::ZERO)
-                .value()
-                .floor() as u64;
+            let spare = sim.spare_of(m.ms).unwrap_or(Resource::ZERO).value().floor() as u64;
             if spare >= 1 {
                 for j in 0..params.bids_per_seller {
                     let amount = spare.min(1 + j as u64 * 2).max(1);
@@ -230,7 +231,10 @@ mod tests {
         for seed in 0..20 {
             let mut rng = derive_rng(seed, "fig-scenario");
             let inst = single_round_instance(&params, &mut rng);
-            assert!(run_ssam(&inst, &SsamConfig::default()).is_ok(), "seed {seed}");
+            assert!(
+                run_ssam(&inst, &SsamConfig::default()).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -247,7 +251,10 @@ mod tests {
                 .sum::<f64>()
                 / 30.0
         };
-        assert!(avg(&hi) > avg(&lo), "demand should grow with request volume");
+        assert!(
+            avg(&hi) > avg(&lo),
+            "demand should grow with request volume"
+        );
     }
 
     #[test]
@@ -274,7 +281,14 @@ mod tests {
     fn integrated_pipeline_produces_auctionable_rounds() {
         let params = PaperParams::default().with_microservices(12).with_rounds(6);
         let mut rng = derive_rng(11, "integrated");
-        let inst = integrated_instance(&params, SimConfig { num_clouds: 3, cloud_capacity: 5.0 }, &mut rng);
+        let inst = integrated_instance(
+            &params,
+            SimConfig {
+                num_clouds: 3,
+                cloud_capacity: 5.0,
+            },
+            &mut rng,
+        );
         assert_eq!(inst.num_rounds(), 6);
         // The market should be active: some round has sellers and demand.
         assert!(inst.rounds().iter().any(|r| !r.bids.is_empty()));

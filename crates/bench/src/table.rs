@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column names.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -1,0 +1,32 @@
+//! Thread-count determinism regression: the parallel scenario sweep
+//! must produce **byte-identical** summary tables (and JSON series) no
+//! matter how many workers the pool runs — the merge in
+//! `parallel::par_map` re-orders results by item index, and every
+//! runner derives its RNG from the (point, seed) pair, never from
+//! thread identity.
+//!
+//! `fig4b` is deliberately absent: it reports wall-clock timings, which
+//! no amount of scheduling discipline makes reproducible.
+
+use edge_bench::{parallel, report};
+
+/// Cheap-but-representative figures: single-round sweeps, a multi-round
+/// sweep, and the ablation (which exercises the per-seed RNG the most).
+const FIGURES: &[&str] = &["fig3a", "fig3b", "fig6a", "ablation"];
+
+#[test]
+fn tables_identical_at_1_and_4_threads() {
+    for name in FIGURES {
+        parallel::set_threads(1);
+        let serial = report::render_figure(name, 2).expect("known figure");
+        parallel::set_threads(4);
+        let parallel4 = report::render_figure(name, 2).expect("known figure");
+        parallel::set_threads(0);
+
+        assert_eq!(
+            serial.table, parallel4.table,
+            "{name}: table diverged across thread counts"
+        );
+        assert_eq!(serial.json, parallel4.json, "{name}: JSON series diverged");
+    }
+}

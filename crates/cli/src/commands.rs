@@ -7,8 +7,7 @@
 use crate::args::{ArgsError, ParsedArgs};
 use edge_auction::msoa::{MsoaConfig, MultiRoundInstance};
 use edge_auction::properties::{
-    audit_truthfulness, check_critical_payments, check_individual_rationality,
-    check_monotonicity,
+    audit_truthfulness, check_critical_payments, check_individual_rationality, check_monotonicity,
 };
 use edge_auction::ssam::{run_ssam, SsamConfig};
 use edge_auction::variants::{run_variant, MsoaVariant};
@@ -85,6 +84,7 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "ssam" => ssam(&args),
         "msoa" => msoa(&args),
         "audit" => audit(&args),
+        "reproduce" => reproduce(&args),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
@@ -109,6 +109,8 @@ COMMANDS:
                     --input FILE [--variant plain|da|rc|oa]
     audit           audit mechanism properties on an instance
                     --input FILE [--reserve PRICE]
+    reproduce       re-run the paper's evaluation figures
+                    [--figure NAME|all] [--seeds N] [--parallel THREADS]
     help            show this text
 "
     .to_owned()
@@ -125,7 +127,15 @@ fn params_from(args: &ParsedArgs) -> Result<(PaperParams, u64), CliError> {
 }
 
 fn generate(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["seed", "microservices", "rounds", "bids", "requests", "noise", "out"])?;
+    args.allow_only(&[
+        "seed",
+        "microservices",
+        "rounds",
+        "bids",
+        "requests",
+        "noise",
+        "out",
+    ])?;
     let (params, seed) = params_from(args)?;
     let noise = args.get_or("noise", 0.25f64)?;
     let out = args.require("out")?;
@@ -156,11 +166,14 @@ fn generate_round(args: &ParsedArgs) -> Result<String, CliError> {
 fn ssam_config(args: &ParsedArgs) -> Result<SsamConfig, CliError> {
     let reserve = match args.get("reserve") {
         None => None,
-        Some(raw) => Some(raw.parse().map_err(|_| {
-            ArgsError::InvalidValue { flag: "reserve".into(), value: raw.to_owned() }
+        Some(raw) => Some(raw.parse().map_err(|_| ArgsError::InvalidValue {
+            flag: "reserve".into(),
+            value: raw.to_owned(),
         })?),
     };
-    Ok(SsamConfig { reserve_unit_price: reserve })
+    Ok(SsamConfig {
+        reserve_unit_price: reserve,
+    })
 }
 
 fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
@@ -168,7 +181,12 @@ fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
     let instance: WspInstance = serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
     let outcome = run_ssam(&instance, &ssam_config(args)?)?;
     let mut out = String::new();
-    let _ = writeln!(out, "demand: {} units, winners: {}", outcome.demand, outcome.winners.len());
+    let _ = writeln!(
+        out,
+        "demand: {} units, winners: {}",
+        outcome.demand,
+        outcome.winners.len()
+    );
     for w in &outcome.winners {
         let _ = writeln!(
             out,
@@ -208,7 +226,10 @@ fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
             .into())
         }
     };
-    let config = MsoaConfig { ssam: ssam_config(args)?, alpha: None };
+    let config = MsoaConfig {
+        ssam: ssam_config(args)?,
+        alpha: None,
+    };
     let outcome = run_variant(&instance, &config, variant)?;
     let mut out = String::new();
     let _ = writeln!(out, "variant {variant}: {} rounds", outcome.rounds.len());
@@ -242,8 +263,16 @@ fn audit(args: &ParsedArgs) -> Result<String, CliError> {
     let deviations = [0.5, 0.8, 0.95, 1.05, 1.25, 2.0];
     let violations = audit_truthfulness(&instance, &config, &deviations)?;
     let mut out = String::new();
-    let _ = writeln!(out, "individual rationality : {}", check_individual_rationality(&outcome));
-    let _ = writeln!(out, "selection monotonicity : {}", check_monotonicity(&instance, &config)?);
+    let _ = writeln!(
+        out,
+        "individual rationality : {}",
+        check_individual_rationality(&outcome)
+    );
+    let _ = writeln!(
+        out,
+        "selection monotonicity : {}",
+        check_monotonicity(&instance, &config)?
+    );
     let _ = writeln!(
         out,
         "critical payments      : {}",
@@ -261,6 +290,36 @@ fn audit(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["figure", "seeds", "parallel"])?;
+    let seeds = args.get_or("seeds", edge_bench::DEFAULT_SEEDS)?;
+    if let Some(raw) = args.get("parallel") {
+        let threads = raw.parse().map_err(|_| ArgsError::InvalidValue {
+            flag: "parallel".into(),
+            value: raw.to_owned(),
+        })?;
+        edge_bench::parallel::set_threads(threads);
+    }
+    let figure = args.get("figure").unwrap_or("all");
+    let names: Vec<&str> = if figure == "all" {
+        edge_bench::report::FIGURES.to_vec()
+    } else {
+        vec![figure]
+    };
+    let mut out = String::new();
+    for name in names {
+        let Some(fig) = edge_bench::report::render_figure(name, seeds) else {
+            return Err(ArgsError::InvalidValue {
+                flag: "figure".into(),
+                value: name.to_owned(),
+            }
+            .into());
+        };
+        let _ = writeln!(out, "{}\n{}", fig.title, fig.table);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,16 +330,48 @@ mod tests {
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("edge-market-cli-test-{}-{name}", std::process::id()));
+        p.push(format!(
+            "edge-market-cli-test-{}-{name}",
+            std::process::id()
+        ));
         p
     }
 
     #[test]
     fn help_lists_all_commands() {
         let h = help();
-        for cmd in ["generate", "generate-round", "ssam", "msoa", "audit"] {
+        for cmd in [
+            "generate",
+            "generate-round",
+            "ssam",
+            "msoa",
+            "audit",
+            "reproduce",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn reproduce_single_figure_renders_table() {
+        let out = run(parsed(&[
+            "reproduce",
+            "--figure",
+            "fig4a",
+            "--seeds",
+            "1",
+            "--parallel",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("Figure 4(a)"), "{out}");
+        assert!(out.contains("payment"), "{out}");
+    }
+
+    #[test]
+    fn reproduce_unknown_figure_is_rejected() {
+        let err = run(parsed(&["reproduce", "--figure", "fig9z"])).unwrap_err();
+        assert!(err.to_string().contains("fig9z"));
     }
 
     #[test]
@@ -339,7 +430,10 @@ mod tests {
     fn bad_variant_is_rejected() {
         let path = temp_path("multi2.json");
         let path_s = path.to_str().unwrap();
-        run(parsed(&["generate", "--seed", "1", "--rounds", "2", "--out", path_s])).unwrap();
+        run(parsed(&[
+            "generate", "--seed", "1", "--rounds", "2", "--out", path_s,
+        ]))
+        .unwrap();
         let err = run(parsed(&["msoa", "--input", path_s, "--variant", "bogus"])).unwrap_err();
         assert!(err.to_string().contains("bogus"));
         let _ = std::fs::remove_file(path);

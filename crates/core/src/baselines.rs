@@ -63,7 +63,10 @@ fn finish(
 ///
 /// Panics if `unit_price` is negative or not finite.
 pub fn run_fixed_price(instance: &WspInstance, unit_price: f64) -> BaselineOutcome {
-    assert!(unit_price.is_finite() && unit_price >= 0.0, "posted price must be a valid price");
+    assert!(
+        unit_price.is_finite() && unit_price >= 0.0,
+        "posted price must be a valid price"
+    );
     let demand = instance.demand();
     let mut covered = 0u64;
     let mut accepted = Vec::new();
@@ -119,7 +122,10 @@ pub fn run_random_selection<R: Rng + ?Sized>(
         accepted.push((bid.seller, bid.id, contribution));
     }
     if covered < demand {
-        return Err(AuctionError::InfeasibleDemand { demand, supply: covered });
+        return Err(AuctionError::InfeasibleDemand {
+            demand,
+            supply: covered,
+        });
     }
     Ok(finish(accepted, covered, demand, social_cost, social_cost))
 }
@@ -153,7 +159,10 @@ pub fn run_price_greedy(instance: &WspInstance) -> Result<BaselineOutcome, Aucti
         accepted.push((bid.seller, bid.id, contribution));
     }
     if covered < demand {
-        return Err(AuctionError::InfeasibleDemand { demand, supply: covered });
+        return Err(AuctionError::InfeasibleDemand {
+            demand,
+            supply: covered,
+        });
     }
     Ok(finish(accepted, covered, demand, social_cost, social_cost))
 }
@@ -228,7 +237,12 @@ mod tests {
         let ssam = run_ssam(&instance(), &SsamConfig::default()).unwrap();
         let n = 200;
         let avg: f64 = (0..n)
-            .map(|_| run_random_selection(&instance(), &mut rng).unwrap().social_cost.value())
+            .map(|_| {
+                run_random_selection(&instance(), &mut rng)
+                    .unwrap()
+                    .social_cost
+                    .value()
+            })
             .sum::<f64>()
             / n as f64;
         assert!(

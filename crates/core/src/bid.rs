@@ -45,7 +45,12 @@ impl Bid {
             return Err(AuctionError::ZeroAmountBid);
         }
         let price = Price::new(price).map_err(|_| AuctionError::InvalidPrice(price))?;
-        Ok(Bid { seller, id, amount, price })
+        Ok(Bid {
+            seller,
+            id,
+            amount,
+            price,
+        })
     }
 
     /// Price per resource unit — the quantity SSAM ranks by when the
@@ -79,9 +84,16 @@ impl Seller {
         window: (u64, u64),
     ) -> Result<Self, AuctionError> {
         if window.0 > window.1 {
-            return Err(AuctionError::InvalidWindow { start: window.0, end: window.1 });
+            return Err(AuctionError::InvalidWindow {
+                start: window.0,
+                end: window.1,
+            });
         }
-        Ok(Seller { id, capacity, window })
+        Ok(Seller {
+            id,
+            capacity,
+            window,
+        })
     }
 
     /// Whether the seller participates in round `t`.

@@ -121,10 +121,7 @@ pub fn run_budgeted_ssam(
 /// # Errors
 ///
 /// Propagates [`run_ssam`] errors.
-pub fn required_budget(
-    instance: &WspInstance,
-    config: &SsamConfig,
-) -> Result<Price, AuctionError> {
+pub fn required_budget(instance: &WspInstance, config: &SsamConfig) -> Result<Price, AuctionError> {
     Ok(run_ssam(instance, config)?.total_payment)
 }
 
@@ -181,8 +178,7 @@ mod tests {
 
     #[test]
     fn zero_budget_buys_nothing() {
-        let out =
-            run_budgeted_ssam(&instance(), &SsamConfig::default(), Price::ZERO).unwrap();
+        let out = run_budgeted_ssam(&instance(), &SsamConfig::default(), Price::ZERO).unwrap();
         assert!(out.winners.is_empty());
         assert_eq!(out.covered, 0);
         assert!(out.budget_exhausted);
@@ -205,12 +201,9 @@ mod tests {
     fn coverage_is_monotone_in_budget() {
         let mut last = 0;
         for b in [0.0, 5.0, 10.0, 20.0, 40.0, 100.0] {
-            let out = run_budgeted_ssam(
-                &instance(),
-                &SsamConfig::default(),
-                Price::new(b).unwrap(),
-            )
-            .unwrap();
+            let out =
+                run_budgeted_ssam(&instance(), &SsamConfig::default(), Price::new(b).unwrap())
+                    .unwrap();
             assert!(out.covered >= last, "coverage dropped as budget rose");
             last = out.covered;
         }

@@ -43,7 +43,10 @@ impl fmt::Display for AuctionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuctionError::InfeasibleDemand { demand, supply } => {
-                write!(f, "demand of {demand} units exceeds coverable supply of {supply}")
+                write!(
+                    f,
+                    "demand of {demand} units exceeds coverable supply of {supply}"
+                )
             }
             AuctionError::ZeroAmountBid => write!(f, "bid offers zero resource units"),
             AuctionError::InvalidPrice(p) => write!(f, "bid price {p} is not a valid price"),
@@ -53,7 +56,10 @@ impl fmt::Display for AuctionError {
                 write!(f, "availability window [{start}, {end}] is inverted")
             }
             AuctionError::DuplicateBidId { seller, bid } => {
-                write!(f, "seller {seller} submitted bid id {bid} twice in one round")
+                write!(
+                    f,
+                    "seller {seller} submitted bid id {bid} twice in one round"
+                )
             }
         }
     }
@@ -67,7 +73,10 @@ mod tests {
 
     #[test]
     fn messages_carry_detail() {
-        let e = AuctionError::InfeasibleDemand { demand: 40, supply: 12 };
+        let e = AuctionError::InfeasibleDemand {
+            demand: 40,
+            supply: 12,
+        };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("12"));
         assert!(AuctionError::InvalidPrice(-2.0).to_string().contains("-2"));

@@ -69,7 +69,11 @@ pub struct RoundInput {
 impl RoundInput {
     /// Creates a round input.
     pub fn new(estimated_demand: u64, true_demand: u64, bids: Vec<Bid>) -> Self {
-        RoundInput { estimated_demand, true_demand, bids }
+        RoundInput {
+            estimated_demand,
+            true_demand,
+            bids,
+        }
     }
 }
 
@@ -134,10 +138,19 @@ impl MultiRoundInstance {
     /// the instance: the harmonic number of the largest round demand
     /// times the global unit-price spread of submitted bids.
     pub fn derive_alpha(&self) -> f64 {
-        let max_demand = self.rounds.iter().map(|r| r.estimated_demand).max().unwrap_or(0);
+        let max_demand = self
+            .rounds
+            .iter()
+            .map(|r| r.estimated_demand)
+            .max()
+            .unwrap_or(0);
         let harmonic: f64 = (1..=max_demand).map(|k| 1.0 / k as f64).sum();
-        let unit_prices: Vec<f64> =
-            self.rounds.iter().flat_map(|r| &r.bids).map(Bid::unit_price).collect();
+        let unit_prices: Vec<f64> = self
+            .rounds
+            .iter()
+            .flat_map(|r| &r.bids)
+            .map(Bid::unit_price)
+            .collect();
         let spread = match (
             unit_prices.iter().copied().fold(f64::INFINITY, f64::min),
             unit_prices.iter().copied().fold(0.0f64, f64::max),
@@ -223,7 +236,11 @@ pub struct MsoaOutcome {
 impl MsoaOutcome {
     /// Round indices that could not be covered.
     pub fn infeasible_rounds(&self) -> Vec<u64> {
-        self.rounds.iter().filter(|r| r.infeasible).map(|r| r.round).collect()
+        self.rounds
+            .iter()
+            .filter(|r| r.infeasible)
+            .map(|r| r.round)
+            .collect()
     }
 }
 
@@ -266,10 +283,13 @@ pub fn run_msoa(
             if chi[si] + bid.amount > sellers[si].capacity {
                 continue;
             }
-            let scaled = Price::new_unchecked(
-                bid.price.value() + bid.amount as f64 * psi[si],
-            );
-            scaled_bids.push(Bid { seller: bid.seller, id: bid.id, amount: bid.amount, price: scaled });
+            let scaled = Price::new_unchecked(bid.price.value() + bid.amount as f64 * psi[si]);
+            scaled_bids.push(Bid {
+                seller: bid.seller,
+                id: bid.id,
+                amount: bid.amount,
+                price: scaled,
+            });
             originals.insert((bid.seller, bid.id), bid);
         }
 
@@ -318,7 +338,14 @@ pub fn run_msoa(
                 }
                 let social_cost: Price = winners.iter().map(|w| w.true_price).sum();
                 let total_payment: Price = winners.iter().map(|w| w.payment).sum();
-                RoundResult { round: t, demand, winners, social_cost, total_payment, infeasible: false }
+                RoundResult {
+                    round: t,
+                    demand,
+                    winners,
+                    social_cost,
+                    total_payment,
+                    infeasible: false,
+                }
             }
         };
         rounds.push(result);
@@ -326,8 +353,11 @@ pub fn run_msoa(
 
     let social_cost: Price = rounds.iter().map(|r| r.social_cost).sum();
     let total_payment: Price = rounds.iter().map(|r| r.total_payment).sum();
-    let competitive_bound =
-        if beta > 1.0 { alpha * beta / (beta - 1.0) } else { f64::INFINITY };
+    let competitive_bound = if beta > 1.0 {
+        alpha * beta / (beta - 1.0)
+    } else {
+        f64::INFINITY
+    };
 
     Ok(MsoaOutcome {
         rounds,
@@ -355,7 +385,10 @@ mod tests {
 
     fn two_seller_instance(rounds: usize, capacity: u64) -> MultiRoundInstance {
         let last = rounds as u64 - 1;
-        let sellers = vec![seller(0, capacity, (0, last)), seller(1, capacity, (0, last))];
+        let sellers = vec![
+            seller(0, capacity, (0, last)),
+            seller(1, capacity, (0, last)),
+        ];
         let round_inputs = (0..rounds)
             .map(|_| RoundInput::new(3, 3, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]))
             .collect();
@@ -393,7 +426,11 @@ mod tests {
 
     #[test]
     fn psi_grows_for_winners_only() {
-        let sellers = vec![seller(0, 100, (0, 1)), seller(1, 100, (0, 1)), seller(2, 100, (0, 1))];
+        let sellers = vec![
+            seller(0, 100, (0, 1)),
+            seller(1, 100, (0, 1)),
+            seller(2, 100, (0, 1)),
+        ];
         // Seller 2's bid is far too expensive to ever win.
         let rounds = (0..2)
             .map(|_| {
@@ -478,8 +515,14 @@ mod tests {
     #[test]
     fn competitive_bound_matches_formula() {
         let instance = two_seller_instance(2, 10);
-        let out = run_msoa(&instance, &MsoaConfig { alpha: Some(2.0), ..Default::default() })
-            .unwrap();
+        let out = run_msoa(
+            &instance,
+            &MsoaConfig {
+                alpha: Some(2.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // β = min(10/2) = 5; bound = 2·5/4 = 2.5.
         assert_eq!(out.beta, 5.0);
         assert!((out.competitive_bound - 2.5).abs() < 1e-9);
@@ -488,8 +531,11 @@ mod tests {
     #[test]
     fn beta_at_most_one_gives_infinite_bound() {
         let sellers = vec![seller(0, 2, (0, 0)), seller(1, 2, (0, 0))];
-        let rounds =
-            vec![RoundInput::new(2, 2, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)])];
+        let rounds = vec![RoundInput::new(
+            2,
+            2,
+            vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)],
+        )];
         let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
         let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
         assert_eq!(out.beta, 1.0);

@@ -165,9 +165,7 @@ pub fn run_msoa_multi(
             }
             let mut b = bid.clone();
             true_prices.insert((b.seller, b.id.index()), b.price);
-            b.price = Price::new_unchecked(
-                b.price.value() + b.total_amount() as f64 * psi[si],
-            );
+            b.price = Price::new_unchecked(b.price.value() + b.total_amount() as f64 * psi[si]);
             scaled.push(b);
         }
         let inst = MultiBuyerWsp::new(round.demands.clone(), scaled)?;
@@ -192,13 +190,23 @@ pub fn run_msoa_multi(
             chi[si] += amount;
             social_cost += true_price;
         }
-        results.push(MultiBuyerRoundResult { round: t, outcome, social_cost });
+        results.push(MultiBuyerRoundResult {
+            round: t,
+            outcome,
+            social_cost,
+        });
     }
 
     let social_cost: Price = results.iter().map(|r| r.social_cost).sum();
-    let total_payment: Price =
-        results.iter().map(|r| r.outcome.total_payment).sum();
-    Ok(MsoaMultiOutcome { rounds: results, social_cost, total_payment, psi, chi, alpha })
+    let total_payment: Price = results.iter().map(|r| r.outcome.total_payment).sum();
+    Ok(MsoaMultiOutcome {
+        rounds: results,
+        social_cost,
+        total_payment,
+        psi,
+        chi,
+        alpha,
+    })
 }
 
 #[cfg(test)]
@@ -259,7 +267,11 @@ mod tests {
         assert_eq!(w0.price.value(), 5.0);
         let w1 = &out.rounds[1].outcome.winners[0];
         if w1.seller == MicroserviceId::new(0) {
-            assert!(w1.price.value() > 5.0, "scaled price should grow: {}", w1.price);
+            assert!(
+                w1.price.value() > 5.0,
+                "scaled price should grow: {}",
+                w1.price
+            );
         }
         assert!(out.psi[0] > 0.0);
     }
@@ -270,8 +282,14 @@ mod tests {
         // to seller 1.
         let (sellers, rounds) = two_round_setup(3);
         let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
-        assert_eq!(out.rounds[0].outcome.winners[0].seller, MicroserviceId::new(0));
-        assert_eq!(out.rounds[1].outcome.winners[0].seller, MicroserviceId::new(1));
+        assert_eq!(
+            out.rounds[0].outcome.winners[0].seller,
+            MicroserviceId::new(0)
+        );
+        assert_eq!(
+            out.rounds[1].outcome.winners[0].seller,
+            MicroserviceId::new(1)
+        );
         assert!(out.chi[0] <= 3 && out.chi[1] <= 3);
     }
 
@@ -314,9 +332,15 @@ mod tests {
             .collect::<Vec<_>>();
         let out = run_msoa_multi(&sellers, &rounds, &MsoaMultiConfig::default()).unwrap();
         // Round 0: seller 0 unavailable → seller 1 wins despite price.
-        assert_eq!(out.rounds[0].outcome.winners[0].seller, MicroserviceId::new(1));
+        assert_eq!(
+            out.rounds[0].outcome.winners[0].seller,
+            MicroserviceId::new(1)
+        );
         // Round 1: seller 0 in window and cheaper.
-        assert_eq!(out.rounds[1].outcome.winners[0].seller, MicroserviceId::new(0));
+        assert_eq!(
+            out.rounds[1].outcome.winners[0].seller,
+            MicroserviceId::new(0)
+        );
     }
 
     #[test]

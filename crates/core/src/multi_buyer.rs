@@ -80,7 +80,12 @@ impl CoverBid {
             return Err(AuctionError::ZeroAmountBid);
         }
         let price = Price::new(price).map_err(|_| AuctionError::InvalidPrice(price))?;
-        Ok(CoverBid { seller, id, coverage, price })
+        Ok(CoverBid {
+            seller,
+            id,
+            coverage,
+            price,
+        })
     }
 
     /// Total units offered across buyers (the bid's `|S_ij|` analogue).
@@ -158,14 +163,19 @@ impl MultiBuyerWsp {
                 positions.push((g, j));
                 per_seller.push((v, 1.0));
                 for (&buyer, &amount) in &bid.coverage {
-                    buyer_terms.entry(buyer).or_default().push((v, amount as f64));
+                    buyer_terms
+                        .entry(buyer)
+                        .or_default()
+                        .push((v, amount as f64));
                 }
             }
-            m.add_constraint(per_seller, ConstraintOp::Le, 1.0).expect("valid");
+            m.add_constraint(per_seller, ConstraintOp::Le, 1.0)
+                .expect("valid");
         }
         for (&buyer, &x) in &self.demands {
             let terms = buyer_terms.remove(&buyer).unwrap_or_default();
-            m.add_constraint(terms, ConstraintOp::Ge, x as f64).expect("valid");
+            m.add_constraint(terms, ConstraintOp::Ge, x as f64)
+                .expect("valid");
         }
         (m, positions)
     }
@@ -218,23 +228,71 @@ fn marginal_utility(
         .sum()
 }
 
-/// Greedy selection shared by the mechanism and the payment replay.
-/// Returns winners as `(group, bid-in-group, utility, ratio)` in order,
-/// plus the final coverage. `exclude` drops one seller from selection
-/// while keeping its demands intact (payment replay).
-fn greedy_multi(
-    inst: &MultiBuyerWsp,
-    reserve: Option<f64>,
-    exclude: Option<MicroserviceId>,
-) -> (Vec<(usize, usize, u64, f64)>, BTreeMap<MicroserviceId, u64>) {
-    let mut covered: BTreeMap<MicroserviceId, u64> = BTreeMap::new();
-    let mut sold: Vec<MicroserviceId> = Vec::new();
-    let mut selection = Vec::new();
-    loop {
-        let mut best: Option<(usize, usize, u64, f64)> = None;
+/// One lazy-heap slot: a `(group, bid)` candidate with its key at push
+/// time and the generation that key was computed at (same scheme as
+/// `ssam::HeapEntry`).
+#[derive(Debug, Clone, Copy)]
+struct MultiEntry {
+    /// `price / marginal_utility` at push time — a lower bound on the
+    /// current key, since coverage only grows and utilities only shrink.
+    key: f64,
+    /// Generation (completed sales) the key was computed at.
+    gen: u64,
+    /// Marginal utility the key was computed from.
+    utility: u64,
+    g: usize,
+    j: usize,
+}
+
+impl PartialEq for MultiEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MultiEntry {}
+
+impl PartialOrd for MultiEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MultiEntry {
+    /// Reversed so `BinaryHeap` pops the minimum of `(key, g, j)` — the
+    /// scan's tie-break (`ratio < br || (ratio == br && (g, j) < (bg,
+    /// bj))`), so heap and scan select identically.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.g.cmp(&self.g))
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+/// Lazy-deletion heap over cover bids keyed by `price / marginal
+/// utility`. Coverage is monotonically nondecreasing, so each bid's
+/// utility is nonincreasing and its key nondecreasing — stored keys are
+/// lower bounds, stale entries re-push with recomputed keys, and a bid
+/// whose utility hits zero is dropped permanently (utility cannot
+/// recover).
+struct MultiGreedy<'a> {
+    inst: &'a MultiBuyerWsp,
+    heap: std::collections::BinaryHeap<MultiEntry>,
+    covered: BTreeMap<MicroserviceId, u64>,
+    /// `sold[g]` — group `g`'s seller has already won.
+    sold: Vec<bool>,
+    gen: u64,
+}
+
+impl<'a> MultiGreedy<'a> {
+    /// Builds the engine. Bids failing the static reserve filter and
+    /// bids of the excluded seller are never pushed.
+    fn new(inst: &'a MultiBuyerWsp, reserve: Option<f64>, exclude: Option<MicroserviceId>) -> Self {
+        let mut entries = Vec::new();
         for (g, group) in inst.groups.iter().enumerate() {
-            let seller = group[0].seller;
-            if Some(seller) == exclude || sold.contains(&seller) {
+            if Some(group[0].seller) == exclude {
                 continue;
             }
             for (j, bid) in group.iter().enumerate() {
@@ -243,31 +301,97 @@ fn greedy_multi(
                         continue;
                     }
                 }
-                let u = marginal_utility(bid, &covered, &inst.demands);
-                if u == 0 {
+                let utility = marginal_utility(bid, &BTreeMap::new(), &inst.demands);
+                if utility == 0 {
                     continue;
                 }
-                let ratio = bid.price.value() / u as f64;
-                let better = match best {
-                    None => true,
-                    Some((bg, bj, _, br)) => ratio < br || (ratio == br && (g, j) < (bg, bj)),
-                };
-                if better {
-                    best = Some((g, j, u, ratio));
-                }
+                entries.push(MultiEntry {
+                    key: bid.price.value() / utility as f64,
+                    gen: 0,
+                    utility,
+                    g,
+                    j,
+                });
             }
         }
-        let Some((g, j, u, ratio)) = best else { break };
-        let bid = &inst.groups[g][j];
+        MultiGreedy {
+            inst,
+            heap: std::collections::BinaryHeap::from(entries),
+            covered: BTreeMap::new(),
+            sold: vec![false; inst.groups.len()],
+            gen: 0,
+        }
+    }
+
+    /// The unsold bid minimizing `(price/utility, g, j)`, or `None` when
+    /// every remaining bid has zero marginal utility. Pop-validate loop:
+    /// sold sellers and zero-utility bids are dropped permanently; stale
+    /// keys are recomputed and re-pushed.
+    fn pop_best(&mut self) -> Option<(usize, usize, u64, f64)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.sold[entry.g] {
+                continue;
+            }
+            if entry.gen != self.gen {
+                let bid = &self.inst.groups[entry.g][entry.j];
+                let utility = marginal_utility(bid, &self.covered, &self.inst.demands);
+                if utility == 0 {
+                    continue; // utility never recovers — drop permanently
+                }
+                let key = bid.price.value() / utility as f64;
+                if key.total_cmp(&entry.key).is_ne() {
+                    self.heap.push(MultiEntry {
+                        key,
+                        gen: self.gen,
+                        utility,
+                        ..entry
+                    });
+                    continue;
+                }
+                // Key unchanged but return the *recomputed* utility: for
+                // a zero-price bid the key is 0 at every utility, so the
+                // stored utility may be outdated even though the key is
+                // current.
+                return Some((entry.g, entry.j, utility, key));
+            }
+            return Some((entry.g, entry.j, entry.utility, entry.key));
+        }
+        None
+    }
+
+    /// Accepts bid `(g, j)`: credit its coverage (clipped per buyer) and
+    /// retire the seller; stored heap keys are invalidated.
+    fn sell(&mut self, g: usize, j: usize) {
+        let bid = &self.inst.groups[g][j];
         for (buyer, &amount) in &bid.coverage {
-            let x = inst.demands.get(buyer).copied().unwrap_or(0);
-            let e = covered.entry(*buyer).or_insert(0);
+            let x = self.inst.demands.get(buyer).copied().unwrap_or(0);
+            let e = self.covered.entry(*buyer).or_insert(0);
             *e = (*e + amount).min(x.max(*e));
         }
-        sold.push(bid.seller);
+        self.sold[g] = true;
+        self.gen += 1;
+    }
+}
+
+/// Greedy selection result: winners as `(group, bid-in-group, utility,
+/// ratio)` in selection order, plus the final per-buyer coverage.
+type Selection = (Vec<(usize, usize, u64, f64)>, BTreeMap<MicroserviceId, u64>);
+
+/// Greedy selection shared by the mechanism and the payment replay.
+/// `exclude` drops one seller from selection while keeping its demands
+/// intact (payment replay).
+fn greedy_multi(
+    inst: &MultiBuyerWsp,
+    reserve: Option<f64>,
+    exclude: Option<MicroserviceId>,
+) -> Selection {
+    let mut engine = MultiGreedy::new(inst, reserve, exclude);
+    let mut selection = Vec::new();
+    while let Some((g, j, u, ratio)) = engine.pop_best() {
+        engine.sell(g, j);
         selection.push((g, j, u, ratio));
     }
-    (selection, covered)
+    (selection, engine.covered)
 }
 
 /// Runs the multi-buyer SSAM: greedy winner selection on marginal
@@ -281,49 +405,20 @@ pub fn run_ssam_multi(inst: &MultiBuyerWsp, config: &SsamConfig) -> MultiBuyerOu
         let bid = &inst.groups[g][j];
         // Replay without this seller; at every replay state, the
         // winner's threshold opportunity is r_k × its marginal utility
-        // in that state.
+        // in that state. The replay runs on the same lazy-heap engine as
+        // selection, just with the winner's seller excluded.
         let threshold: Option<f64> = {
-            let mut covered_r: BTreeMap<MicroserviceId, u64> = BTreeMap::new();
-            let mut sold: Vec<MicroserviceId> = Vec::new();
+            let mut engine = MultiGreedy::new(inst, config.reserve_unit_price, Some(bid.seller));
             let mut acc = 0.0f64;
             loop {
                 // Winner's utility at this replay state.
-                let my_u = marginal_utility(bid, &covered_r, &inst.demands);
-                // Best competitor at this state.
-                let mut best: Option<(usize, usize, u64, f64)> = None;
-                for (cg, group) in inst.groups.iter().enumerate() {
-                    let seller = group[0].seller;
-                    if seller == bid.seller || sold.contains(&seller) {
-                        continue;
-                    }
-                    for (cj, cand) in group.iter().enumerate() {
-                        if let Some(r) = config.reserve_unit_price {
-                            if cand.price.value() / cand.total_amount() as f64 > r {
-                                continue;
-                            }
-                        }
-                        let cu = marginal_utility(cand, &covered_r, &inst.demands);
-                        if cu == 0 {
-                            continue;
-                        }
-                        let ratio = cand.price.value() / cu as f64;
-                        if best.is_none() || ratio < best.unwrap().3 {
-                            best = Some((cg, cj, cu, ratio));
-                        }
-                    }
-                }
-                match best {
+                let my_u = marginal_utility(bid, &engine.covered, &inst.demands);
+                match engine.pop_best() {
                     Some((cg, cj, _, r_k)) => {
                         if my_u > 0 {
                             acc = acc.max(r_k * my_u as f64);
                         }
-                        let chosen = &inst.groups[cg][cj];
-                        for (buyer, &amount) in &chosen.coverage {
-                            let x = inst.demands.get(buyer).copied().unwrap_or(0);
-                            let e = covered_r.entry(*buyer).or_insert(0);
-                            *e = (*e + amount).min(x.max(*e));
-                        }
-                        sold.push(chosen.seller);
+                        engine.sell(cg, cj);
                     }
                     None => {
                         // Replay exhausted. If the winner still has
@@ -334,7 +429,7 @@ pub fn run_ssam_multi(inst: &MultiBuyerWsp, config: &SsamConfig) -> MultiBuyerOu
                 }
                 // Replay fully covered everything the winner could help
                 // with? Then no more opportunities.
-                if marginal_utility(bid, &covered_r, &inst.demands) == 0 {
+                if marginal_utility(bid, &engine.covered, &inst.demands) == 0 {
                     break Some(acc);
                 }
             }
@@ -362,8 +457,168 @@ pub fn run_ssam_multi(inst: &MultiBuyerWsp, config: &SsamConfig) -> MultiBuyerOu
         .all(|(b, &x)| covered.get(b).copied().unwrap_or(0) >= x);
     let social_cost: Price = winners.iter().map(|w| w.price).sum();
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
-    MultiBuyerOutcome { winners, covered, fully_covered, social_cost, total_payment }
+    MultiBuyerOutcome {
+        winners,
+        covered,
+        fully_covered,
+        social_cost,
+        total_payment,
+    }
 }
+
+/// The seed's scan-based multi-buyer mechanism, kept as a differential
+/// oracle for the heap engine (feature `ssam-reference`, on by
+/// default). Must return bit-identical outcomes to [`run_ssam_multi`].
+#[cfg(feature = "ssam-reference")]
+pub mod reference {
+    use super::*;
+
+    /// The original O(n²) greedy: full re-scan of every live bid per
+    /// iteration.
+    fn greedy_multi_scan(
+        inst: &MultiBuyerWsp,
+        reserve: Option<f64>,
+        exclude: Option<MicroserviceId>,
+    ) -> Selection {
+        let mut covered: BTreeMap<MicroserviceId, u64> = BTreeMap::new();
+        let mut sold: Vec<MicroserviceId> = Vec::new();
+        let mut selection = Vec::new();
+        loop {
+            let mut best: Option<(usize, usize, u64, f64)> = None;
+            for (g, group) in inst.groups.iter().enumerate() {
+                let seller = group[0].seller;
+                if Some(seller) == exclude || sold.contains(&seller) {
+                    continue;
+                }
+                for (j, bid) in group.iter().enumerate() {
+                    if let Some(r) = reserve {
+                        if bid.price.value() / bid.total_amount() as f64 > r {
+                            continue;
+                        }
+                    }
+                    let u = marginal_utility(bid, &covered, &inst.demands);
+                    if u == 0 {
+                        continue;
+                    }
+                    let ratio = bid.price.value() / u as f64;
+                    let better = match best {
+                        None => true,
+                        Some((bg, bj, _, br)) => ratio < br || (ratio == br && (g, j) < (bg, bj)),
+                    };
+                    if better {
+                        best = Some((g, j, u, ratio));
+                    }
+                }
+            }
+            let Some((g, j, u, ratio)) = best else { break };
+            let bid = &inst.groups[g][j];
+            for (buyer, &amount) in &bid.coverage {
+                let x = inst.demands.get(buyer).copied().unwrap_or(0);
+                let e = covered.entry(*buyer).or_insert(0);
+                *e = (*e + amount).min(x.max(*e));
+            }
+            sold.push(bid.seller);
+            selection.push((g, j, u, ratio));
+        }
+        (selection, covered)
+    }
+
+    /// Runs the multi-buyer SSAM with the original scan selection and
+    /// scan-based payment replays.
+    pub fn run_ssam_multi_reference(
+        inst: &MultiBuyerWsp,
+        config: &SsamConfig,
+    ) -> MultiBuyerOutcome {
+        let (selection, covered) = greedy_multi_scan(inst, config.reserve_unit_price, None);
+
+        let mut winners = Vec::with_capacity(selection.len());
+        for &(g, j, u, _) in &selection {
+            let bid = &inst.groups[g][j];
+            let threshold: Option<f64> = {
+                let mut covered_r: BTreeMap<MicroserviceId, u64> = BTreeMap::new();
+                let mut sold: Vec<MicroserviceId> = Vec::new();
+                let mut acc = 0.0f64;
+                loop {
+                    let my_u = marginal_utility(bid, &covered_r, &inst.demands);
+                    let mut best: Option<(usize, usize, u64, f64)> = None;
+                    for (cg, group) in inst.groups.iter().enumerate() {
+                        let seller = group[0].seller;
+                        if seller == bid.seller || sold.contains(&seller) {
+                            continue;
+                        }
+                        for (cj, cand) in group.iter().enumerate() {
+                            if let Some(r) = config.reserve_unit_price {
+                                if cand.price.value() / cand.total_amount() as f64 > r {
+                                    continue;
+                                }
+                            }
+                            let cu = marginal_utility(cand, &covered_r, &inst.demands);
+                            if cu == 0 {
+                                continue;
+                            }
+                            let ratio = cand.price.value() / cu as f64;
+                            if best.is_none() || ratio < best.unwrap().3 {
+                                best = Some((cg, cj, cu, ratio));
+                            }
+                        }
+                    }
+                    match best {
+                        Some((cg, cj, _, r_k)) => {
+                            if my_u > 0 {
+                                acc = acc.max(r_k * my_u as f64);
+                            }
+                            let chosen = &inst.groups[cg][cj];
+                            for (buyer, &amount) in &chosen.coverage {
+                                let x = inst.demands.get(buyer).copied().unwrap_or(0);
+                                let e = covered_r.entry(*buyer).or_insert(0);
+                                *e = (*e + amount).min(x.max(*e));
+                            }
+                            sold.push(chosen.seller);
+                        }
+                        None => {
+                            break if my_u > 0 { None } else { Some(acc) };
+                        }
+                    }
+                    if marginal_utility(bid, &covered_r, &inst.demands) == 0 {
+                        break Some(acc);
+                    }
+                }
+            };
+            let payment_value = match threshold {
+                Some(v) => v.max(bid.price.value()),
+                None => config
+                    .reserve_unit_price
+                    .map(|r| r * bid.total_amount() as f64)
+                    .unwrap_or(bid.price.value())
+                    .max(bid.price.value()),
+            };
+            winners.push(MultiBuyerWinner {
+                seller: bid.seller,
+                bid: bid.id,
+                contribution: u,
+                price: bid.price,
+                payment: Price::new_unchecked(payment_value),
+            });
+        }
+
+        let fully_covered = inst
+            .demands
+            .iter()
+            .all(|(b, &x)| covered.get(b).copied().unwrap_or(0) >= x);
+        let social_cost: Price = winners.iter().map(|w| w.price).sum();
+        let total_payment: Price = winners.iter().map(|w| w.payment).sum();
+        MultiBuyerOutcome {
+            winners,
+            covered,
+            fully_covered,
+            social_cost,
+            total_payment,
+        }
+    }
+}
+
+#[cfg(feature = "ssam-reference")]
+pub use reference::run_ssam_multi_reference;
 
 #[cfg(test)]
 mod tests {
@@ -408,10 +663,7 @@ mod tests {
         // must force the second bid in.
         let inst = MultiBuyerWsp::new(
             vec![(buyer(0), 2), (buyer(1), 1)],
-            vec![
-                cb(0, 0, vec![(0, 3)], 3.0),
-                cb(1, 0, vec![(1, 1)], 5.0),
-            ],
+            vec![cb(0, 0, vec![(0, 3)], 3.0), cb(1, 0, vec![(1, 1)], 5.0)],
         )
         .unwrap();
         let out = run_ssam_multi(&inst, &SsamConfig::default());
@@ -423,11 +675,8 @@ mod tests {
 
     #[test]
     fn over_coverage_is_not_credited() {
-        let inst = MultiBuyerWsp::new(
-            vec![(buyer(0), 2)],
-            vec![cb(0, 0, vec![(0, 5)], 10.0)],
-        )
-        .unwrap();
+        let inst =
+            MultiBuyerWsp::new(vec![(buyer(0), 2)], vec![cb(0, 0, vec![(0, 5)], 10.0)]).unwrap();
         let out = run_ssam_multi(&inst, &SsamConfig::default());
         assert_eq!(out.winners[0].contribution, 2);
         assert_eq!(out.covered[&buyer(0)], 2);
@@ -435,11 +684,8 @@ mod tests {
 
     #[test]
     fn partial_coverage_is_reported_not_fatal() {
-        let inst = MultiBuyerWsp::new(
-            vec![(buyer(0), 5)],
-            vec![cb(0, 0, vec![(0, 2)], 1.0)],
-        )
-        .unwrap();
+        let inst =
+            MultiBuyerWsp::new(vec![(buyer(0), 5)], vec![cb(0, 0, vec![(0, 2)], 1.0)]).unwrap();
         let out = run_ssam_multi(&inst, &SsamConfig::default());
         assert!(!out.fully_covered);
         assert_eq!(out.covered[&buyer(0)], 2);
@@ -530,12 +776,11 @@ mod tests {
 
     #[test]
     fn pivotal_seller_paid_reserve_when_configured() {
-        let inst = MultiBuyerWsp::new(
-            vec![(buyer(0), 2)],
-            vec![cb(0, 0, vec![(0, 2)], 4.0)],
-        )
-        .unwrap();
-        let config = SsamConfig { reserve_unit_price: Some(5.0) };
+        let inst =
+            MultiBuyerWsp::new(vec![(buyer(0), 2)], vec![cb(0, 0, vec![(0, 2)], 4.0)]).unwrap();
+        let config = SsamConfig {
+            reserve_unit_price: Some(5.0),
+        };
         let out = run_ssam_multi(&inst, &config);
         assert_eq!(out.winners[0].payment.value(), 10.0);
     }

@@ -58,12 +58,14 @@ pub fn offline_optimum_round(instance: &WspInstance) -> Option<f64> {
 fn build_multi_ilp(
     instance: &MultiRoundInstance,
     use_estimated: bool,
-) -> (Model, Vec<(u64, edge_common::id::MicroserviceId, edge_common::id::BidId)>) {
+) -> (
+    Model,
+    Vec<(u64, edge_common::id::MicroserviceId, edge_common::id::BidId)>,
+) {
     let mut var_ids = Vec::new();
     let mut m = Model::new();
     // capacity_terms[s] accumulates Σ_t,j a·x for seller s.
-    let mut capacity_terms: Vec<Vec<(VarId, f64)>> =
-        vec![Vec::new(); instance.sellers().len()];
+    let mut capacity_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); instance.sellers().len()];
     let seller_index = |id: edge_common::id::MicroserviceId| {
         instance
             .sellers()
@@ -89,17 +91,26 @@ fn build_multi_ilp(
             per_seller[si].push((v, 1.0));
             capacity_terms[si].push((v, bid.amount as f64));
         }
-        let demand = if use_estimated { round.estimated_demand } else { round.true_demand };
+        let demand = if use_estimated {
+            round.estimated_demand
+        } else {
+            round.true_demand
+        };
         m.add_constraint(cover_terms, ConstraintOp::Ge, demand as f64)
             .expect("finite demand");
         for terms in per_seller.into_iter().filter(|t| !t.is_empty()) {
-            m.add_constraint(terms, ConstraintOp::Le, 1.0).expect("valid");
+            m.add_constraint(terms, ConstraintOp::Le, 1.0)
+                .expect("valid");
         }
     }
     for (si, terms) in capacity_terms.into_iter().enumerate() {
         if !terms.is_empty() {
-            m.add_constraint(terms, ConstraintOp::Le, instance.sellers()[si].capacity as f64)
-                .expect("valid");
+            m.add_constraint(
+                terms,
+                ConstraintOp::Le,
+                instance.sellers()[si].capacity as f64,
+            )
+            .expect("valid");
         }
     }
     (m, var_ids)
@@ -113,8 +124,7 @@ fn msoa_warm_start(
     instance: &MultiRoundInstance,
     var_ids: &[(u64, edge_common::id::MicroserviceId, edge_common::id::BidId)],
 ) -> Option<Vec<f64>> {
-    let outcome =
-        crate::msoa::run_msoa(instance, &crate::msoa::MsoaConfig::default()).ok()?;
+    let outcome = crate::msoa::run_msoa(instance, &crate::msoa::MsoaConfig::default()).ok()?;
     if !outcome.infeasible_rounds().is_empty() {
         return None;
     }
@@ -143,7 +153,11 @@ fn msoa_warm_start(
 pub fn per_round_dp_bound(instance: &MultiRoundInstance, use_estimated: bool) -> Option<f64> {
     let mut total = 0.0;
     for (t, round) in instance.rounds().iter().enumerate() {
-        let demand = if use_estimated { round.estimated_demand } else { round.true_demand };
+        let demand = if use_estimated {
+            round.estimated_demand
+        } else {
+            round.true_demand
+        };
         let bids: Vec<_> = round
             .bids
             .iter()
@@ -177,7 +191,11 @@ pub fn offline_optimum_multi(
     let (ilp, var_ids) = build_multi_ilp(instance, use_estimated);
     // Warm start from the online mechanism's own solution when the
     // demand streams match (the MSOA winner set is ILP-feasible then).
-    let warm = if use_estimated { msoa_warm_start(instance, &var_ids) } else { None };
+    let warm = if use_estimated {
+        msoa_warm_start(instance, &var_ids)
+    } else {
+        None
+    };
     let warm = warm.filter(|x| ilp.is_feasible(x, 1e-6));
     match edge_lp::solve_ilp_with_incumbent(&ilp, opts, warm.as_deref()) {
         Ok(sol) if sol.proven_optimal => Ok(OfflineBound::Exact(sol.objective)),
@@ -191,7 +209,13 @@ pub fn offline_optimum_multi(
             let demand: u64 = instance
                 .rounds()
                 .iter()
-                .map(|r| if use_estimated { r.estimated_demand } else { r.true_demand })
+                .map(|r| {
+                    if use_estimated {
+                        r.estimated_demand
+                    } else {
+                        r.true_demand
+                    }
+                })
                 .max()
                 .unwrap_or(0);
             Err(AuctionError::InfeasibleDemand { demand, supply: 0 })
@@ -219,7 +243,12 @@ mod tests {
     fn round_optimum_matches_hand_computation() {
         let inst = WspInstance::new(
             4,
-            vec![bid(0, 0, 2, 6.0), bid(0, 1, 1, 2.0), bid(1, 0, 2, 5.0), bid(2, 0, 2, 4.0)],
+            vec![
+                bid(0, 0, 2, 6.0),
+                bid(0, 1, 1, 2.0),
+                bid(1, 0, 2, 5.0),
+                bid(2, 0, 2, 4.0),
+            ],
         )
         .unwrap();
         assert_eq!(offline_optimum_round(&inst), Some(9.0));
@@ -237,11 +266,14 @@ mod tests {
         ];
         let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
 
-        let offline =
-            offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        let offline = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
         assert!(offline.is_exact());
         // Offline: round 0 → seller 1 ($3), round 1 → seller 0 ($2): $5.
-        assert!((offline.value() - 5.0).abs() < 1e-6, "offline {}", offline.value());
+        assert!(
+            (offline.value() - 5.0).abs() < 1e-6,
+            "offline {}",
+            offline.value()
+        );
 
         let online = run_msoa(&instance, &MsoaConfig::default()).unwrap();
         // Whatever MSOA does, the offline optimum is a lower bound.
@@ -270,19 +302,19 @@ mod tests {
                 RoundInput::new(
                     8,
                     8,
-                    (0..6)
-                        .map(|s| bid(s, 0, 3, 5.0 + (s + t) as f64))
-                        .collect(),
+                    (0..6).map(|s| bid(s, 0, 3, 5.0 + (s + t) as f64)).collect(),
                 )
             })
             .collect();
         let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
-        let opts = IlpOptions { max_nodes: 1, ..IlpOptions::default() };
+        let opts = IlpOptions {
+            max_nodes: 1,
+            ..IlpOptions::default()
+        };
         let bound = offline_optimum_multi(&instance, true, &opts).unwrap();
         // With one node we cannot prove optimality — but the lower bound
         // must still be positive and at most the exact optimum.
-        let exact =
-            offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
+        let exact = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
         assert!(exact.is_exact());
         assert!(bound.value() > 0.0);
         assert!(bound.value() <= exact.value() + 1e-6);
@@ -291,8 +323,11 @@ mod tests {
     #[test]
     fn estimated_vs_true_demand_streams() {
         let sellers = vec![seller(0, 20, (0, 0)), seller(1, 20, (0, 0))];
-        let rounds =
-            vec![RoundInput::new(4, 2, vec![bid(0, 0, 2, 2.0), bid(1, 0, 2, 3.0)])];
+        let rounds = vec![RoundInput::new(
+            4,
+            2,
+            vec![bid(0, 0, 2, 2.0), bid(1, 0, 2, 3.0)],
+        )];
         let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
         let est = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
         let truth = offline_optimum_multi(&instance, false, &IlpOptions::default()).unwrap();
@@ -310,6 +345,10 @@ mod tests {
         let instance = MultiRoundInstance::new(sellers, rounds).unwrap();
         let dp = per_round_dp_bound(&instance, true).unwrap();
         let exact = offline_optimum_multi(&instance, true, &IlpOptions::default()).unwrap();
-        assert!(dp <= exact.value() + 1e-6, "dp {dp} exact {}", exact.value());
+        assert!(
+            dp <= exact.value() + 1e-6,
+            "dp {dp} exact {}",
+            exact.value()
+        );
     }
 }

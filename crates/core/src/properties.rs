@@ -26,7 +26,10 @@ use serde::{Deserialize, Serialize};
 /// Checks Theorem 5: every winner's payment is at least its (selection)
 /// price.
 pub fn check_individual_rationality(outcome: &SsamOutcome) -> bool {
-    outcome.winners.iter().all(|w| w.payment.value() >= w.price.value() - 1e-9)
+    outcome
+        .winners
+        .iter()
+        .all(|w| w.payment.value() >= w.price.value() - 1e-9)
 }
 
 /// Rebuilds an instance with one bid's price replaced.
@@ -99,7 +102,12 @@ pub fn check_critical_payments(
         if (w.payment.value() - w.price.value()).abs() < 1e-12 {
             continue; // lone-seller fallback: threshold is the bid itself
         }
-        let below = with_price(instance, w.seller, w.bid, (w.payment.value() - eps).max(0.0));
+        let below = with_price(
+            instance,
+            w.seller,
+            w.bid,
+            (w.payment.value() - eps).max(0.0),
+        );
         if !run_ssam(&below, config)?.is_winner(w.seller) {
             return Ok(false);
         }
@@ -253,8 +261,7 @@ mod tests {
     #[test]
     fn critical_payments_on_samples() {
         assert!(
-            check_critical_payments(&single_bid_instance(), &SsamConfig::default(), 1e-6)
-                .unwrap()
+            check_critical_payments(&single_bid_instance(), &SsamConfig::default(), 1e-6).unwrap()
         );
     }
 
@@ -273,10 +280,7 @@ mod tests {
     fn with_price_replaces_exactly_one_bid() {
         let inst = single_bid_instance();
         let new = with_price(&inst, MicroserviceId::new(1), BidId::new(0), 99.0);
-        let changed: Vec<_> = new
-            .bids()
-            .filter(|b| b.price.value() == 99.0)
-            .collect();
+        let changed: Vec<_> = new.bids().filter(|b| b.price.value() == 99.0).collect();
         assert_eq!(changed.len(), 1);
         assert_eq!(new.bids().count(), inst.bids().count());
     }
@@ -284,7 +288,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "not present")]
     fn with_price_panics_on_missing_bid() {
-        with_price(&single_bid_instance(), MicroserviceId::new(9), BidId::new(0), 1.0);
+        with_price(
+            &single_bid_instance(),
+            MicroserviceId::new(9),
+            BidId::new(0),
+            1.0,
+        );
     }
 
     #[test]

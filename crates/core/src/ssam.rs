@@ -157,10 +157,7 @@ fn ratio(price: Price, amount: u64, remaining: u64) -> f64 {
 /// Returns [`AuctionError::InfeasibleDemand`] when the reserve filter (if
 /// any) leaves too little supply. An instance that was feasible at
 /// construction cannot fail otherwise.
-pub fn run_ssam(
-    instance: &WspInstance,
-    config: &SsamConfig,
-) -> Result<SsamOutcome, AuctionError> {
+pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutcome, AuctionError> {
     // Candidate set 𝔽^t: all bids, filtered by the reserve if present.
     let candidates: Vec<&crate::bid::Bid> = instance
         .bids()
@@ -179,7 +176,10 @@ pub fn run_ssam(
     }
     let supply: u64 = per_seller_best.values().sum();
     if supply < instance.demand() {
-        return Err(AuctionError::InfeasibleDemand { demand: instance.demand(), supply });
+        return Err(AuctionError::InfeasibleDemand {
+            demand: instance.demand(),
+            supply,
+        });
     }
 
     let demand = instance.demand();
@@ -231,11 +231,62 @@ pub fn run_ssam(
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
     let certificate = build_certificate(&winners, demand, social_cost);
 
-    Ok(SsamOutcome { winners, demand, social_cost, total_payment, certificate })
+    Ok(SsamOutcome {
+        winners,
+        demand,
+        social_cost,
+        total_payment,
+        certificate,
+    })
 }
 
-/// Shared state of a greedy run: remaining demand plus the max offer of
-/// every still-unsold seller, used for the feasibility ("safety") filter.
+/// One slot in the lazy-deletion heap: a candidate bid with the greedy
+/// key it had when (re-)pushed and the generation at which that key was
+/// computed. Stale slots (older generation) are detected at pop time and
+/// re-pushed with a recomputed key; slots of sold sellers are discarded.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    /// `∇/U` at push time — a lower bound on the current key, because
+    /// keys only grow as `remaining` shrinks (see [`HeapGreedy`]).
+    key: f64,
+    /// Generation (number of completed sales) the key was computed at.
+    gen: u64,
+    seller: MicroserviceId,
+    id: BidId,
+    /// Index into [`HeapGreedy::bids`].
+    idx: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    /// Reversed so `BinaryHeap` (a max-heap) pops the *minimum* of
+    /// `(key, seller, id)` — the reference scan's exact tie-break, so
+    /// heap and scan pick bit-identical winners.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seller.cmp(&self.seller))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Shared state of a greedy run: remaining demand, the max offer of
+/// every still-unsold seller (for the feasibility "safety" filter), and
+/// a lazy-deletion min-heap over the candidate bids keyed by `∇/U`.
 ///
 /// A bid is *safe* iff selecting it leaves the residual demand coverable
 /// by the other unsold sellers' best offers. Every seller's max-amount
@@ -244,9 +295,23 @@ pub fn run_ssam(
 /// demand — a necessary strengthening of the paper's line 4 (picking a
 /// seller's small cheap bid when feasibility depended on its large bid
 /// would otherwise dead-end).
+///
+/// Two monotonicity facts make the lazy heap sound (proved in
+/// `DESIGN.md`):
+///
+/// * **Keys only grow.** `∇/U = price / min(amount, remaining)` is
+///   nondecreasing as `remaining` shrinks, so a stored key is always a
+///   lower bound on the current key and a popped entry whose key is
+///   still current is the true minimum.
+/// * **Once unsafe, always unsafe.** Safety is `amount ≥ remaining −
+///   rest_supply`, and `remaining − rest_supply(seller)` never
+///   decreases across sales (each sale removes at least as much supply
+///   as demand). An unsafe pop can therefore be dropped permanently
+///   instead of re-scanned every iteration.
 #[derive(Debug)]
-struct GreedyState<'a> {
-    candidates: Vec<&'a crate::bid::Bid>,
+struct HeapGreedy<'a> {
+    bids: Vec<&'a crate::bid::Bid>,
+    heap: std::collections::BinaryHeap<HeapEntry>,
     remaining: u64,
     seller_max: std::collections::BTreeMap<MicroserviceId, u64>,
     total_max: u64,
@@ -254,17 +319,38 @@ struct GreedyState<'a> {
     /// selection — used when replaying a run without one seller to keep
     /// the replay's safety decisions identical to the real run's.
     phantom: u64,
+    /// Completed sales; bumps invalidate stored heap keys.
+    gen: u64,
 }
 
-impl<'a> GreedyState<'a> {
-    fn new(candidates: Vec<&'a crate::bid::Bid>, demand: u64, phantom: u64) -> Self {
+impl<'a> HeapGreedy<'a> {
+    fn new(bids: Vec<&'a crate::bid::Bid>, demand: u64, phantom: u64) -> Self {
         let mut seller_max = std::collections::BTreeMap::new();
-        for b in &candidates {
+        for b in &bids {
             let e = seller_max.entry(b.seller).or_insert(0u64);
             *e = (*e).max(b.amount);
         }
         let total_max = seller_max.values().sum::<u64>() + phantom;
-        GreedyState { candidates, remaining: demand, seller_max, total_max, phantom }
+        let entries: Vec<HeapEntry> = bids
+            .iter()
+            .enumerate()
+            .map(|(idx, b)| HeapEntry {
+                key: ratio(b.price, b.amount, demand),
+                gen: 0,
+                seller: b.seller,
+                id: b.id,
+                idx,
+            })
+            .collect();
+        HeapGreedy {
+            bids,
+            heap: std::collections::BinaryHeap::from(entries),
+            remaining: demand,
+            seller_max,
+            total_max,
+            phantom,
+            gen: 0,
+        }
     }
 
     /// Supply of unsold sellers other than `seller` (phantom included).
@@ -278,33 +364,45 @@ impl<'a> GreedyState<'a> {
 
     /// Whether the phantom seller could safely win `amount` units here.
     fn phantom_safe(&self, amount: u64) -> bool {
-        contribution(amount, self.remaining) + (self.total_max - self.phantom)
-            >= self.remaining
+        contribution(amount, self.remaining) + (self.total_max - self.phantom) >= self.remaining
     }
 
-    /// The safe bid minimizing `∇/U` (deterministic tie-break on seller
-    /// then bid id keeps runs reproducible).
-    fn best_safe(&self) -> Option<&'a crate::bid::Bid> {
-        let remaining = self.remaining;
-        self.candidates
-            .iter()
-            .filter(|b| self.is_safe(b))
-            .min_by(|a, b| {
-                ratio(a.price, a.amount, remaining)
-                    .total_cmp(&ratio(b.price, b.amount, remaining))
-                    .then(a.seller.cmp(&b.seller))
-                    .then(a.id.cmp(&b.id))
-            })
-            .copied()
+    /// The safe bid minimizing `∇/U` — pop-validate loop of the lazy
+    /// heap. Each pop either settles a bid for good (winner, sold-seller
+    /// discard, or permanent unsafe discard) or re-pushes it with a
+    /// recomputed key; a bid is re-pushed at most once per generation.
+    fn pop_best_safe(&mut self) -> Option<&'a crate::bid::Bid> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.seller_max.contains_key(&entry.seller) {
+                continue; // seller already sold — lazily deleted
+            }
+            let bid = self.bids[entry.idx];
+            if entry.gen != self.gen {
+                let key = ratio(bid.price, bid.amount, self.remaining);
+                if key.total_cmp(&entry.key).is_ne() {
+                    self.heap.push(HeapEntry {
+                        key,
+                        gen: self.gen,
+                        ..entry
+                    });
+                    continue;
+                }
+            }
+            if !self.is_safe(bid) {
+                continue; // once unsafe, always unsafe — drop permanently
+            }
+            return Some(bid);
+        }
+        None
     }
 
-    /// Accepts a bid: consume demand, drop the seller's bids, release its
-    /// supply entry.
+    /// Accepts a bid: consume demand, release the seller's supply entry
+    /// (its other bids die lazily in the heap), invalidate stored keys.
     fn sell(&mut self, winner: &crate::bid::Bid) -> u64 {
         let c = contribution(winner.amount, self.remaining);
         self.remaining -= c;
         self.total_max -= self.seller_max.remove(&winner.seller).unwrap_or(0);
-        self.candidates.retain(|b| b.seller != winner.seller);
+        self.gen += 1;
         c
     }
 }
@@ -312,15 +410,12 @@ impl<'a> GreedyState<'a> {
 /// The greedy winner selection of Algorithm 1 (lines 3–12): repeatedly
 /// accept the safe bid minimizing `∇/U`, then drop the winner's other
 /// bids. Returns `(bid, contribution)` pairs in selection order.
-fn greedy_select(
-    candidates: Vec<&crate::bid::Bid>,
-    demand: u64,
-) -> Vec<(crate::bid::Bid, u64)> {
-    let mut state = GreedyState::new(candidates, demand, 0);
+fn greedy_select(candidates: Vec<&crate::bid::Bid>, demand: u64) -> Vec<(crate::bid::Bid, u64)> {
+    let mut state = HeapGreedy::new(candidates, demand, 0);
     let mut selection = Vec::new();
     while state.remaining > 0 {
         let winner = *state
-            .best_safe()
+            .pop_best_safe()
             .expect("a safe bid exists while the feasibility invariant holds");
         let c = state.sell(&winner);
         selection.push((winner, c));
@@ -342,15 +437,15 @@ fn critical_threshold(
     amount: u64,
     phantom: u64,
 ) -> Option<f64> {
-    let mut state = GreedyState::new(others, demand, phantom);
+    let mut state = HeapGreedy::new(others, demand, phantom);
     let mut threshold = 0.0f64;
     while state.remaining > 0 {
-        let best = *state.best_safe()?;
+        let best = state.pop_best_safe()?;
         let r_k = ratio(best.price, best.amount, state.remaining);
         if state.phantom_safe(amount) {
             threshold = threshold.max(r_k * contribution(amount, state.remaining) as f64);
         }
-        state.sell(&best);
+        state.sell(best);
     }
     Some(threshold)
 }
@@ -358,16 +453,220 @@ fn critical_threshold(
 /// Builds the Theorem 3 certificate from the assigned unit prices.
 fn build_certificate(winners: &[WinningBid], demand: u64, social_cost: Price) -> RatioCertificate {
     if demand == 0 || winners.is_empty() {
-        return RatioCertificate { harmonic: 0.0, xi: 1.0, pi: 1.0, dual_objective: 0.0 };
+        return RatioCertificate {
+            harmonic: 0.0,
+            xi: 1.0,
+            pi: 1.0,
+            dual_objective: 0.0,
+        };
     }
     let harmonic: f64 = (1..=demand).map(|k| 1.0 / k as f64).sum();
-    let unit_prices: Vec<f64> = winners.iter().map(WinningBid::assigned_unit_price).collect();
+    let unit_prices: Vec<f64> = winners
+        .iter()
+        .map(WinningBid::assigned_unit_price)
+        .collect();
     let max_u = unit_prices.iter().copied().fold(f64::MIN, f64::max);
     let min_u = unit_prices.iter().copied().fold(f64::MAX, f64::min);
     let xi = if min_u > 0.0 { max_u / min_u } else { 1.0 };
     let pi = (harmonic * xi).max(1.0);
-    RatioCertificate { harmonic, xi, pi, dual_objective: social_cost.value() / pi }
+    RatioCertificate {
+        harmonic,
+        xi,
+        pi,
+        dual_objective: social_cost.value() / pi,
+    }
 }
+
+/// The seed's scan-based SSAM, kept verbatim as a differential oracle
+/// for the heap-based hot path (feature `ssam-reference`, on by
+/// default). Selection re-scans every candidate each iteration — O(n²)
+/// — which makes it slow but easy to audit; `run_ssam_reference` must
+/// return **bit-identical** outcomes to [`run_ssam`] on every instance
+/// (`tests/differential_ssam.rs` enforces this over randomized cases).
+#[cfg(feature = "ssam-reference")]
+pub mod reference {
+    use super::*;
+
+    /// Scan-based greedy state — the original implementation.
+    #[derive(Debug)]
+    struct ScanGreedy<'a> {
+        candidates: Vec<&'a crate::bid::Bid>,
+        remaining: u64,
+        seller_max: std::collections::BTreeMap<MicroserviceId, u64>,
+        total_max: u64,
+        phantom: u64,
+    }
+
+    impl<'a> ScanGreedy<'a> {
+        fn new(candidates: Vec<&'a crate::bid::Bid>, demand: u64, phantom: u64) -> Self {
+            let mut seller_max = std::collections::BTreeMap::new();
+            for b in &candidates {
+                let e = seller_max.entry(b.seller).or_insert(0u64);
+                *e = (*e).max(b.amount);
+            }
+            let total_max = seller_max.values().sum::<u64>() + phantom;
+            ScanGreedy {
+                candidates,
+                remaining: demand,
+                seller_max,
+                total_max,
+                phantom,
+            }
+        }
+
+        fn rest_supply(&self, seller: MicroserviceId) -> u64 {
+            self.total_max - self.seller_max.get(&seller).copied().unwrap_or(0)
+        }
+
+        fn is_safe(&self, b: &crate::bid::Bid) -> bool {
+            contribution(b.amount, self.remaining) + self.rest_supply(b.seller) >= self.remaining
+        }
+
+        fn phantom_safe(&self, amount: u64) -> bool {
+            contribution(amount, self.remaining) + (self.total_max - self.phantom) >= self.remaining
+        }
+
+        fn best_safe(&self) -> Option<&'a crate::bid::Bid> {
+            let remaining = self.remaining;
+            self.candidates
+                .iter()
+                .filter(|b| self.is_safe(b))
+                .min_by(|a, b| {
+                    ratio(a.price, a.amount, remaining)
+                        .total_cmp(&ratio(b.price, b.amount, remaining))
+                        .then(a.seller.cmp(&b.seller))
+                        .then(a.id.cmp(&b.id))
+                })
+                .copied()
+        }
+
+        fn sell(&mut self, winner: &crate::bid::Bid) -> u64 {
+            let c = contribution(winner.amount, self.remaining);
+            self.remaining -= c;
+            self.total_max -= self.seller_max.remove(&winner.seller).unwrap_or(0);
+            self.candidates.retain(|b| b.seller != winner.seller);
+            c
+        }
+    }
+
+    fn greedy_select_scan(
+        candidates: Vec<&crate::bid::Bid>,
+        demand: u64,
+    ) -> Vec<(crate::bid::Bid, u64)> {
+        let mut state = ScanGreedy::new(candidates, demand, 0);
+        let mut selection = Vec::new();
+        while state.remaining > 0 {
+            let winner = *state
+                .best_safe()
+                .expect("a safe bid exists while the feasibility invariant holds");
+            let c = state.sell(&winner);
+            selection.push((winner, c));
+        }
+        selection
+    }
+
+    fn critical_threshold_scan(
+        others: Vec<&crate::bid::Bid>,
+        demand: u64,
+        amount: u64,
+        phantom: u64,
+    ) -> Option<f64> {
+        let mut state = ScanGreedy::new(others, demand, phantom);
+        let mut threshold = 0.0f64;
+        while state.remaining > 0 {
+            let best = *state.best_safe()?;
+            let r_k = ratio(best.price, best.amount, state.remaining);
+            if state.phantom_safe(amount) {
+                threshold = threshold.max(r_k * contribution(amount, state.remaining) as f64);
+            }
+            state.sell(&best);
+        }
+        Some(threshold)
+    }
+
+    /// Runs Algorithm 1 with the original O(n²) scan selection.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_ssam`]: infeasible demand under the reserve
+    /// filter.
+    pub fn run_ssam_reference(
+        instance: &WspInstance,
+        config: &SsamConfig,
+    ) -> Result<SsamOutcome, AuctionError> {
+        let candidates: Vec<&crate::bid::Bid> = instance
+            .bids()
+            .filter(|b| match config.reserve_unit_price {
+                Some(r) => b.unit_price() <= r,
+                None => true,
+            })
+            .collect();
+
+        let mut per_seller_best: std::collections::BTreeMap<MicroserviceId, u64> =
+            std::collections::BTreeMap::new();
+        for b in &candidates {
+            let e = per_seller_best.entry(b.seller).or_insert(0);
+            *e = (*e).max(b.amount);
+        }
+        let supply: u64 = per_seller_best.values().sum();
+        if supply < instance.demand() {
+            return Err(AuctionError::InfeasibleDemand {
+                demand: instance.demand(),
+                supply,
+            });
+        }
+
+        let demand = instance.demand();
+        let selection = greedy_select_scan(candidates.clone(), demand);
+
+        let mut winners: Vec<WinningBid> = Vec::with_capacity(selection.len());
+        for (winner, c) in &selection {
+            let without: Vec<&crate::bid::Bid> = candidates
+                .iter()
+                .copied()
+                .filter(|b| b.seller != winner.seller)
+                .collect();
+            let phantom = candidates
+                .iter()
+                .filter(|b| b.seller == winner.seller)
+                .map(|b| b.amount)
+                .max()
+                .unwrap_or(0);
+            let threshold = critical_threshold_scan(without, demand, winner.amount, phantom);
+            let payment_value = match threshold {
+                Some(v) => v,
+                None => config
+                    .reserve_unit_price
+                    .map(|r| r * winner.amount as f64)
+                    .unwrap_or(winner.price.value())
+                    .max(winner.price.value()),
+            };
+            winners.push(WinningBid {
+                seller: winner.seller,
+                bid: winner.id,
+                amount_offered: winner.amount,
+                contribution: *c,
+                price: winner.price,
+                payment: Price::new_unchecked(payment_value),
+            });
+        }
+
+        let social_cost: Price = winners.iter().map(|w| w.price).sum();
+        let total_payment: Price = winners.iter().map(|w| w.payment).sum();
+        let certificate = build_certificate(&winners, demand, social_cost);
+
+        Ok(SsamOutcome {
+            winners,
+            demand,
+            social_cost,
+            total_payment,
+            certificate,
+        })
+    }
+}
+
+#[cfg(feature = "ssam-reference")]
+pub use reference::run_ssam_reference;
 
 #[cfg(test)]
 mod tests {
@@ -460,7 +759,10 @@ mod tests {
     #[test]
     fn demand_is_exactly_covered() {
         let outcome = run_ssam(
-            &inst(7, vec![bid(0, 0, 5, 10.0), bid(1, 0, 5, 11.0), bid(2, 0, 5, 12.0)]),
+            &inst(
+                7,
+                vec![bid(0, 0, 5, 10.0), bid(1, 0, 5, 11.0), bid(2, 0, 5, 12.0)],
+            ),
             &SsamConfig::default(),
         )
         .unwrap();
@@ -472,8 +774,7 @@ mod tests {
 
     #[test]
     fn zero_demand_trivial_outcome() {
-        let outcome =
-            run_ssam(&inst(0, vec![bid(0, 0, 1, 1.0)]), &SsamConfig::default()).unwrap();
+        let outcome = run_ssam(&inst(0, vec![bid(0, 0, 1, 1.0)]), &SsamConfig::default()).unwrap();
         assert!(outcome.winners.is_empty());
         assert_eq!(outcome.social_cost, Price::ZERO);
         assert_eq!(outcome.certificate.dual_objective, 0.0);
@@ -481,8 +782,7 @@ mod tests {
 
     #[test]
     fn lone_seller_without_reserve_is_paid_its_price() {
-        let outcome =
-            run_ssam(&inst(2, vec![bid(0, 0, 3, 6.0)]), &SsamConfig::default()).unwrap();
+        let outcome = run_ssam(&inst(2, vec![bid(0, 0, 3, 6.0)]), &SsamConfig::default()).unwrap();
         let w = &outcome.winners[0];
         // A monopolist has no finite threshold; without a reserve it is
         // paid exactly its asking price.
@@ -492,16 +792,29 @@ mod tests {
 
     #[test]
     fn reserve_excludes_expensive_bids() {
-        let config = SsamConfig { reserve_unit_price: Some(2.5) };
+        let config = SsamConfig {
+            reserve_unit_price: Some(2.5),
+        };
         // Seller 1 asks $3/u — above reserve, excluded; supply drops.
-        let err =
-            run_ssam(&inst(4, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]), &config).unwrap_err();
-        assert_eq!(err, AuctionError::InfeasibleDemand { demand: 4, supply: 2 });
+        let err = run_ssam(
+            &inst(4, vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0)]),
+            &config,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AuctionError::InfeasibleDemand {
+                demand: 4,
+                supply: 2
+            }
+        );
     }
 
     #[test]
     fn reserve_pays_lone_winner_the_reserve() {
-        let config = SsamConfig { reserve_unit_price: Some(5.0) };
+        let config = SsamConfig {
+            reserve_unit_price: Some(5.0),
+        };
         let outcome = run_ssam(&inst(2, vec![bid(0, 0, 2, 4.0)]), &config).unwrap();
         let w = &outcome.winners[0];
         assert_eq!(w.payment.value(), 10.0); // 2 units × $5 reserve
@@ -523,7 +836,11 @@ mod tests {
         let opt = instance.to_group_cover().solve_exact().unwrap().cost;
         let cert = &outcome.certificate;
         // Weak duality sandwich: dual ≤ OPT ≤ primal ≤ π · dual.
-        assert!(cert.dual_objective <= opt + 1e-9, "dual {} > opt {opt}", cert.dual_objective);
+        assert!(
+            cert.dual_objective <= opt + 1e-9,
+            "dual {} > opt {opt}",
+            cert.dual_objective
+        );
         assert!(opt <= outcome.social_cost.value() + 1e-9);
         assert!(outcome.social_cost.value() <= cert.pi * cert.dual_objective + 1e-9);
     }
@@ -532,7 +849,10 @@ mod tests {
     fn single_bid_per_seller_certificate_uses_harmonic_only_when_uniform() {
         // All bids same unit price → Ξ = 1, π = H_X.
         let outcome = run_ssam(
-            &inst(3, vec![bid(0, 0, 1, 2.0), bid(1, 0, 1, 2.0), bid(2, 0, 1, 2.0)]),
+            &inst(
+                3,
+                vec![bid(0, 0, 1, 2.0), bid(1, 0, 1, 2.0), bid(2, 0, 1, 2.0)],
+            ),
             &SsamConfig::default(),
         )
         .unwrap();

@@ -77,12 +77,15 @@ pub fn transform_instance(
         .rounds()
         .iter()
         .map(|r| {
-            let demand = if use_true_demand { r.true_demand } else { r.estimated_demand };
+            let demand = if use_true_demand {
+                r.true_demand
+            } else {
+                r.estimated_demand
+            };
             RoundInput::new(demand, r.true_demand, r.bids.clone())
         })
         .collect();
-    MultiRoundInstance::new(sellers, rounds)
-        .expect("transforming a valid instance keeps it valid")
+    MultiRoundInstance::new(sellers, rounds).expect("transforming a valid instance keeps it valid")
 }
 
 /// Runs the chosen variant.
@@ -172,8 +175,12 @@ mod tests {
         // With demand over-estimated (4 > 3), plain MSOA buys more than
         // needed each round; DA buys exactly the true demand.
         let plain = run_variant(&instance(), &MsoaConfig::default(), MsoaVariant::Plain).unwrap();
-        let da =
-            run_variant(&instance(), &MsoaConfig::default(), MsoaVariant::DemandAware).unwrap();
+        let da = run_variant(
+            &instance(),
+            &MsoaConfig::default(),
+            MsoaVariant::DemandAware,
+        )
+        .unwrap();
         assert!(da.social_cost <= plain.social_cost);
     }
 
@@ -181,7 +188,13 @@ mod tests {
     fn display_names_match_paper() {
         assert_eq!(MsoaVariant::Plain.to_string(), "MSOA");
         assert_eq!(MsoaVariant::DemandAware.to_string(), "MSOA-DA");
-        assert_eq!(MsoaVariant::RelaxedCapacity { factor: 2.0 }.to_string(), "MSOA-RC");
-        assert_eq!(MsoaVariant::Optimized { factor: 2.0 }.to_string(), "MSOA-OA");
+        assert_eq!(
+            MsoaVariant::RelaxedCapacity { factor: 2.0 }.to_string(),
+            "MSOA-RC"
+        );
+        assert_eq!(
+            MsoaVariant::Optimized { factor: 2.0 }.to_string(),
+            "MSOA-OA"
+        );
     }
 }

@@ -117,7 +117,11 @@ pub fn run_vcg(instance: &WspInstance) -> Result<VcgOutcome, AuctionError> {
 
     let social_cost = Price::new_unchecked(opt.cost);
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
-    Ok(VcgOutcome { winners, social_cost, total_payment })
+    Ok(VcgOutcome {
+        winners,
+        social_cost,
+        total_payment,
+    })
 }
 
 #[cfg(test)]
@@ -175,15 +179,18 @@ mod tests {
         let w0 = out.winners[0];
         let cheaper = crate::properties::with_price(&inst, w0.seller, w0.bid, 1.0);
         let out_cheaper = run_vcg(&cheaper).unwrap();
-        let again = out_cheaper.winners.iter().find(|w| w.seller == w0.seller).unwrap();
-        assert_eq!(again.payment, w0.payment, "payment must not depend on own bid");
-
-        let expensive = crate::properties::with_price(
-            &inst,
-            w0.seller,
-            w0.bid,
-            w0.payment.value() + 0.5,
+        let again = out_cheaper
+            .winners
+            .iter()
+            .find(|w| w.seller == w0.seller)
+            .unwrap();
+        assert_eq!(
+            again.payment, w0.payment,
+            "payment must not depend on own bid"
         );
+
+        let expensive =
+            crate::properties::with_price(&inst, w0.seller, w0.bid, w0.payment.value() + 0.5);
         let out_exp = run_vcg(&expensive).unwrap();
         assert!(
             !out_exp.winners.iter().any(|w| w.seller == w0.seller),
@@ -200,9 +207,7 @@ mod tests {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let n = rng.gen_range(3..8);
             let bids: Vec<Bid> = (0..n)
-                .map(|s| {
-                    bid(s, 0, rng.gen_range(1..5), rng.gen_range(2..30) as f64)
-                })
+                .map(|s| bid(s, 0, rng.gen_range(1..5), rng.gen_range(2..30) as f64))
                 .collect();
             let supply: u64 = bids.iter().map(|b| b.amount).sum();
             let inst = WspInstance::new(rng.gen_range(1..=supply), bids).unwrap();

@@ -149,7 +149,10 @@ mod tests {
         assert_eq!(inst.num_sellers(), 2);
         assert_eq!(inst.groups()[0].len(), 2);
         assert_eq!(inst.max_supply(), 3 + 2);
-        assert_eq!(inst.sellers(), vec![MicroserviceId::new(0), MicroserviceId::new(1)]);
+        assert_eq!(
+            inst.sellers(),
+            vec![MicroserviceId::new(0), MicroserviceId::new(1)]
+        );
     }
 
     #[test]
@@ -162,7 +165,13 @@ mod tests {
     fn rejects_infeasible_demand() {
         let err = WspInstance::new(10, vec![bid(0, 0, 2, 5.0), bid(0, 1, 3, 6.0)]).unwrap_err();
         // Only one seller; best bid covers 3 < 10.
-        assert_eq!(err, AuctionError::InfeasibleDemand { demand: 10, supply: 3 });
+        assert_eq!(
+            err,
+            AuctionError::InfeasibleDemand {
+                demand: 10,
+                supply: 3
+            }
+        );
     }
 
     #[test]

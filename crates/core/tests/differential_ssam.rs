@@ -1,0 +1,155 @@
+//! Differential suite: the heap-based hot path must be **bit-identical**
+//! to the seed's O(n²) scan implementation, which is kept behind the
+//! `ssam-reference` feature exactly for this purpose.
+//!
+//! Both [`SsamOutcome`] and [`MultiBuyerOutcome`] derive `PartialEq`
+//! over every field (winners in selection order, exact f64 prices and
+//! payments, the Theorem 3 certificate), so a single `assert_eq!` per
+//! case checks the whole mechanism output, not just the winner set.
+
+#![cfg(feature = "ssam-reference")]
+
+use edge_auction::bid::Bid;
+use edge_auction::multi_buyer::{
+    run_ssam_multi, run_ssam_multi_reference, CoverBid, MultiBuyerWsp,
+};
+use edge_auction::ssam::{run_ssam, run_ssam_reference, SsamConfig};
+use edge_auction::wsp::WspInstance;
+use edge_common::id::{BidId, MicroserviceId};
+use proptest::prelude::*;
+
+/// Instances where sellers submit up to 4 alternative bids, with the
+/// full messy range the mechanism accepts: equal prices (tie-breaking),
+/// zero prices, offers far above the demand, and single-unit slivers.
+fn arb_instance() -> impl Strategy<Value = WspInstance> {
+    proptest::collection::vec(proptest::collection::vec((1u64..12, 0u32..25), 1..5), 2..12)
+        .prop_flat_map(|groups| {
+            let supply: u64 = groups
+                .iter()
+                .map(|g| g.iter().map(|(a, _)| *a).max().unwrap_or(0))
+                .sum();
+            (Just(groups), 1u64..=supply.max(1))
+        })
+        .prop_filter_map("supply must cover demand", |(groups, demand)| {
+            let bids: Vec<Bid> = groups
+                .iter()
+                .enumerate()
+                .flat_map(|(s, g)| {
+                    g.iter().enumerate().map(move |(j, (amount, price))| {
+                        // Integer prices on purpose: collisions are common, so
+                        // the (ratio, seller, id) tie-break is exercised hard.
+                        Bid::new(
+                            MicroserviceId::new(s),
+                            BidId::new(j),
+                            *amount,
+                            f64::from(*price),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            WspInstance::new(demand, bids).ok()
+        })
+}
+
+/// An optional reserve unit price, sometimes binding, sometimes not.
+fn arb_config() -> impl Strategy<Value = SsamConfig> {
+    (0u32..3, 1u32..60).prop_map(|(kind, r)| SsamConfig {
+        reserve_unit_price: match kind {
+            0 => None,
+            1 => Some(f64::from(r)),           // often binding
+            _ => Some(f64::from(r) + 1_000.0), // never binding
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The tentpole invariant: heap SSAM ≡ scan SSAM, entire outcome.
+    #[test]
+    fn heap_matches_scan_reference((inst, config) in (arb_instance(), arb_config())) {
+        let fast = run_ssam(&inst, &config);
+        let slow = run_ssam_reference(&inst, &config);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => prop_assert_eq!(fast, slow),
+            (Err(fast), Err(slow)) => {
+                prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+            }
+            (fast, slow) => {
+                return Err(format!("divergent feasibility: {fast:?} vs {slow:?}"));
+            }
+        }
+    }
+}
+
+/// Random multi-buyer set-cover instances, including zero-price bids —
+/// the case where the stale-entry utility must be recomputed because a
+/// zero key is current at *every* utility level.
+fn arb_multi_buyer() -> impl Strategy<Value = MultiBuyerWsp> {
+    (
+        proptest::collection::vec(1u64..5, 2..5), // buyer demands
+        proptest::collection::vec(
+            proptest::collection::vec((proptest::collection::vec(0u64..4, 4), 0u32..30), 1..3),
+            2..7,
+        ),
+    )
+        .prop_filter_map("need at least one valid bid", |(demands, groups)| {
+            let buyers: Vec<(MicroserviceId, u64)> = demands
+                .iter()
+                .enumerate()
+                .map(|(b, &x)| (MicroserviceId::new(1000 + b), x))
+                .collect();
+            let mut bids = Vec::new();
+            for (s, g) in groups.iter().enumerate() {
+                for (j, (amounts, price)) in g.iter().enumerate() {
+                    let coverage: Vec<(MicroserviceId, u64)> = amounts
+                        .iter()
+                        .take(buyers.len())
+                        .enumerate()
+                        .map(|(b, &a)| (MicroserviceId::new(1000 + b), a))
+                        .collect();
+                    if let Ok(bid) = CoverBid::new(
+                        MicroserviceId::new(s),
+                        BidId::new(j),
+                        coverage,
+                        f64::from(*price),
+                    ) {
+                        bids.push(bid);
+                    }
+                }
+            }
+            if bids.is_empty() {
+                return None;
+            }
+            MultiBuyerWsp::new(buyers, bids).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Heap multi-buyer greedy ≡ scan multi-buyer greedy, entire
+    /// outcome — winners, per-buyer coverage, payments.
+    #[test]
+    fn multi_buyer_heap_matches_scan((inst, config) in (arb_multi_buyer(), arb_config())) {
+        let fast = run_ssam_multi(&inst, &config);
+        let slow = run_ssam_multi_reference(&inst, &config);
+        prop_assert_eq!(fast, slow);
+    }
+}
+
+/// Deterministic stress: a large all-ties instance (every bid the same
+/// unit price) replays the tie-break chain hundreds of levels deep.
+#[test]
+fn heap_matches_scan_on_mass_ties() {
+    let bids: Vec<Bid> = (0..400)
+        .map(|s| Bid::new(MicroserviceId::new(s), BidId::new(0), 3, 6.0).unwrap())
+        .collect();
+    let inst = WspInstance::new(900, bids).unwrap();
+    let config = SsamConfig::default();
+    let fast = run_ssam(&inst, &config).unwrap();
+    let slow = run_ssam_reference(&inst, &config).unwrap();
+    assert_eq!(fast, slow);
+    assert_eq!(fast.winners.len(), 300);
+}

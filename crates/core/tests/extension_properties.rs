@@ -28,8 +28,11 @@ fn arb_multi_buyer() -> impl Strategy<Value = MultiBuyerWsp> {
     )
         .prop_map(|(demands, raw_bids)| {
             let n_buyers = demands.len();
-            let demands: Vec<(MicroserviceId, u64)> =
-                demands.into_iter().enumerate().map(|(b, x)| (buyer(b), x)).collect();
+            let demands: Vec<(MicroserviceId, u64)> = demands
+                .into_iter()
+                .enumerate()
+                .map(|(b, x)| (buyer(b), x))
+                .collect();
             let bids: Vec<CoverBid> = raw_bids
                 .into_iter()
                 .enumerate()

@@ -28,8 +28,9 @@ use std::error::Error;
 use std::fmt;
 
 /// Saaty's random consistency index by matrix order (index 0 unused).
-const RANDOM_INDEX: [f64; 11] =
-    [0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49];
+const RANDOM_INDEX: [f64; 11] = [
+    0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49,
+];
 
 /// Error from building a pairwise matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +91,10 @@ impl PairwiseMatrix {
     /// Panics if `n` is 0 or greater than 10 (Saaty's random index table
     /// covers orders up to 10).
     pub fn identity(n: usize) -> Self {
-        assert!((1..=10).contains(&n), "matrix order must be between 1 and 10");
+        assert!(
+            (1..=10).contains(&n),
+            "matrix order must be between 1 and 10"
+        );
         let mut data = vec![1.0; n * n];
         for i in 0..n {
             data[i * n + i] = 1.0;
@@ -136,9 +140,9 @@ impl PairwiseMatrix {
         let mut lambda = n as f64;
         for _ in 0..200 {
             let mut next = vec![0.0; n];
-            for i in 0..n {
-                for j in 0..n {
-                    next[i] += self.get(i, j) * w[j];
+            for (i, nx) in next.iter_mut().enumerate() {
+                for (j, &wj) in w.iter().enumerate() {
+                    *nx += self.get(i, j) * wj;
                 }
             }
             let sum: f64 = next.iter().sum();
@@ -147,28 +151,23 @@ impl PairwiseMatrix {
             }
             // λ_max estimate: mean of (Aw)_i / w_i.
             let mut aw = vec![0.0; n];
-            for i in 0..n {
-                for j in 0..n {
-                    aw[i] += self.get(i, j) * next[j];
+            for (i, awi) in aw.iter_mut().enumerate() {
+                for (j, &nj) in next.iter().enumerate() {
+                    *awi += self.get(i, j) * nj;
                 }
             }
-            lambda = aw
-                .iter()
-                .zip(&next)
-                .map(|(a, w)| a / w)
-                .sum::<f64>()
-                / n as f64;
-            let delta: f64 = next
-                .iter()
-                .zip(&w)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            lambda = aw.iter().zip(&next).map(|(a, w)| a / w).sum::<f64>() / n as f64;
+            let delta: f64 = next.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
             w = next;
             if delta < 1e-12 {
                 break;
             }
         }
-        let ci = if n <= 2 { 0.0 } else { (lambda - n as f64) / (n as f64 - 1.0) };
+        let ci = if n <= 2 {
+            0.0
+        } else {
+            (lambda - n as f64) / (n as f64 - 1.0)
+        };
         let ri = RANDOM_INDEX[n];
         let cr = if ri > 0.0 { ci / ri } else { 0.0 };
         AhpResult {

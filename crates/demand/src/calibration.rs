@@ -67,7 +67,11 @@ impl Calibration {
     /// Builds a [`DemandConfig`] from the fit and the weights it was
     /// fitted under.
     pub fn to_config(self, weights: IndicatorWeights) -> DemandConfig {
-        DemandConfig { weights, zeta: self.zeta, delta: self.delta }
+        DemandConfig {
+            weights,
+            zeta: self.zeta,
+            delta: self.delta,
+        }
     }
 }
 
@@ -77,7 +81,11 @@ impl Calibration {
 /// `c = w_ℝ·ℝ`.
 fn regressors(weights: &IndicatorWeights, m: &MsMetrics, round: u64) -> (f64, f64, f64) {
     // Reuse the estimator with ζ = Δ = 1 to obtain the raw factors.
-    let probe = DemandEstimator::new(DemandConfig { weights: *weights, zeta: 1.0, delta: 1.0 });
+    let probe = DemandEstimator::new(DemandConfig {
+        weights: *weights,
+        zeta: 1.0,
+        delta: 1.0,
+    });
     let est = probe.estimate(m, round);
     (
         weights.waiting * est.waiting_factor,
@@ -155,7 +163,11 @@ mod tests {
     }
 
     fn synthesize(zeta: f64, delta: f64, weights: &IndicatorWeights) -> Vec<Observation> {
-        let config = DemandConfig { weights: *weights, zeta, delta };
+        let config = DemandConfig {
+            weights: *weights,
+            zeta,
+            delta,
+        };
         let truth = DemandEstimator::new(config);
         let variations = [
             (metrics(2, 0.2, 1), 2),
@@ -181,7 +193,11 @@ mod tests {
             let samples = synthesize(zeta, delta, &weights);
             let fit = fit(&weights, &samples).unwrap();
             assert!((fit.zeta - zeta).abs() < 1e-6, "ζ {} vs {zeta}", fit.zeta);
-            assert!((fit.delta - delta).abs() < 1e-6, "Δ {} vs {delta}", fit.delta);
+            assert!(
+                (fit.delta - delta).abs() < 1e-6,
+                "Δ {} vs {delta}",
+                fit.delta
+            );
             assert!(fit.rmse < 1e-9);
         }
     }
@@ -203,7 +219,10 @@ mod tests {
     fn rejects_underdetermined_input() {
         let weights = IndicatorWeights::equal();
         let samples = synthesize(1.0, 1.0, &weights);
-        assert_eq!(fit(&weights, &samples[..1]), Err(CalibrationError::NotEnoughSamples));
+        assert_eq!(
+            fit(&weights, &samples[..1]),
+            Err(CalibrationError::NotEnoughSamples)
+        );
         assert_eq!(fit(&weights, &[]), Err(CalibrationError::NotEnoughSamples));
     }
 
@@ -218,10 +237,21 @@ mod tests {
             ..metrics(0, 0.0, 1)
         };
         let samples = vec![
-            Observation { metrics: m.clone(), round: 1, realized_demand: 1.0 },
-            Observation { metrics: m, round: 2, realized_demand: 2.0 },
+            Observation {
+                metrics: m.clone(),
+                round: 1,
+                realized_demand: 1.0,
+            },
+            Observation {
+                metrics: m,
+                round: 2,
+                realized_demand: 2.0,
+            },
         ];
-        assert_eq!(fit(&weights, &samples), Err(CalibrationError::DegenerateSamples));
+        assert_eq!(
+            fit(&weights, &samples),
+            Err(CalibrationError::DegenerateSamples)
+        );
     }
 
     #[test]

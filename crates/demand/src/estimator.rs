@@ -40,7 +40,11 @@ pub struct IndicatorWeights {
 impl IndicatorWeights {
     /// Equal weighting of all three indicators.
     pub fn equal() -> Self {
-        IndicatorWeights { waiting: 1.0 / 3.0, processing: 1.0 / 3.0, rate: 1.0 / 3.0 }
+        IndicatorWeights {
+            waiting: 1.0 / 3.0,
+            processing: 1.0 / 3.0,
+            rate: 1.0 / 3.0,
+        }
     }
 
     /// Derives the weights from an AHP pairwise judgment over
@@ -50,9 +54,17 @@ impl IndicatorWeights {
     ///
     /// Panics if the matrix order is not 3.
     pub fn from_ahp(judgments: &PairwiseMatrix) -> Self {
-        assert_eq!(judgments.order(), 3, "demand estimation uses exactly three indicators");
+        assert_eq!(
+            judgments.order(),
+            3,
+            "demand estimation uses exactly three indicators"
+        );
         let r = judgments.weights();
-        IndicatorWeights { waiting: r.weights[0], processing: r.weights[1], rate: r.weights[2] }
+        IndicatorWeights {
+            waiting: r.weights[0],
+            processing: r.weights[1],
+            rate: r.weights[2],
+        }
     }
 }
 
@@ -76,7 +88,11 @@ pub struct DemandConfig {
 
 impl Default for DemandConfig {
     fn default() -> Self {
-        DemandConfig { weights: IndicatorWeights::equal(), zeta: 1.0, delta: 1.0 }
+        DemandConfig {
+            weights: IndicatorWeights::equal(),
+            zeta: 1.0,
+            delta: 1.0,
+        }
     }
 }
 
@@ -130,7 +146,10 @@ impl DemandEstimator {
     ///
     /// Panics if `round == 0`.
     pub fn estimate(&self, m: &MsMetrics, round: u64) -> DemandEstimate {
-        assert!(round >= 1, "demand estimation needs at least one elapsed round");
+        assert!(
+            round >= 1,
+            "demand estimation needs at least one elapsed round"
+        );
         let t = round as f64;
 
         // γ = ζ·θ/π. With no requests received there is nothing to wait
@@ -149,16 +168,19 @@ impl DemandEstimator {
         let processing_factor = ((desired_rate - achieved_rate) / t).max(0.0);
 
         // 𝕋 = Δ·(a/a_max)·(𝕃·t/𝒱)·1/(1−𝕃).
-        let share = if m.max_allocation > 1e-12 { m.allocation / m.max_allocation } else { 0.0 };
+        let share = if m.max_allocation > 1e-12 {
+            m.allocation / m.max_allocation
+        } else {
+            0.0
+        };
         let util = m.utilization.clamp(0.0, MAX_UTILIZATION);
         let density = (m.neighbors_active.max(1)) as f64;
         let rate_factor = self.config.delta * share * (util * t / density) / (1.0 - util);
 
         let w = self.config.weights;
-        let demand = (w.waiting * waiting_factor
-            + w.processing * processing_factor
-            + w.rate * rate_factor)
-            .max(0.0);
+        let demand =
+            (w.waiting * waiting_factor + w.processing * processing_factor + w.rate * rate_factor)
+                .max(0.0);
 
         DemandEstimate {
             ms: m.ms,
@@ -218,7 +240,11 @@ mod tests {
     #[test]
     fn zero_received_requests_zero_waiting_factor() {
         let est = DemandEstimator::default();
-        let m = MsMetrics { received_total: 0, served_total: 0, ..metrics() };
+        let m = MsMetrics {
+            received_total: 0,
+            served_total: 0,
+            ..metrics()
+        };
         let d = est.estimate(&m, 1);
         assert_eq!(d.waiting_factor, 0.0);
         assert!(d.demand.is_finite());
@@ -227,7 +253,10 @@ mod tests {
     #[test]
     fn full_utilization_stays_finite() {
         let est = DemandEstimator::default();
-        let m = MsMetrics { utilization: 1.0, ..metrics() };
+        let m = MsMetrics {
+            utilization: 1.0,
+            ..metrics()
+        };
         let d = est.estimate(&m, 5);
         assert!(d.rate_factor.is_finite());
         assert!(d.rate_factor > 0.0);
@@ -236,7 +265,10 @@ mod tests {
     #[test]
     fn zero_neighbors_treated_as_one() {
         let est = DemandEstimator::default();
-        let m = MsMetrics { neighbors_active: 0, ..metrics() };
+        let m = MsMetrics {
+            neighbors_active: 0,
+            ..metrics()
+        };
         let d = est.estimate(&m, 5);
         assert!(d.rate_factor.is_finite());
     }
@@ -244,8 +276,16 @@ mod tests {
     #[test]
     fn backlog_increases_processing_factor() {
         let est = DemandEstimator::default();
-        let light = MsMetrics { work_arrived_total: 4.0, work_done_total: 4.0, ..metrics() };
-        let heavy = MsMetrics { work_arrived_total: 12.0, work_done_total: 4.0, ..metrics() };
+        let light = MsMetrics {
+            work_arrived_total: 4.0,
+            work_done_total: 4.0,
+            ..metrics()
+        };
+        let heavy = MsMetrics {
+            work_arrived_total: 12.0,
+            work_done_total: 4.0,
+            ..metrics()
+        };
         let dl = est.estimate(&light, 4);
         let dh = est.estimate(&heavy, 4);
         assert_eq!(dl.processing_factor, 0.0);
@@ -256,15 +296,25 @@ mod tests {
     #[test]
     fn ahead_of_schedule_has_zero_processing_factor() {
         let est = DemandEstimator::default();
-        let m = MsMetrics { work_arrived_total: 1.0, work_done_total: 4.0, ..metrics() };
+        let m = MsMetrics {
+            work_arrived_total: 1.0,
+            work_done_total: 4.0,
+            ..metrics()
+        };
         assert_eq!(est.estimate(&m, 4).processing_factor, 0.0);
     }
 
     #[test]
     fn higher_utilization_means_higher_demand() {
         let est = DemandEstimator::default();
-        let low = MsMetrics { utilization: 0.2, ..metrics() };
-        let high = MsMetrics { utilization: 0.9, ..metrics() };
+        let low = MsMetrics {
+            utilization: 0.2,
+            ..metrics()
+        };
+        let high = MsMetrics {
+            utilization: 0.9,
+            ..metrics()
+        };
         assert!(est.estimate(&high, 4).demand > est.estimate(&low, 4).demand);
     }
 
@@ -277,7 +327,10 @@ mod tests {
         let weights = IndicatorWeights::from_ahp(&j);
         assert!(weights.waiting > weights.processing);
         assert!(weights.waiting > weights.rate);
-        let est = DemandEstimator::new(DemandConfig { weights, ..DemandConfig::default() });
+        let est = DemandEstimator::new(DemandConfig {
+            weights,
+            ..DemandConfig::default()
+        });
         let d = est.estimate(&metrics(), 4);
         // Waiting factor dominates under these weights.
         assert!(d.demand > 0.5 * d.waiting_factor);
@@ -286,7 +339,13 @@ mod tests {
     #[test]
     fn estimate_round_covers_batch() {
         let est = DemandEstimator::default();
-        let batch = vec![metrics(), MsMetrics { ms: MicroserviceId::new(1), ..metrics() }];
+        let batch = vec![
+            metrics(),
+            MsMetrics {
+                ms: MicroserviceId::new(1),
+                ..metrics()
+            },
+        ];
         let out = est.estimate_round(&batch, 4);
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].ms, MicroserviceId::new(1));

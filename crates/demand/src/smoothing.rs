@@ -36,7 +36,11 @@ impl SmoothedEstimator {
             alpha > 0.0 && alpha <= 1.0 && alpha.is_finite(),
             "EWMA weight must lie in (0, 1]"
         );
-        SmoothedEstimator { inner, alpha, state: BTreeMap::new() }
+        SmoothedEstimator {
+            inner,
+            alpha,
+            state: BTreeMap::new(),
+        }
     }
 
     /// The smoothing weight.
@@ -124,7 +128,10 @@ mod tests {
     fn alpha_one_is_identity() {
         let mut s = smoothed(1.0);
         for round in 1..5 {
-            let raw = s.inner().estimate(&metrics(0, 0.2 * round as f64), round).demand;
+            let raw = s
+                .inner()
+                .estimate(&metrics(0, 0.2 * round as f64), round)
+                .demand;
             let out = s.observe(&[metrics(0, 0.2 * round as f64)], round);
             assert!((out[0].demand - raw).abs() < 1e-12, "round {round}");
         }

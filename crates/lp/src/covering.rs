@@ -47,7 +47,10 @@ impl CoverOption {
     /// Panics if `cost` is negative or not finite — covering costs are
     /// prices and must be well-formed.
     pub fn new(cost: f64, amount: u64) -> Self {
-        assert!(cost.is_finite() && cost >= 0.0, "cover option cost must be finite and >= 0");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "cover option cost must be finite and >= 0"
+        );
         CoverOption { cost, amount }
     }
 }
@@ -119,15 +122,14 @@ impl GroupCover {
 
         for group in &self.groups {
             let mut next = dp.clone(); // skipping the group
-            let mut ch: Vec<(usize, Option<usize>)> =
-                (0..=x).map(|d| (d, None)).collect();
+            let mut ch: Vec<(usize, Option<usize>)> = (0..=x).map(|d| (d, None)).collect();
             for (oi, opt) in group.iter().enumerate() {
-                for d in 0..=x {
-                    if dp[d] == INF {
+                for (d, &dp_d) in dp.iter().enumerate() {
+                    if dp_d == INF {
                         continue;
                     }
                     let nd = (d + opt.amount as usize).min(x);
-                    let cost = dp[d] + opt.cost;
+                    let cost = dp_d + opt.cost;
                     if cost < next[nd] {
                         next[nd] = cost;
                         ch[nd] = (d, Some(oi));
@@ -151,7 +153,10 @@ impl GroupCover {
             d = prev_d;
         }
 
-        Some(CoverSolution { cost: dp[x], chosen })
+        Some(CoverSolution {
+            cost: dp[x],
+            chosen,
+        })
     }
 
     /// A fast *lower bound* on the optimal cost: fractional covering by

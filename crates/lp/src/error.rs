@@ -44,7 +44,10 @@ impl fmt::Display for LpError {
                 write!(f, "non-finite value supplied while {context}")
             }
             LpError::UnknownVariable { index, len } => {
-                write!(f, "variable index {index} out of range for model with {len} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for model with {len} variables"
+                )
             }
             LpError::EmptyDomain { index } => {
                 write!(f, "variable {index} has lower bound above its upper bound")
@@ -69,9 +72,11 @@ mod tests {
         assert!(LpError::UnknownVariable { index: 9, len: 3 }
             .to_string()
             .contains('9'));
-        assert!(LpError::NonFiniteInput { context: "adding a constraint" }
-            .to_string()
-            .contains("adding a constraint"));
+        assert!(LpError::NonFiniteInput {
+            context: "adding a constraint"
+        }
+        .to_string()
+        .contains("adding a constraint"));
     }
 
     #[test]

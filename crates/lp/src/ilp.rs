@@ -44,7 +44,11 @@ pub struct IlpOptions {
 
 impl Default for IlpOptions {
     fn default() -> Self {
-        IlpOptions { max_nodes: 200_000, int_tol: 1e-6, gap_tol: 1e-9 }
+        IlpOptions {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+        }
     }
 }
 
@@ -133,8 +137,7 @@ pub fn solve_ilp_with_incumbent(
         }
     };
 
-    let root_bounds: Vec<(f64, f64)> =
-        model.variables.iter().map(|v| (v.lower, v.upper)).collect();
+    let root_bounds: Vec<(f64, f64)> = model.variables.iter().map(|v| (v.lower, v.upper)).collect();
 
     let mut work = model.clone();
     let relax = |bounds: &[(f64, f64)], work: &mut Model| -> Result<_, LpError> {
@@ -146,13 +149,12 @@ pub fn solve_ilp_with_incumbent(
     };
 
     // Root relaxation.
-    let root = match relax(&root_bounds, &mut work) {
-        Ok(sol) => sol,
-        Err(e) => return Err(e),
-    };
+    let root = relax(&root_bounds, &mut work)?;
 
     let mut heap: BinaryHeap<(Reverse<Bound>, usize)> = BinaryHeap::new();
-    let mut nodes: Vec<Node> = vec![Node { bounds: root_bounds }];
+    let mut nodes: Vec<Node> = vec![Node {
+        bounds: root_bounds,
+    }];
     heap.push((Reverse(Bound(root.objective)), 0));
 
     let mut incumbent: Option<(f64, Vec<f64>)> = initial_incumbent;
@@ -208,7 +210,7 @@ pub fn solve_ilp_with_incumbent(
                     x[i] = x[i].round();
                 }
                 let obj = model.objective_value(&x);
-                if incumbent.as_ref().map_or(true, |(best, _)| obj < *best) {
+                if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     incumbent = Some((obj, x));
                 }
             }
@@ -263,7 +265,11 @@ mod tests {
             .unwrap();
         let sol = solve_ilp(&m, &IlpOptions::default()).unwrap();
         assert!(sol.proven_optimal);
-        assert!((sol.objective - 7.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 7.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert_eq!(sol.x, vec![0.0, 1.0, 1.0]);
     }
 
@@ -271,7 +277,8 @@ mod tests {
     fn pure_lp_passes_through() {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, 4.0, -1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.5).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.5)
+            .unwrap();
         let sol = solve_ilp(&m, &IlpOptions::default()).unwrap();
         assert!((sol.objective + 2.5).abs() < 1e-6);
     }
@@ -282,8 +289,12 @@ mod tests {
         // integral one.
         let mut m = Model::new();
         let x = m.add_binary("x", 1.0).unwrap();
-        m.add_constraint(vec![(x, 2.0)], ConstraintOp::Eq, 1.0).unwrap();
-        assert_eq!(solve_ilp(&m, &IlpOptions::default()), Err(LpError::Infeasible));
+        m.add_constraint(vec![(x, 2.0)], ConstraintOp::Eq, 1.0)
+            .unwrap();
+        assert_eq!(
+            solve_ilp(&m, &IlpOptions::default()),
+            Err(LpError::Infeasible)
+        );
     }
 
     #[test]
@@ -296,8 +307,10 @@ mod tests {
         let s1b = m.add_binary("s1b", 2.0).unwrap();
         let s2a = m.add_binary("s2a", 5.0).unwrap();
         let s2b = m.add_binary("s2b", 9.0).unwrap();
-        m.add_constraint(vec![(s1a, 1.0), (s1b, 1.0)], ConstraintOp::Le, 1.0).unwrap();
-        m.add_constraint(vec![(s2a, 1.0), (s2b, 1.0)], ConstraintOp::Le, 1.0).unwrap();
+        m.add_constraint(vec![(s1a, 1.0), (s1b, 1.0)], ConstraintOp::Le, 1.0)
+            .unwrap();
+        m.add_constraint(vec![(s2a, 1.0), (s2b, 1.0)], ConstraintOp::Le, 1.0)
+            .unwrap();
         m.add_constraint(
             vec![(s1a, 2.0), (s1b, 1.0), (s2a, 2.0), (s2b, 3.0)],
             ConstraintOp::Ge,
@@ -306,20 +319,36 @@ mod tests {
         .unwrap();
         let sol = solve_ilp(&m, &IlpOptions::default()).unwrap();
         // Best: s1b ($2, 1u) + s2a ($5, 2u) = $7 covering 3.
-        assert!((sol.objective - 7.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 7.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]
     fn node_limit_without_incumbent_errors() {
         let mut m = Model::new();
-        let vars: Vec<_> = (0..8).map(|i| m.add_binary(&format!("x{i}"), 1.0).unwrap()).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(&format!("x{i}"), 1.0).unwrap())
+            .collect();
         // Σ 2x_i == 7 — infeasible in integers; with a node budget of one
         // node we cannot even find an incumbent.
-        m.add_constraint(vars.iter().map(|&v| (v, 2.0)).collect(), ConstraintOp::Eq, 7.0)
-            .unwrap();
-        let opts = IlpOptions { max_nodes: 1, ..IlpOptions::default() };
+        m.add_constraint(
+            vars.iter().map(|&v| (v, 2.0)).collect(),
+            ConstraintOp::Eq,
+            7.0,
+        )
+        .unwrap();
+        let opts = IlpOptions {
+            max_nodes: 1,
+            ..IlpOptions::default()
+        };
         let r = solve_ilp(&m, &opts);
-        assert!(matches!(r, Err(LpError::NodeLimit) | Err(LpError::Infeasible)));
+        assert!(matches!(
+            r,
+            Err(LpError::NodeLimit) | Err(LpError::Infeasible)
+        ));
     }
 
     #[test]
@@ -332,8 +361,7 @@ mod tests {
             .unwrap();
         // Feasible but suboptimal warm start: a + b (cost 9).
         let warm = vec![1.0, 1.0, 0.0];
-        let sol =
-            super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&warm)).unwrap();
+        let sol = super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&warm)).unwrap();
         assert!(sol.proven_optimal);
         assert!((sol.objective - 7.0).abs() < 1e-6);
     }
@@ -341,12 +369,20 @@ mod tests {
     #[test]
     fn warm_start_survives_tiny_node_budgets() {
         let mut m = Model::new();
-        let vars: Vec<_> =
-            (0..6).map(|i| m.add_binary(&format!("x{i}"), (i + 1) as f64).unwrap()).collect();
-        m.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), ConstraintOp::Ge, 3.0)
-            .unwrap();
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_binary(&format!("x{i}"), (i + 1) as f64).unwrap())
+            .collect();
+        m.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            ConstraintOp::Ge,
+            3.0,
+        )
+        .unwrap();
         let warm = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
-        let opts = IlpOptions { max_nodes: 1, ..IlpOptions::default() };
+        let opts = IlpOptions {
+            max_nodes: 1,
+            ..IlpOptions::default()
+        };
         // With the warm incumbent, even a starved search returns a
         // solution instead of NodeLimit.
         let sol = super::solve_ilp_with_incumbent(&m, &opts, Some(&warm)).unwrap();
@@ -357,17 +393,14 @@ mod tests {
     fn invalid_warm_start_is_rejected() {
         let mut m = Model::new();
         let x = m.add_binary("x", 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0)
+            .unwrap();
         // Wrong dimension.
-        assert!(super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[]))
-            .is_err());
+        assert!(super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[])).is_err());
         // Infeasible point.
-        assert!(super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[0.0]))
-            .is_err());
+        assert!(super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[0.0])).is_err());
         // Fractional on an integer variable.
-        assert!(
-            super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[0.5])).is_err()
-        );
+        assert!(super::solve_ilp_with_incumbent(&m, &IlpOptions::default(), Some(&[0.5])).is_err());
     }
 
     #[test]

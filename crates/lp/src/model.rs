@@ -135,12 +135,19 @@ impl Model {
         upper: f64,
         objective: f64,
     ) -> Result<VarId, LpError> {
-        if !lower.is_finite() || !objective.is_finite() || upper.is_nan() || upper == f64::NEG_INFINITY
+        if !lower.is_finite()
+            || !objective.is_finite()
+            || upper.is_nan()
+            || upper == f64::NEG_INFINITY
         {
-            return Err(LpError::NonFiniteInput { context: "declaring a variable" });
+            return Err(LpError::NonFiniteInput {
+                context: "declaring a variable",
+            });
         }
         if lower > upper {
-            return Err(LpError::EmptyDomain { index: self.variables.len() });
+            return Err(LpError::EmptyDomain {
+                index: self.variables.len(),
+            });
         }
         self.variables.push(Variable {
             name: name.to_owned(),
@@ -196,7 +203,9 @@ impl Model {
     pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
         self.check_var(var)?;
         if lower.is_nan() || upper.is_nan() || !lower.is_finite() && lower != f64::NEG_INFINITY {
-            return Err(LpError::NonFiniteInput { context: "setting variable bounds" });
+            return Err(LpError::NonFiniteInput {
+                context: "setting variable bounds",
+            });
         }
         if lower > upper {
             return Err(LpError::EmptyDomain { index: var.0 });
@@ -233,20 +242,28 @@ impl Model {
         rhs: f64,
     ) -> Result<ConstraintId, LpError> {
         if !rhs.is_finite() {
-            return Err(LpError::NonFiniteInput { context: "adding a constraint" });
+            return Err(LpError::NonFiniteInput {
+                context: "adding a constraint",
+            });
         }
         let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
         for (var, coef) in terms {
             self.check_var(var)?;
             if !coef.is_finite() {
-                return Err(LpError::NonFiniteInput { context: "adding a constraint" });
+                return Err(LpError::NonFiniteInput {
+                    context: "adding a constraint",
+                });
             }
             match dense.iter_mut().find(|(i, _)| *i == var.0) {
                 Some((_, c)) => *c += coef,
                 None => dense.push((var.0, coef)),
             }
         }
-        self.constraints.push(Constraint { terms: dense, op, rhs });
+        self.constraints.push(Constraint {
+            terms: dense,
+            op,
+            rhs,
+        });
         Ok(ConstraintId(self.constraints.len() - 1))
     }
 
@@ -299,7 +316,10 @@ impl Model {
 
     fn check_var(&self, var: VarId) -> Result<(), LpError> {
         if var.0 >= self.variables.len() {
-            Err(LpError::UnknownVariable { index: var.0, len: self.variables.len() })
+            Err(LpError::UnknownVariable {
+                index: var.0,
+                len: self.variables.len(),
+            })
         } else {
             Ok(())
         }
@@ -331,7 +351,10 @@ mod tests {
             m.add_var("x", f64::NAN, 1.0, 0.0),
             Err(LpError::NonFiniteInput { .. })
         ));
-        assert!(matches!(m.add_var("x", 2.0, 1.0, 0.0), Err(LpError::EmptyDomain { .. })));
+        assert!(matches!(
+            m.add_var("x", 2.0, 1.0, 0.0),
+            Err(LpError::EmptyDomain { .. })
+        ));
         let x = m.add_var("x", 0.0, 1.0, 1.0).unwrap();
         assert!(matches!(
             m.add_constraint(vec![(x, f64::INFINITY)], ConstraintOp::Le, 1.0),
@@ -373,6 +396,9 @@ mod tests {
         let x = m.add_binary("x", 1.0).unwrap();
         m.set_bounds(x, 1.0, 1.0).unwrap();
         assert_eq!(m.bounds(x).unwrap(), (1.0, 1.0));
-        assert!(matches!(m.set_bounds(x, 2.0, 1.0), Err(LpError::EmptyDomain { .. })));
+        assert!(matches!(
+            m.set_bounds(x, 2.0, 1.0),
+            Err(LpError::EmptyDomain { .. })
+        ));
     }
 }

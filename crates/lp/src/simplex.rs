@@ -37,6 +37,10 @@ const EPS: f64 = 1e-9;
 /// Tolerance for declaring phase-1 success (zero artificial mass).
 const FEAS_EPS: f64 = 1e-7;
 
+/// A raw constraint row before standardisation:
+/// `(terms, op, shifted rhs, index of the originating model constraint)`.
+type RawRow = (Vec<(usize, f64)>, ConstraintOp, f64, Option<usize>);
+
 /// An optimal LP solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
@@ -108,7 +112,7 @@ impl Simplex {
 
         // Raw rows: user constraints then upper-bound rows, as
         // (coefs, op, rhs, orig_index).
-        let mut raw: Vec<(Vec<(usize, f64)>, ConstraintOp, f64, Option<usize>)> = Vec::new();
+        let mut raw: Vec<RawRow> = Vec::new();
         for (k, c) in model.constraints.iter().enumerate() {
             let shift: f64 = c.terms.iter().map(|&(i, a)| a * lowers[i]).sum();
             raw.push((c.terms.clone(), c.op, c.rhs - shift, Some(k)));
@@ -224,8 +228,9 @@ impl Simplex {
                 }
                 s
             };
-            let phase1_costs: Vec<f64> =
-                (0..self.ncols).map(|j| if art_set[j] { 1.0 } else { 0.0 }).collect();
+            let phase1_costs: Vec<f64> = (0..self.ncols)
+                .map(|j| if art_set[j] { 1.0 } else { 0.0 })
+                .collect();
             let (mut r, mut neg_obj) = self.reduced_costs(&phase1_costs);
             self.run(&mut r, &mut neg_obj)?;
             let phase1_obj = -neg_obj;
@@ -264,7 +269,11 @@ impl Simplex {
             }
         }
 
-        Ok(LpSolution { objective, x, duals })
+        Ok(LpSolution {
+            objective,
+            x,
+            duals,
+        })
     }
 
     /// Computes the reduced-cost row and `-objective` for given costs.
@@ -274,8 +283,8 @@ impl Simplex {
         for (i, &b) in self.basis.iter().enumerate() {
             let cb = costs[b];
             if cb != 0.0 {
-                for j in 0..self.ncols {
-                    r[j] -= cb * self.rows[i][j];
+                for (rj, &aij) in r.iter_mut().zip(&self.rows[i]) {
+                    *rj -= cb * aij;
                 }
                 neg_obj -= cb * self.rhs[i];
             }
@@ -307,9 +316,9 @@ impl Simplex {
         } else {
             let mut best = None;
             let mut best_rc = -EPS;
-            for j in 0..self.ncols {
-                if self.allowed[j] && r[j] < best_rc {
-                    best_rc = r[j];
+            for (j, &rc) in r.iter().enumerate().take(self.ncols) {
+                if self.allowed[j] && rc < best_rc {
+                    best_rc = rc;
                     best = Some(j);
                 }
             }
@@ -357,8 +366,8 @@ impl Simplex {
             }
             let f = self.rows[i][pc];
             if f.abs() > EPS {
-                for j in 0..self.ncols {
-                    self.rows[i][j] -= f * pivot_row[j];
+                for (xj, &pj) in self.rows[i].iter_mut().zip(&pivot_row) {
+                    *xj -= f * pj;
                 }
                 self.rows[i][pc] = 0.0;
                 self.rhs[i] -= f * pivot_rhs;
@@ -371,8 +380,8 @@ impl Simplex {
         }
         let f = r[pc];
         if f.abs() > EPS {
-            for j in 0..self.ncols {
-                r[j] -= f * pivot_row[j];
+            for (rj, &pj) in r.iter_mut().zip(&pivot_row) {
+                *rj -= f * pj;
             }
             *neg_obj -= f * pivot_rhs;
         }
@@ -382,7 +391,7 @@ impl Simplex {
 
     /// After phase 1, pivots artificial variables out of the basis where
     /// possible and drops redundant rows where not.
-    fn evict_basic_artificials(&mut self, art_set: &[bool], r: &mut Vec<f64>, neg_obj: &mut f64) {
+    fn evict_basic_artificials(&mut self, art_set: &[bool], r: &mut [f64], neg_obj: &mut f64) {
         let mut i = 0;
         while i < self.rows.len() {
             if art_set[self.basis[i]] {
@@ -424,9 +433,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, -3.0).unwrap();
         let y = m.add_var("y", 0.0, f64::INFINITY, -5.0).unwrap();
-        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0).unwrap();
-        m.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0).unwrap();
-        m.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0)
+            .unwrap();
+        m.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0)
+            .unwrap();
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(close(s.objective, -36.0), "objective {}", s.objective);
         assert!(close(s.x[0], 2.0) && close(s.x[1], 6.0), "{:?}", s.x);
@@ -438,10 +450,15 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 2.0, f64::INFINITY, 2.0).unwrap();
         let y = m.add_var("y", 3.0, f64::INFINITY, 3.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         // Cheapest way to reach 10 is all-x above the y floor: x=7, y=3.
-        assert!(close(s.objective, 2.0 * 7.0 + 3.0 * 3.0), "objective {}", s.objective);
+        assert!(
+            close(s.objective, 2.0 * 7.0 + 3.0 * 3.0),
+            "objective {}",
+            s.objective
+        );
         assert!(close(s.x[0], 7.0) && close(s.x[1], 3.0));
     }
 
@@ -451,7 +468,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, 3.0, 1.0).unwrap();
         let y = m.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(close(s.objective, 3.0 + 2.0 * 2.0));
         assert!(close(s.x[0], 3.0) && close(s.x[1], 2.0));
@@ -461,7 +479,8 @@ mod tests {
     fn detects_infeasible() {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, 1.0, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0)
+            .unwrap();
         assert_eq!(solve_lp(&m), Err(LpError::Infeasible));
     }
 
@@ -469,7 +488,8 @@ mod tests {
     fn detects_unbounded() {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0)
+            .unwrap();
         assert_eq!(solve_lp(&m), Err(LpError::Unbounded));
     }
 
@@ -479,9 +499,14 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, 10.0, -1.0).unwrap(); // maximize x
         let y = m.add_var("y", 0.0, 10.0, 0.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
-        assert!(close(s.x[0], 8.0), "x should reach 8 (y=10), got {}", s.x[0]);
+        assert!(
+            close(s.x[0], 8.0),
+            "x should reach 8 (y=10), got {}",
+            s.x[0]
+        );
     }
 
     #[test]
@@ -489,7 +514,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 2.5, 2.5, 4.0).unwrap();
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(close(s.x[0], 2.5));
         assert!(close(s.x[1], 1.5));
@@ -516,7 +542,8 @@ mod tests {
             0.0,
         )
         .unwrap();
-        m.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 1.0).unwrap();
+        m.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 1.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         // Known optimum of the Beale cycling example: -0.05 at z = 1.
         assert!(close(s.objective, -0.05), "objective {}", s.objective);
@@ -533,12 +560,24 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, 2.0).unwrap();
         let y = m.add_var("y", 0.0, f64::INFINITY, 3.0).unwrap();
-        let c1 = m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0).unwrap();
-        let c2 = m.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, 2.0).unwrap();
+        let c1 = m
+            .add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        let c2 = m
+            .add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, 2.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(close(s.objective, 9.0), "objective {}", s.objective);
-        assert!(close(s.duals[c1.index()], 2.5), "dual1 {}", s.duals[c1.index()]);
-        assert!(close(s.duals[c2.index()], -0.5), "dual2 {}", s.duals[c2.index()]);
+        assert!(
+            close(s.duals[c1.index()], 2.5),
+            "dual1 {}",
+            s.duals[c1.index()]
+        );
+        assert!(
+            close(s.duals[c2.index()], -0.5),
+            "dual2 {}",
+            s.duals[c2.index()]
+        );
         // Strong duality for this model (no finite var upper bounds):
         // y'b == c'x.
         let dual_obj = s.duals[0] * 4.0 + s.duals[1] * 2.0;
@@ -551,8 +590,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(close(s.objective, 3.0));
     }
@@ -563,8 +604,10 @@ mod tests {
         let a = m.add_var("a", 0.0, 1.0, 5.0).unwrap();
         let b = m.add_var("b", 0.0, 1.0, 4.0).unwrap();
         let c = m.add_var("c", 0.0, 1.0, 3.0).unwrap();
-        m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], ConstraintOp::Ge, 3.0).unwrap();
-        m.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0).unwrap();
+        m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], ConstraintOp::Ge, 3.0)
+            .unwrap();
+        m.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!(m.is_feasible(&s.x, 1e-6), "{:?}", s.x);
     }

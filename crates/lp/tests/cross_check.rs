@@ -4,9 +4,7 @@
 //! relaxation are independent implementations of overlapping problems, so
 //! we can use each to validate the others on randomized instances.
 
-use edge_lp::{
-    solve_ilp, solve_lp, ConstraintOp, CoverOption, GroupCover, IlpOptions, Model,
-};
+use edge_lp::{solve_ilp, solve_lp, ConstraintOp, CoverOption, GroupCover, IlpOptions, Model};
 use proptest::prelude::*;
 
 /// Builds the ILP formulation of a [`GroupCover`] instance:
@@ -22,7 +20,8 @@ fn cover_to_ilp(inst: &GroupCover) -> Model {
             group_terms.push((v, 1.0));
         }
         if !group_terms.is_empty() {
-            m.add_constraint(group_terms, ConstraintOp::Le, 1.0).unwrap();
+            m.add_constraint(group_terms, ConstraintOp::Le, 1.0)
+                .unwrap();
         }
     }
     m.add_constraint(cover_terms, ConstraintOp::Ge, inst.demand() as f64)
@@ -33,10 +32,7 @@ fn cover_to_ilp(inst: &GroupCover) -> Model {
 fn arb_cover() -> impl Strategy<Value = GroupCover> {
     (
         0u64..15,
-        proptest::collection::vec(
-            proptest::collection::vec((1u32..25, 1u64..6), 1..4),
-            1..6,
-        ),
+        proptest::collection::vec(proptest::collection::vec((1u32..25, 1u64..6), 1..4), 1..6),
     )
         .prop_map(|(demand, groups)| {
             let groups = groups

@@ -14,7 +14,12 @@ fn random_model(seed: u64, n: usize, m: usize) -> Model {
     let vars: Vec<_> = (0..n)
         .map(|i| {
             model
-                .add_var(&format!("x{i}"), 0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0))
+                .add_var(
+                    &format!("x{i}"),
+                    0.0,
+                    rng.gen_range(1.0..10.0),
+                    rng.gen_range(-5.0..5.0),
+                )
                 .unwrap()
         })
         .collect();
@@ -33,7 +38,9 @@ fn random_model(seed: u64, n: usize, m: usize) -> Model {
             1 => ConstraintOp::Ge,
             _ => ConstraintOp::Eq,
         };
-        model.add_constraint(terms, op, rng.gen_range(-5.0..10.0)).unwrap();
+        model
+            .add_constraint(terms, op, rng.gen_range(-5.0..10.0))
+            .unwrap();
     }
     model
 }

@@ -16,7 +16,11 @@ pub struct EdgeCloud {
 impl EdgeCloud {
     /// Creates an empty edge cloud with the given capacity.
     pub fn new(id: EdgeCloudId, capacity: Resource) -> Self {
-        EdgeCloud { id, capacity, members: Vec::new() }
+        EdgeCloud {
+            id,
+            capacity,
+            members: Vec::new(),
+        }
     }
 
     /// This cloud's id.
@@ -47,7 +51,11 @@ impl EdgeCloud {
     /// Panics if the microservice is already a member — double placement
     /// would double-count it during fair sharing.
     pub fn host(&mut self, ms: MicroserviceId) {
-        assert!(!self.members.contains(&ms), "{ms} is already hosted on {}", self.id);
+        assert!(
+            !self.members.contains(&ms),
+            "{ms} is already hosted on {}",
+            self.id
+        );
         self.members.push(ms);
     }
 
@@ -64,7 +72,10 @@ impl EdgeCloud {
 /// Returns the cloud id assigned to each microservice, and registers each
 /// on its cloud.
 pub fn place_round_robin(clouds: &mut [EdgeCloud], n: usize) -> Vec<EdgeCloudId> {
-    assert!(!clouds.is_empty(), "need at least one cloud to place microservices");
+    assert!(
+        !clouds.is_empty(),
+        "need at least one cloud to place microservices"
+    );
     (0..n)
         .map(|m| {
             let c = m % clouds.len();

@@ -40,7 +40,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { num_clouds: 10, cloud_capacity: 4.0 }
+        SimConfig {
+            num_clouds: 10,
+            cloud_capacity: 4.0,
+        }
     }
 }
 
@@ -192,7 +195,10 @@ impl Simulation {
         let from_cloud = self.service(from)?.cloud();
         let to_cloud = self.service(to)?.cloud();
         if from_cloud != to_cloud {
-            return Err(SimError::MismatchedClouds { from: from_cloud, to: to_cloud });
+            return Err(SimError::MismatchedClouds {
+                from: from_cloud,
+                to: to_cloud,
+            });
         }
         self.pending_transfers.push((from, to, amount));
         Ok(())
@@ -299,7 +305,9 @@ impl Simulation {
                 .fold(0.0f64, f64::max);
             let neighbors_active = members
                 .iter()
-                .filter(|&&m| served_round[m.index()] > 0 || self.services[m.index()].queue_len() > 0)
+                .filter(|&&m| {
+                    served_round[m.index()] > 0 || self.services[m.index()].queue_len() > 0
+                })
                 .count();
             for &m in members {
                 let s = &self.services[m.index()];
@@ -338,7 +346,12 @@ impl Simulation {
     /// Aggregate per-class service statistics across all microservices —
     /// evidence for the priority claim (§V-A: "higher priority is given
     /// to delay-sensitive microservices").
-    pub fn class_report(&self) -> [(edge_workload::request::RequestClass, crate::microservice::ClassCounters); 2] {
+    pub fn class_report(
+        &self,
+    ) -> [(
+        edge_workload::request::RequestClass,
+        crate::microservice::ClassCounters,
+    ); 2] {
         use edge_workload::request::RequestClass;
         RequestClass::all().map(|class| {
             let mut total = crate::microservice::ClassCounters::default();
@@ -372,10 +385,20 @@ mod tests {
     fn small_sim(seed: u64) -> Simulation {
         let mut rng = seeded_rng(seed);
         let trace = RequestTrace::generate(
-            TraceConfig { num_microservices: 6, rounds: 8, ..TraceConfig::default() },
+            TraceConfig {
+                num_microservices: 6,
+                rounds: 8,
+                ..TraceConfig::default()
+            },
             &mut rng,
         );
-        Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 5.0 })
+        Simulation::new(
+            trace,
+            SimConfig {
+                num_clouds: 2,
+                cloud_capacity: 5.0,
+            },
+        )
     }
 
     #[test]
@@ -410,7 +433,8 @@ mod tests {
         // ms#0 and ms#2 share cloud 0 (round robin over 2 clouds).
         let from = MicroserviceId::new(0);
         let to = MicroserviceId::new(2);
-        sim.schedule_transfer(from, to, Resource::new(0.5).unwrap()).unwrap();
+        sim.schedule_transfer(from, to, Resource::new(0.5).unwrap())
+            .unwrap();
         sim.step().unwrap();
         // The transfer happened inside the step; verify indirectly via
         // metrics: recipient's allocation should exceed the donor's when
@@ -499,10 +523,8 @@ mod tests {
             tracker.record_batch(sim.last_completions(), round);
             total_completed += sim.last_completions().len();
         }
-        let sensitive =
-            tracker.counters(edge_workload::request::RequestClass::DelaySensitive);
-        let tolerant =
-            tracker.counters(edge_workload::request::RequestClass::DelayTolerant);
+        let sensitive = tracker.counters(edge_workload::request::RequestClass::DelaySensitive);
+        let tolerant = tracker.counters(edge_workload::request::RequestClass::DelayTolerant);
         assert_eq!(
             (sensitive.on_time + sensitive.late + tolerant.on_time + tolerant.late) as usize,
             total_completed
@@ -524,7 +546,13 @@ mod tests {
             },
             &mut rng,
         );
-        let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 3.0 });
+        let mut sim = Simulation::new(
+            trace,
+            SimConfig {
+                num_clouds: 2,
+                cloud_capacity: 3.0,
+            },
+        );
         sim.run_to_end();
         let report = sim.class_report();
         let sensitive = report
@@ -576,7 +604,10 @@ mod tests {
             .iter()
             .map(|&m| sim.services[m.index()].allocation().value())
             .sum();
-        assert!(total <= 0.5 + 1e-9, "cloud 0 over-allocated after failure: {total}");
+        assert!(
+            total <= 0.5 + 1e-9,
+            "cloud 0 over-allocated after failure: {total}"
+        );
     }
 
     #[test]
@@ -606,7 +637,12 @@ mod tests {
     fn pause_releases_capacity_to_neighbours() {
         let mut sim = small_sim(52);
         let mut events = crate::events::EventSchedule::new();
-        events.at(0, SimEvent::PauseService { ms: MicroserviceId::new(0) });
+        events.at(
+            0,
+            SimEvent::PauseService {
+                ms: MicroserviceId::new(0),
+            },
+        );
         sim.set_events(events);
         sim.step();
         // Cloud 0 members are ms#0, ms#2, ms#4 (round robin over 2

@@ -82,9 +82,24 @@ mod tests {
     #[test]
     fn schedule_collects_per_round() {
         let mut s = EventSchedule::new();
-        s.at(2, SimEvent::PauseService { ms: MicroserviceId::new(1) })
-            .at(2, SimEvent::PauseService { ms: MicroserviceId::new(2) })
-            .at(5, SimEvent::ResumeService { ms: MicroserviceId::new(1) });
+        s.at(
+            2,
+            SimEvent::PauseService {
+                ms: MicroserviceId::new(1),
+            },
+        )
+        .at(
+            2,
+            SimEvent::PauseService {
+                ms: MicroserviceId::new(2),
+            },
+        )
+        .at(
+            5,
+            SimEvent::ResumeService {
+                ms: MicroserviceId::new(1),
+            },
+        );
         assert_eq!(s.for_round(2).len(), 2);
         assert_eq!(s.for_round(5).len(), 1);
         assert!(s.for_round(0).is_empty());
@@ -102,10 +117,13 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut s = EventSchedule::new();
-        s.at(1, SimEvent::CapacityChange {
-            cloud: EdgeCloudId::new(0),
-            capacity: Resource::new(3.0).unwrap(),
-        });
+        s.at(
+            1,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(3.0).unwrap(),
+            },
+        );
         let json = serde_json::to_string(&s).unwrap();
         let back: EventSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);

@@ -113,7 +113,10 @@ impl MicroserviceState {
         self.received_total += 1;
         self.work_arrived_total += request.work;
         self.by_class[class_slot(request.class)].received += 1;
-        self.queue.push_back(InFlight { remaining: request.work, request });
+        self.queue.push_back(InFlight {
+            remaining: request.work,
+            request,
+        });
     }
 
     /// Processes the queue for one round with the current allocation.
@@ -125,7 +128,9 @@ impl MicroserviceState {
         let mut budget = self.allocation.value();
         let mut outcome = RoundOutcome::default();
         while budget > 1e-12 {
-            let Some(front) = self.queue.front_mut() else { break };
+            let Some(front) = self.queue.front_mut() else {
+                break;
+            };
             let spent = front.remaining.min(budget);
             front.remaining -= spent;
             budget -= spent;

@@ -21,9 +21,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A placement strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Placement {
     /// `ms i → cloud (i mod L)`.
+    #[default]
     RoundRobin,
     /// Uniformly random cloud per microservice (seeded).
     Random {
@@ -39,12 +40,6 @@ pub enum Placement {
     },
 }
 
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::RoundRobin
-    }
-}
-
 /// Assigns `n` microservices to `clouds` per the strategy, registering
 /// each on its cloud, and returns each microservice's cloud.
 ///
@@ -53,7 +48,10 @@ impl Default for Placement {
 /// Panics if `clouds` is empty or a `Packed` strategy has
 /// `per_cloud == 0`.
 pub fn place(clouds: &mut [EdgeCloud], n: usize, strategy: Placement) -> Vec<EdgeCloudId> {
-    assert!(!clouds.is_empty(), "need at least one cloud to place microservices");
+    assert!(
+        !clouds.is_empty(),
+        "need at least one cloud to place microservices"
+    );
     let l = clouds.len();
     let choose: Vec<usize> = match strategy {
         Placement::RoundRobin => (0..n).map(|m| m % l).collect(),

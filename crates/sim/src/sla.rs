@@ -23,7 +23,10 @@ pub struct SlaPolicy {
 impl Default for SlaPolicy {
     /// Sensitive traffic must finish within 1 round; tolerant within 4.
     fn default() -> Self {
-        SlaPolicy { sensitive_deadline: 1, tolerant_deadline: 4 }
+        SlaPolicy {
+            sensitive_deadline: 1,
+            tolerant_deadline: 4,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ pub struct SlaTracker {
 impl SlaTracker {
     /// Creates a tracker with the given policy.
     pub fn new(policy: SlaPolicy) -> Self {
-        SlaTracker { policy, sensitive: SlaCounters::default(), tolerant: SlaCounters::default() }
+        SlaTracker {
+            policy,
+            sensitive: SlaCounters::default(),
+            tolerant: SlaCounters::default(),
+        }
     }
 
     /// The active policy.
@@ -124,14 +131,22 @@ mod tests {
     use edge_common::id::{MicroserviceId, UserId};
 
     fn req(class: RequestClass, arrival: u64) -> Request {
-        Request::new(UserId::new(0), MicroserviceId::new(0), class, Round::new(arrival), 0.5)
+        Request::new(
+            UserId::new(0),
+            MicroserviceId::new(0),
+            class,
+            Round::new(arrival),
+            0.5,
+        )
     }
 
     #[test]
     fn default_policy_orders_classes() {
         let p = SlaPolicy::default();
-        assert!(p.deadline_for(RequestClass::DelaySensitive)
-            < p.deadline_for(RequestClass::DelayTolerant));
+        assert!(
+            p.deadline_for(RequestClass::DelaySensitive)
+                < p.deadline_for(RequestClass::DelayTolerant)
+        );
     }
 
     #[test]
@@ -140,7 +155,7 @@ mod tests {
         // Sensitive: deadline 1 round.
         t.record(&req(RequestClass::DelaySensitive, 0), Round::new(1)); // on time
         t.record(&req(RequestClass::DelaySensitive, 0), Round::new(2)); // late
-        // Tolerant: deadline 4 rounds.
+                                                                        // Tolerant: deadline 4 rounds.
         t.record(&req(RequestClass::DelayTolerant, 0), Round::new(4)); // on time
         t.record(&req(RequestClass::DelayTolerant, 0), Round::new(9)); // late
         let s = t.counters(RequestClass::DelaySensitive);
@@ -166,7 +181,10 @@ mod tests {
     fn empty_tracker_has_zero_rate() {
         let t = SlaTracker::new(SlaPolicy::default());
         assert_eq!(t.overall_violation_rate(), 0.0);
-        assert_eq!(t.counters(RequestClass::DelaySensitive).violation_rate(), 0.0);
+        assert_eq!(
+            t.counters(RequestClass::DelaySensitive).violation_rate(),
+            0.0
+        );
     }
 
     #[test]

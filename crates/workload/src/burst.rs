@@ -38,7 +38,11 @@ impl Default for BurstConfig {
     /// Bursts are rare (5%/round), short (mean 2.5 rounds), and intense
     /// (4× rate).
     fn default() -> Self {
-        BurstConfig { enter_burst: 0.05, exit_burst: 0.4, burst_multiplier: 4.0 }
+        BurstConfig {
+            enter_burst: 0.05,
+            exit_burst: 0.4,
+            burst_multiplier: 4.0,
+        }
     }
 }
 
@@ -67,15 +71,17 @@ impl BurstProcess {
     /// the multiplier is not at least 1.
     pub fn new(config: BurstConfig) -> Self {
         assert!(
-            (0.0..=1.0).contains(&config.enter_burst)
-                && (0.0..=1.0).contains(&config.exit_burst),
+            (0.0..=1.0).contains(&config.enter_burst) && (0.0..=1.0).contains(&config.exit_burst),
             "transition probabilities must lie in [0, 1]"
         );
         assert!(
             config.burst_multiplier >= 1.0 && config.burst_multiplier.is_finite(),
             "burst multiplier must be >= 1"
         );
-        BurstProcess { config, state: BurstState::Normal }
+        BurstProcess {
+            config,
+            state: BurstState::Normal,
+        }
     }
 
     /// The current state.

@@ -83,8 +83,17 @@ impl Request {
         arrival: Round,
         work: f64,
     ) -> Self {
-        assert!(work.is_finite() && work > 0.0, "request work must be finite and positive");
-        Request { user, target, class, arrival, work }
+        assert!(
+            work.is_finite() && work > 0.0,
+            "request work must be finite and positive"
+        );
+        Request {
+            user,
+            target,
+            class,
+            arrival,
+            work,
+        }
     }
 }
 
@@ -102,7 +111,9 @@ mod tests {
     #[test]
     fn all_is_in_priority_order() {
         let classes = RequestClass::all();
-        assert!(classes.windows(2).all(|w| w[0].priority() <= w[1].priority()));
+        assert!(classes
+            .windows(2)
+            .all(|w| w[0].priority() <= w[1].priority()));
     }
 
     #[test]

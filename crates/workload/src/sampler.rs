@@ -30,7 +30,10 @@ use rand::Rng;
 /// assert!((mean - 5.0).abs() < 0.5);
 /// ```
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and >= 0");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "poisson mean must be finite and >= 0"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -70,7 +73,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 /// assert!((mean - 0.5).abs() < 0.1); // E[X] = 1/λ
 /// ```
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be finite and > 0");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be finite and > 0"
+    );
     // Inverse CDF; 1-u avoids ln(0).
     let u: f64 = rng.gen();
     -(1.0 - u).ln() / rate
@@ -99,7 +105,10 @@ pub fn uniform_int<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
 ///
 /// Panics if `lo >= hi` or either bound is non-finite.
 pub fn uniform_f64<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "uniform_f64 requires finite lo < hi");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "uniform_f64 requires finite lo < hi"
+    );
     rng.gen_range(lo..hi)
 }
 
@@ -122,8 +131,14 @@ mod tests {
             let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
             let mean = draws.iter().sum::<f64>() / n as f64;
             let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < 0.35 * lambda.max(1.0), "mean {mean} for λ={lambda}");
-            assert!((var - lambda).abs() < 0.5 * lambda.max(1.0), "var {var} for λ={lambda}");
+            assert!(
+                (mean - lambda).abs() < 0.35 * lambda.max(1.0),
+                "mean {mean} for λ={lambda}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.5 * lambda.max(1.0),
+                "var {var} for λ={lambda}"
+            );
         }
     }
 
@@ -132,8 +147,10 @@ mod tests {
         let mut rng = seeded_rng(5);
         let n = 4000;
         let lambda = 50.0;
-        let mean =
-            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 1.5, "mean {mean}");
     }
 
@@ -170,7 +187,10 @@ mod tests {
             seen_lo |= v == 10;
             seen_hi |= v == 35;
         }
-        assert!(seen_lo && seen_hi, "both endpoints should appear in 2000 draws");
+        assert!(
+            seen_lo && seen_hi,
+            "both endpoints should appear in 2000 draws"
+        );
     }
 
     #[test]

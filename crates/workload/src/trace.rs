@@ -72,7 +72,10 @@ impl RequestTrace {
     /// Panics if the config has zero microservices or users, a
     /// non-positive `mean_work`, or `sensitive_fraction` outside `[0, 1]`.
     pub fn generate<R: Rng + ?Sized>(config: TraceConfig, rng: &mut R) -> Self {
-        assert!(config.num_microservices > 0, "trace needs at least one microservice");
+        assert!(
+            config.num_microservices > 0,
+            "trace needs at least one microservice"
+        );
         assert!(config.num_users > 0, "trace needs at least one user");
         assert!(
             config.mean_work.is_finite() && config.mean_work > 0.0,
@@ -127,7 +130,11 @@ impl RequestTrace {
             })
             .collect();
 
-        RequestTrace { config, classes, rounds }
+        RequestTrace {
+            config,
+            classes,
+            rounds,
+        }
     }
 
     /// The configuration this trace was generated from.
@@ -179,8 +186,7 @@ impl RequestTrace {
     /// Propagates filesystem errors; serialization of a valid trace
     /// cannot fail.
     pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self)
-            .expect("traces serialize infallibly");
+        let json = serde_json::to_string_pretty(self).expect("traces serialize infallibly");
         std::fs::write(path, json)
     }
 
@@ -205,12 +211,18 @@ mod tests {
     #[test]
     fn generates_expected_volume() {
         let mut rng = seeded_rng(21);
-        let config = TraceConfig { rounds: 20, ..TraceConfig::default() };
+        let config = TraceConfig {
+            rounds: 20,
+            ..TraceConfig::default()
+        };
         let trace = RequestTrace::generate(config, &mut rng);
         // 25 microservices, ~half sensitive: expected (12.5*5 + 12.5*10)
         // = 187.5 per round. Allow generous slack for class sampling.
         let per_round = trace.total_requests() as f64 / 20.0;
-        assert!((100.0..300.0).contains(&per_round), "per-round volume {per_round}");
+        assert!(
+            (100.0..300.0).contains(&per_round),
+            "per-round volume {per_round}"
+        );
     }
 
     #[test]
@@ -223,7 +235,10 @@ mod tests {
         };
         let trace = RequestTrace::generate(config, &mut rng);
         let per_round = trace.total_requests() as f64 / 30.0;
-        assert!((per_round - 100.0).abs() < 15.0, "per-round volume {per_round}");
+        assert!(
+            (per_round - 100.0).abs() < 15.0,
+            "per-round volume {per_round}"
+        );
     }
 
     #[test]
@@ -231,7 +246,9 @@ mod tests {
         let mut rng = seeded_rng(23);
         let trace = RequestTrace::generate(TraceConfig::default(), &mut rng);
         for (_, batch) in trace.iter() {
-            assert!(batch.windows(2).all(|w| w[0].class.priority() <= w[1].class.priority()));
+            assert!(batch
+                .windows(2)
+                .all(|w| w[0].class.priority() <= w[1].class.priority()));
         }
     }
 
@@ -253,7 +270,10 @@ mod tests {
     fn class_assignment_respects_extremes() {
         let mut rng = seeded_rng(26);
         let all_sensitive = RequestTrace::generate(
-            TraceConfig { sensitive_fraction: 1.0, ..TraceConfig::default() },
+            TraceConfig {
+                sensitive_fraction: 1.0,
+                ..TraceConfig::default()
+            },
             &mut rng,
         );
         for m in 0..25 {
@@ -270,7 +290,11 @@ mod tests {
         // parser, so we check *idempotence*: after one round trip the
         // representation is a fixed point, and the structure is intact.
         let mut rng = seeded_rng(27);
-        let config = TraceConfig { rounds: 2, num_microservices: 3, ..TraceConfig::default() };
+        let config = TraceConfig {
+            rounds: 2,
+            num_microservices: 3,
+            ..TraceConfig::default()
+        };
         let trace = RequestTrace::generate(config, &mut rng);
         let json = serde_json::to_string(&trace).unwrap();
         let back: RequestTrace = serde_json::from_str(&json).unwrap();
@@ -284,7 +308,11 @@ mod tests {
     #[test]
     fn save_and_load_round_trip() {
         let mut rng = seeded_rng(29);
-        let config = TraceConfig { rounds: 2, num_microservices: 3, ..TraceConfig::default() };
+        let config = TraceConfig {
+            rounds: 2,
+            num_microservices: 3,
+            ..TraceConfig::default()
+        };
         let trace = RequestTrace::generate(config, &mut rng);
         let mut path = std::env::temp_dir();
         path.push(format!("edge-workload-trace-{}.json", std::process::id()));
@@ -310,7 +338,10 @@ mod tests {
     fn rejects_empty_population() {
         let mut rng = seeded_rng(28);
         RequestTrace::generate(
-            TraceConfig { num_microservices: 0, ..TraceConfig::default() },
+            TraceConfig {
+                num_microservices: 0,
+                ..TraceConfig::default()
+            },
             &mut rng,
         );
     }

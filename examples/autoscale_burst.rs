@@ -42,7 +42,13 @@ fn run(market: bool, seed: u64) -> Result<f64, Box<dyn std::error::Error>> {
         &mut rng,
     );
     // One cloud so every microservice can trade with the hot one.
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 1, cloud_capacity: 30.0 });
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 1,
+            cloud_capacity: 30.0,
+        },
+    );
     let hub = sim.metrics();
     let estimator = DemandEstimator::new(DemandConfig::default());
     let hot = MicroserviceId::new(0);
@@ -52,7 +58,9 @@ fn run(market: bool, seed: u64) -> Result<f64, Box<dyn std::error::Error>> {
             continue;
         }
         let batch = hub.at_round(round);
-        let Some(hot_row) = batch.iter().find(|m| m.ms == hot) else { continue };
+        let Some(hot_row) = batch.iter().find(|m| m.ms == hot) else {
+            continue;
+        };
         let estimate = estimator.estimate(hot_row, round.index() + 1);
         let shortfall = estimate.units().min(12);
         if shortfall == 0 {
@@ -71,8 +79,12 @@ fn run(market: bool, seed: u64) -> Result<f64, Box<dyn std::error::Error>> {
                 bids.push(Bid::new(row.ms, BidId::new(0), spare, price)?);
             }
         }
-        let Ok(instance) = WspInstance::new(shortfall, bids) else { continue };
-        let Ok(outcome) = run_ssam(&instance, &SsamConfig::default()) else { continue };
+        let Ok(instance) = WspInstance::new(shortfall, bids) else {
+            continue;
+        };
+        let Ok(outcome) = run_ssam(&instance, &SsamConfig::default()) else {
+            continue;
+        };
         for w in &outcome.winners {
             sim.schedule_transfer(w.seller, hot, Resource::new(w.contribution as f64)?)?;
         }
@@ -86,9 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 0..5 {
         let without = run(false, seed)?;
         let with = run(true, seed)?;
-        println!(
-            "seed {seed}: backlog without market {without:8.2}  |  with market {with:8.2}",
-        );
+        println!("seed {seed}: backlog without market {without:8.2}  |  with market {with:8.2}",);
         if with <= without {
             with_market_wins += 1;
         }

@@ -30,22 +30,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         &mut rng,
     );
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 1, cloud_capacity: 30.0 });
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 1,
+            cloud_capacity: 30.0,
+        },
+    );
 
     // Round 4: half the cloud's capacity fails. Round 8: it recovers.
     // Round 5: one seller microservice crashes outright until round 9.
     let mut events = EventSchedule::new();
     events
-        .at(4, SimEvent::CapacityChange {
-            cloud: EdgeCloudId::new(0),
-            capacity: Resource::new(14.0)?,
-        })
-        .at(8, SimEvent::CapacityChange {
-            cloud: EdgeCloudId::new(0),
-            capacity: Resource::new(30.0)?,
-        })
-        .at(5, SimEvent::PauseService { ms: MicroserviceId::new(3) })
-        .at(9, SimEvent::ResumeService { ms: MicroserviceId::new(3) });
+        .at(
+            4,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(14.0)?,
+            },
+        )
+        .at(
+            8,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(30.0)?,
+            },
+        )
+        .at(
+            5,
+            SimEvent::PauseService {
+                ms: MicroserviceId::new(3),
+            },
+        )
+        .at(
+            9,
+            SimEvent::ResumeService {
+                ms: MicroserviceId::new(3),
+            },
+        );
     sim.set_events(events);
 
     println!("round | sellable spare | market demand | winners | cleared");

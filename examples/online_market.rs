@@ -18,7 +18,9 @@ use edge_market::lp::IlpOptions;
 use edge_market::workload::params::PaperParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = PaperParams::default().with_microservices(12).with_rounds(10);
+    let params = PaperParams::default()
+        .with_microservices(12)
+        .with_rounds(10);
     let mut rng = derive_rng(2024, "online-market");
     let instance = multi_round_instance(&params, 0.25, &mut rng);
 
@@ -29,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Plain MSOA, round by round.
     let plain = run_variant(&instance, &MsoaConfig::default(), MsoaVariant::Plain)?;
-    println!("{:>5} {:>8} {:>9} {:>13} {:>12}", "round", "demand", "winners", "social cost", "payments");
+    println!(
+        "{:>5} {:>8} {:>9} {:>13} {:>12}",
+        "round", "demand", "winners", "social cost", "payments"
+    );
     for r in &plain.rounds {
         println!(
             "{:>5} {:>8} {:>9} {:>13} {:>12}{}",
@@ -50,10 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offline = offline_optimum_multi(&instance, true, &IlpOptions::default())?;
     println!(
         "\noffline optimum ({}): ${:.2}",
-        if offline.is_exact() { "exact" } else { "lower bound" },
+        if offline.is_exact() {
+            "exact"
+        } else {
+            "lower bound"
+        },
         offline.value()
     );
-    println!("\n{:<10} {:>13} {:>9} {:>18}", "variant", "social cost", "ratio", "uncovered rounds");
+    println!(
+        "\n{:<10} {:>13} {:>9} {:>18}",
+        "variant", "social cost", "ratio", "uncovered rounds"
+    );
     for v in [
         MsoaVariant::Plain,
         MsoaVariant::DemandAware,

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run_ssam(&instance, &SsamConfig::default())?;
 
     println!("demand: {demand} resource units\n");
-    println!("{:<8} {:>6} {:>12} {:>10} {:>10}", "winner", "units", "contributed", "price", "payment");
+    println!(
+        "{:<8} {:>6} {:>12} {:>10} {:>10}",
+        "winner", "units", "contributed", "price", "payment"
+    );
     for w in &outcome.winners {
         println!(
             "{:<8} {:>6} {:>12} {:>10} {:>10}",

@@ -20,11 +20,15 @@ use edge_market::common::rng::derive_rng;
 use edge_market::workload::params::PaperParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = PaperParams::default().with_microservices(15).with_bids_per_seller(1);
+    let params = PaperParams::default()
+        .with_microservices(15)
+        .with_bids_per_seller(1);
     let mut rng = derive_rng(7, "audit");
     let instance = single_round_instance(&params, &mut rng);
     // A reserve makes truthfulness exact even for pivotal sellers.
-    let config = SsamConfig { reserve_unit_price: Some(50.0) };
+    let config = SsamConfig {
+        reserve_unit_price: Some(50.0),
+    };
 
     let outcome = run_ssam(&instance, &config)?;
     println!(
@@ -34,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.winners.len()
     );
 
-    println!("individual rationality : {}", check_individual_rationality(&outcome));
-    println!("selection monotonicity : {}", check_monotonicity(&instance, &config)?);
+    println!(
+        "individual rationality : {}",
+        check_individual_rationality(&outcome)
+    );
+    println!(
+        "selection monotonicity : {}",
+        check_monotonicity(&instance, &config)?
+    );
     println!(
         "critical payments      : {}",
         check_critical_payments(&instance, &config, 1e-6)?

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-sample measurement loop instead of criterion's full
+//! statistical pipeline. Each benchmark prints min / median / mean
+//! per-iteration times to stdout.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; runs the timed loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Measurement settings shared by a group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark whose closure receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&label, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&label, sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            warmup: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, label: &str, sample_size: usize, mut f: F) {
+        // Warmup pass: single-iteration samples until the warmup budget
+        // is spent; the last observed time calibrates iters_per_sample.
+        let mut samples = Vec::new();
+        let mut per_iter = Duration::from_micros(1);
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.warmup {
+            let mut bencher = Bencher {
+                samples: &mut samples,
+                iters_per_sample: 1,
+                sample_count: 1,
+            };
+            f(&mut bencher);
+            if let Some(&d) = samples.last() {
+                per_iter = d.max(Duration::from_nanos(1));
+            }
+        }
+
+        // Aim for ~20ms per sample so short routines are timeable.
+        let iters_per_sample = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample,
+            sample_count: sample_size,
+        };
+        f(&mut bencher);
+
+        samples.sort_unstable();
+        let min = samples.first().copied().unwrap_or_default();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{label:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+            min,
+            median,
+            mean,
+            samples.len(),
+            iters_per_sample
+        );
+        println!("{line}");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("to", 100u64), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            warmup: Duration::from_millis(5),
+        };
+        fast_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(21u64) * 2));
+    }
+}

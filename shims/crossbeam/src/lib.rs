@@ -1,0 +1,105 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! Since Rust 1.63 the standard library has `std::thread::scope`, which
+//! covers everything this workspace uses crossbeam for. This shim keeps
+//! the crossbeam call shape — `crossbeam::scope(|s| …)` returning
+//! `Result`, with `s.spawn(|_| …)` taking the scope as an argument — so
+//! call sites read exactly like the real crate.
+
+use std::any::Any;
+
+/// Scoped-thread API (`crossbeam::thread`).
+pub mod thread {
+    use super::Any;
+
+    /// A scope within which spawned threads are guaranteed to be joined.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so
+        /// nested spawns are possible, matching crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined
+    /// before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first panic payload if any spawned thread panicked
+    /// (matching crossbeam, which surfaces child panics in the result
+    /// rather than propagating them).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope propagates child panics as a panic in the
+        // parent; catch it to preserve crossbeam's Result contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = crate::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn writes_into_slots() {
+        let mut slots: Vec<Option<u64>> = vec![None; 8];
+        crate::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = Some(i as u64 * i as u64));
+            }
+        })
+        .unwrap();
+        assert_eq!(slots[7], Some(49));
+    }
+}

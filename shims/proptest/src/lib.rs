@@ -1,0 +1,509 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! range / tuple / `Just` / `collection::vec` strategies, the
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`
+//! combinators, the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its seed and stream index
+//!   so it can be replayed, but is not minimized.
+//! * **Deterministic by default** — cases are generated from a fixed
+//!   seed, so CI failures always reproduce locally.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Root seed for the deterministic case stream.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: 0x9a7e_57c0_ffee_u64,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// The generator handed to strategies.
+pub struct TestRng(pub ChaCha8Rng);
+
+impl TestRng {
+    /// Creates the generator for one case of one test.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        // Mix the stream index in with splitmix-style constants so
+        // consecutive cases are decorrelated.
+        let mixed = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng(ChaCha8Rng::seed_from_u64(mixed))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generated value was rejected by a filter; the runner retries with
+/// fresh randomness.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejection(pub &'static str);
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or rejects the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejection`] when a filter discarded the draw.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy off each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards values failing a predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Transforms values, discarding those mapped to `None`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        (self.f)(self.inner.generate(rng)?).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let v = self.inner.generate(rng)?;
+        if (self.f)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejection(self.reason))
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        (self.f)(self.inner.generate(rng)?).ok_or(Rejection(self.reason))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                Ok(rand::Rng::gen_range(rng, self.clone()))
+            }
+        }
+
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                Ok(rand::Rng::gen_range(rng, self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$n.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Rejection, Strategy, TestRng};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for vectors with random length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+            let len = rand::Rng::gen_range(rng, self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Outcome of running one generated case.
+#[derive(Debug, Clone, Copy)]
+pub enum CaseOutcome {
+    /// Assertions held.
+    Pass,
+    /// A filter rejected the generated input; retry.
+    Reject,
+}
+
+/// Drives the case loop for one `proptest!` test function.
+///
+/// # Panics
+///
+/// Panics when a case fails (reporting seed and stream for replay) or
+/// when filters reject too many consecutive candidates.
+pub fn run_cases<F>(config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<CaseOutcome, String>,
+{
+    let mut consecutive_rejects = 0u32;
+    let mut passed = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(config.seed, stream);
+        match case(&mut rng) {
+            Ok(CaseOutcome::Pass) => {
+                passed += 1;
+                consecutive_rejects = 0;
+            }
+            Ok(CaseOutcome::Reject) => {
+                consecutive_rejects += 1;
+                assert!(
+                    consecutive_rejects < 65_536,
+                    "proptest: {consecutive_rejects} consecutive rejections — \
+                     strategy filters are too strict"
+                );
+            }
+            Err(message) => panic!(
+                "proptest case failed (replay: seed={}, stream={stream})\n{message}",
+                config.seed
+            ),
+        }
+        stream += 1;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(&__config, |__rng| {
+                $(
+                    let $pat = match $crate::Strategy::generate(&($strategy), __rng) {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(_) => {
+                            return ::std::result::Result::Ok($crate::CaseOutcome::Reject)
+                        }
+                    };
+                )+
+                let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __run().map(|()| $crate::CaseOutcome::Pass)
+            });
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts inside a property body, failing the case (not the process)
+/// so the runner can report the reproducing seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}", ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, (a, b) in (0u32..5, 0.0f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((0.0..1.0).contains(&b), "b = {b}");
+        }
+
+        #[test]
+        fn combinators(v in collection::vec(0u64..100, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in collection::vec(1u64..6, 2..5)
+            .prop_flat_map(|v| {
+                let total: u64 = v.iter().sum();
+                (Just(v), 1u64..=total)
+            })) {
+            let (v, demand) = pair;
+            let total: u64 = v.iter().sum();
+            prop_assert!(demand >= 1 && demand <= total);
+        }
+
+        #[test]
+        fn filters_reject(x in (0u64..100).prop_filter("even only", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = super::TestRng::new(1, 5);
+        let mut b = super::TestRng::new(1, 5);
+        assert_eq!(
+            rand::Rng::gen_range(&mut a, 0u64..1000),
+            rand::Rng::gen_range(&mut b, 0u64..1000)
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the trait surface it actually uses: [`RngCore`] as the
+//! generator primitive, [`Rng`] with `gen` / `gen_range` / `gen_bool`,
+//! [`SeedableRng::seed_from_u64`], and [`seq::SliceRandom::shuffle`].
+//! The concrete generator lives in the sibling `rand_chacha` shim.
+//!
+//! Distribution details (how a `u64` becomes a `f64` in `[0, 1)`, how a
+//! range is sampled) are fixed here and deterministic across platforms;
+//! they do not bit-match the real rand crate, which no test in this
+//! workspace relies on.
+
+/// The generator primitive: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sized adapter so `Rng`'s provided methods work on unsized receivers.
+struct ByRef<'a, R: ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for ByRef<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Types sampleable uniformly from raw generator output (the shim's
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// 53 uniform mantissa bits → `[0, 1)`.
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`], generic over the output type
+/// so the expected type drives integer-literal inference (matching rand,
+/// where `let n: usize = rng.gen_range(3..9)` compiles without suffixes).
+pub trait SampleRange<T> {
+    /// Draws uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Maps a uniform `u64` onto `[0, span)` via 128-bit widening multiply
+/// (Lemire's method without the rejection step — the bias is ≤ 2⁻⁶⁴·span
+/// and irrelevant for simulation workloads).
+fn mul_shift(word: u64, span: u64) -> u64 {
+    ((u128::from(word) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(mul_shift(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-sampleable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(&mut ByRef(self))
+    }
+
+    /// Draws uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut ByRef(self))
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::sample(&mut ByRef(self)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generator constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Slice shuffling and selection.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element (`None` when empty).
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Counter(1);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unsized_receivers_work() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0u64..10)
+        }
+        let mut rng = Counter(9);
+        assert!(draw(&mut rng) < 10);
+    }
+}

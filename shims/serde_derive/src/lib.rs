@@ -1,0 +1,455 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes are
+//! exactly what this workspace uses:
+//!
+//! * structs with named fields → JSON objects in declaration order;
+//! * newtype structs (and `#[serde(transparent)]`) → the inner value;
+//! * tuple structs with ≥ 2 fields → JSON arrays;
+//! * enums, externally tagged: unit variants → `"Name"`, newtype
+//!   variants → `{"Name": inner}`, struct variants →
+//!   `{"Name": {fields…}}`, tuple variants → `{"Name": [items…]}`.
+//!
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type); the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+    transparent: bool,
+}
+
+/// Skips one attribute (`#[...]`), returning whether it contained
+/// `serde(... transparent ...)`.
+fn skip_attr<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) -> bool {
+    // Caller consumed `#`; the bracket group follows.
+    let Some(TokenTree::Group(g)) = it.next() else {
+        panic!("malformed attribute");
+    };
+    let mut inner = g.stream().into_iter();
+    let is_serde = matches!(&inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return false;
+    }
+    if let Some(TokenTree::Group(args)) = inner.next() {
+        return args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"));
+    }
+    false
+}
+
+/// Consumes leading attributes, reporting whether any was
+/// `#[serde(transparent)]`.
+fn skip_attrs<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) -> bool {
+    let mut transparent = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        transparent |= skip_attr(it);
+    }
+    transparent
+}
+
+/// Consumes a visibility qualifier if present (`pub`, `pub(crate)`, …).
+fn skip_vis<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Splits a field-list token stream at top-level commas, tracking angle
+/// brackets (`BTreeMap<u64, Vec<T>>` has commas that are *not* field
+/// separators and are not inside a delimiter group).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().unwrap().push(t);
+    }
+    if pieces.last().is_some_and(Vec::is_empty) {
+        pieces.pop();
+    }
+    pieces
+}
+
+/// Extracts the field name from one named-field token run
+/// (`#[attr]* vis? name : Type`).
+fn named_field(tokens: Vec<TokenTree>) -> String {
+    let mut it = tokens.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected field name, found {other:?}"),
+    }
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    match g.delimiter() {
+        Delimiter::Brace => Fields::Named(
+            split_top_level(g.stream())
+                .into_iter()
+                .map(named_field)
+                .collect(),
+        ),
+        Delimiter::Parenthesis => Fields::Tuple(split_top_level(g.stream()).len()),
+        other => panic!("unexpected field delimiter {other:?}"),
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut it = tokens.into_iter().peekable();
+            skip_attrs(&mut it);
+            let name = match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) => parse_fields_group(&g),
+                None => Fields::Unit,
+                other => panic!("unsupported tokens after variant `{name}`: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let transparent = skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) shim does not support generic type `{name}`");
+    }
+    let body = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) => Body::Struct(parse_fields_group(&g)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        body,
+        transparent,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut code = String::new();
+    let _ = write!(
+        code,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ "
+    );
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) if item.transparent && fields.len() == 1 => {
+            let f = &fields[0];
+            let _ = write!(code, "::serde::Serialize::serialize(&self.{f})");
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            code.push_str("::serde::Value::Object(::std::vec![");
+            for f in fields {
+                let _ = write!(
+                    code,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f})),"
+                );
+            }
+            code.push_str("])");
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            code.push_str("::serde::Serialize::serialize(&self.0)");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            code.push_str("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(code, "::serde::Serialize::serialize(&self.{i}),");
+            }
+            code.push_str("])");
+        }
+        Body::Struct(Fields::Unit) => {
+            code.push_str("::serde::Value::Null");
+        }
+        Body::Enum(variants) => {
+            code.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            code,
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            code,
+                            "{name}::{vname}(x0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::serialize(x0))]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let _ = write!(
+                            code,
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Array(::std::vec![",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            let _ = write!(code, "::serde::Serialize::serialize({b}),");
+                        }
+                        code.push_str("]))]),");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(code, "{name}::{vname} {{ {} }} => ", fields.join(", "));
+                        let _ = write!(
+                            code,
+                            "::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(::std::vec!["
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                code,
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize({f})),"
+                            );
+                        }
+                        code.push_str("]))]),");
+                    }
+                }
+            }
+            code.push('}');
+        }
+    }
+    code.push_str(" } }");
+    code
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut code = String::new();
+    let _ = write!(
+        code,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) if item.transparent && fields.len() == 1 => {
+            let f = &fields[0];
+            let _ = write!(
+                code,
+                "::std::result::Result::Ok({name} {{ {f}: \
+                 ::serde::Deserialize::deserialize(v)? }})"
+            );
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let _ = write!(
+                code,
+                "match v {{ ::serde::Value::Object(fields) => \
+                 ::std::result::Result::Ok({name} {{ "
+            );
+            for f in fields {
+                let _ = write!(code, "{f}: ::serde::field(fields, \"{f}\")?, ");
+            }
+            let _ = write!(
+                code,
+                "}}), _ => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"expected object for `{name}`\"))) }}"
+            );
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            let _ = write!(
+                code,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+            );
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let _ = write!(
+                code,
+                "match v {{ ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}("
+            );
+            for i in 0..*n {
+                let _ = write!(code, "::serde::Deserialize::deserialize(&items[{i}])?, ");
+            }
+            let _ = write!(
+                code,
+                ")), _ => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"expected array of {n} for `{name}`\"))) }}"
+            );
+        }
+        Body::Struct(Fields::Unit) => {
+            let _ = write!(code, "::std::result::Result::Ok({name})");
+        }
+        Body::Enum(variants) => {
+            // Unit variants arrive as strings; payload variants as
+            // single-entry objects.
+            code.push_str("match v { ::serde::Value::Str(s) => match s.as_str() {");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vname = &v.name;
+                    let _ = write!(
+                        code,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+            }
+            let _ = write!(
+                code,
+                "other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))) }},"
+            );
+            code.push_str(
+                "::serde::Value::Object(entries) if entries.len() == 1 => { \
+                 let (tag, inner) = &entries[0]; match tag.as_str() {",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            code,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let _ = write!(
+                            code,
+                            "\"{vname}\" => match inner {{ \
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}("
+                        );
+                        for i in 0..*n {
+                            let _ =
+                                write!(code, "::serde::Deserialize::deserialize(&items[{i}])?, ");
+                        }
+                        let _ = write!(
+                            code,
+                            ")), _ => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"expected array payload for \
+                             `{name}::{vname}`\"))) }},"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            code,
+                            "\"{vname}\" => match inner {{ \
+                             ::serde::Value::Object(fields) => \
+                             ::std::result::Result::Ok({name}::{vname} {{ "
+                        );
+                        for f in fields {
+                            let _ = write!(code, "{f}: ::serde::field(fields, \"{f}\")?, ");
+                        }
+                        let _ = write!(
+                            code,
+                            "}}), _ => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"expected object payload for \
+                             `{name}::{vname}`\"))) }},"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                code,
+                "other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))) }} }},"
+            );
+            let _ = write!(
+                code,
+                "_ => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"expected string or tagged object for `{name}`\"))) }}"
+            );
+        }
+    }
+    code.push_str(" } }");
+    code
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

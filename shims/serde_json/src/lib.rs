@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Thin text layer over the vendored `serde` shim's [`Value`] model:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`] with the same
+//! call signatures the real crate exposes for the subset this workspace
+//! uses.
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization / deserialization failure.
+#[derive(Debug)]
+pub struct Error(serde::DeError);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e)
+    }
+}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write_pretty(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    Ok(T::deserialize(&value)?)
+}

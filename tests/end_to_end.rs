@@ -7,7 +7,9 @@ use edge_market::auction::offline::offline_optimum_multi;
 use edge_market::auction::properties::check_individual_rationality;
 use edge_market::auction::ssam::{run_ssam, SsamConfig};
 use edge_market::auction::variants::{run_variant, MsoaVariant};
-use edge_market::bench::scenario::{integrated_instance, multi_round_instance, single_round_instance};
+use edge_market::bench::scenario::{
+    integrated_instance, multi_round_instance, single_round_instance,
+};
 use edge_market::common::rng::derive_rng;
 use edge_market::common::units::Resource;
 use edge_market::demand::{DemandConfig, DemandEstimator};
@@ -20,11 +22,21 @@ use edge_market::workload::trace::{RequestTrace, TraceConfig};
 fn workload_to_simulation_to_estimation() {
     let mut rng = derive_rng(1, "e2e-sim");
     let trace = RequestTrace::generate(
-        TraceConfig { num_microservices: 10, rounds: 6, ..TraceConfig::default() },
+        TraceConfig {
+            num_microservices: 10,
+            rounds: 6,
+            ..TraceConfig::default()
+        },
         &mut rng,
     );
     let total = trace.total_requests();
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 8.0 });
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 2,
+            cloud_capacity: 8.0,
+        },
+    );
     let hub = sim.metrics();
     sim.run_to_end();
 
@@ -44,8 +56,14 @@ fn workload_to_simulation_to_estimation() {
 fn integrated_market_clears_and_stays_rational() {
     let params = PaperParams::default().with_microservices(10).with_rounds(8);
     let mut rng = derive_rng(2, "e2e-market");
-    let instance =
-        integrated_instance(&params, SimConfig { num_clouds: 2, cloud_capacity: 6.0 }, &mut rng);
+    let instance = integrated_instance(
+        &params,
+        SimConfig {
+            num_clouds: 2,
+            cloud_capacity: 6.0,
+        },
+        &mut rng,
+    );
     let out = run_msoa(&instance, &MsoaConfig::default()).unwrap();
     assert_eq!(out.rounds.len(), 8);
     for (s, seller) in instance.sellers().iter().enumerate() {
@@ -140,7 +158,13 @@ fn simulation_transfers_follow_auction_outcomes() {
         },
         &mut rng,
     );
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 1, cloud_capacity: 12.0 });
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 1,
+            cloud_capacity: 12.0,
+        },
+    );
     let hot = edge_market::common::id::MicroserviceId::new(0);
     while let Some(_round) = sim.step() {
         let mut bids = Vec::new();

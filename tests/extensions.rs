@@ -39,16 +39,23 @@ fn budget_sweep_is_monotone_on_real_instances() {
 fn smoothed_estimator_tracks_the_simulation() {
     let mut rng = derive_rng(1, "ext-smooth");
     let trace = RequestTrace::generate(
-        TraceConfig { num_microservices: 6, rounds: 10, ..TraceConfig::default() },
+        TraceConfig {
+            num_microservices: 6,
+            rounds: 10,
+            ..TraceConfig::default()
+        },
         &mut rng,
     );
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 6.0 });
-    let hub = sim.metrics();
-    let mut smooth = SmoothedEstimator::new(
-        DemandEstimator::new(DemandConfig::default()),
-        0.3,
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 2,
+            cloud_capacity: 6.0,
+        },
     );
-    let mut raw = DemandEstimator::new(DemandConfig::default());
+    let hub = sim.metrics();
+    let mut smooth = SmoothedEstimator::new(DemandEstimator::new(DemandConfig::default()), 0.3);
+    let raw = DemandEstimator::new(DemandConfig::default());
     let mut max_jump_smooth = 0.0f64;
     let mut max_jump_raw = 0.0f64;
     let mut prev_s: Option<f64> = None;
@@ -82,11 +89,9 @@ fn bursty_trace_stresses_but_does_not_break_the_market() {
         let demand_draw = process.sample(&mut rng, 8.0);
         let inst = single_round_instance(&params, &mut rng);
         let demand = demand_draw.min(inst.max_supply()).max(1);
-        let rebuilt = edge_market::auction::wsp::WspInstance::new(
-            demand,
-            inst.bids().copied().collect(),
-        )
-        .unwrap();
+        let rebuilt =
+            edge_market::auction::wsp::WspInstance::new(demand, inst.bids().copied().collect())
+                .unwrap();
         let out = edge_market::auction::ssam::run_ssam(&rebuilt, &SsamConfig::default())
             .unwrap_or_else(|e| panic!("round {round}: {e}"));
         let covered: u64 = out.winners.iter().map(|w| w.contribution).sum();
@@ -98,22 +103,48 @@ fn bursty_trace_stresses_but_does_not_break_the_market() {
 fn failure_injection_respects_capacity_at_all_times() {
     let mut rng = derive_rng(3, "ext-events");
     let trace = RequestTrace::generate(
-        TraceConfig { num_microservices: 8, rounds: 10, ..TraceConfig::default() },
+        TraceConfig {
+            num_microservices: 8,
+            rounds: 10,
+            ..TraceConfig::default()
+        },
         &mut rng,
     );
-    let mut sim = Simulation::new(trace, SimConfig { num_clouds: 2, cloud_capacity: 10.0 });
+    let mut sim = Simulation::new(
+        trace,
+        SimConfig {
+            num_clouds: 2,
+            cloud_capacity: 10.0,
+        },
+    );
     let mut events = EventSchedule::new();
     events
-        .at(3, SimEvent::CapacityChange {
-            cloud: EdgeCloudId::new(0),
-            capacity: Resource::new(2.0).unwrap(),
-        })
-        .at(5, SimEvent::PauseService { ms: MicroserviceId::new(0) })
-        .at(7, SimEvent::ResumeService { ms: MicroserviceId::new(0) })
-        .at(8, SimEvent::CapacityChange {
-            cloud: EdgeCloudId::new(0),
-            capacity: Resource::new(10.0).unwrap(),
-        });
+        .at(
+            3,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(2.0).unwrap(),
+            },
+        )
+        .at(
+            5,
+            SimEvent::PauseService {
+                ms: MicroserviceId::new(0),
+            },
+        )
+        .at(
+            7,
+            SimEvent::ResumeService {
+                ms: MicroserviceId::new(0),
+            },
+        )
+        .at(
+            8,
+            SimEvent::CapacityChange {
+                cloud: EdgeCloudId::new(0),
+                capacity: Resource::new(10.0).unwrap(),
+            },
+        );
     sim.set_events(events);
     let hub = sim.metrics();
     while let Some(round) = sim.step() {
@@ -126,7 +157,11 @@ fn failure_injection_respects_capacity_at_all_times() {
             .filter(|m| m.ms.index() % 2 == 0) // round-robin: even ids on cloud 0
             .map(|m| m.allocation)
             .sum();
-        let cap = if (3..8).contains(&round.index()) { 2.0 } else { 10.0 };
+        let cap = if (3..8).contains(&round.index()) {
+            2.0
+        } else {
+            10.0
+        };
         assert!(
             cloud0_alloc <= cap + 1e-6,
             "round {}: cloud 0 allocated {cloud0_alloc} over capacity {cap}",
@@ -140,8 +175,9 @@ fn multi_buyer_general_form_handles_paper_scale() {
     let mut rng = derive_rng(4, "ext-multibuyer");
     use rand::Rng;
     // 25 sellers × 2 bids covering subsets of 12 buyers.
-    let buyers: Vec<(MicroserviceId, u64)> =
-        (0..12).map(|b| (MicroserviceId::new(500 + b), rng.gen_range(1..=3u64))).collect();
+    let buyers: Vec<(MicroserviceId, u64)> = (0..12)
+        .map(|b| (MicroserviceId::new(500 + b), rng.gen_range(1..=3u64)))
+        .collect();
     let mut bids = Vec::new();
     for s in 0..25 {
         for j in 0..2 {
@@ -149,7 +185,10 @@ fn multi_buyer_general_form_handles_paper_scale() {
             let mut cov = Vec::new();
             for _ in 0..k {
                 let b = rng.gen_range(0..12usize);
-                if !cov.iter().any(|&(id, _)| id == MicroserviceId::new(500 + b)) {
+                if !cov
+                    .iter()
+                    .any(|&(id, _)| id == MicroserviceId::new(500 + b))
+                {
                     cov.push((MicroserviceId::new(500 + b), rng.gen_range(1..=3u64)));
                 }
             }
@@ -179,12 +218,19 @@ fn placement_strategies_change_market_structure() {
     let mk = |strategy| {
         let mut rng = derive_rng(5, "ext-placement");
         let trace = RequestTrace::generate(
-            TraceConfig { num_microservices: 9, rounds: 3, ..TraceConfig::default() },
+            TraceConfig {
+                num_microservices: 9,
+                rounds: 3,
+                ..TraceConfig::default()
+            },
             &mut rng,
         );
         Simulation::with_placement(
             trace,
-            SimConfig { num_clouds: 3, cloud_capacity: 8.0 },
+            SimConfig {
+                num_clouds: 3,
+                cloud_capacity: 8.0,
+            },
             strategy,
         )
     };
@@ -226,6 +272,8 @@ fn round_type_threads_through_all_crates() {
     assert!(r.within(Round::ZERO, Round::new(5)));
     let p = Price::new(2.5).unwrap() + Price::new(1.5).unwrap();
     assert_eq!(p, Price::new(4.0).unwrap());
-    let res = Resource::new(3.0).unwrap().saturating_sub(Resource::new(5.0).unwrap());
+    let res = Resource::new(3.0)
+        .unwrap()
+        .saturating_sub(Resource::new(5.0).unwrap());
     assert_eq!(res, Resource::ZERO);
 }

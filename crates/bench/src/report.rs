@@ -19,6 +19,7 @@ pub const FIGURES: &[&str] = &[
     "fig6a",
     "fig6b",
     "ablation",
+    "fault-matrix",
 ];
 
 /// A rendered figure: a human-readable table and the raw JSON series.
@@ -194,6 +195,35 @@ pub fn render_figure(name: &str, seeds: u64) -> Option<RenderedFigure> {
             RenderedFigure {
                 name: "ablation",
                 title: "Ablation — mechanisms",
+                table: t.render(),
+                json: to_json(&rows),
+            }
+        }
+        "fault-matrix" => {
+            let rows = runner::fault_matrix(seeds);
+            let mut t = Table::new([
+                "p(default)",
+                "recovery",
+                "SLA viol",
+                "cost",
+                "shortfall",
+                "clawback",
+                "backfills",
+            ]);
+            for r in &rows {
+                t.push([
+                    f3(r.default_probability),
+                    if r.recovery { "on" } else { "off" }.to_owned(),
+                    f3(r.mean_sla_violation_rate),
+                    f3(r.mean_platform_cost),
+                    f3(r.mean_shortfall_units),
+                    f3(r.mean_clawed_back),
+                    f3(r.mean_backfill_attempts),
+                ]);
+            }
+            RenderedFigure {
+                name: "fault-matrix",
+                title: "Fault matrix — SLA and cost vs default probability",
                 table: t.render(),
                 json: to_json(&rows),
             }

@@ -621,9 +621,97 @@ pub fn ablation_mechanisms(seeds: u64) -> Vec<AblationRow> {
     rows
 }
 
+// ---------------------------------------------------------------------
+// Fault matrix: SLA violations and platform cost vs default probability,
+// with and without the recovery policy.
+// ---------------------------------------------------------------------
+
+/// One arm of the fault matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixRow {
+    /// Per-(round, seller) probability of a delivery default.
+    pub default_probability: f64,
+    /// Whether the recovery policy (clawback + reliability + backfill)
+    /// was active.
+    pub recovery: bool,
+    /// Mean fraction of positive-demand rounds with unserved demand.
+    pub mean_sla_violation_rate: f64,
+    /// Mean total the platform actually paid.
+    pub mean_platform_cost: f64,
+    /// Mean demand units that went unserved over the horizon.
+    pub mean_shortfall_units: f64,
+    /// Mean payment withheld from defaulting winners.
+    pub mean_clawed_back: f64,
+    /// Mean backfill re-auction attempts over the horizon.
+    pub mean_backfill_attempts: f64,
+}
+
+/// Runs the fault matrix: sweeps the seller-default probability (crash
+/// and sensor-dropout rates stay at their ambient defaults) and runs the
+/// *same* seeded fault plan through MSOA twice — recovery off, recovery
+/// on. Plans are drawn with common random numbers, so the two arms and
+/// all probability levels are paired and the curves are monotone rather
+/// than noisy.
+pub fn fault_matrix(seeds: u64) -> Vec<FaultMatrixRow> {
+    use edge_auction::recovery::{
+        run_msoa_with_faults, FaultInjectionConfig, FaultPlan, RecoveryConfig,
+    };
+
+    let points = [0.0f64, 0.05, 0.1, 0.2, 0.4];
+    let arms = [false, true];
+    let per_point = par_sweep(&points, seeds, |&p, seed| {
+        let params = PaperParams::default();
+        let mut rng = derive_rng(seed, "fault-matrix");
+        let inst = multi_round_instance(&params, 0.25, &mut rng);
+        let injection = FaultInjectionConfig {
+            default_probability: p,
+            ..FaultInjectionConfig::default()
+        };
+        let plan = FaultPlan::seeded(seed, inst.num_rounds(), inst.sellers().len(), &injection);
+        // α pinned: the fault figure must not inherit the derive-α
+        // truthfulness caveat (and must not spam the derive warning).
+        let config = MsoaConfig::pinned(inst.derive_alpha());
+        arms.map(|enabled| {
+            let recovery = if enabled {
+                RecoveryConfig::default()
+            } else {
+                RecoveryConfig::disabled()
+            };
+            let out =
+                run_msoa_with_faults(&inst, &config, &plan, &recovery).expect("valid instance");
+            (
+                out.sla_violation_rate(),
+                out.platform_cost.value(),
+                out.shortfall_units as f64,
+                out.clawed_back.value(),
+                out.backfill_attempts() as f64,
+            )
+        })
+    });
+    let mut rows = Vec::new();
+    for (&p, per_seed) in points.iter().zip(&per_point) {
+        for (ai, &recovery) in arms.iter().enumerate() {
+            let pick = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| -> f64 {
+                mean(&per_seed.iter().map(|runs| f(&runs[ai])).collect::<Vec<_>>())
+            };
+            rows.push(FaultMatrixRow {
+                default_probability: p,
+                recovery,
+                mean_sla_violation_rate: pick(|r| r.0),
+                mean_platform_cost: pick(|r| r.1),
+                mean_shortfall_units: pick(|r| r.2),
+                mean_clawed_back: pick(|r| r.3),
+                mean_backfill_attempts: pick(|r| r.4),
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edge_common::assert_money_eq;
 
     #[test]
     fn fig3a_shape_ratio_grows_with_s_and_j() {
@@ -743,7 +831,7 @@ mod tests {
                     .unwrap()
             };
             let ssam = get("SSAM");
-            assert_eq!(ssam.coverage_rate, 1.0);
+            assert_money_eq!(ssam.coverage_rate, 1.0);
             for other in ["random", "price-greedy"] {
                 let o = get(other);
                 if o.coverage_rate > 0.0 {
@@ -757,9 +845,53 @@ mod tests {
             }
             // VCG allocates optimally: its cost lower-bounds SSAM's.
             let vcg = get("VCG");
-            assert_eq!(vcg.coverage_rate, 1.0);
+            assert_money_eq!(vcg.coverage_rate, 1.0);
             assert!(vcg.mean_social_cost <= ssam.mean_social_cost + 1e-6);
         }
+    }
+
+    #[test]
+    fn fault_matrix_recovery_beats_baseline() {
+        let rows = fault_matrix(3);
+        assert_eq!(rows.len(), 5 * 2);
+        let get = |p: f64, recovery: bool| {
+            rows.iter()
+                .find(|r| r.default_probability == p && r.recovery == recovery)
+                .unwrap()
+        };
+        for p in [0.0, 0.05, 0.1, 0.2, 0.4] {
+            let base = get(p, false);
+            let rec = get(p, true);
+            // Recovery never serves less demand than the baseline.
+            assert!(
+                rec.mean_sla_violation_rate <= base.mean_sla_violation_rate + 1e-9,
+                "p={p}: recovery {} vs baseline {}",
+                rec.mean_sla_violation_rate,
+                base.mean_sla_violation_rate
+            );
+            assert!(rec.mean_shortfall_units <= base.mean_shortfall_units + 1e-9);
+            // The baseline never claws back or backfills.
+            assert_money_eq!(base.mean_clawed_back, 0.0);
+            assert_money_eq!(base.mean_backfill_attempts, 0.0);
+        }
+        // At the default fault level the improvement must be strict —
+        // the acceptance criterion of the fault-injection milestone.
+        let base = get(0.1, false);
+        let rec = get(0.1, true);
+        assert!(
+            rec.mean_sla_violation_rate < base.mean_sla_violation_rate,
+            "recovery {} not strictly below baseline {}",
+            rec.mean_sla_violation_rate,
+            base.mean_sla_violation_rate
+        );
+        // SLA violations grow with the default probability (common
+        // random numbers make this monotone, not just in expectation).
+        let b_lo = get(0.05, false).mean_sla_violation_rate;
+        let b_hi = get(0.4, false).mean_sla_violation_rate;
+        assert!(
+            b_lo <= b_hi + 1e-9,
+            "baseline not monotone: {b_lo} vs {b_hi}"
+        );
     }
 
     #[test]

@@ -11,8 +11,10 @@
 use edge_bench::{parallel, report};
 
 /// Cheap-but-representative figures: single-round sweeps, a multi-round
-/// sweep, and the ablation (which exercises the per-seed RNG the most).
-const FIGURES: &[&str] = &["fig3a", "fig3b", "fig6a", "ablation"];
+/// sweep, the ablation (which exercises the per-seed RNG the most), and
+/// the fault matrix (whose seeded fault plans and backfill re-auctions
+/// must also be scheduling-independent).
+const FIGURES: &[&str] = &["fig3a", "fig3b", "fig6a", "ablation", "fault-matrix"];
 
 #[test]
 fn tables_identical_at_1_and_4_threads() {

@@ -5,10 +5,12 @@
 //! testable without spawning processes.
 
 use crate::args::{ArgsError, ParsedArgs};
+use crate::faults::{parse_fault_plan, FaultPlanError};
 use edge_auction::msoa::{MsoaConfig, MultiRoundInstance};
 use edge_auction::properties::{
     audit_truthfulness, check_critical_payments, check_individual_rationality, check_monotonicity,
 };
+use edge_auction::recovery::{run_msoa_with_faults, FaultPlan, RecoveryConfig};
 use edge_auction::ssam::{run_ssam, SsamConfig};
 use edge_auction::variants::{run_variant, MsoaVariant};
 use edge_auction::wsp::WspInstance;
@@ -32,6 +34,10 @@ pub enum CliError {
     Json(serde_json::Error),
     /// The mechanism rejected the instance.
     Auction(edge_auction::AuctionError),
+    /// A `--faults` plan file failed to parse.
+    Faults(FaultPlanError),
+    /// Two flags that cannot be combined.
+    FlagConflict(&'static str, &'static str),
 }
 
 impl std::fmt::Display for CliError {
@@ -44,6 +50,10 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Auction(e) => write!(f, "auction error: {e}"),
+            CliError::Faults(e) => write!(f, "fault plan error: {e}"),
+            CliError::FlagConflict(a, b) => {
+                write!(f, "--{a} cannot be combined with --{b}")
+            }
         }
     }
 }
@@ -68,6 +78,11 @@ impl From<serde_json::Error> for CliError {
 impl From<edge_auction::AuctionError> for CliError {
     fn from(e: edge_auction::AuctionError) -> Self {
         CliError::Auction(e)
+    }
+}
+impl From<FaultPlanError> for CliError {
+    fn from(e: FaultPlanError) -> Self {
+        CliError::Faults(e)
     }
 }
 
@@ -107,6 +122,9 @@ COMMANDS:
                     --input FILE [--reserve PRICE]
     msoa            run the online auction on a multi-round scenario
                     --input FILE [--variant plain|da|rc|oa]
+                    [--faults PLAN.toml] [--recovery on|off]
+                    (--faults runs the fault-injection pipeline and
+                    cannot be combined with --variant)
     audit           audit mechanism properties on an instance
                     --input FILE [--reserve PRICE]
     reproduce       re-run the paper's evaluation figures
@@ -210,9 +228,27 @@ fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["input", "variant", "reserve"])?;
+    args.allow_only(&["input", "variant", "reserve", "faults", "recovery"])?;
+    let fault_mode = args.get("faults").is_some() || args.get("recovery").is_some();
+    if fault_mode && args.get("variant").is_some() {
+        return Err(CliError::FlagConflict("variant", "faults"));
+    }
+    let recovery = match args.get("recovery").unwrap_or("on") {
+        "on" => RecoveryConfig::default(),
+        "off" => RecoveryConfig::disabled(),
+        other => {
+            return Err(ArgsError::InvalidValue {
+                flag: "recovery".into(),
+                value: other.to_owned(),
+            }
+            .into())
+        }
+    };
     let instance: MultiRoundInstance =
         serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
+    if fault_mode {
+        return msoa_faulty(args, &instance, &recovery);
+    }
     let variant = match args.get("variant").unwrap_or("plain") {
         "plain" => MsoaVariant::Plain,
         "da" => MsoaVariant::DemandAware,
@@ -252,6 +288,82 @@ fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
         "competitive bound: {:.3} (α {:.2}, β {:.2})",
         outcome.competitive_bound, outcome.alpha, outcome.beta
     );
+    Ok(out)
+}
+
+/// The `msoa` command with the fault-injection pipeline engaged
+/// (`--faults` and/or `--recovery` given).
+fn msoa_faulty(
+    args: &ParsedArgs,
+    instance: &MultiRoundInstance,
+    recovery: &RecoveryConfig,
+) -> Result<String, CliError> {
+    let plan = match args.get("faults") {
+        Some(path) => parse_fault_plan(&fs::read_to_string(path)?)?,
+        None => FaultPlan::empty(),
+    };
+    let config = MsoaConfig {
+        ssam: ssam_config(args)?,
+        alpha: None,
+    };
+    let outcome = run_msoa_with_faults(instance, &config, &plan, recovery)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault plan: {} defaults, {} crashes, {} dropouts; recovery {}",
+        plan.defaults.len(),
+        plan.crashes.len(),
+        plan.dropouts.len(),
+        if recovery.enabled { "on" } else { "off" }
+    );
+    for r in &outcome.rounds {
+        let _ = write!(
+            out,
+            "  round {:>3}: demand {:>4}, delivered {:>4}, winners {:>3}",
+            r.round,
+            r.demand,
+            r.delivered,
+            r.winners.len()
+        );
+        if r.backfill_attempts > 0 {
+            let _ = write!(out, ", backfills {}", r.backfill_attempts);
+        }
+        if r.clawed_back.value() > 0.0 {
+            let _ = write!(out, ", clawed back {}", r.clawed_back);
+        }
+        if !r.observed.is_complete() {
+            let _ = write!(out, ", observed {}", r.observed);
+        }
+        if r.sla_violated {
+            let _ = write!(out, "  [SLA VIOLATED: {} uncovered]", r.shortfall);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "social cost       : {}", outcome.social_cost);
+    let _ = writeln!(out, "platform cost     : {}", outcome.platform_cost);
+    let _ = writeln!(out, "clawed back       : {}", outcome.clawed_back);
+    let _ = writeln!(
+        out,
+        "SLA violation rate: {:.3} ({} of {} units short)",
+        outcome.sla_violation_rate(),
+        outcome.shortfall_units,
+        outcome.demand_units
+    );
+    let _ = write!(out, "reliability       :");
+    for (i, seller) in instance.sellers().iter().enumerate() {
+        let _ = write!(
+            out,
+            " {} {:.2}{}",
+            seller.id,
+            outcome.reliability[i],
+            if outcome.blacklisted[i] {
+                " [blacklisted]"
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(out);
     Ok(out)
 }
 
@@ -437,6 +549,110 @@ mod tests {
         let err = run(parsed(&["msoa", "--input", path_s, "--variant", "bogus"])).unwrap_err();
         assert!(err.to_string().contains("bogus"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn msoa_with_fault_plan_reports_sla_and_reliability() {
+        let instance_path = temp_path("faulty.json");
+        let instance_s = instance_path.to_str().unwrap();
+        run(parsed(&[
+            "generate",
+            "--seed",
+            "11",
+            "--microservices",
+            "6",
+            "--rounds",
+            "4",
+            "--out",
+            instance_s,
+        ]))
+        .unwrap();
+
+        let plan_path = temp_path("plan.toml");
+        let plan_s = plan_path.to_str().unwrap();
+        std::fs::write(
+            &plan_path,
+            "# total no-show in round 1\n\
+             [[defaults]]\nround = 1\nseller = 0\ndelivered_fraction = 0.0\n\n\
+             [[crashes]]\nseller = 1\nfrom = 2\nuntil = 4\n\n\
+             [[dropouts]]\nindicator = \"rate\"\nfrom = 0\nuntil = 2\n",
+        )
+        .unwrap();
+
+        let out = run(parsed(&["msoa", "--input", instance_s, "--faults", plan_s])).unwrap();
+        assert!(
+            out.contains("fault plan: 1 defaults, 1 crashes, 1 dropouts; recovery on"),
+            "{out}"
+        );
+        assert!(out.contains("SLA violation rate"), "{out}");
+        assert!(out.contains("reliability"), "{out}");
+        assert!(out.contains("clawed back"), "{out}");
+
+        let off = run(parsed(&[
+            "msoa",
+            "--input",
+            instance_s,
+            "--faults",
+            plan_s,
+            "--recovery",
+            "off",
+        ]))
+        .unwrap();
+        assert!(off.contains("recovery off"), "{off}");
+
+        // --recovery alone engages the pipeline with an empty plan.
+        let empty = run(parsed(&["msoa", "--input", instance_s, "--recovery", "on"])).unwrap();
+        assert!(empty.contains("fault plan: 0 defaults"), "{empty}");
+
+        let _ = std::fs::remove_file(instance_path);
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn faults_flag_conflicts_with_variant() {
+        let err = run(parsed(&[
+            "msoa",
+            "--input",
+            "x.json",
+            "--faults",
+            "p.toml",
+            "--variant",
+            "da",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::FlagConflict("variant", "faults")));
+        assert!(err.to_string().contains("--variant"));
+    }
+
+    #[test]
+    fn broken_fault_plan_reports_the_line() {
+        let instance_path = temp_path("faulty2.json");
+        let instance_s = instance_path.to_str().unwrap();
+        run(parsed(&[
+            "generate", "--seed", "1", "--rounds", "2", "--out", instance_s,
+        ]))
+        .unwrap();
+        let plan_path = temp_path("bad-plan.toml");
+        let plan_s = plan_path.to_str().unwrap();
+        std::fs::write(&plan_path, "[[defaults]]\nround = 0\nwat = 1\n").unwrap();
+        let err = run(parsed(&["msoa", "--input", instance_s, "--faults", plan_s])).unwrap_err();
+        assert!(matches!(err, CliError::Faults(_)));
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let _ = std::fs::remove_file(instance_path);
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn bad_recovery_value_is_rejected() {
+        let err = run(parsed(&[
+            "msoa",
+            "--input",
+            "x.json",
+            "--recovery",
+            "maybe",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("maybe"), "{err}");
     }
 
     #[test]

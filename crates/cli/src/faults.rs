@@ -1,0 +1,470 @@
+//! Fault-plan files: a hand-written parser for the TOML subset the
+//! `--faults` flag accepts.
+//!
+//! The workspace deliberately carries no TOML dependency, so this module
+//! parses exactly the subset a fault plan needs and nothing more:
+//!
+//! ```toml
+//! # seller 2 delivers only 40% of its commitment in round 3
+//! [[defaults]]
+//! round = 3
+//! seller = 2
+//! delivered_fraction = 0.4
+//!
+//! [[crashes]]
+//! seller = 1
+//! from = 2      # inclusive
+//! until = 5     # exclusive
+//!
+//! [[dropouts]]
+//! indicator = "rate"   # waiting | processing | rate
+//! from = 0
+//! until = 4
+//! ```
+//!
+//! Supported: `#` comments (whole-line and trailing), blank lines, the
+//! three array-of-table headers above, and `key = value` pairs whose
+//! values are unsigned integers, floats, or double-quoted strings
+//! (without escape sequences). Anything else is a loud error naming the
+//! offending line — a fault plan that silently drops half its events
+//! would invalidate every experiment run on it.
+
+use edge_auction::recovery::{CrashWindow, DefaultEvent, DropoutWindow, FaultPlan};
+use edge_common::id::MicroserviceId;
+use edge_common::indicator::Indicator;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_fault_plan`], each naming the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A line that is neither a table header nor `key = value`.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A `[[...]]` header naming an unknown table.
+    UnknownTable {
+        /// 1-based line number.
+        line: usize,
+        /// The header's table name.
+        name: String,
+    },
+    /// A `key = value` pair before any table header.
+    KeyOutsideTable {
+        /// 1-based line number.
+        line: usize,
+        /// The stray key.
+        key: String,
+    },
+    /// A key the table does not define (or a duplicate within an entry).
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The table being filled.
+        table: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// A value that does not parse as the key's type.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key being assigned.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// An entry missing a required key.
+    MissingKey {
+        /// 1-based line number of the entry's `[[...]]` header.
+        line: usize,
+        /// The table the entry belongs to.
+        table: &'static str,
+        /// The absent key.
+        key: &'static str,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            FaultPlanError::UnknownTable { line, name } => {
+                write!(
+                    f,
+                    "line {line}: unknown table [[{name}]] \
+                     (expected defaults, crashes, or dropouts)"
+                )
+            }
+            FaultPlanError::KeyOutsideTable { line, key } => {
+                write!(
+                    f,
+                    "line {line}: key '{key}' before any [[defaults]]/[[crashes]]/[[dropouts]] header"
+                )
+            }
+            FaultPlanError::UnknownKey { line, table, key } => {
+                write!(f, "line {line}: [[{table}]] has no key '{key}'")
+            }
+            FaultPlanError::InvalidValue { line, key, value } => {
+                write!(f, "line {line}: cannot parse '{value}' for key '{key}'")
+            }
+            FaultPlanError::MissingKey { line, table, key } => {
+                write!(
+                    f,
+                    "[[{table}]] entry at line {line} is missing required key '{key}'"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FaultPlanError {}
+
+/// Which array-of-tables an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Table {
+    Defaults,
+    Crashes,
+    Dropouts,
+}
+
+impl Table {
+    fn name(self) -> &'static str {
+        match self {
+            Table::Defaults => "defaults",
+            Table::Crashes => "crashes",
+            Table::Dropouts => "dropouts",
+        }
+    }
+
+    fn keys(self) -> &'static [&'static str] {
+        match self {
+            Table::Defaults => &["round", "seller", "delivered_fraction"],
+            Table::Crashes => &["seller", "from", "until"],
+            Table::Dropouts => &["indicator", "from", "until"],
+        }
+    }
+}
+
+/// One `[[table]]` entry mid-parse: its header line and raw key/values.
+#[derive(Debug)]
+struct RawEntry {
+    table: Table,
+    line: usize,
+    values: BTreeMap<String, (String, usize)>,
+}
+
+impl RawEntry {
+    fn require(&self, key: &'static str) -> Result<(&str, usize), FaultPlanError> {
+        self.values
+            .get(key)
+            .map(|(raw, line)| (raw.as_str(), *line))
+            .ok_or(FaultPlanError::MissingKey {
+                line: self.line,
+                table: self.table.name(),
+                key,
+            })
+    }
+
+    fn u64(&self, key: &'static str) -> Result<u64, FaultPlanError> {
+        let (raw, line) = self.require(key)?;
+        raw.parse().map_err(|_| FaultPlanError::InvalidValue {
+            line,
+            key: key.to_owned(),
+            value: raw.to_owned(),
+        })
+    }
+
+    fn f64(&self, key: &'static str) -> Result<f64, FaultPlanError> {
+        let (raw, line) = self.require(key)?;
+        // Reject non-finite spellings (`inf`, `nan`) that f64::from_str
+        // would happily accept; a plan file has no business with them.
+        match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(FaultPlanError::InvalidValue {
+                line,
+                key: key.to_owned(),
+                value: raw.to_owned(),
+            }),
+        }
+    }
+
+    fn string(&self, key: &'static str) -> Result<(&str, usize), FaultPlanError> {
+        let (raw, line) = self.require(key)?;
+        let inner = raw
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .filter(|s| !s.contains('"'));
+        inner
+            .map(|s| (s, line))
+            .ok_or(FaultPlanError::InvalidValue {
+                line,
+                key: key.to_owned(),
+                value: raw.to_owned(),
+            })
+    }
+}
+
+/// Strips a trailing `#` comment, honouring double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a fault-plan file into the core [`FaultPlan`].
+///
+/// # Errors
+///
+/// Any [`FaultPlanError`], always naming the offending line.
+pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, FaultPlanError> {
+    let mut entries: Vec<RawEntry> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let table = match header.trim() {
+                "defaults" => Table::Defaults,
+                "crashes" => Table::Crashes,
+                "dropouts" => Table::Dropouts,
+                other => {
+                    return Err(FaultPlanError::UnknownTable {
+                        line: line_no,
+                        name: other.to_owned(),
+                    })
+                }
+            };
+            entries.push(RawEntry {
+                table,
+                line: line_no,
+                values: BTreeMap::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(FaultPlanError::Syntax {
+                line: line_no,
+                message: format!("expected [[table]] or key = value, got '{line}'"),
+            });
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(entry) = entries.last_mut() else {
+            return Err(FaultPlanError::KeyOutsideTable {
+                line: line_no,
+                key: key.to_owned(),
+            });
+        };
+        if !entry.table.keys().contains(&key) || entry.values.contains_key(key) {
+            return Err(FaultPlanError::UnknownKey {
+                line: line_no,
+                table: entry.table.name(),
+                key: key.to_owned(),
+            });
+        }
+        if value.is_empty() {
+            return Err(FaultPlanError::Syntax {
+                line: line_no,
+                message: format!("key '{key}' has no value"),
+            });
+        }
+        entry
+            .values
+            .insert(key.to_owned(), (value.to_owned(), line_no));
+    }
+
+    let mut plan = FaultPlan::empty();
+    for entry in &entries {
+        match entry.table {
+            Table::Defaults => plan.defaults.push(DefaultEvent {
+                round: entry.u64("round")?,
+                seller: MicroserviceId::new(entry.u64("seller")? as usize),
+                delivered_fraction: entry.f64("delivered_fraction")?,
+            }),
+            Table::Crashes => plan.crashes.push(CrashWindow {
+                seller: MicroserviceId::new(entry.u64("seller")? as usize),
+                from: entry.u64("from")?,
+                until: entry.u64("until")?,
+            }),
+            Table::Dropouts => {
+                let (name, line) = entry.string("indicator")?;
+                let indicator: Indicator =
+                    name.parse().map_err(|_| FaultPlanError::InvalidValue {
+                        line,
+                        key: "indicator".to_owned(),
+                        value: name.to_owned(),
+                    })?;
+                plan.dropouts.push(DropoutWindow {
+                    indicator,
+                    from: entry.u64("from")?,
+                    until: entry.u64("until")?,
+                });
+            }
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a three-event plan
+[[defaults]]
+round = 3
+seller = 2
+delivered_fraction = 0.4   # partial delivery
+
+[[crashes]]
+seller = 1
+from = 2
+until = 5
+
+[[dropouts]]
+indicator = "rate"
+from = 0
+until = 4
+"#;
+
+    #[test]
+    fn parses_a_full_plan() {
+        let plan = parse_fault_plan(GOOD).unwrap();
+        assert_eq!(plan.defaults.len(), 1);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.dropouts.len(), 1);
+        let d = &plan.defaults[0];
+        assert_eq!((d.round, d.seller), (3, MicroserviceId::new(2)));
+        assert!((d.delivered_fraction - 0.4).abs() < 1e-12);
+        let c = &plan.crashes[0];
+        assert_eq!((c.seller, c.from, c.until), (MicroserviceId::new(1), 2, 5));
+        let o = &plan.dropouts[0];
+        assert_eq!((o.indicator, o.from, o.until), (Indicator::Rate, 0, 4));
+        // And the plan answers queries the way the file reads.
+        assert_eq!(
+            plan.delivered_fraction(3, MicroserviceId::new(2)),
+            Some(0.4)
+        );
+        assert!(plan.crashed(4, MicroserviceId::new(1)));
+        assert!(!plan.observed(2).contains(Indicator::Rate));
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_are_empty_plans() {
+        assert!(parse_fault_plan("").unwrap().is_empty());
+        assert!(parse_fault_plan("# nothing\n\n  # more nothing\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn multiple_entries_per_table_accumulate() {
+        let text = "[[defaults]]\nround = 0\nseller = 0\ndelivered_fraction = 0\n\
+                    [[defaults]]\nround = 1\nseller = 1\ndelivered_fraction = 1";
+        let plan = parse_fault_plan(text).unwrap();
+        assert_eq!(plan.defaults.len(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        let err = parse_fault_plan("[[defaults]]\nround = 3\nbogus = 1").unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::UnknownKey {
+                line: 3,
+                table: "defaults",
+                key: "bogus".into()
+            }
+        );
+        assert!(err.to_string().contains("line 3"));
+
+        let err = parse_fault_plan("[[oops]]").unwrap_err();
+        assert!(matches!(err, FaultPlanError::UnknownTable { line: 1, .. }));
+
+        let err = parse_fault_plan("round = 3").unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::KeyOutsideTable { line: 1, .. }
+        ));
+
+        let err = parse_fault_plan("[[crashes]]\nnot a pair").unwrap_err();
+        assert!(matches!(err, FaultPlanError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_required_key_names_the_entry_header() {
+        let err = parse_fault_plan("\n[[crashes]]\nseller = 1\nfrom = 2").unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::MissingKey {
+                line: 2,
+                table: "crashes",
+                key: "until"
+            }
+        );
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        let bad_int = "[[crashes]]\nseller = -1\nfrom = 0\nuntil = 1";
+        assert!(matches!(
+            parse_fault_plan(bad_int).unwrap_err(),
+            FaultPlanError::InvalidValue { line: 2, .. }
+        ));
+
+        let bad_frac = "[[defaults]]\nround = 0\nseller = 0\ndelivered_fraction = inf";
+        assert!(matches!(
+            parse_fault_plan(bad_frac).unwrap_err(),
+            FaultPlanError::InvalidValue { line: 4, .. }
+        ));
+
+        let bad_ind = "[[dropouts]]\nindicator = \"latency\"\nfrom = 0\nuntil = 1";
+        assert!(matches!(
+            parse_fault_plan(bad_ind).unwrap_err(),
+            FaultPlanError::InvalidValue { line: 2, .. }
+        ));
+
+        let unquoted = "[[dropouts]]\nindicator = rate\nfrom = 0\nuntil = 1";
+        assert!(matches!(
+            parse_fault_plan(unquoted).unwrap_err(),
+            FaultPlanError::InvalidValue { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_key_within_an_entry_is_rejected() {
+        let err = parse_fault_plan("[[crashes]]\nseller = 1\nseller = 2").unwrap_err();
+        assert!(matches!(err, FaultPlanError::UnknownKey { line: 3, .. }));
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let text = "[[dropouts]]\nindicator = \"ra#te\"\nfrom = 0\nuntil = 1";
+        // The '#' survives comment stripping and then fails indicator
+        // parsing — proving it was not treated as a comment start.
+        let err = parse_fault_plan(text).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::InvalidValue {
+                line: 2,
+                key: "indicator".into(),
+                value: "ra#te".into()
+            }
+        );
+    }
+}

@@ -18,3 +18,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod faults;

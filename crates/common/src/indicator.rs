@@ -1,0 +1,229 @@
+//! The three demand indicators of §III and observability masks over
+//! them.
+//!
+//! Demand estimation combines a waiting-time factor `γ`, a
+//! processing-rate factor `ℝ`, and a request-rate factor `𝕋`. Real
+//! telemetry pipelines lose individual indicators (a metrics exporter
+//! crashes, a probe times out), so the workspace models *which* of the
+//! three are currently observable with [`ObservedIndicators`]: the
+//! simulator's sensor-dropout events clear bits, and the estimator
+//! renormalizes its weights over whatever survives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the three demand indicators of Eq. (1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Indicator {
+    /// The waiting-time factor `γ` (completion progress).
+    #[default]
+    Waiting,
+    /// The processing-rate factor `ℝ` (backlog rate).
+    Processing,
+    /// The request-rate factor `𝕋` (allocation share × utilization).
+    Rate,
+}
+
+impl Indicator {
+    /// All three indicators, in Eq. (1) order.
+    pub const ALL: [Indicator; 3] = [Indicator::Waiting, Indicator::Processing, Indicator::Rate];
+}
+
+impl fmt::Display for Indicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Indicator::Waiting => "waiting",
+            Indicator::Processing => "processing",
+            Indicator::Rate => "rate",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Error from parsing an [`Indicator`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIndicatorError(String);
+
+impl fmt::Display for ParseIndicatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown indicator '{}' (expected waiting|processing|rate)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseIndicatorError {}
+
+impl FromStr for Indicator {
+    type Err = ParseIndicatorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "waiting" => Ok(Indicator::Waiting),
+            "processing" => Ok(Indicator::Processing),
+            "rate" => Ok(Indicator::Rate),
+            other => Err(ParseIndicatorError(other.to_owned())),
+        }
+    }
+}
+
+/// Which demand indicators are currently observable.
+///
+/// Defaults to all three. The mask is a plain value type so a snapshot
+/// taken at round `t` stays valid however the live mask evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedIndicators {
+    waiting: bool,
+    processing: bool,
+    rate: bool,
+}
+
+impl ObservedIndicators {
+    /// All three indicators observable (the healthy state).
+    pub const fn all() -> Self {
+        ObservedIndicators {
+            waiting: true,
+            processing: true,
+            rate: true,
+        }
+    }
+
+    /// No indicator observable (total sensor blackout).
+    pub const fn none() -> Self {
+        ObservedIndicators {
+            waiting: false,
+            processing: false,
+            rate: false,
+        }
+    }
+
+    /// Whether an indicator is observable under this mask.
+    pub const fn contains(self, indicator: Indicator) -> bool {
+        match indicator {
+            Indicator::Waiting => self.waiting,
+            Indicator::Processing => self.processing,
+            Indicator::Rate => self.rate,
+        }
+    }
+
+    /// This mask with one indicator dropped.
+    #[must_use]
+    pub const fn without(self, indicator: Indicator) -> Self {
+        let mut m = self;
+        match indicator {
+            Indicator::Waiting => m.waiting = false,
+            Indicator::Processing => m.processing = false,
+            Indicator::Rate => m.rate = false,
+        }
+        m
+    }
+
+    /// This mask with one indicator restored.
+    #[must_use]
+    pub const fn with(self, indicator: Indicator) -> Self {
+        let mut m = self;
+        match indicator {
+            Indicator::Waiting => m.waiting = true,
+            Indicator::Processing => m.processing = true,
+            Indicator::Rate => m.rate = true,
+        }
+        m
+    }
+
+    /// Number of observable indicators (0–3).
+    pub const fn count(self) -> usize {
+        self.waiting as usize + self.processing as usize + self.rate as usize
+    }
+
+    /// `true` when every indicator is observable.
+    pub const fn is_complete(self) -> bool {
+        self.waiting && self.processing && self.rate
+    }
+}
+
+impl Default for ObservedIndicators {
+    fn default() -> Self {
+        ObservedIndicators::all()
+    }
+}
+
+impl fmt::Display for ObservedIndicators {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for ind in Indicator::ALL {
+            if self.contains(ind) {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{ind}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for ind in Indicator::ALL {
+            assert_eq!(ind.to_string().parse::<Indicator>().unwrap(), ind);
+        }
+        assert!("bogus".parse::<Indicator>().is_err());
+        assert!("bogus"
+            .parse::<Indicator>()
+            .unwrap_err()
+            .to_string()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn mask_set_operations() {
+        let m = ObservedIndicators::all();
+        assert!(m.is_complete());
+        assert_eq!(m.count(), 3);
+        let m = m.without(Indicator::Rate);
+        assert!(!m.contains(Indicator::Rate));
+        assert!(m.contains(Indicator::Waiting));
+        assert_eq!(m.count(), 2);
+        assert!(!m.is_complete());
+        let m = m.with(Indicator::Rate);
+        assert!(m.is_complete());
+        assert_eq!(ObservedIndicators::none().count(), 0);
+    }
+
+    #[test]
+    fn dropping_twice_is_idempotent() {
+        let once = ObservedIndicators::all().without(Indicator::Waiting);
+        let twice = once.without(Indicator::Waiting);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn display_names_the_observed_subset() {
+        let m = ObservedIndicators::all().without(Indicator::Processing);
+        assert_eq!(m.to_string(), "waiting+rate");
+        assert_eq!(ObservedIndicators::none().to_string(), "(none)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ObservedIndicators::all().without(Indicator::Rate);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ObservedIndicators = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let ind: Indicator = serde_json::from_str("\"Processing\"").unwrap();
+        assert_eq!(ind, Indicator::Processing);
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`units`] — [`units::Price`] and [`units::Resource`]
 //!   newtypes over `f64` with validated constructors and total-order
 //!   helpers, so monetary and capacity quantities never mix silently.
+//! * [`indicator`] — the three demand indicators of §III and
+//!   [`indicator::ObservedIndicators`] masks over them, shared by the
+//!   simulator's sensor-dropout events and the estimator's degraded
+//!   mode.
 //! * [`rng`] — seeded, stream-splittable random number generation so that
 //!   every experiment in the repository is reproducible bit-for-bit.
 //! * [`error`] — the small shared error type used by validated
@@ -34,10 +38,12 @@
 
 pub mod error;
 pub mod id;
+pub mod indicator;
 pub mod rng;
 pub mod units;
 
 pub use error::QuantityError;
 pub use id::{BidId, EdgeCloudId, MicroserviceId, Round, UserId};
+pub use indicator::{Indicator, ObservedIndicators};
 pub use rng::{derive_rng, seeded_rng, DeterministicRng};
 pub use units::{Price, Resource};

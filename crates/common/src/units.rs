@@ -227,6 +227,80 @@ impl Div<Resource> for Price {
     }
 }
 
+/// Absolute tolerance used by [`assert_money_eq!`](crate::assert_money_eq).
+///
+/// Payments and costs are sums of a handful of `f64` products drawn from
+/// the paper's U\[10, 35\] price band, so any genuine difference dwarfs
+/// this; it only absorbs association-order noise.
+pub const MONEY_EPSILON: f64 = 1e-9;
+
+/// Types [`assert_money_eq!`](crate::assert_money_eq) can compare: raw
+/// `f64` values and the quantity newtypes.
+pub trait MoneyValue {
+    /// The raw `f64` behind the quantity.
+    fn money_value(&self) -> f64;
+}
+
+impl MoneyValue for f64 {
+    fn money_value(&self) -> f64 {
+        *self
+    }
+}
+
+impl MoneyValue for Price {
+    fn money_value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl MoneyValue for Resource {
+    fn money_value(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Asserts two monetary (or resource) quantities are equal up to
+/// [`units::MONEY_EPSILON`](crate::units::MONEY_EPSILON).
+///
+/// Accepts any mix of `f64`, [`Price`], and [`Resource`] on either side.
+/// Exact `==` on computed `f64` payments is a refactoring trap — any
+/// re-association of the same sum can flip the last bit — so tests
+/// assert through this instead.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::assert_money_eq;
+/// use edge_common::units::Price;
+///
+/// assert_money_eq!(Price::new(0.1).unwrap() + Price::new(0.2).unwrap(), 0.3);
+/// assert_money_eq!(1.5f64, 1.5f64, "context {}", 42);
+/// ```
+#[macro_export]
+macro_rules! assert_money_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $crate::units::MoneyValue::money_value(&$left);
+        let r = $crate::units::MoneyValue::money_value(&$right);
+        assert!(
+            (l - r).abs() <= $crate::units::MONEY_EPSILON,
+            "money assertion failed: `{}` = {l} vs `{}` = {r} (|Δ| = {:e})",
+            stringify!($left),
+            stringify!($right),
+            (l - r).abs(),
+        );
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let l = $crate::units::MoneyValue::money_value(&$left);
+        let r = $crate::units::MoneyValue::money_value(&$right);
+        assert!(
+            (l - r).abs() <= $crate::units::MONEY_EPSILON,
+            "money assertion failed: {l} vs {r} (|Δ| = {:e}): {}",
+            (l - r).abs(),
+            format_args!($($arg)+),
+        );
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +357,25 @@ mod tests {
         assert_eq!(Price::default(), Price::ZERO);
         assert_eq!(Resource::default(), Resource::ZERO);
         assert!(Resource::default().is_zero());
+    }
+
+    #[test]
+    fn money_eq_tolerates_floating_point_noise() {
+        // 0.1 + 0.2 != 0.3 exactly; the helper absorbs the ulp noise.
+        assert_money_eq!(0.1f64 + 0.2, 0.3f64);
+        assert_money_eq!(Price::new(0.1).unwrap() + Price::new(0.2).unwrap(), 0.3);
+        assert_money_eq!(
+            Resource::new(1.5).unwrap(),
+            Resource::new(1.5).unwrap(),
+            "with context {}",
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "money assertion failed")]
+    fn money_eq_rejects_real_differences() {
+        assert_money_eq!(Price::new(10.0).unwrap(), 10.001f64);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`msoa`] — **MSOA** (Algorithm 2): the multi-stage online framework
 //!   with per-seller ψ price scaling and capacity protection,
 //!   `αβ/(β−1)`-competitive (Theorem 7);
+//! * [`recovery`] — MSOA under injected faults: deterministic fault
+//!   plans (seller defaults, crash windows, sensor dropouts) and the
+//!   platform's recovery policy (pro-rata clawback, reliability-scaled
+//!   prices, blacklisting, bounded backfill re-auctions);
 //! * [`variants`] — the MSOA-DA / MSOA-RC / MSOA-OA comparisons of
 //!   Figure 5(a);
 //! * [`offline`] — exact offline optima (covering DP per round,
@@ -64,6 +68,7 @@ pub mod msoa_multi;
 pub mod multi_buyer;
 pub mod offline;
 pub mod properties;
+pub mod recovery;
 pub mod ssam;
 pub mod variants;
 pub mod vcg;
@@ -87,6 +92,10 @@ pub use offline::{offline_optimum_multi, offline_optimum_round, per_round_dp_bou
 pub use properties::{
     audit_truthfulness, break_even_unit_charge, check_critical_payments,
     check_individual_rationality, check_monotonicity, economic_loss, TruthfulnessViolation,
+};
+pub use recovery::{
+    run_msoa_with_faults, CrashWindow, DefaultEvent, DropoutWindow, FaultInjectionConfig,
+    FaultPlan, FaultRound, FaultWinner, FaultyMsoaOutcome, RecoveryConfig,
 };
 pub use ssam::{run_ssam, RatioCertificate, SsamConfig, SsamOutcome, WinningBid};
 pub use variants::{run_variant, transform_instance, MsoaVariant};

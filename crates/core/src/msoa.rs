@@ -169,7 +169,45 @@ pub struct MsoaConfig {
     pub ssam: SsamConfig,
     /// The `α` used in the ψ update. `None` derives it from the instance
     /// via [`MultiRoundInstance::derive_alpha`].
+    ///
+    /// **Truthfulness footgun:** a derived `α` depends on the submitted
+    /// bid prices, so a seller's misreport changes every seller's ψ
+    /// trajectory and the per-round mechanism is no longer independent
+    /// of reports. Leaving this `None` is fine for benchmarking the
+    /// competitive ratio, but incentive experiments must pin `α` (see
+    /// [`MsoaConfig::pinned`]); the runner warns once per process when
+    /// it falls back to deriving.
     pub alpha: Option<f64>,
+}
+
+impl MsoaConfig {
+    /// A config with `α` pinned to a report-independent constant, the
+    /// safe choice whenever truthfulness matters.
+    pub fn pinned(alpha: f64) -> Self {
+        MsoaConfig {
+            ssam: SsamConfig::default(),
+            alpha: Some(alpha),
+        }
+    }
+}
+
+/// Resolves the `α` an online run will use, warning loudly (once per
+/// process) when it has to derive one from the reported bids.
+pub(crate) fn resolve_alpha(instance: &MultiRoundInstance, config: &MsoaConfig) -> f64 {
+    match config.alpha {
+        Some(alpha) => alpha,
+        None => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: MsoaConfig.alpha is None; deriving α from submitted bids. \
+                     A derived α depends on reports, which voids the truthfulness guarantee \
+                     — pin it with MsoaConfig::pinned(α) for incentive experiments."
+                );
+            });
+            instance.derive_alpha()
+        }
+    }
 }
 
 /// A winner in one MSOA round, carrying both the true and the scaled
@@ -260,7 +298,7 @@ pub fn run_msoa(
     config: &MsoaConfig,
 ) -> Result<MsoaOutcome, AuctionError> {
     let sellers = instance.sellers();
-    let alpha = config.alpha.unwrap_or_else(|| instance.derive_alpha());
+    let alpha = resolve_alpha(instance, config);
     let beta = instance.beta();
 
     let index_of: BTreeMap<MicroserviceId, usize> =

@@ -672,6 +672,7 @@ pub use reference::run_ssam_reference;
 mod tests {
     use super::*;
     use crate::bid::Bid;
+    use edge_common::assert_money_eq;
 
     fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
         Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
@@ -694,7 +695,7 @@ mod tests {
         assert_eq!(outcome.winners[0].contribution, 2);
         assert_eq!(outcome.winners[1].seller, MicroserviceId::new(1));
         assert_eq!(outcome.winners[1].contribution, 1);
-        assert_eq!(outcome.social_cost.value(), 10.0);
+        assert_money_eq!(outcome.social_cost, 10.0);
     }
 
     #[test]
@@ -709,7 +710,7 @@ mod tests {
         assert_eq!(outcome.winners.len(), 1);
         let w = &outcome.winners[0];
         assert_eq!(w.seller, MicroserviceId::new(0));
-        assert_eq!(w.payment.value(), 6.0);
+        assert_money_eq!(w.payment, 6.0);
         assert!(w.payment >= w.price);
     }
 
@@ -787,7 +788,7 @@ mod tests {
         // A monopolist has no finite threshold; without a reserve it is
         // paid exactly its asking price.
         assert_eq!(w.contribution, 2);
-        assert!((w.payment.value() - 6.0).abs() < 1e-9);
+        assert_money_eq!(w.payment, 6.0);
     }
 
     #[test]
@@ -817,7 +818,7 @@ mod tests {
         };
         let outcome = run_ssam(&inst(2, vec![bid(0, 0, 2, 4.0)]), &config).unwrap();
         let w = &outcome.winners[0];
-        assert_eq!(w.payment.value(), 10.0); // 2 units × $5 reserve
+        assert_money_eq!(w.payment, 10.0); // 2 units × $5 reserve
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::ahp::PairwiseMatrix;
 use edge_common::id::MicroserviceId;
+use edge_common::indicator::{Indicator, ObservedIndicators};
 use edge_sim::metrics::MsMetrics;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,50 @@ impl IndicatorWeights {
             waiting: r.weights[0],
             processing: r.weights[1],
             rate: r.weights[2],
+        }
+    }
+
+    /// The weight assigned to one indicator.
+    pub fn weight(&self, indicator: Indicator) -> f64 {
+        match indicator {
+            Indicator::Waiting => self.waiting,
+            Indicator::Processing => self.processing,
+            Indicator::Rate => self.rate,
+        }
+    }
+
+    /// Degraded-mode weights: the observable indicators keep their
+    /// relative AHP priorities but are scaled so their sum equals the
+    /// full mask's total (the estimate's scale survives a dropout);
+    /// unobservable indicators get weight zero.
+    ///
+    /// With nothing observable — or an observed subset of zero total
+    /// weight — every weight is zero and the estimate degrades to zero
+    /// demand (the platform has no signal to act on).
+    #[must_use]
+    pub fn renormalized(&self, observed: ObservedIndicators) -> Self {
+        let total: f64 = Indicator::ALL.iter().map(|&i| self.weight(i)).sum();
+        let observed_sum: f64 = Indicator::ALL
+            .iter()
+            .filter(|&&i| observed.contains(i))
+            .map(|&i| self.weight(i))
+            .sum();
+        let scale = if observed_sum > 1e-12 {
+            total / observed_sum
+        } else {
+            0.0
+        };
+        let keep = |i: Indicator| {
+            if observed.contains(i) {
+                self.weight(i) * scale
+            } else {
+                0.0
+            }
+        };
+        IndicatorWeights {
+            waiting: keep(Indicator::Waiting),
+            processing: keep(Indicator::Processing),
+            rate: keep(Indicator::Rate),
         }
     }
 }
@@ -146,6 +191,24 @@ impl DemandEstimator {
     ///
     /// Panics if `round == 0`.
     pub fn estimate(&self, m: &MsMetrics, round: u64) -> DemandEstimate {
+        self.estimate_partial(m, round, ObservedIndicators::all())
+    }
+
+    /// Estimates demand when only a subset of indicators is observable
+    /// (sensor dropout): the weights are renormalized over the observed
+    /// subset via [`IndicatorWeights::renormalized`], and an unobserved
+    /// factor is reported as `0.0` in the breakdown (it contributes
+    /// nothing). With the full mask this is exactly [`Self::estimate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0`.
+    pub fn estimate_partial(
+        &self,
+        m: &MsMetrics,
+        round: u64,
+        observed: ObservedIndicators,
+    ) -> DemandEstimate {
         assert!(
             round >= 1,
             "demand estimation needs at least one elapsed round"
@@ -153,8 +216,8 @@ impl DemandEstimator {
         let t = round as f64;
 
         // γ = ζ·θ/π. With no requests received there is nothing to wait
-        // for: γ = 0.
-        let waiting_factor = if m.received_total == 0 {
+        // for: γ = 0. An unobserved indicator contributes nothing.
+        let waiting_factor = if !observed.contains(Indicator::Waiting) || m.received_total == 0 {
             0.0
         } else {
             self.config.zeta * m.served_total as f64 / m.received_total as f64
@@ -163,21 +226,29 @@ impl DemandEstimator {
         // ℝ = (ς − ϖ)/t with ς = arrived work rate, ϖ = completed work
         // rate; the backlog rate is clamped at zero (a microservice ahead
         // of its arrivals has no processing-driven demand).
-        let desired_rate = m.work_arrived_total / t;
-        let achieved_rate = m.work_done_total / t;
-        let processing_factor = ((desired_rate - achieved_rate) / t).max(0.0);
-
-        // 𝕋 = Δ·(a/a_max)·(𝕃·t/𝒱)·1/(1−𝕃).
-        let share = if m.max_allocation > 1e-12 {
-            m.allocation / m.max_allocation
+        let processing_factor = if observed.contains(Indicator::Processing) {
+            let desired_rate = m.work_arrived_total / t;
+            let achieved_rate = m.work_done_total / t;
+            ((desired_rate - achieved_rate) / t).max(0.0)
         } else {
             0.0
         };
-        let util = m.utilization.clamp(0.0, MAX_UTILIZATION);
-        let density = (m.neighbors_active.max(1)) as f64;
-        let rate_factor = self.config.delta * share * (util * t / density) / (1.0 - util);
 
-        let w = self.config.weights;
+        // 𝕋 = Δ·(a/a_max)·(𝕃·t/𝒱)·1/(1−𝕃).
+        let rate_factor = if observed.contains(Indicator::Rate) {
+            let share = if m.max_allocation > 1e-12 {
+                m.allocation / m.max_allocation
+            } else {
+                0.0
+            };
+            let util = m.utilization.clamp(0.0, MAX_UTILIZATION);
+            let density = (m.neighbors_active.max(1)) as f64;
+            self.config.delta * share * (util * t / density) / (1.0 - util)
+        } else {
+            0.0
+        };
+
+        let w = self.config.weights.renormalized(observed);
         let demand =
             (w.waiting * waiting_factor + w.processing * processing_factor + w.rate * rate_factor)
                 .max(0.0);
@@ -362,5 +433,59 @@ mod tests {
         let est = DemandEstimator::default();
         let d = est.estimate(&metrics(), 4);
         assert!(d.units() as f64 >= d.demand);
+    }
+
+    #[test]
+    fn estimate_is_partial_with_full_mask() {
+        let est = DemandEstimator::default();
+        let full = est.estimate(&metrics(), 4);
+        let partial = est.estimate_partial(&metrics(), 4, ObservedIndicators::all());
+        assert_eq!(full, partial);
+    }
+
+    #[test]
+    fn renormalized_weights_preserve_total_and_ratios() {
+        let w = IndicatorWeights {
+            waiting: 0.6,
+            processing: 0.3,
+            rate: 0.1,
+        };
+        let r = w.renormalized(ObservedIndicators::all().without(Indicator::Rate));
+        assert_eq!(r.rate, 0.0);
+        // Total preserved: 0.6 + 0.3 + 0.1 = 1.0.
+        assert!((r.waiting + r.processing - 1.0).abs() < 1e-9);
+        // Relative priorities preserved: waiting/processing = 2.
+        assert!((r.waiting / r.processing - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropout_zeroes_the_missing_factor_and_renormalizes() {
+        let est = DemandEstimator::default();
+        let observed = ObservedIndicators::all().without(Indicator::Processing);
+        let d = est.estimate_partial(&metrics(), 4, observed);
+        assert_eq!(d.processing_factor, 0.0);
+        // Equal weights renormalize to 1/2 each over {waiting, rate}:
+        // X = 0.5·0.5 + 0.5·0.5 = 0.5.
+        assert!((d.demand - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_blackout_degrades_to_zero_demand() {
+        let est = DemandEstimator::default();
+        let d = est.estimate_partial(&metrics(), 4, ObservedIndicators::none());
+        assert_eq!(d.waiting_factor, 0.0);
+        assert_eq!(d.processing_factor, 0.0);
+        assert_eq!(d.rate_factor, 0.0);
+        assert_eq!(d.demand, 0.0);
+        assert_eq!(d.units(), 0);
+    }
+
+    #[test]
+    fn single_surviving_indicator_carries_the_full_weight() {
+        let est = DemandEstimator::default();
+        let observed = ObservedIndicators::none().with(Indicator::Waiting);
+        let d = est.estimate_partial(&metrics(), 4, observed);
+        // γ = 0.5 carries weight 1.0 after renormalization.
+        assert!((d.demand - 0.5).abs() < 1e-9);
     }
 }

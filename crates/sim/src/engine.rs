@@ -21,6 +21,7 @@ use crate::events::{EventSchedule, SimEvent};
 use crate::metrics::{MetricsHub, MsMetrics};
 use crate::microservice::MicroserviceState;
 use edge_common::id::{EdgeCloudId, MicroserviceId, Round};
+use edge_common::indicator::ObservedIndicators;
 use edge_common::units::Resource;
 use edge_workload::trace::RequestTrace;
 use std::sync::Arc;
@@ -58,6 +59,8 @@ pub struct Simulation {
     pending_transfers: Vec<(MicroserviceId, MicroserviceId, Resource)>,
     events: EventSchedule,
     paused: Vec<bool>,
+    crashed: Vec<bool>,
+    observed: ObservedIndicators,
     last_completions: Vec<edge_workload::request::Request>,
 }
 
@@ -106,6 +109,8 @@ impl Simulation {
             pending_transfers: Vec::new(),
             events: EventSchedule::new(),
             paused: vec![false; n_services],
+            crashed: vec![false; n_services],
+            observed: ObservedIndicators::all(),
             last_completions: Vec::new(),
         }
     }
@@ -135,6 +140,28 @@ impl Simulation {
             .get(ms.index())
             .copied()
             .ok_or(SimError::UnknownMicroservice(ms))
+    }
+
+    /// Whether a microservice is currently crashed by a
+    /// [`SimEvent::MsCrash`] event (allocation zeroed, queue frozen,
+    /// arrivals dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownMicroservice`] for an out-of-range id.
+    pub fn is_crashed(&self, ms: MicroserviceId) -> Result<bool, SimError> {
+        self.crashed
+            .get(ms.index())
+            .copied()
+            .ok_or(SimError::UnknownMicroservice(ms))
+    }
+
+    /// Which demand indicators are currently observable — feed this to
+    /// the `edge-demand` estimator's partial-observation entry point so
+    /// estimation degrades gracefully instead of trusting stale sensor
+    /// readings.
+    pub fn observed_indicators(&self) -> ObservedIndicators {
+        self.observed
     }
 
     /// The shared metrics hub (clone the `Arc` to read concurrently).
@@ -230,12 +257,45 @@ impl Simulation {
                         *p = false;
                     }
                 }
+                SimEvent::MsCrash { ms } => {
+                    if let Some(c) = self.crashed.get_mut(ms.index()) {
+                        *c = true;
+                    }
+                }
+                SimEvent::MsRestart { ms } => {
+                    if let Some(c) = self.crashed.get_mut(ms.index()) {
+                        *c = false;
+                    }
+                }
+                SimEvent::SensorDropout { indicator } => {
+                    self.observed = self.observed.without(indicator);
+                }
+                SimEvent::SensorRestore { indicator } => {
+                    self.observed = self.observed.with(indicator);
+                }
+                // Delivery shortfalls are a market-layer fault: the
+                // engine has no notion of auction commitments, so the
+                // event passes through untouched for the recovery
+                // pipeline to consume.
+                SimEvent::SellerDefault { .. } => {}
             }
         }
+        // A service is offline when paused (soft eviction, queue keeps
+        // growing) or crashed (hard failure, queue frozen).
+        let offline: Vec<bool> = self
+            .paused
+            .iter()
+            .zip(&self.crashed)
+            .map(|(&p, &c)| p || c)
+            .collect();
 
-        // 1. Arrivals.
+        // 1. Arrivals. Crashed services drop theirs: nothing is
+        // listening, so the requests are lost rather than queued.
         let mut received_round = vec![0u64; self.services.len()];
         for request in self.trace.requests_at(now).to_vec() {
+            if self.crashed[request.target.index()] {
+                continue;
+            }
             received_round[request.target.index()] += 1;
             self.services[request.target.index()].enqueue(request);
         }
@@ -249,7 +309,7 @@ impl Simulation {
             let demands: Vec<Resource> = members
                 .iter()
                 .map(|&m| {
-                    if self.paused[m.index()] {
+                    if offline[m.index()] {
                         Resource::ZERO
                     } else {
                         self.services[m.index()].queued_work()
@@ -258,14 +318,14 @@ impl Simulation {
                 .collect();
             let alloc = fair_share(cloud.capacity(), &demands);
             let used: f64 = alloc.iter().map(|a| a.value()).sum();
-            let active = members.iter().filter(|&&m| !self.paused[m.index()]).count();
+            let active = members.iter().filter(|&&m| !offline[m.index()]).count();
             let headroom = if active > 0 {
                 (cloud.capacity().value() - used).max(0.0) / active as f64
             } else {
                 0.0
             };
             for (&m, a) in members.iter().zip(alloc) {
-                let allocation = if self.paused[m.index()] {
+                let allocation = if offline[m.index()] {
                     Resource::ZERO
                 } else {
                     a + Resource::new_unchecked(headroom)
@@ -658,6 +718,128 @@ mod tests {
             .map(|&m| sim.services[m.index()].allocation().value())
             .sum();
         assert!(total <= sim.clouds[0].capacity().value() + 1e-9);
+    }
+
+    #[test]
+    fn crashed_service_freezes_queue_and_drops_arrivals() {
+        let victim = MicroserviceId::new(0);
+        // Baseline run: how many requests ms#0 receives in rounds 1–3.
+        let mut baseline = small_sim(60);
+        for _ in 0..4 {
+            baseline.step();
+        }
+        let baseline_received = baseline.service(victim).unwrap().received_total();
+
+        let mut sim = small_sim(60);
+        let mut events = crate::events::EventSchedule::new();
+        events
+            .at(1, SimEvent::MsCrash { ms: victim })
+            .at(4, SimEvent::MsRestart { ms: victim });
+        sim.set_events(events);
+        sim.step(); // round 0: normal
+        let received_before_crash = sim.service(victim).unwrap().received_total();
+        let backlog_at_crash = sim.service(victim).unwrap().queued_work().value();
+        sim.step(); // round 1: crashed
+        assert!(sim.is_crashed(victim).unwrap());
+        assert_eq!(sim.service(victim).unwrap().allocation(), Resource::ZERO);
+        sim.step(); // round 2
+        sim.step(); // round 3
+                    // Queue frozen: no arrivals accepted, no work processed.
+        assert_eq!(
+            sim.service(victim).unwrap().received_total(),
+            received_before_crash,
+            "crashed service must drop arrivals"
+        );
+        assert!(
+            (sim.service(victim).unwrap().queued_work().value() - backlog_at_crash).abs() < 1e-9,
+            "crashed service's queue must stay frozen"
+        );
+        // The baseline (same seed, no crash) did receive traffic in that
+        // window, so the drop is observable.
+        assert!(baseline_received >= received_before_crash);
+        sim.step(); // round 4: restarted
+        assert!(!sim.is_crashed(victim).unwrap());
+        assert!(sim.service(victim).unwrap().allocation().value() >= 0.0);
+    }
+
+    #[test]
+    fn crash_differs_from_pause_on_arrivals() {
+        // Paused: queue keeps growing. Crashed: arrivals dropped.
+        let victim = MicroserviceId::new(0);
+        let run = |event: SimEvent| {
+            let mut sim = small_sim(61);
+            let mut events = crate::events::EventSchedule::new();
+            events.at(0, event);
+            sim.set_events(events);
+            for _ in 0..5 {
+                sim.step();
+            }
+            sim.service(victim).unwrap().received_total()
+        };
+        let paused = run(SimEvent::PauseService { ms: victim });
+        let crashed = run(SimEvent::MsCrash { ms: victim });
+        assert_eq!(crashed, 0, "crashed service accepts nothing");
+        assert!(paused >= crashed);
+    }
+
+    #[test]
+    fn sensor_dropout_window_toggles_observability() {
+        use edge_common::indicator::Indicator;
+        let mut sim = small_sim(62);
+        let mut events = crate::events::EventSchedule::new();
+        events
+            .at(
+                1,
+                SimEvent::SensorDropout {
+                    indicator: Indicator::Processing,
+                },
+            )
+            .at(
+                3,
+                SimEvent::SensorRestore {
+                    indicator: Indicator::Processing,
+                },
+            );
+        sim.set_events(events);
+        sim.step(); // round 0
+        assert!(sim.observed_indicators().is_complete());
+        sim.step(); // round 1: dropped
+        assert!(!sim.observed_indicators().contains(Indicator::Processing));
+        assert!(sim.observed_indicators().contains(Indicator::Waiting));
+        sim.step(); // round 2: still dropped
+        assert_eq!(sim.observed_indicators().count(), 2);
+        sim.step(); // round 3: restored
+        assert!(sim.observed_indicators().is_complete());
+    }
+
+    #[test]
+    fn seller_default_event_is_engine_noop() {
+        // The engine must pass market-layer events through without
+        // touching simulation state.
+        let mut plain = small_sim(63);
+        plain.run_to_end();
+        let mut faulty = small_sim(63);
+        let mut events = crate::events::EventSchedule::new();
+        events.at(
+            2,
+            SimEvent::SellerDefault {
+                seller: MicroserviceId::new(1),
+                fraction: 0.5,
+            },
+        );
+        faulty.set_events(events);
+        faulty.run_to_end();
+        for m in 0..plain.num_services() {
+            let ms = MicroserviceId::new(m);
+            assert_eq!(
+                plain.service(ms).unwrap().received_total(),
+                faulty.service(ms).unwrap().received_total()
+            );
+            assert_eq!(
+                plain.service(ms).unwrap().served_total(),
+                faulty.service(ms).unwrap().served_total()
+            );
+        }
     }
 
     #[test]

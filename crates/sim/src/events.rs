@@ -1,21 +1,37 @@
 //! Scripted disturbance events — failure injection for experiments.
 //!
 //! Edge clouds are not static: servers degrade, microservices crash and
-//! restart. The mechanism must keep functioning when the supply side
-//! shifts under it, so the simulator supports scheduling disturbances at
-//! round boundaries:
+//! restart, telemetry pipelines lose probes, and auction winners
+//! sometimes fail to deliver what they committed. The mechanism must
+//! keep functioning when the supply side shifts under it, so the
+//! simulator supports scheduling disturbances at round boundaries:
 //!
 //! * [`SimEvent::CapacityChange`] — a cloud's capacity changes (e.g. a
 //!   co-located server fails or returns);
 //! * [`SimEvent::PauseService`] — a microservice stops processing (its
 //!   allocation is zeroed and redistributed; its queue keeps growing);
-//! * [`SimEvent::ResumeService`] — a paused microservice resumes.
+//! * [`SimEvent::ResumeService`] — a paused microservice resumes;
+//! * [`SimEvent::MsCrash`] / [`SimEvent::MsRestart`] — a microservice
+//!   drops out entirely: allocation zeroed *and* its queue frozen
+//!   (arrivals are dropped, unlike a pause);
+//! * [`SimEvent::SensorDropout`] / [`SimEvent::SensorRestore`] — one of
+//!   the three demand indicators goes missing for a window, degrading
+//!   the §III estimator;
+//! * [`SimEvent::SellerDefault`] — an auction winner delivers only a
+//!   fraction of its committed resources. The engine ignores this event
+//!   (delivery is a market-layer concern); the recovery pipeline in
+//!   `edge-auction` consumes it.
 //!
 //! Events are applied by the engine at the *start* of their round,
-//! before allocation.
+//! before allocation. [`seeded_fault_schedule`] draws a whole fault plan
+//! deterministically from a seed, so fault experiments reproduce
+//! bit-for-bit.
 
 use edge_common::id::{EdgeCloudId, MicroserviceId};
+use edge_common::indicator::Indicator;
+use edge_common::rng::derive_rng;
 use edge_common::units::Resource;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -29,7 +45,8 @@ pub enum SimEvent {
         /// The new total capacity.
         capacity: Resource,
     },
-    /// Stop a microservice from processing (crash / eviction).
+    /// Stop a microservice from processing (soft eviction: its queue
+    /// keeps accepting arrivals).
     PauseService {
         /// Which microservice.
         ms: MicroserviceId,
@@ -39,9 +56,44 @@ pub enum SimEvent {
         /// Which microservice.
         ms: MicroserviceId,
     },
+    /// Crash a microservice: allocation zeroed and its queue frozen —
+    /// arrivals targeting it are dropped until [`SimEvent::MsRestart`].
+    MsCrash {
+        /// Which microservice.
+        ms: MicroserviceId,
+    },
+    /// Restart a crashed microservice.
+    MsRestart {
+        /// Which microservice.
+        ms: MicroserviceId,
+    },
+    /// One demand indicator becomes unobservable (telemetry loss).
+    SensorDropout {
+        /// Which indicator goes dark.
+        indicator: Indicator,
+    },
+    /// A dropped demand indicator becomes observable again.
+    SensorRestore {
+        /// Which indicator returns.
+        indicator: Indicator,
+    },
+    /// An auction winner delivers only `fraction` of its committed
+    /// resources this round. A no-op for the engine; consumed by the
+    /// market-layer recovery policy.
+    SellerDefault {
+        /// The defaulting seller.
+        seller: MicroserviceId,
+        /// Fraction actually delivered, in `[0, 1)`.
+        fraction: f64,
+    },
 }
 
 /// A round-indexed schedule of disturbances.
+///
+/// Ordering semantics (relied on by the engine and tested below):
+/// events scheduled for the same round fire in **insertion order**, and
+/// a round with nothing scheduled yields an **empty slice** (never an
+/// error or a missing-key panic).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EventSchedule {
     events: BTreeMap<u64, Vec<SimEvent>>,
@@ -54,12 +106,17 @@ impl EventSchedule {
     }
 
     /// Adds an event at the start of the given round.
+    ///
+    /// Multiple events added to the same round are applied in the order
+    /// they were inserted, so e.g. a crash followed by a restart in one
+    /// round leaves the service running.
     pub fn at(&mut self, round: u64, event: SimEvent) -> &mut Self {
         self.events.entry(round).or_default().push(event);
         self
     }
 
-    /// The events scheduled for a round (empty slice if none).
+    /// The events scheduled for a round, in insertion order. A round
+    /// with no events returns an empty slice.
     pub fn for_round(&self, round: u64) -> &[SimEvent] {
         self.events.get(&round).map(Vec::as_slice).unwrap_or(&[])
     }
@@ -73,6 +130,96 @@ impl EventSchedule {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+}
+
+/// Per-round fault probabilities for [`seeded_fault_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability per (round, service) that a winning seller defaults.
+    pub default_probability: f64,
+    /// Smallest delivered fraction a default can leave.
+    pub min_delivered_fraction: f64,
+    /// Largest delivered fraction a default can leave (exclusive of 1).
+    pub max_delivered_fraction: f64,
+    /// Probability per (round, service) that a crash window starts.
+    pub crash_probability: f64,
+    /// Crash duration in rounds.
+    pub crash_length: u64,
+    /// Probability per (round, indicator) that a dropout window starts.
+    pub dropout_probability: f64,
+    /// Dropout duration in rounds.
+    pub dropout_length: u64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            default_probability: 0.1,
+            min_delivered_fraction: 0.2,
+            max_delivered_fraction: 0.8,
+            crash_probability: 0.02,
+            crash_length: 2,
+            dropout_probability: 0.05,
+            dropout_length: 2,
+        }
+    }
+}
+
+/// Draws a deterministic fault plan: seller defaults, crash windows,
+/// and sensor dropouts over `rounds` rounds and `num_services`
+/// microservices.
+///
+/// The draw order is fixed (rounds outer, services/indicators inner) and
+/// the RNG derives from `seed` alone, so the same arguments always yield
+/// the same schedule — fault experiments stay reproducible bit-for-bit.
+/// Crash and dropout windows never overlap themselves: a new window
+/// cannot start while the previous one is still open.
+pub fn seeded_fault_schedule(
+    seed: u64,
+    rounds: u64,
+    num_services: usize,
+    rates: &FaultRates,
+) -> EventSchedule {
+    let mut rng = derive_rng(seed, "fault-plan");
+    let mut schedule = EventSchedule::new();
+    let mut crashed_until = vec![0u64; num_services];
+    let mut dropped_until = [0u64; 3];
+    for t in 0..rounds {
+        for (s, crash_horizon) in crashed_until.iter_mut().enumerate() {
+            let ms = MicroserviceId::new(s);
+            if rng.gen::<f64>() < rates.default_probability {
+                let span = (rates.max_delivered_fraction - rates.min_delivered_fraction).max(0.0);
+                let fraction =
+                    (rates.min_delivered_fraction + span * rng.gen::<f64>()).clamp(0.0, 1.0);
+                schedule.at(
+                    t,
+                    SimEvent::SellerDefault {
+                        seller: ms,
+                        fraction,
+                    },
+                );
+            }
+            if t >= *crash_horizon && rng.gen::<f64>() < rates.crash_probability {
+                let until = (t + rates.crash_length.max(1)).min(rounds);
+                schedule.at(t, SimEvent::MsCrash { ms });
+                if until < rounds {
+                    schedule.at(until, SimEvent::MsRestart { ms });
+                }
+                *crash_horizon = until;
+            }
+        }
+        for (i, indicator) in Indicator::ALL.into_iter().enumerate() {
+            if t >= dropped_until[i] && rng.gen::<f64>() < rates.dropout_probability {
+                let until = (t + rates.dropout_length.max(1)).min(rounds);
+                schedule.at(t, SimEvent::SensorDropout { indicator });
+                if until < rounds {
+                    schedule.at(until, SimEvent::SensorRestore { indicator });
+                }
+                dropped_until[i] = until;
+            }
+        }
+    }
+    schedule
 }
 
 #[cfg(test)]
@@ -115,6 +262,50 @@ mod tests {
     }
 
     #[test]
+    fn same_round_events_fire_in_insertion_order() {
+        // Crash-then-restart in one round must come back in exactly that
+        // order: the engine applies them sequentially, so reversing them
+        // would leave the service crashed instead of running.
+        let ms = MicroserviceId::new(3);
+        let mut s = EventSchedule::new();
+        s.at(1, SimEvent::MsCrash { ms })
+            .at(1, SimEvent::MsRestart { ms })
+            .at(
+                1,
+                SimEvent::SensorDropout {
+                    indicator: Indicator::Rate,
+                },
+            );
+        let fired = s.for_round(1);
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[0], SimEvent::MsCrash { ms });
+        assert_eq!(fired[1], SimEvent::MsRestart { ms });
+        assert_eq!(
+            fired[2],
+            SimEvent::SensorDropout {
+                indicator: Indicator::Rate
+            }
+        );
+    }
+
+    #[test]
+    fn for_round_on_empty_round_returns_empty_slice() {
+        let mut s = EventSchedule::new();
+        // Entirely empty schedule: every round is an empty slice.
+        assert_eq!(s.for_round(0), &[] as &[SimEvent]);
+        s.at(
+            4,
+            SimEvent::MsCrash {
+                ms: MicroserviceId::new(0),
+            },
+        );
+        // Rounds around a populated one are still empty slices.
+        assert!(s.for_round(3).is_empty());
+        assert!(s.for_round(5).is_empty());
+        assert_eq!(s.for_round(4).len(), 1);
+    }
+
+    #[test]
     fn serde_round_trip() {
         let mut s = EventSchedule::new();
         s.at(
@@ -123,9 +314,94 @@ mod tests {
                 cloud: EdgeCloudId::new(0),
                 capacity: Resource::new(3.0).unwrap(),
             },
+        )
+        .at(
+            2,
+            SimEvent::SellerDefault {
+                seller: MicroserviceId::new(4),
+                fraction: 0.5,
+            },
+        )
+        .at(
+            3,
+            SimEvent::SensorDropout {
+                indicator: Indicator::Processing,
+            },
         );
         let json = serde_json::to_string(&s).unwrap();
         let back: EventSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let rates = FaultRates {
+            default_probability: 0.3,
+            crash_probability: 0.1,
+            dropout_probability: 0.2,
+            ..FaultRates::default()
+        };
+        let a = seeded_fault_schedule(11, 20, 8, &rates);
+        let b = seeded_fault_schedule(11, 20, 8, &rates);
+        assert_eq!(a, b);
+        let c = seeded_fault_schedule(12, 20, 8, &rates);
+        assert_ne!(a, c, "different seeds should differ at these rates");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn seeded_schedule_pairs_crashes_with_restarts() {
+        let rates = FaultRates {
+            crash_probability: 0.25,
+            crash_length: 2,
+            ..FaultRates::default()
+        };
+        let s = seeded_fault_schedule(5, 30, 6, &rates);
+        let mut crashes = 0i64;
+        let mut restarts = 0i64;
+        for t in 0..30 {
+            for e in s.for_round(t) {
+                match e {
+                    SimEvent::MsCrash { .. } => crashes += 1,
+                    SimEvent::MsRestart { .. } => restarts += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(crashes > 0, "rate 0.25 over 180 draws should crash");
+        // Every restart matches a crash; crashes may outnumber restarts
+        // only by windows truncated at the horizon.
+        assert!(restarts <= crashes);
+    }
+
+    #[test]
+    fn zero_rates_yield_empty_schedule() {
+        let rates = FaultRates {
+            default_probability: 0.0,
+            crash_probability: 0.0,
+            dropout_probability: 0.0,
+            ..FaultRates::default()
+        };
+        assert!(seeded_fault_schedule(1, 50, 10, &rates).is_empty());
+    }
+
+    #[test]
+    fn default_fractions_stay_in_range() {
+        let rates = FaultRates {
+            default_probability: 1.0,
+            ..FaultRates::default()
+        };
+        let s = seeded_fault_schedule(9, 10, 4, &rates);
+        for t in 0..10 {
+            for e in s.for_round(t) {
+                if let SimEvent::SellerDefault { fraction, .. } = e {
+                    assert!(
+                        (rates.min_delivered_fraction..rates.max_delivered_fraction)
+                            .contains(fraction),
+                        "fraction {fraction} out of range"
+                    );
+                }
+            }
+        }
     }
 }

@@ -10,6 +10,9 @@
 //!   serializable rows;
 //! * [`parallel`] — the bounded, order-preserving worker pool the
 //!   runners fan out on (thread count settable per process);
+//! * [`profile`] — ambient sweep self-profiling: an installed
+//!   `edge-telemetry` collector receives a deterministic `sweep` event
+//!   plus wall-clock cell-latency aggregates per figure sweep;
 //! * [`report`] — the single rendering path shared by `reproduce_all`
 //!   and the CLI's `reproduce` command;
 //! * [`table`] — fixed-width table rendering and JSON export.
@@ -22,6 +25,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod parallel;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod scenario;

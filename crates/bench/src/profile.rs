@@ -1,0 +1,158 @@
+//! Ambient self-profiling for the figure sweeps.
+//!
+//! Mirrors the [`crate::parallel`] ambient-setting pattern: a binary
+//! installs a shared [`Collector`] once ([`install`]) instead of
+//! threading one through every runner, and [`crate::runner`]'s
+//! `par_sweep` reports into it when — and only when — one is installed.
+//!
+//! Two kinds of records come out of a sweep:
+//!
+//! * a **deterministic** `sweep` event (stage, points, seeds, cells) —
+//!   pure input-shape facts, byte-identical at any thread count;
+//! * a `sweep.profile` **profile** entry with wall-clock aggregates and
+//!   a log-bucketed cell-latency histogram ([`LogHistogram`]) — kept
+//!   out of the deterministic section by construction, since timings
+//!   vary run to run.
+//!
+//! Profiling never touches the work closures' results, so summary
+//! tables stay byte-identical with profiling on or off — the
+//! determinism regression test relies on this.
+
+use edge_telemetry::{Collector, Level, LogHistogram, Sink, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Fast-path flag: `true` iff a collector is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed collector and the current stage label.
+static STATE: RwLock<Option<State>> = RwLock::new(None);
+
+struct State {
+    collector: Arc<Collector>,
+    stage: &'static str,
+}
+
+/// Installs the ambient profiling collector for subsequent sweeps.
+/// Replaces any previously installed one.
+pub fn install(collector: Arc<Collector>) {
+    *STATE.write().expect("profile lock") = Some(State {
+        collector,
+        stage: "",
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes the ambient collector; sweeps stop reporting.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *STATE.write().expect("profile lock") = None;
+}
+
+/// Whether a collector is currently installed (the sweep fast path).
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Labels subsequent sweeps with a stage name (the figure being
+/// reproduced). A no-op when no collector is installed.
+pub fn set_stage(stage: &'static str) {
+    if let Some(state) = STATE.write().expect("profile lock").as_mut() {
+        state.stage = stage;
+    }
+}
+
+/// Reports one completed sweep: `points × seeds` cells whose wall-clock
+/// times (µs) are in `cell_us`. Emits the deterministic `sweep` event
+/// and the wall-clock `sweep.profile` entry. A no-op when no collector
+/// is installed.
+pub fn record_sweep(points: usize, seeds: u64, cell_us: &[u64]) {
+    let guard = STATE.read().expect("profile lock");
+    let Some(state) = guard.as_ref() else {
+        return;
+    };
+    state.collector.emit(
+        Level::Info,
+        "sweep",
+        vec![
+            ("stage", Value::from(state.stage)),
+            ("points", Value::from(points)),
+            ("seeds", Value::from(seeds)),
+            ("cells", Value::from(cell_us.len())),
+        ],
+    );
+    let hist = LogHistogram::new();
+    let mut total: u64 = 0;
+    let mut max: u64 = 0;
+    for &us in cell_us {
+        hist.record(us);
+        total += us;
+        max = max.max(us);
+    }
+    let mean = if cell_us.is_empty() {
+        0.0
+    } else {
+        total as f64 / cell_us.len() as f64
+    };
+    // The histogram, flattened to "floor:count" pairs — compact enough
+    // for a single JSONL field, detailed enough to see the tail.
+    let buckets = hist
+        .snapshot()
+        .into_iter()
+        .filter(|&(_, count)| count > 0)
+        .map(|(floor, count)| format!("{floor}:{count}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    state.collector.record_profile(
+        "sweep.profile",
+        vec![
+            ("stage", Value::from(state.stage)),
+            ("cells", Value::from(cell_us.len())),
+            ("total_us", Value::from(total)),
+            ("mean_us", Value::from(mean)),
+            ("max_us", Value::from(max)),
+            ("cell_us_hist", Value::from(buckets)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The ambient state is process-wide; serialize the tests touching it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_record_is_a_noop() {
+        let _g = GUARD.lock().unwrap();
+        uninstall();
+        assert!(!is_enabled());
+        record_sweep(3, 2, &[1, 2, 3]); // must not panic
+    }
+
+    #[test]
+    fn install_records_deterministic_sweep_and_profile() {
+        let _g = GUARD.lock().unwrap();
+        let collector = Arc::new(Collector::new());
+        install(collector.clone());
+        set_stage("fig-test");
+        record_sweep(2, 3, &[10, 20, 4000, 1, 0, 7]);
+        uninstall();
+
+        let events = collector.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "sweep");
+        assert_eq!(
+            events[0].field("stage").and_then(Value::as_str),
+            Some("fig-test")
+        );
+        assert_eq!(events[0].field("cells").and_then(Value::as_f64), Some(6.0));
+
+        let jsonl = collector.to_jsonl();
+        assert!(jsonl.contains("\"section\":\"profile\""));
+        assert!(jsonl.contains("sweep.profile"));
+        assert!(jsonl.contains("\"total_us\":4038"));
+    }
+}

@@ -39,6 +39,11 @@ pub struct RenderedFigure {
 /// for an unknown figure name. `seeds` is ignored by `fig4a`, which is
 /// a single annotated run by construction.
 pub fn render_figure(name: &str, seeds: u64) -> Option<RenderedFigure> {
+    // Label the profiling stage with the interned figure name so each
+    // sweep event in a `reproduce --trace` run says which figure it
+    // belongs to. Unknown names bail out here, same as the match below.
+    let stage: &'static str = FIGURES.iter().find(|f| **f == name)?;
+    crate::profile::set_stage(stage);
     let fig = match name {
         "fig3a" => {
             let rows = runner::fig3a(seeds);

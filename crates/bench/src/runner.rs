@@ -44,20 +44,39 @@ fn mean(xs: &[f64]) -> f64 {
 /// seed-ordered results. Flattening both axes into one work list keeps
 /// the pool busy even when a figure has few points or few seeds; the
 /// order-preserving merge keeps output independent of the thread count.
+///
+/// When an ambient profiling collector is installed
+/// ([`crate::profile::install`]), each cell is additionally timed and
+/// the sweep reports a deterministic shape event plus wall-clock
+/// aggregates. The timing wraps `f` without touching its result, so
+/// figure tables are unchanged by profiling.
 fn par_sweep<P: Sync, T: Send>(
     points: &[P],
     seeds: u64,
     f: impl Fn(&P, u64) -> T + Sync,
 ) -> Vec<Vec<T>> {
+    let profiling = crate::profile::is_enabled();
     let work: Vec<(usize, u64)> = (0..points.len())
         .flat_map(|p| (0..seeds).map(move |s| (p, s)))
         .collect();
-    let flat = parallel::par_map_auto(work, |&(p, s)| f(&points[p], s));
+    let flat = parallel::par_map_auto(work, |&(p, s)| {
+        if profiling {
+            let start = Instant::now();
+            let result = f(&points[p], s);
+            (result, start.elapsed().as_micros() as u64)
+        } else {
+            (f(&points[p], s), 0)
+        }
+    });
+    if profiling {
+        let cell_us: Vec<u64> = flat.iter().map(|&(_, us)| us).collect();
+        crate::profile::record_sweep(points.len(), seeds, &cell_us);
+    }
     let mut results = flat.into_iter();
     (0..points.len())
         .map(|_| {
             (0..seeds)
-                .map(|_| results.next().expect("complete sweep"))
+                .map(|_| results.next().expect("complete sweep").0)
                 .collect()
         })
         .collect()
@@ -773,9 +792,9 @@ mod tests {
     fn fig4b_is_fast() {
         let rows = fig4b(3);
         // The paper's envelope is < 100 ms; release builds sit two
-        // orders of magnitude under it (see bench_output.txt). Debug
-        // test runs share the machine with the rest of the suite, so
-        // only the loose envelope is asserted there.
+        // orders of magnitude under it (see results/ for committed
+        // sweeps). Debug test runs share the machine with the rest of
+        // the suite, so only the loose envelope is asserted there.
         let envelope_us = if cfg!(debug_assertions) {
             2_000_000.0
         } else {

@@ -5,17 +5,19 @@
 //! testable without spawning processes.
 
 use crate::args::{ArgsError, ParsedArgs};
+use crate::explain::{explain_round, parse_trace, ExplainError};
 use crate::faults::{parse_fault_plan, FaultPlanError};
-use edge_auction::msoa::{MsoaConfig, MultiRoundInstance};
+use edge_auction::msoa::{run_msoa_traced, MsoaConfig, MultiRoundInstance};
 use edge_auction::properties::{
     audit_truthfulness, check_critical_payments, check_individual_rationality, check_monotonicity,
 };
-use edge_auction::recovery::{run_msoa_with_faults, FaultPlan, RecoveryConfig};
-use edge_auction::ssam::{run_ssam, SsamConfig};
-use edge_auction::variants::{run_variant, MsoaVariant};
+use edge_auction::recovery::{run_msoa_with_faults_traced, FaultPlan, RecoveryConfig};
+use edge_auction::ssam::{run_ssam, run_ssam_traced, SsamConfig};
+use edge_auction::variants::{run_variant, transform_instance, MsoaVariant};
 use edge_auction::wsp::WspInstance;
 use edge_bench::scenario::{multi_round_instance, single_round_instance};
 use edge_common::rng::derive_rng;
+use edge_telemetry::{Collector, Scoped, Trace};
 use edge_workload::params::PaperParams;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -38,6 +40,8 @@ pub enum CliError {
     Faults(FaultPlanError),
     /// Two flags that cannot be combined.
     FlagConflict(&'static str, &'static str),
+    /// A `--trace` file failed to parse or lacks the requested round.
+    Explain(ExplainError),
 }
 
 impl std::fmt::Display for CliError {
@@ -54,6 +58,7 @@ impl std::fmt::Display for CliError {
             CliError::FlagConflict(a, b) => {
                 write!(f, "--{a} cannot be combined with --{b}")
             }
+            CliError::Explain(e) => write!(f, "explain error: {e}"),
         }
     }
 }
@@ -85,6 +90,11 @@ impl From<FaultPlanError> for CliError {
         CliError::Faults(e)
     }
 }
+impl From<ExplainError> for CliError {
+    fn from(e: ExplainError) -> Self {
+        CliError::Explain(e)
+    }
+}
 
 /// Dispatches a parsed command line and returns the rendered output.
 ///
@@ -100,6 +110,7 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "msoa" => msoa(&args),
         "audit" => audit(&args),
         "reproduce" => reproduce(&args),
+        "explain" => explain(&args),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
@@ -119,16 +130,23 @@ COMMANDS:
     generate-round  write a single-round (SSAM) instance as JSON
                     [--seed N] [--microservices S] [--bids J] --out FILE
     ssam            run the single-stage auction on an instance
-                    --input FILE [--reserve PRICE]
+                    --input FILE [--reserve PRICE] [--trace OUT.jsonl]
     msoa            run the online auction on a multi-round scenario
                     --input FILE [--variant plain|da|rc|oa]
                     [--faults PLAN.toml] [--recovery on|off]
+                    [--trace OUT.jsonl]
                     (--faults runs the fault-injection pipeline and
                     cannot be combined with --variant)
     audit           audit mechanism properties on an instance
                     --input FILE [--reserve PRICE]
     reproduce       re-run the paper's evaluation figures
                     [--figure NAME|all] [--seeds N] [--parallel THREADS]
+                    [--trace OUT.jsonl]
+    explain         narrate one round of a recorded trace: exclusions,
+                    ψ scaling, greedy order, and each winner's critical
+                    payment with its runner-up provenance, recomputed
+                    and verified
+                    --trace FILE --round R [--seller S]
     help            show this text
 "
     .to_owned()
@@ -195,9 +213,23 @@ fn ssam_config(args: &ParsedArgs) -> Result<SsamConfig, CliError> {
 }
 
 fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["input", "reserve"])?;
+    args.allow_only(&["input", "reserve", "trace"])?;
     let instance: WspInstance = serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
-    let outcome = run_ssam(&instance, &ssam_config(args)?)?;
+    let config = ssam_config(args)?;
+    let mut trace_note = String::new();
+    let outcome = match args.get("trace") {
+        Some(path) => {
+            let collector = Collector::new();
+            // A bare SSAM run is round 0, so `explain --round 0` works
+            // on its trace the same as on a multi-round one.
+            let scoped = Scoped::new(&collector, vec![("round", 0u64.into())]);
+            let outcome = run_ssam_traced(&instance, &config, Trace::new(&scoped))?;
+            fs::write(path, collector.to_jsonl())?;
+            let _ = writeln!(trace_note, "trace: {} events → {path}", collector.len());
+            outcome
+        }
+        None => run_ssam(&instance, &config)?,
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -224,11 +256,12 @@ fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
         "certified π : {:.3} (dual objective {:.3})",
         outcome.certificate.pi, outcome.certificate.dual_objective
     );
+    out.push_str(&trace_note);
     Ok(out)
 }
 
 fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["input", "variant", "reserve", "faults", "recovery"])?;
+    args.allow_only(&["input", "variant", "reserve", "faults", "recovery", "trace"])?;
     let fault_mode = args.get("faults").is_some() || args.get("recovery").is_some();
     if fault_mode && args.get("variant").is_some() {
         return Err(CliError::FlagConflict("variant", "faults"));
@@ -266,7 +299,21 @@ fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
         ssam: ssam_config(args)?,
         alpha: None,
     };
-    let outcome = run_variant(&instance, &config, variant)?;
+    let mut trace_note = String::new();
+    let outcome = match args.get("trace") {
+        Some(path) => {
+            // `run_variant` is `run_msoa ∘ transform_instance`, so the
+            // traced path composes the same way and every variant's
+            // decisions are explainable.
+            let collector = Collector::new();
+            let transformed = transform_instance(&instance, variant);
+            let outcome = run_msoa_traced(&transformed, &config, Trace::new(&collector))?;
+            fs::write(path, collector.to_jsonl())?;
+            let _ = writeln!(trace_note, "trace: {} events → {path}", collector.len());
+            outcome
+        }
+        None => run_variant(&instance, &config, variant)?,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "variant {variant}: {} rounds", outcome.rounds.len());
     for r in &outcome.rounds {
@@ -288,6 +335,7 @@ fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
         "competitive bound: {:.3} (α {:.2}, β {:.2})",
         outcome.competitive_bound, outcome.alpha, outcome.beta
     );
+    out.push_str(&trace_note);
     Ok(out)
 }
 
@@ -306,7 +354,23 @@ fn msoa_faulty(
         ssam: ssam_config(args)?,
         alpha: None,
     };
-    let outcome = run_msoa_with_faults(instance, &config, &plan, recovery)?;
+    let mut trace_note = String::new();
+    let outcome = match args.get("trace") {
+        Some(path) => {
+            let collector = Collector::new();
+            let outcome = run_msoa_with_faults_traced(
+                instance,
+                &config,
+                &plan,
+                recovery,
+                Trace::new(&collector),
+            )?;
+            fs::write(path, collector.to_jsonl())?;
+            let _ = writeln!(trace_note, "trace: {} events → {path}", collector.len());
+            outcome
+        }
+        None => run_msoa_with_faults_traced(instance, &config, &plan, recovery, Trace::off())?,
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -364,6 +428,7 @@ fn msoa_faulty(
         );
     }
     let _ = writeln!(out);
+    out.push_str(&trace_note);
     Ok(out)
 }
 
@@ -403,7 +468,7 @@ fn audit(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["figure", "seeds", "parallel"])?;
+    args.allow_only(&["figure", "seeds", "parallel", "trace"])?;
     let seeds = args.get_or("seeds", edge_bench::DEFAULT_SEEDS)?;
     if let Some(raw) = args.get("parallel") {
         let threads = raw.parse().map_err(|_| ArgsError::InvalidValue {
@@ -418,18 +483,60 @@ fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         vec![figure]
     };
-    let mut out = String::new();
-    for name in names {
-        let Some(fig) = edge_bench::report::render_figure(name, seeds) else {
-            return Err(ArgsError::InvalidValue {
-                flag: "figure".into(),
-                value: name.to_owned(),
-            }
-            .into());
-        };
-        let _ = writeln!(out, "{}\n{}", fig.title, fig.table);
+    let collector = args.get("trace").map(|_| {
+        let c = std::sync::Arc::new(Collector::new());
+        edge_bench::profile::install(c.clone());
+        c
+    });
+    let render = || -> Result<String, CliError> {
+        let mut out = String::new();
+        for name in &names {
+            let Some(fig) = edge_bench::report::render_figure(name, seeds) else {
+                return Err(ArgsError::InvalidValue {
+                    flag: "figure".into(),
+                    value: (*name).to_owned(),
+                }
+                .into());
+            };
+            let _ = writeln!(out, "{}\n{}", fig.title, fig.table);
+        }
+        Ok(out)
+    };
+    let rendered = render();
+    if collector.is_some() {
+        // Uninstall even on error so the ambient state never leaks
+        // into a later in-process command (the tests run this way).
+        edge_bench::profile::uninstall();
+    }
+    let mut out = rendered?;
+    if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
+        fs::write(path, collector.to_jsonl())?;
+        let _ = writeln!(out, "trace: {} sweep events → {path}", collector.len());
     }
     Ok(out)
+}
+
+/// The `explain` command: narrate one recorded round (see
+/// [`crate::explain`]).
+fn explain(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["trace", "round", "seller"])?;
+    let path = args.require("trace")?;
+    let round: u64 = match args.get("round") {
+        Some(raw) => raw.parse().map_err(|_| ArgsError::InvalidValue {
+            flag: "round".into(),
+            value: raw.to_owned(),
+        })?,
+        None => return Err(ArgsError::MissingFlag("round").into()),
+    };
+    let seller: Option<u64> = match args.get("seller") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| ArgsError::InvalidValue {
+            flag: "seller".into(),
+            value: raw.to_owned(),
+        })?),
+    };
+    let events = parse_trace(&fs::read_to_string(path)?)?;
+    Ok(explain_round(&events, round, seller)?)
 }
 
 #[cfg(test)]
@@ -459,9 +566,100 @@ mod tests {
             "msoa",
             "audit",
             "reproduce",
+            "explain",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn ssam_trace_then_explain_names_the_runner_up() {
+        use edge_auction::bid::Bid;
+        use edge_common::id::{BidId, MicroserviceId};
+        // Three sellers, demand 2: seller 0 ($2/u) wins alone; the
+        // payment replay without it picks seller 1 ($3/u), so the
+        // explanation must name seller 1 as the runner-up.
+        let inst = WspInstance::new(
+            2,
+            vec![
+                Bid::new(MicroserviceId::new(0), BidId::new(0), 2, 4.0).unwrap(),
+                Bid::new(MicroserviceId::new(1), BidId::new(0), 2, 6.0).unwrap(),
+                Bid::new(MicroserviceId::new(2), BidId::new(0), 2, 10.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let inst_path = temp_path("explain-inst.json");
+        let inst_s = inst_path.to_str().unwrap();
+        std::fs::write(&inst_path, serde_json::to_string(&inst).unwrap()).unwrap();
+        let trace_path = temp_path("explain-trace.jsonl");
+        let trace_s = trace_path.to_str().unwrap();
+
+        let out = run(parsed(&["ssam", "--input", inst_s, "--trace", trace_s])).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+
+        let out = run(parsed(&["explain", "--trace", trace_s, "--round", "0"])).unwrap();
+        assert!(out.contains("runner-up seller 1"), "{out}");
+        assert!(
+            out.contains("payments verified: 1/1 reproduced exactly"),
+            "{out}"
+        );
+        // unit 3 × 2u = 6: the exact Myerson critical value.
+        assert!(out.contains("paid 6"), "{out}");
+
+        // The seller filter narrows the narrative to one seller's bids.
+        let filtered = run(parsed(&[
+            "explain", "--trace", trace_s, "--round", "0", "--seller", "2",
+        ]))
+        .unwrap();
+        assert!(!filtered.contains("runner-up"), "{filtered}");
+
+        // Asking for a round the trace does not cover names the rounds
+        // that exist.
+        let err = run(parsed(&["explain", "--trace", trace_s, "--round", "9"])).unwrap_err();
+        assert!(err.to_string().contains("round 9"), "{err}");
+        assert!(matches!(err, CliError::Explain(_)));
+
+        let _ = std::fs::remove_file(inst_path);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn msoa_trace_then_explain_covers_every_round() {
+        let inst_path = temp_path("explain-multi.json");
+        let inst_s = inst_path.to_str().unwrap();
+        run(parsed(&[
+            "generate",
+            "--seed",
+            "5",
+            "--microservices",
+            "6",
+            "--rounds",
+            "3",
+            "--out",
+            inst_s,
+        ]))
+        .unwrap();
+        let trace_path = temp_path("explain-multi.jsonl");
+        let trace_s = trace_path.to_str().unwrap();
+        let out = run(parsed(&["msoa", "--input", inst_s, "--trace", trace_s])).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        for round in ["0", "1", "2"] {
+            let out = run(parsed(&["explain", "--trace", trace_s, "--round", round])).unwrap();
+            assert!(out.contains(&format!("round {round}")), "{out}");
+            // Every winner's payment must reproduce exactly from its
+            // recorded provenance — the audit-trail acceptance bar.
+            if let Some(line) = out.lines().find(|l| l.starts_with("payments verified")) {
+                let tally = line
+                    .trim_start_matches("payments verified: ")
+                    .split_whitespace()
+                    .next()
+                    .unwrap();
+                let (ok, total) = tally.split_once('/').unwrap();
+                assert_eq!(ok, total, "{out}");
+            }
+        }
+        let _ = std::fs::remove_file(inst_path);
+        let _ = std::fs::remove_file(trace_path);
     }
 
     #[test]

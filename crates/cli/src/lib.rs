@@ -18,4 +18,5 @@
 
 pub mod args;
 pub mod commands;
+pub mod explain;
 pub mod faults;

@@ -1,0 +1,91 @@
+//! Trace determinism across thread counts.
+//!
+//! The deterministic section of a trace — every `{"seq":...}` line —
+//! must be byte-identical whether the sweep ran on 1 worker or 4; only
+//! the trailing profile section (wall-clock timings) may differ. The
+//! tables on stdout must also stay byte-identical with tracing on,
+//! locking in that observability never perturbs results.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("edge-market-trace-{}-{name}", std::process::id()));
+    p
+}
+
+fn reproduce(parallel: &str, trace: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_edge-market"))
+        .args([
+            "reproduce",
+            "--figure",
+            "fig3a",
+            "--seeds",
+            "2",
+            "--parallel",
+            parallel,
+            "--trace",
+            trace,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// The deterministic section: seq-numbered events, no wall-clock.
+fn deterministic_section(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| l.starts_with("{\"seq\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Stdout minus the `trace: ...` note (which names the output path).
+fn tables_only(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.starts_with("trace:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn deterministic_trace_section_is_identical_across_thread_counts() {
+    let t1 = temp_path("p1.jsonl");
+    let t4 = temp_path("p4.jsonl");
+    let out1 = reproduce("1", t1.to_str().unwrap());
+    let out4 = reproduce("4", t4.to_str().unwrap());
+
+    let trace1 = std::fs::read_to_string(&t1).expect("trace written");
+    let trace4 = std::fs::read_to_string(&t4).expect("trace written");
+    let det1 = deterministic_section(&trace1);
+    let det4 = deterministic_section(&trace4);
+
+    assert!(!det1.is_empty(), "sweep recorded no deterministic events");
+    assert!(det1.contains("\"event\":\"sweep\""), "{det1}");
+    assert!(det1.contains("fig3a"), "{det1}");
+    assert_eq!(det1, det4, "deterministic sections diverged");
+
+    // The wall-clock profile section exists but stays out of the
+    // deterministic lines.
+    assert!(trace1.contains("\"section\":\"profile\""), "{trace1}");
+    for line in trace1
+        .lines()
+        .filter(|l| l.contains("\"section\":\"profile\""))
+    {
+        assert!(!line.starts_with("{\"seq\":"), "{line}");
+    }
+
+    // Tracing on, any thread count: the summary tables are unchanged.
+    assert_eq!(tables_only(&out1), tables_only(&out4));
+
+    let _ = std::fs::remove_file(t1);
+    let _ = std::fs::remove_file(t4);
+}

@@ -80,10 +80,12 @@ pub use bid::{Bid, Seller};
 pub use budget::{required_budget, run_budgeted_ssam, BudgetedOutcome};
 pub use error::AuctionError;
 pub use msoa::{
-    run_msoa, MsoaConfig, MsoaOutcome, MsoaWinner, MultiRoundInstance, RoundInput, RoundResult,
+    run_msoa, run_msoa_traced, MsoaConfig, MsoaOutcome, MsoaWinner, MultiRoundInstance, RoundInput,
+    RoundResult,
 };
 pub use msoa_multi::{
-    run_msoa_multi, MsoaMultiConfig, MsoaMultiOutcome, MultiBuyerRound, MultiBuyerRoundResult,
+    run_msoa_multi, run_msoa_multi_traced, MsoaMultiConfig, MsoaMultiOutcome, MultiBuyerRound,
+    MultiBuyerRoundResult,
 };
 pub use multi_buyer::{
     run_ssam_multi, CoverBid, MultiBuyerOutcome, MultiBuyerWinner, MultiBuyerWsp,
@@ -94,10 +96,13 @@ pub use properties::{
     check_individual_rationality, check_monotonicity, economic_loss, TruthfulnessViolation,
 };
 pub use recovery::{
-    run_msoa_with_faults, CrashWindow, DefaultEvent, DropoutWindow, FaultInjectionConfig,
-    FaultPlan, FaultRound, FaultWinner, FaultyMsoaOutcome, RecoveryConfig,
+    run_msoa_with_faults, run_msoa_with_faults_traced, CrashWindow, DefaultEvent, DropoutWindow,
+    FaultInjectionConfig, FaultPlan, FaultRound, FaultWinner, FaultyMsoaOutcome, RecoveryConfig,
 };
-pub use ssam::{run_ssam, RatioCertificate, SsamConfig, SsamOutcome, WinningBid};
+pub use ssam::{
+    run_ssam, run_ssam_traced, CriticalSource, HeapStats, RatioCertificate, SsamConfig,
+    SsamOutcome, WinningBid,
+};
 pub use variants::{run_variant, transform_instance, MsoaVariant};
 pub use vcg::{run_vcg, VcgOutcome, VcgWinner};
 pub use wsp::WspInstance;

@@ -46,10 +46,11 @@
 
 use crate::bid::{Bid, Seller};
 use crate::error::AuctionError;
-use crate::ssam::{run_ssam, SsamConfig};
+use crate::ssam::{run_ssam_traced, SsamConfig};
 use crate::wsp::WspInstance;
 use edge_common::id::{BidId, MicroserviceId};
 use edge_common::units::Price;
+use edge_telemetry::{event, Level, Scoped, Trace, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -199,11 +200,13 @@ pub(crate) fn resolve_alpha(instance: &MultiRoundInstance, config: &MsoaConfig) 
         None => {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
             WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "warning: MsoaConfig.alpha is None; deriving α from submitted bids. \
+                // Through the telemetry layer: with no subscriber this
+                // falls back to the same `warning: ...` stderr line the
+                // bare eprintln! used to produce.
+                event!(warn: "msoa.alpha_derived",
+                    message = "MsoaConfig.alpha is None; deriving α from submitted bids. \
                      A derived α depends on reports, which voids the truthfulness guarantee \
-                     — pin it with MsoaConfig::pinned(α) for incentive experiments."
-                );
+                     — pin it with MsoaConfig::pinned(α) for incentive experiments.");
             });
             instance.derive_alpha()
         }
@@ -297,9 +300,35 @@ pub fn run_msoa(
     instance: &MultiRoundInstance,
     config: &MsoaConfig,
 ) -> Result<MsoaOutcome, AuctionError> {
+    run_msoa_traced(instance, config, Trace::off())
+}
+
+/// [`run_msoa`] with an audit trail: per round, every bid exclusion
+/// (window/capacity), every ψ-scaling applied to a surviving bid, and
+/// every winner's ψ/χ update is recorded on `trace`; the nested
+/// single-stage auction's events are stamped with the round index.
+/// Tracing does not change the outcome.
+///
+/// # Errors
+///
+/// Exactly as [`run_msoa`].
+pub fn run_msoa_traced(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    trace: Trace<'_>,
+) -> Result<MsoaOutcome, AuctionError> {
     let sellers = instance.sellers();
     let alpha = resolve_alpha(instance, config);
     let beta = instance.beta();
+
+    trace.emit_with(Level::Info, "msoa.start", || {
+        vec![
+            ("rounds", Value::from(instance.rounds().len())),
+            ("sellers", Value::from(sellers.len())),
+            ("alpha", Value::from(alpha)),
+            ("beta", Value::from(beta)),
+        ]
+    });
 
     let index_of: BTreeMap<MicroserviceId, usize> =
         sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
@@ -309,6 +338,13 @@ pub fn run_msoa(
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
         let t = t as u64;
+        trace.emit_with(Level::Info, "round.start", || {
+            vec![
+                ("round", Value::from(t)),
+                ("demand", Value::from(input.estimated_demand)),
+                ("bids", Value::from(input.bids.len())),
+            ]
+        });
         // Candidate filter: availability window and remaining capacity
         // (Alg. 2 lines 5–6); price scaling (line 8).
         let mut scaled_bids = Vec::new();
@@ -316,12 +352,43 @@ pub fn run_msoa(
         for bid in &input.bids {
             let si = index_of[&bid.seller];
             if !sellers[si].available_at(t) {
+                trace.emit_with(Level::Debug, "bid.excluded", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("seller", Value::from(bid.seller.index())),
+                        ("bid", Value::from(bid.id.index())),
+                        ("reason", Value::from("window")),
+                    ]
+                });
                 continue;
             }
             if chi[si] + bid.amount > sellers[si].capacity {
+                trace.emit_with(Level::Debug, "bid.excluded", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("seller", Value::from(bid.seller.index())),
+                        ("bid", Value::from(bid.id.index())),
+                        ("reason", Value::from("capacity")),
+                        ("chi", Value::from(chi[si])),
+                        ("amount", Value::from(bid.amount)),
+                        ("capacity", Value::from(sellers[si].capacity)),
+                    ]
+                });
                 continue;
             }
             let scaled = Price::new_unchecked(bid.price.value() + bid.amount as f64 * psi[si]);
+            trace.emit_with(Level::Debug, "bid.scaled", || {
+                vec![
+                    ("round", Value::from(t)),
+                    ("seller", Value::from(bid.seller.index())),
+                    ("bid", Value::from(bid.id.index())),
+                    ("amount", Value::from(bid.amount)),
+                    ("true_price", Value::from(bid.price.value())),
+                    ("psi", Value::from(psi[si])),
+                    ("psi_adjust", Value::from(bid.amount as f64 * psi[si])),
+                    ("scaled_price", Value::from(scaled.value())),
+                ]
+            });
             scaled_bids.push(Bid {
                 seller: bid.seller,
                 id: bid.id,
@@ -333,8 +400,17 @@ pub fn run_msoa(
 
         let demand = input.estimated_demand;
         let ssam_input = WspInstance::new(demand, scaled_bids);
+        // The nested single-stage auction inherits the trace with the
+        // round index stamped onto every one of its events.
+        let scoped = trace
+            .sink()
+            .map(|s| Scoped::new(s, vec![("round", Value::from(t))]));
+        let ssam_trace = match &scoped {
+            Some(s) => Trace::new(s),
+            None => Trace::off(),
+        };
         let outcome = match ssam_input {
-            Ok(inst) => match run_ssam(&inst, &config.ssam) {
+            Ok(inst) => match run_ssam_traced(&inst, &config.ssam, ssam_trace) {
                 Ok(o) => Some(o),
                 Err(AuctionError::InfeasibleDemand { .. }) => None,
                 Err(e) => return Err(e),
@@ -360,10 +436,26 @@ pub fn run_msoa(
                     // Line 11: multiplicative ψ update for winners.
                     let theta = sellers[si].capacity as f64;
                     let a = original.amount as f64;
+                    let psi_before = psi[si];
                     psi[si] = psi[si] * (1.0 + a / (alpha * theta))
                         + original.price.value() * a / (alpha * theta * theta);
                     // Line 12: capacity consumption.
                     chi[si] += original.amount;
+                    trace.emit_with(Level::Debug, "winner", || {
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(w.seller.index())),
+                            ("bid", Value::from(w.bid.index())),
+                            ("amount", Value::from(original.amount)),
+                            ("contribution", Value::from(w.contribution)),
+                            ("true_price", Value::from(original.price.value())),
+                            ("scaled_price", Value::from(w.price.value())),
+                            ("payment", Value::from(w.payment.value())),
+                            ("psi_before", Value::from(psi_before)),
+                            ("psi_after", Value::from(psi[si])),
+                            ("chi_after", Value::from(chi[si])),
+                        ]
+                    });
                     winners.push(MsoaWinner {
                         seller: w.seller,
                         bid: w.bid,
@@ -386,6 +478,15 @@ pub fn run_msoa(
                 }
             }
         };
+        trace.emit_with(Level::Info, "round.end", || {
+            vec![
+                ("round", Value::from(t)),
+                ("winners", Value::from(result.winners.len())),
+                ("social_cost", Value::from(result.social_cost.value())),
+                ("total_payment", Value::from(result.total_payment.value())),
+                ("infeasible", Value::from(result.infeasible)),
+            ]
+        });
         rounds.push(result);
     }
 
@@ -396,6 +497,15 @@ pub fn run_msoa(
     } else {
         f64::INFINITY
     };
+
+    trace.emit_with(Level::Info, "msoa.end", || {
+        vec![
+            ("rounds", Value::from(rounds.len())),
+            ("social_cost", Value::from(social_cost.value())),
+            ("total_payment", Value::from(total_payment.value())),
+            ("competitive_bound", Value::from(competitive_bound)),
+        ]
+    });
 
     Ok(MsoaOutcome {
         rounds,

@@ -42,6 +42,7 @@ use crate::multi_buyer::{run_ssam_multi, CoverBid, MultiBuyerOutcome, MultiBuyer
 use crate::ssam::SsamConfig;
 use edge_common::id::MicroserviceId;
 use edge_common::units::Price;
+use edge_telemetry::{Level, Trace, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -112,6 +113,22 @@ pub fn run_msoa_multi(
     rounds: &[MultiBuyerRound],
     config: &MsoaMultiConfig,
 ) -> Result<MsoaMultiOutcome, AuctionError> {
+    run_msoa_multi_traced(sellers, rounds, config, Trace::off())
+}
+
+/// [`run_msoa_multi`] with an audit trail: round boundaries, bid
+/// exclusions (window/capacity), ψ-scalings, and per-winner ψ/χ updates
+/// are recorded on `trace`. Tracing does not change the outcome.
+///
+/// # Errors
+///
+/// Exactly as [`run_msoa_multi`].
+pub fn run_msoa_multi_traced(
+    sellers: &[Seller],
+    rounds: &[MultiBuyerRound],
+    config: &MsoaMultiConfig,
+    trace: Trace<'_>,
+) -> Result<MsoaMultiOutcome, AuctionError> {
     let index_of: BTreeMap<MicroserviceId, usize> =
         sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
     for round in rounds {
@@ -152,20 +169,57 @@ pub fn run_msoa_multi(
 
     for (t, round) in rounds.iter().enumerate() {
         let t = t as u64;
+        trace.emit_with(Level::Info, "round.start", || {
+            vec![
+                ("round", Value::from(t)),
+                (
+                    "demand",
+                    Value::from(round.demands.iter().map(|&(_, x)| x).sum::<u64>()),
+                ),
+                ("buyers", Value::from(round.demands.len())),
+                ("bids", Value::from(round.bids.len())),
+            ]
+        });
         // Filter by window and remaining capacity; scale prices by ψ.
         let mut scaled = Vec::new();
         let mut true_prices: BTreeMap<(MicroserviceId, usize), Price> = BTreeMap::new();
         for bid in &round.bids {
             let si = index_of[&bid.seller];
             if !sellers[si].available_at(t) {
+                trace.emit_with(Level::Debug, "bid.excluded", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("seller", Value::from(bid.seller.index())),
+                        ("bid", Value::from(bid.id.index())),
+                        ("reason", Value::from("window")),
+                    ]
+                });
                 continue;
             }
             if chi[si] + bid.total_amount() > sellers[si].capacity {
+                trace.emit_with(Level::Debug, "bid.excluded", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("seller", Value::from(bid.seller.index())),
+                        ("bid", Value::from(bid.id.index())),
+                        ("reason", Value::from("capacity")),
+                    ]
+                });
                 continue;
             }
             let mut b = bid.clone();
             true_prices.insert((b.seller, b.id.index()), b.price);
             b.price = Price::new_unchecked(b.price.value() + b.total_amount() as f64 * psi[si]);
+            trace.emit_with(Level::Debug, "bid.scaled", || {
+                vec![
+                    ("round", Value::from(t)),
+                    ("seller", Value::from(bid.seller.index())),
+                    ("bid", Value::from(bid.id.index())),
+                    ("true_price", Value::from(bid.price.value())),
+                    ("psi", Value::from(psi[si])),
+                    ("scaled_price", Value::from(b.price.value())),
+                ]
+            });
             scaled.push(b);
         }
         let inst = MultiBuyerWsp::new(round.demands.clone(), scaled)?;
@@ -185,11 +239,34 @@ pub fn run_msoa_multi(
                 .unwrap_or(0);
             let theta = sellers[si].capacity as f64;
             let a = amount as f64;
+            let psi_before = psi[si];
             psi[si] = psi[si] * (1.0 + a / (alpha * theta))
                 + true_price.value() * a / (alpha * theta * theta);
             chi[si] += amount;
             social_cost += true_price;
+            trace.emit_with(Level::Debug, "winner", || {
+                vec![
+                    ("round", Value::from(t)),
+                    ("seller", Value::from(w.seller.index())),
+                    ("bid", Value::from(w.bid.index())),
+                    ("amount", Value::from(amount)),
+                    ("true_price", Value::from(true_price.value())),
+                    ("scaled_price", Value::from(w.price.value())),
+                    ("payment", Value::from(w.payment.value())),
+                    ("psi_before", Value::from(psi_before)),
+                    ("psi_after", Value::from(psi[si])),
+                    ("chi_after", Value::from(chi[si])),
+                ]
+            });
         }
+        trace.emit_with(Level::Info, "round.end", || {
+            vec![
+                ("round", Value::from(t)),
+                ("winners", Value::from(outcome.winners.len())),
+                ("social_cost", Value::from(social_cost.value())),
+                ("fully_covered", Value::from(outcome.fully_covered)),
+            ]
+        });
         results.push(MultiBuyerRoundResult {
             round: t,
             outcome,

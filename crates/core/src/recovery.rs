@@ -71,12 +71,13 @@
 use crate::bid::Bid;
 use crate::error::AuctionError;
 use crate::msoa::{resolve_alpha, MsoaConfig, MultiRoundInstance};
-use crate::ssam::run_ssam;
+use crate::ssam::run_ssam_traced;
 use crate::wsp::WspInstance;
 use edge_common::id::{BidId, MicroserviceId};
 use edge_common::indicator::{Indicator, ObservedIndicators};
 use edge_common::rng::derive_rng;
 use edge_common::units::Price;
+use edge_telemetry::{Level, Scoped, Trace, Value};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -481,10 +482,42 @@ pub fn run_msoa_with_faults(
     plan: &FaultPlan,
     recovery: &RecoveryConfig,
 ) -> Result<FaultyMsoaOutcome, AuctionError> {
+    run_msoa_with_faults_traced(instance, config, plan, recovery, Trace::off())
+}
+
+/// [`run_msoa_with_faults`] with an audit trail: exclusions (window,
+/// crash, blacklist, capacity), reliability-weighted price scalings,
+/// settlements (delivery vs commitment, clawback), reliability updates,
+/// blacklist transitions, backfill rungs, and SLA violations are all
+/// recorded on `trace`. Tracing does not change the outcome.
+///
+/// # Errors
+///
+/// Exactly as [`run_msoa_with_faults`].
+pub fn run_msoa_with_faults_traced(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+    trace: Trace<'_>,
+) -> Result<FaultyMsoaOutcome, AuctionError> {
     let sellers = instance.sellers();
     let alpha = resolve_alpha(instance, config);
     let beta = instance.beta();
     let num_rounds = instance.num_rounds();
+
+    trace.emit_with(Level::Info, "faults.start", || {
+        vec![
+            ("rounds", Value::from(instance.rounds().len())),
+            ("sellers", Value::from(sellers.len())),
+            ("alpha", Value::from(alpha)),
+            ("beta", Value::from(beta)),
+            ("recovery_enabled", Value::from(recovery.enabled)),
+            ("defaults", Value::from(plan.defaults.len())),
+            ("crashes", Value::from(plan.crashes.len())),
+            ("dropouts", Value::from(plan.dropouts.len())),
+        ]
+    });
 
     let index_of: BTreeMap<MicroserviceId, usize> =
         sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
@@ -509,30 +542,72 @@ pub fn run_msoa_with_faults(
         let mut defaulters: BTreeSet<MicroserviceId> = BTreeSet::new();
         let mut winners: Vec<FaultWinner> = Vec::new();
 
+        trace.emit_with(Level::Info, "round.start", || {
+            vec![
+                ("round", Value::from(t)),
+                ("demand", Value::from(demand)),
+                ("bids", Value::from(input.bids.len())),
+            ]
+        });
+
         // --- Primary auction (Alg. 2 lines 5–8 plus fault filters). ---
         let mut scaled_bids = Vec::new();
         let mut originals: BTreeMap<(MicroserviceId, BidId), &Bid> = BTreeMap::new();
         for bid in &input.bids {
             let si = index_of[&bid.seller];
+            let exclude = |reason: &'static str| {
+                trace.emit_with(Level::Debug, "bid.excluded", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("seller", Value::from(bid.seller.index())),
+                        ("bid", Value::from(bid.id.index())),
+                        ("reason", Value::from(reason)),
+                    ]
+                });
+            };
             if !sellers[si].available_at(t) || plan.crashed(t, bid.seller) {
+                exclude(if plan.crashed(t, bid.seller) {
+                    "crashed"
+                } else {
+                    "window"
+                });
                 continue;
             }
             if recovery.enabled && state.blacklisted[si] {
+                exclude("blacklisted");
                 continue;
             }
             if state.chi[si] + bid.amount > sellers[si].capacity {
+                exclude("capacity");
                 continue;
             }
+            let scaled = state.scaled_price(si, bid, recovery);
+            trace.emit_with(Level::Debug, "bid.scaled", || {
+                let psi_adjust = bid.amount as f64 * state.psi[si];
+                vec![
+                    ("round", Value::from(t)),
+                    ("seller", Value::from(bid.seller.index())),
+                    ("bid", Value::from(bid.id.index())),
+                    ("true_price", Value::from(bid.price.value())),
+                    ("psi_adjust", Value::from(psi_adjust)),
+                    (
+                        "reliability_adjust",
+                        Value::from(scaled.value() - bid.price.value() - psi_adjust),
+                    ),
+                    ("rho", Value::from(state.rho[si])),
+                    ("scaled_price", Value::from(scaled.value())),
+                ]
+            });
             scaled_bids.push(Bid {
                 seller: bid.seller,
                 id: bid.id,
                 amount: bid.amount,
-                price: state.scaled_price(si, bid, recovery),
+                price: scaled,
             });
             originals.insert((bid.seller, bid.id), bid);
         }
 
-        let primary = run_stage(demand, scaled_bids, config)?;
+        let primary = run_stage(demand, scaled_bids, config, t, trace)?;
         let primary_infeasible = primary.is_none() && demand > 0;
         if let Some(outcome) = primary {
             for w in &outcome.winners {
@@ -555,7 +630,10 @@ pub fn run_msoa_with_faults(
                 } else {
                     faithful_winners.insert(w.seller);
                 }
+                emit_settlement(trace, t, &settled, &state, si);
+                let was_blacklisted = state.blacklisted[si];
                 state.observe_delivery(si, settled.delivered, settled.committed, recovery);
+                emit_reliability(trace, t, &state, si, was_blacklisted);
                 winners.push(settled);
             }
         }
@@ -571,6 +649,13 @@ pub fn run_msoa_with_faults(
             while shortfall > 0 && backfill_attempts < cap {
                 let k = backfill_attempts;
                 backfill_attempts += 1;
+                trace.emit_with(Level::Info, "backfill.start", || {
+                    vec![
+                        ("round", Value::from(t)),
+                        ("rung", Value::from(k)),
+                        ("shortfall", Value::from(shortfall)),
+                    ]
+                });
                 let mut bids = Vec::new();
                 let mut origs: BTreeMap<(MicroserviceId, BidId), &Bid> = BTreeMap::new();
                 for bid in &input.bids {
@@ -604,7 +689,7 @@ pub fn run_msoa_with_faults(
                     });
                     origs.insert((bid.seller, bid.id), bid);
                 }
-                let Some(outcome) = run_stage(shortfall, bids, config)? else {
+                let Some(outcome) = run_stage(shortfall, bids, config, t, trace)? else {
                     // Infeasible at this rung — the attempt is spent,
                     // the next rung relaxes further.
                     continue;
@@ -630,7 +715,10 @@ pub fn run_msoa_with_faults(
                     } else if !defaulters.contains(&w.seller) {
                         faithful_winners.insert(w.seller);
                     }
+                    emit_settlement(trace, t, &settled, &state, si);
+                    let was_blacklisted = state.blacklisted[si];
                     state.observe_delivery(si, settled.delivered, settled.committed, recovery);
+                    emit_reliability(trace, t, &state, si, was_blacklisted);
                     delivered += settled.delivered;
                     winners.push(settled);
                 }
@@ -646,6 +734,28 @@ pub fn run_msoa_with_faults(
                 .map(|w| w.payment_due.value() - w.payment_made.value())
                 .sum(),
         );
+        let sla_violated = shortfall > 0 && demand > 0;
+        if sla_violated {
+            trace.emit_with(Level::Info, "sla.violation", || {
+                vec![
+                    ("round", Value::from(t)),
+                    ("shortfall", Value::from(shortfall)),
+                    ("demand", Value::from(demand)),
+                ]
+            });
+        }
+        trace.emit_with(Level::Info, "round.end", || {
+            vec![
+                ("round", Value::from(t)),
+                ("winners", Value::from(winners.len())),
+                ("delivered", Value::from(delivered)),
+                ("shortfall", Value::from(shortfall)),
+                ("backfill_attempts", Value::from(backfill_attempts)),
+                ("social_cost", Value::from(social_cost.value())),
+                ("platform_cost", Value::from(platform_cost.value())),
+                ("clawed_back", Value::from(clawed_back.value())),
+            ]
+        });
         rounds.push(FaultRound {
             round: t,
             demand,
@@ -654,7 +764,7 @@ pub fn run_msoa_with_faults(
             shortfall,
             primary_infeasible,
             backfill_attempts,
-            sla_violated: shortfall > 0 && demand > 0,
+            sla_violated,
             social_cost,
             platform_cost,
             clawed_back,
@@ -667,6 +777,16 @@ pub fn run_msoa_with_faults(
     let clawed_back: Price = rounds.iter().map(|r| r.clawed_back).sum();
     let shortfall_units: u64 = rounds.iter().map(|r| r.shortfall).sum();
     let demand_units: u64 = rounds.iter().map(|r| r.demand).sum();
+
+    trace.emit_with(Level::Info, "faults.end", || {
+        vec![
+            ("social_cost", Value::from(social_cost.value())),
+            ("platform_cost", Value::from(platform_cost.value())),
+            ("clawed_back", Value::from(clawed_back.value())),
+            ("shortfall_units", Value::from(shortfall_units)),
+            ("demand_units", Value::from(demand_units)),
+        ]
+    });
 
     Ok(FaultyMsoaOutcome {
         rounds,
@@ -684,15 +804,75 @@ pub fn run_msoa_with_faults(
     })
 }
 
+/// Records one winner's settlement on the trace: what it committed,
+/// delivered, was owed, and was actually paid.
+fn emit_settlement(trace: Trace<'_>, t: u64, w: &FaultWinner, state: &MarketState, si: usize) {
+    trace.emit_with(Level::Debug, "settlement", || {
+        vec![
+            ("round", Value::from(t)),
+            ("seller", Value::from(w.seller.index())),
+            ("bid", Value::from(w.bid.index())),
+            ("backfill", Value::from(w.backfill)),
+            ("committed", Value::from(w.committed)),
+            ("delivered", Value::from(w.delivered)),
+            ("payment_due", Value::from(w.payment_due.value())),
+            ("payment_made", Value::from(w.payment_made.value())),
+            (
+                "clawback",
+                Value::from(w.payment_due.value() - w.payment_made.value()),
+            ),
+            ("psi_after", Value::from(state.psi[si])),
+            ("chi_after", Value::from(state.chi[si])),
+        ]
+    });
+}
+
+/// Records the post-delivery reliability score, and a `blacklist` event
+/// on the transition into the blacklist.
+fn emit_reliability(
+    trace: Trace<'_>,
+    t: u64,
+    state: &MarketState,
+    si: usize,
+    was_blacklisted: bool,
+) {
+    trace.emit_with(Level::Debug, "reliability.update", || {
+        vec![
+            ("round", Value::from(t)),
+            ("seller", Value::from(si)),
+            ("rho", Value::from(state.rho[si])),
+        ]
+    });
+    if state.blacklisted[si] && !was_blacklisted {
+        trace.emit_with(Level::Info, "blacklist", || {
+            vec![
+                ("round", Value::from(t)),
+                ("seller", Value::from(si)),
+                ("rho", Value::from(state.rho[si])),
+            ]
+        });
+    }
+}
+
 /// Runs one SSAM stage, mapping infeasible demand to `None` (graceful)
-/// and anything else to an error.
+/// and anything else to an error. The nested auction's trace events are
+/// stamped with the round index.
 fn run_stage(
     demand: u64,
     scaled_bids: Vec<Bid>,
     config: &MsoaConfig,
+    t: u64,
+    trace: Trace<'_>,
 ) -> Result<Option<crate::ssam::SsamOutcome>, AuctionError> {
+    let scoped = trace
+        .sink()
+        .map(|s| Scoped::new(s, vec![("round", Value::from(t))]));
+    let ssam_trace = match &scoped {
+        Some(s) => Trace::new(s),
+        None => Trace::off(),
+    };
     match WspInstance::new(demand, scaled_bids) {
-        Ok(inst) => match run_ssam(&inst, &config.ssam) {
+        Ok(inst) => match run_ssam_traced(&inst, &config.ssam, ssam_trace) {
             Ok(o) => Ok(Some(o)),
             Err(AuctionError::InfeasibleDemand { .. }) => Ok(None),
             Err(e) => Err(e),

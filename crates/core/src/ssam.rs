@@ -54,6 +54,7 @@ use crate::error::AuctionError;
 use crate::wsp::WspInstance;
 use edge_common::id::{BidId, MicroserviceId};
 use edge_common::units::Price;
+use edge_telemetry::{Level, Trace, Value};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a single-stage auction.
@@ -139,6 +140,50 @@ impl SsamOutcome {
     }
 }
 
+/// Provenance of one critical-value payment: the runner-up iteration of
+/// the winner-less replay that set the Myerson threshold. Recording this
+/// (rather than just the resulting number) is what lets
+/// `edge-market explain` re-derive every payment from the trace:
+/// `payment = unit_price × contribution` exactly, with both factors as
+/// recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalSource {
+    /// The runner-up seller whose bid priced the winner.
+    pub seller: MicroserviceId,
+    /// The runner-up's bid.
+    pub bid: BidId,
+    /// Zero-based iteration of the replay at which the max was attained.
+    pub iteration: u64,
+    /// The runner-up's price per unit of marginal contribution (`r_k`).
+    pub unit_price: f64,
+    /// The winner's marginal contribution at that replay state
+    /// (`min(amount, remaining_k)`).
+    pub contribution: u64,
+}
+
+/// Lazy-deletion heap traffic accumulated over a greedy run and its
+/// payment replays; surfaced as the `ssam.stats` trace event.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Entries popped from the heap.
+    pub pops: u64,
+    /// Stale entries re-pushed with a recomputed key.
+    pub repushes: u64,
+    /// Entries discarded because their seller had already sold.
+    pub sold_discards: u64,
+    /// Entries discarded permanently as unsafe.
+    pub unsafe_discards: u64,
+}
+
+impl HeapStats {
+    fn absorb(&mut self, other: HeapStats) {
+        self.pops += other.pops;
+        self.repushes += other.repushes;
+        self.sold_discards += other.sold_discards;
+        self.unsafe_discards += other.unsafe_discards;
+    }
+}
+
 /// Marginal contribution of a bid given the uncovered remainder
 /// (Eq. 19 specialised to the aggregate demand).
 fn contribution(amount: u64, remaining: u64) -> u64 {
@@ -158,6 +203,24 @@ fn ratio(price: Price, amount: u64, remaining: u64) -> f64 {
 /// any) leaves too little supply. An instance that was feasible at
 /// construction cannot fail otherwise.
 pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutcome, AuctionError> {
+    run_ssam_traced(instance, config, Trace::off())
+}
+
+/// [`run_ssam`] with an audit trail: every exclusion, selection, and
+/// payment decision is recorded on `trace`, including the
+/// critical-value provenance ([`CriticalSource`]) that lets
+/// `edge-market explain` re-derive each payment exactly. Tracing does
+/// not change the outcome — `run_ssam` is this function with the trace
+/// off.
+///
+/// # Errors
+///
+/// Exactly as [`run_ssam`].
+pub fn run_ssam_traced(
+    instance: &WspInstance,
+    config: &SsamConfig,
+    trace: Trace<'_>,
+) -> Result<SsamOutcome, AuctionError> {
     // Candidate set 𝔽^t: all bids, filtered by the reserve if present.
     let candidates: Vec<&crate::bid::Bid> = instance
         .bids()
@@ -166,6 +229,35 @@ pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutco
             None => true,
         })
         .collect();
+
+    trace.emit_with(Level::Info, "ssam.start", || {
+        vec![
+            ("demand", Value::from(instance.demand())),
+            ("bids", Value::from(instance.bids().count())),
+            ("candidates", Value::from(candidates.len())),
+            (
+                "reserve_unit_price",
+                config
+                    .reserve_unit_price
+                    .map(Value::from)
+                    .unwrap_or(Value::F64(f64::NAN)),
+            ),
+        ]
+    });
+    if trace.is_on() {
+        if let Some(r) = config.reserve_unit_price {
+            for b in instance.bids().filter(|b| b.unit_price() > r) {
+                trace.emit_with(Level::Debug, "ssam.excluded", || {
+                    vec![
+                        ("seller", Value::from(b.seller.index())),
+                        ("bid", Value::from(b.id.index())),
+                        ("unit_price", Value::from(b.unit_price())),
+                        ("reason", Value::from("reserve")),
+                    ]
+                });
+            }
+        }
+    }
 
     // Feasibility under the filter.
     let mut per_seller_best: std::collections::BTreeMap<MicroserviceId, u64> =
@@ -183,7 +275,28 @@ pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutco
     }
 
     let demand = instance.demand();
-    let selection = greedy_select(candidates.clone(), demand);
+    let mut stats = HeapStats::default();
+    let selection = greedy_select(candidates.clone(), demand, &mut stats);
+
+    if trace.is_on() {
+        let mut remaining = demand;
+        for (order, (winner, c)) in selection.iter().enumerate() {
+            let before = remaining;
+            remaining -= c;
+            trace.emit_with(Level::Debug, "ssam.select", || {
+                vec![
+                    ("order", Value::from(order)),
+                    ("seller", Value::from(winner.seller.index())),
+                    ("bid", Value::from(winner.id.index())),
+                    ("amount", Value::from(winner.amount)),
+                    ("contribution", Value::from(*c)),
+                    ("price", Value::from(winner.price.value())),
+                    ("unit_price", Value::from(winner.price.value() / *c as f64)),
+                    ("remaining_before", Value::from(before)),
+                ]
+            });
+        }
+    }
 
     // Payments: the exact critical value per winner (lines 6–7
     // strengthened — see the module docs). For winner `i`, replay the
@@ -205,9 +318,9 @@ pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutco
             .map(|b| b.amount)
             .max()
             .unwrap_or(0);
-        let threshold = critical_threshold(without, demand, winner.amount, phantom);
+        let threshold = critical_threshold(without, demand, winner.amount, phantom, &mut stats);
         let payment_value = match threshold {
-            Some(v) => v,
+            Some((v, _)) => v,
             // Monopolist residual: no alternate run covers the demand, so
             // any price wins. Cap at the reserve when configured, else at
             // the bid's own price (IR-safe, threshold degenerate).
@@ -217,6 +330,35 @@ pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutco
                 .unwrap_or(winner.price.value())
                 .max(winner.price.value()),
         };
+        trace.emit_with(Level::Debug, "ssam.payment", || {
+            let mut fields = vec![
+                ("seller", Value::from(winner.seller.index())),
+                ("bid", Value::from(winner.id.index())),
+                ("amount", Value::from(winner.amount)),
+                ("price", Value::from(winner.price.value())),
+                ("payment", Value::from(payment_value)),
+            ];
+            match &threshold {
+                Some((_, Some(src))) => {
+                    fields.push(("kind", Value::from("runner_up")));
+                    fields.push(("source_seller", Value::from(src.seller.index())));
+                    fields.push(("source_bid", Value::from(src.bid.index())));
+                    fields.push(("source_iteration", Value::from(src.iteration)));
+                    fields.push(("source_unit_price", Value::from(src.unit_price)));
+                    fields.push(("source_contribution", Value::from(src.contribution)));
+                }
+                Some((_, None)) => fields.push(("kind", Value::from("zero"))),
+                None => {
+                    let reserve_pay = config.reserve_unit_price.map(|r| r * winner.amount as f64);
+                    let kind = match reserve_pay {
+                        Some(rp) if rp >= winner.price.value() => "reserve",
+                        _ => "own_price",
+                    };
+                    fields.push(("kind", Value::from(kind)));
+                }
+            }
+            fields
+        });
         winners.push(WinningBid {
             seller: winner.seller,
             bid: winner.id,
@@ -230,6 +372,25 @@ pub fn run_ssam(instance: &WspInstance, config: &SsamConfig) -> Result<SsamOutco
     let social_cost: Price = winners.iter().map(|w| w.price).sum();
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
     let certificate = build_certificate(&winners, demand, social_cost);
+
+    trace.emit_with(Level::Debug, "ssam.stats", || {
+        vec![
+            ("heap_pops", Value::from(stats.pops)),
+            ("heap_repushes", Value::from(stats.repushes)),
+            ("sold_discards", Value::from(stats.sold_discards)),
+            ("unsafe_discards", Value::from(stats.unsafe_discards)),
+        ]
+    });
+    trace.emit_with(Level::Info, "ssam.end", || {
+        vec![
+            ("winners", Value::from(winners.len())),
+            ("social_cost", Value::from(social_cost.value())),
+            ("total_payment", Value::from(total_payment.value())),
+            ("pi", Value::from(certificate.pi)),
+            ("xi", Value::from(certificate.xi)),
+            ("dual_objective", Value::from(certificate.dual_objective)),
+        ]
+    });
 
     Ok(SsamOutcome {
         winners,
@@ -321,6 +482,9 @@ struct HeapGreedy<'a> {
     phantom: u64,
     /// Completed sales; bumps invalidate stored heap keys.
     gen: u64,
+    /// Heap-traffic counters (cheap unconditional increments; only
+    /// surfaced when tracing).
+    stats: HeapStats,
 }
 
 impl<'a> HeapGreedy<'a> {
@@ -350,6 +514,7 @@ impl<'a> HeapGreedy<'a> {
             total_max,
             phantom,
             gen: 0,
+            stats: HeapStats::default(),
         }
     }
 
@@ -373,13 +538,16 @@ impl<'a> HeapGreedy<'a> {
     /// recomputed key; a bid is re-pushed at most once per generation.
     fn pop_best_safe(&mut self) -> Option<&'a crate::bid::Bid> {
         while let Some(entry) = self.heap.pop() {
+            self.stats.pops += 1;
             if !self.seller_max.contains_key(&entry.seller) {
+                self.stats.sold_discards += 1;
                 continue; // seller already sold — lazily deleted
             }
             let bid = self.bids[entry.idx];
             if entry.gen != self.gen {
                 let key = ratio(bid.price, bid.amount, self.remaining);
                 if key.total_cmp(&entry.key).is_ne() {
+                    self.stats.repushes += 1;
                     self.heap.push(HeapEntry {
                         key,
                         gen: self.gen,
@@ -389,6 +557,7 @@ impl<'a> HeapGreedy<'a> {
                 }
             }
             if !self.is_safe(bid) {
+                self.stats.unsafe_discards += 1;
                 continue; // once unsafe, always unsafe — drop permanently
             }
             return Some(bid);
@@ -410,7 +579,11 @@ impl<'a> HeapGreedy<'a> {
 /// The greedy winner selection of Algorithm 1 (lines 3–12): repeatedly
 /// accept the safe bid minimizing `∇/U`, then drop the winner's other
 /// bids. Returns `(bid, contribution)` pairs in selection order.
-fn greedy_select(candidates: Vec<&crate::bid::Bid>, demand: u64) -> Vec<(crate::bid::Bid, u64)> {
+fn greedy_select(
+    candidates: Vec<&crate::bid::Bid>,
+    demand: u64,
+    stats: &mut HeapStats,
+) -> Vec<(crate::bid::Bid, u64)> {
     let mut state = HeapGreedy::new(candidates, demand, 0);
     let mut selection = Vec::new();
     while state.remaining > 0 {
@@ -420,6 +593,7 @@ fn greedy_select(candidates: Vec<&crate::bid::Bid>, demand: u64) -> Vec<(crate::
         let c = state.sell(&winner);
         selection.push((winner, c));
     }
+    stats.absorb(state.stats);
     selection
 }
 
@@ -427,7 +601,9 @@ fn greedy_select(candidates: Vec<&crate::bid::Bid>, demand: u64) -> Vec<(crate::
 /// its best offer kept as phantom supply, so safety decisions match the
 /// real run's) and returns that seller's critical value for a bid of
 /// `amount` units: `max_k r_k · min(amount, remaining_k)` over the
-/// iterations where the bid would have been safe.
+/// iterations where the bid would have been safe — together with the
+/// [`CriticalSource`] describing which runner-up iteration attained the
+/// max (provenance for the audit trail).
 ///
 /// Returns `None` when the replay gets stuck — the excluded seller is
 /// then pivotal and wins at any price.
@@ -436,18 +612,42 @@ fn critical_threshold(
     demand: u64,
     amount: u64,
     phantom: u64,
-) -> Option<f64> {
+    stats: &mut HeapStats,
+) -> Option<(f64, Option<CriticalSource>)> {
     let mut state = HeapGreedy::new(others, demand, phantom);
     let mut threshold = 0.0f64;
+    let mut source: Option<CriticalSource> = None;
+    let mut iteration = 0u64;
     while state.remaining > 0 {
-        let best = state.pop_best_safe()?;
+        let best = match state.pop_best_safe() {
+            Some(b) => b,
+            None => {
+                stats.absorb(state.stats);
+                return None;
+            }
+        };
         let r_k = ratio(best.price, best.amount, state.remaining);
         if state.phantom_safe(amount) {
-            threshold = threshold.max(r_k * contribution(amount, state.remaining) as f64);
+            // `candidate > threshold` tracks the argmax of the original
+            // `threshold.max(candidate)` exactly (both operands finite,
+            // ties keep the earlier iteration).
+            let candidate = r_k * contribution(amount, state.remaining) as f64;
+            if candidate > threshold {
+                threshold = candidate;
+                source = Some(CriticalSource {
+                    seller: best.seller,
+                    bid: best.id,
+                    iteration,
+                    unit_price: r_k,
+                    contribution: contribution(amount, state.remaining),
+                });
+            }
         }
         state.sell(best);
+        iteration += 1;
     }
-    Some(threshold)
+    stats.absorb(state.stats);
+    Some((threshold, source))
 }
 
 /// Builds the Theorem 3 certificate from the assigned unit prices.
@@ -871,6 +1071,77 @@ mod tests {
         // Ties break toward the lower seller id.
         assert_eq!(a.winners[0].seller, MicroserviceId::new(0));
         assert_eq!(a.winners[1].seller, MicroserviceId::new(1));
+    }
+
+    #[test]
+    fn trace_records_runner_up_provenance() {
+        use edge_telemetry::Collector;
+        // Three sellers, demand 2: seller 0 ($2/u) wins alone; the
+        // replay without it picks seller 1 ($3/u) — the runner-up that
+        // must appear as the payment's source. Seller 2 ($5/u) never
+        // prices anything.
+        let collector = Collector::new();
+        let outcome = run_ssam_traced(
+            &inst(
+                2,
+                vec![bid(0, 0, 2, 4.0), bid(1, 0, 2, 6.0), bid(2, 0, 2, 10.0)],
+            ),
+            &SsamConfig::default(),
+            Trace::new(&collector),
+        )
+        .unwrap();
+        assert_eq!(outcome.winners.len(), 1);
+        let events = collector.events();
+        let payment = events.iter().find(|e| e.name == "ssam.payment").unwrap();
+        assert_eq!(
+            payment.field("kind").and_then(Value::as_str),
+            Some("runner_up")
+        );
+        assert_eq!(
+            payment.field("source_seller").and_then(Value::as_f64),
+            Some(1.0),
+            "seller 1 is the runner-up that priced the winner"
+        );
+        // The recorded factors reproduce the payment exactly.
+        let unit = payment
+            .field("source_unit_price")
+            .and_then(Value::as_f64)
+            .unwrap();
+        let contrib = payment
+            .field("source_contribution")
+            .and_then(Value::as_f64)
+            .unwrap();
+        let paid = payment.field("payment").and_then(Value::as_f64).unwrap();
+        assert_eq!(unit * contrib, paid, "provenance must be exact, not ≈");
+        assert_eq!(paid, outcome.winners[0].payment.value());
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_outcome() {
+        use edge_telemetry::Collector;
+        let instance = inst(
+            6,
+            vec![
+                bid(0, 0, 3, 9.0),
+                bid(0, 1, 1, 2.0),
+                bid(1, 0, 2, 5.0),
+                bid(2, 0, 4, 14.0),
+                bid(3, 0, 2, 8.0),
+            ],
+        );
+        let collector = Collector::new();
+        let traced =
+            run_ssam_traced(&instance, &SsamConfig::default(), Trace::new(&collector)).unwrap();
+        let untraced = run_ssam(&instance, &SsamConfig::default()).unwrap();
+        assert_eq!(traced, untraced);
+        assert!(!collector.is_empty());
+        // One stats event with real heap traffic.
+        let stats = collector
+            .events()
+            .into_iter()
+            .find(|e| e.name == "ssam.stats")
+            .unwrap();
+        assert!(stats.field("heap_pops").and_then(Value::as_f64).unwrap() > 0.0);
     }
 
     #[test]

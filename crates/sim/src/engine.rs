@@ -62,6 +62,7 @@ pub struct Simulation {
     crashed: Vec<bool>,
     observed: ObservedIndicators,
     last_completions: Vec<edge_workload::request::Request>,
+    telemetry: Option<Arc<edge_telemetry::Collector>>,
 }
 
 impl Simulation {
@@ -112,7 +113,19 @@ impl Simulation {
             crashed: vec![false; n_services],
             observed: ObservedIndicators::all(),
             last_completions: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry collector: every [`step`](Self::step)
+    /// emits one `sim.round` event summarising the round's metrics
+    /// batch (arrivals, completions, queue depth, utilisation).
+    ///
+    /// The events are deterministic — they carry only round-derived
+    /// aggregates, never wall-clock time — so traces are byte-identical
+    /// across runs with the same trace and schedule.
+    pub fn set_telemetry(&mut self, collector: Arc<edge_telemetry::Collector>) {
+        self.telemetry = Some(collector);
     }
 
     /// The requests completed during the most recent
@@ -397,6 +410,34 @@ impl Simulation {
             }
         }
         batch.sort_by_key(|m| m.ms);
+        if let Some(collector) = &self.telemetry {
+            use edge_telemetry::{Level, Sink, Value};
+            let arrivals: u64 = batch.iter().map(|m| m.received_round).sum();
+            let completions: u64 = batch.iter().map(|m| m.served_round).sum();
+            let queued: u64 = batch.iter().map(|m| m.queue_len as u64).sum();
+            let queued_work: f64 = batch.iter().map(|m| m.queued_work).sum();
+            let busy = batch.iter().filter(|m| m.utilization > 0.0).count();
+            let mean_util = if batch.is_empty() {
+                0.0
+            } else {
+                batch.iter().map(|m| m.utilization).sum::<f64>() / batch.len() as f64
+            };
+            let offline_count = offline.iter().filter(|&&o| o).count();
+            collector.emit(
+                Level::Info,
+                "sim.round",
+                vec![
+                    ("round", Value::from(now.index())),
+                    ("arrivals", Value::from(arrivals)),
+                    ("completions", Value::from(completions)),
+                    ("queue_len", Value::from(queued)),
+                    ("queued_work", Value::from(queued_work)),
+                    ("busy_services", Value::from(busy)),
+                    ("offline_services", Value::from(offline_count)),
+                    ("mean_utilization", Value::from(mean_util)),
+                ],
+            );
+        }
         self.metrics.record_round(batch);
 
         self.next_round += 1;
@@ -852,5 +893,25 @@ mod tests {
                 assert!((0.0..=1.0).contains(&row.utilization));
             }
         }
+    }
+
+    #[test]
+    fn telemetry_emits_one_deterministic_event_per_round() {
+        let collector = Arc::new(edge_telemetry::Collector::new());
+        let mut sim = small_sim(7);
+        sim.set_telemetry(collector.clone());
+        let rounds = sim.run_to_end();
+        let events = collector.events();
+        assert_eq!(events.len(), rounds as usize);
+        for (t, e) in events.iter().enumerate() {
+            assert_eq!(e.name, "sim.round");
+            assert_eq!(e.field("round").and_then(|v| v.as_f64()), Some(t as f64));
+        }
+        // Same trace, same schedule → byte-identical JSONL.
+        let again = Arc::new(edge_telemetry::Collector::new());
+        let mut rerun = small_sim(7);
+        rerun.set_telemetry(again.clone());
+        rerun.run_to_end();
+        assert_eq!(collector.deterministic_jsonl(), again.deterministic_jsonl());
     }
 }

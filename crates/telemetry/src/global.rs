@@ -1,0 +1,171 @@
+//! The process-wide diagnostic subscriber.
+//!
+//! This is the second of the crate's two layers. The audit trail uses
+//! explicit per-run [`Collector`](crate::Collector)s so parallel runs
+//! stay deterministic; *diagnostics* — one-shot warnings, estimator
+//! notices — instead go through a single optional global subscriber so
+//! library code deep in the call stack can report without threading a
+//! handle everywhere.
+//!
+//! Cost model: when no subscriber is installed, [`enabled`] is a single
+//! relaxed atomic load returning `false` for sub-`Warn` levels, so
+//! `event!(debug: ...)` in a hot loop compiles to a load and a branch.
+//! `Warn` events are never dropped: with no subscriber they fall back to
+//! a `warning: ...` line on stderr, preserving the behavior of the
+//! `eprintln!` diagnostics this crate replaces.
+
+use crate::event::Level;
+use crate::value::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A consumer of global diagnostic events.
+pub trait Subscriber: Send + Sync {
+    /// `true` when events at `level` should be constructed and delivered.
+    fn enabled(&self, level: Level) -> bool;
+    /// Delivers one event.
+    fn event(&self, level: Level, name: &'static str, fields: &[(&'static str, Value)]);
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+/// Installs `sub` as the process-wide subscriber, replacing any
+/// previous one.
+pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
+    *SUBSCRIBER.write().expect("subscriber lock") = Some(sub);
+    INSTALLED.store(true, Ordering::Release);
+}
+
+/// Removes the process-wide subscriber, restoring the default
+/// (stderr for `Warn`, drop otherwise).
+pub fn clear_subscriber() {
+    INSTALLED.store(false, Ordering::Release);
+    *SUBSCRIBER.write().expect("subscriber lock") = None;
+}
+
+/// `true` when an event at `level` would be delivered somewhere —
+/// callers use this to skip field construction entirely.
+pub fn enabled(level: Level) -> bool {
+    if INSTALLED.load(Ordering::Acquire) {
+        match SUBSCRIBER.read().expect("subscriber lock").as_ref() {
+            Some(sub) => sub.enabled(level),
+            None => level >= Level::Warn,
+        }
+    } else {
+        // No subscriber: only warnings survive (to stderr).
+        level >= Level::Warn
+    }
+}
+
+/// Delivers a diagnostic event to the global subscriber, or — for
+/// `Warn` with no subscriber — to stderr.
+pub fn dispatch(level: Level, name: &'static str, fields: &[(&'static str, Value)]) {
+    if INSTALLED.load(Ordering::Acquire) {
+        let guard = SUBSCRIBER.read().expect("subscriber lock");
+        if let Some(sub) = guard.as_ref() {
+            if sub.enabled(level) {
+                sub.event(level, name, fields);
+            }
+            return;
+        }
+    }
+    if level >= Level::Warn {
+        eprintln!("warning: {}", render_message(name, fields));
+    }
+}
+
+/// Human-readable one-liner: the `message` field when present,
+/// otherwise `name` followed by `key=value` pairs.
+pub(crate) fn render_message(name: &'static str, fields: &[(&'static str, Value)]) -> String {
+    if let Some((_, Value::Str(msg))) = fields.iter().find(|(k, _)| *k == "message") {
+        return msg.clone();
+    }
+    let mut out = String::from(name);
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        let mut rendered = String::new();
+        v.write_json(&mut rendered);
+        out.push_str(&rendered);
+    }
+    out
+}
+
+/// A subscriber that appends every delivered event to a shared
+/// [`Collector`](crate::Collector) — useful in tests and for the CLI's
+/// `--trace` mode, where diagnostics should land in the same artifact
+/// as the audit trail.
+#[derive(Debug)]
+pub struct CollectorSubscriber {
+    collector: Arc<crate::Collector>,
+    min_level: Level,
+}
+
+impl CollectorSubscriber {
+    /// Forwards events at `min_level` and above into `collector`.
+    pub fn new(collector: Arc<crate::Collector>, min_level: Level) -> Self {
+        CollectorSubscriber {
+            collector,
+            min_level,
+        }
+    }
+}
+
+impl Subscriber for CollectorSubscriber {
+    fn enabled(&self, level: Level) -> bool {
+        level >= self.min_level
+    }
+
+    fn event(&self, level: Level, name: &'static str, fields: &[(&'static str, Value)]) {
+        use crate::collector::Sink;
+        self.collector.emit(level, name, fields.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The global subscriber is process-wide state; serialize the tests
+    // that touch it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_below_warn_by_default() {
+        let _g = GUARD.lock().unwrap();
+        clear_subscriber();
+        assert!(!enabled(Level::Debug));
+        assert!(!enabled(Level::Info));
+        assert!(enabled(Level::Warn));
+    }
+
+    #[test]
+    fn collector_subscriber_captures() {
+        let _g = GUARD.lock().unwrap();
+        let c = Arc::new(crate::Collector::new());
+        set_subscriber(Arc::new(CollectorSubscriber::new(c.clone(), Level::Info)));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        dispatch(Level::Info, "test.event", &[("k", Value::from(1u64))]);
+        dispatch(Level::Debug, "dropped", &[]);
+        clear_subscriber();
+        let events = c.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test.event");
+    }
+
+    #[test]
+    fn render_message_prefers_message_field() {
+        assert_eq!(
+            render_message("x", &[("message", Value::from("hello world"))]),
+            "hello world"
+        );
+        assert_eq!(
+            render_message("alpha.clamped", &[("alpha", Value::from(2.5))]),
+            "alpha.clamped alpha=2.5"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The field-value data model of an event.
+//!
+//! A [`Value`] is the smallest JSON-compatible model that covers what
+//! auction and simulator instrumentation needs to record: strings,
+//! integers, floats, and booleans. Rendering is **deterministic**:
+//! integers print as decimal, floats use Rust's shortest round-trip
+//! `Display` (so a trace parsed back yields the bit-identical `f64`),
+//! and non-finite floats — which JSON cannot carry — print as `null`.
+
+use std::fmt;
+
+/// One field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as JSON `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Writes the value as a JSON scalar.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => write_json_string(s, out),
+            Value::U64(u) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{u}"));
+            }
+            Value::I64(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Value::F64(f) => {
+                if f.is_finite() {
+                    // Rust's float Display is the shortest string that
+                    // round-trips, so traces are both deterministic and
+                    // exact.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+
+    /// The float view of a numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The string view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes and quotes a string per JSON.
+pub(crate) fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<u64> for Value {
+    fn from(u: u64) -> Self {
+        Value::U64(u)
+    }
+}
+impl From<u32> for Value {
+    fn from(u: u32) -> Self {
+        Value::U64(u64::from(u))
+    }
+}
+impl From<usize> for Value {
+    fn from(u: usize) -> Self {
+        Value::U64(u as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::I64(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::I64(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::F64(f)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(json(Value::from(3u64)), "3");
+        assert_eq!(json(Value::from(-2i64)), "-2");
+        assert_eq!(json(Value::from(true)), "true");
+        assert_eq!(json(Value::from("hi")), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 6.6, 1e-300, -0.0, 123456.789] {
+            let text = json(Value::from(f));
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} vs {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(json(Value::from(f64::INFINITY)), "null");
+        assert_eq!(json(Value::from(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json(Value::from("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json(Value::from("\u{1}")), "\"\\u0001\"");
+    }
+}

@@ -15,6 +15,8 @@
 //!   plus wall-clock cell-latency aggregates per figure sweep;
 //! * [`report`] — the single rendering path shared by `reproduce_all`
 //!   and the CLI's `reproduce` command;
+//! * [`scale`] — the non-figure scale benchmark (`BENCH_scale.json`):
+//!   MSOA at up to 100k sellers, pricing phase timed per thread count;
 //! * [`table`] — fixed-width table rendering and JSON export.
 //!
 //! Each figure has a matching binary: `cargo run -p edge-bench --release
@@ -28,6 +30,7 @@ pub mod parallel;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod table;
 

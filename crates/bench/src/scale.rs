@@ -1,0 +1,309 @@
+//! The scale benchmark: MSOA wall-clock and pricing-phase cost as the
+//! seller population grows to 100k, at one and several pricing threads.
+//!
+//! Unlike the figure sweeps in [`crate::runner`] this is *not* a paper
+//! figure — it is the machine-readable evidence for the parallel
+//! critical-value pricing and the incremental round buffer. Each cell
+//! (`n` sellers × `rounds` × thread count) runs the same deterministic
+//! [`crate::scenario::scale_instance`] several times and records the
+//! **median** wall-clock plus the pricing-phase counters drained from
+//! [`edge_telemetry::pricing`]; the replay/prefix iteration counts are
+//! thread- and clock-independent, so they hold as evidence even on a
+//! single-core runner where wall-clock speedup cannot show.
+//!
+//! Every cell also carries an FNV-1a digest of the serialized outcome.
+//! Digests must agree across thread counts for the same `n` — the
+//! report computes the cross-thread comparison itself
+//! ([`ScaleSpeedup::identical_outcomes`]) and CI diffs the digest lines
+//! of independent 1-thread and 4-thread runs.
+
+use crate::scenario::scale_instance;
+use crate::table::Table;
+use edge_auction::msoa::{run_msoa, MsoaConfig};
+use edge_auction::{pricing_threads_setting, set_pricing_threads};
+use edge_common::rng::derive_rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Schema identifier written into `BENCH_scale.json`.
+pub const SCALE_SCHEMA: &str = "edge-market/bench-scale/v1";
+
+/// Seller populations swept by default (clamped by `max_n`).
+pub const SCALE_SIZES: [usize; 4] = [1_000, 10_000, 50_000, 100_000];
+
+/// Rounds per instance; identical bid lists so the incremental buffer's
+/// patched path is what gets measured after round one.
+pub const SCALE_ROUNDS: u64 = 3;
+
+/// Repetitions per cell; the median is reported.
+pub const SCALE_REPS: usize = 3;
+
+/// One measured cell: a `(n, threads)` pair run [`SCALE_REPS`] times.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleCell {
+    /// Seller population.
+    pub n: usize,
+    /// Rounds in the instance.
+    pub rounds: u64,
+    /// Pricing thread setting used for this cell (1 = sequential path).
+    pub threads: usize,
+    /// Repetitions behind the medians.
+    pub reps: usize,
+    /// Median wall-clock for the whole MSOA run, nanoseconds.
+    pub median_total_ns: u64,
+    /// `median_total_ns / rounds`.
+    pub median_ns_per_round: u64,
+    /// Median wall-clock spent in the payment (pricing) phase, summed
+    /// over rounds, nanoseconds.
+    pub median_pricing_ns: u64,
+    /// Critical-value payments computed per second of pricing-phase
+    /// wall-clock (median rep).
+    pub payments_per_sec: f64,
+    /// Payment replays per run — one per winner per round; identical at
+    /// every thread count.
+    pub payment_replays: u64,
+    /// Greedy iterations executed across all replays (prefix + suffix).
+    pub replay_iterations: u64,
+    /// Of those, iterations answered in O(1) from the shared prefix.
+    pub prefix_iterations: u64,
+    /// FNV-1a 64 digest (hex) of the serialized outcome.
+    pub outcome_digest: String,
+}
+
+/// Cross-thread comparison for one `n`: how much faster the pricing
+/// phase ran versus the 1-thread cell, and whether outcomes matched.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleSpeedup {
+    /// Seller population.
+    pub n: usize,
+    /// Rounds in the instance.
+    pub rounds: u64,
+    /// The multi-threaded cell's thread setting.
+    pub threads: usize,
+    /// `pricing_ns(1 thread) / pricing_ns(threads)`.
+    pub pricing_speedup_vs_1: f64,
+    /// Whether the outcome digests matched the 1-thread cell.
+    pub identical_outcomes: bool,
+}
+
+/// The full report serialized to `BENCH_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleReport {
+    /// Schema identifier ([`SCALE_SCHEMA`]).
+    pub schema: String,
+    /// Hardware parallelism of the machine that produced the report —
+    /// read this before interpreting wall-clock speedups: on a
+    /// single-core runner they cannot exceed 1.
+    pub threads_available: usize,
+    /// Measured cells, in `(n, threads)` order.
+    pub cells: Vec<ScaleCell>,
+    /// Cross-thread digests and pricing speedups per population.
+    pub speedups: Vec<ScaleSpeedup>,
+}
+
+/// FNV-1a 64 over a byte string — stable, dependency-free fingerprint.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Runs one `(n, threads)` cell: [`SCALE_REPS`] repetitions over the
+/// same seeded instance, medians over wall-clock, counters from the
+/// median-total rep.
+fn run_cell(n: usize, threads: usize) -> ScaleCell {
+    let mut rng = derive_rng(n as u64, "bench-scale");
+    let instance = scale_instance(n, SCALE_ROUNDS, &mut rng);
+    let config = MsoaConfig::pinned(2.0);
+    set_pricing_threads(threads);
+
+    let mut totals = Vec::with_capacity(SCALE_REPS);
+    let mut pricing_ns = Vec::with_capacity(SCALE_REPS);
+    let mut last = None;
+    for _ in 0..SCALE_REPS {
+        let before = edge_telemetry::pricing::snapshot();
+        let start = Instant::now();
+        let outcome = run_msoa(&instance, &config).expect("scale instances are feasible");
+        totals.push(start.elapsed().as_nanos() as u64);
+        let delta = edge_telemetry::pricing::snapshot().delta_since(&before);
+        pricing_ns.push(delta.nanos);
+        last = Some((outcome, delta));
+    }
+    let (outcome, counters) = last.expect("SCALE_REPS >= 1");
+    let median_total_ns = median(totals);
+    let median_pricing_ns = median(pricing_ns);
+    let payments_per_sec = if median_pricing_ns == 0 {
+        0.0
+    } else {
+        counters.replays as f64 / (median_pricing_ns as f64 / 1e9)
+    };
+    let serialized = serde_json::to_string(&outcome).expect("outcomes are plain data");
+    ScaleCell {
+        n,
+        rounds: SCALE_ROUNDS,
+        threads,
+        reps: SCALE_REPS,
+        median_total_ns,
+        median_ns_per_round: median_total_ns / SCALE_ROUNDS,
+        median_pricing_ns,
+        payments_per_sec,
+        payment_replays: counters.replays,
+        replay_iterations: counters.replay_iterations,
+        prefix_iterations: counters.prefix_iterations,
+        outcome_digest: format!("{:016x}", fnv1a64(serialized.as_bytes())),
+    }
+}
+
+/// Runs the scale sweep: populations from [`SCALE_SIZES`] up to
+/// `max_n`, each at the given thread counts (`None` sweeps `{1, 4}`).
+/// Restores the process pricing-thread setting afterwards.
+pub fn run_scale(max_n: usize, threads: Option<usize>) -> ScaleReport {
+    let saved = pricing_threads_setting();
+    let thread_counts: Vec<usize> = match threads {
+        Some(t) => vec![t],
+        None => vec![1, 4],
+    };
+    let sizes: Vec<usize> = SCALE_SIZES
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect::<Vec<_>>();
+    let sizes = if sizes.is_empty() {
+        vec![max_n.max(1)]
+    } else {
+        sizes
+    };
+
+    let mut cells = Vec::new();
+    let mut cell_us = Vec::new();
+    for &n in &sizes {
+        for &t in &thread_counts {
+            let cell = run_cell(n, t);
+            cell_us.push(cell.median_total_ns / 1_000);
+            cells.push(cell);
+        }
+    }
+    set_pricing_threads(saved);
+
+    let mut speedups = Vec::new();
+    for &n in &sizes {
+        let Some(base) = cells.iter().find(|c| c.n == n && c.threads == 1) else {
+            continue;
+        };
+        for cell in cells.iter().filter(|c| c.n == n && c.threads != 1) {
+            speedups.push(ScaleSpeedup {
+                n,
+                rounds: cell.rounds,
+                threads: cell.threads,
+                pricing_speedup_vs_1: if cell.median_pricing_ns == 0 {
+                    1.0
+                } else {
+                    base.median_pricing_ns as f64 / cell.median_pricing_ns as f64
+                },
+                identical_outcomes: cell.outcome_digest == base.outcome_digest,
+            });
+        }
+    }
+
+    crate::profile::set_stage("scale");
+    crate::profile::record_sweep(sizes.len(), thread_counts.len() as u64, &cell_us);
+
+    ScaleReport {
+        schema: SCALE_SCHEMA.to_string(),
+        threads_available: edge_auction::available_pricing_threads(),
+        cells,
+        speedups,
+    }
+}
+
+impl ScaleReport {
+    /// Renders the human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "n",
+            "threads",
+            "ms/round",
+            "pricing ms",
+            "payments/s",
+            "replays",
+            "prefix iters",
+            "digest",
+        ]);
+        for c in &self.cells {
+            t.push([
+                c.n.to_string(),
+                c.threads.to_string(),
+                format!("{:.2}", c.median_ns_per_round as f64 / 1e6),
+                format!("{:.2}", c.median_pricing_ns as f64 / 1e6),
+                format!("{:.0}", c.payments_per_sec),
+                c.payment_replays.to_string(),
+                c.prefix_iterations.to_string(),
+                c.outcome_digest.clone(),
+            ]);
+        }
+        let mut out = t.render();
+        for s in &self.speedups {
+            out.push_str(&format!(
+                "n={}: pricing x{:.2} at {} threads, outcomes {}\n",
+                s.n,
+                s.pricing_speedup_vs_1,
+                s.threads,
+                if s.identical_outcomes {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as pretty JSON (the `BENCH_scale.json`
+    /// payload).
+    pub fn to_json(&self) -> String {
+        crate::table::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vector() {
+        // FNV-1a 64 of "a" is a published test vector.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn small_sweep_produces_identical_digests_across_threads() {
+        let report = run_scale(1_000, None);
+        assert_eq!(report.schema, SCALE_SCHEMA);
+        assert_eq!(report.cells.len(), 2, "one size, two thread counts");
+        assert_eq!(
+            report.cells[0].outcome_digest,
+            report.cells[1].outcome_digest
+        );
+        assert!(report.speedups.iter().all(|s| s.identical_outcomes));
+        assert!(report.cells.iter().all(|c| c.payment_replays > 0));
+        let json = report.to_json();
+        assert!(json.contains("\"outcome_digest\""));
+        assert!(json.contains(SCALE_SCHEMA));
+        assert!(report.render().contains("payments/s"));
+    }
+
+    #[test]
+    fn pinned_thread_count_sweeps_single_column() {
+        let report = run_scale(1_000, Some(1));
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.speedups.is_empty());
+    }
+}

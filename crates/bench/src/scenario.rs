@@ -143,6 +143,46 @@ pub fn multi_round_instance<R: Rng + ?Sized>(
     MultiRoundInstance::new(sellers, rounds).expect("generated instances are valid")
 }
 
+/// Generates the scale-benchmark instance: `n` sellers far beyond the
+/// paper's §V-A population, auctioned over `rounds` identical rounds.
+///
+/// The shape is deliberately regular — every seller always available,
+/// ample capacity, the *same* bid list every round — so the benchmark
+/// isolates the two hot paths under test: per-winner payment replays
+/// (demand of several hundred units ⇒ hundreds of winners per round)
+/// and the incremental round buffer (repeated bid lists ⇒ the patched
+/// path, with only winners' χ changing between rounds).
+pub fn scale_instance<R: Rng + ?Sized>(n: usize, rounds: u64, rng: &mut R) -> MultiRoundInstance {
+    assert!(n > 0 && rounds > 0, "scale cells are non-empty");
+    let sellers: Vec<Seller> = (0..n)
+        .map(|s| {
+            Seller::new(MicroserviceId::new(s), 64, (0, rounds - 1)).expect("window is ordered")
+        })
+        .collect();
+    let mut bids = Vec::with_capacity(n * 2);
+    for seller in &sellers {
+        let alternatives = 1 + rng.gen_range(0..2usize);
+        for j in 0..alternatives {
+            let amount = rng.gen_range(1..=4u64);
+            let price = rng.gen_range(10.0..35.0) * amount as f64 / 5.0;
+            bids.push(Bid::new(seller.id, BidId::new(j), amount, price).expect("drawn bid valid"));
+        }
+    }
+    let supply: u64 = {
+        let mut best = std::collections::BTreeMap::new();
+        for b in &bids {
+            let e = best.entry(b.seller).or_insert(0u64);
+            *e = (*e).max(b.amount);
+        }
+        best.values().sum()
+    };
+    let demand = (supply / 4).clamp(1, 512);
+    let rounds = (0..rounds)
+        .map(|_| RoundInput::new(demand, demand, bids.clone()))
+        .collect();
+    MultiRoundInstance::new(sellers, rounds).expect("scale instances are valid")
+}
+
 /// The integrated pipeline of the paper: run the edge-cloud simulator
 /// over a §V-A workload, estimate each needy microservice's demand with
 /// the §III estimator, and auction the aggregate shortfall among the

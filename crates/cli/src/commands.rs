@@ -131,10 +131,11 @@ COMMANDS:
                     [--seed N] [--microservices S] [--bids J] --out FILE
     ssam            run the single-stage auction on an instance
                     --input FILE [--reserve PRICE] [--trace OUT.jsonl]
+                    [--pricing-threads N]
     msoa            run the online auction on a multi-round scenario
                     --input FILE [--variant plain|da|rc|oa]
                     [--faults PLAN.toml] [--recovery on|off]
-                    [--trace OUT.jsonl]
+                    [--trace OUT.jsonl] [--pricing-threads N]
                     (--faults runs the fault-injection pipeline and
                     cannot be combined with --variant)
     audit           audit mechanism properties on an instance
@@ -142,6 +143,13 @@ COMMANDS:
     reproduce       re-run the paper's evaluation figures
                     [--figure NAME|all] [--seeds N] [--parallel THREADS]
                     [--trace OUT.jsonl]
+                    --figure scale runs the (non-figure) scale benchmark
+                    and writes a machine-readable report
+                    [--scale-out FILE] [--scale-max-n N]
+                    [--pricing-threads N]
+                    (--pricing-threads: 0 = auto-detect, 1 = exact
+                    sequential path, N = parallel payment replays;
+                    outcomes are identical at every setting)
     explain         narrate one round of a recorded trace: exclusions,
                     ψ scaling, greedy order, and each winner's critical
                     payment with its runner-up provenance, recomputed
@@ -199,6 +207,23 @@ fn generate_round(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+/// Applies `--pricing-threads` to the process-wide pricing pool: `0`
+/// auto-detects from the hardware, `1` pins the exact sequential path,
+/// `N > 1` fans payment replays out over `N` threads. Outcomes and
+/// traces are byte-identical at every setting (the differential suite
+/// asserts this), so the flag is purely a performance knob.
+fn apply_pricing_threads(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
+    let Some(raw) = args.get("pricing-threads") else {
+        return Ok(None);
+    };
+    let threads: usize = raw.parse().map_err(|_| ArgsError::InvalidValue {
+        flag: "pricing-threads".into(),
+        value: raw.to_owned(),
+    })?;
+    edge_auction::set_pricing_threads(threads);
+    Ok(Some(threads))
+}
+
 fn ssam_config(args: &ParsedArgs) -> Result<SsamConfig, CliError> {
     let reserve = match args.get("reserve") {
         None => None,
@@ -213,7 +238,8 @@ fn ssam_config(args: &ParsedArgs) -> Result<SsamConfig, CliError> {
 }
 
 fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["input", "reserve", "trace"])?;
+    args.allow_only(&["input", "reserve", "trace", "pricing-threads"])?;
+    apply_pricing_threads(args)?;
     let instance: WspInstance = serde_json::from_str(&fs::read_to_string(args.require("input")?)?)?;
     let config = ssam_config(args)?;
     let mut trace_note = String::new();
@@ -261,7 +287,16 @@ fn ssam(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn msoa(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["input", "variant", "reserve", "faults", "recovery", "trace"])?;
+    args.allow_only(&[
+        "input",
+        "variant",
+        "reserve",
+        "faults",
+        "recovery",
+        "trace",
+        "pricing-threads",
+    ])?;
+    apply_pricing_threads(args)?;
     let fault_mode = args.get("faults").is_some() || args.get("recovery").is_some();
     if fault_mode && args.get("variant").is_some() {
         return Err(CliError::FlagConflict("variant", "faults"));
@@ -468,7 +503,15 @@ fn audit(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["figure", "seeds", "parallel", "trace"])?;
+    args.allow_only(&[
+        "figure",
+        "seeds",
+        "parallel",
+        "trace",
+        "pricing-threads",
+        "scale-out",
+        "scale-max-n",
+    ])?;
     let seeds = args.get_or("seeds", edge_bench::DEFAULT_SEEDS)?;
     if let Some(raw) = args.get("parallel") {
         let threads = raw.parse().map_err(|_| ArgsError::InvalidValue {
@@ -477,7 +520,13 @@ fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
         })?;
         edge_bench::parallel::set_threads(threads);
     }
+    let pinned_threads = apply_pricing_threads(args)?;
     let figure = args.get("figure").unwrap_or("all");
+    // The scale benchmark is not a paper figure: it never runs as part
+    // of `all`, and it writes its machine-readable report to a file.
+    if figure == "scale" {
+        return reproduce_scale(args, pinned_threads);
+    }
     let names: Vec<&str> = if figure == "all" {
         edge_bench::report::FIGURES.to_vec()
     } else {
@@ -509,6 +558,41 @@ fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
         edge_bench::profile::uninstall();
     }
     let mut out = rendered?;
+    if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
+        fs::write(path, collector.to_jsonl())?;
+        let _ = writeln!(out, "trace: {} sweep events → {path}", collector.len());
+    }
+    Ok(out)
+}
+
+/// `reproduce --figure scale`: run the scale benchmark and write its
+/// machine-readable report ([`edge_bench::scale::ScaleReport`]).
+///
+/// `--scale-max-n` bounds the swept populations; `--pricing-threads`
+/// (when given) pins the sweep to that single thread count instead of
+/// the default `{1, 4}` comparison.
+fn reproduce_scale(args: &ParsedArgs, pinned_threads: Option<usize>) -> Result<String, CliError> {
+    let out_path = args.get("scale-out").unwrap_or("BENCH_scale.json");
+    let max_n = args.get_or("scale-max-n", 100_000usize)?;
+    let collector = args.get("trace").map(|_| {
+        let c = std::sync::Arc::new(Collector::new());
+        edge_bench::profile::install(c.clone());
+        c
+    });
+    let report = edge_bench::scale::run_scale(max_n, pinned_threads);
+    if collector.is_some() {
+        edge_bench::profile::uninstall();
+    }
+    fs::write(out_path, report.to_json())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "Scale benchmark ({})", report.schema);
+    out.push_str(&report.render());
+    let _ = writeln!(
+        out,
+        "report: {} cells → {out_path} ({} hardware threads)",
+        report.cells.len(),
+        report.threads_available
+    );
     if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
         fs::write(path, collector.to_jsonl())?;
         let _ = writeln!(out, "trace: {} sweep events → {path}", collector.len());
@@ -660,6 +744,101 @@ mod tests {
         }
         let _ = std::fs::remove_file(inst_path);
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    // `--pricing-threads` mutates a process-global; tests touching it
+    // serialize here and restore the default before releasing.
+    static PRICING_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn pricing_threads_edge_cases_leave_output_unchanged() {
+        let _g = PRICING_FLAG_LOCK.lock().unwrap();
+        let path = temp_path("threads.json");
+        let path_s = path.to_str().unwrap();
+        run(parsed(&[
+            "generate-round",
+            "--seed",
+            "13",
+            "--microservices",
+            "12",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        let base = run(parsed(&["ssam", "--input", path_s])).unwrap();
+        // 0 = auto-detect, 1 = exact sequential path, 4 = parallel:
+        // every setting must render the identical result.
+        for threads in ["0", "1", "4"] {
+            let out = run(parsed(&[
+                "ssam",
+                "--input",
+                path_s,
+                "--pricing-threads",
+                threads,
+            ]))
+            .unwrap();
+            assert_eq!(out, base, "--pricing-threads {threads} changed output");
+        }
+        let err = run(parsed(&[
+            "ssam",
+            "--input",
+            path_s,
+            "--pricing-threads",
+            "lots",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("lots"), "{err}");
+        edge_auction::set_pricing_threads(1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reproduce_scale_writes_machine_readable_report() {
+        let _g = PRICING_FLAG_LOCK.lock().unwrap();
+        let out_path = temp_path("scale.json");
+        let out_s = out_path.to_str().unwrap();
+        let out = run(parsed(&[
+            "reproduce",
+            "--figure",
+            "scale",
+            "--scale-max-n",
+            "1000",
+            "--scale-out",
+            out_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("Scale benchmark"), "{out}");
+        assert!(out.contains("outcomes identical"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("edge-market/bench-scale/v1"), "{json}");
+        assert!(json.contains("\"outcome_digest\""));
+        assert!(json.contains("\"pricing_speedup_vs_1\""));
+        edge_auction::set_pricing_threads(1);
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
+    fn reproduce_scale_with_pinned_threads_sweeps_one_column() {
+        let _g = PRICING_FLAG_LOCK.lock().unwrap();
+        let out_path = temp_path("scale-pinned.json");
+        let out_s = out_path.to_str().unwrap();
+        let out = run(parsed(&[
+            "reproduce",
+            "--figure",
+            "scale",
+            "--scale-max-n",
+            "1000",
+            "--pricing-threads",
+            "1",
+            "--scale-out",
+            out_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("1 cells"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"threads\": 1"), "{json}");
+        edge_auction::set_pricing_threads(1);
+        let _ = std::fs::remove_file(out_path);
     }
 
     #[test]

@@ -341,6 +341,21 @@ pub fn explain_round(
         );
     }
 
+    // Pricing effort from the ssam.stats counters: how many Myerson
+    // replays ran and how much of their work the shared prefix absorbed.
+    if let Some(stats) = of_round.iter().find(|e| e.name == "ssam.stats") {
+        if let (Some(replays), Some(iters)) =
+            (stats.u64("payment_replays"), stats.u64("replay_iterations"))
+        {
+            let prefix = stats.u64("replay_prefix_iterations").unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "pricing effort: {replays} payment replays, {iters} replay iterations \
+                 ({prefix} answered from the shared prefix)"
+            );
+        }
+    }
+
     for e in of_round
         .iter()
         .filter(|e| e.name == "settlement" && wants(e))
@@ -456,6 +471,23 @@ mod tests {
         let out = explain_round(&events, 0, None).unwrap();
         assert!(out.contains("payments verified: 0/1"), "{out}");
         assert!(out.contains("✗ recomputed 6"), "{out}");
+    }
+
+    #[test]
+    fn stats_event_renders_pricing_effort() {
+        let lines = [
+            r#"{"seq":0,"event":"ssam.payment","fields":{"round":0,"seller":0,"bid":0,"amount":3,"price":2.5,"payment":0.0,"kind":"zero"}}"#,
+            r#"{"seq":1,"event":"ssam.stats","fields":{"round":0,"heap_pops":9,"heap_repushes":1,"sold_discards":0,"unsafe_discards":0,"payment_replays":4,"replay_iterations":31,"replay_prefix_iterations":17}}"#,
+        ];
+        let events = trace(&lines);
+        let out = explain_round(&events, 0, None).unwrap();
+        assert!(
+            out.contains(
+                "pricing effort: 4 payment replays, 31 replay iterations \
+                 (17 answered from the shared prefix)"
+            ),
+            "{out}"
+        );
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub mod msoa;
 pub mod msoa_multi;
 pub mod multi_buyer;
 pub mod offline;
+pub mod pricing;
 pub mod properties;
 pub mod recovery;
+pub(crate) mod round_buffer;
 pub mod ssam;
 pub mod variants;
 pub mod vcg;
@@ -91,6 +93,10 @@ pub use multi_buyer::{
     run_ssam_multi, CoverBid, MultiBuyerOutcome, MultiBuyerWinner, MultiBuyerWsp,
 };
 pub use offline::{offline_optimum_multi, offline_optimum_round, per_round_dp_bound, OfflineBound};
+pub use pricing::{
+    available_pricing_threads, current_pricing_threads, pricing_threads_setting,
+    set_pricing_threads,
+};
 pub use properties::{
     audit_truthfulness, break_even_unit_charge, check_critical_payments,
     check_individual_rationality, check_monotonicity, economic_loss, TruthfulnessViolation,
@@ -101,7 +107,7 @@ pub use recovery::{
 };
 pub use ssam::{
     run_ssam, run_ssam_traced, CriticalSource, HeapStats, RatioCertificate, SsamConfig,
-    SsamOutcome, WinningBid,
+    SsamOutcome, SsamStats, WinningBid,
 };
 pub use variants::{run_variant, transform_instance, MsoaVariant};
 pub use vcg::{run_vcg, VcgOutcome, VcgWinner};

@@ -98,9 +98,11 @@ impl MultiRoundInstance {
         if rounds.is_empty() {
             return Err(AuctionError::EmptyInstance);
         }
+        let known: std::collections::BTreeSet<MicroserviceId> =
+            sellers.iter().map(|s| s.id).collect();
         for round in &rounds {
             for bid in &round.bids {
-                if !sellers.iter().any(|s| s.id == bid.seller) {
+                if !known.contains(&bid.seller) {
                     return Err(AuctionError::UnknownSeller(bid.seller.index()));
                 }
             }
@@ -317,6 +319,37 @@ pub fn run_msoa_traced(
     config: &MsoaConfig,
     trace: Trace<'_>,
 ) -> Result<MsoaOutcome, AuctionError> {
+    run_msoa_impl(instance, config, trace, true)
+}
+
+/// [`run_msoa_traced`] with the incremental scaled-bid buffer disabled —
+/// every round rebuilds the slots from scratch. This is the *cold
+/// oracle* for the differential suite: same code path, same emission
+/// order, only the patching optimization turned off, so outcomes and
+/// traces must be byte-identical to the incremental run.
+#[cfg(feature = "ssam-reference")]
+#[doc(hidden)]
+pub fn run_msoa_cold_traced(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    trace: Trace<'_>,
+) -> Result<MsoaOutcome, AuctionError> {
+    run_msoa_impl(instance, config, trace, false)
+}
+
+/// Per-seller inputs the round evaluation reads, packed for the
+/// [`RoundBuffer`]'s dirty check: window membership this round, the ψ
+/// bits, and consumed capacity. Floats are compared as bits.
+type MsoaCtx = (bool, u64, u64);
+
+fn run_msoa_impl(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    trace: Trace<'_>,
+    incremental: bool,
+) -> Result<MsoaOutcome, AuctionError> {
+    use crate::round_buffer::{RoundBuffer, Slot};
+
     let sellers = instance.sellers();
     let alpha = resolve_alpha(instance, config);
     let beta = instance.beta();
@@ -334,6 +367,7 @@ pub fn run_msoa_traced(
         sellers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
     let mut psi = vec![0.0f64; sellers.len()];
     let mut chi = vec![0u64; sellers.len()];
+    let mut buffer: RoundBuffer<MsoaCtx> = RoundBuffer::new(sellers.len());
 
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
@@ -346,56 +380,83 @@ pub fn run_msoa_traced(
             ]
         });
         // Candidate filter: availability window and remaining capacity
-        // (Alg. 2 lines 5–6); price scaling (line 8).
+        // (Alg. 2 lines 5–6); price scaling (line 8). Evaluated through
+        // the incrementally-patched buffer: a seller's slots are only
+        // recomputed when its (window, ψ, χ) context changed since the
+        // previous round — the evaluation is a pure function of that
+        // context and the bid, so patched and cold rounds produce
+        // identical bits. Trace emission below is never skipped.
+        if !incremental {
+            buffer.invalidate();
+        }
+        let seller_ctx: Vec<MsoaCtx> = sellers
+            .iter()
+            .enumerate()
+            .map(|(si, s)| (s.available_at(t), psi[si].to_bits(), chi[si]))
+            .collect();
+        let (slots, originals) = buffer.round(
+            &input.bids,
+            &seller_ctx,
+            |b| index_of[&b.seller],
+            |si, bid| {
+                if !seller_ctx[si].0 {
+                    return Slot::Excluded("window");
+                }
+                if chi[si] + bid.amount > sellers[si].capacity {
+                    return Slot::Excluded("capacity");
+                }
+                Slot::Scaled(Price::new_unchecked(
+                    bid.price.value() + bid.amount as f64 * psi[si],
+                ))
+            },
+        );
         let mut scaled_bids = Vec::new();
-        let mut originals: BTreeMap<(MicroserviceId, BidId), &Bid> = BTreeMap::new();
-        for bid in &input.bids {
-            let si = index_of[&bid.seller];
-            if !sellers[si].available_at(t) {
-                trace.emit_with(Level::Debug, "bid.excluded", || {
-                    vec![
-                        ("round", Value::from(t)),
-                        ("seller", Value::from(bid.seller.index())),
-                        ("bid", Value::from(bid.id.index())),
-                        ("reason", Value::from("window")),
-                    ]
-                });
-                continue;
+        for (bid, &(si, slot)) in input.bids.iter().zip(slots) {
+            match slot {
+                Slot::Excluded("capacity") => {
+                    trace.emit_with(Level::Debug, "bid.excluded", || {
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(bid.seller.index())),
+                            ("bid", Value::from(bid.id.index())),
+                            ("reason", Value::from("capacity")),
+                            ("chi", Value::from(chi[si])),
+                            ("amount", Value::from(bid.amount)),
+                            ("capacity", Value::from(sellers[si].capacity)),
+                        ]
+                    });
+                }
+                Slot::Excluded(reason) => {
+                    trace.emit_with(Level::Debug, "bid.excluded", || {
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(bid.seller.index())),
+                            ("bid", Value::from(bid.id.index())),
+                            ("reason", Value::from(reason)),
+                        ]
+                    });
+                }
+                Slot::Scaled(scaled) => {
+                    trace.emit_with(Level::Debug, "bid.scaled", || {
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(bid.seller.index())),
+                            ("bid", Value::from(bid.id.index())),
+                            ("amount", Value::from(bid.amount)),
+                            ("true_price", Value::from(bid.price.value())),
+                            ("psi", Value::from(psi[si])),
+                            ("psi_adjust", Value::from(bid.amount as f64 * psi[si])),
+                            ("scaled_price", Value::from(scaled.value())),
+                        ]
+                    });
+                    scaled_bids.push(Bid {
+                        seller: bid.seller,
+                        id: bid.id,
+                        amount: bid.amount,
+                        price: scaled,
+                    });
+                }
             }
-            if chi[si] + bid.amount > sellers[si].capacity {
-                trace.emit_with(Level::Debug, "bid.excluded", || {
-                    vec![
-                        ("round", Value::from(t)),
-                        ("seller", Value::from(bid.seller.index())),
-                        ("bid", Value::from(bid.id.index())),
-                        ("reason", Value::from("capacity")),
-                        ("chi", Value::from(chi[si])),
-                        ("amount", Value::from(bid.amount)),
-                        ("capacity", Value::from(sellers[si].capacity)),
-                    ]
-                });
-                continue;
-            }
-            let scaled = Price::new_unchecked(bid.price.value() + bid.amount as f64 * psi[si]);
-            trace.emit_with(Level::Debug, "bid.scaled", || {
-                vec![
-                    ("round", Value::from(t)),
-                    ("seller", Value::from(bid.seller.index())),
-                    ("bid", Value::from(bid.id.index())),
-                    ("amount", Value::from(bid.amount)),
-                    ("true_price", Value::from(bid.price.value())),
-                    ("psi", Value::from(psi[si])),
-                    ("psi_adjust", Value::from(bid.amount as f64 * psi[si])),
-                    ("scaled_price", Value::from(scaled.value())),
-                ]
-            });
-            scaled_bids.push(Bid {
-                seller: bid.seller,
-                id: bid.id,
-                amount: bid.amount,
-                price: scaled,
-            });
-            originals.insert((bid.seller, bid.id), bid);
         }
 
         let demand = input.estimated_demand;
@@ -431,7 +492,7 @@ pub fn run_msoa_traced(
             Some(o) => {
                 let mut winners = Vec::with_capacity(o.winners.len());
                 for w in &o.winners {
-                    let original = originals[&(w.seller, w.bid)];
+                    let original = &input.bids[originals[&(w.seller, w.bid)]];
                     let si = index_of[&w.seller];
                     // Line 11: multiplicative ψ update for winners.
                     let theta = sellers[si].capacity as f64;

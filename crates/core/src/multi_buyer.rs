@@ -400,40 +400,46 @@ fn greedy_multi(
 pub fn run_ssam_multi(inst: &MultiBuyerWsp, config: &SsamConfig) -> MultiBuyerOutcome {
     let (selection, covered) = greedy_multi(inst, config.reserve_unit_price, None);
 
-    let mut winners = Vec::with_capacity(selection.len());
-    for &(g, j, u, _) in &selection {
+    // Replay without each winner's seller; at every replay state, the
+    // winner's threshold opportunity is r_k × its marginal utility in
+    // that state. The replay runs on the same lazy-heap engine as
+    // selection, just with the winner's seller excluded. The replays are
+    // mutually independent, so they fan out over the configured pricing
+    // pool and merge back in winner order (deterministic at any thread
+    // count).
+    let thresholds: Vec<Option<f64>> = crate::pricing::fan_out(selection.len(), |p| {
+        let (g, j, _, _) = selection[p];
         let bid = &inst.groups[g][j];
-        // Replay without this seller; at every replay state, the
-        // winner's threshold opportunity is r_k × its marginal utility
-        // in that state. The replay runs on the same lazy-heap engine as
-        // selection, just with the winner's seller excluded.
-        let threshold: Option<f64> = {
-            let mut engine = MultiGreedy::new(inst, config.reserve_unit_price, Some(bid.seller));
-            let mut acc = 0.0f64;
-            loop {
-                // Winner's utility at this replay state.
-                let my_u = marginal_utility(bid, &engine.covered, &inst.demands);
-                match engine.pop_best() {
-                    Some((cg, cj, _, r_k)) => {
-                        if my_u > 0 {
-                            acc = acc.max(r_k * my_u as f64);
-                        }
-                        engine.sell(cg, cj);
+        let mut engine = MultiGreedy::new(inst, config.reserve_unit_price, Some(bid.seller));
+        let mut acc = 0.0f64;
+        loop {
+            // Winner's utility at this replay state.
+            let my_u = marginal_utility(bid, &engine.covered, &inst.demands);
+            match engine.pop_best() {
+                Some((cg, cj, _, r_k)) => {
+                    if my_u > 0 {
+                        acc = acc.max(r_k * my_u as f64);
                     }
-                    None => {
-                        // Replay exhausted. If the winner still has
-                        // positive utility here, it is pivotal for the
-                        // residual: no finite threshold.
-                        break if my_u > 0 { None } else { Some(acc) };
-                    }
+                    engine.sell(cg, cj);
                 }
-                // Replay fully covered everything the winner could help
-                // with? Then no more opportunities.
-                if marginal_utility(bid, &engine.covered, &inst.demands) == 0 {
-                    break Some(acc);
+                None => {
+                    // Replay exhausted. If the winner still has
+                    // positive utility here, it is pivotal for the
+                    // residual: no finite threshold.
+                    break if my_u > 0 { None } else { Some(acc) };
                 }
             }
-        };
+            // Replay fully covered everything the winner could help
+            // with? Then no more opportunities.
+            if marginal_utility(bid, &engine.covered, &inst.demands) == 0 {
+                break Some(acc);
+            }
+        }
+    });
+
+    let mut winners = Vec::with_capacity(selection.len());
+    for (&(g, j, u, _), threshold) in selection.iter().zip(thresholds) {
+        let bid = &inst.groups[g][j];
         let payment_value = match threshold {
             Some(v) => v.max(bid.price.value()),
             None => config

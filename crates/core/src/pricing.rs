@@ -1,0 +1,140 @@
+//! The critical-value pricing thread pool.
+//!
+//! Every winner's payment replay is independent of the others (each
+//! replays the auction with a different seller excluded), so the payment
+//! phase fans the replays out over scoped worker threads and merges the
+//! results back **in winner order**. Determinism is preserved by
+//! construction: workers only *compute* — thresholds, provenance, and
+//! counter deltas — while all trace emission, stats absorption, and
+//! outcome assembly happen on the calling thread in the same order as
+//! the sequential path. One thread (the default) takes the exact
+//! sequential code path with no spawning at all.
+//!
+//! The pool size is ambient process state, mirroring
+//! `edge_bench::parallel`: benchmarks and the CLI set it once
+//! (`--pricing-threads`), and every auction in the process picks it up.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured pricing threads; `0` means "auto-detect at use". Defaults
+/// to `1` — the exact sequential path — so library users opt in to
+/// parallelism explicitly.
+static PRICING_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Threads the host offers (always at least 1).
+pub fn available_pricing_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Sets the pricing pool size for subsequent auctions in this process.
+/// `0` auto-detects from [`available_pricing_threads`] at use; `1`
+/// (the default) runs payments on the calling thread.
+pub fn set_pricing_threads(threads: usize) {
+    PRICING_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The raw configured value (`0` = auto), as last set.
+pub fn pricing_threads_setting() -> usize {
+    PRICING_THREADS.load(Ordering::Relaxed)
+}
+
+/// The pool size auctions will actually use, with `0` resolved to the
+/// detected parallelism.
+pub fn current_pricing_threads() -> usize {
+    match PRICING_THREADS.load(Ordering::Relaxed) {
+        0 => available_pricing_threads(),
+        n => n,
+    }
+}
+
+/// Runs `f(0), f(1), …, f(n - 1)` and returns the results in index
+/// order, fanning out over the configured pricing pool. With one thread
+/// this is a plain loop on the caller's thread (no spawn, same closure),
+/// so the sequential and parallel paths execute identical arithmetic —
+/// the result vector is the same either way, only wall-clock differs.
+pub(crate) fn fan_out<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_pricing_threads().clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Work-stealing over an atomic cursor: replay costs vary with the
+    // winner's selection position, so static chunking would straggle.
+    // Results are index-tagged and scattered back into input order.
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let collected: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pricing worker panicked"))
+            .collect()
+    })
+    .expect("pricing scope panicked");
+    for (i, r) in collected.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests toggling the ambient pool size hold this lock so they do
+    /// not race each other (the setting is process-global).
+    pub(crate) static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn fan_out_preserves_index_order() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        for threads in [1, 2, 4] {
+            set_pricing_threads(threads);
+            let out = fan_out(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_pricing_threads(1);
+    }
+
+    #[test]
+    fn zero_resolves_to_detected_parallelism() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let prev = pricing_threads_setting();
+        set_pricing_threads(0);
+        assert_eq!(pricing_threads_setting(), 0);
+        assert_eq!(current_pricing_threads(), available_pricing_threads());
+        assert!(current_pricing_threads() >= 1);
+        set_pricing_threads(prev);
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_oversubscribed() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        set_pricing_threads(8);
+        assert_eq!(fan_out(0, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(2, |i| i + 1), vec![1, 2]);
+        set_pricing_threads(1);
+    }
+}

@@ -501,6 +501,41 @@ pub fn run_msoa_with_faults_traced(
     recovery: &RecoveryConfig,
     trace: Trace<'_>,
 ) -> Result<FaultyMsoaOutcome, AuctionError> {
+    run_msoa_with_faults_impl(instance, config, plan, recovery, trace, true)
+}
+
+/// [`run_msoa_with_faults_traced`] with the incremental scaled-bid
+/// buffer disabled — the cold oracle for the differential suite. Same
+/// code path and emission order as the incremental run, only the
+/// patching turned off; outcomes and traces must be byte-identical.
+#[cfg(feature = "ssam-reference")]
+#[doc(hidden)]
+pub fn run_msoa_with_faults_cold_traced(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+    trace: Trace<'_>,
+) -> Result<FaultyMsoaOutcome, AuctionError> {
+    run_msoa_with_faults_impl(instance, config, plan, recovery, trace, false)
+}
+
+/// Per-seller inputs the primary-auction evaluation reads, packed for
+/// the [`RoundBuffer`]'s dirty check: window membership, crash status,
+/// effective blacklisting, ψ bits, ρ bits, and consumed capacity.
+/// Floats are compared as bits.
+type FaultCtx = (bool, bool, bool, u64, u64, u64);
+
+fn run_msoa_with_faults_impl(
+    instance: &MultiRoundInstance,
+    config: &MsoaConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+    trace: Trace<'_>,
+    incremental: bool,
+) -> Result<FaultyMsoaOutcome, AuctionError> {
+    use crate::round_buffer::{RoundBuffer, Slot};
+
     let sellers = instance.sellers();
     let alpha = resolve_alpha(instance, config);
     let beta = instance.beta();
@@ -528,6 +563,7 @@ pub fn run_msoa_with_faults_traced(
         blacklisted: vec![false; sellers.len()],
         alpha,
     };
+    let mut buffer: RoundBuffer<FaultCtx> = RoundBuffer::new(sellers.len());
 
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
@@ -551,67 +587,95 @@ pub fn run_msoa_with_faults_traced(
         });
 
         // --- Primary auction (Alg. 2 lines 5–8 plus fault filters). ---
-        let mut scaled_bids = Vec::new();
-        let mut originals: BTreeMap<(MicroserviceId, BidId), &Bid> = BTreeMap::new();
-        for bid in &input.bids {
-            let si = index_of[&bid.seller];
-            let exclude = |reason: &'static str| {
-                trace.emit_with(Level::Debug, "bid.excluded", || {
-                    vec![
-                        ("round", Value::from(t)),
-                        ("seller", Value::from(bid.seller.index())),
-                        ("bid", Value::from(bid.id.index())),
-                        ("reason", Value::from(reason)),
-                    ]
-                });
-            };
-            if !sellers[si].available_at(t) || plan.crashed(t, bid.seller) {
-                exclude(if plan.crashed(t, bid.seller) {
-                    "crashed"
-                } else {
-                    "window"
-                });
-                continue;
-            }
-            if recovery.enabled && state.blacklisted[si] {
-                exclude("blacklisted");
-                continue;
-            }
-            if state.chi[si] + bid.amount > sellers[si].capacity {
-                exclude("capacity");
-                continue;
-            }
-            let scaled = state.scaled_price(si, bid, recovery);
-            trace.emit_with(Level::Debug, "bid.scaled", || {
-                let psi_adjust = bid.amount as f64 * state.psi[si];
-                vec![
-                    ("round", Value::from(t)),
-                    ("seller", Value::from(bid.seller.index())),
-                    ("bid", Value::from(bid.id.index())),
-                    ("true_price", Value::from(bid.price.value())),
-                    ("psi_adjust", Value::from(psi_adjust)),
-                    (
-                        "reliability_adjust",
-                        Value::from(scaled.value() - bid.price.value() - psi_adjust),
-                    ),
-                    ("rho", Value::from(state.rho[si])),
-                    ("scaled_price", Value::from(scaled.value())),
-                ]
-            });
-            scaled_bids.push(Bid {
-                seller: bid.seller,
-                id: bid.id,
-                amount: bid.amount,
-                price: scaled,
-            });
-            originals.insert((bid.seller, bid.id), bid);
+        // Evaluated through the incrementally-patched buffer: a
+        // seller's slots are only recomputed when its (window, crash,
+        // blacklist, ψ, ρ, χ) context changed since the previous round.
+        // The evaluation is a pure function of that context and the
+        // bid, so patched and cold rounds produce identical bits; trace
+        // emission below is never skipped. The backfill ladder stays
+        // cold — its candidate set depends on intra-round settlement.
+        if !incremental {
+            buffer.invalidate();
         }
-
+        let seller_ctx: Vec<FaultCtx> = sellers
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                (
+                    s.available_at(t),
+                    plan.crashed(t, s.id),
+                    recovery.enabled && state.blacklisted[si],
+                    state.psi[si].to_bits(),
+                    state.rho[si].to_bits(),
+                    state.chi[si],
+                )
+            })
+            .collect();
+        let (slots, originals) = buffer.round(
+            &input.bids,
+            &seller_ctx,
+            |b| index_of[&b.seller],
+            |si, bid| {
+                let (window_ok, crashed, blacklisted, _, _, chi) = seller_ctx[si];
+                if crashed {
+                    return Slot::Excluded("crashed");
+                }
+                if !window_ok {
+                    return Slot::Excluded("window");
+                }
+                if blacklisted {
+                    return Slot::Excluded("blacklisted");
+                }
+                if chi + bid.amount > sellers[si].capacity {
+                    return Slot::Excluded("capacity");
+                }
+                Slot::Scaled(state.scaled_price(si, bid, recovery))
+            },
+        );
+        let mut scaled_bids = Vec::new();
+        for (bid, &(si, slot)) in input.bids.iter().zip(slots) {
+            match slot {
+                Slot::Excluded(reason) => {
+                    trace.emit_with(Level::Debug, "bid.excluded", || {
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(bid.seller.index())),
+                            ("bid", Value::from(bid.id.index())),
+                            ("reason", Value::from(reason)),
+                        ]
+                    });
+                }
+                Slot::Scaled(scaled) => {
+                    trace.emit_with(Level::Debug, "bid.scaled", || {
+                        let psi_adjust = bid.amount as f64 * state.psi[si];
+                        vec![
+                            ("round", Value::from(t)),
+                            ("seller", Value::from(bid.seller.index())),
+                            ("bid", Value::from(bid.id.index())),
+                            ("true_price", Value::from(bid.price.value())),
+                            ("psi_adjust", Value::from(psi_adjust)),
+                            (
+                                "reliability_adjust",
+                                Value::from(scaled.value() - bid.price.value() - psi_adjust),
+                            ),
+                            ("rho", Value::from(state.rho[si])),
+                            ("scaled_price", Value::from(scaled.value())),
+                        ]
+                    });
+                    scaled_bids.push(Bid {
+                        seller: bid.seller,
+                        id: bid.id,
+                        amount: bid.amount,
+                        price: scaled,
+                    });
+                }
+            }
+        }
         let primary = run_stage(demand, scaled_bids, config, t, trace)?;
         let primary_infeasible = primary.is_none() && demand > 0;
         if let Some(outcome) = primary {
             for w in &outcome.winners {
-                let original = originals[&(w.seller, w.bid)];
+                let original = &input.bids[originals[&(w.seller, w.bid)]];
                 let si = index_of[&w.seller];
                 state.settle_win(si, sellers[si].capacity as f64, original);
                 let settled = settle_delivery(

@@ -1,0 +1,223 @@
+//! The incrementally-patched scaled-bid buffer shared by the MSOA round
+//! loops ([`crate::msoa`], [`crate::recovery`]).
+//!
+//! Every round, MSOA re-derives each bid's fate — excluded (window,
+//! crash, blacklist, capacity) or admitted at a ψ-scaled price — from a
+//! handful of per-seller inputs. Between consecutive rounds only the
+//! sellers that actually won (or crashed, or crossed a window edge)
+//! change, so rebuilding the whole scaled-bid list from scratch is
+//! mostly redundant work. [`RoundBuffer`] builds the per-bid [`Slot`]s
+//! once and then *patches* them: a seller's slots are re-evaluated only
+//! when its context tuple — everything the evaluation reads — changed
+//! since the previous round.
+//!
+//! Correctness is by construction, not by care at the call sites:
+//!
+//! * The context type `C` must capture **every** input the `eval`
+//!   closure reads for that seller (ψ bits, remaining capacity, window
+//!   membership, …). Equal context ⇒ `eval` would recompute the exact
+//!   same bits, so skipping it is unobservable.
+//! * Only *recomputation* is skipped, never *emission*: callers iterate
+//!   the returned slots in bid order every round and emit their
+//!   exclusion/scaling trace events from them, so traces stay
+//!   byte-identical to a cold rebuild.
+//! * Float contexts are compared as stored bits (`f64::to_bits` at the
+//!   call sites), sidestepping NaN/−0.0 equality pitfalls.
+//!
+//! The differential suite runs every MSOA scenario through both this
+//! patched path and a cold path (`invalidate` before each round) and
+//! asserts byte-identical outcomes and traces.
+
+use crate::bid::Bid;
+use edge_common::id::{BidId, MicroserviceId};
+use edge_common::units::Price;
+use std::collections::BTreeMap;
+
+/// Lookup from a `(seller, bid id)` back to the bid's position in the
+/// round's bid list (last occurrence wins).
+pub(crate) type OriginalsIndex = BTreeMap<(MicroserviceId, BidId), usize>;
+
+/// A bid's per-round fate, as cached in the buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Slot {
+    /// Excluded this round, with the trace reason.
+    Excluded(&'static str),
+    /// Admitted at this scaled price.
+    Scaled(Price),
+}
+
+/// Arena-backed scaled-bid buffer with per-seller dirty tracking.
+#[derive(Debug)]
+pub(crate) struct RoundBuffer<C> {
+    /// The bid list the slots were built from — the rebuild fingerprint.
+    /// `None` until the first round (and after [`Self::invalidate`]).
+    built_bids: Option<Vec<Bid>>,
+    /// `(seller index, fate)` per bid, aligned with the bid list.
+    slots: Vec<(usize, Slot)>,
+    /// Last-seen evaluation context per seller; `None` forces a
+    /// re-evaluation of that seller's slots.
+    ctx: Vec<Option<C>>,
+    /// Last occurrence of each `(seller, bid id)` in the bid list —
+    /// settlement's lookup from a (scaled) winner back to the original
+    /// bid. Built on rebuild; the *same* map serves cold and patched
+    /// rounds, so duplicate-id resolution cannot diverge between them.
+    originals: OriginalsIndex,
+}
+
+impl<C: PartialEq + Copy> RoundBuffer<C> {
+    pub(crate) fn new(num_sellers: usize) -> Self {
+        RoundBuffer {
+            built_bids: None,
+            slots: Vec::new(),
+            ctx: vec![None; num_sellers],
+            originals: BTreeMap::new(),
+        }
+    }
+
+    /// Drops the fingerprint so the next [`Self::round`] rebuilds from
+    /// scratch — the cold oracle calls this before every round.
+    pub(crate) fn invalidate(&mut self) {
+        self.built_bids = None;
+    }
+
+    /// Brings the slots up to date for this round and returns them in
+    /// bid order, plus the original-bid index.
+    ///
+    /// `seller_ctx[si]` must contain every input `eval(si, bid)` reads;
+    /// `seller_of` maps a bid to its seller index. If `bids` differs
+    /// from the list the buffer was built from (or the buffer is cold),
+    /// everything is rebuilt; otherwise only the slots of sellers whose
+    /// context changed are re-evaluated.
+    pub(crate) fn round<F, G>(
+        &mut self,
+        bids: &[Bid],
+        seller_ctx: &[C],
+        seller_of: F,
+        eval: G,
+    ) -> (&[(usize, Slot)], &OriginalsIndex)
+    where
+        F: Fn(&Bid) -> usize,
+        G: Fn(usize, &Bid) -> Slot,
+    {
+        debug_assert_eq!(self.ctx.len(), seller_ctx.len());
+        let rebuild = self
+            .built_bids
+            .as_ref()
+            .is_none_or(|built| built.as_slice() != bids);
+        if rebuild {
+            self.built_bids = Some(bids.to_vec());
+            self.originals.clear();
+            for (i, b) in bids.iter().enumerate() {
+                self.originals.insert((b.seller, b.id), i);
+            }
+            self.slots.clear();
+            self.slots.extend(bids.iter().map(|b| {
+                let si = seller_of(b);
+                (si, eval(si, b))
+            }));
+            for (slot, c) in self.ctx.iter_mut().zip(seller_ctx) {
+                *slot = Some(*c);
+            }
+        } else {
+            let mut dirty = vec![false; seller_ctx.len()];
+            for (si, c) in seller_ctx.iter().enumerate() {
+                if self.ctx[si] != Some(*c) {
+                    dirty[si] = true;
+                    self.ctx[si] = Some(*c);
+                }
+            }
+            for (bid, (si, slot)) in bids.iter().zip(self.slots.iter_mut()) {
+                if dirty[*si] {
+                    *slot = eval(*si, bid);
+                }
+            }
+        }
+        (&self.slots, &self.originals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    /// Context = (admitted?, price adjustment); eval counts its calls.
+    fn eval_with(counter: &std::cell::Cell<usize>) -> impl Fn(usize, &Bid) -> Slot + '_ {
+        move |_, b| {
+            counter.set(counter.get() + 1);
+            Slot::Scaled(b.price)
+        }
+    }
+
+    #[test]
+    fn clean_round_reevaluates_nothing() {
+        let bids = vec![bid(0, 0, 2, 4.0), bid(1, 0, 3, 9.0), bid(0, 1, 1, 1.5)];
+        let calls = std::cell::Cell::new(0);
+        let mut buf: RoundBuffer<u64> = RoundBuffer::new(2);
+        let seller_of = |b: &Bid| b.seller.index();
+        buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
+        assert_eq!(calls.get(), 3, "cold build evaluates every bid");
+        let (slots, originals) = buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
+        assert_eq!(calls.get(), 3, "clean round evaluates nothing");
+        assert_eq!(slots.len(), 3);
+        assert_eq!(originals.len(), 3);
+    }
+
+    #[test]
+    fn dirty_seller_reevaluates_only_its_slots() {
+        let bids = vec![bid(0, 0, 2, 4.0), bid(1, 0, 3, 9.0), bid(0, 1, 1, 1.5)];
+        let calls = std::cell::Cell::new(0);
+        let mut buf: RoundBuffer<u64> = RoundBuffer::new(2);
+        let seller_of = |b: &Bid| b.seller.index();
+        buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
+        calls.set(0);
+        buf.round(&bids, &[2, 1], seller_of, eval_with(&calls));
+        assert_eq!(calls.get(), 2, "only seller 0's two bids re-evaluated");
+    }
+
+    #[test]
+    fn changed_bid_list_forces_rebuild() {
+        let bids = vec![bid(0, 0, 2, 4.0), bid(1, 0, 3, 9.0)];
+        let calls = std::cell::Cell::new(0);
+        let mut buf: RoundBuffer<u64> = RoundBuffer::new(2);
+        let seller_of = |b: &Bid| b.seller.index();
+        buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
+        let other = vec![bid(0, 0, 2, 4.5), bid(1, 0, 3, 9.0)];
+        calls.set(0);
+        buf.round(&other, &[1, 1], seller_of, eval_with(&calls));
+        assert_eq!(calls.get(), 2, "different bid list rebuilds everything");
+    }
+
+    #[test]
+    fn invalidate_forces_cold_round() {
+        let bids = vec![bid(0, 0, 2, 4.0)];
+        let calls = std::cell::Cell::new(0);
+        let mut buf: RoundBuffer<u64> = RoundBuffer::new(1);
+        let seller_of = |b: &Bid| b.seller.index();
+        buf.round(&bids, &[1], seller_of, eval_with(&calls));
+        buf.invalidate();
+        buf.round(&bids, &[1], seller_of, eval_with(&calls));
+        assert_eq!(calls.get(), 2);
+    }
+
+    #[test]
+    fn originals_keep_the_last_duplicate() {
+        // Degenerate duplicate (seller, id): last occurrence wins, for
+        // cold and patched rounds alike.
+        let bids = vec![bid(0, 0, 2, 4.0), bid(0, 0, 3, 5.0)];
+        let mut buf: RoundBuffer<u64> = RoundBuffer::new(1);
+        let (_, originals) = buf.round(
+            &bids,
+            &[1],
+            |b| b.seller.index(),
+            |_, b| Slot::Scaled(b.price),
+        );
+        assert_eq!(
+            originals.get(&(MicroserviceId::new(0), BidId::new(0))),
+            Some(&1)
+        );
+    }
+}

@@ -184,6 +184,27 @@ impl HeapStats {
     }
 }
 
+/// Work counters for one single-stage auction: the heap traffic plus the
+/// payment phase's replay accounting. `payment_replays` counts one
+/// replay per winner; `replay_iterations` counts every iteration those
+/// replays advanced through, of which `prefix_iterations` were served in
+/// O(1) from the real run's shared prefix instead of heap work — the
+/// ratio makes the shared-prefix speedup auditable from a trace
+/// (surfaced as the `ssam.stats` event and by `edge-market explain`).
+/// All counts are deterministic and independent of the pricing pool
+/// size.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SsamStats {
+    /// Lazy-deletion heap traffic (selection plus replay suffixes).
+    pub heap: HeapStats,
+    /// Payment replays performed (one per winner).
+    pub payment_replays: u64,
+    /// Total replay iterations across all payment replays.
+    pub replay_iterations: u64,
+    /// Replay iterations answered from the shared prefix.
+    pub prefix_iterations: u64,
+}
+
 /// Marginal contribution of a bid given the uncovered remainder
 /// (Eq. 19 specialised to the aggregate demand).
 fn contribution(amount: u64, remaining: u64) -> u64 {
@@ -275,8 +296,8 @@ pub fn run_ssam_traced(
     }
 
     let demand = instance.demand();
-    let mut stats = HeapStats::default();
-    let selection = greedy_select(candidates.clone(), demand, &mut stats);
+    let mut stats = SsamStats::default();
+    let selection = greedy_select(candidates.clone(), demand, &mut stats.heap);
 
     if trace.is_on() {
         let mut remaining = demand;
@@ -305,20 +326,31 @@ pub fn run_ssam_traced(
     // price undercuts `r_k · U_i(state_k)` at some iteration `k` of the
     // replay. The supremum of winning prices — the Myerson threshold — is
     // therefore `max_k r_k · U_i(state_k)`.
+    //
+    // Two optimizations, neither observable in the outcome (DESIGN.md
+    // §11): the iterations before `i`'s selection position are answered
+    // in O(1) each from a precomputed snapshot of the real run
+    // ([`PrefixStep`]) instead of heap replays, and the per-winner
+    // replays — mutually independent — fan out over the configured
+    // pricing pool. Workers only compute; trace emission, stats
+    // absorption, and outcome assembly all happen below, on this
+    // thread, in winner order, so traces and outcomes are byte-identical
+    // at any thread count.
+    let pricing_start = std::time::Instant::now();
+    let (prefix, position) = build_prefix(&selection, demand, supply, &per_seller_best);
+    let replays: Vec<ReplayOutcome> = crate::pricing::fan_out(selection.len(), |p| {
+        let (winner, _) = &selection[p];
+        let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
+        replay_payment(&candidates, &prefix, &position, p, winner, phantom)
+    });
+
     let mut winners: Vec<WinningBid> = Vec::with_capacity(selection.len());
-    for (winner, c) in &selection {
-        let without: Vec<&crate::bid::Bid> = candidates
-            .iter()
-            .copied()
-            .filter(|b| b.seller != winner.seller)
-            .collect();
-        let phantom = candidates
-            .iter()
-            .filter(|b| b.seller == winner.seller)
-            .map(|b| b.amount)
-            .max()
-            .unwrap_or(0);
-        let threshold = critical_threshold(without, demand, winner.amount, phantom, &mut stats);
+    for ((winner, c), replay) in selection.iter().zip(replays) {
+        stats.heap.absorb(replay.heap);
+        stats.payment_replays += 1;
+        stats.replay_iterations += replay.iterations;
+        stats.prefix_iterations += replay.prefix_iterations;
+        let threshold = replay.threshold;
         let payment_value = match threshold {
             Some((v, _)) => v,
             // Monopolist residual: no alternate run covers the demand, so
@@ -369,16 +401,32 @@ pub fn run_ssam_traced(
         });
     }
 
+    // Wall-clock goes to the ambient profile counters, never into the
+    // trace: traces must stay byte-identical across machines and thread
+    // counts.
+    edge_telemetry::pricing::record(
+        stats.payment_replays,
+        stats.replay_iterations,
+        stats.prefix_iterations,
+        pricing_start.elapsed().as_nanos() as u64,
+    );
+
     let social_cost: Price = winners.iter().map(|w| w.price).sum();
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
     let certificate = build_certificate(&winners, demand, social_cost);
 
     trace.emit_with(Level::Debug, "ssam.stats", || {
         vec![
-            ("heap_pops", Value::from(stats.pops)),
-            ("heap_repushes", Value::from(stats.repushes)),
-            ("sold_discards", Value::from(stats.sold_discards)),
-            ("unsafe_discards", Value::from(stats.unsafe_discards)),
+            ("heap_pops", Value::from(stats.heap.pops)),
+            ("heap_repushes", Value::from(stats.heap.repushes)),
+            ("sold_discards", Value::from(stats.heap.sold_discards)),
+            ("unsafe_discards", Value::from(stats.heap.unsafe_discards)),
+            ("payment_replays", Value::from(stats.payment_replays)),
+            ("replay_iterations", Value::from(stats.replay_iterations)),
+            (
+                "replay_prefix_iterations",
+                Value::from(stats.prefix_iterations),
+            ),
         ]
     });
     trace.emit_with(Level::Info, "ssam.end", || {
@@ -597,6 +645,159 @@ fn greedy_select(
     selection
 }
 
+/// One iteration of the real greedy run, snapshotted so payment replays
+/// can answer their shared prefix in O(1) per step instead of repeating
+/// the heap work (see [`replay_payment`]).
+#[derive(Debug, Clone, Copy)]
+struct PrefixStep {
+    /// The seller selected at this iteration of the real run.
+    seller: MicroserviceId,
+    /// Its winning bid.
+    bid: BidId,
+    /// Its greedy key `r_k = ∇/U` at this iteration.
+    unit_price: f64,
+    /// Uncovered demand entering this iteration.
+    remaining: u64,
+    /// Σ unsold sellers' max offers entering this iteration.
+    total_max: u64,
+}
+
+/// Snapshots the real run's per-iteration state (`PrefixStep`s in
+/// selection order) and each winning seller's selection position.
+fn build_prefix(
+    selection: &[(crate::bid::Bid, u64)],
+    demand: u64,
+    supply: u64,
+    per_seller_best: &std::collections::BTreeMap<MicroserviceId, u64>,
+) -> (
+    Vec<PrefixStep>,
+    std::collections::BTreeMap<MicroserviceId, usize>,
+) {
+    let mut prefix = Vec::with_capacity(selection.len());
+    let mut position = std::collections::BTreeMap::new();
+    let mut remaining = demand;
+    let mut total_max = supply;
+    for (p, (winner, c)) in selection.iter().enumerate() {
+        prefix.push(PrefixStep {
+            seller: winner.seller,
+            bid: winner.id,
+            unit_price: ratio(winner.price, winner.amount, remaining),
+            remaining,
+            total_max,
+        });
+        position.insert(winner.seller, p);
+        remaining -= c;
+        total_max -= per_seller_best.get(&winner.seller).copied().unwrap_or(0);
+    }
+    (prefix, position)
+}
+
+/// What one worker hands back from a payment replay: pure data, merged
+/// into the trace and outcome on the calling thread in winner order.
+#[derive(Debug, Clone, Copy)]
+struct ReplayOutcome {
+    /// `Some((threshold, provenance))`, or `None` when the excluded
+    /// seller is pivotal (the replay got stuck).
+    threshold: Option<(f64, Option<CriticalSource>)>,
+    /// Heap traffic of the suffix replay.
+    heap: HeapStats,
+    /// Iterations this replay advanced through in total.
+    iterations: u64,
+    /// Of those, iterations answered from the shared prefix.
+    prefix_iterations: u64,
+}
+
+/// The critical value of the winner at selection position `p`, computed
+/// as [`critical_threshold`] would but without re-running the prefix:
+///
+/// * **Prefix (`k < p`)** — before the excluded seller's first win the
+///   replay visits exactly the real run's states (the phantom preserves
+///   every safety decision and `total_max`), so iteration `k`'s
+///   candidate value and phantom-safety test are evaluated directly on
+///   the precomputed [`PrefixStep`] — identical arithmetic on identical
+///   bits, no heap.
+/// * **Suffix (`k ≥ p`)** — a fresh [`HeapGreedy`] over the candidates
+///   still unsold at `p` (minus the excluded seller), seeded with the
+///   real run's `remaining_p`. Pop outcomes of the lazy-deletion heap
+///   depend only on `(bids, remaining, seller_max)` — not on how the
+///   heap got there — so the suffix selects bit-identical winners to a
+///   full replay's tail (DESIGN.md §11). Iteration numbering continues
+///   at `p`, keeping [`CriticalSource`] provenance byte-identical.
+fn replay_payment(
+    candidates: &[&crate::bid::Bid],
+    prefix: &[PrefixStep],
+    position: &std::collections::BTreeMap<MicroserviceId, usize>,
+    p: usize,
+    winner: &crate::bid::Bid,
+    phantom: u64,
+) -> ReplayOutcome {
+    let amount = winner.amount;
+    let mut threshold = 0.0f64;
+    let mut source: Option<CriticalSource> = None;
+    for (k, step) in prefix.iter().take(p).enumerate() {
+        let c = contribution(amount, step.remaining);
+        // `phantom_safe` against the real run's state: the replay's
+        // total_max at step k equals the real run's (phantom included).
+        if c + (step.total_max - phantom) >= step.remaining {
+            let candidate = step.unit_price * c as f64;
+            if candidate > threshold {
+                threshold = candidate;
+                source = Some(CriticalSource {
+                    seller: step.seller,
+                    bid: step.bid,
+                    iteration: k as u64,
+                    unit_price: step.unit_price,
+                    contribution: c,
+                });
+            }
+        }
+    }
+    // The replay can only get stuck in the suffix: at every prefix step
+    // the real run's winner is still available and safe.
+    let suffix: Vec<&crate::bid::Bid> = candidates
+        .iter()
+        .copied()
+        .filter(|b| b.seller != winner.seller && position.get(&b.seller).is_none_or(|&q| q >= p))
+        .collect();
+    let mut state = HeapGreedy::new(suffix, prefix[p].remaining, phantom);
+    let mut iteration = p as u64;
+    while state.remaining > 0 {
+        let best = match state.pop_best_safe() {
+            Some(b) => b,
+            None => {
+                return ReplayOutcome {
+                    threshold: None,
+                    heap: state.stats,
+                    iterations: iteration,
+                    prefix_iterations: p as u64,
+                };
+            }
+        };
+        let r_k = ratio(best.price, best.amount, state.remaining);
+        if state.phantom_safe(amount) {
+            let candidate = r_k * contribution(amount, state.remaining) as f64;
+            if candidate > threshold {
+                threshold = candidate;
+                source = Some(CriticalSource {
+                    seller: best.seller,
+                    bid: best.id,
+                    iteration,
+                    unit_price: r_k,
+                    contribution: contribution(amount, state.remaining),
+                });
+            }
+        }
+        state.sell(best);
+        iteration += 1;
+    }
+    ReplayOutcome {
+        threshold: Some((threshold, source)),
+        heap: state.stats,
+        iterations: iteration,
+        prefix_iterations: p as u64,
+    }
+}
+
 /// Replays the greedy run with one seller excluded from selection (but
 /// its best offer kept as phantom supply, so safety decisions match the
 /// real run's) and returns that seller's critical value for a bid of
@@ -607,6 +808,12 @@ fn greedy_select(
 ///
 /// Returns `None` when the replay gets stuck — the excluded seller is
 /// then pivotal and wins at any price.
+///
+/// This is the *full* replay, starting from the initial state; the hot
+/// path uses [`replay_payment`] (shared prefix + suffix heap), and the
+/// differential suite checks the two agree bit-for-bit — so the full
+/// version is only compiled as part of the reference oracle.
+#[cfg(feature = "ssam-reference")]
 fn critical_threshold(
     others: Vec<&crate::bid::Bid>,
     demand: u64,
@@ -862,6 +1069,66 @@ pub mod reference {
             total_payment,
             certificate,
         })
+    }
+
+    /// Critical thresholds by *full* heap replay — each winner priced by
+    /// replaying from the initial state, no shared prefix. One entry per
+    /// winner in selection order, with the same `(threshold, provenance)`
+    /// shape the hot path computes; the differential suite asserts
+    /// bit-identity against the shared-prefix replays, provenance
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_ssam`]: infeasible demand under the reserve
+    /// filter.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn critical_thresholds_full(
+        instance: &WspInstance,
+        config: &SsamConfig,
+    ) -> Result<Vec<Option<(f64, Option<CriticalSource>)>>, AuctionError> {
+        let candidates: Vec<&crate::bid::Bid> = instance
+            .bids()
+            .filter(|b| match config.reserve_unit_price {
+                Some(r) => b.unit_price() <= r,
+                None => true,
+            })
+            .collect();
+        let mut per_seller_best: std::collections::BTreeMap<MicroserviceId, u64> =
+            std::collections::BTreeMap::new();
+        for b in &candidates {
+            let e = per_seller_best.entry(b.seller).or_insert(0);
+            *e = (*e).max(b.amount);
+        }
+        let supply: u64 = per_seller_best.values().sum();
+        if supply < instance.demand() {
+            return Err(AuctionError::InfeasibleDemand {
+                demand: instance.demand(),
+                supply,
+            });
+        }
+
+        let demand = instance.demand();
+        let mut stats = HeapStats::default();
+        let selection = greedy_select(candidates.clone(), demand, &mut stats);
+        let mut thresholds = Vec::with_capacity(selection.len());
+        for (winner, _) in &selection {
+            let without: Vec<&crate::bid::Bid> = candidates
+                .iter()
+                .copied()
+                .filter(|b| b.seller != winner.seller)
+                .collect();
+            let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
+            thresholds.push(critical_threshold(
+                without,
+                demand,
+                winner.amount,
+                phantom,
+                &mut stats,
+            ));
+        }
+        Ok(thresholds)
     }
 }
 

@@ -139,6 +139,88 @@ proptest! {
     }
 }
 
+/// Tests toggling the process-global pricing pool size hold this lock
+/// so they do not race each other within the test binary.
+static PRICING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential vs multi-threaded pricing must be **byte-identical** —
+    /// not just the outcome but the full deterministic trace (event
+    /// order, every field, provenance included).
+    #[test]
+    fn pricing_thread_count_is_unobservable((inst, config) in (arb_instance(), arb_config())) {
+        use edge_auction::set_pricing_threads;
+        use edge_telemetry::{Collector, Trace};
+        let _guard = PRICING_LOCK.lock().unwrap();
+        let run_at = |threads: usize| {
+            set_pricing_threads(threads);
+            let collector = Collector::new();
+            let outcome = edge_auction::ssam::run_ssam_traced(&inst, &config, Trace::new(&collector));
+            (outcome, collector.deterministic_jsonl())
+        };
+        let (seq_outcome, seq_trace) = run_at(1);
+        for threads in [2usize, 4] {
+            let (outcome, trace) = run_at(threads);
+            match (&seq_outcome, &outcome) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "outcome diverged at {} threads", threads),
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                (a, b) => return Err(format!("divergent feasibility: {a:?} vs {b:?}")),
+            }
+            prop_assert_eq!(&seq_trace, &trace, "trace diverged at {} threads", threads);
+        }
+        set_pricing_threads(1);
+    }
+
+    /// The shared-prefix replay must reproduce the *full* replay's
+    /// thresholds bit-for-bit — payment values and the runner-up
+    /// provenance (seller, bid, iteration, unit price, contribution)
+    /// recorded in the trace.
+    #[test]
+    fn shared_prefix_matches_full_replay((inst, config) in (arb_instance(), arb_config())) {
+        use edge_auction::ssam::reference::critical_thresholds_full;
+        use edge_telemetry::{Collector, Trace, Value};
+        let collector = Collector::new();
+        let outcome = edge_auction::ssam::run_ssam_traced(&inst, &config, Trace::new(&collector));
+        let full = critical_thresholds_full(&inst, &config);
+        let (outcome, thresholds) = match (outcome, full) {
+            (Ok(o), Ok(t)) => (o, t),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                return Ok(());
+            }
+            (a, b) => return Err(format!("divergent feasibility: {a:?} vs {b:?}")),
+        };
+        let events = collector.events();
+        let payments: Vec<_> = events.iter().filter(|e| e.name == "ssam.payment").collect();
+        prop_assert_eq!(payments.len(), thresholds.len());
+        prop_assert_eq!(outcome.winners.len(), thresholds.len());
+        for ((ev, th), w) in payments.iter().zip(&thresholds).zip(&outcome.winners) {
+            let kind = ev.field("kind").and_then(Value::as_str).unwrap();
+            let f = |name| ev.field(name).and_then(Value::as_f64).unwrap();
+            match th {
+                Some((v, Some(src))) => {
+                    prop_assert_eq!(kind, "runner_up");
+                    prop_assert_eq!(w.payment.value().to_bits(), v.to_bits());
+                    prop_assert_eq!(f("source_seller") as usize, src.seller.index());
+                    prop_assert_eq!(f("source_bid") as usize, src.bid.index());
+                    prop_assert_eq!(f("source_iteration") as u64, src.iteration);
+                    prop_assert_eq!(f("source_unit_price").to_bits(), src.unit_price.to_bits());
+                    prop_assert_eq!(f("source_contribution") as u64, src.contribution);
+                }
+                Some((v, None)) => {
+                    prop_assert_eq!(kind, "zero");
+                    prop_assert_eq!(w.payment.value().to_bits(), v.to_bits());
+                }
+                None => {
+                    prop_assert!(kind == "reserve" || kind == "own_price", "kind {}", kind);
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic stress: a large all-ties instance (every bid the same
 /// unit price) replays the tie-break chain hundreds of levels deep.
 #[test]

@@ -36,7 +36,7 @@ mod value;
 pub use collector::{Collector, ProfileEntry, Scoped, Sink, SpanGuard, Trace};
 pub use event::{Event, Level};
 pub use global::{clear_subscriber, set_subscriber, CollectorSubscriber, Subscriber};
-pub use metrics::{Counter, LogHistogram, HISTOGRAM_BUCKETS};
+pub use metrics::{pricing, Counter, LogHistogram, HISTOGRAM_BUCKETS};
 pub use value::Value;
 
 /// Emits a diagnostic event to the global subscriber.

@@ -103,6 +103,73 @@ impl LogHistogram {
     }
 }
 
+/// Ambient pricing-phase metrics, fed by the auction's payment loop.
+///
+/// Wall-clock time spent computing critical-value payments must stay
+/// out of the deterministic trace section (1-thread and N-thread runs
+/// are required to produce byte-identical traces), so the pricing phase
+/// reports its timing and replay counts through these process-global
+/// atomics instead. Consumers (the scale benchmark) take a [`snapshot`]
+/// before and after a run and work with the delta, which keeps the
+/// metrics valid even when several runs share the process.
+pub mod pricing {
+    use super::Counter;
+
+    static REPLAYS: Counter = Counter::new();
+    static REPLAY_ITERATIONS: Counter = Counter::new();
+    static PREFIX_ITERATIONS: Counter = Counter::new();
+    static NANOS: Counter = Counter::new();
+
+    /// A point-in-time reading of the pricing metrics.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PricingSnapshot {
+        /// Payment replays performed (one per auction winner).
+        pub replays: u64,
+        /// Total replay iterations across all replays (prefix + suffix).
+        pub replay_iterations: u64,
+        /// Replay iterations served from the shared prefix of the real
+        /// run (O(1) each) instead of heap work.
+        pub prefix_iterations: u64,
+        /// Wall-clock nanoseconds spent in the payment phase.
+        pub nanos: u64,
+    }
+
+    impl PricingSnapshot {
+        /// The change since an `earlier` snapshot.
+        #[must_use]
+        pub fn delta_since(&self, earlier: &PricingSnapshot) -> PricingSnapshot {
+            PricingSnapshot {
+                replays: self.replays.wrapping_sub(earlier.replays),
+                replay_iterations: self
+                    .replay_iterations
+                    .wrapping_sub(earlier.replay_iterations),
+                prefix_iterations: self
+                    .prefix_iterations
+                    .wrapping_sub(earlier.prefix_iterations),
+                nanos: self.nanos.wrapping_sub(earlier.nanos),
+            }
+        }
+    }
+
+    /// Accumulates one payment phase's totals.
+    pub fn record(replays: u64, replay_iterations: u64, prefix_iterations: u64, nanos: u64) {
+        REPLAYS.add(replays);
+        REPLAY_ITERATIONS.add(replay_iterations);
+        PREFIX_ITERATIONS.add(prefix_iterations);
+        NANOS.add(nanos);
+    }
+
+    /// The current cumulative totals.
+    pub fn snapshot() -> PricingSnapshot {
+        PricingSnapshot {
+            replays: REPLAYS.get(),
+            replay_iterations: REPLAY_ITERATIONS.get(),
+            prefix_iterations: PREFIX_ITERATIONS.get(),
+            nanos: NANOS.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +203,17 @@ mod tests {
         }
         assert_eq!(h.count(), 6);
         assert_eq!(h.snapshot(), vec![(0, 1), (1, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn pricing_deltas_isolate_one_run() {
+        let before = pricing::snapshot();
+        pricing::record(3, 40, 25, 1_000);
+        pricing::record(2, 10, 5, 500);
+        let delta = pricing::snapshot().delta_since(&before);
+        assert_eq!(delta.replays, 5);
+        assert_eq!(delta.replay_iterations, 50);
+        assert_eq!(delta.prefix_iterations, 30);
+        assert_eq!(delta.nanos, 1_500);
     }
 }

@@ -22,7 +22,7 @@ use crate::table::Table;
 use edge_auction::msoa::{run_msoa, MsoaConfig};
 use edge_auction::{pricing_threads_setting, set_pricing_threads};
 use edge_common::rng::derive_rng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema identifier written into `BENCH_scale.json`.
@@ -39,7 +39,7 @@ pub const SCALE_ROUNDS: u64 = 3;
 pub const SCALE_REPS: usize = 3;
 
 /// One measured cell: a `(n, threads)` pair run [`SCALE_REPS`] times.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleCell {
     /// Seller population.
     pub n: usize,
@@ -72,7 +72,7 @@ pub struct ScaleCell {
 
 /// Cross-thread comparison for one `n`: how much faster the pricing
 /// phase ran versus the 1-thread cell, and whether outcomes matched.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleSpeedup {
     /// Seller population.
     pub n: usize,
@@ -87,7 +87,7 @@ pub struct ScaleSpeedup {
 }
 
 /// The full report serialized to `BENCH_scale.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleReport {
     /// Schema identifier ([`SCALE_SCHEMA`]).
     pub schema: String,

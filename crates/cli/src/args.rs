@@ -8,11 +8,23 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+/// Commands that take one positional subcommand right after their name
+/// (`edge-market bench diff ...`). Every other command still rejects
+/// positionals outright.
+const COMMANDS_WITH_SUBCOMMAND: &[&str] = &["bench"];
+
+/// Flags that are boolean switches: they take no value and parse as
+/// `"true"` (`edge-market explain --summary --trace t.jsonl`).
+const BOOLEAN_SWITCHES: &[&str] = &["summary"];
+
 /// A parsed command line: the subcommand plus its flag map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The subcommand name.
     pub command: String,
+    /// The positional sub-subcommand, for the commands that take one
+    /// (see [`COMMANDS_WITH_SUBCOMMAND`]).
+    pub subcommand: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -72,19 +84,34 @@ impl ParsedArgs {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
         let mut it = args.into_iter();
         let command = it.next().ok_or(ArgsError::MissingCommand)?;
+        let mut subcommand = None;
         let mut flags = BTreeMap::new();
+        let mut first = true;
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
+                if first && COMMANDS_WITH_SUBCOMMAND.contains(&command.as_str()) {
+                    subcommand = Some(arg);
+                    first = false;
+                    continue;
+                }
                 return Err(ArgsError::UnexpectedPositional(arg));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| ArgsError::MissingValue(name.to_owned()))?;
+            first = false;
+            let value = if BOOLEAN_SWITCHES.contains(&name) {
+                "true".to_owned()
+            } else {
+                it.next()
+                    .ok_or_else(|| ArgsError::MissingValue(name.to_owned()))?
+            };
             if flags.insert(name.to_owned(), value).is_some() {
                 return Err(ArgsError::DuplicateFlag(name.to_owned()));
             }
         }
-        Ok(ParsedArgs { command, flags })
+        Ok(ParsedArgs {
+            command,
+            subcommand,
+            flags,
+        })
     }
 
     /// Returns a flag's raw value.
@@ -144,9 +171,27 @@ mod tests {
     fn parses_command_and_flags() {
         let p = parse(&["msoa", "--input", "x.json", "--variant", "da"]).unwrap();
         assert_eq!(p.command, "msoa");
+        assert_eq!(p.subcommand, None);
         assert_eq!(p.get("input"), Some("x.json"));
         assert_eq!(p.get("variant"), Some("da"));
         assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn bench_takes_a_subcommand_and_switches_take_no_value() {
+        let p = parse(&["bench", "diff", "--tolerance", "0.5"]).unwrap();
+        assert_eq!(p.command, "bench");
+        assert_eq!(p.subcommand.as_deref(), Some("diff"));
+        assert_eq!(p.get("tolerance"), Some("0.5"));
+        // Only the first position is a subcommand slot.
+        assert_eq!(
+            parse(&["bench", "diff", "extra"]),
+            Err(ArgsError::UnexpectedPositional("extra".into()))
+        );
+        // `--summary` is a boolean switch: it consumes no value.
+        let p = parse(&["explain", "--summary", "--trace", "t.jsonl"]).unwrap();
+        assert_eq!(p.get("summary"), Some("true"));
+        assert_eq!(p.get("trace"), Some("t.jsonl"));
     }
 
     #[test]

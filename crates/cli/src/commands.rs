@@ -42,6 +42,11 @@ pub enum CliError {
     FlagConflict(&'static str, &'static str),
     /// A `--trace` file failed to parse or lacks the requested round.
     Explain(ExplainError),
+    /// `bench diff` found a regression (or had nothing to compare);
+    /// carries the rendered report.
+    BenchRegression(String),
+    /// `metrics-lint` rejected an exposition file.
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -59,6 +64,8 @@ impl std::fmt::Display for CliError {
                 write!(f, "--{a} cannot be combined with --{b}")
             }
             CliError::Explain(e) => write!(f, "explain error: {e}"),
+            CliError::BenchRegression(report) => write!(f, "bench regression\n{report}"),
+            CliError::Lint(e) => write!(f, "metrics lint failed: {e}"),
         }
     }
 }
@@ -111,6 +118,13 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "audit" => audit(&args),
         "reproduce" => reproduce(&args),
         "explain" => explain(&args),
+        "serve" => serve(&args),
+        "bench" => match args.subcommand.as_deref() {
+            Some("diff") => crate::bench_diff::bench_diff(&args),
+            Some(other) => Err(CliError::UnknownCommand(format!("bench {other}"))),
+            None => Err(CliError::UnknownCommand("bench (try `bench diff`)".into())),
+        },
+        "metrics-lint" => metrics_lint(&args),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
@@ -155,6 +169,27 @@ COMMANDS:
                     payment with its runner-up provenance, recomputed
                     and verified
                     --trace FILE --round R [--seller S]
+                    --summary renders a one-screen per-round aggregate
+                    table instead (winners, payments, pricing effort)
+                    --trace FILE --summary
+    serve           run a monitoring daemon: seeded MSOA stages over a
+                    workload-generated arrival stream, with /metrics
+                    (Prometheus text format), /healthz, and /status
+                    (JSON) on a local HTTP listener; scraping never
+                    perturbs auction outcomes
+                    [--seed N] [--microservices S] [--requests R]
+                    [--rounds N (0 = forever)] [--stage-rounds T]
+                    [--interval-ms MS] [--port P (0 = ephemeral)]
+                    [--http on|off] [--trace OUT.jsonl]
+    bench diff      compare a fresh scale run (or --fresh FILE) against
+                    the committed baseline; digests must match exactly,
+                    wall-clock medians within --tolerance; exits
+                    nonzero on regression
+                    [--baseline BENCH_scale.json] [--fresh FILE]
+                    [--scale-max-n N] [--pricing-threads N]
+                    [--tolerance F (relative, default 1.0)]
+    metrics-lint    validate a Prometheus text-format exposition file
+                    --file FILE (use - for stdin)
     help            show this text
 "
     .to_owned()
@@ -212,7 +247,7 @@ fn generate_round(args: &ParsedArgs) -> Result<String, CliError> {
 /// `N > 1` fans payment replays out over `N` threads. Outcomes and
 /// traces are byte-identical at every setting (the differential suite
 /// asserts this), so the flag is purely a performance knob.
-fn apply_pricing_threads(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
+pub(crate) fn apply_pricing_threads(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
     let Some(raw) = args.get("pricing-threads") else {
         return Ok(None);
     };
@@ -600,11 +635,21 @@ fn reproduce_scale(args: &ParsedArgs, pinned_threads: Option<usize>) -> Result<S
     Ok(out)
 }
 
-/// The `explain` command: narrate one recorded round (see
-/// [`crate::explain`]).
+/// The `explain` command: narrate one recorded round, or aggregate the
+/// whole trace with `--summary` (see [`crate::explain`]).
 fn explain(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["trace", "round", "seller"])?;
+    args.allow_only(&["trace", "round", "seller", "summary"])?;
     let path = args.require("trace")?;
+    if args.get("summary").is_some() {
+        if args.get("round").is_some() {
+            return Err(CliError::FlagConflict("summary", "round"));
+        }
+        if args.get("seller").is_some() {
+            return Err(CliError::FlagConflict("summary", "seller"));
+        }
+        let events = parse_trace(&fs::read_to_string(path)?)?;
+        return Ok(crate::explain::explain_summary(&events)?);
+    }
     let round: u64 = match args.get("round") {
         Some(raw) => raw.parse().map_err(|_| ArgsError::InvalidValue {
             flag: "round".into(),
@@ -621,6 +666,109 @@ fn explain(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let events = parse_trace(&fs::read_to_string(path)?)?;
     Ok(explain_round(&events, round, seller)?)
+}
+
+/// The `serve` command: start the HTTP endpoints (unless `--http off`),
+/// drive seeded MSOA stages, and report a summary on exit (see
+/// [`crate::serve`]).
+fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&[
+        "seed",
+        "microservices",
+        "requests",
+        "rounds",
+        "stage-rounds",
+        "interval-ms",
+        "port",
+        "http",
+        "trace",
+        "pricing-threads",
+    ])?;
+    apply_pricing_threads(args)?;
+    let config = crate::serve::ServeConfig {
+        seed: args.get_or("seed", 42u64)?,
+        microservices: args.get_or("microservices", 25usize)?,
+        requests: args.get_or("requests", 100u64)?,
+        total_rounds: args.get_or("rounds", 0u64)?,
+        stage_rounds: args.get_or("stage-rounds", 5u64)?.max(1),
+        interval_ms: args.get_or("interval-ms", 0u64)?,
+    };
+    let port = args.get_or("port", 0u16)?;
+    let http = match args.get("http").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(ArgsError::InvalidValue {
+                flag: "http".into(),
+                value: other.to_owned(),
+            }
+            .into())
+        }
+    };
+
+    // The full metric catalog (auction + recovery + sim families) must
+    // be visible on the very first scrape, before any round has run.
+    edge_auction::live::preregister();
+    edge_sim::live::preregister();
+
+    let state = std::sync::Arc::new(crate::serve::ServeState::new());
+    let server = if http {
+        let (addr, handle) = crate::serve::start_http(std::sync::Arc::clone(&state), port)?;
+        // Announce eagerly on stderr: the drive loop may run for a long
+        // time (or forever) before the command's stdout is printed.
+        eprintln!("serving http://{addr} (/metrics /healthz /status)");
+        Some((addr, handle))
+    } else {
+        None
+    };
+
+    let collector = args.get("trace").map(|_| Collector::new());
+    let drive_result = crate::serve::drive(&config, &state, collector.as_ref());
+    state.request_shutdown();
+    let server_note = match server {
+        Some((addr, handle)) => {
+            let _ = handle.join();
+            format!("served on http://{addr}\n")
+        }
+        None => String::new(),
+    };
+    let summary = drive_result?;
+
+    let mut out = String::new();
+    let _ = write!(out, "{server_note}");
+    let _ = writeln!(
+        out,
+        "drove {} stages, {} auction rounds (seed {})",
+        summary.stages, summary.rounds, config.seed
+    );
+    if let Some(digest) = &summary.last_digest {
+        let _ = writeln!(out, "last outcome digest: {digest}");
+    }
+    if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
+        fs::write(path, collector.to_jsonl())?;
+        let _ = writeln!(out, "trace: {} events → {path}", collector.len());
+    }
+    Ok(out)
+}
+
+/// The `metrics-lint` command: validate a Prometheus text-format file
+/// (`--file -` reads stdin). CI pipes scraped `/metrics` output here.
+fn metrics_lint(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["file"])?;
+    let path = args.require("file")?;
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)?;
+        buf
+    } else {
+        fs::read_to_string(path)?
+    };
+    match edge_telemetry::registry::validate_exposition(&text) {
+        Ok((families, samples)) => Ok(format!(
+            "exposition ok: {families} families, {samples} samples\n"
+        )),
+        Err(e) => Err(CliError::Lint(e)),
+    }
 }
 
 #[cfg(test)]
@@ -867,6 +1015,199 @@ mod tests {
     fn unknown_command_is_reported() {
         let err = run(parsed(&["frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
+        let err = run(parsed(&["bench"])).unwrap_err();
+        assert!(err.to_string().contains("bench diff"), "{err}");
+        let err = run(parsed(&["bench", "frob"])).unwrap_err();
+        assert!(err.to_string().contains("bench frob"), "{err}");
+    }
+
+    #[test]
+    fn serve_drives_rounds_and_summary_aggregates_the_trace() {
+        let trace_path = temp_path("serve-trace.jsonl");
+        let trace_s = trace_path.to_str().unwrap();
+        // --http off exercises the drive loop without binding a port;
+        // the HTTP side has its own tests and the determinism suite.
+        let out = run(parsed(&[
+            "serve",
+            "--rounds",
+            "4",
+            "--stage-rounds",
+            "3",
+            "--microservices",
+            "8",
+            "--http",
+            "off",
+            "--trace",
+            trace_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("drove 2 stages, 4 auction rounds"), "{out}");
+        assert!(out.contains("last outcome digest:"), "{out}");
+
+        // The multi-stage trace summarizes with stage.round labels.
+        let summary = run(parsed(&["explain", "--summary", "--trace", trace_s])).unwrap();
+        assert!(summary.contains("4 rounds"), "{summary}");
+        assert!(summary.contains("0.0"), "{summary}");
+        assert!(summary.contains("1.0"), "{summary}");
+        assert!(summary.contains("total"), "{summary}");
+        assert!(summary.contains("replays"), "{summary}");
+
+        // --summary conflicts with the single-round selectors.
+        let err = run(parsed(&[
+            "explain",
+            "--summary",
+            "--trace",
+            trace_s,
+            "--round",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::FlagConflict("summary", "round")));
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn explain_summary_aggregates_a_plain_msoa_trace() {
+        let inst_path = temp_path("summary-inst.json");
+        let inst_s = inst_path.to_str().unwrap();
+        run(parsed(&[
+            "generate",
+            "--seed",
+            "5",
+            "--microservices",
+            "6",
+            "--rounds",
+            "3",
+            "--out",
+            inst_s,
+        ]))
+        .unwrap();
+        let trace_path = temp_path("summary-trace.jsonl");
+        let trace_s = trace_path.to_str().unwrap();
+        run(parsed(&["msoa", "--input", inst_s, "--trace", trace_s])).unwrap();
+        let summary = run(parsed(&["explain", "--summary", "--trace", trace_s])).unwrap();
+        assert!(summary.contains("3 rounds"), "{summary}");
+        // Plain traces carry no stage stamp: labels are bare rounds.
+        for label in ["0", "1", "2", "total"] {
+            assert!(
+                summary.lines().any(|l| l.trim_start().starts_with(label)),
+                "missing row {label} in:\n{summary}"
+            );
+        }
+        let _ = std::fs::remove_file(inst_path);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn metrics_lint_accepts_valid_and_rejects_broken_expositions() {
+        let good = temp_path("good.prom");
+        std::fs::write(&good, "# HELP x h\n# TYPE x counter\nx 1\n").unwrap();
+        let out = run(parsed(&["metrics-lint", "--file", good.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains("exposition ok: 1 families, 1 samples"),
+            "{out}"
+        );
+
+        let bad = temp_path("bad.prom");
+        std::fs::write(&bad, "# HELP x h\n# TYPE x counter\nx -3\n").unwrap();
+        let err = run(parsed(&["metrics-lint", "--file", bad.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Lint(_)));
+        assert!(err.to_string().contains("non-monotone"), "{err}");
+        let _ = std::fs::remove_file(good);
+        let _ = std::fs::remove_file(bad);
+    }
+
+    #[test]
+    fn bench_diff_passes_clean_and_fails_tampered_baselines() {
+        let _g = PRICING_FLAG_LOCK.lock().unwrap();
+        // One real tiny report serves as both baseline and "fresh":
+        // byte-identical inputs must pass at zero tolerance.
+        let report = edge_bench::scale::run_scale(1_000, Some(1));
+        edge_auction::set_pricing_threads(1);
+        let base_path = temp_path("bench-base.json");
+        let base_s = base_path.to_str().unwrap();
+        std::fs::write(&base_path, report.to_json()).unwrap();
+
+        let out = run(parsed(&[
+            "bench",
+            "diff",
+            "--baseline",
+            base_s,
+            "--fresh",
+            base_s,
+            "--tolerance",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        // Guard: a tampered digest in a copied baseline must fail with
+        // a readable report even at infinite tolerance.
+        let mut tampered = report.clone();
+        tampered.cells[0].outcome_digest = "0000000000000000".into();
+        let tampered_path = temp_path("bench-tampered.json");
+        let tampered_s = tampered_path.to_str().unwrap();
+        std::fs::write(&tampered_path, tampered.to_json()).unwrap();
+        let err = run(parsed(&[
+            "bench",
+            "diff",
+            "--baseline",
+            base_s,
+            "--fresh",
+            tampered_s,
+            "--tolerance",
+            "1000000",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::BenchRegression(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("outcome digest changed"), "{msg}");
+        assert!(msg.contains("REGRESSION"), "{msg}");
+
+        // Guard: an injected slowdown (fresh 100x the baseline median)
+        // fails a tight tolerance.
+        let mut slow = report.clone();
+        for c in &mut slow.cells {
+            c.median_total_ns = c.median_total_ns.saturating_mul(100).max(100);
+        }
+        let slow_path = temp_path("bench-slow.json");
+        let slow_s = slow_path.to_str().unwrap();
+        std::fs::write(&slow_path, slow.to_json()).unwrap();
+        let err = run(parsed(&[
+            "bench",
+            "diff",
+            "--baseline",
+            base_s,
+            "--fresh",
+            slow_s,
+            "--tolerance",
+            "1.0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("wall-clock"), "{err}");
+
+        // A baseline with no overlapping cells is an error, not a pass.
+        let mut disjoint = report.clone();
+        for c in &mut disjoint.cells {
+            c.n = 77;
+        }
+        let disjoint_path = temp_path("bench-disjoint.json");
+        let disjoint_s = disjoint_path.to_str().unwrap();
+        std::fs::write(&disjoint_path, disjoint.to_json()).unwrap();
+        let err = run(parsed(&[
+            "bench",
+            "diff",
+            "--baseline",
+            base_s,
+            "--fresh",
+            disjoint_s,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no overlapping"), "{err}");
+
+        for p in [base_path, tampered_path, slow_path, disjoint_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -43,6 +43,13 @@ impl TraceEvent {
             _ => None,
         }
     }
+
+    fn bool(&self, key: &str) -> Option<bool> {
+        match self.fields.get(key) {
+            Some(&Value::Bool(b)) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 /// Errors from trace parsing.
@@ -62,6 +69,8 @@ pub enum ExplainError {
         /// Rounds that do appear, in order.
         available: Vec<u64>,
     },
+    /// The trace holds no per-round events to summarize.
+    EmptyTrace,
 }
 
 impl std::fmt::Display for ExplainError {
@@ -81,6 +90,9 @@ impl std::fmt::Display for ExplainError {
                     first = false;
                 }
                 Ok(())
+            }
+            ExplainError::EmptyTrace => {
+                write!(f, "trace holds no per-round events to summarize")
             }
         }
     }
@@ -410,6 +422,115 @@ pub fn explain_round(
             num(end.f64("pi").unwrap_or(f64::NAN)),
         );
     }
+    Ok(out)
+}
+
+/// One-screen aggregate table over every recorded round: winners,
+/// payments, and pricing effort, so operators don't need to replay a
+/// trace round by round. Works on `msoa`, fault-recovery, and `serve`
+/// traces; `serve` traces stamp a stage index onto every event, which
+/// becomes the round label's `stage.round` prefix.
+///
+/// # Errors
+///
+/// [`ExplainError::EmptyTrace`] when the trace has no per-round events.
+pub fn explain_summary(events: &[TraceEvent]) -> Result<String, ExplainError> {
+    use edge_bench::table::Table;
+
+    // Rounds in first-appearance order, keyed by (stage, round) so
+    // multi-stage `serve` traces don't fold distinct rounds together.
+    let mut order: Vec<(Option<u64>, u64)> = Vec::new();
+    for e in events {
+        if let Some(r) = e.u64("round") {
+            let key = (e.u64("stage"), r);
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+    }
+    if order.is_empty() {
+        return Err(ExplainError::EmptyTrace);
+    }
+    let staged = order.iter().any(|(s, _)| s.is_some());
+
+    let mut table = Table::new([
+        "round", "demand", "winners", "cost", "paid", "replays", "iters", "prefix", "flags",
+    ]);
+    let mut tot_winners = 0u64;
+    let mut tot_cost = 0.0f64;
+    let mut tot_paid = 0.0f64;
+    let mut tot_replays = 0u64;
+    let mut tot_iters = 0u64;
+    let mut tot_prefix = 0u64;
+    for (stage, round) in &order {
+        let of_round: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.u64("round") == Some(*round) && e.u64("stage") == *stage)
+            .collect();
+        let start = of_round
+            .iter()
+            .find(|e| e.name == "round.start" || e.name == "ssam.start");
+        let end = of_round
+            .iter()
+            .find(|e| e.name == "round.end" || e.name == "ssam.end");
+        let demand = start.and_then(|e| e.u64("demand")).unwrap_or(0);
+        let winners = end.and_then(|e| e.u64("winners")).unwrap_or(0);
+        let cost = end.and_then(|e| e.f64("social_cost")).unwrap_or(0.0);
+        // Recovery round.end carries platform_cost, plain carries
+        // total_payment; either is "what the platform paid".
+        let paid = end
+            .and_then(|e| e.f64("total_payment").or_else(|| e.f64("platform_cost")))
+            .unwrap_or(0.0);
+        let mut replays = 0u64;
+        let mut iters = 0u64;
+        let mut prefix = 0u64;
+        for stats in of_round.iter().filter(|e| e.name == "ssam.stats") {
+            replays += stats.u64("payment_replays").unwrap_or(0);
+            iters += stats.u64("replay_iterations").unwrap_or(0);
+            prefix += stats.u64("replay_prefix_iterations").unwrap_or(0);
+        }
+        let mut flags = Vec::new();
+        if end.and_then(|e| e.bool("infeasible")).unwrap_or(false) {
+            flags.push("uncovered");
+        }
+        if of_round.iter().any(|e| e.name == "sla.violation") {
+            flags.push("SLA");
+        }
+        let label = match stage {
+            Some(s) if staged => format!("{s}.{round}"),
+            _ => round.to_string(),
+        };
+        table.push([
+            label,
+            demand.to_string(),
+            winners.to_string(),
+            num(cost),
+            num(paid),
+            replays.to_string(),
+            iters.to_string(),
+            prefix.to_string(),
+            flags.join("+"),
+        ]);
+        tot_winners += winners;
+        tot_cost += cost;
+        tot_paid += paid;
+        tot_replays += replays;
+        tot_iters += iters;
+        tot_prefix += prefix;
+    }
+    table.push([
+        "total".to_string(),
+        String::new(),
+        tot_winners.to_string(),
+        num(tot_cost),
+        num(tot_paid),
+        tot_replays.to_string(),
+        tot_iters.to_string(),
+        tot_prefix.to_string(),
+        String::new(),
+    ]);
+    let mut out = format!("{} rounds\n", order.len());
+    out.push_str(&table.render());
     Ok(out)
 }
 

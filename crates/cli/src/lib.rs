@@ -17,6 +17,8 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod args;
+pub mod bench_diff;
 pub mod commands;
 pub mod explain;
 pub mod faults;
+pub mod serve;

@@ -1,0 +1,379 @@
+//! `edge-market serve` — a long-running monitoring daemon.
+//!
+//! The daemon drives seeded MSOA stages over a workload-generated
+//! arrival stream (the paper's online setting, Alg. 2) and exposes
+//! operational state over a dependency-free `std::net` HTTP server:
+//!
+//! * `/metrics`  — the process-global metric registry in Prometheus
+//!   text format ([`edge_telemetry::registry`]);
+//! * `/healthz`  — `ok` while the daemon lives;
+//! * `/status`   — JSON: stages/rounds completed, sellers alive,
+//!   last-round outcome digest, scrape count.
+//!
+//! **Determinism guarantee.** The HTTP threads only *read*: registry
+//! atomics, the status mutex snapshot, and the shutdown flag. They
+//! never touch auction state, RNGs, or the trace collector, so auction
+//! outcomes and the deterministic trace section are byte-identical
+//! with the server on or off — `tests/serve_determinism.rs` asserts
+//! exactly that, mid-run scrapes included.
+//!
+//! Every stage derives its RNG as `derive_rng(seed + stage, "cli-serve")`
+//! and runs the recovery pipeline on an empty fault plan (bit-identical
+//! to plain MSOA, PR 2), so recovery metric families are live too.
+
+use crate::commands::CliError;
+use edge_auction::msoa::MsoaConfig;
+use edge_auction::recovery::{run_msoa_with_faults_traced, FaultPlan, RecoveryConfig};
+use edge_bench::scenario::integrated_instance;
+use edge_common::rng::derive_rng;
+use edge_sim::engine::SimConfig;
+use edge_telemetry::{Collector, Counter, Scoped, Trace, Value};
+use edge_workload::params::PaperParams;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Parsed `serve` configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Base RNG seed; stage `k` derives from `seed + k`.
+    pub seed: u64,
+    /// Microservices (sellers) per stage.
+    pub microservices: usize,
+    /// Target request arrivals per simulated round.
+    pub requests: u64,
+    /// Total auction rounds to drive before exiting (0 = run forever).
+    pub total_rounds: u64,
+    /// Rounds per generated stage instance.
+    pub stage_rounds: u64,
+    /// Pause between stages, milliseconds.
+    pub interval_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 42,
+            microservices: 25,
+            requests: 100,
+            total_rounds: 0,
+            stage_rounds: 5,
+            interval_ms: 0,
+        }
+    }
+}
+
+/// Shared daemon state the HTTP threads read and the drive loop writes.
+#[derive(Debug, Default)]
+pub struct ServeState {
+    status: Mutex<StatusInner>,
+    scrapes: Counter,
+    shutdown: AtomicBool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct StatusInner {
+    serving: bool,
+    stages: u64,
+    rounds: u64,
+    sellers_alive: usize,
+    sellers_total: usize,
+    last_digest: String,
+}
+
+impl ServeState {
+    /// Fresh state, not yet serving.
+    pub fn new() -> Self {
+        ServeState::default()
+    }
+
+    /// Signals the drive loop and HTTP accept loop to exit.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The `/status` payload: hand-built JSON from a mutex snapshot.
+    pub fn status_json(&self) -> String {
+        let inner = self.status.lock().expect("status lock poisoned").clone();
+        format!(
+            "{{\"serving\":{},\"stages\":{},\"rounds\":{},\"sellers_alive\":{},\
+             \"sellers_total\":{},\"last_digest\":\"{}\",\"scrapes\":{}}}",
+            inner.serving,
+            inner.stages,
+            inner.rounds,
+            inner.sellers_alive,
+            inner.sellers_total,
+            inner.last_digest,
+            self.scrapes.get()
+        )
+    }
+}
+
+/// FNV-1a 64 over a byte string — same fingerprint the scale benchmark
+/// uses for outcome digests.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Summary of a finished drive loop.
+#[derive(Debug, Clone)]
+pub struct DriveSummary {
+    /// Stages completed.
+    pub stages: u64,
+    /// Auction rounds completed.
+    pub rounds: u64,
+    /// Digest of the final stage's outcome (hex), if any stage ran.
+    pub last_digest: Option<String>,
+}
+
+/// Drives seeded MSOA stages until `total_rounds` is reached (or
+/// forever when it is 0), updating `state` after every stage. The HTTP
+/// server never calls this — it only reads `state` — so the loop is
+/// exactly as deterministic as a plain MSOA run.
+pub fn drive(
+    config: &ServeConfig,
+    state: &ServeState,
+    collector: Option<&Collector>,
+) -> Result<DriveSummary, CliError> {
+    {
+        let mut inner = state.status.lock().expect("status lock poisoned");
+        inner.serving = true;
+        inner.sellers_total = config.microservices;
+    }
+    let msoa_config = MsoaConfig::pinned(2.0);
+    let plan = FaultPlan::empty();
+    let recovery = RecoveryConfig::default();
+    let mut stages = 0u64;
+    let mut rounds_done = 0u64;
+    let mut last_digest = None;
+
+    while !state.shutting_down() {
+        if config.total_rounds > 0 && rounds_done >= config.total_rounds {
+            break;
+        }
+        let stage_rounds = if config.total_rounds == 0 {
+            config.stage_rounds
+        } else {
+            config.stage_rounds.min(config.total_rounds - rounds_done)
+        };
+        let params = PaperParams::default()
+            .with_microservices(config.microservices)
+            .with_rounds(stage_rounds)
+            .with_requests(config.requests);
+        let mut rng = derive_rng(config.seed.wrapping_add(stages), "cli-serve");
+        let instance = integrated_instance(&params, SimConfig::default(), &mut rng);
+
+        // Each stage's events are stamped with the stage index so a
+        // multi-stage trace stays explainable round by round.
+        let scoped = collector.map(|c| Scoped::new(c, vec![("stage", Value::from(stages))]));
+        let trace = match &scoped {
+            Some(s) => Trace::new(s),
+            None => Trace::off(),
+        };
+        let outcome =
+            run_msoa_with_faults_traced(&instance, &msoa_config, &plan, &recovery, trace)?;
+
+        let serialized = serde_json::to_string(&outcome)?;
+        let digest = format!("{:016x}", fnv1a64(serialized.as_bytes()));
+        let sellers_alive = instance
+            .sellers()
+            .iter()
+            .zip(&outcome.chi)
+            .filter(|(s, &chi)| chi < s.capacity)
+            .count();
+        stages += 1;
+        rounds_done += outcome.rounds.len() as u64;
+        last_digest = Some(digest.clone());
+        {
+            let mut inner = state.status.lock().expect("status lock poisoned");
+            inner.stages = stages;
+            inner.rounds = rounds_done;
+            inner.sellers_alive = sellers_alive;
+            inner.last_digest = digest;
+        }
+        if config.interval_ms > 0 && !state.shutting_down() {
+            std::thread::sleep(Duration::from_millis(config.interval_ms));
+        }
+    }
+
+    {
+        let mut inner = state.status.lock().expect("status lock poisoned");
+        inner.serving = false;
+    }
+    Ok(DriveSummary {
+        stages,
+        rounds: rounds_done,
+        last_digest,
+    })
+}
+
+/// Starts the HTTP server on `127.0.0.1:port` (0 = ephemeral). Returns
+/// the bound address and the accept-loop join handle; the loop exits
+/// once [`ServeState::request_shutdown`] is called.
+pub fn start_http(
+    state: Arc<ServeState>,
+    port: u16,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::spawn(move || {
+        while !state.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _)) => handle_connection(stream, &state),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok((addr, handle))
+}
+
+/// Serves one request. Read-only against the daemon state; any I/O
+/// error just drops the connection.
+fn handle_connection(mut stream: TcpStream, state: &ServeState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    // Read until the end of the request head (tiny GETs only).
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            state.scrapes.incr();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                edge_telemetry::registry::global().render(),
+            )
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/status" => {
+            state.scrapes.incr();
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                state.status_json(),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no route for {path}\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("full response");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn drive_reaches_the_round_target_and_digests() {
+        let state = ServeState::new();
+        let config = ServeConfig {
+            total_rounds: 4,
+            stage_rounds: 3,
+            microservices: 8,
+            ..ServeConfig::default()
+        };
+        let summary = drive(&config, &state, None).unwrap();
+        assert_eq!(summary.rounds, 4, "3-round stage then 1-round stage");
+        assert_eq!(summary.stages, 2);
+        let digest = summary.last_digest.unwrap();
+        assert_eq!(digest.len(), 16);
+        let status = state.status_json();
+        assert!(status.contains("\"rounds\":4"), "{status}");
+        assert!(status.contains(&digest), "{status}");
+        assert!(status.contains("\"serving\":false"), "{status}");
+    }
+
+    #[test]
+    fn drive_is_deterministic_across_runs() {
+        let config = ServeConfig {
+            total_rounds: 3,
+            stage_rounds: 3,
+            microservices: 6,
+            ..ServeConfig::default()
+        };
+        let a = drive(&config, &ServeState::new(), None).unwrap();
+        let b = drive(&config, &ServeState::new(), None).unwrap();
+        assert_eq!(a.last_digest, b.last_digest);
+    }
+
+    #[test]
+    fn http_routes_respond_and_shutdown_joins() {
+        let state = Arc::new(ServeState::new());
+        let (addr, handle) = start_http(Arc::clone(&state), 0).unwrap();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("version=0.0.4"), "{head}");
+        edge_telemetry::registry::validate_exposition(&body).expect("scrape validates");
+
+        let (head, body) = get(addr, "/status");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Scrape counter: /metrics + /status counted, /healthz not.
+        assert_eq!(state.scrapes.get(), 2);
+
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Serve determinism: scraping never perturbs auction outcomes.
+//!
+//! The acceptance criterion for `edge-market serve` is that the HTTP
+//! server is a pure observer — with the server enabled and `/metrics`
+//! plus `/status` hammered mid-run, MSOA outcomes and the deterministic
+//! trace section must be byte-identical to a server-off run, at both 1
+//! and 4 pricing threads.
+
+use edge_market_cli::serve::{drive, start_http, ServeConfig, ServeState};
+use edge_telemetry::Collector;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        microservices: 10,
+        requests: 60,
+        total_rounds: 6,
+        stage_rounds: 3,
+        interval_ms: 0,
+    }
+}
+
+/// The deterministic section: seq-numbered events only, no wall-clock.
+fn deterministic_section(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .filter(|l| l.starts_with("{\"seq\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+/// Runs the drive loop with no HTTP server; returns (digest, trace).
+fn run_server_off(threads: usize) -> (String, String) {
+    edge_auction::set_pricing_threads(threads);
+    let collector = Collector::new();
+    let state = ServeState::new();
+    let summary = drive(&config(), &state, Some(&collector)).expect("drive");
+    (
+        summary.last_digest.expect("stages ran"),
+        collector.deterministic_jsonl(),
+    )
+}
+
+/// Runs the drive loop with the HTTP server up and a scraper thread
+/// hammering `/metrics` and `/status` for the whole run.
+fn run_server_on(threads: usize) -> (String, String, u64) {
+    edge_auction::set_pricing_threads(threads);
+    let collector = Collector::new();
+    let state = Arc::new(ServeState::new());
+    let (addr, http) = start_http(Arc::clone(&state), 0).expect("bind");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let metrics = get(addr, "/metrics");
+                assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+                let status = get(addr, "/status");
+                assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let summary = drive(&config(), &state, Some(&collector)).expect("drive");
+
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper joins");
+    state.request_shutdown();
+    http.join().expect("http joins");
+    (
+        summary.last_digest.expect("stages ran"),
+        collector.deterministic_jsonl(),
+        scrapes,
+    )
+}
+
+#[test]
+fn scraped_serve_is_byte_identical_to_server_off() {
+    for threads in [1usize, 4] {
+        let (digest_off, trace_off) = run_server_off(threads);
+        let (digest_on, trace_on, scrapes) = run_server_on(threads);
+        edge_auction::set_pricing_threads(1);
+
+        assert!(
+            scrapes > 0,
+            "scraper thread never completed a scrape at {threads} threads"
+        );
+        assert_eq!(
+            digest_off, digest_on,
+            "outcome digest diverged under scraping at {threads} threads"
+        );
+
+        let det_off = deterministic_section(&trace_off);
+        let det_on = deterministic_section(&trace_on);
+        assert!(
+            !det_off.is_empty(),
+            "serve recorded no deterministic events"
+        );
+        assert!(det_off.contains("\"stage\""), "{det_off}");
+        assert_eq!(
+            det_off, det_on,
+            "deterministic trace section diverged under scraping at {threads} threads"
+        );
+    }
+
+    // And across thread counts the outcomes themselves agree.
+    let (digest_1, trace_1) = run_server_off(1);
+    let (digest_4, trace_4) = run_server_off(4);
+    edge_auction::set_pricing_threads(1);
+    assert_eq!(digest_1, digest_4, "digest diverged across thread counts");
+    assert_eq!(
+        deterministic_section(&trace_1),
+        deterministic_section(&trace_4),
+        "deterministic section diverged across thread counts"
+    );
+}

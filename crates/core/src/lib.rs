@@ -63,6 +63,7 @@ pub mod baselines;
 pub mod bid;
 pub mod budget;
 pub mod error;
+pub mod live;
 pub mod msoa;
 pub mod msoa_multi;
 pub mod multi_buyer;

@@ -368,6 +368,8 @@ fn run_msoa_impl(
     let mut psi = vec![0.0f64; sellers.len()];
     let mut chi = vec![0u64; sellers.len()];
     let mut buffer: RoundBuffer<MsoaCtx> = RoundBuffer::new(sellers.len());
+    let live = crate::live::AuctionLive::handle();
+    let capacity_sum: u64 = sellers.iter().map(|s| s.capacity).sum();
 
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
@@ -470,6 +472,7 @@ fn run_msoa_impl(
             Some(s) => Trace::new(s),
             None => Trace::off(),
         };
+        let pricing_before = edge_telemetry::pricing::snapshot();
         let outcome = match ssam_input {
             Ok(inst) => match run_ssam_traced(&inst, &config.ssam, ssam_trace) {
                 Ok(o) => Some(o),
@@ -548,6 +551,23 @@ fn run_msoa_impl(
                 ("infeasible", Value::from(result.infeasible)),
             ]
         });
+        // Live metrics: strictly reads of round state, after the trace
+        // events, so neither outcomes nor traces can be perturbed.
+        let pricing_delta = edge_telemetry::pricing::snapshot().delta_since(&pricing_before);
+        let supplied: u64 = result.winners.iter().map(|w| w.amount).sum();
+        let psi_max = psi.iter().copied().fold(0.0f64, f64::max);
+        live.record_round(
+            result.winners.len(),
+            result.infeasible,
+            supplied,
+            result.demand,
+            result.total_payment.value(),
+            result.social_cost.value(),
+            psi_max,
+            chi.iter().sum(),
+            capacity_sum,
+            &pricing_delta,
+        );
         rounds.push(result);
     }
 

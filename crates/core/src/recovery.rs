@@ -564,12 +564,16 @@ fn run_msoa_with_faults_impl(
         alpha,
     };
     let mut buffer: RoundBuffer<FaultCtx> = RoundBuffer::new(sellers.len());
+    let auction_live = crate::live::AuctionLive::handle();
+    let recovery_live = crate::live::RecoveryLive::handle();
+    let capacity_sum: u64 = sellers.iter().map(|s| s.capacity).sum();
 
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
         let t = t as u64;
         let demand = input.estimated_demand;
         let observed = plan.observed(t);
+        let pricing_before = edge_telemetry::pricing::snapshot();
 
         // Sellers and bids already used this round, for the exclusion
         // ladder.
@@ -820,6 +824,34 @@ fn run_msoa_with_faults_impl(
                 ("clawed_back", Value::from(clawed_back.value())),
             ]
         });
+        // Live metrics: strictly reads of round state, after the trace
+        // events, so neither outcomes nor traces can be perturbed. The
+        // recovery pipeline feeds the auction families too — `serve`
+        // always drives this path (empty plans are bit-identical to
+        // plain MSOA).
+        let pricing_delta = edge_telemetry::pricing::snapshot().delta_since(&pricing_before);
+        let supplied: u64 = winners.iter().map(|w| w.committed).sum();
+        let psi_max = state.psi.iter().copied().fold(0.0f64, f64::max);
+        auction_live.record_round(
+            winners.len(),
+            primary_infeasible,
+            supplied,
+            demand,
+            platform_cost.value(),
+            social_cost.value(),
+            psi_max,
+            state.chi.iter().sum(),
+            capacity_sum,
+            &pricing_delta,
+        );
+        recovery_live.record_round(
+            winners.iter().filter(|w| w.delivered < w.committed).count() as u64,
+            clawed_back.value(),
+            state.blacklisted.iter().filter(|&&b| b).count(),
+            sla_violated,
+            backfill_attempts,
+            shortfall,
+        );
         rounds.push(FaultRound {
             round: t,
             demand,

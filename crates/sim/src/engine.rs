@@ -410,19 +410,35 @@ impl Simulation {
             }
         }
         batch.sort_by_key(|m| m.ms);
+        let arrivals: u64 = batch.iter().map(|m| m.received_round).sum();
+        let completions: u64 = batch.iter().map(|m| m.served_round).sum();
+        let queued: u64 = batch.iter().map(|m| m.queue_len as u64).sum();
+        let queued_work: f64 = batch.iter().map(|m| m.queued_work).sum();
+        let busy = batch.iter().filter(|m| m.utilization > 0.0).count();
+        let mean_util = if batch.is_empty() {
+            0.0
+        } else {
+            batch.iter().map(|m| m.utilization).sum::<f64>() / batch.len() as f64
+        };
+        let mean_waiting = if batch.is_empty() {
+            0.0
+        } else {
+            batch.iter().map(|m| m.mean_waiting).sum::<f64>() / batch.len() as f64
+        };
+        let offline_count = offline.iter().filter(|&&o| o).count();
+        // Live metrics: the paper's three demand indicators (§III) plus
+        // throughput counters, read-only on already-computed aggregates.
+        crate::live::SimLive::get().record_round(
+            arrivals,
+            completions,
+            queued,
+            queued_work,
+            mean_waiting,
+            mean_util,
+            offline_count,
+        );
         if let Some(collector) = &self.telemetry {
             use edge_telemetry::{Level, Sink, Value};
-            let arrivals: u64 = batch.iter().map(|m| m.received_round).sum();
-            let completions: u64 = batch.iter().map(|m| m.served_round).sum();
-            let queued: u64 = batch.iter().map(|m| m.queue_len as u64).sum();
-            let queued_work: f64 = batch.iter().map(|m| m.queued_work).sum();
-            let busy = batch.iter().filter(|m| m.utilization > 0.0).count();
-            let mean_util = if batch.is_empty() {
-                0.0
-            } else {
-                batch.iter().map(|m| m.utilization).sum::<f64>() / batch.len() as f64
-            };
-            let offline_count = offline.iter().filter(|&&o| o).count();
             collector.emit(
                 Level::Info,
                 "sim.round",

@@ -37,6 +37,7 @@ pub mod cloud;
 pub mod engine;
 pub mod error;
 pub mod events;
+pub mod live;
 pub mod metrics;
 pub mod microservice;
 pub mod placement;

@@ -1,0 +1,137 @@
+//! Live metric instrumentation for the discrete-event simulator.
+//!
+//! Each [`crate::engine::Simulation::step`] reports the paper's three
+//! demand indicators (§III: queue length, waiting/processing time,
+//! incoming request rate) into the process-global
+//! [`edge_telemetry::registry`] so `edge-market serve` can expose them
+//! at `/metrics`. Recording is strictly reads of already-computed round
+//! aggregates — it can never perturb the simulation.
+
+use edge_telemetry::registry::global;
+use edge_telemetry::{Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// Registry handles for the sim families, looked up once per process.
+#[derive(Debug)]
+pub struct SimLive {
+    rounds: Arc<Counter>,
+    requests: Arc<Counter>,
+    served: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queued_work: Arc<Gauge>,
+    mean_waiting: Arc<Gauge>,
+    request_rate: Arc<Gauge>,
+    mean_utilization: Arc<Gauge>,
+    offline: Arc<Gauge>,
+}
+
+impl SimLive {
+    /// The process-global handle set (registering on first use).
+    pub fn get() -> &'static SimLive {
+        static LIVE: OnceLock<SimLive> = OnceLock::new();
+        LIVE.get_or_init(|| {
+            let r = global();
+            SimLive {
+                rounds: r.counter("edge_sim_rounds_total", "Simulation rounds stepped", &[]),
+                requests: r.counter(
+                    "edge_sim_requests_total",
+                    "Requests that arrived at a live service",
+                    &[],
+                ),
+                served: r.counter(
+                    "edge_sim_served_total",
+                    "Requests completed by services",
+                    &[],
+                ),
+                queue_depth: r.gauge(
+                    "edge_sim_queue_depth",
+                    "Requests queued across all services after the last round",
+                    &[],
+                ),
+                queued_work: r.gauge(
+                    "edge_sim_queued_work",
+                    "Resource units of queued work after the last round",
+                    &[],
+                ),
+                mean_waiting: r.gauge(
+                    "edge_sim_mean_waiting_rounds",
+                    "Mean rounds a served request waited, averaged over services",
+                    &[],
+                ),
+                request_rate: r.gauge(
+                    "edge_sim_request_rate",
+                    "Requests that arrived in the last round",
+                    &[],
+                ),
+                mean_utilization: r.gauge(
+                    "edge_sim_mean_utilization",
+                    "Mean allocation utilization over services in the last round",
+                    &[],
+                ),
+                offline: r.gauge(
+                    "edge_sim_offline_services",
+                    "Services paused or crashed in the last round",
+                    &[],
+                ),
+            }
+        })
+    }
+
+    /// Records one stepped round's aggregates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_round(
+        &self,
+        arrivals: u64,
+        completions: u64,
+        queued: u64,
+        queued_work: f64,
+        mean_waiting: f64,
+        mean_utilization: f64,
+        offline: usize,
+    ) {
+        self.rounds.incr();
+        self.requests.add(arrivals);
+        self.served.add(completions);
+        self.queue_depth.set(queued as f64);
+        self.queued_work.set(queued_work);
+        self.mean_waiting.set(mean_waiting);
+        self.request_rate.set(arrivals as f64);
+        self.mean_utilization.set(mean_utilization);
+        self.offline.set(offline as f64);
+    }
+}
+
+/// Registers every sim family (at zero) so a first `/metrics` scrape
+/// shows the full catalog before any round has run.
+pub fn preregister() {
+    let _ = SimLive::get();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preregister_exposes_sim_families() {
+        preregister();
+        let text = global().render();
+        for family in [
+            "edge_sim_rounds_total",
+            "edge_sim_queue_depth",
+            "edge_sim_request_rate",
+            "edge_sim_mean_waiting_rounds",
+        ] {
+            assert!(text.contains(family), "missing family {family}");
+        }
+    }
+
+    #[test]
+    fn record_round_accumulates() {
+        let live = SimLive::get();
+        let before = live.requests.get();
+        live.record_round(5, 3, 7, 2.5, 1.5, 0.8, 1);
+        assert_eq!(live.requests.get(), before + 5);
+        assert_eq!(live.queue_depth.get(), 7.0);
+        assert_eq!(live.offline.get(), 1.0);
+    }
+}

@@ -19,7 +19,10 @@
 //!    fall back to a `warning: ...` line on stderr.
 //!
 //! Counters and log-bucketed histograms ([`Counter`], [`LogHistogram`])
-//! cover hot-path statistics too frequent to record as events.
+//! cover hot-path statistics too frequent to record as events, and the
+//! [`registry`] module exposes named, labeled series of them (plus
+//! [`Gauge`]s and quantile [`Summary`]s) in Prometheus text format for
+//! the `edge-market serve` `/metrics` endpoint.
 //!
 //! The crate is deliberately dependency-free (std only) so every
 //! workspace member can embed it without dragging in the shims.
@@ -31,12 +34,14 @@ mod collector;
 mod event;
 pub mod global;
 mod metrics;
+pub mod registry;
 mod value;
 
 pub use collector::{Collector, ProfileEntry, Scoped, Sink, SpanGuard, Trace};
 pub use event::{Event, Level};
 pub use global::{clear_subscriber, set_subscriber, CollectorSubscriber, Subscriber};
 pub use metrics::{pricing, Counter, LogHistogram, HISTOGRAM_BUCKETS};
+pub use registry::{Gauge, Registry, Summary};
 pub use value::Value;
 
 /// Emits a diagnostic event to the global subscriber.

@@ -1,0 +1,888 @@
+//! A thread-safe metric registry with Prometheus text exposition.
+//!
+//! The audit trail ([`crate::Collector`]) answers "what happened in
+//! this run"; the registry answers "what is the process doing right
+//! now". Instrumented layers register named, labeled series once and
+//! then bump them with relaxed atomics — a counter add on the hot path
+//! costs the same as the existing [`Counter`]. A scrape
+//! ([`Registry::render`]) walks the registry under its lock and writes
+//! Prometheus text format 0.0.4: `# HELP` / `# TYPE` lines, escaped
+//! label values, and summary quantiles (p50/p95/p99) interpolated from
+//! [`LogHistogram`] power-of-two buckets.
+//!
+//! Scrapes only *read* atomics, so rendering can never perturb an
+//! auction outcome — the `serve` determinism test leans on this.
+//!
+//! The module also ships a parser ([`parse_exposition`]) and validator
+//! ([`validate_exposition`]) for the same format, used by the
+//! round-trip tests and by `edge-market metrics-lint` in CI.
+
+use crate::metrics::{Counter, LogHistogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Quantiles every summary exposes.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// A gauge: an `f64` that can go up and down, stored as bits in an
+/// atomic so reads never tear and writes never need a lock.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0` (whose bit pattern is zero).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (possibly negative) with a CAS loop.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A summary: a [`LogHistogram`] plus a running sum, exposed as a
+/// Prometheus `summary` with quantiles interpolated from the
+/// power-of-two buckets.
+#[derive(Debug, Default)]
+pub struct Summary {
+    hist: LogHistogram,
+    sum: AtomicU64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            hist: LogHistogram::new(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.hist.record(value);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), linearly interpolated inside
+    /// the power-of-two bucket that holds the target rank. Returns
+    /// `0.0` for an empty summary. Accuracy is bounded by the bucket
+    /// width (a factor of two), which is enough to see the shape of a
+    /// latency distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let snapshot = self.hist.snapshot();
+        let total: u64 = snapshot.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for &(floor, n) in &snapshot {
+            if cumulative + n >= rank {
+                if floor == 0 {
+                    return 0.0;
+                }
+                let into_bucket = (rank - cumulative) as f64 / n as f64;
+                return floor as f64 + floor as f64 * into_bucket;
+            }
+            cumulative += n;
+        }
+        // Unreachable: rank <= total. Return the top bucket floor.
+        snapshot.last().map_or(0.0, |&(floor, _)| floor as f64)
+    }
+}
+
+/// What a family measures — determines the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone integer counter.
+    Counter,
+    /// Monotone float counter (e.g. accumulated payment).
+    FloatCounter,
+    /// Float that can go up and down.
+    Gauge,
+    /// Log-bucketed distribution with quantiles.
+    Summary,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter | MetricKind::FloatCounter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<Counter>),
+    Float(Arc<Gauge>),
+    Gauge(Arc<Gauge>),
+    Summary(Arc<Summary>),
+}
+
+type LabelSet = Vec<(&'static str, String)>;
+
+#[derive(Debug)]
+struct Family {
+    kind: MetricKind,
+    help: &'static str,
+    series: BTreeMap<LabelSet, Cell>,
+}
+
+/// A thread-safe registry of metric families.
+///
+/// Registration takes the lock; the returned `Arc` handles are then
+/// bumped lock-free. Call sites are static, so invalid names and kind
+/// conflicts are programming errors and panic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        assert!(
+            valid_metric_name(name),
+            "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+        );
+        for (key, _) in labels {
+            assert!(
+                valid_label_name(key),
+                "invalid label name {key:?} on metric {name}"
+            );
+        }
+        let key: LabelSet = labels
+            .iter()
+            .map(|&(k, v)| (k, v.to_string()))
+            .collect::<Vec<_>>();
+        let mut families = self.families.lock().expect("registry lock poisoned");
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind,
+            help,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered twice with different kinds ({:?} vs {kind:?})",
+            family.kind
+        );
+        let cell = family.series.entry(key).or_insert_with(make);
+        match cell {
+            Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+            Cell::Float(g) => Cell::Float(Arc::clone(g)),
+            Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+            Cell::Summary(s) => Cell::Summary(Arc::clone(s)),
+        }
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        match self.series(name, help, MetricKind::Counter, labels, || {
+            Cell::Counter(Arc::new(Counter::new()))
+        }) {
+            Cell::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) a float counter series (monotone by
+    /// convention; the registry exposes it with `# TYPE counter`).
+    pub fn float_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::FloatCounter, labels, || {
+            Cell::Float(Arc::new(Gauge::new()))
+        }) {
+            Cell::Float(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::Gauge, labels, || {
+            Cell::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) a summary series.
+    pub fn summary(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Summary> {
+        match self.series(name, help, MetricKind::Summary, labels, || {
+            Cell::Summary(Arc::new(Summary::new()))
+        }) {
+            Cell::Summary(s) => s,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Renders the whole registry in Prometheus text format 0.0.4.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.type_name());
+            for (labels, cell) in &family.series {
+                match cell {
+                    Cell::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), c.get());
+                    }
+                    Cell::Float(g) | Cell::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            render_f64(g.get())
+                        );
+                    }
+                    Cell::Summary(s) => {
+                        for q in SUMMARY_QUANTILES {
+                            let _ = writeln!(
+                                out,
+                                "{name}{} {}",
+                                render_labels(labels, Some(q)),
+                                render_f64(s.quantile(q))
+                            );
+                        }
+                        let _ =
+                            writeln!(out, "{name}_sum{} {}", render_labels(labels, None), s.sum());
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(labels, None),
+                            s.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-global registry every instrumented layer writes to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// `true` iff `s` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` iff `s` matches the label-name grammar `[a-zA-Z_][a-zA-Z0-9_]*`
+/// and does not use the reserved `__` prefix.
+pub fn valid_label_name(s: &str) -> bool {
+    if s.starts_with("__") {
+        return false;
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &LabelSet, quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{}\"", render_f64(q)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Shortest round-trip rendering of an `f64` (Prometheus accepts Rust's
+/// `Display` forms, including `NaN` and `inf`).
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exposition parsing & validation
+// ---------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Full sample name as written (may carry `_sum`/`_count`).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+impl ParsedSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed metric family.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFamily {
+    /// `# HELP` text, unescaped.
+    pub help: Option<String>,
+    /// `# TYPE`, e.g. `counter`.
+    pub kind: Option<String>,
+    /// All samples attributed to the family (including `_sum`/`_count`
+    /// children of summaries).
+    pub samples: Vec<ParsedSample>,
+}
+
+/// A parsed exposition: family name → family.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Families keyed by base name.
+    pub families: BTreeMap<String, ParsedFamily>,
+}
+
+impl Exposition {
+    /// Looks up a sample by exact name and label subset match.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families
+            .values()
+            .flat_map(|f| &f.samples)
+            .find_map(|s| {
+                let matches = s.name == name
+                    && labels.iter().all(|&(k, v)| s.label(k) == Some(v))
+                    && s.labels.len() == labels.len();
+                matches.then_some(s.value)
+            })
+    }
+
+    /// Total number of sample lines.
+    pub fn num_samples(&self) -> usize {
+        self.families.values().map(|f| f.samples.len()).sum()
+    }
+}
+
+/// Parses Prometheus text format 0.0.4. Strict about the parts the
+/// registry emits: HELP/TYPE must precede their family's samples, label
+/// syntax must be well-formed, values must parse as floats, and a
+/// family's samples must not interleave with another family's.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    let mut last_family: Option<String> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').map_or((rest, ""), |(n, h)| (n, h));
+            check_name(name, lineno)?;
+            let family = exposition.families.entry(name.to_string()).or_default();
+            if !family.samples.is_empty() {
+                return Err(format!("line {lineno}: HELP for {name} after its samples"));
+            }
+            if family.help.is_some() {
+                return Err(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            family.help = Some(unescape_help(help));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: TYPE without a type"))?;
+            check_name(name, lineno)?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown TYPE {kind:?}"));
+            }
+            let family = exposition.families.entry(name.to_string()).or_default();
+            if !family.samples.is_empty() {
+                return Err(format!("line {lineno}: TYPE for {name} after its samples"));
+            }
+            if family.kind.is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            family.kind = Some(kind.to_string());
+        } else if line.starts_with('#') {
+            // Free-form comment.
+        } else {
+            let sample = parse_sample(line, lineno)?;
+            let base = base_family(&exposition, &sample.name);
+            if let Some(prev) = &last_family {
+                if *prev != base
+                    && exposition
+                        .families
+                        .get(&base)
+                        .is_some_and(|f| !f.samples.is_empty())
+                {
+                    return Err(format!(
+                        "line {lineno}: samples for {base} interleave with {prev}"
+                    ));
+                }
+            }
+            last_family = Some(base.clone());
+            exposition
+                .families
+                .entry(base)
+                .or_default()
+                .samples
+                .push(sample);
+        }
+    }
+    Ok(exposition)
+}
+
+/// Validates an exposition and returns `(families_with_samples,
+/// total_samples)`. On top of [`parse_exposition`]'s grammar checks it
+/// requires every family with samples to carry HELP and TYPE, counter
+/// samples to be finite and non-negative, and summary quantile labels
+/// to parse as probabilities.
+pub fn validate_exposition(text: &str) -> Result<(usize, usize), String> {
+    let exposition = parse_exposition(text)?;
+    let mut populated = 0usize;
+    for (name, family) in &exposition.families {
+        if family.samples.is_empty() {
+            continue;
+        }
+        populated += 1;
+        let kind = family
+            .kind
+            .as_deref()
+            .ok_or_else(|| format!("family {name} has samples but no TYPE line"))?;
+        if family.help.is_none() {
+            return Err(format!("family {name} has samples but no HELP line"));
+        }
+        for sample in &family.samples {
+            for (key, _) in &sample.labels {
+                if key != "quantile" && !valid_label_name(key) {
+                    return Err(format!("family {name}: invalid label name {key:?}"));
+                }
+            }
+            match kind {
+                "counter" if !sample.value.is_finite() || sample.value < 0.0 => {
+                    return Err(format!(
+                        "counter {name} has non-monotone-compatible value {}",
+                        sample.value
+                    ));
+                }
+                "summary" => {
+                    if let Some(q) = sample.label("quantile") {
+                        let q: f64 = q
+                            .parse()
+                            .map_err(|_| format!("summary {name}: bad quantile {q:?}"))?;
+                        if !(0.0..=1.0).contains(&q) {
+                            return Err(format!("summary {name}: quantile {q} out of range"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok((populated, exposition.num_samples()))
+}
+
+fn check_name(name: &str, lineno: usize) -> Result<(), String> {
+    if valid_metric_name(name) {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: invalid metric name {name:?}"))
+    }
+}
+
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Resolves a sample name to its family: `_sum`/`_count`/`_bucket`
+/// suffixes fold into an already-declared summary/histogram family.
+fn base_family(exposition: &Exposition, name: &str) -> String {
+    for (suffix, kinds) in [
+        ("_sum", &["summary", "histogram"][..]),
+        ("_count", &["summary", "histogram"][..]),
+        ("_bucket", &["histogram"][..]),
+    ] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if exposition
+                .families
+                .get(base)
+                .and_then(|f| f.kind.as_deref())
+                .is_some_and(|k| kinds.contains(&k))
+            {
+                return base.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<ParsedSample, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() && !matches!(bytes[pos], b'{' | b' ' | b'\t') {
+        pos += 1;
+    }
+    let name = &line[..pos];
+    check_name(name, lineno)?;
+    let mut labels = Vec::new();
+    if pos < bytes.len() && bytes[pos] == b'{' {
+        pos += 1;
+        loop {
+            while pos < bytes.len() && bytes[pos] == b' ' {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'}' {
+                pos += 1;
+                break;
+            }
+            let key_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'=' {
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err(format!("line {lineno}: label without '='"));
+            }
+            let key = line[key_start..pos].trim().to_string();
+            pos += 1; // '='
+            if pos >= bytes.len() || bytes[pos] != b'"' {
+                return Err(format!("line {lineno}: label value must be quoted"));
+            }
+            pos += 1; // opening quote
+            let mut value = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(format!("line {lineno}: unterminated label value"));
+                }
+                match bytes[pos] {
+                    b'"' => {
+                        pos += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        pos += 1;
+                        match bytes.get(pos) {
+                            Some(b'n') => value.push('\n'),
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            _ => return Err(format!("line {lineno}: bad escape in label value")),
+                        }
+                        pos += 1;
+                    }
+                    _ => {
+                        // Advance one UTF-8 character.
+                        let ch = line[pos..]
+                            .chars()
+                            .next()
+                            .ok_or_else(|| format!("line {lineno}: bad UTF-8"))?;
+                        value.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+            }
+            if labels.iter().any(|(k, _)| *k == key) {
+                return Err(format!("line {lineno}: duplicate label {key:?}"));
+            }
+            labels.push((key, value));
+            while pos < bytes.len() && bytes[pos] == b' ' {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b',' {
+                pos += 1;
+            }
+        }
+    }
+    let rest = line[pos..].trim();
+    if rest.is_empty() {
+        return Err(format!("line {lineno}: sample without a value"));
+    }
+    // An optional integer timestamp may follow the value.
+    let mut parts = rest.split_whitespace();
+    let value_str = parts.next().expect("non-empty rest");
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("line {lineno}: bad timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("line {lineno}: trailing tokens after value"));
+    }
+    let value = match value_str {
+        "NaN" => f64::NAN,
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("line {lineno}: bad value {other:?}"))?,
+    };
+    Ok(ParsedSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn summary_quantiles_interpolate() {
+        let s = Summary::new();
+        for _ in 0..100 {
+            s.observe(8); // bucket [8, 16)
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 800);
+        let p50 = s.quantile(0.5);
+        assert!((8.0..=16.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("edge_test_total", "help", &[("figure", "fig3a")]);
+        let b = r.counter("edge_test_total", "help", &[("figure", "fig3a")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let other = r.counter("edge_test_total", "help", &[("figure", "fig3b")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("edge_conflict", "help", &[]);
+        let _ = r.gauge("edge_conflict", "help", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("0bad-name", "help", &[]);
+    }
+
+    #[test]
+    fn name_and_label_grammar() {
+        assert!(valid_metric_name("edge_auction_rounds_total"));
+        assert!(valid_metric_name(":ns:metric"));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_name("figure"));
+        assert!(!valid_label_name("__reserved"));
+        assert!(!valid_label_name("1st"));
+    }
+
+    #[test]
+    fn render_escapes_and_round_trips() {
+        let r = Registry::new();
+        r.counter(
+            "edge_escape_total",
+            "help with \\ backslash\nand newline",
+            &[("path", "a\"b\\c\nd")],
+        )
+        .add(7);
+        r.gauge("edge_gauge", "a gauge", &[]).set(-1.25);
+        let s = r.summary("edge_latency_ns", "latency", &[("stage", "pricing")]);
+        s.observe(100);
+        s.observe(200);
+        let text = r.render();
+        assert!(text.contains("# TYPE edge_escape_total counter"));
+        assert!(text.contains("# TYPE edge_gauge gauge"));
+        assert!(text.contains("# TYPE edge_latency_ns summary"));
+        assert!(text.contains("\\\"b\\\\c\\nd"));
+
+        let parsed = parse_exposition(&text).expect("rendered output parses");
+        assert_eq!(
+            parsed.sample("edge_escape_total", &[("path", "a\"b\\c\nd")]),
+            Some(7.0)
+        );
+        assert_eq!(parsed.sample("edge_gauge", &[]), Some(-1.25));
+        assert_eq!(
+            parsed.sample("edge_latency_ns_sum", &[("stage", "pricing")]),
+            Some(300.0)
+        );
+        assert_eq!(
+            parsed.sample("edge_latency_ns_count", &[("stage", "pricing")]),
+            Some(2.0)
+        );
+        let fam = &parsed.families["edge_latency_ns"];
+        assert_eq!(fam.kind.as_deref(), Some("summary"));
+        assert_eq!(fam.help.as_deref(), Some("latency"));
+        // Quantile children resolved into the summary family.
+        assert_eq!(fam.samples.len(), 3 + 2);
+
+        validate_exposition(&text).expect("rendered output validates");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_input() {
+        assert!(parse_exposition("bad-name 1\n").is_err());
+        assert!(parse_exposition("x{unterminated=\"v 1\n").is_err());
+        assert!(parse_exposition("x{a=\"1\",a=\"2\"} 1\n").is_err());
+        assert!(parse_exposition("x notanumber\n").is_err());
+        assert!(parse_exposition("# TYPE x nonsense\nx 1\n").is_err());
+        // HELP after samples.
+        assert!(parse_exposition("x 1\n# HELP x late\n").is_err());
+        // Samples without HELP/TYPE parse but do not validate.
+        assert!(parse_exposition("x 1\n").is_ok());
+        assert!(validate_exposition("x 1\n").is_err());
+        // Negative counters rejected by the validator.
+        assert!(validate_exposition("# HELP x h\n# TYPE x counter\nx -1\n").is_err());
+        // Interleaved families rejected.
+        assert!(parse_exposition("a 1\nb 1\na 2\n").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_timestamps_and_inf() {
+        let parsed =
+            parse_exposition("# HELP x h\n# TYPE x gauge\nx{l=\"v\"} +Inf 1700000000\n").unwrap();
+        assert_eq!(parsed.sample("x", &[("l", "v")]), Some(f64::INFINITY));
+        let (fams, samples) = validate_exposition("# HELP x h\n# TYPE x gauge\nx 1\n").unwrap();
+        assert_eq!((fams, samples), (1, 1));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("edge_registry_selftest_total", "self test", &[]);
+        let before = c.get();
+        c.incr();
+        assert!(global().render().contains("edge_registry_selftest_total"));
+        assert_eq!(c.get(), before + 1);
+    }
+}

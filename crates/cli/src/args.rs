@@ -8,10 +8,10 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-/// Commands that take one positional subcommand right after their name
-/// (`edge-market bench diff ...`). Every other command still rejects
-/// positionals outright.
-const COMMANDS_WITH_SUBCOMMAND: &[&str] = &["bench"];
+/// Commands that take one positional argument right after their name
+/// (`edge-market bench diff ...`, `edge-market replay log.jsonl`).
+/// Every other command still rejects positionals outright.
+const COMMANDS_WITH_SUBCOMMAND: &[&str] = &["bench", "replay"];
 
 /// Flags that are boolean switches: they take no value and parse as
 /// `"true"` (`edge-market explain --summary --trace t.jsonl`).
@@ -183,6 +183,9 @@ mod tests {
         assert_eq!(p.command, "bench");
         assert_eq!(p.subcommand.as_deref(), Some("diff"));
         assert_eq!(p.get("tolerance"), Some("0.5"));
+        // `replay` takes its log path positionally.
+        let p = parse(&["replay", "run.jsonl", "--trace", "t.jsonl"]).unwrap();
+        assert_eq!(p.subcommand.as_deref(), Some("run.jsonl"));
         // Only the first position is a subcommand slot.
         assert_eq!(
             parse(&["bench", "diff", "extra"]),

@@ -47,6 +47,10 @@ pub enum CliError {
     BenchRegression(String),
     /// `metrics-lint` rejected an exposition file.
     Lint(String),
+    /// The event-sourced service refused an event structurally.
+    Service(edge_auction::service::ServiceError),
+    /// An event log failed to read, verify, or replay.
+    Log(edge_auction::service::LogError),
 }
 
 impl std::fmt::Display for CliError {
@@ -66,6 +70,8 @@ impl std::fmt::Display for CliError {
             CliError::Explain(e) => write!(f, "explain error: {e}"),
             CliError::BenchRegression(report) => write!(f, "bench regression\n{report}"),
             CliError::Lint(e) => write!(f, "metrics lint failed: {e}"),
+            CliError::Service(e) => write!(f, "service error: {e}"),
+            CliError::Log(e) => write!(f, "event log error: {e}"),
         }
     }
 }
@@ -102,6 +108,16 @@ impl From<ExplainError> for CliError {
         CliError::Explain(e)
     }
 }
+impl From<edge_auction::service::ServiceError> for CliError {
+    fn from(e: edge_auction::service::ServiceError) -> Self {
+        CliError::Service(e)
+    }
+}
+impl From<edge_auction::service::LogError> for CliError {
+    fn from(e: edge_auction::service::LogError) -> Self {
+        CliError::Log(e)
+    }
+}
 
 /// Dispatches a parsed command line and returns the rendered output.
 ///
@@ -119,6 +135,7 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "reproduce" => reproduce(&args),
         "explain" => explain(&args),
         "serve" => serve(&args),
+        "replay" => crate::replay::replay(&args),
         "bench" => match args.subcommand.as_deref() {
             Some("diff") => crate::bench_diff::bench_diff(&args),
             Some(other) => Err(CliError::UnknownCommand(format!("bench {other}"))),
@@ -172,15 +189,32 @@ COMMANDS:
                     --summary renders a one-screen per-round aggregate
                     table instead (winners, payments, pricing effort)
                     --trace FILE --summary
-    serve           run a monitoring daemon: seeded MSOA stages over a
-                    workload-generated arrival stream, with /metrics
-                    (Prometheus text format), /healthz, and /status
-                    (JSON) on a local HTTP listener; scraping never
-                    perturbs auction outcomes
+    serve           run the event-sourced serving daemon: seeded MSOA
+                    stages over a workload-generated arrival stream,
+                    with /metrics (Prometheus text format), /healthz,
+                    and /status (JSON) on a local HTTP listener, plus a
+                    wire API for live market events — POST /v1/bid,
+                    /v1/bid/withdraw, /v1/demand, /v1/round/close,
+                    /v1/default (JSON bodies; structured JSON replies;
+                    bounded ingress queue answers 429 when full).
+                    Every accepted event is appended to --event-log as
+                    digest-chained JSONL; scraping never perturbs
+                    auction outcomes
                     [--seed N] [--microservices S] [--requests R]
                     [--rounds N (0 = forever)] [--stage-rounds T]
                     [--interval-ms MS] [--port P (0 = ephemeral)]
-                    [--http on|off] [--trace OUT.jsonl]
+                    [--http on|off] [--ingest on|off]
+                    [--event-log OUT.jsonl] [--queue-cap N]
+                    [--book-cap N] [--demand-cap N]
+                    [--trace OUT.jsonl] [--pricing-threads N]
+    replay          re-execute a recorded serve run from its event log,
+                    offline: verifies the per-record digest chain, then
+                    reproduces outcome digests and deterministic trace
+                    sections byte-identically (at any --pricing-threads
+                    setting); a trailing partial record from a mid-write
+                    crash is dropped with a note
+                    <log.jsonl> [--trace OUT.jsonl]
+                    [--pricing-threads N]
     bench diff      compare a fresh scale run (or --fresh FILE) against
                     the committed baseline; digests must match exactly,
                     wall-clock medians within --tolerance; exits
@@ -669,8 +703,9 @@ fn explain(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// The `serve` command: start the HTTP endpoints (unless `--http off`),
-/// drive seeded MSOA stages, and report a summary on exit (see
-/// [`crate::serve`]).
+/// drive the event-sourced service over seeded MSOA stages — accepting
+/// wire events unless `--ingest off`, appending every accepted event to
+/// `--event-log` — and report a summary on exit (see [`crate::serve`]).
 fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     args.allow_only(&[
         "seed",
@@ -683,6 +718,11 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "http",
         "trace",
         "pricing-threads",
+        "event-log",
+        "ingest",
+        "queue-cap",
+        "book-cap",
+        "demand-cap",
     ])?;
     apply_pricing_threads(args)?;
     let config = crate::serve::ServeConfig {
@@ -692,38 +732,63 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         total_rounds: args.get_or("rounds", 0u64)?,
         stage_rounds: args.get_or("stage-rounds", 5u64)?.max(1),
         interval_ms: args.get_or("interval-ms", 0u64)?,
+        book_cap: args.get_or("book-cap", 4096usize)?,
+        demand_cap: args.get_or("demand-cap", 1_000_000u64)?,
     };
     let port = args.get_or("port", 0u16)?;
-    let http = match args.get("http").unwrap_or("on") {
-        "on" => true,
-        "off" => false,
-        other => {
-            return Err(ArgsError::InvalidValue {
-                flag: "http".into(),
+    let queue_cap = args.get_or("queue-cap", 64usize)?.max(1);
+    let on_off = |flag: &'static str, default: &str| -> Result<bool, CliError> {
+        match args.get(flag).unwrap_or(default) {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(ArgsError::InvalidValue {
+                flag: flag.into(),
                 value: other.to_owned(),
             }
-            .into())
+            .into()),
         }
     };
+    let http = on_off("http", "on")?;
+    let ingest = on_off("ingest", "on")?;
+    if ingest && !http && args.get("ingest").is_some() {
+        return Err(CliError::FlagConflict("ingest", "http"));
+    }
 
-    // The full metric catalog (auction + recovery + sim families) must
-    // be visible on the very first scrape, before any round has run.
+    // The full metric catalog (auction + recovery + service + sim
+    // families) must be visible on the very first scrape, before any
+    // round has run.
     edge_auction::live::preregister();
     edge_sim::live::preregister();
+    crate::serve::preregister_ingress();
 
+    let (ingress_tx, ingress_rx) = if http && ingest {
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue_cap);
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
     let state = std::sync::Arc::new(crate::serve::ServeState::new());
     let server = if http {
-        let (addr, handle) = crate::serve::start_http(std::sync::Arc::clone(&state), port)?;
+        let (addr, handle) =
+            crate::serve::start_http_with_ingest(std::sync::Arc::clone(&state), port, ingress_tx)?;
         // Announce eagerly on stderr: the drive loop may run for a long
         // time (or forever) before the command's stdout is printed.
-        eprintln!("serving http://{addr} (/metrics /healthz /status)");
+        eprintln!("serving http://{addr} (/metrics /healthz /status; POST /v1/*)");
         Some((addr, handle))
     } else {
         None
     };
 
+    let mut log = match args.get("event-log") {
+        Some(path) => Some(crate::serve::new_log_writer(
+            path,
+            &config.service_config(),
+        )?),
+        None => None,
+    };
     let collector = args.get("trace").map(|_| Collector::new());
-    let drive_result = crate::serve::drive(&config, &state, collector.as_ref());
+    let drive_result =
+        crate::serve::drive_service(&config, &state, collector.as_ref(), ingress_rx, &mut log);
     state.request_shutdown();
     let server_note = match server {
         Some((addr, handle)) => {
@@ -743,6 +808,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     );
     if let Some(digest) = &summary.last_digest {
         let _ = writeln!(out, "last outcome digest: {digest}");
+    }
+    if let (Some(path), Some(writer)) = (args.get("event-log"), &log) {
+        let _ = writeln!(out, "event log: {} records → {path}", writer.len());
     }
     if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
         fs::write(path, collector.to_jsonl())?;

@@ -21,4 +21,5 @@ pub mod bench_diff;
 pub mod commands;
 pub mod explain;
 pub mod faults;
+pub mod replay;
 pub mod serve;

@@ -1,0 +1,91 @@
+//! `edge-market replay` — offline, byte-identical re-execution of a
+//! recorded serve run.
+//!
+//! The event log is the source of truth: its header carries the full
+//! [`ServiceConfig`], and its digest-chained records carry every
+//! accepted event in order. Replaying is therefore just
+//!
+//! 1. parse + chain-verify the log ([`edge_auction::service::parse_log`]);
+//! 2. build a fresh [`AuctionService`] over the same seeded stage
+//!    provider `serve` uses ([`crate::serve::stage_provider`]);
+//! 3. apply every record in sequence.
+//!
+//! Outcome digests, payments, and the deterministic trace section come
+//! out byte-identical to the live run — at any `--pricing-threads`
+//! setting — because the service is a pure function of (header,
+//! events). A trailing partial record (the daemon was killed mid-write)
+//! is dropped with a note; corruption anywhere else is a hard error
+//! naming the exact record.
+
+use crate::args::{ArgsError, ParsedArgs};
+use crate::commands::{apply_pricing_threads, CliError};
+use edge_auction::service::{parse_log, AuctionService, ServiceConfig};
+use edge_telemetry::Collector;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Runs `replay <log.jsonl>`: parses, verifies, and re-executes the
+/// log, reporting digests. See the module docs for the contract.
+pub fn replay(args: &ParsedArgs) -> Result<String, CliError> {
+    args.allow_only(&["log", "trace", "pricing-threads"])?;
+    apply_pricing_threads(args)?;
+    let path = match (args.subcommand.as_deref(), args.get("log")) {
+        (Some(p), None) => p.to_owned(),
+        (None, Some(p)) => p.to_owned(),
+        (Some(_), Some(_)) => return Err(CliError::FlagConflict("log", "<positional log>")),
+        (None, None) => {
+            return Err(ArgsError::MissingFlag("log (or a positional path)").into());
+        }
+    };
+    let text = fs::read_to_string(&path)?;
+    let parsed = parse_log(&text, true)?;
+    let collector = args.get("trace").map(|_| Collector::new());
+
+    let mut svc = AuctionService::new(parsed.config, crate::serve::stage_provider(parsed.config));
+    svc.apply_all(&parsed.records, collector.as_ref())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {path}: {} events verified",
+        parsed.records.len()
+    );
+    let _ = writeln!(out, "{}", describe(&parsed.config));
+    let _ = writeln!(
+        out,
+        "drove {} stages, {} auction rounds (seed {})",
+        svc.stages_completed(),
+        svc.rounds_closed(),
+        parsed.config.seed
+    );
+    if let Some(digest) = svc.last_outcome_digest_hex() {
+        let _ = writeln!(out, "last outcome digest: {digest}");
+    }
+    let _ = writeln!(out, "state digest: {}", svc.state_digest_hex());
+    if parsed.truncated_tail {
+        let _ = writeln!(
+            out,
+            "note: dropped a trailing partial record (mid-write crash)"
+        );
+    }
+    if let (Some(trace_path), Some(collector)) = (args.get("trace"), collector) {
+        fs::write(trace_path, collector.to_jsonl())?;
+        let _ = writeln!(out, "trace: {} events → {trace_path}", collector.len());
+    }
+    Ok(out)
+}
+
+/// One line summarizing the header configuration.
+fn describe(config: &ServiceConfig) -> String {
+    format!(
+        "header: {} microservices, {} requests/round, stage_rounds {}, horizon {}",
+        config.microservices,
+        config.requests,
+        config.stage_rounds,
+        if config.total_rounds == 0 {
+            "unbounded".to_owned()
+        } else {
+            config.total_rounds.to_string()
+        }
+    )
+}

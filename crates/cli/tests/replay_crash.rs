@@ -1,0 +1,138 @@
+//! Crash-recovery proof: the event log is the source of truth.
+//!
+//! A recorded run is truncated at **every** record boundary; each
+//! prefix is replayed through a fresh service, the remaining events are
+//! then ingested live, and the final state digest must always match the
+//! uninterrupted run's. Mid-record truncation (the daemon died while a
+//! record was half-written) must parse leniently by dropping exactly
+//! the partial tail.
+
+use edge_auction::service::{parse_log, AuctionService, LogWriter, ServiceConfig, ServiceEvent};
+use edge_market_cli::serve::stage_provider;
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        seed: 11,
+        microservices: 6,
+        requests: 40,
+        total_rounds: 6,
+        stage_rounds: 2,
+        book_cap: 64,
+        demand_cap: 500,
+    }
+}
+
+/// A wire-heavy recorded run: bids, withdrawals, demand, defaults, and
+/// the daemon's round closes, interleaved.
+fn recorded_events() -> Vec<ServiceEvent> {
+    let mut events = Vec::new();
+    for round in 0..6u64 {
+        for seller in 0..3usize {
+            events.push(ServiceEvent::BidSubmitted {
+                seller,
+                bid: round,
+                amount: 1 + (round % 3),
+                price: 4.0 + round as f64 + seller as f64 / 2.0,
+            });
+        }
+        if round % 2 == 0 {
+            events.push(ServiceEvent::DemandReported { units: 2 + round });
+        }
+        if round % 3 == 1 {
+            events.push(ServiceEvent::BidWithdrawn {
+                seller: 1,
+                bid: round,
+            });
+            events.push(ServiceEvent::SellerDefaulted {
+                seller: 2,
+                delivered_fraction: 0.5,
+            });
+        }
+        events.push(ServiceEvent::RoundClosed);
+    }
+    events
+}
+
+/// Writes the run to a log and returns (log text, final state digest,
+/// final outcome digest).
+fn record() -> (String, String, Option<String>) {
+    let mut svc = AuctionService::new(config(), stage_provider(config()));
+    let mut buf = Vec::new();
+    let mut log = LogWriter::new(&mut buf, &config()).expect("header");
+    for event in recorded_events() {
+        svc.apply(&event, None).expect("recorded events are valid");
+        log.append(&event).expect("append");
+    }
+    (
+        String::from_utf8(buf).expect("utf8"),
+        svc.state_digest_hex(),
+        svc.last_outcome_digest_hex(),
+    )
+}
+
+#[test]
+fn truncation_at_every_record_boundary_recovers_exactly() {
+    let (text, final_digest, final_outcome) = record();
+    let lines: Vec<&str> = text.lines().collect();
+    let records = lines.len() - 1;
+    let all_events = recorded_events();
+    assert_eq!(records, all_events.len());
+
+    for cut in 0..=records {
+        // The crash: only the header + first `cut` records survive.
+        let prefix = lines[..=cut].join("\n");
+        let parsed = parse_log(&prefix, true)
+            .unwrap_or_else(|e| panic!("prefix of {cut} records failed to parse: {e}"));
+        assert!(!parsed.truncated_tail, "clean boundary cut {cut}");
+        assert_eq!(parsed.records.len(), cut);
+
+        // Recovery: replay the prefix, then resume live ingestion of
+        // the events the crash swallowed.
+        let mut svc = AuctionService::new(parsed.config, stage_provider(parsed.config));
+        svc.apply_all(&parsed.records, None)
+            .unwrap_or_else(|e| panic!("prefix replay failed at cut {cut}: {e}"));
+        for event in &all_events[cut..] {
+            svc.apply(event, None)
+                .unwrap_or_else(|e| panic!("resume failed at cut {cut}: {e}"));
+        }
+        assert_eq!(
+            svc.state_digest_hex(),
+            final_digest,
+            "state digest diverged after crash at record boundary {cut}"
+        );
+        assert_eq!(
+            svc.last_outcome_digest_hex(),
+            final_outcome,
+            "outcome digest diverged after crash at record boundary {cut}"
+        );
+    }
+}
+
+#[test]
+fn mid_record_truncation_drops_exactly_the_partial_tail() {
+    let (text, _, _) = record();
+    let lines: Vec<&str> = text.lines().collect();
+    // Cut the log mid-way through its final record.
+    let keep = text.len() - lines.last().expect("nonempty").len() / 2;
+    let cut = &text[..keep];
+    let parsed = parse_log(cut, true).expect("lenient parse succeeds");
+    assert!(parsed.truncated_tail, "the partial record must be noticed");
+    assert_eq!(parsed.records.len(), lines.len() - 2);
+
+    // Strict parsing refuses the same bytes.
+    assert!(parse_log(cut, false).is_err());
+}
+
+#[test]
+fn interior_corruption_is_never_silently_recovered() {
+    let (text, _, _) = record();
+    let lines: Vec<&str> = text.lines().collect();
+    // Drop an interior record entirely: the chain must break loudly
+    // even in lenient mode — leniency is for the tail only.
+    let mut gapped: Vec<&str> = lines.clone();
+    gapped.remove(3);
+    assert!(
+        parse_log(&gapped.join("\n"), true).is_err(),
+        "a missing interior record must fail both modes"
+    );
+}

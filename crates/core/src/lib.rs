@@ -20,6 +20,9 @@
 //!   plans (seller defaults, crash windows, sensor dropouts) and the
 //!   platform's recovery policy (pro-rata clawback, reliability-scaled
 //!   prices, blacklisting, bounded backfill re-auctions);
+//! * [`service`] — the event-sourced auction service: a typed event
+//!   vocabulary, an append-only digest-chained event log, and a pure
+//!   state machine that replays any recorded run byte-identically;
 //! * [`variants`] — the MSOA-DA / MSOA-RC / MSOA-OA comparisons of
 //!   Figure 5(a);
 //! * [`offline`] — exact offline optima (covering DP per round,
@@ -72,6 +75,7 @@ pub mod pricing;
 pub mod properties;
 pub mod recovery;
 pub(crate) mod round_buffer;
+pub mod service;
 pub mod ssam;
 pub mod variants;
 pub mod vcg;
@@ -105,6 +109,10 @@ pub use properties::{
 pub use recovery::{
     run_msoa_with_faults, run_msoa_with_faults_traced, CrashWindow, DefaultEvent, DropoutWindow,
     FaultInjectionConfig, FaultPlan, FaultRound, FaultWinner, FaultyMsoaOutcome, RecoveryConfig,
+};
+pub use service::{
+    parse_log, Applied, AuctionService, LogError, LogRecord, LogWriter, ParsedLog, ServiceConfig,
+    ServiceError, ServiceEvent, StageSummary, LOG_VERSION,
 };
 pub use ssam::{
     run_ssam, run_ssam_traced, CriticalSource, HeapStats, RatioCertificate, SsamConfig,

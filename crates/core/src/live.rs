@@ -249,12 +249,73 @@ impl RecoveryLive {
     }
 }
 
-/// Registers every auction, pricing, and recovery family (at zero) so a
-/// first `/metrics` scrape shows the full catalog before any round has
-/// run. `edge-market serve` calls this on startup.
+/// Registry handles for the event-sourced service families.
+#[derive(Debug)]
+pub(crate) struct ServiceLive {
+    bid_submitted: Arc<Counter>,
+    bid_withdrawn: Arc<Counter>,
+    demand_reported: Arc<Counter>,
+    round_closed: Arc<Counter>,
+    seller_defaulted: Arc<Counter>,
+    stages: Arc<Counter>,
+    book_size: Arc<Gauge>,
+}
+
+impl ServiceLive {
+    /// Looks up (registering on first use) every service family.
+    pub(crate) fn handle() -> Self {
+        let r = global();
+        let events = |kind: &str| {
+            r.counter(
+                "edge_service_events_total",
+                "Accepted service events by type",
+                &[("type", kind)],
+            )
+        };
+        ServiceLive {
+            bid_submitted: events("bid_submitted"),
+            bid_withdrawn: events("bid_withdrawn"),
+            demand_reported: events("demand_reported"),
+            round_closed: events("round_closed"),
+            seller_defaulted: events("seller_defaulted"),
+            stages: r.counter(
+                "edge_service_stages_total",
+                "Stage auctions completed by the event-sourced service",
+                &[],
+            ),
+            book_size: r.gauge(
+                "edge_service_book_size",
+                "Standing bids on the service book",
+                &[],
+            ),
+        }
+    }
+
+    /// Records one accepted event and the resulting book size.
+    pub(crate) fn record_event(&self, kind: &str, book_len: usize) {
+        match kind {
+            "bid_submitted" => self.bid_submitted.incr(),
+            "bid_withdrawn" => self.bid_withdrawn.incr(),
+            "demand_reported" => self.demand_reported.incr(),
+            "round_closed" => self.round_closed.incr(),
+            _ => self.seller_defaulted.incr(),
+        }
+        self.book_size.set(book_len as f64);
+    }
+
+    /// Records one completed stage auction.
+    pub(crate) fn record_stage(&self) {
+        self.stages.incr();
+    }
+}
+
+/// Registers every auction, pricing, recovery, and service family (at
+/// zero) so a first `/metrics` scrape shows the full catalog before any
+/// round has run. `edge-market serve` calls this on startup.
 pub fn preregister() {
     let _ = AuctionLive::handle();
     let _ = RecoveryLive::handle();
+    let _ = ServiceLive::handle();
 }
 
 #[cfg(test)]
@@ -273,6 +334,8 @@ mod tests {
             "edge_pricing_round_nanos",
             "edge_recovery_defaults_total",
             "edge_recovery_blacklist_size",
+            "edge_service_events_total",
+            "edge_service_book_size",
         ] {
             assert!(text.contains(family), "missing family {family}");
         }

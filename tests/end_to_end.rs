@@ -5,6 +5,10 @@
 use edge_market::auction::msoa::{run_msoa, MsoaConfig};
 use edge_market::auction::offline::offline_optimum_multi;
 use edge_market::auction::properties::check_individual_rationality;
+use edge_market::auction::recovery::{run_msoa_with_faults, FaultPlan, RecoveryConfig};
+use edge_market::auction::service::{
+    fnv1a64, parse_log, AuctionService, LogWriter, ServiceConfig, ServiceEvent,
+};
 use edge_market::auction::ssam::{run_ssam, SsamConfig};
 use edge_market::auction::variants::{run_variant, MsoaVariant};
 use edge_market::bench::scenario::{
@@ -196,4 +200,97 @@ fn simulation_transfers_follow_auction_outcomes() {
     }
     // The run completed with transfers applied; hot service exists.
     assert!(sim.service(hot).is_ok());
+}
+
+#[test]
+fn empty_event_log_service_is_bit_identical_to_plain_msoa() {
+    // The event-sourced service driven by round closes alone — an
+    // "empty" log, no wire events — must reproduce, stage for stage,
+    // a direct empty-fault-plan recovery run on the same instances;
+    // and that run in turn must be bit-identical to plain MSOA. This
+    // chains the service on top of the long-standing empty-plan ⇒
+    // plain-MSOA invariant.
+    let config = ServiceConfig {
+        seed: 9,
+        microservices: 8,
+        requests: 50,
+        total_rounds: 4,
+        stage_rounds: 2,
+        book_cap: 64,
+        demand_cap: 1000,
+    };
+    let provider = |stage: u64, rounds: u64| {
+        // The CLI's seeded stage contract, replicated through the
+        // public facade: stage k is `integrated_instance` on the paper
+        // parameters, seeded `derive_rng(seed + k, "cli-serve")`.
+        let params = PaperParams::default()
+            .with_microservices(config.microservices)
+            .with_rounds(rounds)
+            .with_requests(config.requests);
+        let mut rng = derive_rng(config.seed.wrapping_add(stage), "cli-serve");
+        integrated_instance(&params, SimConfig::default(), &mut rng)
+    };
+
+    // Drive the service with nothing but round closes, logging as the
+    // daemon would.
+    let mut svc = AuctionService::new(config, provider);
+    let mut buf = Vec::new();
+    let mut log = LogWriter::new(&mut buf, &config).expect("header");
+    let mut stage_digests = Vec::new();
+    for _ in 0..config.total_rounds {
+        let applied = svc.apply(&ServiceEvent::RoundClosed, None).expect("close");
+        log.append(&ServiceEvent::RoundClosed).expect("append");
+        if let Some(stage) = applied.stage {
+            stage_digests.push(stage.outcome_digest);
+        }
+    }
+    assert!(svc.horizon_complete());
+    assert_eq!(stage_digests.len(), 2, "4 rounds at 2 per stage");
+
+    // Each stage digest must equal a direct empty-plan recovery run —
+    // which itself must match plain MSOA bit for bit.
+    for (stage, digest) in stage_digests.iter().enumerate() {
+        let instance = provider(stage as u64, config.stage_rounds);
+        let faulty = run_msoa_with_faults(
+            &instance,
+            &MsoaConfig::pinned(2.0),
+            &FaultPlan::empty(),
+            &RecoveryConfig::default(),
+        )
+        .expect("recovery run");
+        let direct = format!(
+            "{:016x}",
+            fnv1a64(
+                serde_json::to_string(&faulty)
+                    .expect("serialize")
+                    .as_bytes()
+            )
+        );
+        assert_eq!(&direct, digest, "stage {stage} digest diverged");
+
+        let plain = run_msoa(&instance, &MsoaConfig::pinned(2.0)).expect("plain msoa");
+        assert_eq!(faulty.chi, plain.chi, "stage {stage}: χ diverged");
+        assert_eq!(
+            faulty.psi.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            plain.psi.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "stage {stage}: ψ diverged"
+        );
+        assert_eq!(
+            faulty.social_cost.value().to_bits(),
+            plain.social_cost.value().to_bits(),
+            "stage {stage}: social cost diverged"
+        );
+    }
+
+    // And the log round-trips: parse, replay, same digests.
+    let text = String::from_utf8(buf).expect("utf8");
+    let parsed = parse_log(&text, false).expect("chain verifies");
+    assert_eq!(parsed.records.len() as u64, config.total_rounds);
+    let mut replayed = AuctionService::new(parsed.config, provider);
+    replayed.apply_all(&parsed.records, None).expect("replay");
+    assert_eq!(replayed.state_digest_hex(), svc.state_digest_hex());
+    assert_eq!(
+        replayed.last_outcome_digest_hex(),
+        svc.last_outcome_digest_hex()
+    );
 }

@@ -17,6 +17,9 @@
 //!   and the CLI's `reproduce` command;
 //! * [`scale`] — the non-figure scale benchmark (`BENCH_scale.json`):
 //!   MSOA at up to 100k sellers, pricing phase timed per thread count;
+//! * [`federation`] — the fed-faults benchmark (`BENCH_federation.json`):
+//!   cross-platform fill rate and platform cost as seeded network
+//!   faults (drops, partitions) degrade the federation;
 //! * [`table`] — fixed-width table rendering and JSON export.
 //!
 //! Each figure has a matching binary: `cargo run -p edge-bench --release
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod federation;
 pub mod parallel;
 pub mod profile;
 pub mod report;

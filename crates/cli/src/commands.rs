@@ -51,6 +51,21 @@ pub enum CliError {
     Service(edge_auction::service::ServiceError),
     /// An event log failed to read, verify, or replay.
     Log(edge_auction::service::LogError),
+    /// A `--net-faults` plan file failed to parse.
+    NetFaults(crate::netfaults::NetFaultPlanError),
+    /// The federation refused to build or run; carries the detail.
+    Federation(String),
+    /// A federation event log failed to read, verify, or replay.
+    FedLog(edge_auction::federation::FedLogError),
+    /// A `replay` flag contradicts the value recorded in the log header.
+    ReplayConflict {
+        /// The conflicting flag.
+        flag: &'static str,
+        /// The value passed on the command line.
+        cli: String,
+        /// The value the log header records.
+        header: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -72,6 +87,15 @@ impl std::fmt::Display for CliError {
             CliError::Lint(e) => write!(f, "metrics lint failed: {e}"),
             CliError::Service(e) => write!(f, "service error: {e}"),
             CliError::Log(e) => write!(f, "event log error: {e}"),
+            CliError::NetFaults(e) => write!(f, "net-fault plan error: {e}"),
+            CliError::Federation(e) => write!(f, "federation error: {e}"),
+            CliError::FedLog(e) => write!(f, "federation log error: {e}"),
+            CliError::ReplayConflict { flag, cli, header } => write!(
+                f,
+                "--{flag} {cli} contradicts the log header (which records {flag} = {header}); \
+                 replay always uses the header — drop the flag, or pass --{flag} {header} \
+                 to assert it"
+            ),
         }
     }
 }
@@ -118,6 +142,16 @@ impl From<edge_auction::service::LogError> for CliError {
         CliError::Log(e)
     }
 }
+impl From<crate::netfaults::NetFaultPlanError> for CliError {
+    fn from(e: crate::netfaults::NetFaultPlanError) -> Self {
+        CliError::NetFaults(e)
+    }
+}
+impl From<edge_auction::federation::FedLogError> for CliError {
+    fn from(e: edge_auction::federation::FedLogError) -> Self {
+        CliError::FedLog(e)
+    }
+}
 
 /// Dispatches a parsed command line and returns the rendered output.
 ///
@@ -135,6 +169,7 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "reproduce" => reproduce(&args),
         "explain" => explain(&args),
         "serve" => serve(&args),
+        "federate" => crate::federate::federate(&args),
         "replay" => crate::replay::replay(&args),
         "bench" => match args.subcommand.as_deref() {
             Some("diff") => crate::bench_diff::bench_diff(&args),
@@ -177,6 +212,9 @@ COMMANDS:
                     --figure scale runs the (non-figure) scale benchmark
                     and writes a machine-readable report
                     [--scale-out FILE] [--scale-max-n N]
+                    --figure fed-faults runs the (non-figure) federation
+                    fault sweep and writes BENCH_federation.json
+                    [--fed-out FILE]
                     [--pricing-threads N]
                     (--pricing-threads: 0 = auto-detect, 1 = exact
                     sequential path, N = parallel payment replays;
@@ -207,12 +245,38 @@ COMMANDS:
                     [--event-log OUT.jsonl] [--queue-cap N]
                     [--book-cap N] [--demand-cap N]
                     [--trace OUT.jsonl] [--pricing-threads N]
+    federate        run a multi-platform federation over the
+                    deterministic in-process network substrate:
+                    platforms gossip post-stage surplus/prices and
+                    re-sell spare capacity via a two-phase offer/commit
+                    protocol with deterministic timeouts and bounded
+                    retries; partitioned platforms degrade to local-only
+                    clearing and reconcile on heal; every message and
+                    deal transition is folded into a digest-chained
+                    federation log (--fed-log) that replay re-executes
+                    byte-identically
+                    [--platforms K] [--net-faults PLAN.toml]
+                    [--seed N] [--microservices S] [--requests R]
+                    [--rounds N] [--stage-rounds T]
+                    [--round-ticks T] [--offer-timeout T]
+                    [--max-retries N] [--retries on|off]
+                    [--book-cap N] [--demand-cap N]
+                    [--fed-log OUT.jsonl] [--trace OUT.jsonl]
+                    [--pricing-threads N]
     replay          re-execute a recorded serve run from its event log,
                     offline: verifies the per-record digest chain, then
                     reproduces outcome digests and deterministic trace
                     sections byte-identically (at any --pricing-threads
                     setting); a trailing partial record from a mid-write
-                    crash is dropped with a note
+                    crash is dropped with a note; federation logs
+                    (federate --fed-log) are detected automatically and
+                    re-run through the network substrate with
+                    record-for-record verification; config flags
+                    (--seed, --microservices, --requests, --rounds,
+                    --stage-rounds, --book-cap, --demand-cap,
+                    --platforms) are assertions — replay always uses the
+                    log header and errors loudly when a flag contradicts
+                    it
                     <log.jsonl> [--trace OUT.jsonl]
                     [--pricing-threads N]
     bench diff      compare a fresh scale run (or --fresh FILE) against
@@ -580,6 +644,7 @@ fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
         "pricing-threads",
         "scale-out",
         "scale-max-n",
+        "fed-out",
     ])?;
     let seeds = args.get_or("seeds", edge_bench::DEFAULT_SEEDS)?;
     if let Some(raw) = args.get("parallel") {
@@ -595,6 +660,9 @@ fn reproduce(args: &ParsedArgs) -> Result<String, CliError> {
     // of `all`, and it writes its machine-readable report to a file.
     if figure == "scale" {
         return reproduce_scale(args, pinned_threads);
+    }
+    if figure == "fed-faults" {
+        return reproduce_fed_faults(args);
     }
     let names: Vec<&str> = if figure == "all" {
         edge_bench::report::FIGURES.to_vec()
@@ -662,6 +730,33 @@ fn reproduce_scale(args: &ParsedArgs, pinned_threads: Option<usize>) -> Result<S
         report.cells.len(),
         report.threads_available
     );
+    if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
+        fs::write(path, collector.to_jsonl())?;
+        let _ = writeln!(out, "trace: {} sweep events → {path}", collector.len());
+    }
+    Ok(out)
+}
+
+/// `reproduce --figure fed-faults`: run the federation fault sweep and
+/// write its machine-readable report
+/// ([`edge_bench::federation::FederationReport`]).
+fn reproduce_fed_faults(args: &ParsedArgs) -> Result<String, CliError> {
+    let out_path = args.get("fed-out").unwrap_or("BENCH_federation.json");
+    let seed = args.get_or("seeds", 7u64)?;
+    let collector = args.get("trace").map(|_| {
+        let c = std::sync::Arc::new(Collector::new());
+        edge_bench::profile::install(c.clone());
+        c
+    });
+    let report = edge_bench::federation::run_federation_sweep(seed);
+    if collector.is_some() {
+        edge_bench::profile::uninstall();
+    }
+    fs::write(out_path, report.to_json())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "Federation fault sweep ({})", report.schema);
+    out.push_str(&report.render());
+    let _ = writeln!(out, "report: {} cells → {out_path}", report.cells.len());
     if let (Some(path), Some(collector)) = (args.get("trace"), collector) {
         fs::write(path, collector.to_jsonl())?;
         let _ = writeln!(out, "trace: {} sweep events → {path}", collector.len());

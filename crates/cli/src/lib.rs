@@ -21,5 +21,7 @@ pub mod bench_diff;
 pub mod commands;
 pub mod explain;
 pub mod faults;
+pub mod federate;
+pub mod netfaults;
 pub mod replay;
 pub mod serve;

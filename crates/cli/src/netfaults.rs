@@ -1,0 +1,418 @@
+//! Net-fault-plan files: a hand-written parser for the TOML subset the
+//! `--net-faults` flag accepts.
+//!
+//! Like [`crate::faults`], the workspace carries no TOML dependency, so
+//! this module parses exactly what a [`NetFaultPlan`] needs:
+//!
+//! ```toml
+//! seed = 7                     # optional; defaults to --seed
+//!
+//! [link]                       # optional; defaults to the ideal link
+//! latency_min = 1
+//! latency_max = 3
+//! drop_probability = 0.3
+//! duplicate_probability = 0.05
+//! reorder_probability = 0.1
+//! reorder_max_extra = 2
+//!
+//! [[partitions]]
+//! from = 4        # inclusive
+//! until = 20      # exclusive (the heal tick); omit for "never heals"
+//! isolated = 2    # the platform cut off from everyone
+//! ```
+//!
+//! Supported: `#` comments, blank lines, one optional top-level `seed`,
+//! one optional `[link]` table, and any number of `[[partitions]]`
+//! entries. Anything else is a loud error naming the offending line — a
+//! plan that silently drops half its faults would invalidate every
+//! experiment run on it.
+
+use edge_net::{NetFaultPlan, PartitionWindow};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_net_fault_plan`], naming the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultPlanError {
+    /// A line that is neither a table header nor `key = value`.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A header naming an unknown table.
+    UnknownTable {
+        /// 1-based line number.
+        line: usize,
+        /// The header's table name.
+        name: String,
+    },
+    /// A key the current table (or the top level) does not define, or a
+    /// duplicate within one entry.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The table being filled (`"top level"` before any header).
+        table: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// A value that does not parse as the key's type.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key being assigned.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// A `[[partitions]]` entry missing a required key.
+    MissingKey {
+        /// 1-based line number of the entry's header.
+        line: usize,
+        /// The absent key.
+        key: &'static str,
+    },
+    /// The assembled plan failed [`NetFaultPlan::validate`].
+    Invalid(String),
+}
+
+impl fmt::Display for NetFaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFaultPlanError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            NetFaultPlanError::UnknownTable { line, name } => write!(
+                f,
+                "line {line}: unknown table [{name}] (expected [link] or [[partitions]])"
+            ),
+            NetFaultPlanError::UnknownKey { line, table, key } => {
+                write!(f, "line {line}: {table} has no key '{key}'")
+            }
+            NetFaultPlanError::InvalidValue { line, key, value } => {
+                write!(f, "line {line}: cannot parse '{value}' for key '{key}'")
+            }
+            NetFaultPlanError::MissingKey { line, key } => write!(
+                f,
+                "[[partitions]] entry at line {line} is missing required key '{key}'"
+            ),
+            NetFaultPlanError::Invalid(detail) => write!(f, "invalid plan: {detail}"),
+        }
+    }
+}
+
+impl Error for NetFaultPlanError {}
+
+/// Where keys currently land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Top,
+    Link,
+    Partition(usize),
+}
+
+const LINK_KEYS: &[&str] = &[
+    "latency_min",
+    "latency_max",
+    "drop_probability",
+    "duplicate_probability",
+    "reorder_probability",
+    "reorder_max_extra",
+];
+const PARTITION_KEYS: &[&str] = &["from", "until", "isolated"];
+
+/// Strips a trailing `#` comment (no string values in this grammar).
+fn strip_comment(line: &str) -> &str {
+    line.split_once('#').map_or(line, |(before, _)| before)
+}
+
+fn parse_u64(raw: &str, key: &str, line: usize) -> Result<u64, NetFaultPlanError> {
+    raw.parse().map_err(|_| NetFaultPlanError::InvalidValue {
+        line,
+        key: key.to_owned(),
+        value: raw.to_owned(),
+    })
+}
+
+fn parse_f64(raw: &str, key: &str, line: usize) -> Result<f64, NetFaultPlanError> {
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(NetFaultPlanError::InvalidValue {
+            line,
+            key: key.to_owned(),
+            value: raw.to_owned(),
+        }),
+    }
+}
+
+/// One `[[partitions]]` entry mid-parse.
+#[derive(Debug, Default)]
+struct RawPartition {
+    line: usize,
+    values: BTreeMap<String, (String, usize)>,
+}
+
+/// Parses a net-fault-plan file into a [`NetFaultPlan`].
+///
+/// `default_seed` is used when the file has no top-level `seed`;
+/// `platforms` bounds partition `isolated` indices during validation.
+///
+/// # Errors
+///
+/// Any [`NetFaultPlanError`], always naming the offending line (or the
+/// validation failure).
+pub fn parse_net_fault_plan(
+    text: &str,
+    default_seed: u64,
+    platforms: usize,
+) -> Result<NetFaultPlan, NetFaultPlanError> {
+    let mut plan = NetFaultPlan::ideal(default_seed);
+    let mut section = Section::Top;
+    let mut seen_top: BTreeMap<String, usize> = BTreeMap::new();
+    let mut seen_link: BTreeMap<String, usize> = BTreeMap::new();
+    let mut partitions: Vec<RawPartition> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if header.trim() != "partitions" {
+                return Err(NetFaultPlanError::UnknownTable {
+                    line: line_no,
+                    name: format!("[{}]", header.trim()),
+                });
+            }
+            partitions.push(RawPartition {
+                line: line_no,
+                values: BTreeMap::new(),
+            });
+            section = Section::Partition(partitions.len() - 1);
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            if header.trim() != "link" {
+                return Err(NetFaultPlanError::UnknownTable {
+                    line: line_no,
+                    name: header.trim().to_owned(),
+                });
+            }
+            section = Section::Link;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(NetFaultPlanError::Syntax {
+                line: line_no,
+                message: format!("expected [link], [[partitions]], or key = value, got '{line}'"),
+            });
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if value.is_empty() {
+            return Err(NetFaultPlanError::Syntax {
+                line: line_no,
+                message: format!("key '{key}' has no value"),
+            });
+        }
+        match section {
+            Section::Top => {
+                if key != "seed" || seen_top.insert(key.to_owned(), line_no).is_some() {
+                    return Err(NetFaultPlanError::UnknownKey {
+                        line: line_no,
+                        table: "the top level",
+                        key: key.to_owned(),
+                    });
+                }
+                plan.seed = parse_u64(value, key, line_no)?;
+            }
+            Section::Link => {
+                if !LINK_KEYS.contains(&key) || seen_link.insert(key.to_owned(), line_no).is_some()
+                {
+                    return Err(NetFaultPlanError::UnknownKey {
+                        line: line_no,
+                        table: "[link]",
+                        key: key.to_owned(),
+                    });
+                }
+                match key {
+                    "latency_min" => plan.link.latency_min = parse_u64(value, key, line_no)?,
+                    "latency_max" => plan.link.latency_max = parse_u64(value, key, line_no)?,
+                    "drop_probability" => {
+                        plan.link.drop_probability = parse_f64(value, key, line_no)?;
+                    }
+                    "duplicate_probability" => {
+                        plan.link.duplicate_probability = parse_f64(value, key, line_no)?;
+                    }
+                    "reorder_probability" => {
+                        plan.link.reorder_probability = parse_f64(value, key, line_no)?;
+                    }
+                    "reorder_max_extra" => {
+                        plan.link.reorder_max_extra = parse_u64(value, key, line_no)?;
+                    }
+                    _ => unreachable!("key checked against LINK_KEYS"),
+                }
+            }
+            Section::Partition(i) => {
+                let entry = &mut partitions[i];
+                if !PARTITION_KEYS.contains(&key) || entry.values.contains_key(key) {
+                    return Err(NetFaultPlanError::UnknownKey {
+                        line: line_no,
+                        table: "[[partitions]]",
+                        key: key.to_owned(),
+                    });
+                }
+                entry
+                    .values
+                    .insert(key.to_owned(), (value.to_owned(), line_no));
+            }
+        }
+    }
+
+    for entry in &partitions {
+        let require = |key: &'static str| -> Result<(&str, usize), NetFaultPlanError> {
+            entry
+                .values
+                .get(key)
+                .map(|(raw, line)| (raw.as_str(), *line))
+                .ok_or(NetFaultPlanError::MissingKey {
+                    line: entry.line,
+                    key,
+                })
+        };
+        let (from_raw, from_line) = require("from")?;
+        let (isolated_raw, isolated_line) = require("isolated")?;
+        // `until` is optional: an absent heal tick means "never heals".
+        let until = match entry.values.get("until") {
+            Some((raw, line)) => parse_u64(raw, "until", *line)?,
+            None => u64::MAX,
+        };
+        plan.partitions.push(PartitionWindow {
+            from: parse_u64(from_raw, "from", from_line)?,
+            until,
+            isolated: usize::try_from(parse_u64(isolated_raw, "isolated", isolated_line)?)
+                .expect("u64 fits usize on supported targets"),
+        });
+    }
+
+    plan.validate(platforms)
+        .map_err(|e| NetFaultPlanError::Invalid(e.to_string()))?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r"
+seed = 7
+
+[link]               # a moderately hostile link
+latency_min = 1
+latency_max = 3
+drop_probability = 0.3
+duplicate_probability = 0.05
+reorder_probability = 0.1
+reorder_max_extra = 2
+
+[[partitions]]
+from = 4
+until = 20
+isolated = 2
+
+[[partitions]]       # never heals
+from = 30
+isolated = 0
+";
+
+    #[test]
+    fn parses_a_full_plan() {
+        let plan = parse_net_fault_plan(GOOD, 99, 3).unwrap();
+        assert_eq!(plan.seed, 7, "file seed wins over the default");
+        assert_eq!((plan.link.latency_min, plan.link.latency_max), (1, 3));
+        assert!((plan.link.drop_probability - 0.3).abs() < 1e-12);
+        assert_eq!(plan.link.reorder_max_extra, 2);
+        assert_eq!(plan.partitions.len(), 2);
+        assert_eq!(plan.partitions[0].until, 20);
+        assert_eq!(plan.partitions[1].until, u64::MAX, "no heal tick");
+        assert!(plan.is_partitioned(2, 0, 10));
+        assert!(!plan.is_partitioned(2, 0, 25));
+    }
+
+    #[test]
+    fn empty_file_is_the_ideal_plan_with_the_default_seed() {
+        let plan = parse_net_fault_plan("# nothing\n", 42, 3).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert!(plan.is_ideal());
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        let err = parse_net_fault_plan("[link]\nbogus = 1", 0, 3).unwrap_err();
+        assert_eq!(
+            err,
+            NetFaultPlanError::UnknownKey {
+                line: 2,
+                table: "[link]",
+                key: "bogus".into()
+            }
+        );
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = parse_net_fault_plan("[oops]", 0, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            NetFaultPlanError::UnknownTable { line: 1, .. }
+        ));
+
+        let err = parse_net_fault_plan("[[oops]]", 0, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            NetFaultPlanError::UnknownTable { line: 1, .. }
+        ));
+
+        let err = parse_net_fault_plan("latency_min = 2", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::UnknownKey { line: 1, .. }));
+
+        let err = parse_net_fault_plan("[link]\nnot a pair", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::Syntax { line: 2, .. }));
+
+        let err = parse_net_fault_plan("[link]\ndrop_probability = lots", 0, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            NetFaultPlanError::InvalidValue { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_partition_key_names_the_entry_header() {
+        let err = parse_net_fault_plan("\n[[partitions]]\nfrom = 1", 0, 3).unwrap_err();
+        assert_eq!(
+            err,
+            NetFaultPlanError::MissingKey {
+                line: 2,
+                key: "isolated"
+            }
+        );
+    }
+
+    #[test]
+    fn semantic_validation_still_runs() {
+        // isolated = 9 is out of range for a 3-platform federation.
+        let err = parse_net_fault_plan("[[partitions]]\nfrom = 0\nisolated = 9", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::Invalid(_)));
+        // drop probability over 1 fails link validation.
+        let err = parse_net_fault_plan("[link]\ndrop_probability = 1.5", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::Invalid(_)));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse_net_fault_plan("seed = 1\nseed = 2", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::UnknownKey { line: 2, .. }));
+        let err =
+            parse_net_fault_plan("[link]\nlatency_min = 1\nlatency_min = 2", 0, 3).unwrap_err();
+        assert!(matches!(err, NetFaultPlanError::UnknownKey { line: 3, .. }));
+    }
+}

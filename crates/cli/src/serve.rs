@@ -146,12 +146,38 @@ pub fn new_log_writer(
     Ok(LogWriter::new(std::io::BufWriter::new(file), config)?)
 }
 
+/// A hook the drive loop invokes after every completed stage, with the
+/// number of stages completed so far. Runs on the drive thread, so a
+/// blocking hook *is* a barrier: the next stage cannot start until the
+/// hook returns. Tests use this to rendezvous with concurrent scrapers
+/// deterministically instead of sleeping and hoping.
+pub type StageHook = Box<dyn Fn(u64) + Send>;
+
 /// Shared daemon state the HTTP threads read and the drive loop writes.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ServeState {
     status: Mutex<StatusInner>,
     scrapes: Counter,
     shutdown: AtomicBool,
+    stage_hook: Mutex<Option<StageHook>>,
+}
+
+impl std::fmt::Debug for ServeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeState")
+            .field("status", &self.status)
+            .field("scrapes", &self.scrapes)
+            .field("shutdown", &self.shutdown)
+            .field(
+                "stage_hook",
+                &self
+                    .stage_hook
+                    .lock()
+                    .map(|h| h.is_some())
+                    .unwrap_or_default(),
+            )
+            .finish()
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -169,6 +195,11 @@ impl ServeState {
     /// Fresh state, not yet serving.
     pub fn new() -> Self {
         ServeState::default()
+    }
+
+    /// Installs the inter-stage hook (see [`StageHook`]).
+    pub fn set_stage_hook(&self, hook: impl Fn(u64) + Send + 'static) {
+        *self.stage_hook.lock().expect("stage hook lock poisoned") = Some(Box::new(hook));
     }
 
     /// Signals the drive loop and HTTP accept loop to exit.
@@ -347,6 +378,12 @@ pub fn drive_service<W: Write>(
                 inner.events = svc.events_applied();
                 inner.sellers_alive = stage.sellers_alive;
                 inner.last_digest = stage.outcome_digest;
+            }
+            {
+                let hook = state.stage_hook.lock().expect("stage hook lock poisoned");
+                if let Some(hook) = hook.as_ref() {
+                    hook(svc.stages_completed());
+                }
             }
             // Sleep between stages in short slices, draining ingress
             // throughout so wire clients never starve.

@@ -78,6 +78,12 @@ define_id!(
     BidId,
     "bid"
 );
+define_id!(
+    /// Identifier of a platform node in a multi-platform federation
+    /// (one event-sourced auction service per platform).
+    PlatformId,
+    "platform"
+);
 
 /// A round index in the time-slotted system of the paper (§II).
 ///

@@ -43,7 +43,7 @@ pub mod rng;
 pub mod units;
 
 pub use error::QuantityError;
-pub use id::{BidId, EdgeCloudId, MicroserviceId, Round, UserId};
+pub use id::{BidId, EdgeCloudId, MicroserviceId, PlatformId, Round, UserId};
 pub use indicator::{Indicator, ObservedIndicators};
-pub use rng::{derive_rng, seeded_rng, DeterministicRng};
+pub use rng::{derive_rng, fnv1a64, seeded_rng, DeterministicRng};
 pub use units::{Price, Resource};

@@ -53,6 +53,25 @@ pub fn derive_rng(root_seed: u64, stream: &str) -> DeterministicRng {
     ChaCha8Rng::seed_from_u64(root_seed ^ fnv1a(stream.as_bytes()))
 }
 
+/// FNV-1a 64-bit hash of a byte string.
+///
+/// The workspace's digest primitive: stream-label mixing here, event-log
+/// and network-tape digest chains downstream all fold through this.
+/// Tiny, dependency-free, and stable across releases — never change the
+/// constants, or every recorded log digest breaks.
+///
+/// # Examples
+///
+/// ```
+/// use edge_common::rng::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
 /// FNV-1a 64-bit hash — tiny, dependency-free, and stable across releases.
 fn fnv1a(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -66,6 +66,7 @@ pub mod baselines;
 pub mod bid;
 pub mod budget;
 pub mod error;
+pub mod federation;
 pub mod live;
 pub mod msoa;
 pub mod msoa_multi;

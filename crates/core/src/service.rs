@@ -300,6 +300,21 @@ pub struct StageSummary {
     pub winners: u64,
     /// Σ payments across the stage.
     pub total_payment: f64,
+    /// Σ unmet demand units across the stage's rounds — what a
+    /// federated platform would try to buy from a peer.
+    pub shortfall_units: u64,
+    /// Units actually committed across the stage (Σ χ_i).
+    pub units_sold: u64,
+    /// Capacity left unsold on non-blacklisted sellers — what a
+    /// federated platform could re-sell to a peer.
+    pub unsold_capacity: u64,
+}
+
+impl StageSummary {
+    /// Mean clearing price per sold unit, if anything sold.
+    pub fn unit_price(&self) -> Option<f64> {
+        (self.units_sold > 0).then(|| self.total_payment / self.units_sold as f64)
+    }
 }
 
 /// One standing book entry.
@@ -340,6 +355,9 @@ pub struct AuctionService<P> {
     last_outcome_digest: Option<u64>,
     last_sellers_alive: usize,
     events_applied: u64,
+    /// Extra fields stamped onto every stage's trace events (e.g. the
+    /// owning platform in a federation). Never folded into digests.
+    trace_scope: Vec<(&'static str, Value)>,
     live: ServiceLive,
 }
 
@@ -375,8 +393,17 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> AuctionService<P> {
             last_outcome_digest: None,
             last_sellers_alive: 0,
             events_applied: 0,
+            trace_scope: Vec::new(),
             live: ServiceLive::handle(),
         }
+    }
+
+    /// Stamps `fields` onto every subsequent stage's trace events,
+    /// before the `stage` coordinate. Used by the federation layer to
+    /// tag each platform's audit trail with its node id; digests are
+    /// unaffected (the trace is an observer, never an input).
+    pub fn set_trace_scope(&mut self, fields: Vec<(&'static str, Value)>) {
+        self.trace_scope = fields;
     }
 
     /// The static configuration.
@@ -627,8 +654,14 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> AuctionService<P> {
         let (instance, plan) = merge_stage(&base, &overlays)?;
 
         // Stamp this stage's audit trail exactly like the seeded serve
-        // loop always has, so multi-stage traces stay explainable.
-        let scoped = collector.map(|c| Scoped::new(c, vec![("stage", Value::from(self.stage))]));
+        // loop always has, so multi-stage traces stay explainable. Any
+        // ambient scope (e.g. a federation's platform id) goes first so
+        // `stage` reads as the innermost coordinate.
+        let scoped = collector.map(|c| {
+            let mut fields = self.trace_scope.clone();
+            fields.push(("stage", Value::from(self.stage)));
+            Scoped::new(c, fields)
+        });
         let trace = match &scoped {
             Some(s) => Trace::new(s),
             None => Trace::off(),
@@ -653,6 +686,14 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> AuctionService<P> {
             .zip(&outcome.chi)
             .filter(|(s, &chi)| chi < s.capacity)
             .count();
+        let unsold_capacity = instance
+            .sellers()
+            .iter()
+            .zip(&outcome.chi)
+            .zip(&outcome.blacklisted)
+            .filter(|(_, &blacklisted)| !blacklisted)
+            .map(|((s, &chi), _)| s.capacity.saturating_sub(chi))
+            .sum();
         let summary = StageSummary {
             stage: self.stage,
             rounds: n_rounds,
@@ -660,6 +701,9 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> AuctionService<P> {
             sellers_alive: self.last_sellers_alive,
             winners: stage_winners(&outcome),
             total_payment: outcome.platform_cost.value(),
+            shortfall_units: outcome.shortfall_units,
+            units_sold: outcome.chi.iter().sum(),
+            unsold_capacity,
         };
         self.winners += summary.winners;
         self.total_payment += summary.total_payment;

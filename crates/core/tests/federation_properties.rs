@@ -1,0 +1,264 @@
+//! Property suite for the federation protocol (DESIGN.md §14).
+//!
+//! Two invariants hold under arbitrary seeded noise:
+//!
+//! 1. **Message-level idempotency** — duplicate / late re-deliveries of
+//!    federation deal messages are answered (retransmitted replies) but
+//!    never re-applied: the standing book, the service state digest,
+//!    and every deal counter match exactly-once delivery of the same
+//!    causal schedule.
+//! 2. **Graceful degradation** — a platform partitioned away for the
+//!    whole run hears nothing and clears locally: its service ends in
+//!    exactly the state a standalone (single-platform) run produces,
+//!    for *any* seeded net-fault plan layered on top.
+
+use edge_auction::bid::{Bid, Seller};
+use edge_auction::federation::{
+    DealId, Effects, FedMsg, FederationConfig, FederationNode, FederationSim,
+};
+use edge_auction::msoa::{MultiRoundInstance, RoundInput};
+use edge_auction::service::{AuctionService, ServiceConfig, ServiceEvent};
+use edge_common::id::{BidId, MicroserviceId, PlatformId};
+use edge_common::rng::derive_rng;
+use edge_net::{NetFaultPlan, PartitionWindow};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// The tight-economy stage provider shared by every property: demand
+/// can outrun feasible supply, so shortfalls (and therefore deals)
+/// actually occur.
+fn provider(config: ServiceConfig) -> impl FnMut(u64, u64) -> MultiRoundInstance {
+    move |stage, rounds| {
+        let mut rng = derive_rng(config.seed.wrapping_add(stage), "fed-prop");
+        let n = config.microservices.max(1);
+        let rounds = rounds.max(1);
+        let sellers: Vec<Seller> = (0..n)
+            .map(|s| Seller::new(MicroserviceId::new(s), 8, (0, rounds - 1)).expect("window"))
+            .collect();
+        let inputs: Vec<RoundInput> = (0..rounds)
+            .map(|_| {
+                let bids: Vec<Bid> = (0..n)
+                    .map(|s| {
+                        let amount = 1 + rng.gen_range(0..3u64);
+                        let price = rng.gen_range(5.0..20.0);
+                        Bid::new(MicroserviceId::new(s), BidId::new(0), amount, price)
+                            .expect("valid bid")
+                    })
+                    .collect();
+                let demand = rng.gen_range(1..=config.requests.max(1));
+                RoundInput::new(demand, demand, bids)
+            })
+            .collect();
+        MultiRoundInstance::new(sellers, inputs).expect("valid instance")
+    }
+}
+
+fn base_service_config(seed: u64) -> ServiceConfig {
+    ServiceConfig {
+        seed,
+        microservices: 4,
+        requests: 18,
+        total_rounds: 8,
+        stage_rounds: 2,
+        book_cap: 256,
+        demand_cap: 100_000,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 1: idempotent message handling.
+// ---------------------------------------------------------------------
+
+/// One deal's worth of causally-ordered seller-side traffic.
+#[derive(Debug, Clone)]
+struct DealScript {
+    deal: DealId,
+    units: u64,
+}
+
+/// A delivery schedule: addressed messages in arrival order.
+type Schedule = Vec<(PlatformId, FedMsg)>;
+
+/// Builds the seller-side delivery schedule: deals interleaved by
+/// `picks` (within-deal causal order preserved: Offer before Commit),
+/// then `dup_specs` insert duplicates of already-delivered messages at
+/// strictly later positions — including past the end (late deliveries).
+fn schedules(
+    deals: &[DealScript],
+    picks: &[u64],
+    dup_specs: &[(u64, u64)],
+) -> (Schedule, Schedule) {
+    let mut remaining: Vec<(usize, u8)> = deals.iter().map(|_| (0usize, 2u8)).collect();
+    let mut base: Vec<(PlatformId, FedMsg)> = Vec::new();
+    let mut pick_iter = picks.iter().cycle();
+    while remaining.iter().any(|&(_, left)| left > 0) {
+        let open: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, left))| left > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let &pick = pick_iter.next().expect("cycled");
+        let which = open[(pick % open.len() as u64) as usize];
+        let script = &deals[which];
+        let step = remaining[which].0;
+        remaining[which].0 += 1;
+        remaining[which].1 -= 1;
+        let msg = if step == 0 {
+            FedMsg::Offer {
+                deal: script.deal,
+                units: script.units,
+                max_unit_price: 10.0,
+                attempt: 0,
+            }
+        } else {
+            FedMsg::Commit {
+                deal: script.deal,
+                attempt: 0,
+            }
+        };
+        base.push((script.deal.origin, msg));
+    }
+    let mut noisy = base.clone();
+    for &(src, gap) in dup_specs {
+        let src = (src % noisy.len() as u64) as usize;
+        let copy = noisy[src].clone();
+        let insert_at = src + 1 + (gap % (noisy.len() - src) as u64) as usize;
+        noisy.insert(insert_at, copy);
+    }
+    (base, noisy)
+}
+
+/// Runs a schedule against a fresh seller node, returning the final
+/// (state digest, book digest, applied, resold units, surplus).
+fn run_seller(schedule: &[(PlatformId, FedMsg)], surplus: u64) -> (String, String, u64, u64) {
+    let fed = FederationConfig::uniform(base_service_config(3), 4);
+    let config = fed.nodes[1];
+    let mut seller = FederationNode::new(PlatformId::new(1), 4, &fed, config, provider(config));
+    seller.seed_surplus(surplus, 2.0);
+    for (tick, (from, msg)) in schedule.iter().enumerate() {
+        let mut effects = Effects::default();
+        seller.handle(*from, msg.clone(), tick as u64 + 1, None, &mut effects);
+    }
+    (
+        seller.service().state_digest_hex(),
+        seller.service().book_digest_hex(),
+        seller.counters().deals_applied,
+        seller.counters().resold_units,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Duplicates and late re-deliveries of deal traffic change nothing:
+    /// same book, same state digest, same applied-deal accounting as
+    /// exactly-once delivery of the same causal schedule.
+    #[test]
+    fn duplicate_and_late_deliveries_are_idempotent(
+        n_deals in 1usize..6,
+        buyer_picks in proptest::collection::vec(0u64..1000, 4..24),
+        unit_picks in proptest::collection::vec(1u64..6, 6),
+        dup_specs in proptest::collection::vec((0u64..1000, 0u64..1000), 1..12),
+    ) {
+        let deals: Vec<DealScript> = (0..n_deals)
+            .map(|i| DealScript {
+                deal: DealId {
+                    // Buyers 0, 2, 3 (the node under test is 1).
+                    origin: PlatformId::new([0usize, 2, 3][i % 3]),
+                    seq: i as u64,
+                },
+                units: unit_picks[i % unit_picks.len()],
+            })
+            .collect();
+        let (base, noisy) = schedules(&deals, &buyer_picks, &dup_specs);
+        prop_assert!(noisy.len() > base.len());
+        let once = run_seller(&base, 10_000);
+        let dup = run_seller(&noisy, 10_000);
+        prop_assert_eq!(once, dup);
+    }
+
+    /// Buyer-side dedup: duplicate acks book a fill exactly once.
+    #[test]
+    fn duplicate_acks_book_once(
+        units in 1u64..20,
+        price in 1u32..40,
+        extra_acks in 1usize..6,
+    ) {
+        let fed = FederationConfig::uniform(base_service_config(5), 2);
+        let config = fed.nodes[0];
+        let mut buyer = FederationNode::new(PlatformId::new(0), 2, &fed, config, provider(config));
+        let deal = DealId { origin: PlatformId::new(0), seq: 0 };
+        let seller = PlatformId::new(1);
+        let ack = FedMsg::Ack { deal, units, unit_price: f64::from(price) };
+        for tick in 0..=extra_acks {
+            let mut effects = Effects::default();
+            buyer.handle(seller, ack.clone(), tick as u64 + 1, None, &mut effects);
+        }
+        prop_assert_eq!(buyer.counters().deals_filled, 1);
+        prop_assert_eq!(buyer.counters().filled_units, units);
+        prop_assert!((buyer.counters().cross_cost - units as f64 * f64::from(price)).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 2: graceful degradation under any seeded plan.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A platform isolated for the entire run ends byte-identical to a
+    /// standalone run of the same service config, whatever the link
+    /// model does to everyone else's traffic.
+    #[test]
+    fn full_run_partition_degrades_to_standalone(
+        seed in 0u64..500,
+        net_seed in 0u64..500,
+        drop in 0u32..100,
+        dup in 0u32..50,
+        reorder in 0u32..50,
+        latency_min in 1u64..4,
+        latency_span in 0u64..4,
+        isolated in 0usize..3,
+        extra_window in (0u64..20, 1u64..30, 0usize..3),
+    ) {
+        let config = FederationConfig::uniform(base_service_config(seed), 3);
+        let mut plan = NetFaultPlan::ideal(net_seed);
+        plan.link.drop_probability = f64::from(drop) / 100.0;
+        plan.link.duplicate_probability = f64::from(dup) / 100.0;
+        plan.link.reorder_probability = f64::from(reorder) / 100.0;
+        plan.link.reorder_max_extra = 3;
+        plan.link.latency_min = latency_min;
+        plan.link.latency_max = latency_min + latency_span;
+        plan.partitions.push(PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+            isolated,
+        });
+        let (from, len, node) = extra_window;
+        plan.partitions.push(PartitionWindow { from, until: from + len, isolated: node });
+
+        let mut sim = FederationSim::new(config.clone(), plan, |_, c| provider(c))
+            .expect("valid federation");
+        let outcome = sim.run(None).expect("run completes");
+
+        let node_config = config.nodes[isolated];
+        let mut standalone = AuctionService::new(node_config, provider(node_config));
+        while !standalone.horizon_complete() {
+            standalone
+                .apply(&ServiceEvent::RoundClosed, None)
+                .expect("standalone drive");
+        }
+        prop_assert_eq!(
+            &outcome.nodes[isolated].state_digest,
+            &standalone.state_digest_hex()
+        );
+        prop_assert_eq!(
+            &outcome.nodes[isolated].last_outcome_digest,
+            &standalone.last_outcome_digest_hex()
+        );
+        prop_assert_eq!(outcome.nodes[isolated].counters.filled_units, 0);
+        prop_assert_eq!(outcome.nodes[isolated].counters.resold_units, 0);
+    }
+}

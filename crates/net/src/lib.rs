@@ -1,0 +1,52 @@
+//! `edge-net` — a deterministic in-process network substrate.
+//!
+//! Multi-platform federation experiments (DESIGN.md §14) need a network
+//! that misbehaves *reproducibly*: the same seed must produce the same
+//! drops, latencies, duplications, and partitions on every run, on every
+//! machine, at any pricing-thread count. This crate provides that
+//! substrate without touching a socket:
+//!
+//! * a **logical clock** — time is an integer tick advanced only by
+//!   [`Network::tick`], so "latency" and "timeout" are exact counts,
+//!   never wall-clock races;
+//! * **seeded link models** ([`link::LinkModel`]) — per-message drop /
+//!   latency / duplication / reorder draws generated with
+//!   common-random-numbers (a fixed draw tuple per message identity, the
+//!   same discipline as `edge_auction::recovery::FaultPlan`), so raising
+//!   one fault probability *nests*: every message lost at `p = 0.1` is
+//!   still lost at `p = 0.3`, and surviving messages keep identical
+//!   latencies;
+//! * **scriptable partitions** ([`plan::PartitionWindow`]) — tick
+//!   intervals during which one node is isolated from every peer, with
+//!   an explicit heal time, checked at both send and delivery time so a
+//!   message can be stranded by a partition that starts while it is in
+//!   flight;
+//! * a **digest-chained event tape** ([`substrate::NetEvent`]) — every
+//!   send, drop, duplication, and delivery folds into an FNV-1a chain
+//!   ([`Network::digest_hex`]), so two runs agree iff their entire
+//!   network histories agree byte-for-byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use edge_net::{Network, NetFaultPlan};
+//!
+//! let mut net: Network<String> = Network::new(2, NetFaultPlan::ideal(7)).unwrap();
+//! net.send(0, 1, "hello".to_owned());
+//! let delivered = net.tick(); // ideal link: latency is exactly one tick
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].payload, "hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod link;
+pub mod live;
+pub mod plan;
+pub mod substrate;
+
+pub use link::LinkModel;
+pub use live::preregister;
+pub use plan::{NetConfigError, NetFaultPlan, PartitionWindow};
+pub use substrate::{Delivery, DropReason, NetEvent, NetStats, Network};

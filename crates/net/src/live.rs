@@ -1,0 +1,73 @@
+//! Live `edge_net_*` metric families.
+//!
+//! Mirrors the `edge_auction_*` / `edge_service_*` instrumentation
+//! idiom: handles are looked up once per [`crate::Network`] (one
+//! registry lock per family) and bumped with relaxed atomics on the
+//! substrate's hot paths. Recording only ever *reads* network state, so
+//! scraping can never perturb a deterministic tape.
+
+use edge_telemetry::registry::global;
+use edge_telemetry::{Counter, Gauge};
+use std::sync::Arc;
+
+/// Registry handles for the network substrate families.
+#[derive(Debug)]
+pub(crate) struct NetLive {
+    pub(crate) sent: Arc<Counter>,
+    pub(crate) delivered: Arc<Counter>,
+    pub(crate) dropped_loss: Arc<Counter>,
+    pub(crate) dropped_partition: Arc<Counter>,
+    pub(crate) duplicated: Arc<Counter>,
+    pub(crate) in_flight: Arc<Gauge>,
+    pub(crate) clock: Arc<Gauge>,
+}
+
+impl NetLive {
+    /// Looks up (registering on first use) every net family.
+    pub(crate) fn handle() -> Self {
+        let r = global();
+        NetLive {
+            sent: r.counter(
+                "edge_net_messages_sent_total",
+                "Messages handed to the deterministic network substrate",
+                &[],
+            ),
+            delivered: r.counter(
+                "edge_net_messages_delivered_total",
+                "Messages delivered by the substrate (duplicates included)",
+                &[],
+            ),
+            dropped_loss: r.counter(
+                "edge_net_messages_dropped_total",
+                "Messages discarded by the substrate",
+                &[("reason", "loss")],
+            ),
+            dropped_partition: r.counter(
+                "edge_net_messages_dropped_total",
+                "Messages discarded by the substrate",
+                &[("reason", "partition")],
+            ),
+            duplicated: r.counter(
+                "edge_net_messages_duplicated_total",
+                "Extra copies scheduled by the duplication model",
+                &[],
+            ),
+            in_flight: r.gauge(
+                "edge_net_inflight_messages",
+                "Messages currently queued for delivery",
+                &[],
+            ),
+            clock: r.gauge(
+                "edge_net_logical_clock",
+                "Current logical tick of the most recently advanced network",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Registers every `edge_net_*` family up front so `/metrics` shows the
+/// complete catalogue (at zero) before the first federation runs.
+pub fn preregister() {
+    let _ = NetLive::handle();
+}

@@ -1,0 +1,171 @@
+//! Net-fault plans: seed, link model, and scripted partitions.
+//!
+//! A [`NetFaultPlan`] is the *entire* stochastic configuration of a
+//! [`crate::Network`]. It serializes into log headers so a federation
+//! run can be replayed byte-identically, and it is the unit the CLI's
+//! `--net-faults plan.toml` parses into.
+
+use crate::link::LinkModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scripted partition: node `isolated` can neither send to nor
+/// receive from any peer while `from <= tick < until` (`until` is the
+/// heal time). Partitions are checked at send *and* delivery time, so
+/// a window that opens mid-flight strands the messages inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// First tick of the partition (inclusive).
+    pub from: u64,
+    /// Heal tick (exclusive) — the first tick traffic flows again.
+    pub until: u64,
+    /// The node cut off from every peer.
+    pub isolated: usize,
+}
+
+/// The full deterministic fault configuration for one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetFaultPlan {
+    /// Root seed for every per-message draw stream.
+    pub seed: u64,
+    /// The link model shared by every ordered pair of nodes.
+    pub link: LinkModel,
+    /// Scripted partition windows, applied independently.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl NetFaultPlan {
+    /// The ideal network: one-tick links, no faults, no partitions.
+    pub fn ideal(seed: u64) -> Self {
+        NetFaultPlan {
+            seed,
+            link: LinkModel::default(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// True when the plan injects nothing (drops, duplication, reorder,
+    /// partitions) and latency is the fixed one-tick minimum.
+    pub fn is_ideal(&self) -> bool {
+        self.link == LinkModel::default() && self.partitions.is_empty()
+    }
+
+    /// Checks the link model and every partition window.
+    ///
+    /// # Errors
+    ///
+    /// [`NetConfigError`] naming the offending field.
+    pub fn validate(&self, nodes: usize) -> Result<(), NetConfigError> {
+        self.link.validate().map_err(NetConfigError::Link)?;
+        for (i, w) in self.partitions.iter().enumerate() {
+            if w.from >= w.until {
+                return Err(NetConfigError::Partition {
+                    index: i,
+                    message: format!("empty window: from {} >= until {}", w.from, w.until),
+                });
+            }
+            if w.isolated >= nodes {
+                return Err(NetConfigError::Partition {
+                    index: i,
+                    message: format!("isolated node {} out of range (< {nodes})", w.isolated),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `a` and `b` cannot exchange messages at `tick`.
+    pub fn is_partitioned(&self, a: usize, b: usize, tick: u64) -> bool {
+        a != b
+            && self
+                .partitions
+                .iter()
+                .any(|w| (w.isolated == a || w.isolated == b) && w.from <= tick && tick < w.until)
+    }
+}
+
+/// A rejected net-fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetConfigError {
+    /// The link model failed validation.
+    Link(String),
+    /// A partition window failed validation.
+    Partition {
+        /// Index into [`NetFaultPlan::partitions`].
+        index: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The network needs at least two nodes to be interesting — but one
+    /// is allowed; zero is not.
+    NoNodes,
+}
+
+impl fmt::Display for NetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetConfigError::Link(message) => write!(f, "invalid link model: {message}"),
+            NetConfigError::Partition { index, message } => {
+                write!(f, "invalid partition window #{index}: {message}")
+            }
+            NetConfigError::NoNodes => write!(f, "network needs at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for NetConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_isolates_both_directions_then_heals() {
+        let mut plan = NetFaultPlan::ideal(1);
+        plan.partitions.push(PartitionWindow {
+            from: 5,
+            until: 8,
+            isolated: 1,
+        });
+        assert!(!plan.is_partitioned(0, 1, 4));
+        assert!(plan.is_partitioned(0, 1, 5));
+        assert!(plan.is_partitioned(1, 0, 7));
+        assert!(!plan.is_partitioned(0, 1, 8), "heal tick reopens the link");
+        assert!(!plan.is_partitioned(0, 2, 6), "third parties unaffected");
+    }
+
+    #[test]
+    fn validate_rejects_bad_windows_and_links() {
+        let mut plan = NetFaultPlan::ideal(1);
+        plan.partitions.push(PartitionWindow {
+            from: 8,
+            until: 8,
+            isolated: 0,
+        });
+        assert!(matches!(
+            plan.validate(3),
+            Err(NetConfigError::Partition { index: 0, .. })
+        ));
+        plan.partitions[0].until = 9;
+        plan.partitions[0].isolated = 3;
+        assert!(plan.validate(3).is_err());
+        plan.partitions[0].isolated = 2;
+        assert!(plan.validate(3).is_ok());
+        plan.link.drop_probability = 1.5;
+        assert!(matches!(plan.validate(3), Err(NetConfigError::Link(_))));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let mut plan = NetFaultPlan::ideal(42);
+        plan.link.drop_probability = 0.25;
+        plan.partitions.push(PartitionWindow {
+            from: 1,
+            until: 10,
+            isolated: 2,
+        });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: NetFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -227,6 +227,13 @@ COMMANDS:
                     --summary renders a one-screen per-round aggregate
                     table instead (winners, payments, pricing effort)
                     --trace FILE --summary
+                    --deal DEAL reconstructs one re-sell deal's causal
+                    timeline (spans, retransmits, drops, expiries) from
+                    a federation log or federation trace, re-deriving
+                    fill units and resale revenue against the recorded
+                    node counters; --deals renders the all-deals table
+                    --trace FED_LOG_OR_TRACE --deal platform#0/1
+                    --trace FED_LOG_OR_TRACE --deals
     serve           run the event-sourced serving daemon: seeded MSOA
                     stages over a workload-generated arrival stream,
                     with /metrics (Prometheus text format), /healthz,
@@ -254,7 +261,9 @@ COMMANDS:
                     clearing and reconcile on heal; every message and
                     deal transition is folded into a digest-chained
                     federation log (--fed-log) that replay re-executes
-                    byte-identically
+                    byte-identically; --trace additionally records each
+                    deal's causal lifecycle (span ids deal#hop, with
+                    fed_seq provenance into the log) for explain --deal
                     [--platforms K] [--net-faults PLAN.toml]
                     [--seed N] [--microservices S] [--requests R]
                     [--rounds N] [--stage-rounds T]
@@ -288,6 +297,9 @@ COMMANDS:
                     [--tolerance F (relative, default 1.0)]
     metrics-lint    validate a Prometheus text-format exposition file
                     --file FILE (use - for stdin)
+                    [--require fam1,fam2,...] asserts the named metric
+                    families are present (exits nonzero listing any
+                    missing)
     help            show this text
 "
     .to_owned()
@@ -764,11 +776,34 @@ fn reproduce_fed_faults(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// The `explain` command: narrate one recorded round, or aggregate the
-/// whole trace with `--summary` (see [`crate::explain`]).
+/// The `explain` command: narrate one recorded round (or aggregate the
+/// whole trace with `--summary`, see [`crate::explain`]), or — for a
+/// federation log / federation trace — reconstruct re-sell deal
+/// timelines with `--deal` / `--deals` (see [`crate::fed_explain`]).
 fn explain(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["trace", "round", "seller", "summary"])?;
+    args.allow_only(&["trace", "round", "seller", "summary", "deal", "deals"])?;
     let path = args.require("trace")?;
+    let deal_mode = args.get("deal").is_some() || args.get("deals").is_some();
+    if deal_mode {
+        for conflicting in ["round", "seller", "summary"] {
+            if args.get(conflicting).is_some() {
+                return Err(CliError::Federation(format!(
+                    "--{conflicting} narrates auction rounds; \
+                     --deal/--deals reconstruct federation deals — pick one"
+                )));
+            }
+        }
+        return explain_deals(args, path);
+    }
+    let text = fs::read_to_string(path)?;
+    if edge_auction::federation::is_fed_log(&text) {
+        return Err(CliError::Federation(
+            "this is a federation log, not an auction trace; use \
+             `explain --trace <log> --deal <id>` (or --deals) for deal \
+             timelines, or `replay --log <log>` to re-execute it"
+                .to_owned(),
+        ));
+    }
     if args.get("summary").is_some() {
         if args.get("round").is_some() {
             return Err(CliError::FlagConflict("summary", "round"));
@@ -776,7 +811,7 @@ fn explain(args: &ParsedArgs) -> Result<String, CliError> {
         if args.get("seller").is_some() {
             return Err(CliError::FlagConflict("summary", "seller"));
         }
-        let events = parse_trace(&fs::read_to_string(path)?)?;
+        let events = parse_trace(&text)?;
         return Ok(crate::explain::explain_summary(&events)?);
     }
     let round: u64 = match args.get("round") {
@@ -793,8 +828,46 @@ fn explain(args: &ParsedArgs) -> Result<String, CliError> {
             value: raw.to_owned(),
         })?),
     };
-    let events = parse_trace(&fs::read_to_string(path)?)?;
+    let events = parse_trace(&text)?;
     Ok(explain_round(&events, round, seller)?)
+}
+
+/// The `--deal` / `--deals` arm of `explain`: build a [`DealLedger`]
+/// from a federation log or a federation trace, then render either one
+/// deal's causal timeline or the all-deals summary table.
+///
+/// [`DealLedger`]: crate::fed_explain::DealLedger
+fn explain_deals(args: &ParsedArgs, path: &str) -> Result<String, CliError> {
+    if args.get("deal").is_some() && args.get("deals").is_some() {
+        return Err(CliError::FlagConflict("deal", "deals"));
+    }
+    let text = fs::read_to_string(path)?;
+    let ledger = if edge_auction::federation::is_fed_log(&text) {
+        let log = edge_auction::federation::parse_fed_log(&text)?;
+        crate::fed_explain::ledger_from_fed_log(&log)
+    } else {
+        let events = parse_trace(&text)?;
+        let ledger = crate::fed_explain::ledger_from_trace(&events);
+        if ledger.is_empty() {
+            return Err(CliError::Federation(
+                "no fed.* events in this trace — deal timelines need a \
+                 `federate --trace` trace or a `federate --fed-log` log"
+                    .to_owned(),
+            ));
+        }
+        ledger
+    };
+    match args.get("deal") {
+        Some(raw) => {
+            let deal =
+                crate::fed_explain::parse_deal_id(raw).ok_or_else(|| ArgsError::InvalidValue {
+                    flag: "deal".into(),
+                    value: raw.to_owned(),
+                })?;
+            ledger.render_deal(deal)
+        }
+        None => ledger.render_deals(),
+    }
 }
 
 /// The `serve` command: start the HTTP endpoints (unless `--http off`),
@@ -849,11 +922,13 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::FlagConflict("ingest", "http"));
     }
 
-    // The full metric catalog (auction + recovery + service + sim
-    // families) must be visible on the very first scrape, before any
-    // round has run.
+    // The full metric catalog (auction + recovery + service + sim +
+    // federation + net families) must be visible on the very first
+    // scrape, before any round has run.
     edge_auction::live::preregister();
+    edge_auction::federation::preregister_federation_metrics();
     edge_sim::live::preregister();
+    edge_net::preregister();
     crate::serve::preregister_ingress();
 
     let (ingress_tx, ingress_rx) = if http && ingest {
@@ -916,8 +991,10 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// The `metrics-lint` command: validate a Prometheus text-format file
 /// (`--file -` reads stdin). CI pipes scraped `/metrics` output here.
+/// `--require a,b,c` additionally asserts that the named families are
+/// present — how CI pins the `edge_fed_*` / `edge_net_*` catalogue.
 fn metrics_lint(args: &ParsedArgs) -> Result<String, CliError> {
-    args.allow_only(&["file"])?;
+    args.allow_only(&["file", "require"])?;
     let path = args.require("file")?;
     let text = if path == "-" {
         let mut buf = String::new();
@@ -926,12 +1003,33 @@ fn metrics_lint(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         fs::read_to_string(path)?
     };
-    match edge_telemetry::registry::validate_exposition(&text) {
-        Ok((families, samples)) => Ok(format!(
-            "exposition ok: {families} families, {samples} samples\n"
-        )),
-        Err(e) => Err(CliError::Lint(e)),
+    let (families, samples) = match edge_telemetry::registry::validate_exposition(&text) {
+        Ok(counts) => counts,
+        Err(e) => return Err(CliError::Lint(e)),
+    };
+    let mut out = format!("exposition ok: {families} families, {samples} samples\n");
+    if let Some(required) = args.get("require") {
+        let exposition =
+            edge_telemetry::registry::parse_exposition(&text).map_err(CliError::Lint)?;
+        let wanted: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .collect();
+        let missing: Vec<&str> = wanted
+            .iter()
+            .copied()
+            .filter(|name| !exposition.families.contains_key(*name))
+            .collect();
+        if !missing.is_empty() {
+            return Err(CliError::Lint(format!(
+                "missing required families: {}",
+                missing.join(", ")
+            )));
+        }
+        let _ = writeln!(out, "required families present: {0}/{0}", wanted.len());
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1278,6 +1376,42 @@ mod tests {
         assert!(err.to_string().contains("non-monotone"), "{err}");
         let _ = std::fs::remove_file(good);
         let _ = std::fs::remove_file(bad);
+    }
+
+    #[test]
+    fn metrics_lint_require_asserts_family_presence() {
+        let path = temp_path("require.prom");
+        std::fs::write(
+            &path,
+            "# HELP x h\n# TYPE x counter\nx 1\n# HELP y h\n# TYPE y gauge\ny 2\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+
+        let out = run(parsed(&["metrics-lint", "--file", p, "--require", "x,y"])).unwrap();
+        assert!(out.contains("required families present: 2/2"), "{out}");
+
+        let err = run(parsed(&[
+            "metrics-lint",
+            "--file",
+            p,
+            "--require",
+            "x,edge_fed_deals_opened_total,edge_net_latency_ticks",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Lint(_)));
+        let message = err.to_string();
+        assert!(
+            message.contains(
+                "missing required families: edge_fed_deals_opened_total, edge_net_latency_ticks"
+            ),
+            "{message}"
+        );
+        assert!(
+            !message.contains("x,"),
+            "present families are not listed: {message}"
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

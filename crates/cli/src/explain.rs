@@ -25,18 +25,22 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    fn str(&self, key: &str) -> Option<&str> {
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Option<&str> {
         match self.fields.get(key) {
             Some(Value::Str(s)) => Some(s),
             _ => None,
         }
     }
 
-    fn f64(&self, key: &str) -> Option<f64> {
+    pub(crate) fn f64(&self, key: &str) -> Option<f64> {
         self.fields.get(key).and_then(Value::as_f64)
     }
 
-    fn u64(&self, key: &str) -> Option<u64> {
+    pub(crate) fn u64(&self, key: &str) -> Option<u64> {
         match self.fields.get(key) {
             Some(&Value::U64(u)) => Some(u),
             Some(&Value::F64(f)) if f.fract() == 0.0 && f >= 0.0 => Some(f as u64),
@@ -44,7 +48,7 @@ impl TraceEvent {
         }
     }
 
-    fn bool(&self, key: &str) -> Option<bool> {
+    pub(crate) fn bool(&self, key: &str) -> Option<bool> {
         match self.fields.get(key) {
             Some(&Value::Bool(b)) => Some(b),
             _ => None,

@@ -1,0 +1,958 @@
+//! `explain --deal` / `--deals`: reconstruct re-sell deal timelines
+//! from a federation log (`federate --fed-log`) or a federation trace
+//! (`federate --trace`).
+//!
+//! Like the per-round explain, this is an audit, not a pretty-printer:
+//! every committed deal's fill units and resale revenue are re-derived
+//! from the raw events — accumulating in the same chronological order
+//! the run used, so f64 sums are bit-exact — and verified against the
+//! `NodeCounters` the run recorded in its end-of-run `NodeSummary`
+//! records. Any drift between the protocol and its audit trail fails
+//! loudly (`deals verified: N/N` drops below N).
+
+use crate::commands::CliError;
+use crate::explain::TraceEvent;
+use edge_auction::federation::{
+    msg_deal, msg_kind, DealId, FedEvent, FedLog, FedMsg, FedPacket, NodeCounters,
+};
+use edge_common::id::PlatformId;
+use edge_net::{DropReason, NetEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parses a deal id: `platform#0/3` (the canonical rendering) or the
+/// `0/3` shorthand.
+pub fn parse_deal_id(raw: &str) -> Option<DealId> {
+    let rest = raw.strip_prefix("platform#").unwrap_or(raw);
+    let (origin, seq) = rest.split_once('/')?;
+    Some(DealId {
+        origin: PlatformId::new(origin.parse().ok()?),
+        seq: seq.parse().ok()?,
+    })
+}
+
+/// One normalized deal-lifecycle step, shared by the fed-log and trace
+/// front ends. `fed_seq` is the chained log record the step folds under.
+enum Step {
+    Sent {
+        tick: u64,
+        from: usize,
+        to: usize,
+        kind: String,
+        attempt: Option<u64>,
+        deal: DealId,
+        hop: u64,
+    },
+    Dropped {
+        tick: u64,
+        kind: String,
+        deal: DealId,
+        partition: bool,
+    },
+    Duplicated {
+        tick: u64,
+        kind: String,
+        deal: DealId,
+        deliver_at: u64,
+    },
+    Delivered {
+        tick: u64,
+        kind: String,
+        deal: DealId,
+        to: usize,
+        duplicate: bool,
+    },
+    Opened {
+        tick: u64,
+        buyer: usize,
+        seller: usize,
+        deal: DealId,
+        units: u64,
+        cap: f64,
+    },
+    Reserved {
+        tick: u64,
+        seller: usize,
+        deal: DealId,
+        units: u64,
+        price: f64,
+        expires: u64,
+    },
+    Rejected {
+        tick: u64,
+        seller: usize,
+        deal: DealId,
+        code: String,
+    },
+    Applied {
+        tick: u64,
+        seller: usize,
+        deal: DealId,
+        units: u64,
+        price: f64,
+    },
+    Filled {
+        tick: u64,
+        buyer: usize,
+        deal: DealId,
+        units: u64,
+        price: f64,
+        late: bool,
+    },
+    Timeout {
+        tick: u64,
+        node: usize,
+        deal: DealId,
+        phase: String,
+        attempt: u64,
+        retrying: bool,
+    },
+    Aborted {
+        tick: u64,
+        node: usize,
+        deal: DealId,
+        phase: String,
+    },
+    Unresolved {
+        tick: u64,
+        node: usize,
+        deal: DealId,
+    },
+    Expired {
+        tick: u64,
+        seller: usize,
+        deal: DealId,
+        units: u64,
+    },
+    Summary {
+        node: usize,
+        recorded: Recorded,
+    },
+}
+
+/// The recorded counters the audit verifies against (a subset of
+/// [`NodeCounters`], available from both input formats).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Recorded {
+    deals_applied: u64,
+    deals_filled: u64,
+    resold_units: u64,
+    filled_units: u64,
+    resale_revenue: f64,
+    cross_cost: f64,
+}
+
+impl From<&NodeCounters> for Recorded {
+    fn from(c: &NodeCounters) -> Self {
+        Recorded {
+            deals_applied: c.deals_applied,
+            deals_filled: c.deals_filled,
+            resold_units: c.resold_units,
+            filled_units: c.filled_units,
+            resale_revenue: c.resale_revenue,
+            cross_cost: c.cross_cost,
+        }
+    }
+}
+
+/// What one deal went through, reconstructed.
+#[derive(Debug, Default)]
+struct DealState {
+    timeline: Vec<String>,
+    buyer: Option<usize>,
+    seller: Option<usize>,
+    requested: Option<u64>,
+    /// Seller-side application terms `(units, price, seller)`.
+    applied: Option<(u64, f64, usize)>,
+    /// Buyer-side booked fill `(units, price, buyer, late)`.
+    filled: Option<(u64, f64, usize, bool)>,
+    aborted: Option<String>,
+    unresolved: bool,
+}
+
+impl DealState {
+    fn status(&self) -> String {
+        match (&self.applied, &self.filled, &self.aborted, self.unresolved) {
+            (Some(_), Some((_, _, _, true)), _, _) => "filled (late)".to_owned(),
+            (Some(_), Some(_), _, _) => "filled".to_owned(),
+            (Some(_), None, _, _) => "applied, fill unconfirmed".to_owned(),
+            (None, _, Some(phase), _) => format!("aborted ({phase})"),
+            (None, _, None, true) => "unresolved".to_owned(),
+            _ => "open".to_owned(),
+        }
+    }
+}
+
+/// Everything reconstructed from one input: per-deal timelines plus the
+/// per-node derivation/verification state.
+#[derive(Debug, Default)]
+pub struct DealLedger {
+    deals: BTreeMap<DealId, DealState>,
+    recorded: BTreeMap<usize, Recorded>,
+    derived: BTreeMap<usize, Recorded>,
+}
+
+/// Builds the ledger from a parsed, chain-verified federation log.
+pub fn ledger_from_fed_log(log: &FedLog) -> DealLedger {
+    // Send seq → (deal, hop, kind, attempt), so substrate events (which
+    // carry only the seq) regain deal provenance.
+    let mut meta: BTreeMap<u64, (DealId, u64, &'static str, Option<u32>)> = BTreeMap::new();
+    let mut steps = Vec::new();
+    for record in &log.records {
+        let step = match &record.event {
+            FedEvent::Net(net) => match net {
+                NetEvent::Sent {
+                    tick,
+                    seq,
+                    from,
+                    to,
+                    payload,
+                } => {
+                    let Ok(packet) = serde_json::from_str::<FedPacket>(payload) else {
+                        continue;
+                    };
+                    let Some(deal) = msg_deal(&packet.msg) else {
+                        continue; // gossip: not part of any deal timeline
+                    };
+                    let attempt = match &packet.msg {
+                        FedMsg::Offer { attempt, .. } | FedMsg::Commit { attempt, .. } => {
+                            Some(*attempt)
+                        }
+                        _ => None,
+                    };
+                    let kind = msg_kind(&packet.msg);
+                    meta.insert(*seq, (deal, packet.hop, kind, attempt));
+                    Step::Sent {
+                        tick: *tick,
+                        from: *from,
+                        to: *to,
+                        kind: kind.to_owned(),
+                        attempt: attempt.map(u64::from),
+                        deal,
+                        hop: packet.hop,
+                    }
+                }
+                NetEvent::Dropped {
+                    tick, seq, reason, ..
+                } => {
+                    let Some((deal, _, kind, _)) = meta.get(seq) else {
+                        continue;
+                    };
+                    Step::Dropped {
+                        tick: *tick,
+                        kind: (*kind).to_owned(),
+                        deal: *deal,
+                        partition: *reason == DropReason::Partition,
+                    }
+                }
+                NetEvent::Duplicated {
+                    tick,
+                    seq,
+                    deliver_at,
+                    ..
+                } => {
+                    let Some((deal, _, kind, _)) = meta.get(seq) else {
+                        continue;
+                    };
+                    Step::Duplicated {
+                        tick: *tick,
+                        kind: (*kind).to_owned(),
+                        deal: *deal,
+                        deliver_at: *deliver_at,
+                    }
+                }
+                NetEvent::Delivered {
+                    tick,
+                    seq,
+                    to,
+                    duplicate,
+                    ..
+                } => {
+                    let Some((deal, _, kind, _)) = meta.get(seq) else {
+                        continue;
+                    };
+                    Step::Delivered {
+                        tick: *tick,
+                        kind: (*kind).to_owned(),
+                        deal: *deal,
+                        to: *to,
+                        duplicate: *duplicate,
+                    }
+                }
+            },
+            FedEvent::Timeout {
+                tick,
+                node,
+                deal,
+                phase,
+                attempt,
+                retrying,
+            } => Step::Timeout {
+                tick: *tick,
+                node: *node,
+                deal: *deal,
+                phase: phase.clone(),
+                attempt: u64::from(*attempt),
+                retrying: *retrying,
+            },
+            FedEvent::DealOpened {
+                tick,
+                buyer,
+                seller,
+                deal,
+                units,
+                max_unit_price,
+            } => Step::Opened {
+                tick: *tick,
+                buyer: *buyer,
+                seller: *seller,
+                deal: *deal,
+                units: *units,
+                cap: *max_unit_price,
+            },
+            FedEvent::DealReserved {
+                tick,
+                seller,
+                deal,
+                units,
+                unit_price,
+                expires,
+            } => Step::Reserved {
+                tick: *tick,
+                seller: *seller,
+                deal: *deal,
+                units: *units,
+                price: *unit_price,
+                expires: *expires,
+            },
+            FedEvent::DealRejected {
+                tick,
+                seller,
+                deal,
+                code,
+            } => Step::Rejected {
+                tick: *tick,
+                seller: *seller,
+                deal: *deal,
+                code: code.clone(),
+            },
+            FedEvent::DealApplied {
+                tick,
+                seller,
+                deal,
+                units,
+                unit_price,
+            } => Step::Applied {
+                tick: *tick,
+                seller: *seller,
+                deal: *deal,
+                units: *units,
+                price: *unit_price,
+            },
+            FedEvent::DealFilled {
+                tick,
+                buyer,
+                deal,
+                units,
+                unit_price,
+                late,
+            } => Step::Filled {
+                tick: *tick,
+                buyer: *buyer,
+                deal: *deal,
+                units: *units,
+                price: *unit_price,
+                late: *late,
+            },
+            FedEvent::DealAborted {
+                tick,
+                node,
+                deal,
+                phase,
+            } => Step::Aborted {
+                tick: *tick,
+                node: *node,
+                deal: *deal,
+                phase: phase.clone(),
+            },
+            FedEvent::DealUnresolved { tick, node, deal } => Step::Unresolved {
+                tick: *tick,
+                node: *node,
+                deal: *deal,
+            },
+            FedEvent::ReservationExpired {
+                tick,
+                seller,
+                deal,
+                units,
+            } => Step::Expired {
+                tick: *tick,
+                seller: *seller,
+                deal: *deal,
+                units: *units,
+            },
+            FedEvent::NodeSummary { node, counters, .. } => Step::Summary {
+                node: *node,
+                recorded: Recorded::from(counters),
+            },
+            FedEvent::StageCompleted { .. } | FedEvent::LocalOnly { .. } => continue,
+        };
+        steps.push((Some(record.seq), step));
+    }
+    build(steps)
+}
+
+/// Builds the ledger from a parsed federation trace (`fed.*` events, as
+/// written by `federate --trace` / `replay --trace`).
+pub fn ledger_from_trace(events: &[TraceEvent]) -> DealLedger {
+    let deal_of = |e: &TraceEvent| e.str("deal").and_then(parse_deal_id);
+    let hop_of = |e: &TraceEvent| {
+        e.str("span")
+            .and_then(|s| s.rsplit_once('#'))
+            .and_then(|(_, h)| h.parse().ok())
+            .unwrap_or(0)
+    };
+    let mut steps = Vec::new();
+    for e in events {
+        let fed_seq = e.u64("fed_seq");
+        let tick = e.u64("tick").unwrap_or(0);
+        let step = match e.name() {
+            "fed.net.sent" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Sent {
+                    tick,
+                    from: e.u64("from").unwrap_or(0) as usize,
+                    to: e.u64("to").unwrap_or(0) as usize,
+                    kind: e.str("kind").unwrap_or("?").to_owned(),
+                    attempt: e.u64("attempt"),
+                    deal,
+                    hop: hop_of(e),
+                }
+            }
+            "fed.net.dropped" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Dropped {
+                    tick,
+                    kind: e.str("kind").unwrap_or("?").to_owned(),
+                    deal,
+                    partition: e.str("reason") == Some("partition"),
+                }
+            }
+            "fed.net.duplicated" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Duplicated {
+                    tick,
+                    kind: e.str("kind").unwrap_or("?").to_owned(),
+                    deal,
+                    deliver_at: e.u64("deliver_at").unwrap_or(0),
+                }
+            }
+            "fed.net.delivered" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Delivered {
+                    tick,
+                    kind: e.str("kind").unwrap_or("?").to_owned(),
+                    deal,
+                    to: e.u64("to").unwrap_or(0) as usize,
+                    duplicate: e.bool("duplicate").unwrap_or(false),
+                }
+            }
+            "fed.timeout" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Timeout {
+                    tick,
+                    node: e.u64("node").unwrap_or(0) as usize,
+                    deal,
+                    phase: e.str("phase").unwrap_or("?").to_owned(),
+                    attempt: e.u64("attempt").unwrap_or(0),
+                    retrying: e.bool("retrying").unwrap_or(false),
+                }
+            }
+            "fed.deal.opened" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Opened {
+                    tick,
+                    buyer: e.u64("buyer").unwrap_or(0) as usize,
+                    seller: e.u64("seller").unwrap_or(0) as usize,
+                    deal,
+                    units: e.u64("units").unwrap_or(0),
+                    cap: e.f64("max_unit_price").unwrap_or(f64::NAN),
+                }
+            }
+            "fed.deal.reserved" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Reserved {
+                    tick,
+                    seller: e.u64("seller").unwrap_or(0) as usize,
+                    deal,
+                    units: e.u64("units").unwrap_or(0),
+                    price: e.f64("unit_price").unwrap_or(f64::NAN),
+                    expires: e.u64("expires").unwrap_or(0),
+                }
+            }
+            "fed.deal.rejected" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Rejected {
+                    tick,
+                    seller: e.u64("seller").unwrap_or(0) as usize,
+                    deal,
+                    code: e.str("code").unwrap_or("?").to_owned(),
+                }
+            }
+            "fed.deal.applied" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Applied {
+                    tick,
+                    seller: e.u64("seller").unwrap_or(0) as usize,
+                    deal,
+                    units: e.u64("units").unwrap_or(0),
+                    price: e.f64("unit_price").unwrap_or(f64::NAN),
+                }
+            }
+            "fed.deal.filled" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Filled {
+                    tick,
+                    buyer: e.u64("buyer").unwrap_or(0) as usize,
+                    deal,
+                    units: e.u64("units").unwrap_or(0),
+                    price: e.f64("unit_price").unwrap_or(f64::NAN),
+                    late: e.bool("late").unwrap_or(false),
+                }
+            }
+            "fed.deal.aborted" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Aborted {
+                    tick,
+                    node: e.u64("node").unwrap_or(0) as usize,
+                    deal,
+                    phase: e.str("phase").unwrap_or("?").to_owned(),
+                }
+            }
+            "fed.deal.unresolved" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Unresolved {
+                    tick,
+                    node: e.u64("node").unwrap_or(0) as usize,
+                    deal,
+                }
+            }
+            "fed.reservation.expired" => {
+                let Some(deal) = deal_of(e) else { continue };
+                Step::Expired {
+                    tick,
+                    seller: e.u64("seller").unwrap_or(0) as usize,
+                    deal,
+                    units: e.u64("units").unwrap_or(0),
+                }
+            }
+            "fed.node.summary" => Step::Summary {
+                node: e.u64("node").unwrap_or(0) as usize,
+                recorded: Recorded {
+                    deals_applied: e.u64("deals_applied").unwrap_or(0),
+                    deals_filled: e.u64("deals_filled").unwrap_or(0),
+                    resold_units: e.u64("resold_units").unwrap_or(0),
+                    filled_units: e.u64("filled_units").unwrap_or(0),
+                    resale_revenue: e.f64("resale_revenue").unwrap_or(f64::NAN),
+                    cross_cost: e.f64("cross_cost").unwrap_or(f64::NAN),
+                },
+            },
+            _ => continue,
+        };
+        steps.push((fed_seq, step));
+    }
+    build(steps)
+}
+
+/// Formats an f64 in shortest round-trip form (the trace/log format).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Folds normalized steps into timelines and derivation state. The
+/// derived f64 totals accumulate in step order — the same chronological
+/// order the live run used — so they must equal the recorded counters
+/// bit-for-bit.
+fn build(steps: Vec<(Option<u64>, Step)>) -> DealLedger {
+    let mut ledger = DealLedger::default();
+    for (fed_seq, step) in steps {
+        let seq_tag = fed_seq.map_or_else(String::new, |s| format!(" · seq {s}"));
+        let (deal, line) = match step {
+            Step::Sent {
+                tick,
+                from,
+                to,
+                kind,
+                attempt,
+                deal,
+                hop,
+            } => {
+                let retx = match attempt {
+                    Some(a) if a > 0 => format!(" [retransmit, attempt {a}]"),
+                    _ => String::new(),
+                };
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] {kind} sent platform#{from} → platform#{to} \
+                         (span {deal}#{hop}){retx}"
+                    ),
+                )
+            }
+            Step::Dropped {
+                tick,
+                kind,
+                deal,
+                partition,
+            } => {
+                let why = if partition {
+                    "partition window"
+                } else {
+                    "link loss"
+                };
+                (
+                    deal,
+                    format!("[tick {tick}{seq_tag}] {kind} DROPPED in flight ({why})"),
+                )
+            }
+            Step::Duplicated {
+                tick,
+                kind,
+                deal,
+                deliver_at,
+            } => (
+                deal,
+                format!(
+                    "[tick {tick}{seq_tag}] duplicate {kind} copy scheduled for tick {deliver_at}"
+                ),
+            ),
+            Step::Delivered {
+                tick,
+                kind,
+                deal,
+                to,
+                duplicate,
+            } => {
+                let dup = if duplicate { " (duplicate copy)" } else { "" };
+                (
+                    deal,
+                    format!("[tick {tick}{seq_tag}] {kind} delivered to platform#{to}{dup}"),
+                )
+            }
+            Step::Opened {
+                tick,
+                buyer,
+                seller,
+                deal,
+                units,
+                cap,
+            } => {
+                let state = ledger.deals.entry(deal).or_default();
+                state.buyer = Some(buyer);
+                state.seller = Some(seller);
+                state.requested = Some(units);
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] deal opened by platform#{buyer}: \
+                         wants {units}u from platform#{seller} (price cap {}/u)",
+                        num(cap)
+                    ),
+                )
+            }
+            Step::Reserved {
+                tick,
+                seller,
+                deal,
+                units,
+                price,
+                expires,
+            } => (
+                deal,
+                format!(
+                    "[tick {tick}{seq_tag}] platform#{seller} reserved {units}u @ {}/u \
+                     (reservation expires tick {expires})",
+                    num(price)
+                ),
+            ),
+            Step::Rejected {
+                tick,
+                seller,
+                deal,
+                code,
+            } => (
+                deal,
+                format!("[tick {tick}{seq_tag}] platform#{seller} rejected: {code}"),
+            ),
+            Step::Applied {
+                tick,
+                seller,
+                deal,
+                units,
+                price,
+            } => {
+                let state = ledger.deals.entry(deal).or_default();
+                state.seller = Some(seller);
+                state.applied = Some((units, price, seller));
+                let d = ledger.derived.entry(seller).or_default();
+                d.deals_applied += 1;
+                d.resold_units += units;
+                d.resale_revenue += units as f64 * price;
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] platform#{seller} applied {units}u @ {}/u — \
+                         resale revenue {}",
+                        num(price),
+                        num(units as f64 * price)
+                    ),
+                )
+            }
+            Step::Filled {
+                tick,
+                buyer,
+                deal,
+                units,
+                price,
+                late,
+            } => {
+                let state = ledger.deals.entry(deal).or_default();
+                state.buyer = Some(buyer);
+                state.filled = Some((units, price, buyer, late));
+                let d = ledger.derived.entry(buyer).or_default();
+                d.deals_filled += 1;
+                d.filled_units += units;
+                d.cross_cost += units as f64 * price;
+                let late_tag = if late {
+                    " (late — after giving up)"
+                } else {
+                    ""
+                };
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] platform#{buyer} booked the fill: \
+                         {units}u @ {}/u{late_tag}",
+                        num(price)
+                    ),
+                )
+            }
+            Step::Timeout {
+                tick,
+                node,
+                deal,
+                phase,
+                attempt,
+                retrying,
+            } => {
+                let next = if retrying { "retrying" } else { "giving up" };
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] platform#{node} {phase} deadline expired \
+                         (attempt {attempt}, {next})"
+                    ),
+                )
+            }
+            Step::Aborted {
+                tick,
+                node,
+                deal,
+                phase,
+            } => {
+                ledger.deals.entry(deal).or_default().aborted = Some(phase.clone());
+                (
+                    deal,
+                    format!(
+                        "[tick {tick}{seq_tag}] platform#{node} aborted the deal \
+                         in phase {phase}"
+                    ),
+                )
+            }
+            Step::Unresolved { tick, node, deal } => {
+                ledger.deals.entry(deal).or_default().unresolved = true;
+                (
+                    deal,
+                    format!("[tick {tick}{seq_tag}] platform#{node} gave up: commit fate unknown"),
+                )
+            }
+            Step::Expired {
+                tick,
+                seller,
+                deal,
+                units,
+            } => (
+                deal,
+                format!(
+                    "[tick {tick}{seq_tag}] platform#{seller} reservation expired — \
+                     {units}u released"
+                ),
+            ),
+            Step::Summary { node, recorded } => {
+                ledger.recorded.insert(node, recorded);
+                continue;
+            }
+        };
+        ledger.deals.entry(deal).or_default().timeline.push(line);
+    }
+    ledger
+}
+
+impl DealLedger {
+    /// True when the input held no deal events at all.
+    pub fn is_empty(&self) -> bool {
+        self.deals.is_empty()
+    }
+
+    /// The verification block shared by `--deal` and `--deals`: per-node
+    /// re-derived totals vs recorded counters, then the per-deal tally.
+    /// Returns `(text, verified, committed)`.
+    fn verify(&self) -> (String, usize, usize) {
+        let mut out = String::new();
+        let mut bad_nodes = Vec::new();
+        if self.recorded.is_empty() {
+            let _ = writeln!(
+                out,
+                "no NodeSummary records in the input — totals cannot be verified \
+                 (v{} logs and traces record them)",
+                edge_auction::federation::FED_VERSION
+            );
+        }
+        for (&node, rec) in &self.recorded {
+            let der = self.derived.get(&node).copied().unwrap_or_default();
+            let ok = der == *rec;
+            if !ok {
+                bad_nodes.push(node);
+            }
+            let mark = if ok {
+                "✓ matches recorded counters".to_owned()
+            } else {
+                format!(
+                    "✗ recorded applied {} / filled {} / resold {}u rev {} / \
+                     bought {}u cost {}",
+                    rec.deals_applied,
+                    rec.deals_filled,
+                    rec.resold_units,
+                    num(rec.resale_revenue),
+                    rec.filled_units,
+                    num(rec.cross_cost)
+                )
+            };
+            let _ = writeln!(
+                out,
+                "platform#{node}: re-derived {} applied ({}u sold, revenue {}), \
+                 {} filled ({}u bought, cost {}) {mark}",
+                der.deals_applied,
+                der.resold_units,
+                num(der.resale_revenue),
+                der.deals_filled,
+                der.filled_units,
+                num(der.cross_cost)
+            );
+        }
+        // A committed deal verifies when its fill terms (if booked)
+        // match the applied terms AND neither endpoint's totals drifted.
+        let committed: Vec<(&DealId, &DealState)> = self
+            .deals
+            .iter()
+            .filter(|(_, s)| s.applied.is_some())
+            .collect();
+        let mut verified = 0usize;
+        for (deal, state) in &committed {
+            let (au, ap, seller) = state.applied.expect("committed deals have terms");
+            let terms_ok = match state.filled {
+                Some((fu, fp, _, _)) => fu == au && fp == ap,
+                None => true, // applied but never booked: nothing to cross-check
+            };
+            let buyer_ok = state
+                .filled
+                .is_none_or(|(_, _, buyer, _)| !bad_nodes.contains(&buyer));
+            if terms_ok && buyer_ok && !bad_nodes.contains(&seller) {
+                verified += 1;
+            } else {
+                let _ = writeln!(out, "deal {deal}: terms drifted between log and counters");
+            }
+        }
+        let _ = writeln!(out, "deals verified: {verified}/{}", committed.len());
+        (out, verified, committed.len())
+    }
+
+    /// Renders one deal's causal timeline plus the verification block.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Federation`] naming the known deals when `deal` has
+    /// no events.
+    pub fn render_deal(&self, deal: DealId) -> Result<String, CliError> {
+        let Some(state) = self.deals.get(&deal) else {
+            let known: Vec<String> = self.deals.keys().map(ToString::to_string).collect();
+            return Err(CliError::Federation(format!(
+                "no events for deal {deal}; input covers deals: {}",
+                if known.is_empty() {
+                    "(none)".to_owned()
+                } else {
+                    known.join(", ")
+                }
+            )));
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "deal {deal} — {}", state.status());
+        if let (Some(buyer), Some(seller)) = (state.buyer, state.seller) {
+            let _ = writeln!(
+                out,
+                "buyer platform#{buyer}, seller platform#{seller}, requested {}u",
+                state.requested.unwrap_or(0)
+            );
+        }
+        for line in &state.timeline {
+            let _ = writeln!(out, "  {line}");
+        }
+        if let Some((units, price, seller)) = state.applied {
+            let _ = writeln!(
+                out,
+                "re-derived: platform#{seller} resold {units}u @ {}/u → revenue {}",
+                num(price),
+                num(units as f64 * price)
+            );
+        }
+        out.push_str(&self.verify().0);
+        Ok(out)
+    }
+
+    /// Renders the all-deals summary table plus the verification block.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Federation`] when the input holds no deal events.
+    pub fn render_deals(&self) -> Result<String, CliError> {
+        use edge_bench::table::Table;
+        if self.deals.is_empty() {
+            return Err(CliError::Federation(
+                "input holds no deal events (nothing was opened)".to_owned(),
+            ));
+        }
+        let mut table = Table::new([
+            "deal", "buyer", "seller", "units", "price", "revenue", "status",
+        ]);
+        for (deal, state) in &self.deals {
+            let (units, price) = state
+                .applied
+                .map_or((state.requested.unwrap_or(0), None), |(u, p, _)| {
+                    (u, Some(p))
+                });
+            table.push([
+                deal.to_string(),
+                state.buyer.map_or_else(|| "?".into(), |b| b.to_string()),
+                state.seller.map_or_else(|| "?".into(), |s| s.to_string()),
+                units.to_string(),
+                price.map_or_else(String::new, num),
+                price.map_or_else(String::new, |p| num(units as f64 * p)),
+                state.status(),
+            ]);
+        }
+        let mut out = format!("{} deals\n", self.deals.len());
+        out.push_str(&table.render());
+        out.push_str(&self.verify().0);
+        Ok(out)
+    }
+}

@@ -109,13 +109,15 @@ pub fn render_outcome(outcome: &FederationOutcome) -> String {
     }
     let _ = writeln!(
         out,
-        "network: {} sent, {} delivered, {} dropped (loss {}, partition {}), {} duplicated",
+        "network: {} sent, {} delivered, {} dropped (loss {}, partition {}), \
+         {} duplicated, {} reordered",
         outcome.net.sent,
         outcome.net.delivered,
         outcome.net.dropped_loss + outcome.net.dropped_partition,
         outcome.net.dropped_loss,
         outcome.net.dropped_partition,
         outcome.net.duplicated,
+        outcome.net.reordered,
     );
     let _ = writeln!(
         out,

@@ -21,6 +21,7 @@ pub mod bench_diff;
 pub mod commands;
 pub mod explain;
 pub mod faults;
+pub mod fed_explain;
 pub mod federate;
 pub mod netfaults;
 pub mod replay;

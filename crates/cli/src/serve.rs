@@ -12,7 +12,11 @@
 //! Endpoints on the dependency-free `std::net` HTTP server:
 //!
 //! * `GET /metrics`  — the process-global metric registry in Prometheus
-//!   text format ([`edge_telemetry::registry`]);
+//!   text format ([`edge_telemetry::registry`]); all families are
+//!   preregistered at startup (auction, recovery, sim, pricing,
+//!   service, plus the federation `edge_fed_*` and network
+//!   `edge_net_*` families) so a scrape before the first event still
+//!   shows every series at zero;
 //! * `GET /healthz`  — `ok` while the daemon lives;
 //! * `GET /status`   — JSON: stages/rounds completed, sellers alive,
 //!   last-round outcome digest, scrape count;

@@ -25,9 +25,16 @@
 //!   expired one answers with a definitive reject;
 //! * every network and protocol event folds into an FNV-1a digest chain
 //!   ([`FederationSim`] records), so a run is replayed byte-identically
-//!   from its log header at any `--pricing-threads` setting.
+//!   from its log header at any `--pricing-threads` setting;
+//! * every wire payload travels inside a [`FedPacket`] span envelope
+//!   (`"{deal}#{hop}"` causal ids derived from driver order and logical
+//!   ticks), and a `federate --trace` run mirrors each deal's full
+//!   lifecycle — sends, drops, duplicate deliveries, timeouts, expiries,
+//!   late fills — onto the deterministic trace with `fed_seq` provenance
+//!   back to the chained log records.
 //!
-//! See DESIGN.md §14 for the full protocol walkthrough.
+//! See DESIGN.md §14 for the full protocol walkthrough and §15 for the
+//! observability contract.
 
 use crate::msoa::MultiRoundInstance;
 use crate::service::{
@@ -44,8 +51,11 @@ use std::sync::Arc;
 
 /// Domain separator for the federation log digest chain.
 pub const FED_GENESIS: &str = "edge-market-fed-log";
-/// Federation log format version.
-pub const FED_VERSION: u32 = 1;
+/// Federation log format version. v2 added the [`FedPacket`] span
+/// envelope on every wire payload and the end-of-run
+/// [`FedEvent::NodeSummary`] records; v1 logs are rejected with
+/// [`FedLogError::UnknownVersion`].
+pub const FED_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Configuration.
@@ -260,6 +270,49 @@ pub enum FedMsg {
     },
 }
 
+/// One wire packet: a protocol message plus its causal span stamp.
+///
+/// The span id of a deal-bearing packet renders as `"{deal}#{hop}"`.
+/// `hop` is a per-deal causal counter maintained by the driver: it is
+/// incremented on every send for the deal and max-merged on every
+/// delivery, so a message sent *because of* another always carries a
+/// strictly larger hop (a clean exchange is `Offer#1 → Accept#2 →
+/// Commit#3 → Ack#4`; retransmits get fresh hops). Gossip packets reuse
+/// the advertised stage index as their hop. Everything derives from
+/// logical ticks and driver order — no wall clock — so spans replay
+/// byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedPacket {
+    /// Causal hop counter (for gossip: the advertised stage index).
+    pub hop: u64,
+    /// The protocol message.
+    pub msg: FedMsg,
+}
+
+/// The deal a message belongs to (`None` for gossip).
+pub fn msg_deal(msg: &FedMsg) -> Option<DealId> {
+    match msg {
+        FedMsg::Gossip { .. } => None,
+        FedMsg::Offer { deal, .. }
+        | FedMsg::Accept { deal, .. }
+        | FedMsg::Reject { deal, .. }
+        | FedMsg::Commit { deal, .. }
+        | FedMsg::Ack { deal, .. } => Some(*deal),
+    }
+}
+
+/// The wire vocabulary name of a message.
+pub fn msg_kind(msg: &FedMsg) -> &'static str {
+    match msg {
+        FedMsg::Gossip { .. } => "Gossip",
+        FedMsg::Offer { .. } => "Offer",
+        FedMsg::Accept { .. } => "Accept",
+        FedMsg::Reject { .. } => "Reject",
+        FedMsg::Commit { .. } => "Commit",
+        FedMsg::Ack { .. } => "Ack",
+    }
+}
+
 // ---------------------------------------------------------------------
 // Log events.
 // ---------------------------------------------------------------------
@@ -419,6 +472,18 @@ pub enum FedEvent {
         /// Unmet demand it could not shop out.
         shortfall_units: u64,
     },
+    /// End-of-run snapshot of one platform's protocol counters, folded
+    /// into the chain (one per node, in node order) so offline tools
+    /// (`explain --deal`) can verify re-derived totals against what the
+    /// run actually booked.
+    NodeSummary {
+        /// Tick the run settled.
+        tick: u64,
+        /// The platform.
+        node: usize,
+        /// The counters.
+        counters: NodeCounters,
+    },
 }
 
 /// One chained federation log record.
@@ -488,7 +553,7 @@ struct Reservation {
 }
 
 /// Per-node protocol counters, reported in the outcome.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeCounters {
     /// Deals opened (offers for distinct deal ids).
     pub deals_opened: u64,
@@ -1163,17 +1228,23 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationNode<P> {
 // The deterministic federation driver.
 // ---------------------------------------------------------------------
 
-/// Registry handles for the `edge_federation_*` families.
+/// Registry handles for the `edge_fed_*` families.
 #[derive(Debug)]
 struct FedLive {
     deals_opened: Arc<Counter>,
     retries: Arc<Counter>,
     timeouts: Arc<Counter>,
     deals_filled: Arc<Counter>,
+    deals_applied: Arc<Counter>,
     deals_aborted: Arc<Counter>,
     deals_unresolved: Arc<Counter>,
+    late_fills: Arc<Counter>,
     gossip: Arc<Counter>,
     resold_units: Arc<Counter>,
+    resale_revenue: Arc<Gauge>,
+    deficit_units: Arc<Counter>,
+    local_only: Arc<Counter>,
+    reservations_expired: Arc<Counter>,
     open_deals: Arc<Gauge>,
 }
 
@@ -1182,47 +1253,73 @@ impl FedLive {
         let r = global();
         FedLive {
             deals_opened: r.counter(
-                "edge_federation_deals_opened_total",
+                "edge_fed_deals_opened_total",
                 "Cross-platform re-sell deals opened",
                 &[],
             ),
-            retries: r.counter(
-                "edge_federation_retries_total",
-                "Deal-phase retransmits",
-                &[],
-            ),
+            retries: r.counter("edge_fed_retries_total", "Deal-phase retransmits", &[]),
             timeouts: r.counter(
-                "edge_federation_timeouts_total",
+                "edge_fed_timeouts_total",
                 "Deal-phase deadlines missed",
                 &[],
             ),
             deals_filled: r.counter(
-                "edge_federation_deals_filled_total",
+                "edge_fed_deals_filled_total",
                 "Deals completed on the buyer (acks booked)",
                 &[],
             ),
+            deals_applied: r.counter(
+                "edge_fed_deals_applied_total",
+                "Deals applied on the seller (demand booked)",
+                &[],
+            ),
             deals_aborted: r.counter(
-                "edge_federation_deals_aborted_total",
+                "edge_fed_deals_aborted_total",
                 "Deals abandoned before commit",
                 &[],
             ),
             deals_unresolved: r.counter(
-                "edge_federation_deals_unresolved_total",
+                "edge_fed_deals_unresolved_total",
                 "Commits whose fate stayed unknown after retries",
                 &[],
             ),
+            late_fills: r.counter(
+                "edge_fed_late_fills_total",
+                "Fills that arrived after the buyer had given up",
+                &[],
+            ),
             gossip: r.counter(
-                "edge_federation_gossip_total",
+                "edge_fed_gossip_total",
                 "Surplus/price gossip messages sent",
                 &[],
             ),
             resold_units: r.counter(
-                "edge_federation_resold_units_total",
+                "edge_fed_resold_units_total",
                 "Capacity units re-sold across platforms",
                 &[],
             ),
+            resale_revenue: r.float_counter(
+                "edge_fed_resale_revenue_total",
+                "Revenue from re-selling capacity across platforms",
+                &[],
+            ),
+            deficit_units: r.counter(
+                "edge_fed_deficit_units_total",
+                "Unmet stage demand platforms tried to shop out",
+                &[],
+            ),
+            local_only: r.counter(
+                "edge_fed_local_only_stages_total",
+                "Stages cleared degraded (shortfall but no reachable quote)",
+                &[],
+            ),
+            reservations_expired: r.counter(
+                "edge_fed_reservations_expired_total",
+                "Seller reservations that lapsed before a commit",
+                &[],
+            ),
             open_deals: r.gauge(
-                "edge_federation_open_deals",
+                "edge_fed_open_deals",
                 "Deals currently awaiting accept or ack",
                 &[],
             ),
@@ -1230,7 +1327,7 @@ impl FedLive {
     }
 }
 
-/// Registers every `edge_federation_*` family up front (see
+/// Registers every `edge_fed_*` family up front (see
 /// `edge_net::live::preregister`).
 pub fn preregister_federation_metrics() {
     let _ = FedLive::handle();
@@ -1307,12 +1404,29 @@ impl FederationOutcome {
 /// auction may fan out across threads; nothing here depends on it.
 pub struct FederationSim<P> {
     config: FederationConfig,
-    net: Network<FedMsg>,
+    net: Network<FedPacket>,
     nodes: Vec<FederationNode<P>>,
     records: Vec<FedRecord>,
     digest: u64,
     next_seq: u64,
+    /// Per-`(node, deal)` causal hop counters (see [`FedPacket`]):
+    /// bumped on every send, max-merged on every delivery.
+    hops: BTreeMap<(usize, DealId), u64>,
+    /// Span metadata per net send seq, so substrate events (which carry
+    /// only the seq) can be traced with deal provenance. Gossip sends
+    /// are not tracked — they stay off the trace.
+    sent_meta: BTreeMap<u64, SendMeta>,
     live: FedLive,
+}
+
+/// What the driver remembers about one deal-bearing net send.
+#[derive(Debug, Clone, Copy)]
+struct SendMeta {
+    deal: DealId,
+    hop: u64,
+    kind: &'static str,
+    /// Retransmit counter for Offer/Commit sends.
+    attempt: Option<u32>,
 }
 
 impl<P> fmt::Debug for FederationSim<P> {
@@ -1368,6 +1482,8 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
             records: Vec::new(),
             digest,
             next_seq: 0,
+            hops: BTreeMap::new(),
+            sent_meta: BTreeMap::new(),
             live: FedLive::handle(),
         })
     }
@@ -1402,7 +1518,7 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
         while self.net.clock() < max_ticks {
             let deliveries = self.net.tick();
             let now = self.net.clock();
-            self.absorb_net();
+            self.absorb_net(collector);
             for delivery in deliveries {
                 self.route(delivery, now, collector);
             }
@@ -1427,39 +1543,89 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
                 break;
             }
         }
+        // Fold each platform's final counters into the chain so offline
+        // tools can verify re-derived totals without the outcome struct.
+        let settled = self.net.clock();
+        for i in 0..self.nodes.len() {
+            let counters = *self.nodes[i].counters();
+            self.fold(
+                FedEvent::NodeSummary {
+                    tick: settled,
+                    node: i,
+                    counters,
+                },
+                collector,
+            );
+        }
         Ok(self.outcome())
     }
 
     /// One delivered message → the receiving node's handler.
-    fn route(&mut self, delivery: Delivery<FedMsg>, now: u64, collector: Option<&Collector>) {
+    fn route(&mut self, delivery: Delivery<FedPacket>, now: u64, collector: Option<&Collector>) {
         let to = PlatformId::new(delivery.to);
         let from = PlatformId::new(delivery.from);
-        if matches!(delivery.payload, FedMsg::Gossip { .. }) {
+        let FedPacket { hop, msg } = delivery.payload;
+        // Receive-side causal merge: the receiver's hop counter for the
+        // deal catches up to the incoming span, so whatever it sends
+        // next is stamped causally after everything it has seen.
+        if let Some(deal) = msg_deal(&msg) {
+            let h = self.hops.entry((delivery.to, deal)).or_insert(0);
+            *h = (*h).max(hop);
+        }
+        if matches!(msg, FedMsg::Gossip { .. }) {
             self.live.gossip.incr();
         }
         let mut effects = Effects::default();
-        self.nodes[delivery.to].handle(from, delivery.payload, now, collector, &mut effects);
+        self.nodes[delivery.to].handle(from, msg, now, collector, &mut effects);
         self.flush(to, effects, collector);
     }
 
-    /// Folds a node step's events, routes its sends, and folds the
-    /// network events those sends produced — one canonical order.
+    /// Folds a node step's events, stamps and routes its sends, and
+    /// folds the network events those sends produced — one canonical
+    /// order.
     fn flush(&mut self, from: PlatformId, effects: Effects, collector: Option<&Collector>) {
         for event in effects.events {
             self.fold(event, collector);
         }
         for (to, msg) in effects.sends {
-            self.net.send(from.index(), to.index(), msg);
+            let hop = match msg_deal(&msg) {
+                Some(deal) => {
+                    let h = self.hops.entry((from.index(), deal)).or_insert(0);
+                    *h += 1;
+                    *h
+                }
+                None => match &msg {
+                    FedMsg::Gossip { stage, .. } => *stage,
+                    _ => 0,
+                },
+            };
+            let meta = msg_deal(&msg).map(|deal| SendMeta {
+                deal,
+                hop,
+                kind: msg_kind(&msg),
+                attempt: match &msg {
+                    FedMsg::Offer { attempt, .. } | FedMsg::Commit { attempt, .. } => {
+                        Some(*attempt)
+                    }
+                    _ => None,
+                },
+            });
+            let seq = self
+                .net
+                .send(from.index(), to.index(), FedPacket { hop, msg });
+            if let Some(meta) = meta {
+                self.sent_meta.insert(seq, meta);
+            }
         }
-        self.absorb_net();
+        self.absorb_net(collector);
         let open: usize = self.nodes.iter().map(|n| n.outgoing.len()).sum();
         self.live.open_deals.set(open as f64);
     }
 
     /// Drains the substrate's tape into the federation chain.
-    fn absorb_net(&mut self) {
+    fn absorb_net(&mut self, collector: Option<&Collector>) {
         for event in self.net.drain_events() {
-            self.fold(FedEvent::Net(event), None);
+            self.fold(FedEvent::Net(event), collector);
         }
     }
 
@@ -1474,23 +1640,281 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
                     self.live.retries.incr();
                 }
             }
-            FedEvent::DealFilled { .. } => self.live.deals_filled.incr(),
+            FedEvent::DealFilled { late, .. } => {
+                self.live.deals_filled.incr();
+                if *late {
+                    self.live.late_fills.incr();
+                }
+            }
             FedEvent::DealAborted { .. } => self.live.deals_aborted.incr(),
             FedEvent::DealUnresolved { .. } => self.live.deals_unresolved.incr(),
-            FedEvent::DealApplied { units, .. } => self.live.resold_units.add(*units),
+            FedEvent::DealApplied {
+                units, unit_price, ..
+            } => {
+                self.live.deals_applied.incr();
+                self.live.resold_units.add(*units);
+                self.live.resale_revenue.add(*units as f64 * unit_price);
+            }
+            FedEvent::StageCompleted {
+                shortfall_units, ..
+            } if *shortfall_units > 0 => {
+                self.live.deficit_units.add(*shortfall_units);
+            }
+            FedEvent::LocalOnly { .. } => self.live.local_only.incr(),
+            FedEvent::ReservationExpired { .. } => self.live.reservations_expired.incr(),
             _ => {}
         }
+        let seq = self.next_seq + 1;
         if let Some(collector) = collector {
-            trace_event(collector, &event);
+            self.trace_event(collector, &event, seq);
         }
         let json = serde_json::to_string(&event).expect("event serialization is infallible");
-        self.next_seq += 1;
-        self.digest = fnv1a64(format!("{:016x}:{}:{json}", self.digest, self.next_seq).as_bytes());
+        self.next_seq = seq;
+        self.digest = fnv1a64(format!("{:016x}:{seq}:{json}", self.digest).as_bytes());
         self.records.push(FedRecord {
-            seq: self.next_seq,
+            seq,
             digest: format!("{:016x}", self.digest),
             event,
         });
+    }
+
+    /// Mirrors one chained event onto the deterministic trace with full
+    /// causal provenance: every field a timeline needs (`deal`, `hop`,
+    /// the `"{deal}#{hop}"` span, and `fed_seq` — the chain seq the
+    /// event folds under). Gossip network noise stays off the trace;
+    /// every deal-bearing wire event and every protocol transition is
+    /// on it.
+    fn trace_event(&self, collector: &Collector, event: &FedEvent, fed_seq: u64) {
+        let span_fields = |deal: &DealId, node: usize| {
+            let hop = self.hops.get(&(node, *deal)).copied().unwrap_or(0);
+            vec![
+                ("deal", Value::from(deal.to_string())),
+                ("span", Value::from(format!("{deal}#{hop}"))),
+            ]
+        };
+        let (name, mut fields): (&'static str, Vec<(&'static str, Value)>) = match event {
+            FedEvent::Net(net) => {
+                let (seq, label) = match net {
+                    NetEvent::Sent { seq, .. } => (*seq, "fed.net.sent"),
+                    NetEvent::Dropped { seq, .. } => (*seq, "fed.net.dropped"),
+                    NetEvent::Duplicated { seq, .. } => (*seq, "fed.net.duplicated"),
+                    NetEvent::Delivered { seq, .. } => (*seq, "fed.net.delivered"),
+                };
+                // Gossip sends have no meta: they stay off the trace.
+                let Some(meta) = self.sent_meta.get(&seq) else {
+                    return;
+                };
+                let mut fields = vec![
+                    ("deal", Value::from(meta.deal.to_string())),
+                    ("span", Value::from(format!("{}#{}", meta.deal, meta.hop))),
+                    ("kind", Value::from(meta.kind)),
+                    ("net_seq", Value::from(seq)),
+                ];
+                if let Some(attempt) = meta.attempt {
+                    fields.push(("attempt", Value::from(attempt)));
+                }
+                match net {
+                    NetEvent::Sent { tick, from, to, .. } => {
+                        fields.push(("tick", Value::from(*tick)));
+                        fields.push(("from", Value::from(*from)));
+                        fields.push(("to", Value::from(*to)));
+                    }
+                    NetEvent::Dropped {
+                        tick,
+                        from,
+                        to,
+                        reason,
+                        ..
+                    } => {
+                        fields.push(("tick", Value::from(*tick)));
+                        fields.push(("from", Value::from(*from)));
+                        fields.push(("to", Value::from(*to)));
+                        fields.push((
+                            "reason",
+                            Value::from(match reason {
+                                edge_net::DropReason::Loss => "loss",
+                                edge_net::DropReason::Partition => "partition",
+                            }),
+                        ));
+                    }
+                    NetEvent::Duplicated {
+                        tick, deliver_at, ..
+                    } => {
+                        fields.push(("tick", Value::from(*tick)));
+                        fields.push(("deliver_at", Value::from(*deliver_at)));
+                    }
+                    NetEvent::Delivered {
+                        tick,
+                        to,
+                        duplicate,
+                        ..
+                    } => {
+                        fields.push(("tick", Value::from(*tick)));
+                        fields.push(("to", Value::from(*to)));
+                        fields.push(("duplicate", Value::from(*duplicate)));
+                    }
+                }
+                (label, fields)
+            }
+            FedEvent::Timeout {
+                tick,
+                node,
+                deal,
+                phase,
+                attempt,
+                retrying,
+            } => {
+                let mut fields = span_fields(deal, *node);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("node", Value::from(*node)));
+                fields.push(("phase", Value::from(phase.clone())));
+                fields.push(("attempt", Value::from(*attempt)));
+                fields.push(("retrying", Value::from(*retrying)));
+                ("fed.timeout", fields)
+            }
+            FedEvent::DealOpened {
+                tick,
+                buyer,
+                seller,
+                deal,
+                units,
+                max_unit_price,
+            } => {
+                let mut fields = span_fields(deal, *buyer);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("buyer", Value::from(*buyer)));
+                fields.push(("seller", Value::from(*seller)));
+                fields.push(("units", Value::from(*units)));
+                fields.push(("max_unit_price", Value::from(*max_unit_price)));
+                ("fed.deal.opened", fields)
+            }
+            FedEvent::DealReserved {
+                tick,
+                seller,
+                deal,
+                units,
+                unit_price,
+                expires,
+            } => {
+                let mut fields = span_fields(deal, *seller);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("seller", Value::from(*seller)));
+                fields.push(("units", Value::from(*units)));
+                fields.push(("unit_price", Value::from(*unit_price)));
+                fields.push(("expires", Value::from(*expires)));
+                ("fed.deal.reserved", fields)
+            }
+            FedEvent::DealRejected {
+                tick,
+                seller,
+                deal,
+                code,
+            } => {
+                let mut fields = span_fields(deal, *seller);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("seller", Value::from(*seller)));
+                fields.push(("code", Value::from(code.clone())));
+                ("fed.deal.rejected", fields)
+            }
+            FedEvent::DealApplied {
+                tick,
+                seller,
+                deal,
+                units,
+                unit_price,
+            } => {
+                let mut fields = span_fields(deal, *seller);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("seller", Value::from(*seller)));
+                fields.push(("units", Value::from(*units)));
+                fields.push(("unit_price", Value::from(*unit_price)));
+                ("fed.deal.applied", fields)
+            }
+            FedEvent::DealFilled {
+                tick,
+                buyer,
+                deal,
+                units,
+                unit_price,
+                late,
+            } => {
+                let mut fields = span_fields(deal, *buyer);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("buyer", Value::from(*buyer)));
+                fields.push(("units", Value::from(*units)));
+                fields.push(("unit_price", Value::from(*unit_price)));
+                fields.push(("late", Value::from(*late)));
+                ("fed.deal.filled", fields)
+            }
+            FedEvent::DealAborted {
+                tick,
+                node,
+                deal,
+                phase,
+            } => {
+                let mut fields = span_fields(deal, *node);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("node", Value::from(*node)));
+                fields.push(("phase", Value::from(phase.clone())));
+                ("fed.deal.aborted", fields)
+            }
+            FedEvent::DealUnresolved { tick, node, deal } => {
+                let mut fields = span_fields(deal, *node);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("node", Value::from(*node)));
+                ("fed.deal.unresolved", fields)
+            }
+            FedEvent::ReservationExpired {
+                tick,
+                seller,
+                deal,
+                units,
+            } => {
+                let mut fields = span_fields(deal, *seller);
+                fields.push(("tick", Value::from(*tick)));
+                fields.push(("seller", Value::from(*seller)));
+                fields.push(("units", Value::from(*units)));
+                ("fed.reservation.expired", fields)
+            }
+            FedEvent::LocalOnly {
+                tick,
+                node,
+                stage,
+                shortfall_units,
+            } => (
+                "fed.local_only",
+                vec![
+                    ("tick", Value::from(*tick)),
+                    ("node", Value::from(*node)),
+                    ("stage", Value::from(*stage)),
+                    ("shortfall", Value::from(*shortfall_units)),
+                ],
+            ),
+            FedEvent::NodeSummary {
+                tick,
+                node,
+                counters,
+            } => (
+                "fed.node.summary",
+                vec![
+                    ("tick", Value::from(*tick)),
+                    ("node", Value::from(*node)),
+                    ("deals_opened", Value::from(counters.deals_opened)),
+                    ("deals_filled", Value::from(counters.deals_filled)),
+                    ("deals_applied", Value::from(counters.deals_applied)),
+                    ("deals_aborted", Value::from(counters.deals_aborted)),
+                    ("late_fills", Value::from(counters.late_fills)),
+                    ("filled_units", Value::from(counters.filled_units)),
+                    ("resold_units", Value::from(counters.resold_units)),
+                    ("deficit_units", Value::from(counters.deficit_units)),
+                    ("cross_cost", Value::from(counters.cross_cost)),
+                    ("resale_revenue", Value::from(counters.resale_revenue)),
+                ],
+            ),
+            FedEvent::StageCompleted { .. } => return,
+        };
+        fields.push(("fed_seq", Value::from(fed_seq)));
+        collector.emit(Level::Info, name, fields);
     }
 
     /// True when nothing can happen anymore without new rounds.
@@ -1525,102 +1949,6 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
                 .collect(),
         }
     }
-}
-
-/// Mirrors deal-provenance events onto the deterministic trace. Network
-/// noise (sends/drops/deliveries) stays off the trace — the chain holds
-/// it — so traced sections stay readable.
-fn trace_event(collector: &Collector, event: &FedEvent) {
-    let (name, fields): (&'static str, Vec<(&'static str, Value)>) = match event {
-        FedEvent::DealOpened {
-            tick,
-            buyer,
-            seller,
-            deal,
-            units,
-            ..
-        } => (
-            "fed.deal.opened",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("buyer", Value::from(*buyer)),
-                ("seller", Value::from(*seller)),
-                ("deal", Value::from(deal.to_string())),
-                ("units", Value::from(*units)),
-            ],
-        ),
-        FedEvent::DealApplied {
-            tick,
-            seller,
-            deal,
-            units,
-            unit_price,
-        } => (
-            "fed.deal.applied",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("seller", Value::from(*seller)),
-                ("deal", Value::from(deal.to_string())),
-                ("units", Value::from(*units)),
-                ("unit_price", Value::from(*unit_price)),
-            ],
-        ),
-        FedEvent::DealFilled {
-            tick,
-            buyer,
-            deal,
-            units,
-            late,
-            ..
-        } => (
-            "fed.deal.filled",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("buyer", Value::from(*buyer)),
-                ("deal", Value::from(deal.to_string())),
-                ("units", Value::from(*units)),
-                ("late", Value::from(*late)),
-            ],
-        ),
-        FedEvent::DealAborted {
-            tick,
-            node,
-            deal,
-            phase,
-        } => (
-            "fed.deal.aborted",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("node", Value::from(*node)),
-                ("deal", Value::from(deal.to_string())),
-                ("phase", Value::from(phase.clone())),
-            ],
-        ),
-        FedEvent::DealUnresolved { tick, node, deal } => (
-            "fed.deal.unresolved",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("node", Value::from(*node)),
-                ("deal", Value::from(deal.to_string())),
-            ],
-        ),
-        FedEvent::LocalOnly {
-            tick,
-            node,
-            stage,
-            shortfall_units,
-        } => (
-            "fed.local_only",
-            vec![
-                ("tick", Value::from(*tick)),
-                ("node", Value::from(*node)),
-                ("stage", Value::from(*stage)),
-                ("shortfall", Value::from(*shortfall_units)),
-            ],
-        ),
-        _ => return,
-    };
-    collector.emit(Level::Info, name, fields);
 }
 
 // ---------------------------------------------------------------------
@@ -2018,6 +2346,54 @@ mod tests {
         let outcome2 = again.run(None).unwrap();
         assert_eq!(first_divergence(&parsed.records, again.records()), None);
         assert_eq!(outcome.fed_digest, outcome2.fed_digest);
+    }
+
+    #[test]
+    fn log_ends_with_node_summaries_matching_outcome() {
+        let config = small_config(29, 3);
+        let mut sim =
+            FederationSim::new(config.clone(), NetFaultPlan::ideal(4), |_, c| provider(c)).unwrap();
+        let outcome = sim.run(None).unwrap();
+        let k = config.nodes.len();
+        let tail = &sim.records()[sim.records().len() - k..];
+        for (i, rec) in tail.iter().enumerate() {
+            match &rec.event {
+                FedEvent::NodeSummary { node, counters, .. } => {
+                    assert_eq!(*node, i);
+                    assert_eq!(*counters, outcome.nodes[i].counters);
+                }
+                other => panic!("expected NodeSummary, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spans_count_hops_causally_on_an_ideal_network() {
+        // With no faults there are no retransmits, so each deal's sends
+        // must climb one hop per message: Offer#1 → Accept#2 → Commit#3
+        // → Ack#4 (or Offer#1 → Reject#2).
+        let (_, records) = run_once(small_config(9, 3), NetFaultPlan::ideal(1));
+        let mut hops: BTreeMap<DealId, Vec<(&'static str, u64)>> = BTreeMap::new();
+        for rec in &records {
+            if let FedEvent::Net(NetEvent::Sent { payload, .. }) = &rec.event {
+                let packet: FedPacket = serde_json::from_str(payload).unwrap();
+                if let Some(deal) = msg_deal(&packet.msg) {
+                    hops.entry(deal)
+                        .or_default()
+                        .push((msg_kind(&packet.msg), packet.hop));
+                }
+            }
+        }
+        assert!(!hops.is_empty(), "no deal traffic recorded");
+        for (deal, msgs) in &hops {
+            assert_eq!(msgs[0], ("Offer", 1), "deal {deal} must start at Offer#1");
+            for pair in msgs.windows(2) {
+                assert!(
+                    pair[0].1 < pair[1].1,
+                    "deal {deal}: hops not strictly increasing: {msgs:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! * [`service`] — the event-sourced auction service: a typed event
 //!   vocabulary, an append-only digest-chained event log, and a pure
 //!   state machine that replays any recorded run byte-identically;
+//! * [`federation`] — multi-platform re-selling over the `edge-net`
+//!   substrate: the two-phase deal protocol, digest-chained fed logs,
+//!   causal span ids (`deal#hop`) on every message, and live
+//!   `edge_fed_*` metric families;
+//! * [`live`] — process-global live metric registration for the
+//!   auction/recovery/sim layers (`edge_auction_*`, `edge_recovery_*`,
+//!   `edge_sim_*`);
 //! * [`variants`] — the MSOA-DA / MSOA-RC / MSOA-OA comparisons of
 //!   Figure 5(a);
 //! * [`offline`] — exact offline optima (covering DP per round,

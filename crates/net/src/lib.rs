@@ -24,7 +24,14 @@
 //! * a **digest-chained event tape** ([`substrate::NetEvent`]) — every
 //!   send, drop, duplication, and delivery folds into an FNV-1a chain
 //!   ([`Network::digest_hex`]), so two runs agree iff their entire
-//!   network histories agree byte-for-byte.
+//!   network histories agree byte-for-byte;
+//! * **live metric families** ([`live`]) — `edge_net_messages_*`
+//!   counters (sent / delivered / dropped by reason / duplicated /
+//!   reordered), the `edge_net_logical_clock` and
+//!   `edge_net_messages_in_flight` gauges, and per-link
+//!   `edge_net_latency_ticks{link="a->b"}` summaries, all read-only
+//!   observers of the deterministic tape (scraping never perturbs a
+//!   run).
 //!
 //! # Examples
 //!

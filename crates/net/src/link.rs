@@ -63,6 +63,9 @@ pub enum MessageFate {
         delay: u64,
         /// Ticks until the duplicate copy arrives, if any.
         duplicate_delay: Option<u64>,
+        /// True when the reorder model pushed this message behind later
+        /// traffic (its extra delay is already folded into `delay`).
+        reordered: bool,
     },
 }
 
@@ -110,7 +113,8 @@ impl LinkModel {
         }
         let span = self.latency_max - self.latency_min + 1;
         let mut delay = self.latency_min + scale(u_latency, span);
-        if u_reorder < self.reorder_probability {
+        let reordered = u_reorder < self.reorder_probability;
+        if reordered {
             delay += 1 + scale(u_reorder_extra, self.reorder_max_extra.max(1));
         }
         let duplicate_delay = (u_duplicate < self.duplicate_probability)
@@ -118,6 +122,7 @@ impl LinkModel {
         MessageFate::Delivered {
             delay,
             duplicate_delay,
+            reordered,
         }
     }
 }
@@ -143,7 +148,8 @@ mod tests {
                 fate_with(&LinkModel::default(), seed),
                 MessageFate::Delivered {
                     delay: 1,
-                    duplicate_delay: None
+                    duplicate_delay: None,
+                    reordered: false,
                 }
             );
         }
@@ -198,6 +204,26 @@ mod tests {
     }
 
     #[test]
+    fn reorder_flag_marks_delayed_messages() {
+        let model = LinkModel {
+            reorder_probability: 1.0,
+            reorder_max_extra: 2,
+            ..LinkModel::default()
+        };
+        for seed in 0..50 {
+            match fate_with(&model, seed) {
+                MessageFate::Delivered {
+                    delay, reordered, ..
+                } => {
+                    assert!(reordered);
+                    assert!(delay >= 2, "a reorder always adds at least one tick");
+                }
+                other => panic!("expected delivery, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn duplicate_copy_arrives_strictly_later() {
         let model = LinkModel {
             duplicate_probability: 1.0,
@@ -210,6 +236,7 @@ mod tests {
                 MessageFate::Delivered {
                     delay,
                     duplicate_delay: Some(extra),
+                    ..
                 } => assert!(extra > delay),
                 other => panic!("expected duplicated delivery, got {other:?}"),
             }

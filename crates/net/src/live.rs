@@ -7,8 +7,13 @@
 //! scraping can never perturb a deterministic tape.
 
 use edge_telemetry::registry::global;
-use edge_telemetry::{Counter, Gauge};
+use edge_telemetry::{Counter, Gauge, Summary};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Help string shared by every `edge_net_latency_ticks` series.
+const LATENCY_HELP: &str =
+    "Delivery latency in logical ticks, send to delivery (duplicates included)";
 
 /// Registry handles for the network substrate families.
 #[derive(Debug)]
@@ -18,8 +23,15 @@ pub(crate) struct NetLive {
     pub(crate) dropped_loss: Arc<Counter>,
     pub(crate) dropped_partition: Arc<Counter>,
     pub(crate) duplicated: Arc<Counter>,
+    pub(crate) reordered: Arc<Counter>,
     pub(crate) in_flight: Arc<Gauge>,
     pub(crate) clock: Arc<Gauge>,
+    /// Unlabeled aggregate latency series, registered up front so the
+    /// family shows in `/metrics` before the first delivery.
+    latency_all: Arc<Summary>,
+    /// Per-link latency series, registered lazily on each link's first
+    /// delivery (labels are `link="from->to"`).
+    latency_links: BTreeMap<(usize, usize), Arc<Summary>>,
 }
 
 impl NetLive {
@@ -52,6 +64,11 @@ impl NetLive {
                 "Extra copies scheduled by the duplication model",
                 &[],
             ),
+            reordered: r.counter(
+                "edge_net_messages_reordered_total",
+                "Messages pushed behind later traffic by the reorder model",
+                &[],
+            ),
             in_flight: r.gauge(
                 "edge_net_inflight_messages",
                 "Messages currently queued for delivery",
@@ -62,7 +79,22 @@ impl NetLive {
                 "Current logical tick of the most recently advanced network",
                 &[],
             ),
+            latency_all: r.summary("edge_net_latency_ticks", LATENCY_HELP, &[]),
+            latency_links: BTreeMap::new(),
         }
+    }
+
+    /// Records one delivery's latency on the aggregate series and the
+    /// delivering link's `link="from->to"` series.
+    pub(crate) fn observe_latency(&mut self, from: usize, to: usize, ticks: u64) {
+        self.latency_all.observe(ticks);
+        self.latency_links
+            .entry((from, to))
+            .or_insert_with(|| {
+                let link = format!("{from}->{to}");
+                global().summary("edge_net_latency_ticks", LATENCY_HELP, &[("link", &link)])
+            })
+            .observe(ticks);
     }
 }
 

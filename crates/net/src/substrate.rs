@@ -107,6 +107,8 @@ pub struct NetStats {
     pub dropped_partition: u64,
     /// Extra copies scheduled by the duplication model.
     pub duplicated: u64,
+    /// Messages pushed behind later traffic by the reorder model.
+    pub reordered: u64,
 }
 
 /// One message surfaced by [`Network::tick`].
@@ -131,6 +133,9 @@ struct InFlight<M> {
     to: usize,
     seq: u64,
     duplicate: bool,
+    /// Clock value when the original send happened, for the delivery
+    /// latency summaries.
+    sent_tick: u64,
     payload: M,
 }
 
@@ -171,6 +176,8 @@ impl<M: Serialize + Clone> Network<M> {
         plan.validate(nodes)?;
         let header = serde_json::to_string(&plan).expect("plan serialization is infallible");
         let digest = fnv1a64(format!("{NET_GENESIS}:v{NET_VERSION}:{header}").as_bytes());
+        let live = NetLive::handle();
+        live.clock.set(0.0);
         Ok(Network {
             plan,
             nodes,
@@ -183,7 +190,7 @@ impl<M: Serialize + Clone> Network<M> {
             events_folded: 0,
             pending_events: Vec::new(),
             stats: NetStats::default(),
-            live: NetLive::handle(),
+            live,
         })
     }
 
@@ -269,7 +276,12 @@ impl<M: Serialize + Clone> Network<M> {
             crate::link::MessageFate::Delivered {
                 delay,
                 duplicate_delay,
+                reordered,
             } => {
+                if reordered {
+                    self.stats.reordered += 1;
+                    self.live.reordered.incr();
+                }
                 self.enqueue(from, to, seq, false, self.clock + delay, payload.clone());
                 if let Some(extra) = duplicate_delay {
                     let deliver_at = self.clock + extra;
@@ -306,6 +318,8 @@ impl<M: Serialize + Clone> Network<M> {
             }
             self.stats.delivered += 1;
             self.live.delivered.incr();
+            self.live
+                .observe_latency(msg.from, msg.to, self.clock - msg.sent_tick);
             self.record(NetEvent::Delivered {
                 tick: self.clock,
                 seq: msg.seq,
@@ -343,6 +357,7 @@ impl<M: Serialize + Clone> Network<M> {
                 to,
                 seq,
                 duplicate,
+                sent_tick: self.clock,
                 payload,
             },
         );
@@ -469,6 +484,17 @@ mod tests {
         }
         assert_eq!(delivered, vec![(9, "after-heal")]);
         assert_eq!(net.stats().dropped_partition, 1);
+    }
+
+    #[test]
+    fn reorder_model_counts_reordered_messages() {
+        let mut plan = NetFaultPlan::ideal(3);
+        plan.link.reorder_probability = 1.0;
+        plan.link.reorder_max_extra = 2;
+        let mut net: Network<u64> = Network::new(2, plan).unwrap();
+        net.send(0, 1, 7);
+        assert_eq!(net.stats().reordered, 1);
+        assert_eq!(net.stats().dropped_loss, 0);
     }
 
     #[test]

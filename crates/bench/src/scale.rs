@@ -1,5 +1,6 @@
-//! The scale benchmark: MSOA wall-clock and pricing-phase cost as the
-//! seller population grows to 100k, at one and several pricing threads.
+//! The scale benchmark: MSOA wall-clock, selection-phase and
+//! pricing-phase cost as the seller population grows to one million
+//! sellers, across pricing-thread and winner-selection-shard settings.
 //!
 //! Unlike the figure sweeps in [`crate::runner`] this is *not* a paper
 //! figure — it is the machine-readable evidence for the parallel
@@ -26,17 +27,44 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema identifier written into `BENCH_scale.json`.
-pub const SCALE_SCHEMA: &str = "edge-market/bench-scale/v1";
+///
+/// v2 adds the `shards`, `selection_ns`, and `merge_ns` cell columns
+/// (and the `shards` speedup column) and extends the default sweep to
+/// n = 1M with an adaptive-threads and a sharded configuration.
+/// `bench diff` still accepts v1 baselines: the missing columns default
+/// (`shards = 1`, timings 0) and cells are matched on
+/// `(n, threads, shards)`, so v1 digests stay hard-checked.
+pub const SCALE_SCHEMA: &str = "edge-market/bench-scale/v2";
+
+/// Schema identifier of the previous report generation, still accepted
+/// as a `bench diff` baseline.
+pub const SCALE_SCHEMA_V1: &str = "edge-market/bench-scale/v1";
 
 /// Seller populations swept by default (clamped by `max_n`).
-pub const SCALE_SIZES: [usize; 4] = [1_000, 10_000, 50_000, 100_000];
+pub const SCALE_SIZES: [usize; 6] = [1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000];
 
 /// Rounds per instance; identical bid lists so the incremental buffer's
 /// patched path is what gets measured after round one.
 pub const SCALE_ROUNDS: u64 = 3;
 
-/// Repetitions per cell; the median is reported.
-pub const SCALE_REPS: usize = 3;
+/// Baseline repetitions per cell; medians are reported, and the
+/// cross-config speedups compare minima of paired samples — see
+/// [`ScaleSpeedup::pricing_speedup_vs_1`]. Cells whose speedup lands
+/// *near* unity draw up to [`REFINE_CAP`] extra pairs: a few-percent
+/// disagreement between two minima is indistinguishable from scheduler
+/// noise, and minima only converge downward, so more data settles it.
+pub const SCALE_REPS: usize = 5;
+
+/// Maximum extra refinement pairs per near-unity cell.
+const REFINE_CAP: usize = 20;
+
+/// Speedups inside this band are plausibly noise around 1.0 and worth
+/// refining; outside it the difference is real and accepted as
+/// measured.
+const REFINE_BAND: (f64, f64) = (0.80, 1.25);
+
+/// Refinement stops once the speedup settles inside this band.
+const REFINE_SETTLED: (f64, f64) = (0.97, 1.03);
 
 /// One measured cell: a `(n, threads)` pair run [`SCALE_REPS`] times.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,8 +73,13 @@ pub struct ScaleCell {
     pub n: usize,
     /// Rounds in the instance.
     pub rounds: u64,
-    /// Pricing thread setting used for this cell (1 = sequential path).
+    /// Pricing thread setting used for this cell (1 = sequential path,
+    /// 0 = adaptive auto-sizing).
     pub threads: usize,
+    /// Winner-selection shard setting used for this cell (1 = unsharded
+    /// arena). v1 reports have no such column; [`parse_report`] injects
+    /// `1` when upgrading them.
+    pub shards: usize,
     /// Repetitions behind the medians.
     pub reps: usize,
     /// Median wall-clock for the whole MSOA run, nanoseconds.
@@ -56,6 +89,10 @@ pub struct ScaleCell {
     /// Median wall-clock spent in the payment (pricing) phase, summed
     /// over rounds, nanoseconds.
     pub median_pricing_ns: u64,
+    /// Minimum pricing-phase wall-clock across the reps — the
+    /// interference-robust point estimate for eyeballing a cell in
+    /// isolation. `0` in upgraded v1 reports (not recorded then).
+    pub min_pricing_ns: u64,
     /// Critical-value payments computed per second of pricing-phase
     /// wall-clock (median rep).
     pub payments_per_sec: f64,
@@ -66,6 +103,13 @@ pub struct ScaleCell {
     pub replay_iterations: u64,
     /// Of those, iterations answered in O(1) from the shared prefix.
     pub prefix_iterations: u64,
+    /// Median wall-clock in the winner-selection phase (arena build +
+    /// greedy merge), summed over rounds, nanoseconds. `0` in upgraded
+    /// v1 reports (not recorded then).
+    pub selection_ns: u64,
+    /// Of [`Self::selection_ns`], nanoseconds in the cross-shard merge
+    /// loop (the sequential argmin over lane heads).
+    pub merge_ns: u64,
     /// FNV-1a 64 digest (hex) of the serialized outcome.
     pub outcome_digest: String,
 }
@@ -78,9 +122,21 @@ pub struct ScaleSpeedup {
     pub n: usize,
     /// Rounds in the instance.
     pub rounds: u64,
-    /// The multi-threaded cell's thread setting.
+    /// The compared cell's thread setting.
     pub threads: usize,
-    /// `pricing_ns(1 thread) / pricing_ns(threads)`.
+    /// The compared cell's shard setting.
+    pub shards: usize,
+    /// `floor pricing_ns(adjacent sequential runs) / floor
+    /// pricing_ns(this cell's runs)`, where a side's *floor* is the
+    /// second-smallest of its samples. Every measured rep of a non-base
+    /// cell is immediately preceded by a sequential base run, so the
+    /// two sample sets interleave in time and see the same environment;
+    /// interference only ever *adds* time, so both floors converge to
+    /// the clean runtimes (the second-smallest additionally tolerates
+    /// one glitched reading), and near-unity cells draw extra pairs
+    /// until the floors agree ([`REFINE_CAP`]). Two configurations that
+    /// resolve to the same code path (e.g. adaptive on a single core)
+    /// therefore compare at ~1.0 even on a noisy shared box.
     pub pricing_speedup_vs_1: f64,
     /// Whether the outcome digests matched the 1-thread cell.
     pub identical_outcomes: bool,
@@ -101,6 +157,76 @@ pub struct ScaleReport {
     pub speedups: Vec<ScaleSpeedup>,
 }
 
+/// Parses a serialized scale report, transparently upgrading v1
+/// payloads to the v2 shape: the columns v1 never recorded are injected
+/// (`shards = 1`, `selection_ns = merge_ns = 0`) and the schema string
+/// is rewritten, so v1 digests and wall-clock medians stay comparable.
+/// Returns the report plus whether an upgrade happened; any other
+/// schema is rejected.
+pub fn parse_report(json: &str) -> Result<(ScaleReport, bool), String> {
+    let mut value: serde::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let schema = match &value {
+        serde::Value::Object(fields) => fields
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                ("schema", serde::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| "report has no `schema` string".to_string())?,
+        _ => return Err("report is not a JSON object".to_string()),
+    };
+    let upgraded = match schema.as_str() {
+        SCALE_SCHEMA => false,
+        SCALE_SCHEMA_V1 => {
+            upgrade_v1_in_place(&mut value);
+            true
+        }
+        other => {
+            return Err(format!(
+                "schema {other:?} is neither {SCALE_SCHEMA:?} nor the \
+                 accepted baseline schema {SCALE_SCHEMA_V1:?}"
+            ))
+        }
+    };
+    let report = serde::Deserialize::deserialize(&value).map_err(|e| e.0)?;
+    Ok((report, upgraded))
+}
+
+/// Rewrites a v1 report object into the v2 shape (see [`parse_report`]).
+fn upgrade_v1_in_place(value: &mut serde::Value) {
+    fn ensure(fields: &mut Vec<(String, serde::Value)>, name: &str, default: u64) {
+        if !fields.iter().any(|(k, _)| k == name) {
+            fields.push((name.to_string(), serde::Value::U64(default)));
+        }
+    }
+    let serde::Value::Object(top) = value else {
+        return;
+    };
+    for (key, v) in top.iter_mut() {
+        match (key.as_str(), v) {
+            ("schema", slot) => *slot = serde::Value::Str(SCALE_SCHEMA.to_string()),
+            ("cells", serde::Value::Array(cells)) => {
+                for cell in cells {
+                    if let serde::Value::Object(fields) = cell {
+                        ensure(fields, "shards", 1);
+                        ensure(fields, "min_pricing_ns", 0);
+                        ensure(fields, "selection_ns", 0);
+                        ensure(fields, "merge_ns", 0);
+                    }
+                }
+            }
+            ("speedups", serde::Value::Array(speedups)) => {
+                for s in speedups {
+                    if let serde::Value::Object(fields) = s {
+                        ensure(fields, "shards", 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// FNV-1a 64 over a byte string — stable, dependency-free fingerprint.
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -116,60 +242,198 @@ fn median(mut xs: Vec<u64>) -> u64 {
     xs[xs.len() / 2]
 }
 
-/// Runs one `(n, threads)` cell: [`SCALE_REPS`] repetitions over the
-/// same seeded instance, medians over wall-clock, counters from the
-/// median-total rep.
-fn run_cell(n: usize, threads: usize) -> ScaleCell {
+/// Per-rep samples accumulated for one configuration of a population.
+#[derive(Default)]
+struct CellSamples {
+    totals: Vec<u64>,
+    pricing_ns: Vec<u64>,
+    selection_ns: Vec<u64>,
+    merge_ns: Vec<u64>,
+    /// Pricing-phase nanoseconds of a base-configuration run executed
+    /// *immediately before* the matching `pricing_ns` entry — the
+    /// tightest pairing available for the speedup ratio.
+    paired_base_ns: Vec<u64>,
+    last: Option<(
+        edge_auction::msoa::MsoaOutcome,
+        edge_telemetry::pricing::PricingSnapshot,
+    )>,
+}
+
+/// Runs all of one population's configurations with **interleaved**
+/// repetitions: rep `r` visits every configuration before rep `r + 1`
+/// starts, so the configurations sample the same process state
+/// (allocator, caches, frequency) and their cross-config ratios compare
+/// like with like. Measuring each configuration's reps back-to-back
+/// instead lets slow drift between cells masquerade as a speedup — the
+/// very artifact the adaptive gate exists to catch.
+///
+/// Returns the cells plus, per cell, the
+/// `min(adjacent base pricing) / min(cell pricing)` speedup estimate
+/// (`None` for the base cell itself, and when no base configuration is
+/// in the grid).
+fn run_row(n: usize, configs: &[(usize, usize)]) -> (Vec<ScaleCell>, Vec<Option<f64>>) {
     let mut rng = derive_rng(n as u64, "bench-scale");
     let instance = scale_instance(n, SCALE_ROUNDS, &mut rng);
     let config = MsoaConfig::pinned(2.0);
-    set_pricing_threads(threads);
+    let mut samples: Vec<CellSamples> = configs.iter().map(|_| CellSamples::default()).collect();
 
-    let mut totals = Vec::with_capacity(SCALE_REPS);
-    let mut pricing_ns = Vec::with_capacity(SCALE_REPS);
-    let mut last = None;
-    for _ in 0..SCALE_REPS {
+    // One untimed warmup pass primes the allocator, page cache and
+    // branch predictors, so the first measured rep of the first
+    // configuration isn't uniquely cold — without it the sequential
+    // base pays the cold-start cost and every ratio against it skews.
+    for &(threads, shards) in configs {
+        set_pricing_threads(threads);
+        edge_auction::set_shards(shards);
+        let _ = run_msoa(&instance, &config).expect("scale instances are feasible");
+    }
+
+    let measure = |threads: usize, shards: usize| {
+        set_pricing_threads(threads);
+        edge_auction::set_shards(shards);
         let before = edge_telemetry::pricing::snapshot();
+        let sel_before = edge_telemetry::selection::snapshot();
         let start = Instant::now();
         let outcome = run_msoa(&instance, &config).expect("scale instances are feasible");
-        totals.push(start.elapsed().as_nanos() as u64);
+        let total = start.elapsed().as_nanos() as u64;
         let delta = edge_telemetry::pricing::snapshot().delta_since(&before);
-        pricing_ns.push(delta.nanos);
-        last = Some((outcome, delta));
-    }
-    let (outcome, counters) = last.expect("SCALE_REPS >= 1");
-    let median_total_ns = median(totals);
-    let median_pricing_ns = median(pricing_ns);
-    let payments_per_sec = if median_pricing_ns == 0 {
-        0.0
-    } else {
-        counters.replays as f64 / (median_pricing_ns as f64 / 1e9)
+        let sel_delta = edge_telemetry::selection::snapshot().delta_since(&sel_before);
+        (total, delta, sel_delta, outcome)
     };
-    let serialized = serde_json::to_string(&outcome).expect("outcomes are plain data");
-    ScaleCell {
-        n,
-        rounds: SCALE_ROUNDS,
-        threads,
-        reps: SCALE_REPS,
-        median_total_ns,
-        median_ns_per_round: median_total_ns / SCALE_ROUNDS,
-        median_pricing_ns,
-        payments_per_sec,
-        payment_replays: counters.replays,
-        replay_iterations: counters.replay_iterations,
-        prefix_iterations: counters.prefix_iterations,
-        outcome_digest: format!("{:016x}", fnv1a64(serialized.as_bytes())),
+
+    // Floor estimate per side: the *second*-smallest sample. A plain
+    // minimum converges to the clean runtime but is wrecked by a single
+    // anomalously fast reading on one side; the second-smallest keeps
+    // the convergence (interference only adds time) while tolerating
+    // one glitch, and applying it to both sides keeps the ratio
+    // unbiased for identical code paths.
+    fn floor_sample(xs: &[u64]) -> Option<u64> {
+        let mut v: Vec<u64> = xs.iter().copied().filter(|&x| x > 0).collect();
+        v.sort_unstable();
+        match v.len() {
+            0 => None,
+            1 => Some(v[0]),
+            _ => Some(v[1]),
+        }
     }
+
+    let base_at = configs.iter().position(|&(t, k)| t == 1 && k == 1);
+    for _ in 0..SCALE_REPS {
+        for (ci, (&(threads, shards), cell)) in configs.iter().zip(samples.iter_mut()).enumerate() {
+            // Precede every non-base measurement with a throwaway-cell
+            // base run: the pair runs back-to-back, so its ratio sees
+            // at most one run's worth of environment drift — far
+            // tighter than pairing against the base cell's own rep,
+            // which ran several configurations earlier.
+            if base_at.is_some_and(|b| b != ci) {
+                let (_, base_delta, _, _) = measure(1, 1);
+                cell.paired_base_ns.push(base_delta.nanos);
+            }
+            let (total, delta, sel_delta, outcome) = measure(threads, shards);
+            cell.totals.push(total);
+            cell.pricing_ns.push(delta.nanos);
+            cell.selection_ns.push(sel_delta.selection_ns);
+            cell.merge_ns.push(sel_delta.merge_ns);
+            cell.last = Some((outcome, delta));
+        }
+    }
+
+    // Refinement: a near-unity min ratio may still be noise — the side
+    // that happened to never draw a clean sample looks slower than it
+    // is. Extra back-to-back pairs can only move both minima toward
+    // the clean runtimes, so draw them until the ratio settles (or the
+    // cap says the residual difference is real at this sample size).
+    if let Some(bi) = base_at {
+        for (ci, &(threads, shards)) in configs.iter().enumerate() {
+            if ci == bi {
+                continue;
+            }
+            for _ in 0..REFINE_CAP {
+                let cell = &samples[ci];
+                let (Some(b), Some(c)) = (
+                    floor_sample(&cell.paired_base_ns),
+                    floor_sample(&cell.pricing_ns),
+                ) else {
+                    break;
+                };
+                let ratio = b as f64 / c as f64;
+                let in_band = ratio >= REFINE_BAND.0 && ratio <= REFINE_BAND.1;
+                let settled = ratio >= REFINE_SETTLED.0 && ratio <= REFINE_SETTLED.1;
+                if !in_band || settled {
+                    break;
+                }
+                let (_, base_delta, _, _) = measure(1, 1);
+                let (total, delta, sel_delta, _) = measure(threads, shards);
+                let cell = &mut samples[ci];
+                cell.paired_base_ns.push(base_delta.nanos);
+                cell.totals.push(total);
+                cell.pricing_ns.push(delta.nanos);
+                cell.selection_ns.push(sel_delta.selection_ns);
+                cell.merge_ns.push(sel_delta.merge_ns);
+            }
+        }
+    }
+
+    let mut rep_ratios = Vec::with_capacity(configs.len());
+    let cells = configs
+        .iter()
+        .zip(samples)
+        .map(|(&(threads, shards), cell)| {
+            rep_ratios.push(
+                match (
+                    floor_sample(&cell.paired_base_ns),
+                    floor_sample(&cell.pricing_ns),
+                ) {
+                    (Some(b), Some(c)) => Some(b as f64 / c as f64),
+                    _ => None,
+                },
+            );
+            let (outcome, counters) = cell.last.expect("SCALE_REPS >= 1");
+            let reps = cell.pricing_ns.len();
+            let median_total_ns = median(cell.totals);
+            let min_pricing_ns = cell.pricing_ns.iter().copied().min().unwrap_or(0);
+            let median_pricing_ns = median(cell.pricing_ns);
+            let payments_per_sec = if median_pricing_ns == 0 {
+                0.0
+            } else {
+                counters.replays as f64 / (median_pricing_ns as f64 / 1e9)
+            };
+            let serialized = serde_json::to_string(&outcome).expect("outcomes are plain data");
+            ScaleCell {
+                n,
+                rounds: SCALE_ROUNDS,
+                threads,
+                shards,
+                reps,
+                median_total_ns,
+                median_ns_per_round: median_total_ns / SCALE_ROUNDS,
+                median_pricing_ns,
+                min_pricing_ns,
+                payments_per_sec,
+                payment_replays: counters.replays,
+                replay_iterations: counters.replay_iterations,
+                prefix_iterations: counters.prefix_iterations,
+                selection_ns: median(cell.selection_ns),
+                merge_ns: median(cell.merge_ns),
+                outcome_digest: format!("{:016x}", fnv1a64(serialized.as_bytes())),
+            }
+        })
+        .collect();
+    (cells, rep_ratios)
 }
 
 /// Runs the scale sweep: populations from [`SCALE_SIZES`] up to
-/// `max_n`, each at the given thread counts (`None` sweeps `{1, 4}`).
-/// Restores the process pricing-thread setting afterwards.
-pub fn run_scale(max_n: usize, threads: Option<usize>) -> ScaleReport {
+/// `max_n`. With neither knob pinned, each population runs the default
+/// configuration grid — sequential `(threads 1, shards 1)`, threaded
+/// `(4, 1)`, adaptive `(0, 1)`, and sharded `(1, 4)`; pinning `threads`
+/// and/or `shards` collapses the grid to that single configuration
+/// (unpinned knob → `1`). Restores the process thread and shard
+/// settings afterwards.
+pub fn run_scale(max_n: usize, threads: Option<usize>, shards: Option<usize>) -> ScaleReport {
     let saved = pricing_threads_setting();
-    let thread_counts: Vec<usize> = match threads {
-        Some(t) => vec![t],
-        None => vec![1, 4],
+    let saved_shards = edge_auction::shards_setting();
+    let configs: Vec<(usize, usize)> = match (threads, shards) {
+        (None, None) => vec![(1, 1), (4, 1), (0, 1), (1, 4)],
+        (t, k) => vec![(t.unwrap_or(1), k.unwrap_or(1))],
     };
     let sizes: Vec<usize> = SCALE_SIZES
         .into_iter()
@@ -182,38 +446,56 @@ pub fn run_scale(max_n: usize, threads: Option<usize>) -> ScaleReport {
     };
 
     let mut cells = Vec::new();
+    let mut rep_ratios: Vec<Option<f64>> = Vec::new();
     let mut cell_us = Vec::new();
     for &n in &sizes {
-        for &t in &thread_counts {
-            let cell = run_cell(n, t);
+        let (row_cells, row_ratios) = run_row(n, &configs);
+        for (cell, ratio) in row_cells.into_iter().zip(row_ratios) {
             cell_us.push(cell.median_total_ns / 1_000);
             cells.push(cell);
+            rep_ratios.push(ratio);
         }
     }
     set_pricing_threads(saved);
+    edge_auction::set_shards(saved_shards);
 
     let mut speedups = Vec::new();
     for &n in &sizes {
-        let Some(base) = cells.iter().find(|c| c.n == n && c.threads == 1) else {
+        let Some(base_at) = cells
+            .iter()
+            .position(|c| c.n == n && c.threads == 1 && c.shards == 1)
+        else {
             continue;
         };
-        for cell in cells.iter().filter(|c| c.n == n && c.threads != 1) {
+        let base = &cells[base_at];
+        for (at, cell) in cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.n == n && (c.threads != 1 || c.shards != 1))
+        {
+            // Minima of time-interleaved samples: each measured rep of
+            // this cell was immediately preceded by a base run, and
+            // interference only ever adds time, so each side's minimum
+            // estimates its clean runtime. Falls back to the
+            // median-cell ratio if no adjacent sample is usable.
+            let pricing_speedup_vs_1 = match rep_ratios[at] {
+                Some(ratio) => ratio,
+                None if cell.median_pricing_ns == 0 => 1.0,
+                None => base.median_pricing_ns as f64 / cell.median_pricing_ns as f64,
+            };
             speedups.push(ScaleSpeedup {
                 n,
                 rounds: cell.rounds,
                 threads: cell.threads,
-                pricing_speedup_vs_1: if cell.median_pricing_ns == 0 {
-                    1.0
-                } else {
-                    base.median_pricing_ns as f64 / cell.median_pricing_ns as f64
-                },
+                shards: cell.shards,
+                pricing_speedup_vs_1,
                 identical_outcomes: cell.outcome_digest == base.outcome_digest,
             });
         }
     }
 
     crate::profile::set_stage("scale");
-    crate::profile::record_sweep(sizes.len(), thread_counts.len() as u64, &cell_us);
+    crate::profile::record_sweep(sizes.len(), configs.len() as u64, &cell_us);
 
     ScaleReport {
         schema: SCALE_SCHEMA.to_string(),
@@ -229,32 +511,37 @@ impl ScaleReport {
         let mut t = Table::new([
             "n",
             "threads",
+            "shards",
             "ms/round",
+            "selection ms",
+            "merge ms",
             "pricing ms",
             "payments/s",
             "replays",
-            "prefix iters",
             "digest",
         ]);
         for c in &self.cells {
             t.push([
                 c.n.to_string(),
                 c.threads.to_string(),
+                c.shards.to_string(),
                 format!("{:.2}", c.median_ns_per_round as f64 / 1e6),
+                format!("{:.2}", c.selection_ns as f64 / 1e6),
+                format!("{:.2}", c.merge_ns as f64 / 1e6),
                 format!("{:.2}", c.median_pricing_ns as f64 / 1e6),
                 format!("{:.0}", c.payments_per_sec),
                 c.payment_replays.to_string(),
-                c.prefix_iterations.to_string(),
                 c.outcome_digest.clone(),
             ]);
         }
         let mut out = t.render();
         for s in &self.speedups {
             out.push_str(&format!(
-                "n={}: pricing x{:.2} at {} threads, outcomes {}\n",
+                "n={}: pricing x{:.2} at {} threads / {} shards, outcomes {}\n",
                 s.n,
                 s.pricing_speedup_vs_1,
                 s.threads,
+                s.shards,
                 if s.identical_outcomes {
                     "identical"
                 } else {
@@ -284,26 +571,89 @@ mod tests {
     }
 
     #[test]
-    fn small_sweep_produces_identical_digests_across_threads() {
-        let report = run_scale(1_000, None);
+    fn small_sweep_produces_identical_digests_across_configs() {
+        let report = run_scale(1_000, None, None);
         assert_eq!(report.schema, SCALE_SCHEMA);
-        assert_eq!(report.cells.len(), 2, "one size, two thread counts");
         assert_eq!(
-            report.cells[0].outcome_digest,
-            report.cells[1].outcome_digest
+            report.cells.len(),
+            4,
+            "one size: sequential, threaded, adaptive, sharded"
         );
+        let base = &report.cells[0];
+        assert_eq!(base.threads, 1);
+        assert_eq!(base.shards, 1);
+        for cell in &report.cells {
+            assert_eq!(cell.outcome_digest, base.outcome_digest);
+        }
+        assert_eq!(report.speedups.len(), 3, "every non-base config compared");
         assert!(report.speedups.iter().all(|s| s.identical_outcomes));
         assert!(report.cells.iter().all(|c| c.payment_replays > 0));
         let json = report.to_json();
         assert!(json.contains("\"outcome_digest\""));
+        assert!(json.contains("\"shards\""));
+        assert!(json.contains("\"selection_ns\""));
         assert!(json.contains(SCALE_SCHEMA));
         assert!(report.render().contains("payments/s"));
     }
 
     #[test]
+    fn v1_reports_upgrade_with_defaulted_columns() {
+        // A v1 report has no shards/selection_ns/merge_ns columns.
+        let v1 = r#"{
+            "schema": "edge-market/bench-scale/v1",
+            "threads_available": 1,
+            "cells": [{
+                "n": 1000, "rounds": 3, "threads": 4, "reps": 3,
+                "median_total_ns": 1, "median_ns_per_round": 1,
+                "median_pricing_ns": 1, "payments_per_sec": 1.0,
+                "payment_replays": 1, "replay_iterations": 1,
+                "prefix_iterations": 1, "outcome_digest": "aa"
+            }],
+            "speedups": [{
+                "n": 1000, "rounds": 3, "threads": 4,
+                "pricing_speedup_vs_1": 1.0, "identical_outcomes": true
+            }]
+        }"#;
+        let (report, upgraded) = parse_report(v1).unwrap();
+        assert!(upgraded);
+        assert_eq!(report.schema, SCALE_SCHEMA);
+        assert_eq!(report.cells[0].shards, 1);
+        assert_eq!(report.cells[0].min_pricing_ns, 0);
+        assert_eq!(report.cells[0].selection_ns, 0);
+        assert_eq!(report.cells[0].merge_ns, 0);
+        assert_eq!(report.cells[0].outcome_digest, "aa");
+        assert_eq!(report.speedups[0].shards, 1);
+    }
+
+    #[test]
+    fn v2_reports_parse_without_upgrade_and_others_are_rejected() {
+        let report = run_scale(1_000, Some(1), None);
+        let (parsed, upgraded) = parse_report(&report.to_json()).unwrap();
+        assert!(!upgraded);
+        assert_eq!(
+            parsed.cells[0].outcome_digest,
+            report.cells[0].outcome_digest
+        );
+
+        let bogus = report
+            .to_json()
+            .replace(SCALE_SCHEMA, "edge-market/bench-scale/v99");
+        let err = parse_report(&bogus).unwrap_err();
+        assert!(err.contains("v99"), "{err}");
+    }
+
+    #[test]
     fn pinned_thread_count_sweeps_single_column() {
-        let report = run_scale(1_000, Some(1));
+        let report = run_scale(1_000, Some(1), None);
         assert_eq!(report.cells.len(), 1);
         assert!(report.speedups.is_empty());
+    }
+
+    #[test]
+    fn pinned_shards_sweep_single_sharded_column() {
+        let report = run_scale(1_000, None, Some(2));
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].threads, 1);
+        assert_eq!(report.cells[0].shards, 2);
     }
 }

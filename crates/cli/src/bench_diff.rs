@@ -2,7 +2,9 @@
 //!
 //! Compares a fresh scale-benchmark run (or a `--fresh` report file)
 //! against the committed `BENCH_scale.json` baseline, cell by cell over
-//! the intersecting `(n, threads)` pairs:
+//! the intersecting `(n, threads, shards)` triples. v1 baselines (no
+//! shard column) are upgraded on load — their cells compare as
+//! `shards = 1` and their digests stay hard-checked:
 //!
 //! * **outcome digests must match exactly** — a digest mismatch means
 //!   the auction now computes different winners or payments, which is
@@ -20,7 +22,7 @@
 
 use crate::args::{ArgsError, ParsedArgs};
 use crate::commands::CliError;
-use edge_bench::scale::{run_scale, ScaleReport, SCALE_SCHEMA};
+use edge_bench::scale::{parse_report, run_scale, ScaleReport};
 use edge_bench::table::Table;
 use std::fmt::Write as _;
 use std::fs;
@@ -30,7 +32,7 @@ use std::fs;
 pub struct DiffOutcome {
     /// The rendered, human-readable comparison table + verdict.
     pub rendered: String,
-    /// Cells compared (intersection of `(n, threads)` pairs).
+    /// Cells compared (intersection of `(n, threads, shards)` triples).
     pub compared: usize,
     /// Human-readable regression descriptions; empty means pass.
     pub regressions: Vec<String>,
@@ -41,6 +43,7 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
     let mut table = Table::new([
         "n",
         "threads",
+        "shards",
         "digest",
         "base ms",
         "fresh ms",
@@ -51,11 +54,9 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     for base_cell in &base.cells {
-        let Some(fresh_cell) = fresh
-            .cells
-            .iter()
-            .find(|c| c.n == base_cell.n && c.threads == base_cell.threads)
-        else {
+        let Some(fresh_cell) = fresh.cells.iter().find(|c| {
+            c.n == base_cell.n && c.threads == base_cell.threads && c.shards == base_cell.shards
+        }) else {
             continue;
         };
         compared += 1;
@@ -64,17 +65,24 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
         if !digest_ok {
             verdicts.push("DIGEST");
             regressions.push(format!(
-                "n={} threads={}: outcome digest changed {} -> {} (outcomes must be bit-identical)",
-                base_cell.n, base_cell.threads, base_cell.outcome_digest, fresh_cell.outcome_digest
+                "n={} threads={} shards={}: outcome digest changed {} -> {} \
+                 (outcomes must be bit-identical)",
+                base_cell.n,
+                base_cell.threads,
+                base_cell.shards,
+                base_cell.outcome_digest,
+                fresh_cell.outcome_digest
             ));
         }
         let ratio = ratio_of(fresh_cell.median_total_ns, base_cell.median_total_ns);
         if ratio > 1.0 + tolerance {
             verdicts.push("SLOW");
             regressions.push(format!(
-                "n={} threads={}: total wall-clock {:.2}x the baseline (tolerance {:.2}x)",
+                "n={} threads={} shards={}: total wall-clock {:.2}x the baseline \
+                 (tolerance {:.2}x)",
                 base_cell.n,
                 base_cell.threads,
+                base_cell.shards,
                 ratio,
                 1.0 + tolerance
             ));
@@ -83,9 +91,11 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
         if pricing_ratio > 1.0 + tolerance {
             verdicts.push("SLOW-PRICING");
             regressions.push(format!(
-                "n={} threads={}: pricing phase {:.2}x the baseline (tolerance {:.2}x)",
+                "n={} threads={} shards={}: pricing phase {:.2}x the baseline \
+                 (tolerance {:.2}x)",
                 base_cell.n,
                 base_cell.threads,
+                base_cell.shards,
                 pricing_ratio,
                 1.0 + tolerance
             ));
@@ -93,6 +103,7 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
         table.push([
             base_cell.n.to_string(),
             base_cell.threads.to_string(),
+            base_cell.shards.to_string(),
             if digest_ok { "ok" } else { "CHANGED" }.to_string(),
             format!("{:.2}", base_cell.median_total_ns as f64 / 1e6),
             format!("{:.2}", fresh_cell.median_total_ns as f64 / 1e6),
@@ -138,15 +149,12 @@ fn ratio_of(fresh_ns: u64, base_ns: u64) -> f64 {
     }
 }
 
-fn load_report(path: &str) -> Result<ScaleReport, CliError> {
-    let report: ScaleReport = serde_json::from_str(&fs::read_to_string(path)?)?;
-    if report.schema != SCALE_SCHEMA {
-        return Err(CliError::BenchRegression(format!(
-            "{path}: schema {:?} is not the expected {SCALE_SCHEMA:?}",
-            report.schema
-        )));
-    }
-    Ok(report)
+/// Loads and parses a report file, upgrading v1 payloads; the bool
+/// reports whether an upgrade happened (surfaced as a note, never an
+/// error — v1 cells stay hard-checked after upgrade).
+fn load_report(path: &str) -> Result<(ScaleReport, bool), CliError> {
+    parse_report(&fs::read_to_string(path)?)
+        .map_err(|e| CliError::BenchRegression(format!("{path}: {e}")))
 }
 
 /// The `bench diff` command body.
@@ -156,6 +164,7 @@ pub fn bench_diff(args: &ParsedArgs) -> Result<String, CliError> {
         "fresh",
         "scale-max-n",
         "pricing-threads",
+        "shards",
         "tolerance",
     ])?;
     let baseline_path = args.get("baseline").unwrap_or("BENCH_scale.json");
@@ -168,15 +177,16 @@ pub fn bench_diff(args: &ParsedArgs) -> Result<String, CliError> {
         }
         .into());
     }
-    let baseline = load_report(baseline_path)?;
+    let (baseline, baseline_upgraded) = load_report(baseline_path)?;
 
     let (fresh, fresh_source) = match args.get("fresh") {
-        Some(path) => (load_report(path)?, path.to_owned()),
+        Some(path) => (load_report(path)?.0, path.to_owned()),
         None => {
             let max_n = args.get_or("scale-max-n", 1_000usize)?;
             let pinned = crate::commands::apply_pricing_threads(args)?;
+            let pinned_shards = crate::commands::apply_shards(args)?;
             (
-                run_scale(max_n, pinned),
+                run_scale(max_n, pinned, pinned_shards),
                 format!("fresh run (max n {max_n})"),
             )
         }
@@ -186,6 +196,13 @@ pub fn bench_diff(args: &ParsedArgs) -> Result<String, CliError> {
     let mut out = format!(
         "bench diff: {baseline_path} (baseline) vs {fresh_source}, tolerance {tolerance}\n"
     );
+    if baseline_upgraded {
+        let _ = writeln!(
+            out,
+            "note: baseline schema upgraded from v1 (shard column defaulted to 1; \
+             digests still hard-checked)"
+        );
+    }
     out.push_str(&outcome.rendered);
     if outcome.compared == 0 {
         return Err(CliError::BenchRegression(format!(
@@ -207,7 +224,7 @@ mod tests {
     fn tiny_report() -> ScaleReport {
         // A real (tiny) run keeps the struct shape honest without
         // hand-building cells.
-        run_scale(1_000, Some(1))
+        run_scale(1_000, Some(1), None)
     }
 
     #[test]
@@ -248,6 +265,34 @@ mod tests {
             "{:?}",
             forgiving.regressions
         );
+    }
+
+    #[test]
+    fn v1_baseline_file_upgrades_with_note() {
+        let dir = std::env::temp_dir().join(format!("edge-bench-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1-baseline.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "schema": "edge-market/bench-scale/v1",
+                "threads_available": 1,
+                "cells": [{
+                    "n": 1000, "rounds": 3, "threads": 1, "reps": 3,
+                    "median_total_ns": 5, "median_ns_per_round": 1,
+                    "median_pricing_ns": 2, "payments_per_sec": 1.0,
+                    "payment_replays": 4, "replay_iterations": 9,
+                    "prefix_iterations": 3, "outcome_digest": "aa"
+                }],
+                "speedups": []
+            }"#,
+        )
+        .unwrap();
+        let (report, upgraded) = load_report(path.to_str().unwrap()).unwrap();
+        assert!(upgraded);
+        assert_eq!(report.cells[0].shards, 1);
+        assert_eq!(report.cells[0].outcome_digest, "aa");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

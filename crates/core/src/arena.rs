@@ -1,0 +1,518 @@
+//! The cloud-sharded, cache-friendly SoA bid arena behind SSAM's greedy.
+//!
+//! [`crate::ssam`]'s lazy-deletion heap is *semantically* an argmin: each
+//! iteration it returns the unsold, safe bid minimizing the greedy key
+//! `(∇/U, seller, id)` with `∇/U = price / min(amount, remaining)`
+//! (DESIGN.md §5 — lazy deletion and permanent unsafe-discards are pure
+//! optimizations over that functional contract). This module implements
+//! the same argmin over a **structure-of-arrays arena** partitioned into
+//! *lanes*:
+//!
+//! * Bids are grouped by `(shard, amount class)`. Sellers map to shards
+//!   in contiguous blocks of the (sorted) seller table — the stand-in
+//!   for "edge cloud / resource region" locality. Every lane is sorted
+//!   once by `(price, seller, id)` under the total order of
+//!   `f64::total_cmp`.
+//! * Within a lane all bids share one `amount`, so they share the
+//!   denominator `min(amount, remaining)` at every state — price order
+//!   **is** key order, for any `remaining`. The lane head (first entry
+//!   past the cursor) is therefore the lane's minimum, and the global
+//!   argmin is the minimum over lane heads with the heap's exact
+//!   `(key, seller, id)` tie-break.
+//! * Cursors only move forward: a head entry whose seller already sold
+//!   is dead forever, and an *unsafe* head is dead forever by the
+//!   "once unsafe, always unsafe" monotonicity the heap already relies
+//!   on — so a skip is a permanent cursor advance, never a re-scan.
+//!
+//! One pedantic wrinkle keeps bit-exactness airtight: two *different*
+//! prices can divide to the *same* f64 key (rounding). The heap would
+//! then tie-break on `(seller, id)` across those prices, while a lane
+//! orders them by price. [`BidArena::pop_best`] detects the case (a
+//! binary search to the next price run, almost never taken) and scans
+//! the colliding runs for the true `(seller, id)` minimum.
+//!
+//! Sharding never changes results: shards only partition lanes, and the
+//! merge compares **all** lane heads under the global tie-break, so any
+//! shard count — including 1 — pops the identical sequence. What shards
+//! buy is parallel arena *construction* (each shard's lanes sort
+//! independently) and cache locality at scale; what lanes buy is O(L)
+//! replay *forking* — a payment replay clones the cursor vector instead
+//! of rebuilding an O(n) heap (see `ssam.rs`'s batched replays).
+//!
+//! The arena is an internal engine: `ssam.rs` falls back to the heap
+//! when an instance is not lane-friendly (more distinct amounts than
+//! [`crate::pricing`]'s lane-class cap, or ids beyond `u32`), and the
+//! differential suite pins both engines to the scan oracle bit-for-bit.
+
+use crate::bid::Bid;
+use crate::ssam::HeapStats;
+use edge_common::id::MicroserviceId;
+use std::collections::BTreeMap;
+
+/// Sellers of one auction, sorted ascending, with their best offers —
+/// the slot-indexed (dense) mirror of the `per_seller_best` map.
+#[derive(Debug)]
+pub(crate) struct SellerTable {
+    ids: Vec<MicroserviceId>,
+    max: Vec<u64>,
+}
+
+impl SellerTable {
+    /// Builds the table from the feasibility pass's per-seller best map
+    /// (already sorted — `BTreeMap` iterates in seller order).
+    pub(crate) fn new(per_seller_best: &BTreeMap<MicroserviceId, u64>) -> Self {
+        let mut ids = Vec::with_capacity(per_seller_best.len());
+        let mut max = Vec::with_capacity(per_seller_best.len());
+        for (&s, &m) in per_seller_best {
+            ids.push(s);
+            max.push(m);
+        }
+        SellerTable { ids, max }
+    }
+
+    /// Number of sellers (slots).
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The slot of a seller known to be in the table.
+    pub(crate) fn slot_of(&self, seller: MicroserviceId) -> u32 {
+        self.ids
+            .binary_search(&seller)
+            .expect("seller is in the table") as u32
+    }
+
+    /// The seller occupying `slot`.
+    pub(crate) fn id_of(&self, slot: u32) -> MicroserviceId {
+        self.ids[slot as usize]
+    }
+
+    /// The best (max-amount) offer of the seller in `slot`.
+    pub(crate) fn max_of(&self, slot: u32) -> u64 {
+        self.max[slot as usize]
+    }
+
+    /// Σ best offers — the initial `total_max` of a greedy run.
+    pub(crate) fn total_max(&self) -> u64 {
+        self.max.iter().sum()
+    }
+}
+
+/// Maps an `f64`'s bits so unsigned order equals `f64::total_cmp` order.
+fn total_order_key(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// One candidate bid the argmin returned: enough to reconstruct the bid
+/// (`cand` indexes the caller's candidate list) and to sell it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pick {
+    /// Lane the entry lives in.
+    pub lane: u32,
+    /// Position within the lane's column range (absolute column index).
+    pub pos: u32,
+    /// The greedy key `price / min(amount, remaining)` — exactly the
+    /// `r_k` the heap path computes, same arithmetic, same bits.
+    pub key: f64,
+    /// Seller slot.
+    pub slot: u32,
+    /// Bid id (raw index).
+    pub bid: u32,
+    /// Index into the candidate list the arena was built from.
+    pub cand: u32,
+    /// The lane's amount class (= the bid's amount).
+    pub amount: u64,
+}
+
+/// The SoA lane arena. Columns are contiguous across lanes;
+/// `lane_start` delimits each lane's range. Lanes are shard-major,
+/// class-minor: `lane = shard * classes.len() + class_index`.
+#[derive(Debug)]
+pub(crate) struct BidArena {
+    classes: Vec<u64>,
+    lane_start: Vec<u32>,
+    price: Vec<f64>,
+    slot: Vec<u32>,
+    bid: Vec<u32>,
+    cand: Vec<u32>,
+}
+
+/// Scatter entry used during construction: sort key is
+/// `(total-order price bits, slot, bid)` — unique per entry because a
+/// seller cannot reuse a bid id.
+type BuildEntry = (u64, u32, u32, u32);
+
+impl BidArena {
+    /// Builds the arena over `candidates`, or `None` when the instance
+    /// is not lane-friendly: more distinct amounts than `class_cap`
+    /// (each class costs a lane per shard, and the merge is O(lanes)
+    /// per pop), or ids/positions beyond `u32`.
+    pub(crate) fn build(
+        candidates: &[&Bid],
+        table: &SellerTable,
+        shards: usize,
+        class_cap: usize,
+    ) -> Option<BidArena> {
+        if candidates.len() >= u32::MAX as usize || table.len() >= u32::MAX as usize {
+            return None;
+        }
+        let mut classes: Vec<u64> = candidates.iter().map(|b| b.amount).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.is_empty() || classes.len() > class_cap {
+            return (classes.is_empty()).then(|| BidArena {
+                classes,
+                lane_start: vec![0],
+                price: Vec::new(),
+                slot: Vec::new(),
+                bid: Vec::new(),
+                cand: Vec::new(),
+            });
+        }
+        if candidates.iter().any(|b| b.id.index() >= u32::MAX as usize) {
+            return None;
+        }
+
+        let n_classes = classes.len();
+        let n_slots = table.len();
+        let shards = shards.clamp(1, n_slots.max(1));
+        let lanes = shards * n_classes;
+
+        // Slot → shard in contiguous blocks over the sorted seller
+        // table; class by binary search. One counting pass, one scatter.
+        let lane_of = |slot: u32, amount: u64| -> usize {
+            let shard = (slot as usize * shards) / n_slots;
+            let class = classes.binary_search(&amount).expect("amount is a class");
+            shard * n_classes + class
+        };
+        let mut counts = vec![0u32; lanes];
+        let mut entry_lane = Vec::with_capacity(candidates.len());
+        for b in candidates {
+            let lane = lane_of(table.slot_of(b.seller), b.amount);
+            counts[lane] += 1;
+            entry_lane.push(lane as u32);
+        }
+        let mut lane_start = Vec::with_capacity(lanes + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            lane_start.push(acc);
+            acc += c;
+        }
+        lane_start.push(acc);
+
+        let mut entries: Vec<BuildEntry> = vec![(0, 0, 0, 0); candidates.len()];
+        let mut fill = lane_start[..lanes].to_vec();
+        for (i, b) in candidates.iter().enumerate() {
+            let lane = entry_lane[i] as usize;
+            let at = fill[lane] as usize;
+            fill[lane] += 1;
+            entries[at] = (
+                total_order_key(b.price.value()),
+                table.slot_of(b.seller),
+                b.id.index() as u32,
+                i as u32,
+            );
+        }
+
+        sort_shards(&mut entries, &lane_start, shards, n_classes);
+
+        let mut price = Vec::with_capacity(entries.len());
+        let mut slot = Vec::with_capacity(entries.len());
+        let mut bid = Vec::with_capacity(entries.len());
+        let mut cand = Vec::with_capacity(entries.len());
+        for &(_, s, b, c) in &entries {
+            price.push(candidates[c as usize].price.value());
+            slot.push(s);
+            bid.push(b);
+            cand.push(c);
+        }
+        Some(BidArena {
+            classes,
+            lane_start,
+            price,
+            slot,
+            bid,
+            cand,
+        })
+    }
+
+    /// Number of lanes (shards × amount classes).
+    pub(crate) fn lanes(&self) -> usize {
+        self.lane_start.len() - 1
+    }
+
+    /// A fresh cursor vector: every lane at its own start offset
+    /// (cursors are absolute column indices).
+    pub(crate) fn initial_cursors(&self) -> Vec<u32> {
+        self.lane_start[..self.lanes()].to_vec()
+    }
+
+    /// Marks a picked entry consumed when it sits exactly at the lane
+    /// head (its seller just sold, so the skip is permanent). A deeper
+    /// pick — possible only through the key-collision path — stays and
+    /// dies lazily instead.
+    pub(crate) fn consume(&self, cursors: &mut [u32], pick: &Pick) {
+        if cursors[pick.lane as usize] == pick.pos {
+            cursors[pick.lane as usize] = pick.pos + 1;
+        }
+    }
+
+    /// The unsold, safe bid minimizing `(key, seller, id)` — the exact
+    /// functional contract of the heap's `pop_best_safe`, over lane
+    /// cursors. `sold` must answer per-slot liveness (including
+    /// excluded-seller and replay-epoch rules); `safe` is the
+    /// feasibility filter for `(amount, slot)`. Skipped heads advance
+    /// `cursors` permanently; counters land in `stats` (`pops` counts
+    /// examined entries, discards as in the heap, `repushes` stays 0 —
+    /// lane keys are computed fresh each pop and cannot go stale).
+    pub(crate) fn pop_best(
+        &self,
+        cursors: &mut [u32],
+        remaining: u64,
+        stats: &mut HeapStats,
+        sold: impl Fn(u32) -> bool,
+        safe: impl Fn(u64, u32) -> bool,
+    ) -> Option<Pick> {
+        let n_classes = self.classes.len();
+        let mut best: Option<Pick> = None;
+        for (lane, cursor) in cursors.iter_mut().enumerate() {
+            let amount = self.classes[lane % n_classes];
+            let end = self.lane_start[lane + 1];
+            let mut pos = *cursor;
+            // Permanent skips: sold sellers and unsafe entries.
+            while pos < end {
+                let s = self.slot[pos as usize];
+                if sold(s) {
+                    stats.pops += 1;
+                    stats.sold_discards += 1;
+                    pos += 1;
+                    continue;
+                }
+                if !safe(amount, s) {
+                    stats.pops += 1;
+                    stats.unsafe_discards += 1;
+                    pos += 1;
+                    continue;
+                }
+                break;
+            }
+            *cursor = pos;
+            if pos >= end {
+                continue;
+            }
+            let denom = amount.min(remaining) as f64;
+            let key = self.price[pos as usize] / denom;
+            let mut lane_best = Pick {
+                lane: lane as u32,
+                pos,
+                key,
+                slot: self.slot[pos as usize],
+                bid: self.bid[pos as usize],
+                cand: self.cand[pos as usize],
+                amount,
+            };
+            self.resolve_key_collisions(&mut lane_best, end, denom, &sold, |s| safe(amount, s));
+            let better = match &best {
+                None => true,
+                Some(b) => lane_best
+                    .key
+                    .total_cmp(&b.key)
+                    .then_with(|| lane_best.slot.cmp(&b.slot))
+                    .then_with(|| lane_best.bid.cmp(&b.bid))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(lane_best);
+            }
+        }
+        if best.is_some() {
+            stats.pops += 1;
+        }
+        best
+    }
+
+    /// Rare-path exactness: if a *different* price later in the lane
+    /// divides to the same f64 key, the heap would tie-break on
+    /// `(seller, id)` across the colliding prices — scan those runs for
+    /// the true minimum. The first binary search + one division decide
+    /// "no collision" (the overwhelmingly common case) in O(log n).
+    fn resolve_key_collisions(
+        &self,
+        lane_best: &mut Pick,
+        end: u32,
+        denom: f64,
+        sold: &impl Fn(u32) -> bool,
+        safe: impl Fn(u32) -> bool,
+    ) {
+        let mut run_start = lane_best.pos;
+        loop {
+            let run_bits = self.price[run_start as usize].to_bits();
+            let range = &self.price[run_start as usize..end as usize];
+            let next = run_start + range.partition_point(|p| p.to_bits() == run_bits) as u32;
+            if next >= end {
+                return;
+            }
+            let key2 = self.price[next as usize] / denom;
+            if key2.total_cmp(&lane_best.key).is_ne() {
+                return;
+            }
+            // Colliding run: its first *valid* entry is its (seller, id)
+            // minimum among valid entries only if we walk in order.
+            let next_bits = self.price[next as usize].to_bits();
+            let mut t = next;
+            while t < end && self.price[t as usize].to_bits() == next_bits {
+                let s = self.slot[t as usize];
+                if !sold(s) && safe(s) {
+                    if (self.slot[t as usize], self.bid[t as usize])
+                        < (lane_best.slot, lane_best.bid)
+                    {
+                        lane_best.pos = t;
+                        lane_best.slot = self.slot[t as usize];
+                        lane_best.bid = self.bid[t as usize];
+                        lane_best.cand = self.cand[t as usize];
+                    }
+                    break;
+                }
+                t += 1;
+            }
+            run_start = next;
+        }
+    }
+}
+
+/// Sorts every lane's range by `(price, seller, id)`; shards sort in
+/// parallel when the pool allows (the comparator is total and keys are
+/// unique, so thread count cannot change the result).
+fn sort_shards(entries: &mut [BuildEntry], lane_start: &[u32], shards: usize, n_classes: usize) {
+    let sort_shard = |chunk: &mut [BuildEntry], shard: usize, base: u32| {
+        for class in 0..n_classes {
+            let lane = shard * n_classes + class;
+            let lo = (lane_start[lane] - base) as usize;
+            let hi = (lane_start[lane + 1] - base) as usize;
+            chunk[lo..hi].sort_unstable();
+        }
+    };
+    if shards <= 1 || crate::pricing::current_pricing_threads() <= 1 {
+        for shard in 0..shards {
+            let base = 0;
+            sort_shard(entries, shard, base);
+        }
+        return;
+    }
+    // Split the columns at shard boundaries; each chunk is one shard's
+    // contiguous lane block.
+    let mut chunks: Vec<(usize, u32, &mut [BuildEntry])> = Vec::with_capacity(shards);
+    let mut rest = entries;
+    let mut consumed = 0u32;
+    for shard in 0..shards {
+        let shard_end = lane_start[(shard + 1) * n_classes];
+        let take = (shard_end - consumed) as usize;
+        let (chunk, tail) = rest.split_at_mut(take);
+        chunks.push((shard, consumed, chunk));
+        consumed = shard_end;
+        rest = tail;
+    }
+    crossbeam::scope(|scope| {
+        for (shard, base, chunk) in chunks {
+            scope.spawn(move |_| sort_shard(chunk, shard, base));
+        }
+    })
+    .expect("shard sort scope panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_common::id::BidId;
+
+    fn bid(seller: usize, id: usize, amount: u64, price: f64) -> Bid {
+        Bid::new(MicroserviceId::new(seller), BidId::new(id), amount, price).unwrap()
+    }
+
+    fn table_of(bids: &[Bid]) -> SellerTable {
+        let mut best = BTreeMap::new();
+        for b in bids {
+            let e = best.entry(b.seller).or_insert(0u64);
+            *e = (*e).max(b.amount);
+        }
+        SellerTable::new(&best)
+    }
+
+    #[test]
+    fn total_order_key_matches_total_cmp() {
+        let values = [-1.5, -0.0, 0.0, 0.5, 1.0, f64::MAX];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    total_order_key(a).cmp(&total_order_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_pops_in_key_order() {
+        let bids = vec![
+            bid(0, 0, 2, 6.0), // $3/u
+            bid(1, 0, 2, 4.0), // $2/u  ← first
+            bid(2, 0, 3, 9.0), // $3/u, bigger class
+        ];
+        let refs: Vec<&Bid> = bids.iter().collect();
+        let table = table_of(&bids);
+        let arena = BidArena::build(&refs, &table, 1, 64).unwrap();
+        let mut cursors = arena.initial_cursors();
+        let mut stats = HeapStats::default();
+        let pick = arena
+            .pop_best(&mut cursors, 7, &mut stats, |_| false, |_, _| true)
+            .unwrap();
+        assert_eq!(table.id_of(pick.slot), MicroserviceId::new(1));
+        assert_eq!(pick.key, 2.0);
+        assert!(stats.pops > 0);
+    }
+
+    #[test]
+    fn sharding_does_not_change_pop_order() {
+        let bids: Vec<Bid> = (0..40)
+            .map(|s| bid(s, 0, 1 + (s as u64 % 3), 1.0 + (s as f64 * 7.0) % 13.0))
+            .collect();
+        let refs: Vec<&Bid> = bids.iter().collect();
+        let table = table_of(&bids);
+        let pops_at = |shards: usize| {
+            let arena = BidArena::build(&refs, &table, shards, 64).unwrap();
+            let mut cursors = arena.initial_cursors();
+            let mut stats = HeapStats::default();
+            let mut sold = vec![false; table.len()];
+            let mut order = Vec::new();
+            while let Some(p) = arena.pop_best(
+                &mut cursors,
+                100,
+                &mut stats,
+                |s| sold[s as usize],
+                |_, _| true,
+            ) {
+                sold[p.slot as usize] = true;
+                arena.consume(&mut cursors, &p);
+                order.push((p.slot, p.bid));
+            }
+            order
+        };
+        assert_eq!(pops_at(1), pops_at(4));
+        assert_eq!(pops_at(1).len(), 40);
+    }
+
+    #[test]
+    fn class_cap_refuses_wide_instances() {
+        let bids: Vec<Bid> = (0..10).map(|s| bid(s, 0, 1 + s as u64, 5.0)).collect();
+        let refs: Vec<&Bid> = bids.iter().collect();
+        let table = table_of(&bids);
+        assert!(BidArena::build(&refs, &table, 1, 4).is_none());
+        assert!(BidArena::build(&refs, &table, 1, 64).is_some());
+    }
+}

@@ -69,6 +69,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
+pub(crate) mod arena;
 pub mod baselines;
 pub mod bid;
 pub mod budget;
@@ -108,8 +109,10 @@ pub use multi_buyer::{
 pub use offline::{offline_optimum_multi, offline_optimum_round, per_round_dp_bound, OfflineBound};
 pub use pricing::{
     available_pricing_threads, current_pricing_threads, pricing_threads_setting,
-    set_pricing_threads,
+    set_pricing_threads, set_shards, shards_setting,
 };
+#[doc(hidden)]
+pub use pricing::{lane_class_cap, replay_batch_setting, set_lane_class_cap, set_replay_batch};
 pub use properties::{
     audit_truthfulness, break_even_unit_charge, check_critical_payments,
     check_individual_rationality, check_monotonicity, economic_loss, TruthfulnessViolation,

@@ -1,4 +1,4 @@
-//! The critical-value pricing thread pool.
+//! Process-global runtime knobs and the critical-value pricing pool.
 //!
 //! Every winner's payment replay is independent of the others (each
 //! replays the auction with a different seller excluded), so the payment
@@ -10,17 +10,65 @@
 //! the sequential path. One thread (the default) takes the exact
 //! sequential code path with no spawning at all.
 //!
-//! The pool size is ambient process state, mirroring
-//! `edge_bench::parallel`: benchmarks and the CLI set it once
-//! (`--pricing-threads`), and every auction in the process picks it up.
+//! The pool size, the winner-selection shard count, and the replay batch
+//! size are ambient process state, mirroring `edge_bench::parallel`:
+//! benchmarks and the CLI set them once (`--pricing-threads`,
+//! `--shards`), and every auction in the process picks them up. None of
+//! them may observably change an outcome or a trace — they are tuning
+//! knobs, not configuration, which is also why they are *not* part of
+//! [`crate::ssam::SsamConfig`] (whose serialized form is folded into
+//! event-log header digests).
+//!
+//! # Adaptive sizing (`--pricing-threads 0`)
+//!
+//! `0` used to resolve to `available_parallelism`, which made four
+//! threads *slower* than one on small instances (committed baseline:
+//! 0.49x at n=10k on a 1-core box) — spawn/steal overhead swamped the
+//! actual work. Auto now *measures* instead of assuming: a one-time
+//! probe times a trivial scoped spawn ([`spawn_overhead_ns`]), an EMA
+//! tracks the observed per-replay cost of previous payment phases, and
+//! [`fan_out_weighted`] only adds a worker when the estimated work share
+//! it would take is several times its spawn cost. On a single-core box
+//! the pool is always 1. Thread-count choice is outcome-neutral (the
+//! differential suite proves byte-identical traces at any count), so a
+//! measured — machine-dependent — choice is safe where anything
+//! observable would not be.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Configured pricing threads; `0` means "auto-detect at use". Defaults
+/// Configured pricing threads; `0` means "adaptive at use". Defaults
 /// to `1` — the exact sequential path — so library users opt in to
 /// parallelism explicitly.
 static PRICING_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Configured winner-selection shards; `0` means "auto-detect at use".
+/// Defaults to `1` — one shard, the unsharded arena.
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Replay batch size; `0` means "auto-size from the winner count and
+/// pool", `1` prices every winner in its own batch (the differential
+/// oracle's configuration).
+static REPLAY_BATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// EMA of the observed cost of one payment replay, nanoseconds.
+/// `0` = no observation yet (cold process).
+static REPLAY_EMA_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Max distinct amount classes the SoA lane arena will take on; wider
+/// instances fall back to the lazy-deletion heap. `0` disables the
+/// arena entirely (the differential suite uses it to force the legacy
+/// engine).
+static LANE_CLASS_CAP: AtomicUsize = AtomicUsize::new(64);
+
+/// Per-replay cost assumed before the first measurement. Deliberately
+/// small: a cold process under-threads rather than over-threads.
+const COLD_REPLAY_ESTIMATE_NS: u64 = 2_000;
+
+/// A worker is only added when its estimated share of the work is at
+/// least this multiple of the measured spawn overhead.
+const SPAWN_AMORTIZATION: u64 = 8;
 
 /// Threads the host offers (always at least 1).
 pub fn available_pricing_threads() -> usize {
@@ -28,24 +76,160 @@ pub fn available_pricing_threads() -> usize {
 }
 
 /// Sets the pricing pool size for subsequent auctions in this process.
-/// `0` auto-detects from [`available_pricing_threads`] at use; `1`
-/// (the default) runs payments on the calling thread.
+/// `0` sizes the pool adaptively per payment phase (measured spawn
+/// overhead vs estimated replay work — never more than the detected
+/// parallelism); `1` (the default) runs payments on the calling thread.
 pub fn set_pricing_threads(threads: usize) {
     PRICING_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// The raw configured value (`0` = auto), as last set.
+/// The raw configured value (`0` = adaptive), as last set.
 pub fn pricing_threads_setting() -> usize {
     PRICING_THREADS.load(Ordering::Relaxed)
 }
 
-/// The pool size auctions will actually use, with `0` resolved to the
-/// detected parallelism.
+/// The pool-size *ceiling* auctions will use, with `0` resolved to the
+/// detected parallelism. Under the adaptive setting the actual pool for
+/// a given payment phase may be smaller — down to 1 — when the measured
+/// work does not cover the spawn overhead.
 pub fn current_pricing_threads() -> usize {
     match PRICING_THREADS.load(Ordering::Relaxed) {
         0 => available_pricing_threads(),
         n => n,
     }
+}
+
+/// Sets the winner-selection shard count for subsequent auctions.
+/// `0` auto-detects from the available parallelism; `1` (the default)
+/// keeps a single shard. Sharding is outcome-neutral by construction:
+/// shards only partition the bid arena's lanes, and the greedy merge
+/// compares all lane heads globally, so any shard count produces
+/// byte-identical outcomes and traces.
+pub fn set_shards(shards: usize) {
+    SHARDS.store(shards, Ordering::Relaxed);
+}
+
+/// The raw configured shard count (`0` = auto), as last set.
+pub fn shards_setting() -> usize {
+    SHARDS.load(Ordering::Relaxed)
+}
+
+/// The shard count a selection over `n_sellers` will actually use:
+/// the setting (auto → detected parallelism), capped so every shard
+/// holds a useful number of sellers and the lane table stays small.
+/// Collapses to 1 — the unsharded path — for small instances.
+pub(crate) fn effective_shards(n_sellers: usize) -> usize {
+    let k = match SHARDS.load(Ordering::Relaxed) {
+        0 => available_pricing_threads(),
+        n => n,
+    };
+    k.clamp(1, 64).min(n_sellers.max(1))
+}
+
+/// Sets the replay batch size. `0` (default) auto-sizes; `1` forces
+/// one winner per batch — the per-winner oracle the differential suite
+/// compares batched pricing against. Batching is outcome-neutral:
+/// batches share a cursor snapshot, not results.
+#[doc(hidden)]
+pub fn set_replay_batch(batch: usize) {
+    REPLAY_BATCH.store(batch, Ordering::Relaxed);
+}
+
+/// The raw configured replay batch size (`0` = auto), as last set.
+#[doc(hidden)]
+pub fn replay_batch_setting() -> usize {
+    REPLAY_BATCH.load(Ordering::Relaxed)
+}
+
+/// Sets the lane-class cap: the maximum number of distinct bid amounts
+/// the SoA arena will lane-partition before falling back to the heap
+/// engine. `0` forces the heap engine for every instance. Engine choice
+/// is outcome-neutral (both compute the same argmin; the differential
+/// suite pins them bit-for-bit), so this is a tuning/testing knob.
+#[doc(hidden)]
+pub fn set_lane_class_cap(cap: usize) {
+    LANE_CLASS_CAP.store(cap, Ordering::Relaxed);
+}
+
+/// The current lane-class cap (`0` = arena disabled).
+#[doc(hidden)]
+pub fn lane_class_cap() -> usize {
+    LANE_CLASS_CAP.load(Ordering::Relaxed)
+}
+
+/// The batch size to use for `winners` replays on a pool of `threads`.
+pub(crate) fn effective_replay_batch(winners: usize, threads: usize) -> usize {
+    match REPLAY_BATCH.load(Ordering::Relaxed) {
+        0 => (winners / (threads.max(1) * 4)).clamp(1, 64),
+        n => n,
+    }
+}
+
+/// Feeds one payment phase's observed cost into the per-replay EMA.
+pub(crate) fn note_pricing_phase(replays: u64, nanos: u64) {
+    if replays == 0 {
+        return;
+    }
+    let per_replay = nanos / replays;
+    let _ = REPLAY_EMA_NS.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+        Some(if old == 0 {
+            per_replay
+        } else {
+            (3 * old + per_replay) / 4
+        })
+    });
+}
+
+/// The current per-replay cost estimate, nanoseconds.
+pub(crate) fn replay_cost_estimate_ns() -> u64 {
+    match REPLAY_EMA_NS.load(Ordering::Relaxed) {
+        0 => COLD_REPLAY_ESTIMATE_NS,
+        n => n,
+    }
+}
+
+/// Measured cost of spawning and joining one scoped worker thread,
+/// probed once per process. The probe itself is cheap (a handful of
+/// trivial spawns) and never observable in outcomes: it only shapes the
+/// pool size, which is proven outcome-neutral.
+fn spawn_overhead_ns() -> u64 {
+    static PROBE: OnceLock<u64> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        const SPAWNS: u32 = 4;
+        let start = std::time::Instant::now();
+        let ok = crossbeam::scope(|scope| {
+            for _ in 0..SPAWNS {
+                scope.spawn(|_| std::hint::black_box(0u64));
+            }
+        })
+        .is_ok();
+        let per_spawn = start.elapsed().as_nanos() as u64 / u64::from(SPAWNS);
+        // A failed probe (or an impossibly fast clock) falls back to a
+        // conservative figure so auto stays shy of over-threading.
+        if ok {
+            per_spawn.max(1_000)
+        } else {
+            1_000_000
+        }
+    })
+}
+
+/// The pool size for `n` units of estimated `unit_cost_ns` each:
+/// honors an explicit setting; sizes adaptively when the setting is `0`.
+fn pool_size(n: usize, unit_cost_ns: u64) -> usize {
+    let configured = PRICING_THREADS.load(Ordering::Relaxed);
+    let ceiling = match configured {
+        0 => available_pricing_threads(),
+        t => t,
+    }
+    .clamp(1, n.max(1));
+    if configured != 0 || ceiling <= 1 {
+        return ceiling;
+    }
+    let total_work = (n as u64).saturating_mul(unit_cost_ns);
+    let min_per_worker = spawn_overhead_ns().saturating_mul(SPAWN_AMORTIZATION);
+    let useful = (total_work / min_per_worker.max(1)) as usize;
+    useful.clamp(1, ceiling)
 }
 
 /// Runs `f(0), f(1), …, f(n - 1)` and returns the results in index
@@ -58,7 +242,17 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = current_pricing_threads().clamp(1, n.max(1));
+    fan_out_weighted(n, replay_cost_estimate_ns(), f)
+}
+
+/// [`fan_out`] with an explicit per-unit cost estimate, for callers
+/// whose units are coarser than one replay (e.g. replay *batches*).
+pub(crate) fn fan_out_weighted<R, F>(n: usize, unit_cost_ns: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = pool_size(n, unit_cost_ns);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -136,5 +330,64 @@ mod tests {
         assert_eq!(fan_out(0, |i| i), Vec::<usize>::new());
         assert_eq!(fan_out(2, |i| i + 1), vec![1, 2]);
         set_pricing_threads(1);
+    }
+
+    #[test]
+    fn adaptive_pool_stays_sequential_for_tiny_work() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let prev = pricing_threads_setting();
+        set_pricing_threads(0);
+        // A few units of sub-microsecond work can never amortize a
+        // spawn: auto must choose the sequential path.
+        assert_eq!(pool_size(4, 10), 1);
+        // Huge work is allowed to use the full ceiling.
+        assert_eq!(pool_size(1_000_000, 1_000_000), available_pricing_threads());
+        set_pricing_threads(prev);
+    }
+
+    #[test]
+    fn adaptive_pool_respects_explicit_settings() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let prev = pricing_threads_setting();
+        set_pricing_threads(3);
+        // Explicit settings are never second-guessed.
+        assert_eq!(pool_size(100, 1), 3);
+        set_pricing_threads(prev);
+    }
+
+    #[test]
+    fn shard_setting_round_trips_and_collapses() {
+        let prev = shards_setting();
+        set_shards(4);
+        assert_eq!(shards_setting(), 4);
+        assert_eq!(effective_shards(1_000_000), 4);
+        // Fewer sellers than shards: collapse to one per seller.
+        assert_eq!(effective_shards(2), 2);
+        assert_eq!(effective_shards(0), 1);
+        set_shards(1);
+        assert_eq!(effective_shards(1_000_000), 1);
+        set_shards(prev);
+    }
+
+    #[test]
+    fn replay_batch_auto_scales_with_winners() {
+        let prev = replay_batch_setting();
+        set_replay_batch(0);
+        assert_eq!(effective_replay_batch(0, 1), 1);
+        assert_eq!(effective_replay_batch(16, 4), 1);
+        assert_eq!(effective_replay_batch(1_000, 1), 64, "capped at 64");
+        set_replay_batch(1);
+        assert_eq!(effective_replay_batch(1_000, 1), 1, "explicit override");
+        set_replay_batch(prev);
+    }
+
+    #[test]
+    fn ema_tracks_observed_replay_cost() {
+        note_pricing_phase(0, 999); // no-op
+        note_pricing_phase(10, 10_000); // 1k per replay
+        let est = replay_cost_estimate_ns();
+        assert!(est > 0);
+        note_pricing_phase(10, 10_000);
+        assert!(replay_cost_estimate_ns() > 0);
     }
 }

@@ -46,12 +46,57 @@ pub(crate) enum Slot {
     Scaled(Price),
 }
 
+/// SoA fingerprint of the bid list the slots were built from: four
+/// contiguous columns instead of a cloned `Vec<Bid>`, so the per-round
+/// staleness check streams cache lines instead of chasing struct
+/// padding, and the rebuild snapshot costs four dense arrays.
+///
+/// Prices are fingerprinted as stored bits: differing bits force a
+/// rebuild (always safe — a rebuild recomputes identical results), and
+/// equal bits imply equal values, so the check can never *miss* a
+/// changed list.
+#[derive(Debug, Default)]
+struct BidFingerprint {
+    sellers: Vec<MicroserviceId>,
+    ids: Vec<BidId>,
+    amounts: Vec<u64>,
+    price_bits: Vec<u64>,
+}
+
+impl BidFingerprint {
+    fn capture(bids: &[Bid]) -> Self {
+        let mut fp = BidFingerprint {
+            sellers: Vec::with_capacity(bids.len()),
+            ids: Vec::with_capacity(bids.len()),
+            amounts: Vec::with_capacity(bids.len()),
+            price_bits: Vec::with_capacity(bids.len()),
+        };
+        for b in bids {
+            fp.sellers.push(b.seller);
+            fp.ids.push(b.id);
+            fp.amounts.push(b.amount);
+            fp.price_bits.push(b.price.value().to_bits());
+        }
+        fp
+    }
+
+    fn matches(&self, bids: &[Bid]) -> bool {
+        self.sellers.len() == bids.len()
+            && bids.iter().enumerate().all(|(i, b)| {
+                self.sellers[i] == b.seller
+                    && self.ids[i] == b.id
+                    && self.amounts[i] == b.amount
+                    && self.price_bits[i] == b.price.value().to_bits()
+            })
+    }
+}
+
 /// Arena-backed scaled-bid buffer with per-seller dirty tracking.
 #[derive(Debug)]
 pub(crate) struct RoundBuffer<C> {
-    /// The bid list the slots were built from — the rebuild fingerprint.
+    /// SoA fingerprint of the bid list the slots were built from.
     /// `None` until the first round (and after [`Self::invalidate`]).
-    built_bids: Option<Vec<Bid>>,
+    fingerprint: Option<BidFingerprint>,
     /// `(seller index, fate)` per bid, aligned with the bid list.
     slots: Vec<(usize, Slot)>,
     /// Last-seen evaluation context per seller; `None` forces a
@@ -67,7 +112,7 @@ pub(crate) struct RoundBuffer<C> {
 impl<C: PartialEq + Copy> RoundBuffer<C> {
     pub(crate) fn new(num_sellers: usize) -> Self {
         RoundBuffer {
-            built_bids: None,
+            fingerprint: None,
             slots: Vec::new(),
             ctx: vec![None; num_sellers],
             originals: BTreeMap::new(),
@@ -77,7 +122,7 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
     /// Drops the fingerprint so the next [`Self::round`] rebuilds from
     /// scratch — the cold oracle calls this before every round.
     pub(crate) fn invalidate(&mut self) {
-        self.built_bids = None;
+        self.fingerprint = None;
     }
 
     /// Brings the slots up to date for this round and returns them in
@@ -101,11 +146,11 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
     {
         debug_assert_eq!(self.ctx.len(), seller_ctx.len());
         let rebuild = self
-            .built_bids
+            .fingerprint
             .as_ref()
-            .is_none_or(|built| built.as_slice() != bids);
+            .is_none_or(|built| !built.matches(bids));
         if rebuild {
-            self.built_bids = Some(bids.to_vec());
+            self.fingerprint = Some(BidFingerprint::capture(bids));
             self.originals.clear();
             for (i, b) in bids.iter().enumerate() {
                 self.originals.insert((b.seller, b.id), i);

@@ -295,9 +295,43 @@ pub fn run_ssam_traced(
         });
     }
 
+    // Winner selection runs on one of two engines computing the same
+    // argmin sequence (and therefore bit-identical selections, payments,
+    // and traces — the differential suite pins them to each other and to
+    // the scan oracle): the SoA lane arena (`crate::arena`), sharded by
+    // seller region, for instances whose distinct amounts fit the lane
+    // table; or the original lazy-deletion heap for arbitrarily wide
+    // instances. Wall-clock telemetry goes to the ambient selection
+    // counters, never into the trace.
     let demand = instance.demand();
     let mut stats = SsamStats::default();
-    let selection = greedy_select(candidates.clone(), demand, &mut stats.heap);
+    let selection_start = std::time::Instant::now();
+    let table = crate::arena::SellerTable::new(&per_seller_best);
+    let class_cap = crate::pricing::lane_class_cap();
+    let arena = if class_cap == 0 {
+        None
+    } else {
+        crate::arena::BidArena::build(
+            &candidates,
+            &table,
+            crate::pricing::effective_shards(table.len()),
+            class_cap,
+        )
+    };
+    let mut merge_ns = 0u64;
+    let (selection, snapshots) = match &arena {
+        Some(a) => {
+            let merge_start = std::time::Instant::now();
+            let (sel, snaps) = greedy_select_arena(a, &table, &candidates, demand, &mut stats.heap);
+            merge_ns = merge_start.elapsed().as_nanos() as u64;
+            (sel, Some(snaps))
+        }
+        None => (
+            greedy_select(candidates.clone(), demand, &mut stats.heap),
+            None,
+        ),
+    };
+    edge_telemetry::selection::record(selection_start.elapsed().as_nanos() as u64, merge_ns);
 
     if trace.is_on() {
         let mut remaining = demand;
@@ -338,11 +372,14 @@ pub fn run_ssam_traced(
     // at any thread count.
     let pricing_start = std::time::Instant::now();
     let (prefix, position) = build_prefix(&selection, demand, supply, &per_seller_best);
-    let replays: Vec<ReplayOutcome> = crate::pricing::fan_out(selection.len(), |p| {
-        let (winner, _) = &selection[p];
-        let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
-        replay_payment(&candidates, &prefix, &position, p, winner, phantom)
-    });
+    let replays: Vec<ReplayOutcome> = match (&arena, &snapshots) {
+        (Some(a), Some(snaps)) => batched_replays(a, &table, &selection, &prefix, &position, snaps),
+        _ => crate::pricing::fan_out(selection.len(), |p| {
+            let (winner, _) = &selection[p];
+            let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
+            replay_payment(&candidates, &prefix, &position, p, winner, phantom)
+        }),
+    };
 
     let mut winners: Vec<WinningBid> = Vec::with_capacity(selection.len());
     for ((winner, c), replay) in selection.iter().zip(replays) {
@@ -403,13 +440,16 @@ pub fn run_ssam_traced(
 
     // Wall-clock goes to the ambient profile counters, never into the
     // trace: traces must stay byte-identical across machines and thread
-    // counts.
+    // counts. The same observation feeds the adaptive pool's per-replay
+    // cost EMA (`--pricing-threads 0`).
+    let pricing_ns = pricing_start.elapsed().as_nanos() as u64;
     edge_telemetry::pricing::record(
         stats.payment_replays,
         stats.replay_iterations,
         stats.prefix_iterations,
-        pricing_start.elapsed().as_nanos() as u64,
+        pricing_ns,
     );
+    crate::pricing::note_pricing_phase(stats.payment_replays, pricing_ns);
 
     let social_cost: Price = winners.iter().map(|w| w.price).sum();
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
@@ -643,6 +683,212 @@ fn greedy_select(
     }
     stats.absorb(state.stats);
     selection
+}
+
+/// Cursor snapshots are taken every this many selections; a payment
+/// replay forks from the latest snapshot at or before its winner's
+/// position. The stride trades snapshot memory (`W/16 × lanes` u32s)
+/// against at most 15 extra query-time skips per replay. Crucially the
+/// snapshot a replay forks from depends only on its winner's *position*
+/// — never on how replays are batched over workers — so batch size
+/// cannot change traces or stats.
+const SNAPSHOT_STRIDE: usize = 16;
+
+/// The greedy winner selection on the SoA lane arena — the same argmin
+/// sequence as [`greedy_select`] (both implement `pop_best_safe`'s
+/// functional contract), plus periodic cursor snapshots for the payment
+/// replays to fork from.
+fn greedy_select_arena(
+    arena: &crate::arena::BidArena,
+    table: &crate::arena::SellerTable,
+    candidates: &[&crate::bid::Bid],
+    demand: u64,
+    stats: &mut HeapStats,
+) -> (Vec<(crate::bid::Bid, u64)>, Vec<Vec<u32>>) {
+    let mut cursors = arena.initial_cursors();
+    let mut snapshots: Vec<Vec<u32>> = Vec::new();
+    let mut sold = vec![false; table.len()];
+    let mut total_max = table.total_max();
+    let mut remaining = demand;
+    let mut selection: Vec<(crate::bid::Bid, u64)> = Vec::new();
+    while remaining > 0 {
+        if selection.len().is_multiple_of(SNAPSHOT_STRIDE) {
+            snapshots.push(cursors.clone());
+        }
+        let (rem, tm) = (remaining, total_max);
+        let pick = arena
+            .pop_best(
+                &mut cursors,
+                rem,
+                stats,
+                |s| sold[s as usize],
+                |a, s| contribution(a, rem) + (tm - table.max_of(s)) >= rem,
+            )
+            .expect("a safe bid exists while the feasibility invariant holds");
+        let winner = *candidates[pick.cand as usize];
+        let c = contribution(winner.amount, remaining);
+        remaining -= c;
+        total_max -= table.max_of(pick.slot);
+        sold[pick.slot as usize] = true;
+        arena.consume(&mut cursors, &pick);
+        selection.push((winner, c));
+    }
+    (selection, snapshots)
+}
+
+/// All winners' payment replays on the arena, batched over the pricing
+/// pool. Each batch is one work unit sharing a cursor scratch buffer
+/// and a per-batch epoch array (replay-local "sold" marks, cleared by
+/// epoch id instead of refilling); each *winner* still forks from the
+/// snapshot determined by its own position, so results, traces, and
+/// stats are byte-identical at any batch size and thread count —
+/// `--replay-batch 1` is the per-winner oracle the differential suite
+/// compares against.
+fn batched_replays(
+    arena: &crate::arena::BidArena,
+    table: &crate::arena::SellerTable,
+    selection: &[(crate::bid::Bid, u64)],
+    prefix: &[PrefixStep],
+    position: &std::collections::BTreeMap<MicroserviceId, usize>,
+    snapshots: &[Vec<u32>],
+) -> Vec<ReplayOutcome> {
+    let winners = selection.len();
+    if winners == 0 {
+        return Vec::new();
+    }
+    let mut position_by_slot = vec![u32::MAX; table.len()];
+    for (s, &p) in position {
+        position_by_slot[table.slot_of(*s) as usize] = p as u32;
+    }
+    let batch =
+        crate::pricing::effective_replay_batch(winners, crate::pricing::current_pricing_threads());
+    let n_batches = winners.div_ceil(batch);
+    let unit_cost = crate::pricing::replay_cost_estimate_ns().saturating_mul(batch as u64);
+    let batched: Vec<Vec<ReplayOutcome>> =
+        crate::pricing::fan_out_weighted(n_batches, unit_cost, |bi| {
+            let lo = bi * batch;
+            let hi = (lo + batch).min(winners);
+            let mut work = arena.initial_cursors();
+            let mut epoch = vec![0u32; table.len()];
+            (lo..hi)
+                .map(|p| {
+                    let (winner, _) = &selection[p];
+                    let w_slot = table.slot_of(winner.seller);
+                    work.copy_from_slice(&snapshots[p / SNAPSHOT_STRIDE]);
+                    replay_payment_arena(
+                        arena,
+                        table,
+                        prefix,
+                        &position_by_slot,
+                        p,
+                        w_slot,
+                        winner.amount,
+                        table.max_of(w_slot),
+                        &mut work,
+                        &mut epoch,
+                        (p - lo) as u32 + 1,
+                    )
+                })
+                .collect()
+        });
+    batched.into_iter().flatten().collect()
+}
+
+/// [`replay_payment`] on the arena: identical prefix arithmetic, and a
+/// suffix that forks from a selection-time cursor snapshot instead of
+/// rebuilding a heap. Sellers sold before position `p` (or the excluded
+/// winner, or sellers sold *within this replay* — marked via `epoch`)
+/// are skipped at query time, which is exactly the lazy-deletion heap's
+/// candidate set, so thresholds and [`CriticalSource`] provenance are
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn replay_payment_arena(
+    arena: &crate::arena::BidArena,
+    table: &crate::arena::SellerTable,
+    prefix: &[PrefixStep],
+    position_by_slot: &[u32],
+    p: usize,
+    winner_slot: u32,
+    amount: u64,
+    phantom: u64,
+    work: &mut [u32],
+    epoch: &mut [u32],
+    epoch_id: u32,
+) -> ReplayOutcome {
+    let mut threshold = 0.0f64;
+    let mut source: Option<CriticalSource> = None;
+    for (k, step) in prefix.iter().take(p).enumerate() {
+        let c = contribution(amount, step.remaining);
+        if c + (step.total_max - phantom) >= step.remaining {
+            let candidate = step.unit_price * c as f64;
+            if candidate > threshold {
+                threshold = candidate;
+                source = Some(CriticalSource {
+                    seller: step.seller,
+                    bid: step.bid,
+                    iteration: k as u64,
+                    unit_price: step.unit_price,
+                    contribution: c,
+                });
+            }
+        }
+    }
+    // Suffix from the fork state: the real run's remaining and
+    // total_max entering iteration `p` (the phantom convention makes
+    // `prefix[p].total_max` equal the legacy suffix heap's total).
+    let mut heap = HeapStats::default();
+    let mut remaining = prefix[p].remaining;
+    let mut total_max = prefix[p].total_max;
+    let mut iteration = p as u64;
+    let p32 = p as u32;
+    while remaining > 0 {
+        let (rem, tm) = (remaining, total_max);
+        let pick = arena.pop_best(
+            work,
+            rem,
+            &mut heap,
+            |s| {
+                s == winner_slot
+                    || position_by_slot[s as usize] < p32
+                    || epoch[s as usize] == epoch_id
+            },
+            |a, s| contribution(a, rem) + (tm - table.max_of(s)) >= rem,
+        );
+        let Some(pick) = pick else {
+            return ReplayOutcome {
+                threshold: None,
+                heap,
+                iterations: iteration,
+                prefix_iterations: p as u64,
+            };
+        };
+        // `pick.key` is `r_k = price / min(amount, remaining)`, computed
+        // with the same operations as `ratio` — same bits.
+        if contribution(amount, rem) + (tm - phantom) >= rem {
+            let candidate = pick.key * contribution(amount, rem) as f64;
+            if candidate > threshold {
+                threshold = candidate;
+                source = Some(CriticalSource {
+                    seller: table.id_of(pick.slot),
+                    bid: BidId::new(pick.bid as usize),
+                    iteration,
+                    unit_price: pick.key,
+                    contribution: contribution(amount, rem),
+                });
+            }
+        }
+        epoch[pick.slot as usize] = epoch_id;
+        total_max -= table.max_of(pick.slot);
+        remaining -= contribution(pick.amount, rem);
+        arena.consume(work, &pick);
+        iteration += 1;
+    }
+    ReplayOutcome {
+        threshold: Some((threshold, source)),
+        heap,
+        iterations: iteration,
+        prefix_iterations: p as u64,
+    }
 }
 
 /// One iteration of the real greedy run, snapshotted so payment replays

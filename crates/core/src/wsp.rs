@@ -32,19 +32,27 @@ impl WspInstance {
     /// * [`AuctionError::InfeasibleDemand`] — even the best bid of every
     ///   seller together cannot reach `demand`.
     pub fn new(demand: u64, bids: Vec<Bid>) -> Result<Self, AuctionError> {
+        // Seller → group position, so grouping stays O(n log n) at a
+        // million bids. Group order (first-seen seller) and within-group
+        // bid order are exactly the flat list's, as before.
         let mut groups: Vec<Vec<Bid>> = Vec::new();
+        let mut group_of: std::collections::BTreeMap<MicroserviceId, usize> =
+            std::collections::BTreeMap::new();
+        let mut seen_ids: std::collections::BTreeSet<(MicroserviceId, edge_common::id::BidId)> =
+            std::collections::BTreeSet::new();
         for bid in bids {
-            match groups.iter_mut().find(|g| g[0].seller == bid.seller) {
-                Some(g) => {
-                    if g.iter().any(|b| b.id == bid.id) {
-                        return Err(AuctionError::DuplicateBidId {
-                            seller: bid.seller.index(),
-                            bid: bid.id.index(),
-                        });
-                    }
-                    g.push(bid);
+            if !seen_ids.insert((bid.seller, bid.id)) {
+                return Err(AuctionError::DuplicateBidId {
+                    seller: bid.seller.index(),
+                    bid: bid.id.index(),
+                });
+            }
+            match group_of.get(&bid.seller) {
+                Some(&gi) => groups[gi].push(bid),
+                None => {
+                    group_of.insert(bid.seller, groups.len());
+                    groups.push(vec![bid]);
                 }
-                None => groups.push(vec![bid]),
             }
         }
         let instance = WspInstance { demand, groups };

@@ -40,7 +40,7 @@ mod value;
 pub use collector::{Collector, ProfileEntry, Scoped, Sink, SpanGuard, Trace};
 pub use event::{Event, Level};
 pub use global::{clear_subscriber, set_subscriber, CollectorSubscriber, Subscriber};
-pub use metrics::{pricing, Counter, LogHistogram, HISTOGRAM_BUCKETS};
+pub use metrics::{pricing, selection, Counter, LogHistogram, HISTOGRAM_BUCKETS};
 pub use registry::{Gauge, Registry, Summary};
 pub use value::Value;
 

@@ -170,9 +170,68 @@ pub mod pricing {
     }
 }
 
+/// Ambient selection-phase metrics, fed by the auction's winner
+/// selection. Mirrors [`pricing`]: wall-clock must stay out of the
+/// deterministic trace (runs are required to be byte-identical across
+/// thread and shard counts), so the selection phase reports its timing
+/// through process-global atomics and consumers work with snapshot
+/// deltas.
+pub mod selection {
+    use super::Counter;
+
+    static SELECTION_NS: Counter = Counter::new();
+    static MERGE_NS: Counter = Counter::new();
+
+    /// A point-in-time reading of the selection metrics.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct SelectionSnapshot {
+        /// Wall-clock nanoseconds spent in the whole selection phase
+        /// (arena build + greedy merge).
+        pub selection_ns: u64,
+        /// Of those, nanoseconds spent in the cross-shard merge loop
+        /// (the sequential argmin over lane heads).
+        pub merge_ns: u64,
+    }
+
+    impl SelectionSnapshot {
+        /// The change since an `earlier` snapshot.
+        #[must_use]
+        pub fn delta_since(&self, earlier: &SelectionSnapshot) -> SelectionSnapshot {
+            SelectionSnapshot {
+                selection_ns: self.selection_ns.wrapping_sub(earlier.selection_ns),
+                merge_ns: self.merge_ns.wrapping_sub(earlier.merge_ns),
+            }
+        }
+    }
+
+    /// Accumulates one selection phase's totals.
+    pub fn record(selection_ns: u64, merge_ns: u64) {
+        SELECTION_NS.add(selection_ns);
+        MERGE_NS.add(merge_ns);
+    }
+
+    /// The current cumulative totals.
+    pub fn snapshot() -> SelectionSnapshot {
+        SelectionSnapshot {
+            selection_ns: SELECTION_NS.get(),
+            merge_ns: MERGE_NS.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn selection_deltas_isolate_one_run() {
+        let before = selection::snapshot();
+        selection::record(1_000, 300);
+        selection::record(500, 100);
+        let delta = selection::snapshot().delta_since(&before);
+        assert_eq!(delta.selection_ns, 1_500);
+        assert_eq!(delta.merge_ns, 400);
+    }
 
     #[test]
     fn counter_counts() {

@@ -192,12 +192,17 @@ fn run_cell(seed: u64, drop: f64, partition: bool, retries: bool) -> FederationC
 pub fn run_federation_sweep(seed: u64) -> FederationReport {
     let mut cells = Vec::new();
     let mut cell_us = Vec::new();
-    for &drop in &FED_DROPS {
-        for &partition in &[false, true] {
-            for &retries in &[true, false] {
-                let start = std::time::Instant::now();
-                cells.push(run_cell(seed, drop, partition, retries));
-                cell_us.push(start.elapsed().as_micros() as u64);
+    {
+        // Keep the sims' interior spans out of the tree; their measured
+        // time is attributed once, through the absorb below.
+        let _quiet = edge_telemetry::spans::suppress_tree();
+        for &drop in &FED_DROPS {
+            for &partition in &[false, true] {
+                for &retries in &[true, false] {
+                    let start = std::time::Instant::now();
+                    cells.push(run_cell(seed, drop, partition, retries));
+                    cell_us.push(start.elapsed().as_micros() as u64);
+                }
             }
         }
     }

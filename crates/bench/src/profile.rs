@@ -1,24 +1,29 @@
-//! Ambient self-profiling for the figure sweeps.
+//! Ambient self-profiling for the figure sweeps, built on the span
+//! layer ([`edge_telemetry::spans`]).
 //!
 //! Mirrors the [`crate::parallel`] ambient-setting pattern: a binary
 //! installs a shared [`Collector`] once ([`install`]) instead of
 //! threading one through every runner, and [`crate::runner`]'s
 //! `par_sweep` reports into it when — and only when — one is installed.
 //!
-//! Two kinds of records come out of a sweep:
+//! Installing also installs the ambient span profiler, so a `--trace`d
+//! bench run carries the same two-sided records as the engine:
 //!
 //! * a **deterministic** `sweep` event (stage, points, seeds, cells) —
-//!   pure input-shape facts, byte-identical at any thread count;
-//! * a `sweep.profile` **profile** entry with wall-clock aggregates and
-//!   a log-bucketed cell-latency histogram ([`LogHistogram`]) — kept
-//!   out of the deterministic section by construction, since timings
-//!   vary run to run.
+//!   pure input-shape facts, byte-identical at any thread count — plus
+//!   the deterministic `span` events flushed on [`uninstall`];
+//! * `span.profile` entries in the `"section":"profile"` tail carrying
+//!   wall-clock totals. Cell latencies measured on worker threads are
+//!   attributed to the stage's span via [`edge_telemetry::spans::absorb`],
+//!   replacing the module's former hand-rolled aggregate records; when
+//!   live feeding is on they also land in the `edge_profile_stage_ns`
+//!   summary, whose log buckets subsume the old inline histogram.
 //!
 //! Profiling never touches the work closures' results, so summary
 //! tables stay byte-identical with profiling on or off — the
 //! determinism regression test relies on this.
 
-use edge_telemetry::{Collector, Level, LogHistogram, Sink, Value};
+use edge_telemetry::{spans, Collector, Level, Sink, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -33,20 +38,26 @@ struct State {
     stage: &'static str,
 }
 
-/// Installs the ambient profiling collector for subsequent sweeps.
-/// Replaces any previously installed one.
+/// Installs the ambient profiling collector (and the span profiler) for
+/// subsequent sweeps. Replaces any previously installed one.
 pub fn install(collector: Arc<Collector>) {
     *STATE.write().expect("profile lock") = Some(State {
         collector,
         stage: "",
     });
+    spans::install();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
-/// Removes the ambient collector; sweeps stop reporting.
+/// Removes the ambient collector; sweeps stop reporting. The span tree
+/// accumulated since [`install`] is flushed into the collector first —
+/// deterministic `span` events, then `span.profile` tail entries.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::SeqCst);
-    *STATE.write().expect("profile lock") = None;
+    let state = STATE.write().expect("profile lock").take();
+    if let (Some(tree), Some(state)) = (spans::uninstall(), state) {
+        tree.flush_into(&state.collector);
+    }
 }
 
 /// Whether a collector is currently installed (the sweep fast path).
@@ -64,8 +75,8 @@ pub fn set_stage(stage: &'static str) {
 
 /// Reports one completed sweep: `points × seeds` cells whose wall-clock
 /// times (µs) are in `cell_us`. Emits the deterministic `sweep` event
-/// and the wall-clock `sweep.profile` entry. A no-op when no collector
-/// is installed.
+/// and attributes the measured cell time to the stage's span. A no-op
+/// when no collector is installed.
 pub fn record_sweep(points: usize, seeds: u64, cell_us: &[u64]) {
     let guard = STATE.read().expect("profile lock");
     let Some(state) = guard.as_ref() else {
@@ -81,39 +92,13 @@ pub fn record_sweep(points: usize, seeds: u64, cell_us: &[u64]) {
             ("cells", Value::from(cell_us.len())),
         ],
     );
-    let hist = LogHistogram::new();
-    let mut total: u64 = 0;
-    let mut max: u64 = 0;
-    for &us in cell_us {
-        hist.record(us);
-        total += us;
-        max = max.max(us);
-    }
-    let mean = if cell_us.is_empty() {
-        0.0
+    let stage = if state.stage.is_empty() {
+        "sweep"
     } else {
-        total as f64 / cell_us.len() as f64
+        state.stage
     };
-    // The histogram, flattened to "floor:count" pairs — compact enough
-    // for a single JSONL field, detailed enough to see the tail.
-    let buckets = hist
-        .snapshot()
-        .into_iter()
-        .filter(|&(_, count)| count > 0)
-        .map(|(floor, count)| format!("{floor}:{count}"))
-        .collect::<Vec<_>>()
-        .join(" ");
-    state.collector.record_profile(
-        "sweep.profile",
-        vec![
-            ("stage", Value::from(state.stage)),
-            ("cells", Value::from(cell_us.len())),
-            ("total_us", Value::from(total)),
-            ("mean_us", Value::from(mean)),
-            ("max_us", Value::from(max)),
-            ("cell_us_hist", Value::from(buckets)),
-        ],
-    );
+    let cell_ns: Vec<u64> = cell_us.iter().map(|&us| us.saturating_mul(1_000)).collect();
+    spans::absorb(stage, &cell_ns);
 }
 
 #[cfg(test)]
@@ -133,7 +118,7 @@ mod tests {
     }
 
     #[test]
-    fn install_records_deterministic_sweep_and_profile() {
+    fn install_records_deterministic_sweep_and_span_profile() {
         let _g = GUARD.lock().unwrap();
         let collector = Arc::new(Collector::new());
         install(collector.clone());
@@ -142,17 +127,28 @@ mod tests {
         uninstall();
 
         let events = collector.events();
-        assert_eq!(events.len(), 1);
+        assert_eq!(events.len(), 2, "sweep event plus flushed span event");
         assert_eq!(events[0].name, "sweep");
         assert_eq!(
             events[0].field("stage").and_then(Value::as_str),
             Some("fig-test")
         );
         assert_eq!(events[0].field("cells").and_then(Value::as_f64), Some(6.0));
+        // The flushed span carries the same deterministic shape: one
+        // aggregated node, one call per cell.
+        assert_eq!(events[1].name, "span");
+        assert_eq!(
+            events[1].field("path").and_then(Value::as_str),
+            Some("fig-test")
+        );
+        assert_eq!(events[1].field("calls").and_then(Value::as_f64), Some(6.0));
 
+        // Wall-clock totals live in the profile tail, not the
+        // deterministic section.
+        assert!(!collector.deterministic_jsonl().contains("total_ns"));
         let jsonl = collector.to_jsonl();
         assert!(jsonl.contains("\"section\":\"profile\""));
-        assert!(jsonl.contains("sweep.profile"));
-        assert!(jsonl.contains("\"total_us\":4038"));
+        assert!(jsonl.contains("span.profile"));
+        assert!(jsonl.contains("\"total_ns\":4038000"), "{jsonl}");
     }
 }

@@ -59,15 +59,22 @@ fn par_sweep<P: Sync, T: Send>(
     let work: Vec<(usize, u64)> = (0..points.len())
         .flat_map(|p| (0..seeds).map(move |s| (p, s)))
         .collect();
-    let flat = parallel::par_map_auto(work, |&(p, s)| {
-        if profiling {
-            let start = Instant::now();
-            let result = f(&points[p], s);
-            (result, start.elapsed().as_micros() as u64)
-        } else {
-            (f(&points[p], s), 0)
-        }
-    });
+    let flat = {
+        // Cells run inline at 1 worker and on pool threads otherwise;
+        // suppressing span-tree collection across the fan-out keeps the
+        // deterministic trace identical in both cases — measured cell
+        // time re-enters the tree through `record_sweep`'s absorb.
+        let _quiet = edge_telemetry::spans::suppress_tree();
+        parallel::par_map_auto(work, |&(p, s)| {
+            if profiling {
+                let start = Instant::now();
+                let result = f(&points[p], s);
+                (result, start.elapsed().as_micros() as u64)
+            } else {
+                (f(&points[p], s), 0)
+            }
+        })
+    };
     if profiling {
         let cell_us: Vec<u64> = flat.iter().map(|&(_, us)| us).collect();
         crate::profile::record_sweep(points.len(), seeds, &cell_us);

@@ -448,12 +448,18 @@ pub fn run_scale(max_n: usize, threads: Option<usize>, shards: Option<usize>) ->
     let mut cells = Vec::new();
     let mut rep_ratios: Vec<Option<f64>> = Vec::new();
     let mut cell_us = Vec::new();
-    for &n in &sizes {
-        let (row_cells, row_ratios) = run_row(n, &configs);
-        for (cell, ratio) in row_cells.into_iter().zip(row_ratios) {
-            cell_us.push(cell.median_total_ns / 1_000);
-            cells.push(cell);
-            rep_ratios.push(ratio);
+    {
+        // Cells run full MSOA pipelines; keep their interior spans out
+        // of the tree so the absorbed sweep time below isn't counted
+        // twice (once per stage, once per cell).
+        let _quiet = edge_telemetry::spans::suppress_tree();
+        for &n in &sizes {
+            let (row_cells, row_ratios) = run_row(n, &configs);
+            for (cell, ratio) in row_cells.into_iter().zip(row_ratios) {
+                cell_us.push(cell.median_total_ns / 1_000);
+                cells.push(cell);
+                rep_ratios.push(ratio);
+            }
         }
     }
     set_pricing_threads(saved);

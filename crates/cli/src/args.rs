@@ -15,7 +15,7 @@ const COMMANDS_WITH_SUBCOMMAND: &[&str] = &["bench", "replay"];
 
 /// Flags that are boolean switches: they take no value and parse as
 /// `"true"` (`edge-market explain --summary --trace t.jsonl`).
-const BOOLEAN_SWITCHES: &[&str] = &["summary", "deals"];
+const BOOLEAN_SWITCHES: &[&str] = &["summary", "deals", "profile"];
 
 /// A parsed command line: the subcommand plus its flag map.
 #[derive(Debug, Clone, PartialEq, Eq)]

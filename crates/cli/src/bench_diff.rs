@@ -137,6 +137,114 @@ pub fn compare(base: &ScaleReport, fresh: &ScaleReport, tolerance: f64) -> DiffO
     }
 }
 
+/// One stage's base/fresh wall-clock pair for the `--profile` view.
+struct StageDelta {
+    stage: &'static str,
+    base_ns: u64,
+    fresh_ns: u64,
+}
+
+/// Renders the per-stage attribution table for every compared cell:
+/// selection (arena build, merge excluded), merge, pricing, and the
+/// unattributed remainder, each as a fresh/base ratio. The `worst`
+/// column names the stage that *added the most wall-clock* — ratios
+/// flag relative movement, but the added nanoseconds are what the total
+/// regression is actually made of. Cells from upgraded v1 baselines
+/// (no stage columns) render `n/a` rather than fake ratios.
+pub fn stage_breakdown(base: &ScaleReport, fresh: &ScaleReport) -> String {
+    let mut table = Table::new([
+        "n",
+        "threads",
+        "shards",
+        "selection",
+        "merge",
+        "pricing",
+        "other",
+        "worst stage",
+    ]);
+    let mut rows = 0usize;
+    for base_cell in &base.cells {
+        let Some(fresh_cell) = fresh.cells.iter().find(|c| {
+            c.n == base_cell.n && c.threads == base_cell.threads && c.shards == base_cell.shards
+        }) else {
+            continue;
+        };
+        rows += 1;
+        if base_cell.selection_ns == 0 && base_cell.median_pricing_ns == 0 {
+            table.push([
+                base_cell.n.to_string(),
+                base_cell.threads.to_string(),
+                base_cell.shards.to_string(),
+                "n/a".to_string(),
+                "n/a".to_string(),
+                "n/a".to_string(),
+                "n/a".to_string(),
+                "n/a (v1 baseline)".to_string(),
+            ]);
+            continue;
+        }
+        let stages = [
+            StageDelta {
+                stage: "selection",
+                base_ns: base_cell.selection_ns.saturating_sub(base_cell.merge_ns),
+                fresh_ns: fresh_cell.selection_ns.saturating_sub(fresh_cell.merge_ns),
+            },
+            StageDelta {
+                stage: "merge",
+                base_ns: base_cell.merge_ns,
+                fresh_ns: fresh_cell.merge_ns,
+            },
+            StageDelta {
+                stage: "pricing",
+                base_ns: base_cell.median_pricing_ns,
+                fresh_ns: fresh_cell.median_pricing_ns,
+            },
+            StageDelta {
+                stage: "other",
+                base_ns: base_cell
+                    .median_total_ns
+                    .saturating_sub(base_cell.selection_ns)
+                    .saturating_sub(base_cell.median_pricing_ns),
+                fresh_ns: fresh_cell
+                    .median_total_ns
+                    .saturating_sub(fresh_cell.selection_ns)
+                    .saturating_sub(fresh_cell.median_pricing_ns),
+            },
+        ];
+        let worst = stages
+            .iter()
+            .max_by_key(|s| s.fresh_ns.saturating_sub(s.base_ns))
+            .filter(|s| s.fresh_ns > s.base_ns);
+        let cell = |s: &StageDelta| format!("{:.2}x", ratio_of(s.fresh_ns, s.base_ns));
+        table.push([
+            base_cell.n.to_string(),
+            base_cell.threads.to_string(),
+            base_cell.shards.to_string(),
+            cell(&stages[0]),
+            cell(&stages[1]),
+            cell(&stages[2]),
+            cell(&stages[3]),
+            worst.map_or_else(
+                || "none (no stage slower)".to_string(),
+                |s| {
+                    format!(
+                        "{} (+{:.2}ms)",
+                        s.stage,
+                        s.fresh_ns.saturating_sub(s.base_ns) as f64 / 1e6
+                    )
+                },
+            ),
+        ]);
+    }
+    if rows == 0 {
+        return String::new();
+    }
+    format!(
+        "stage attribution (fresh/base wall-clock)\n{}",
+        table.render()
+    )
+}
+
 fn ratio_of(fresh_ns: u64, base_ns: u64) -> f64 {
     if base_ns == 0 {
         if fresh_ns == 0 {
@@ -166,6 +274,7 @@ pub fn bench_diff(args: &ParsedArgs) -> Result<String, CliError> {
         "pricing-threads",
         "shards",
         "tolerance",
+        "profile",
     ])?;
     let baseline_path = args.get("baseline").unwrap_or("BENCH_scale.json");
     let tolerance = args.get_or("tolerance", 1.0f64)?;
@@ -204,6 +313,9 @@ pub fn bench_diff(args: &ParsedArgs) -> Result<String, CliError> {
         );
     }
     out.push_str(&outcome.rendered);
+    if args.get("profile").is_some() {
+        out.push_str(&stage_breakdown(&baseline, &fresh));
+    }
     if outcome.compared == 0 {
         return Err(CliError::BenchRegression(format!(
             "{out}no overlapping (n, threads) cells between baseline and fresh run — \
@@ -293,6 +405,34 @@ mod tests {
         assert_eq!(report.cells[0].shards, 1);
         assert_eq!(report.cells[0].outcome_digest, "aa");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stage_breakdown_names_the_worst_regressing_stage() {
+        let base = tiny_report();
+        let mut fresh = base.clone();
+        // Inflate pricing far beyond the other stages: it must be named.
+        fresh.cells[0].median_pricing_ns = base.cells[0]
+            .median_pricing_ns
+            .saturating_mul(50)
+            .max(50_000_000);
+        fresh.cells[0].median_total_ns = base.cells[0]
+            .median_total_ns
+            .saturating_add(fresh.cells[0].median_pricing_ns);
+        let rendered = stage_breakdown(&base, &fresh);
+        assert!(rendered.contains("stage attribution"), "{rendered}");
+        assert!(rendered.contains("pricing (+"), "{rendered}");
+    }
+
+    #[test]
+    fn stage_breakdown_handles_v1_cells_without_stage_columns() {
+        let mut base = tiny_report();
+        base.cells[0].selection_ns = 0;
+        base.cells[0].merge_ns = 0;
+        base.cells[0].median_pricing_ns = 0;
+        let fresh = tiny_report();
+        let rendered = stage_breakdown(&base, &fresh);
+        assert!(rendered.contains("n/a (v1 baseline)"), "{rendered}");
     }
 
     #[test]

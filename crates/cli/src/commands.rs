@@ -167,6 +167,7 @@ pub fn run(args: ParsedArgs) -> Result<String, CliError> {
         "msoa" => msoa(&args),
         "audit" => audit(&args),
         "reproduce" => reproduce(&args),
+        "profile" => crate::profile::profile(&args),
         "explain" => explain(&args),
         "serve" => serve(&args),
         "federate" => crate::federate::federate(&args),
@@ -219,6 +220,21 @@ COMMANDS:
                     (--pricing-threads: 0 = auto-detect, 1 = exact
                     sequential path, N = parallel payment replays;
                     outcomes are identical at every setting)
+    profile         run a scale-class MSOA instance under the span
+                    profiler and render the stage-attributed waterfall:
+                    per-stage total/self wall time with percentages, the
+                    attribution line, deterministic per-span counters
+                    (replays, pop_best scans, patched slots), and
+                    profile-side engine diagnostics (lane widths,
+                    head-read totals, adaptive-pool decisions); span
+                    structure is byte-identical at every
+                    --pricing-threads/--shards setting — only measured
+                    durations move
+                    [--scale-n N] [--rounds T] [--seed N]
+                    [--faults PLAN.toml] [--recovery on|off]
+                    [--pricing-threads N] [--shards K]
+                    [--trace OUT.jsonl] [--folded OUT.folded]
+                    [--folded-weight ns|calls]
     explain         narrate one round of a recorded trace: exclusions,
                     ψ scaling, greedy order, and each winner's critical
                     payment with its runner-up provenance, recomputed
@@ -252,6 +268,9 @@ COMMANDS:
                     [--event-log OUT.jsonl] [--queue-cap N]
                     [--book-cap N] [--demand-cap N]
                     [--trace OUT.jsonl] [--pricing-threads N]
+                    [--spans on|off (default off): collect the span
+                    profiler tree and flush it into --trace; live
+                    edge_profile_* families are always exported]
     federate        run a multi-platform federation over the
                     deterministic in-process network substrate:
                     platforms gossip post-stage surplus/prices and
@@ -271,7 +290,7 @@ COMMANDS:
                     [--max-retries N] [--retries on|off]
                     [--book-cap N] [--demand-cap N]
                     [--fed-log OUT.jsonl] [--trace OUT.jsonl]
-                    [--pricing-threads N]
+                    [--pricing-threads N] [--spans on|off]
     replay          re-execute a recorded serve run from its event log,
                     offline: verifies the per-record digest chain, then
                     reproduces outcome digests and deterministic trace
@@ -287,19 +306,22 @@ COMMANDS:
                     log header and errors loudly when a flag contradicts
                     it
                     <log.jsonl> [--trace OUT.jsonl]
-                    [--pricing-threads N]
+                    [--pricing-threads N] [--spans on|off]
     bench diff      compare a fresh scale run (or --fresh FILE) against
                     the committed baseline; digests must match exactly,
                     wall-clock medians within --tolerance; exits
-                    nonzero on regression
+                    nonzero on regression; --profile breaks each
+                    regressing cell down by stage (selection vs merge vs
+                    pricing) and names the worst-regressing stage
                     [--baseline BENCH_scale.json] [--fresh FILE]
                     [--scale-max-n N] [--pricing-threads N]
-                    [--tolerance F (relative, default 1.0)]
+                    [--tolerance F (relative, default 1.0)] [--profile]
     metrics-lint    validate a Prometheus text-format exposition file
                     --file FILE (use - for stdin)
                     [--require fam1,fam2,...] asserts the named metric
                     families are present (exits nonzero listing any
-                    missing)
+                    missing); a pattern with '*' matches by glob, e.g.
+                    edge_profile_* requires at least one such family
     help            show this text
 "
     .to_owned()
@@ -915,6 +937,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "queue-cap",
         "book-cap",
         "demand-cap",
+        "spans",
     ])?;
     apply_pricing_threads(args)?;
     let config = crate::serve::ServeConfig {
@@ -942,18 +965,24 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let http = on_off("http", "on")?;
     let ingest = on_off("ingest", "on")?;
+    let spans_on = on_off("spans", "off")?;
     if ingest && !http && args.get("ingest").is_some() {
         return Err(CliError::FlagConflict("ingest", "http"));
     }
 
     // The full metric catalog (auction + recovery + service + sim +
-    // federation + net families) must be visible on the very first
-    // scrape, before any round has run.
+    // federation + net + profiler families) must be visible on the very
+    // first scrape, before any round has run.
     edge_auction::live::preregister();
     edge_auction::federation::preregister_federation_metrics();
     edge_sim::live::preregister();
     edge_net::preregister();
     crate::serve::preregister_ingress();
+    edge_telemetry::spans::preregister();
+    edge_telemetry::spans::set_live(true);
+    if spans_on {
+        edge_telemetry::spans::install();
+    }
 
     let (ingress_tx, ingress_rx) = if http && ingest {
         let (tx, rx) = std::sync::mpsc::sync_channel(queue_cap);
@@ -983,6 +1012,16 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let collector = args.get("trace").map(|_| Collector::new());
     let drive_result =
         crate::serve::drive_service(&config, &state, collector.as_ref(), ingress_rx, &mut log);
+    if spans_on {
+        // Flush the stage-attributed span tree into the trace: the
+        // deterministic side (structure, calls, counters) joins the
+        // seq-numbered section, durations join the profile tail.
+        let tree = edge_telemetry::spans::uninstall();
+        if let (Some(tree), Some(collector)) = (tree, collector.as_ref()) {
+            tree.flush_into(collector);
+        }
+    }
+    edge_telemetry::spans::set_live(false);
     state.request_shutdown();
     let server_note = match server {
         Some((addr, handle)) => {
@@ -1011,6 +1050,54 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "trace: {} events → {path}", collector.len());
     }
     Ok(out)
+}
+
+/// Parses an `on`/`off` flag shared by several commands.
+pub(crate) fn on_off_flag(
+    args: &ParsedArgs,
+    flag: &'static str,
+    default: bool,
+) -> Result<bool, CliError> {
+    match args.get(flag).unwrap_or(if default { "on" } else { "off" }) {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(ArgsError::InvalidValue {
+            flag: flag.into(),
+            value: other.to_owned(),
+        }
+        .into()),
+    }
+}
+
+/// `*`-glob match for `metrics-lint --require` family patterns: each
+/// literal segment must appear in order, anchored at both ends
+/// (`edge_profile_*` matches `edge_profile_stage_ns`; `*_ns` matches
+/// any `_ns`-suffixed family).
+fn glob_matches(pattern: &str, name: &str) -> bool {
+    let segments: Vec<&str> = pattern.split('*').collect();
+    if segments.len() == 1 {
+        return pattern == name;
+    }
+    // Anchored prefix before the first '*', anchored suffix after the
+    // last, middle segments in order between them.
+    let Some(mut rest) = name.strip_prefix(segments[0]) else {
+        return false;
+    };
+    let tail = segments[segments.len() - 1];
+    let Some(stripped) = rest.strip_suffix(tail) else {
+        return false;
+    };
+    rest = stripped;
+    for seg in &segments[1..segments.len() - 1] {
+        if seg.is_empty() {
+            continue;
+        }
+        match rest.find(seg) {
+            Some(at) => rest = &rest[at + seg.len()..],
+            None => return false,
+        }
+    }
+    true
 }
 
 /// The `metrics-lint` command: validate a Prometheus text-format file
@@ -1043,7 +1130,16 @@ fn metrics_lint(args: &ParsedArgs) -> Result<String, CliError> {
         let missing: Vec<&str> = wanted
             .iter()
             .copied()
-            .filter(|name| !exposition.families.contains_key(*name))
+            .filter(|name| {
+                if name.contains('*') {
+                    !exposition
+                        .families
+                        .keys()
+                        .any(|family| glob_matches(name, family))
+                } else {
+                    !exposition.families.contains_key(*name)
+                }
+            })
             .collect();
         if !missing.is_empty() {
             return Err(CliError::Lint(format!(
@@ -1084,9 +1180,38 @@ mod tests {
             "audit",
             "reproduce",
             "explain",
+            "profile",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn glob_matches_anchors_prefix_and_suffix() {
+        assert!(glob_matches("edge_profile_*", "edge_profile_stage_ns"));
+        assert!(glob_matches("edge_profile_*", "edge_profile_"));
+        assert!(!glob_matches("edge_profile_*", "edge_fed_deals"));
+        assert!(glob_matches("*_ns", "edge_profile_stage_ns"));
+        assert!(!glob_matches("*_ns", "edge_profile_lanes"));
+        assert!(glob_matches("edge_*_stage_*", "edge_profile_stage_ns"));
+        assert!(!glob_matches("edge_*_stage_*", "edge_stage_profile_ns"));
+        // No '*' means exact match only.
+        assert!(glob_matches("edge_net_sent", "edge_net_sent"));
+        assert!(!glob_matches("edge_net", "edge_net_sent"));
+        assert!(glob_matches("*", "anything"));
+    }
+
+    #[test]
+    fn on_off_flag_parses_and_defaults() {
+        let none = parsed(&["serve"]);
+        assert!(on_off_flag(&none, "spans", true).unwrap());
+        assert!(!on_off_flag(&none, "spans", false).unwrap());
+        let on = parsed(&["serve", "--spans", "on"]);
+        assert!(on_off_flag(&on, "spans", false).unwrap());
+        let off = parsed(&["serve", "--spans", "off"]);
+        assert!(!on_off_flag(&off, "spans", true).unwrap());
+        let bad = parsed(&["serve", "--spans", "maybe"]);
+        assert!(on_off_flag(&bad, "spans", false).is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub const FEDERATE_FLAGS: &[&str] = &[
     "fed-log",
     "trace",
     "pricing-threads",
+    "spans",
 ];
 
 /// Builds the [`FederationConfig`] from parsed flags. Node 0 keeps the
@@ -150,13 +151,25 @@ pub fn federate(args: &ParsedArgs) -> Result<String, CliError> {
     edge_auction::live::preregister();
     edge_net::preregister();
     edge_auction::federation::preregister_federation_metrics();
+    edge_telemetry::spans::preregister();
+    edge_telemetry::spans::set_live(true);
+    let spans_on = crate::commands::on_off_flag(args, "spans", false)?;
+    if spans_on {
+        edge_telemetry::spans::install();
+    }
 
     let collector = args.get("trace").map(|_| Collector::new());
     let mut sim = FederationSim::new(config, plan, |_, c| crate::serve::stage_provider(c))
         .map_err(|e| CliError::Federation(e.to_string()))?;
-    let outcome = sim
-        .run(collector.as_ref())
-        .map_err(|e| CliError::Federation(e.to_string()))?;
+    let run_result = sim.run(collector.as_ref());
+    if spans_on {
+        let tree = edge_telemetry::spans::uninstall();
+        if let (Some(tree), Some(collector)) = (tree, collector.as_ref()) {
+            tree.flush_into(collector);
+        }
+    }
+    edge_telemetry::spans::set_live(false);
+    let outcome = run_result.map_err(|e| CliError::Federation(e.to_string()))?;
 
     let mut out = render_outcome(&outcome);
     if let Some(path) = args.get("fed-log") {

@@ -24,5 +24,6 @@ pub mod faults;
 pub mod fed_explain;
 pub mod federate;
 pub mod netfaults;
+pub mod profile;
 pub mod replay;
 pub mod serve;

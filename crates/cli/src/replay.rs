@@ -53,10 +53,11 @@ const ASSERTION_FLAGS: &[&str] = &[
 /// Runs `replay <log.jsonl>`: parses, verifies, and re-executes the
 /// log, reporting digests. See the module docs for the contract.
 pub fn replay(args: &ParsedArgs) -> Result<String, CliError> {
-    let mut allowed = vec!["log", "trace", "pricing-threads"];
+    let mut allowed = vec!["log", "trace", "pricing-threads", "spans"];
     allowed.extend_from_slice(ASSERTION_FLAGS);
     args.allow_only(&allowed)?;
     apply_pricing_threads(args)?;
+    let spans_on = crate::commands::on_off_flag(args, "spans", false)?;
     let path = match (args.subcommand.as_deref(), args.get("log")) {
         (Some(p), None) => p.to_owned(),
         (None, Some(p)) => p.to_owned(),
@@ -74,7 +75,20 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CliError> {
     let collector = args.get("trace").map(|_| Collector::new());
 
     let mut svc = AuctionService::new(parsed.config, crate::serve::stage_provider(parsed.config));
-    svc.apply_all(&parsed.records, collector.as_ref())?;
+    if spans_on {
+        edge_telemetry::spans::install();
+    }
+    let applied = svc.apply_all(&parsed.records, collector.as_ref());
+    if spans_on {
+        // Replay applies the exact accepted-event sequence the live run
+        // logged, so this flushed tree is byte-identical to the one the
+        // `serve --spans on` trace carries.
+        let tree = edge_telemetry::spans::uninstall();
+        if let (Some(tree), Some(collector)) = (tree, collector.as_ref()) {
+            tree.flush_into(collector);
+        }
+    }
+    applied?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -117,6 +131,7 @@ fn replay_federation(args: &ParsedArgs, path: &str, text: &str) -> Result<String
             CliError::Federation("federation log header has no platforms".to_owned())
         })?;
     check_assertions(args, &node0, Some(log.header.config.nodes.len()))?;
+    let spans_on = crate::commands::on_off_flag(args, "spans", false)?;
     let collector = args.get("trace").map(|_| Collector::new());
 
     let mut sim = FederationSim::new(
@@ -125,9 +140,17 @@ fn replay_federation(args: &ParsedArgs, path: &str, text: &str) -> Result<String
         |_, c| crate::serve::stage_provider(c),
     )
     .map_err(|e| CliError::Federation(e.to_string()))?;
-    let outcome = sim
-        .run(collector.as_ref())
-        .map_err(|e| CliError::Federation(e.to_string()))?;
+    if spans_on {
+        edge_telemetry::spans::install();
+    }
+    let run_result = sim.run(collector.as_ref());
+    if spans_on {
+        let tree = edge_telemetry::spans::uninstall();
+        if let (Some(tree), Some(collector)) = (tree, collector.as_ref()) {
+            tree.flush_into(collector);
+        }
+    }
+    let outcome = run_result.map_err(|e| CliError::Federation(e.to_string()))?;
 
     if let Some(seq) = first_divergence(&log.records, sim.records()) {
         return Err(CliError::Federation(format!(

@@ -278,6 +278,8 @@ impl BidArena {
         sold: impl Fn(u32) -> bool,
         safe: impl Fn(u64, u32) -> bool,
     ) -> Option<Pick> {
+        stats.scans += 1;
+        stats.head_reads += cursors.len() as u64;
         let n_classes = self.classes.len();
         let mut best: Option<Pick> = None;
         for (lane, cursor) in cursors.iter_mut().enumerate() {

@@ -1565,10 +1565,15 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> FederationSim<P> {
         let to = PlatformId::new(delivery.to);
         let from = PlatformId::new(delivery.from);
         let FedPacket { hop, msg } = delivery.payload;
+        let _deliver_span = edge_telemetry::spans::enter("fed.deliver");
         // Receive-side causal merge: the receiver's hop counter for the
         // deal catches up to the incoming span, so whatever it sends
         // next is stamped causally after everything it has seen.
         if let Some(deal) = msg_deal(&msg) {
+            if edge_telemetry::spans::is_enabled() {
+                edge_telemetry::spans::ctr("deal_hops", hop);
+                edge_telemetry::spans::ctr("deal_messages", 1);
+            }
             let h = self.hops.entry((delivery.to, deal)).or_insert(0);
             *h = (*h).max(hop);
         }

@@ -371,8 +371,10 @@ fn run_msoa_impl(
     let live = crate::live::AuctionLive::handle();
     let capacity_sum: u64 = sellers.iter().map(|s| s.capacity).sum();
 
+    let _msoa_span = edge_telemetry::spans::enter("msoa");
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
+        let _round_span = edge_telemetry::spans::enter("round");
         let t = t as u64;
         trace.emit_with(Level::Info, "round.start", || {
             vec![
@@ -396,7 +398,8 @@ fn run_msoa_impl(
             .enumerate()
             .map(|(si, s)| (s.available_at(t), psi[si].to_bits(), chi[si]))
             .collect();
-        let (slots, originals) = buffer.round(
+        let patch_span = edge_telemetry::spans::enter("patch");
+        let (slots, originals, patch_stats) = buffer.round(
             &input.bids,
             &seller_ctx,
             |b| index_of[&b.seller],
@@ -412,6 +415,15 @@ fn run_msoa_impl(
                 ))
             },
         );
+        // Patch accounting is a pure function of the workload (which
+        // sellers' ψ/χ/window contexts changed) — deterministic side.
+        if edge_telemetry::spans::is_enabled() {
+            edge_telemetry::spans::ctr("rebuilds", u64::from(patch_stats.rebuilt));
+            edge_telemetry::spans::ctr("dirty_sellers", patch_stats.dirty_sellers);
+            edge_telemetry::spans::ctr("patched_slots", patch_stats.patched_slots);
+            edge_telemetry::spans::ctr("total_slots", patch_stats.total_slots);
+        }
+        drop(patch_span);
         let mut scaled_bids = Vec::new();
         for (bid, &(si, slot)) in input.bids.iter().zip(slots) {
             match slot {

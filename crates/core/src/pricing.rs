@@ -253,6 +253,20 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = pool_size(n, unit_cost_ns);
+    // The adaptive decision and its measured-probe inputs are machine
+    // facts — recorded on the current span's profile side only.
+    if edge_telemetry::spans::is_enabled() {
+        edge_telemetry::spans::diag_set("pool_threads", threads as u64);
+        edge_telemetry::spans::diag_set("pool_units", n as u64);
+        edge_telemetry::spans::diag_set("pool_unit_cost_ns", unit_cost_ns);
+        if PRICING_THREADS.load(Ordering::Relaxed) == 0 {
+            edge_telemetry::spans::diag_set("pool_spawn_overhead_ns", spawn_overhead_ns());
+            edge_telemetry::spans::diag_set(
+                "pool_ceiling",
+                available_pricing_threads().max(1) as u64,
+            );
+        }
+    }
     if threads <= 1 {
         return (0..n).map(f).collect();
     }

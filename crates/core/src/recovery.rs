@@ -568,8 +568,10 @@ fn run_msoa_with_faults_impl(
     let recovery_live = crate::live::RecoveryLive::handle();
     let capacity_sum: u64 = sellers.iter().map(|s| s.capacity).sum();
 
+    let _msoa_span = edge_telemetry::spans::enter("msoa");
     let mut rounds = Vec::with_capacity(instance.rounds().len());
     for (t, input) in instance.rounds().iter().enumerate() {
+        let _round_span = edge_telemetry::spans::enter("round");
         let t = t as u64;
         let demand = input.estimated_demand;
         let observed = plan.observed(t);
@@ -615,7 +617,8 @@ fn run_msoa_with_faults_impl(
                 )
             })
             .collect();
-        let (slots, originals) = buffer.round(
+        let patch_span = edge_telemetry::spans::enter("patch");
+        let (slots, originals, patch_stats) = buffer.round(
             &input.bids,
             &seller_ctx,
             |b| index_of[&b.seller],
@@ -636,6 +639,13 @@ fn run_msoa_with_faults_impl(
                 Slot::Scaled(state.scaled_price(si, bid, recovery))
             },
         );
+        if edge_telemetry::spans::is_enabled() {
+            edge_telemetry::spans::ctr("rebuilds", u64::from(patch_stats.rebuilt));
+            edge_telemetry::spans::ctr("dirty_sellers", patch_stats.dirty_sellers);
+            edge_telemetry::spans::ctr("patched_slots", patch_stats.patched_slots);
+            edge_telemetry::spans::ctr("total_slots", patch_stats.total_slots);
+        }
+        drop(patch_span);
         let mut scaled_bids = Vec::new();
         for (bid, &(si, slot)) in input.bids.iter().zip(slots) {
             match slot {
@@ -712,11 +722,13 @@ fn run_msoa_with_faults_impl(
         // --- Backfill ladder (recovery only). ---
         let mut backfill_attempts = 0u64;
         if recovery.enabled && shortfall > 0 {
+            let _backfill_span = edge_telemetry::spans::enter("backfill");
             let rounds_left = num_rounds - t;
             let cap = recovery.max_backfill_attempts.min(rounds_left);
             while shortfall > 0 && backfill_attempts < cap {
                 let k = backfill_attempts;
                 backfill_attempts += 1;
+                edge_telemetry::spans::ctr("rungs", 1);
                 trace.emit_with(Level::Info, "backfill.start", || {
                     vec![
                         ("round", Value::from(t)),

@@ -107,6 +107,22 @@ pub(crate) struct RoundBuffer<C> {
     /// bid. Built on rebuild; the *same* map serves cold and patched
     /// rounds, so duplicate-id resolution cannot diverge between them.
     originals: OriginalsIndex,
+    /// What the most recent [`Self::round`] did — pure workload facts
+    /// (which sellers' contexts changed), independent of any knob.
+    last: PatchStats,
+}
+
+/// Work accounting for one [`RoundBuffer::round`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PatchStats {
+    /// Whether the round was a cold rebuild (vs an incremental patch).
+    pub rebuilt: bool,
+    /// Sellers whose context changed (patched rounds only).
+    pub dirty_sellers: u64,
+    /// Bid slots re-evaluated.
+    pub patched_slots: u64,
+    /// Bid slots in the round.
+    pub total_slots: u64,
 }
 
 impl<C: PartialEq + Copy> RoundBuffer<C> {
@@ -116,6 +132,7 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
             slots: Vec::new(),
             ctx: vec![None; num_sellers],
             originals: BTreeMap::new(),
+            last: PatchStats::default(),
         }
     }
 
@@ -126,7 +143,8 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
     }
 
     /// Brings the slots up to date for this round and returns them in
-    /// bid order, plus the original-bid index.
+    /// bid order, plus the original-bid index and the patch accounting
+    /// ([`PatchStats`]) for this call.
     ///
     /// `seller_ctx[si]` must contain every input `eval(si, bid)` reads;
     /// `seller_of` maps a bid to its seller index. If `bids` differs
@@ -139,7 +157,7 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
         seller_ctx: &[C],
         seller_of: F,
         eval: G,
-    ) -> (&[(usize, Slot)], &OriginalsIndex)
+    ) -> (&[(usize, Slot)], &OriginalsIndex, PatchStats)
     where
         F: Fn(&Bid) -> usize,
         G: Fn(usize, &Bid) -> Slot,
@@ -163,21 +181,37 @@ impl<C: PartialEq + Copy> RoundBuffer<C> {
             for (slot, c) in self.ctx.iter_mut().zip(seller_ctx) {
                 *slot = Some(*c);
             }
+            self.last = PatchStats {
+                rebuilt: true,
+                dirty_sellers: 0,
+                patched_slots: bids.len() as u64,
+                total_slots: bids.len() as u64,
+            };
         } else {
             let mut dirty = vec![false; seller_ctx.len()];
+            let mut dirty_sellers = 0u64;
             for (si, c) in seller_ctx.iter().enumerate() {
                 if self.ctx[si] != Some(*c) {
                     dirty[si] = true;
+                    dirty_sellers += 1;
                     self.ctx[si] = Some(*c);
                 }
             }
+            let mut patched = 0u64;
             for (bid, (si, slot)) in bids.iter().zip(self.slots.iter_mut()) {
                 if dirty[*si] {
                     *slot = eval(*si, bid);
+                    patched += 1;
                 }
             }
+            self.last = PatchStats {
+                rebuilt: false,
+                dirty_sellers,
+                patched_slots: patched,
+                total_slots: bids.len() as u64,
+            };
         }
-        (&self.slots, &self.originals)
+        (&self.slots, &self.originals, self.last)
     }
 }
 
@@ -205,7 +239,7 @@ mod tests {
         let seller_of = |b: &Bid| b.seller.index();
         buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
         assert_eq!(calls.get(), 3, "cold build evaluates every bid");
-        let (slots, originals) = buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
+        let (slots, originals, _) = buf.round(&bids, &[1, 1], seller_of, eval_with(&calls));
         assert_eq!(calls.get(), 3, "clean round evaluates nothing");
         assert_eq!(slots.len(), 3);
         assert_eq!(originals.len(), 3);
@@ -254,7 +288,7 @@ mod tests {
         // cold and patched rounds alike.
         let bids = vec![bid(0, 0, 2, 4.0), bid(0, 0, 3, 5.0)];
         let mut buf: RoundBuffer<u64> = RoundBuffer::new(1);
-        let (_, originals) = buf.round(
+        let (_, originals, _) = buf.round(
             &bids,
             &[1],
             |b| b.seller.index(),

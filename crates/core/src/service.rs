@@ -580,6 +580,13 @@ impl<P: FnMut(u64, u64) -> MultiRoundInstance> AuctionService<P> {
         collector: Option<&Collector>,
     ) -> Result<Applied, ServiceError> {
         self.check(event)?;
+        // Span opens only for *accepted* events: rejections never reach
+        // the log, so live and replay runs apply — and therefore span —
+        // the exact same event sequence.
+        let _apply_span = edge_telemetry::spans::enter("service.apply");
+        if edge_telemetry::spans::is_enabled() {
+            edge_telemetry::spans::ctr(event.kind(), 1);
+        }
         let mut stage_summary = None;
         match *event {
             ServiceEvent::BidSubmitted {

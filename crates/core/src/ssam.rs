@@ -173,6 +173,15 @@ pub struct HeapStats {
     pub sold_discards: u64,
     /// Entries discarded permanently as unsafe.
     pub unsafe_discards: u64,
+    /// Argmin queries answered (`pop_best` / `pop_best_safe` calls).
+    /// Both engines issue exactly one per greedy iteration, so this is
+    /// engine-, shard-, batch-, and thread-invariant — it may sit in
+    /// the deterministic trace section.
+    pub scans: u64,
+    /// Lane heads examined across those scans (arena engine only:
+    /// `lanes` per query). Grows with the shard count — profile-section
+    /// data, never deterministic.
+    pub head_reads: u64,
 }
 
 impl HeapStats {
@@ -181,6 +190,8 @@ impl HeapStats {
         self.repushes += other.repushes;
         self.sold_discards += other.sold_discards;
         self.unsafe_discards += other.unsafe_discards;
+        self.scans += other.scans;
+        self.head_reads += other.head_reads;
     }
 }
 
@@ -242,6 +253,7 @@ pub fn run_ssam_traced(
     config: &SsamConfig,
     trace: Trace<'_>,
 ) -> Result<SsamOutcome, AuctionError> {
+    let _ssam_span = edge_telemetry::spans::enter("ssam");
     // Candidate set 𝔽^t: all bids, filtered by the reserve if present.
     let candidates: Vec<&crate::bid::Bid> = instance
         .bids()
@@ -305,33 +317,60 @@ pub fn run_ssam_traced(
     // counters, never into the trace.
     let demand = instance.demand();
     let mut stats = SsamStats::default();
+    let selection_span = edge_telemetry::spans::enter("selection");
     let selection_start = std::time::Instant::now();
     let table = crate::arena::SellerTable::new(&per_seller_best);
     let class_cap = crate::pricing::lane_class_cap();
-    let arena = if class_cap == 0 {
-        None
-    } else {
-        crate::arena::BidArena::build(
-            &candidates,
-            &table,
-            crate::pricing::effective_shards(table.len()),
-            class_cap,
-        )
-    };
-    let mut merge_ns = 0u64;
-    let (selection, snapshots) = match &arena {
-        Some(a) => {
-            let merge_start = std::time::Instant::now();
-            let (sel, snaps) = greedy_select_arena(a, &table, &candidates, demand, &mut stats.heap);
-            merge_ns = merge_start.elapsed().as_nanos() as u64;
-            (sel, Some(snaps))
+    let arena = {
+        let _build_span = edge_telemetry::spans::enter("arena.build");
+        if class_cap == 0 {
+            None
+        } else {
+            crate::arena::BidArena::build(
+                &candidates,
+                &table,
+                crate::pricing::effective_shards(table.len()),
+                class_cap,
+            )
         }
-        None => (
-            greedy_select(candidates.clone(), demand, &mut stats.heap),
-            None,
-        ),
+    };
+    let lanes = arena.as_ref().map_or(0, |a| a.lanes());
+    if edge_telemetry::spans::is_enabled() {
+        edge_telemetry::spans::diag("lanes", lanes as u64);
+        edge_telemetry::spans::lane_gauges(lanes as u64, candidates.len() as u64);
+    }
+    let mut merge_ns = 0u64;
+    let (selection, snapshots) = {
+        let _merge_span = edge_telemetry::spans::enter("merge");
+        match &arena {
+            Some(a) => {
+                let merge_start = std::time::Instant::now();
+                let (sel, snaps) =
+                    greedy_select_arena(a, &table, &candidates, demand, &mut stats.heap);
+                merge_ns = merge_start.elapsed().as_nanos() as u64;
+                (sel, Some(snaps))
+            }
+            None => (
+                greedy_select(candidates.clone(), demand, &mut stats.heap),
+                None,
+            ),
+        }
     };
     edge_telemetry::selection::record(selection_start.elapsed().as_nanos() as u64, merge_ns);
+    // Selection-side work counters on the `selection` span. Scans and
+    // snapshot counts are position-determined (knob-invariant); lane
+    // head reads grow with the shard count, so they are diagnostics.
+    let (selection_scans, selection_reads) = (stats.heap.scans, stats.heap.head_reads);
+    if edge_telemetry::spans::is_enabled() {
+        edge_telemetry::spans::ctr("winners", selection.len() as u64);
+        edge_telemetry::spans::ctr("pop_best_scans", selection_scans);
+        edge_telemetry::spans::ctr(
+            "snapshots",
+            snapshots.as_ref().map_or(0, |s| s.len()) as u64,
+        );
+        edge_telemetry::spans::diag("lane_head_reads", selection_reads);
+    }
+    drop(selection_span);
 
     if trace.is_on() {
         let mut remaining = demand;
@@ -370,15 +409,24 @@ pub fn run_ssam_traced(
     // absorption, and outcome assembly all happen below, on this
     // thread, in winner order, so traces and outcomes are byte-identical
     // at any thread count.
+    let pricing_span = edge_telemetry::spans::enter("pricing");
     let pricing_start = std::time::Instant::now();
-    let (prefix, position) = build_prefix(&selection, demand, supply, &per_seller_best);
-    let replays: Vec<ReplayOutcome> = match (&arena, &snapshots) {
-        (Some(a), Some(snaps)) => batched_replays(a, &table, &selection, &prefix, &position, snaps),
-        _ => crate::pricing::fan_out(selection.len(), |p| {
-            let (winner, _) = &selection[p];
-            let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
-            replay_payment(&candidates, &prefix, &position, p, winner, phantom)
-        }),
+    let (prefix, position) = {
+        let _prefix_span = edge_telemetry::spans::enter("prefix.build");
+        build_prefix(&selection, demand, supply, &per_seller_best)
+    };
+    let replays: Vec<ReplayOutcome> = {
+        let _replay_span = edge_telemetry::spans::enter("replays");
+        match (&arena, &snapshots) {
+            (Some(a), Some(snaps)) => {
+                batched_replays(a, &table, &selection, &prefix, &position, snaps)
+            }
+            _ => crate::pricing::fan_out(selection.len(), |p| {
+                let (winner, _) = &selection[p];
+                let phantom = per_seller_best.get(&winner.seller).copied().unwrap_or(0);
+                replay_payment(&candidates, &prefix, &position, p, winner, phantom)
+            }),
+        }
     };
 
     let mut winners: Vec<WinningBid> = Vec::with_capacity(selection.len());
@@ -450,23 +498,50 @@ pub fn run_ssam_traced(
         pricing_ns,
     );
     crate::pricing::note_pricing_phase(stats.payment_replays, pricing_ns);
+    // Pricing-side counters: replay totals and argmin scans (both
+    // knob-invariant) on the deterministic side; lane head reads (the
+    // per-shard scan width the ROADMAP flags) on the profile side.
+    if edge_telemetry::spans::is_enabled() {
+        edge_telemetry::spans::ctr("replays", stats.payment_replays);
+        edge_telemetry::spans::ctr("replay_iterations", stats.replay_iterations);
+        edge_telemetry::spans::ctr("prefix_iterations", stats.prefix_iterations);
+        edge_telemetry::spans::ctr("pop_best_scans", stats.heap.scans - selection_scans);
+        edge_telemetry::spans::diag("lane_head_reads", stats.heap.head_reads - selection_reads);
+    }
+    drop(pricing_span);
 
     let social_cost: Price = winners.iter().map(|w| w.price).sum();
     let total_payment: Price = winners.iter().map(|w| w.payment).sum();
     let certificate = build_certificate(&winners, demand, social_cost);
 
+    // The deterministic `ssam.stats` event carries only knob-invariant
+    // counters (proven identical across engines, shard counts, batch
+    // sizes, and thread pools by the differential suite — which now
+    // byte-compares full traces). The engine-dependent heap/lane
+    // traffic moves to the `ssam.engine` profile entry below.
     trace.emit_with(Level::Debug, "ssam.stats", || {
         vec![
-            ("heap_pops", Value::from(stats.heap.pops)),
-            ("heap_repushes", Value::from(stats.heap.repushes)),
-            ("sold_discards", Value::from(stats.heap.sold_discards)),
-            ("unsafe_discards", Value::from(stats.heap.unsafe_discards)),
             ("payment_replays", Value::from(stats.payment_replays)),
             ("replay_iterations", Value::from(stats.replay_iterations)),
             (
                 "replay_prefix_iterations",
                 Value::from(stats.prefix_iterations),
             ),
+            ("pop_best_scans", Value::from(stats.heap.scans)),
+        ]
+    });
+    trace.profile_with("ssam.engine", || {
+        vec![
+            (
+                "engine",
+                Value::from(if arena.is_some() { "arena" } else { "heap" }),
+            ),
+            ("lanes", Value::from(lanes)),
+            ("heap_pops", Value::from(stats.heap.pops)),
+            ("heap_repushes", Value::from(stats.heap.repushes)),
+            ("sold_discards", Value::from(stats.heap.sold_discards)),
+            ("unsafe_discards", Value::from(stats.heap.unsafe_discards)),
+            ("lane_head_reads", Value::from(stats.heap.head_reads)),
         ]
     });
     trace.emit_with(Level::Info, "ssam.end", || {
@@ -625,6 +700,7 @@ impl<'a> HeapGreedy<'a> {
     /// discard, or permanent unsafe discard) or re-pushes it with a
     /// recomputed key; a bid is re-pushed at most once per generation.
     fn pop_best_safe(&mut self) -> Option<&'a crate::bid::Bid> {
+        self.stats.scans += 1;
         while let Some(entry) = self.heap.pop() {
             self.stats.pops += 1;
             if !self.seller_max.contains_key(&entry.seller) {
@@ -764,6 +840,11 @@ fn batched_replays(
         crate::pricing::effective_replay_batch(winners, crate::pricing::current_pricing_threads());
     let n_batches = winners.div_ceil(batch);
     let unit_cost = crate::pricing::replay_cost_estimate_ns().saturating_mul(batch as u64);
+    // Batch geometry depends on the thread knob — profile side only.
+    if edge_telemetry::spans::is_enabled() {
+        edge_telemetry::spans::diag_set("replay_batch", batch as u64);
+        edge_telemetry::spans::diag_set("replay_batches", n_batches as u64);
+    }
     let batched: Vec<Vec<ReplayOutcome>> =
         crate::pricing::fan_out_weighted(n_batches, unit_cost, |bi| {
             let lo = bi * batch;
@@ -1648,13 +1729,32 @@ mod tests {
         let untraced = run_ssam(&instance, &SsamConfig::default()).unwrap();
         assert_eq!(traced, untraced);
         assert!(!collector.is_empty());
-        // One stats event with real heap traffic.
+        // Deterministic stats event carries the engine-invariant scan
+        // counter; engine traffic lives in the profile section.
         let stats = collector
             .events()
             .into_iter()
             .find(|e| e.name == "ssam.stats")
             .unwrap();
-        assert!(stats.field("heap_pops").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            stats
+                .field("pop_best_scans")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let engine = collector
+            .profile_entries()
+            .into_iter()
+            .find(|p| p.name == "ssam.engine")
+            .unwrap();
+        let pops = engine
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "heap_pops")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        assert!(pops > 0.0);
     }
 
     #[test]

@@ -100,25 +100,19 @@ fn arb_config() -> impl Strategy<Value = SsamConfig> {
 }
 
 /// Runs SSAM under the current knob settings, returning the outcome and
-/// the deterministic trace with `ssam.stats` lines removed: that event
-/// reports *engine diagnostics* (pop and discard counters), which
-/// legitimately differ between the lane arena and the legacy heap and
-/// across lane layouts. Every mechanism-visible event — selections,
-/// payments, `CriticalSource` provenance, the certificate — stays in
-/// the comparison and must be byte-identical.
+/// the *full* deterministic trace. Engine diagnostics that legitimately
+/// differ between the lane arena and the legacy heap (pop and discard
+/// counters, lane geometry) live in the profile section; everything in
+/// the deterministic section — selections, payments, `CriticalSource`
+/// provenance, the certificate, and the engine-invariant `ssam.stats`
+/// counters — must be byte-identical across engines and knobs.
 fn traced_run(
     inst: &WspInstance,
     config: &SsamConfig,
 ) -> (Result<SsamOutcome, AuctionError>, String) {
     let collector = Collector::new();
     let outcome = run_ssam_traced(inst, config, Trace::new(&collector));
-    let trace: String = collector
-        .deterministic_jsonl()
-        .lines()
-        .filter(|line| !line.contains("\"event\":\"ssam.stats\""))
-        .map(|line| format!("{line}\n"))
-        .collect();
-    (outcome, trace)
+    (outcome, collector.deterministic_jsonl())
 }
 
 fn assert_equivalent(

@@ -24,6 +24,13 @@ use std::sync::Mutex;
 pub trait Sink: Sync {
     /// Records one event.
     fn emit(&self, level: Level, name: &'static str, fields: Vec<(&'static str, Value)>);
+
+    /// Records a profile-section entry (timings, engine diagnostics) —
+    /// data excluded from the determinism contract. Default: dropped,
+    /// for sinks without a profile section.
+    fn emit_profile(&self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let _ = (name, fields);
+    }
 }
 
 #[derive(Debug, Default)]
@@ -96,6 +103,11 @@ impl Collector {
         self.inner.lock().expect("collector lock").events.clone()
     }
 
+    /// A copy of the profile-section entries.
+    pub fn profile_entries(&self) -> Vec<ProfileEntry> {
+        self.inner.lock().expect("collector lock").profile.clone()
+    }
+
     /// The deterministic section as JSONL (one event per line).
     pub fn deterministic_jsonl(&self) -> String {
         let inner = self.inner.lock().expect("collector lock");
@@ -142,6 +154,10 @@ impl Sink for Collector {
             span,
             fields,
         });
+    }
+
+    fn emit_profile(&self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        self.record_profile(name, fields);
     }
 }
 
@@ -196,6 +212,12 @@ impl Sink for Scoped<'_> {
         all.extend(fields);
         self.inner.emit(level, name, all);
     }
+
+    fn emit_profile(&self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let mut all = self.extra.clone();
+        all.extend(fields);
+        self.inner.emit_profile(name, all);
+    }
 }
 
 /// A zero-cost optional trace handle.
@@ -247,6 +269,19 @@ impl<'a> Trace<'a> {
     ) {
         if let Some(sink) = self.sink {
             sink.emit(level, name, fields());
+        }
+    }
+
+    /// Records a profile-section entry, building the fields only when
+    /// the trace is on. The entry carries any [`Scoped`] stamp (e.g.
+    /// the round index) but never enters the deterministic section.
+    pub fn profile_with(
+        &self,
+        name: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) {
+        if let Some(sink) = self.sink {
+            sink.emit_profile(name, fields());
         }
     }
 }

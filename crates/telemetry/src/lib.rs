@@ -35,6 +35,7 @@ mod event;
 pub mod global;
 mod metrics;
 pub mod registry;
+pub mod spans;
 mod value;
 
 pub use collector::{Collector, ProfileEntry, Scoped, Sink, SpanGuard, Trace};
